@@ -1,0 +1,92 @@
+// Ablation: multiway merge tree shape. The paper's experiments use serial
+// pairwise merges (a left fold); a balanced tree has the same statistical
+// output law but different cost structure, and — per §4.2 — lets symmetric
+// inputs reuse one alias table per level. Measures HR merges of 64 equal
+// partitions under: left fold, balanced tree, and balanced tree + alias
+// cache.
+
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/hybrid_reservoir.h"
+#include "src/core/merge.h"
+#include "src/workload/generators.h"
+
+namespace sampwh {
+namespace {
+
+constexpr uint64_t kPartitions = 64;
+constexpr uint64_t kPerPartition = 32768;
+constexpr uint64_t kF = 8 * 1024;  // n_F = 1024
+
+const std::vector<PartitionSample>& Samples() {
+  static const std::vector<PartitionSample> samples = [] {
+    std::vector<PartitionSample> out;
+    Pcg64 seeder(1);
+    for (uint64_t p = 0; p < kPartitions; ++p) {
+      HybridReservoirSampler::Options options;
+      options.footprint_bound_bytes = kF;
+      HybridReservoirSampler sampler(options, seeder.Fork(p));
+      DataGenerator gen = DataGenerator::Make(DataKind::kUnique,
+                                              kPerPartition, p, 1);
+      while (gen.HasNext()) sampler.Add(gen.Next());
+      out.push_back(sampler.Finalize());
+    }
+    return out;
+  }();
+  return samples;
+}
+
+std::vector<const PartitionSample*> Pointers() {
+  std::vector<const PartitionSample*> pointers;
+  for (const PartitionSample& s : Samples()) pointers.push_back(&s);
+  return pointers;
+}
+
+void RunMerge(benchmark::State& state, MergeStrategy strategy,
+              bool use_cache) {
+  const auto pointers = Pointers();
+  AliasCache cache;
+  Pcg64 rng(2);
+  for (auto _ : state) {
+    MergeOptions options;
+    options.footprint_bound_bytes = kF;
+    if (use_cache) options.alias_cache = &cache;
+    auto merged = MergeAll(pointers, options, rng, strategy);
+    benchmark::DoNotOptimize(merged.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * kPartitions);
+  if (use_cache) {
+    state.counters["alias_tables_built"] =
+        static_cast<double>(cache.size());
+  }
+}
+
+void BM_MergeLeftFold(benchmark::State& state) {
+  RunMerge(state, MergeStrategy::kLeftFold, false);
+}
+BENCHMARK(BM_MergeLeftFold)->Unit(benchmark::kMillisecond);
+
+void BM_MergeBalancedTree(benchmark::State& state) {
+  RunMerge(state, MergeStrategy::kBalancedTree, false);
+}
+BENCHMARK(BM_MergeBalancedTree)->Unit(benchmark::kMillisecond);
+
+void BM_MergeBalancedTreeAliasCache(benchmark::State& state) {
+  RunMerge(state, MergeStrategy::kBalancedTree, true);
+}
+BENCHMARK(BM_MergeBalancedTreeAliasCache)->Unit(benchmark::kMillisecond);
+
+void BM_MergeLeftFoldAliasCache(benchmark::State& state) {
+  // Left fold's split distributions all differ (accumulated parent grows),
+  // so the cache cannot amortize: this quantifies the mismatch the paper's
+  // §4.2 caveat ("symmetric pairwise fashion") warns about.
+  RunMerge(state, MergeStrategy::kLeftFold, true);
+}
+BENCHMARK(BM_MergeLeftFoldAliasCache)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sampwh
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Ablation (§4.1): Algorithm HB versus its multiple-purge variant. The
+// paper dismisses the variant as dominated — "somewhat more expensive than
+// Algorithm HB on average, and the final sample sizes would tend to be
+// smaller and less stable". This bench measures both halves of that claim:
+// ingest throughput, and the mean/stddev of the final sample size on a
+// stream that overshoots the planned population (the regime where the
+// variant actually purges).
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/hybrid_bernoulli.h"
+#include "src/core/multi_purge_sampler.h"
+#include "src/workload/generators.h"
+
+namespace sampwh {
+namespace {
+
+constexpr uint64_t kF = 8 * 1024;       // n_F = 1024
+constexpr uint64_t kPlanned = 100000;   // what the sampler is told
+constexpr uint64_t kActual = 400000;    // what actually arrives (4x)
+
+void BM_HbIngestOvershoot(benchmark::State& state) {
+  double size_sum = 0.0;
+  double size_sq = 0.0;
+  int runs = 0;
+  uint64_t seed = 77;
+  for (auto _ : state) {
+    HybridBernoulliSampler::Options options;
+    options.footprint_bound_bytes = kF;
+    options.expected_population_size = kPlanned;
+    HybridBernoulliSampler sampler(options, Pcg64(seed++));
+    DataGenerator gen = DataGenerator::Unique(kActual, 1);
+    while (gen.HasNext()) sampler.Add(gen.Next());
+    const double size = static_cast<double>(sampler.Finalize().size());
+    size_sum += size;
+    size_sq += size * size;
+    ++runs;
+  }
+  state.SetItemsProcessed(state.iterations() * kActual);
+  const double mean = size_sum / runs;
+  state.counters["final_size_mean"] = mean;
+  state.counters["final_size_sd"] =
+      std::sqrt(std::max(0.0, size_sq / runs - mean * mean));
+}
+BENCHMARK(BM_HbIngestOvershoot)->Unit(benchmark::kMillisecond);
+
+void BM_MultiPurgeIngestOvershoot(benchmark::State& state) {
+  double size_sum = 0.0;
+  double size_sq = 0.0;
+  double purges = 0.0;
+  int runs = 0;
+  uint64_t seed = 177000;
+  for (auto _ : state) {
+    MultiPurgeBernoulliSampler::Options options;
+    options.footprint_bound_bytes = kF;
+    options.expected_population_size = kPlanned;
+    MultiPurgeBernoulliSampler sampler(options, Pcg64(seed++));
+    DataGenerator gen = DataGenerator::Unique(kActual, 1);
+    while (gen.HasNext()) sampler.Add(gen.Next());
+    purges += static_cast<double>(sampler.forced_purges());
+    const double size = static_cast<double>(sampler.Finalize().size());
+    size_sum += size;
+    size_sq += size * size;
+    ++runs;
+  }
+  state.SetItemsProcessed(state.iterations() * kActual);
+  const double mean = size_sum / runs;
+  state.counters["final_size_mean"] = mean;
+  state.counters["final_size_sd"] =
+      std::sqrt(std::max(0.0, size_sq / runs - mean * mean));
+  state.counters["forced_purges"] = purges / runs;
+}
+BENCHMARK(BM_MultiPurgeIngestOvershoot)->Unit(benchmark::kMillisecond);
+
+// On-plan streams (no overshoot): the variant should behave like HB's
+// phase 2, so any throughput gap here is pure overhead.
+void BM_HbIngestOnPlan(benchmark::State& state) {
+  for (auto _ : state) {
+    HybridBernoulliSampler::Options options;
+    options.footprint_bound_bytes = kF;
+    options.expected_population_size = kPlanned;
+    HybridBernoulliSampler sampler(options, Pcg64(79));
+    DataGenerator gen = DataGenerator::Unique(kPlanned, 1);
+    while (gen.HasNext()) sampler.Add(gen.Next());
+    benchmark::DoNotOptimize(sampler.Finalize().size());
+  }
+  state.SetItemsProcessed(state.iterations() * kPlanned);
+}
+BENCHMARK(BM_HbIngestOnPlan)->Unit(benchmark::kMillisecond);
+
+void BM_MultiPurgeIngestOnPlan(benchmark::State& state) {
+  for (auto _ : state) {
+    MultiPurgeBernoulliSampler::Options options;
+    options.footprint_bound_bytes = kF;
+    options.expected_population_size = kPlanned;
+    MultiPurgeBernoulliSampler sampler(options, Pcg64(80));
+    DataGenerator gen = DataGenerator::Unique(kPlanned, 1);
+    while (gen.HasNext()) sampler.Add(gen.Next());
+    benchmark::DoNotOptimize(sampler.Finalize().size());
+  }
+  state.SetItemsProcessed(state.iterations() * kPlanned);
+}
+BENCHMARK(BM_MultiPurgeIngestOnPlan)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sampwh
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Ablation: purgeReservoir victim selection. The paper's Fig. 4 line 9
+// picks the eviction victim by scanning partial prefix sums — O(m) per
+// eviction over m (value, count) entries. This library replaces the scan
+// with a Fenwick tree (O(log m) select + update). The gap matters when
+// samples hold many distinct values (large m) and purges evict heavily
+// (subsample size far below the input size).
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/compact_histogram.h"
+#include "src/core/purge.h"
+#include "src/util/random.h"
+
+namespace sampwh {
+namespace {
+
+CompactHistogram MakeInput(uint64_t distinct, uint64_t copies_per_value) {
+  CompactHistogram h;
+  for (uint64_t v = 0; v < distinct; ++v) {
+    h.Insert(static_cast<Value>(v), copies_per_value);
+  }
+  return h;
+}
+
+void BM_PurgeFenwick(benchmark::State& state) {
+  const uint64_t distinct = static_cast<uint64_t>(state.range(0));
+  const uint64_t target = static_cast<uint64_t>(state.range(1));
+  const CompactHistogram input = MakeInput(distinct, 4);
+  Pcg64 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PurgeReservoirStreamed({&input}, target, rng).total_count());
+  }
+  state.SetItemsProcessed(state.iterations() * distinct * 4);
+}
+BENCHMARK(BM_PurgeFenwick)
+    ->Args({1024, 512})
+    ->Args({8192, 4096})
+    ->Args({8192, 512})
+    ->Args({65536, 8192});
+
+void BM_PurgeLinearScan(benchmark::State& state) {
+  const uint64_t distinct = static_cast<uint64_t>(state.range(0));
+  const uint64_t target = static_cast<uint64_t>(state.range(1));
+  const CompactHistogram input = MakeInput(distinct, 4);
+  Pcg64 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PurgeReservoirStreamedLinearScan({&input}, target, rng)
+            .total_count());
+  }
+  state.SetItemsProcessed(state.iterations() * distinct * 4);
+}
+BENCHMARK(BM_PurgeLinearScan)
+    ->Args({1024, 512})
+    ->Args({8192, 4096})
+    ->Args({8192, 512})
+    ->Args({65536, 8192});
+
+void BM_PurgeBernoulliThinning(benchmark::State& state) {
+  // For context: the cost of the competing purge primitive (Fig. 3) on the
+  // same input.
+  const uint64_t distinct = static_cast<uint64_t>(state.range(0));
+  const CompactHistogram input = MakeInput(distinct, 4);
+  Pcg64 rng(3);
+  for (auto _ : state) {
+    CompactHistogram copy = input;
+    PurgeBernoulli(&copy, 0.25, rng);
+    benchmark::DoNotOptimize(copy.total_count());
+  }
+  state.SetItemsProcessed(state.iterations() * distinct * 4);
+}
+BENCHMARK(BM_PurgeBernoulliThinning)->Arg(1024)->Arg(8192)->Arg(65536);
+
+}  // namespace
+}  // namespace sampwh
+
+BENCHMARK_MAIN();

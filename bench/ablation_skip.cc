@@ -1,0 +1,50 @@
+// Ablation: Vitter's Algorithm X (sequential search, O(skip) per call)
+// versus Algorithm Z (rejection, O(1) expected) for the reservoir skip
+// function, across n/k ratios. Vitter's guidance — X wins while n is a
+// small multiple of k, Z wins beyond — is what VitterSkip::kAuto encodes
+// with its switch factor of 22.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/vitter.h"
+#include "src/util/random.h"
+
+namespace sampwh {
+namespace {
+
+void RunSkips(benchmark::State& state, VitterSkip::Mode mode) {
+  const uint64_t k = 1024;
+  const uint64_t ratio = static_cast<uint64_t>(state.range(0));
+  Pcg64 rng(1);
+  for (auto _ : state) {
+    // Rebuild the stream walk each iteration batch: walk ~64 skips
+    // starting from n = ratio * k.
+    VitterSkip skip(k, mode);
+    uint64_t n = ratio * k;
+    for (int i = 0; i < 64; ++i) {
+      n = skip.NextInsertionIndex(rng, n);
+    }
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+
+void BM_SkipAlgorithmX(benchmark::State& state) {
+  RunSkips(state, VitterSkip::Mode::kAlgorithmX);
+}
+BENCHMARK(BM_SkipAlgorithmX)->Arg(1)->Arg(4)->Arg(22)->Arg(128)->Arg(1024);
+
+void BM_SkipAlgorithmZ(benchmark::State& state) {
+  RunSkips(state, VitterSkip::Mode::kAlgorithmZ);
+}
+BENCHMARK(BM_SkipAlgorithmZ)->Arg(1)->Arg(4)->Arg(22)->Arg(128)->Arg(1024);
+
+void BM_SkipAuto(benchmark::State& state) {
+  RunSkips(state, VitterSkip::Mode::kAuto);
+}
+BENCHMARK(BM_SkipAuto)->Arg(1)->Arg(4)->Arg(22)->Arg(128)->Arg(1024);
+
+}  // namespace
+}  // namespace sampwh
+
+BENCHMARK_MAIN();

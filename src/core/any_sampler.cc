@@ -1,0 +1,66 @@
+#include "src/core/any_sampler.h"
+
+#include <utility>
+
+namespace sampwh {
+
+namespace {
+
+std::variant<HybridBernoulliSampler, HybridReservoirSampler, BernoulliSampler>
+MakeImpl(const SamplerConfig& config, Pcg64 rng) {
+  switch (config.kind) {
+    case SamplerKind::kHybridBernoulli: {
+      HybridBernoulliSampler::Options options;
+      options.footprint_bound_bytes = config.footprint_bound_bytes;
+      options.expected_population_size = config.expected_partition_size;
+      options.exceedance_probability = config.exceedance_probability;
+      options.use_exact_rate = config.use_exact_rate;
+      return HybridBernoulliSampler(options, std::move(rng));
+    }
+    case SamplerKind::kStratifiedBernoulli:
+      return BernoulliSampler(config.bernoulli_rate, std::move(rng));
+    case SamplerKind::kHybridReservoir:
+    default: {
+      HybridReservoirSampler::Options options;
+      options.footprint_bound_bytes = config.footprint_bound_bytes;
+      return HybridReservoirSampler(options, std::move(rng));
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view SamplerKindToString(SamplerKind kind) {
+  switch (kind) {
+    case SamplerKind::kHybridBernoulli:
+      return "HB";
+    case SamplerKind::kHybridReservoir:
+      return "HR";
+    case SamplerKind::kStratifiedBernoulli:
+      return "SB";
+  }
+  return "unknown";
+}
+
+AnySampler::AnySampler(const SamplerConfig& config, Pcg64 rng)
+    : impl_(MakeImpl(config, std::move(rng))) {}
+
+void AnySampler::Add(Value v) {
+  std::visit([v](auto& sampler) { sampler.Add(v); }, impl_);
+}
+
+uint64_t AnySampler::elements_seen() const {
+  return std::visit([](const auto& sampler) { return sampler.elements_seen(); },
+                    impl_);
+}
+
+uint64_t AnySampler::sample_size() const {
+  return std::visit([](const auto& sampler) { return sampler.sample_size(); },
+                    impl_);
+}
+
+PartitionSample AnySampler::Finalize() {
+  return std::visit([](auto& sampler) { return sampler.Finalize(); }, impl_);
+}
+
+}  // namespace sampwh

@@ -1,0 +1,66 @@
+// A value-semantic wrapper selecting one of the library's partition
+// samplers at runtime — the unit of configuration for the warehouse
+// ingestion layer ("sample this dataset's partitions with HB at 64 KiB /
+// p = 1e-3") and for the benchmark harnesses that sweep over algorithms.
+
+#ifndef SAMPWH_CORE_ANY_SAMPLER_H_
+#define SAMPWH_CORE_ANY_SAMPLER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "src/core/bernoulli_sampler.h"
+#include "src/core/hybrid_bernoulli.h"
+#include "src/core/hybrid_reservoir.h"
+#include "src/core/sample.h"
+#include "src/util/random.h"
+
+namespace sampwh {
+
+enum class SamplerKind {
+  kHybridBernoulli,     ///< Algorithm HB
+  kHybridReservoir,     ///< Algorithm HR
+  kStratifiedBernoulli, ///< Algorithm SB's per-partition worker (fixed rate)
+};
+
+std::string_view SamplerKindToString(SamplerKind kind);
+
+struct SamplerConfig {
+  SamplerKind kind = SamplerKind::kHybridReservoir;
+  /// F for HB / HR.
+  uint64_t footprint_bound_bytes = 64 * 1024;
+  /// HB only: p.
+  double exceedance_probability = 1e-3;
+  /// HB only: expected partition size N (0: let the ingestion layer fill
+  /// it in when the partition size is known, e.g. batch loads).
+  uint64_t expected_partition_size = 0;
+  /// HB only: solve the rate equation exactly.
+  bool use_exact_rate = false;
+  /// SB only: fixed Bernoulli rate.
+  double bernoulli_rate = 0.01;
+};
+
+class AnySampler {
+ public:
+  AnySampler(const SamplerConfig& config, Pcg64 rng);
+
+  void Add(Value v);
+  void AddBatch(const std::vector<Value>& values) {
+    for (const Value v : values) Add(v);
+  }
+
+  uint64_t elements_seen() const;
+  uint64_t sample_size() const;
+  PartitionSample Finalize();
+
+ private:
+  std::variant<HybridBernoulliSampler, HybridReservoirSampler,
+               BernoulliSampler>
+      impl_;
+};
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_CORE_ANY_SAMPLER_H_

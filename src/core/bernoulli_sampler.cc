@@ -1,0 +1,33 @@
+#include "src/core/bernoulli_sampler.h"
+
+#include <utility>
+
+#include "src/util/distributions.h"
+#include "src/util/logging.h"
+
+namespace sampwh {
+
+BernoulliSampler::BernoulliSampler(double q, Pcg64 rng)
+    : q_(q), rng_(std::move(rng)) {
+  SAMPWH_CHECK(q > 0.0 && q <= 1.0);
+  gap_ = SampleGeometricSkip(rng_, q_);
+}
+
+void BernoulliSampler::Add(Value v) {
+  ++elements_seen_;
+  if (gap_ > 0) {
+    --gap_;
+    return;
+  }
+  hist_.Insert(v);
+  gap_ = SampleGeometricSkip(rng_, q_);
+}
+
+PartitionSample BernoulliSampler::Finalize() {
+  CompactHistogram hist = std::move(hist_);
+  hist_.Clear();
+  return PartitionSample::MakeBernoulli(std::move(hist), elements_seen_, q_,
+                                        /*footprint_bound_bytes=*/0);
+}
+
+}  // namespace sampwh

@@ -1,0 +1,49 @@
+// Plain Bern(q) sampling (§3.1) at a fixed rate, implemented with geometric
+// skips so that excluded elements cost no random-number draws. This is the
+// per-partition worker of Algorithm SB, the paper's speed baseline: uniform,
+// trivially mergeable (union of equal-rate Bernoulli samples of disjoint
+// partitions is a Bernoulli sample of the union), but with no a priori bound
+// on the sample footprint.
+
+#ifndef SAMPWH_CORE_BERNOULLI_SAMPLER_H_
+#define SAMPWH_CORE_BERNOULLI_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/compact_histogram.h"
+#include "src/core/sample.h"
+#include "src/core/types.h"
+#include "src/util/random.h"
+
+namespace sampwh {
+
+class BernoulliSampler {
+ public:
+  /// Samples at fixed rate q in (0, 1].
+  BernoulliSampler(double q, Pcg64 rng);
+
+  void Add(Value v);
+
+  void AddBatch(const std::vector<Value>& values) {
+    for (const Value v : values) Add(v);
+  }
+
+  uint64_t elements_seen() const { return elements_seen_; }
+  uint64_t sample_size() const { return hist_.total_count(); }
+  double sampling_rate() const { return q_; }
+
+  /// Finalizes into an (unbounded-footprint) Bernoulli PartitionSample.
+  PartitionSample Finalize();
+
+ private:
+  double q_;
+  Pcg64 rng_;
+  uint64_t elements_seen_ = 0;
+  uint64_t gap_ = 0;  // elements to skip before the next inclusion
+  CompactHistogram hist_;
+};
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_CORE_BERNOULLI_SAMPLER_H_

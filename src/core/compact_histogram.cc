@@ -1,0 +1,117 @@
+#include "src/core/compact_histogram.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace sampwh {
+
+void CompactHistogram::Insert(Value v, uint64_t n) {
+  if (n == 0) return;
+  uint64_t& count = counts_[v];
+  if (count == 0) {
+    // New entry: singleton if n == 1, pair otherwise.
+    footprint_bytes_ +=
+        (n == 1) ? kSingletonFootprintBytes : kPairFootprintBytes;
+  } else if (count == 1) {
+    // Singleton becomes a pair.
+    footprint_bytes_ += kPairFootprintBytes - kSingletonFootprintBytes;
+  }
+  count += n;
+  total_count_ += n;
+}
+
+void CompactHistogram::Remove(Value v, uint64_t n) {
+  if (n == 0) return;
+  auto it = counts_.find(v);
+  SAMPWH_CHECK(it != counts_.end() && it->second >= n);
+  const uint64_t old_count = it->second;
+  const uint64_t new_count = old_count - n;
+  auto contribution = [](uint64_t c) -> uint64_t {
+    if (c == 0) return 0;
+    return c == 1 ? kSingletonFootprintBytes : kPairFootprintBytes;
+  };
+  footprint_bytes_ += contribution(new_count);
+  footprint_bytes_ -= contribution(old_count);
+  total_count_ -= n;
+  if (new_count == 0) {
+    counts_.erase(it);
+  } else {
+    it->second = new_count;
+  }
+}
+
+uint64_t CompactHistogram::CountOf(Value v) const {
+  const auto it = counts_.find(v);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+void CompactHistogram::ForEach(
+    const std::function<void(Value, uint64_t)>& fn) const {
+  for (const auto& [v, n] : counts_) fn(v, n);
+}
+
+std::vector<std::pair<Value, uint64_t>> CompactHistogram::SortedEntries()
+    const {
+  std::vector<std::pair<Value, uint64_t>> entries(counts_.begin(),
+                                                  counts_.end());
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+std::vector<Value> CompactHistogram::ToBag() const {
+  std::vector<Value> bag;
+  bag.reserve(total_count_);
+  for (const auto& [v, n] : SortedEntries()) {
+    bag.insert(bag.end(), n, v);
+  }
+  return bag;
+}
+
+CompactHistogram CompactHistogram::FromBag(const std::vector<Value>& bag) {
+  CompactHistogram hist;
+  for (const Value v : bag) hist.Insert(v);
+  return hist;
+}
+
+void CompactHistogram::Join(const CompactHistogram& other) {
+  other.ForEach([this](Value v, uint64_t n) { Insert(v, n); });
+}
+
+uint64_t CompactHistogram::JoinedFootprintBytes(
+    const CompactHistogram& other) const {
+  uint64_t footprint = footprint_bytes_;
+  other.ForEach([this, &footprint](Value v, uint64_t n) {
+    const uint64_t existing = CountOf(v);
+    if (existing == 0) {
+      footprint += (n == 1) ? kSingletonFootprintBytes : kPairFootprintBytes;
+    } else if (existing == 1) {
+      footprint += kPairFootprintBytes - kSingletonFootprintBytes;
+    }
+  });
+  return footprint;
+}
+
+Value CompactHistogram::RemoveRandomVictim(Pcg64& rng) {
+  SAMPWH_CHECK(total_count_ > 0);
+  uint64_t target = rng.UniformInt(total_count_);
+  for (const auto& [v, n] : counts_) {
+    if (target < n) {
+      const Value victim = v;
+      Remove(victim, 1);
+      return victim;
+    }
+    target -= n;
+  }
+  // Unreachable: total_count_ equals the sum of all counts.
+  SAMPWH_CHECK(false);
+  return 0;
+}
+
+void CompactHistogram::Clear() {
+  counts_.clear();
+  total_count_ = 0;
+  footprint_bytes_ = 0;
+}
+
+}  // namespace sampwh

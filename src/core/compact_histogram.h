@@ -1,0 +1,90 @@
+// The compact sample representation shared by every sampler in the library:
+// a frequency histogram storing each distinct value once, as either a bare
+// singleton (count 1) or a (value, count) pair, with incremental byte
+// footprint accounting. This is the representation of §2 requirement 4 and
+// of the concise-sampling data structure in [Gibbons & Matias 1998].
+
+#ifndef SAMPWH_CORE_COMPACT_HISTOGRAM_H_
+#define SAMPWH_CORE_COMPACT_HISTOGRAM_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/util/random.h"
+
+namespace sampwh {
+
+class CompactHistogram {
+ public:
+  CompactHistogram() = default;
+
+  /// Adds `n` occurrences of `v` (insertValue in the paper's pseudocode,
+  /// generalized to batch inserts for the join / merge paths).
+  void Insert(Value v, uint64_t n = 1);
+
+  /// Removes `n` occurrences of `v`; the value disappears when its count
+  /// reaches zero. `n` must not exceed the current count.
+  void Remove(Value v, uint64_t n = 1);
+
+  /// Current count of `v` (0 when absent).
+  uint64_t CountOf(Value v) const;
+
+  /// Number of distinct values stored.
+  uint64_t distinct_count() const { return counts_.size(); }
+
+  /// Total number of data-element values represented, |S| = L + sum n_i.
+  uint64_t total_count() const { return total_count_; }
+
+  bool empty() const { return total_count_ == 0; }
+
+  /// Current compact-representation footprint in bytes: singletons cost
+  /// kSingletonFootprintBytes, pairs kPairFootprintBytes. Maintained
+  /// incrementally, O(1) per update.
+  uint64_t footprint_bytes() const { return footprint_bytes_; }
+
+  /// Applies fn(value, count) to every entry, in unspecified order.
+  void ForEach(const std::function<void(Value, uint64_t)>& fn) const;
+
+  /// All (value, count) entries sorted by value — deterministic order for
+  /// serialization, streaming merges, and tests.
+  std::vector<std::pair<Value, uint64_t>> SortedEntries() const;
+
+  /// expand(S): the sample as a bag of values (order: sorted by value,
+  /// duplicates adjacent).
+  std::vector<Value> ToBag() const;
+
+  /// Builds a histogram from a bag of values.
+  static CompactHistogram FromBag(const std::vector<Value>& bag);
+
+  /// Sums `other` into this histogram (the paper's join function: the
+  /// compact representation of expand(S1) ∪ expand(S2) without expanding).
+  void Join(const CompactHistogram& other);
+
+  /// Footprint in bytes that joining `other` into this histogram would
+  /// produce, without materializing the join (Fig. 6 line 12).
+  uint64_t JoinedFootprintBytes(const CompactHistogram& other) const;
+
+  /// Removes and returns one uniformly random data-element value
+  /// (removeRandomVictim over the compact form). O(distinct) worst case;
+  /// the hot purge paths use FenwickTree-based selection instead.
+  Value RemoveRandomVictim(Pcg64& rng);
+
+  void Clear();
+
+  bool operator==(const CompactHistogram& other) const {
+    return counts_ == other.counts_;
+  }
+
+ private:
+  std::unordered_map<Value, uint64_t> counts_;
+  uint64_t total_count_ = 0;
+  uint64_t footprint_bytes_ = 0;
+};
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_CORE_COMPACT_HISTOGRAM_H_

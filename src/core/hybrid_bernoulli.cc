@@ -1,0 +1,189 @@
+#include "src/core/hybrid_bernoulli.h"
+
+#include <utility>
+
+#include "src/core/purge.h"
+#include "src/core/qbound.h"
+#include "src/util/distributions.h"
+#include "src/util/logging.h"
+
+namespace sampwh {
+
+HybridBernoulliSampler::HybridBernoulliSampler(const Options& options,
+                                               Pcg64 rng)
+    : options_(options),
+      n_F_(MaxSampleSizeForFootprint(options.footprint_bound_bytes)),
+      rng_(std::move(rng)) {
+  SAMPWH_CHECK(n_F_ >= 1);
+  SAMPWH_CHECK(options_.exceedance_probability > 0.0 &&
+               options_.exceedance_probability <= 0.5);
+}
+
+Result<HybridBernoulliSampler> HybridBernoulliSampler::Resume(
+    const PartitionSample& base, const Options& options, Pcg64 rng) {
+  SAMPWH_RETURN_IF_ERROR(base.Validate());
+  HybridBernoulliSampler sampler(options, std::move(rng));
+  sampler.elements_seen_ = base.parent_size();
+  sampler.hist_ = base.histogram();
+  switch (base.phase()) {
+    case SamplePhase::kExhaustive:
+      sampler.phase_ = SamplePhase::kExhaustive;
+      // Under a tighter bound than the base was collected with, the
+      // exhaustive histogram may already be over the line.
+      if (sampler.hist_.footprint_bytes() >
+          options.footprint_bound_bytes) {
+        sampler.TransitionFromPhase1(sampler.elements_seen_);
+      }
+      break;
+    case SamplePhase::kBernoulli:
+      sampler.phase_ = SamplePhase::kBernoulli;
+      sampler.q_ = base.sampling_rate();
+      if (sampler.q_ <= 0.0 || sampler.q_ > 1.0) {
+        return Status::InvalidArgument("base sample has invalid rate");
+      }
+      if (base.size() >= sampler.n_F_) {
+        // At or above the size cap (a duplicate-compressed join can hold
+        // more than n_F values inside F bytes): conditioned on its size, a
+        // Bernoulli sample is a simple random sample, so cut it to n_F and
+        // continue in phase 3 exactly as Fig. 2 line 17 would have.
+        PurgeReservoir(&sampler.hist_, sampler.n_F_, sampler.rng_);
+        sampler.EnterPhase3(sampler.elements_seen_);
+      } else {
+        sampler.bernoulli_gap_ =
+            SampleGeometricSkip(sampler.rng_, sampler.q_);
+      }
+      break;
+    case SamplePhase::kReservoir: {
+      sampler.phase_ = SamplePhase::kReservoir;
+      uint64_t k = base.size();
+      if (k > sampler.n_F_) {
+        // Shrinking the bound: an SRS subsample of an SRS is an SRS.
+        PurgeReservoir(&sampler.hist_, sampler.n_F_, sampler.rng_);
+        k = sampler.n_F_;
+      }
+      if (k == 0) {
+        return Status::InvalidArgument("empty reservoir base sample");
+      }
+      sampler.reservoir_skip_.emplace(k);
+      sampler.next_reservoir_index_ = sampler.reservoir_skip_->
+          NextInsertionIndex(sampler.rng_, sampler.elements_seen_);
+      break;
+    }
+  }
+  return sampler;
+}
+
+uint64_t HybridBernoulliSampler::sample_size() const {
+  return expanded_ ? bag_.size() : hist_.total_count();
+}
+
+uint64_t HybridBernoulliSampler::footprint_bytes() const {
+  return expanded_ ? bag_.size() * kSingletonFootprintBytes
+                   : hist_.footprint_bytes();
+}
+
+void HybridBernoulliSampler::Add(Value v) {
+  ++elements_seen_;
+  if (phase_ == SamplePhase::kExhaustive) {
+    // Fig. 2 lines 1-11, with the footprint check moved BEFORE the
+    // insertion so the bound holds at every instant even when the insert
+    // would jump past F (the +4/+8 footprint steps of duplicate-heavy
+    // streams can straddle F without equaling it). If the value fits, stay
+    // in phase 1; otherwise transition using the elements_seen_ - 1
+    // elements ingested so far and give the current element the regular
+    // phase-2/3 treatment by falling through.
+    const uint64_t existing = hist_.CountOf(v);
+    const uint64_t growth =
+        existing == 0 ? kSingletonFootprintBytes
+        : existing == 1 ? kPairFootprintBytes - kSingletonFootprintBytes
+                        : 0;
+    if (hist_.footprint_bytes() + growth <= options_.footprint_bound_bytes) {
+      hist_.Insert(v);
+      return;
+    }
+    TransitionFromPhase1(elements_seen_ - 1);
+  }
+  if (phase_ == SamplePhase::kBernoulli) {
+    if (bernoulli_gap_ > 0) {
+      --bernoulli_gap_;
+      return;
+    }
+    ExpandIfNeeded();
+    bag_.push_back(v);
+    if (bag_.size() >= n_F_) {
+      EnterPhase3(elements_seen_);  // Fig. 2 lines 17-19
+    } else {
+      bernoulli_gap_ = SampleGeometricSkip(rng_, q_);
+    }
+    return;
+  }
+  // Phase 3: reservoir step (Fig. 2 lines 21-27).
+  if (elements_seen_ == next_reservoir_index_) {
+    ExpandIfNeeded();
+    // removeRandomVictim + insert, fused as an overwrite.
+    const size_t victim = static_cast<size_t>(rng_.UniformInt(bag_.size()));
+    bag_[victim] = v;
+    next_reservoir_index_ =
+        reservoir_skip_->NextInsertionIndex(rng_, elements_seen_);
+  }
+}
+
+void HybridBernoulliSampler::TransitionFromPhase1(uint64_t processed) {
+  const uint64_t n = options_.expected_population_size > 0
+                         ? options_.expected_population_size
+                         : elements_seen_;
+  q_ = options_.use_exact_rate
+           ? ExactBernoulliRate(n, options_.exceedance_probability, n_F_)
+           : ApproxBernoulliRate(n, options_.exceedance_probability, n_F_);
+  // Precompute the Bern(q) subsample S' of the exhaustive histogram
+  // (Fig. 2 line 4).
+  PurgeBernoulli(&hist_, q_, rng_);
+  expanded_ = false;
+  if (hist_.total_count() < n_F_) {
+    phase_ = SamplePhase::kBernoulli;  // Fig. 2 line 6
+    bernoulli_gap_ = SampleGeometricSkip(rng_, q_);
+  } else {
+    // Subsample is too large (Fig. 2 lines 8-10): reservoir-subsample it
+    // and switch directly to reservoir mode.
+    hist_ = PurgeReservoirStreamed({&hist_}, n_F_, rng_);
+    EnterPhase3(processed);
+  }
+}
+
+void HybridBernoulliSampler::EnterPhase3(uint64_t processed) {
+  phase_ = SamplePhase::kReservoir;
+  const uint64_t k = sample_size();
+  SAMPWH_CHECK(k >= 1);
+  reservoir_skip_.emplace(k);
+  next_reservoir_index_ =
+      reservoir_skip_->NextInsertionIndex(rng_, processed);
+}
+
+void HybridBernoulliSampler::ExpandIfNeeded() {
+  if (expanded_) return;
+  bag_ = hist_.ToBag();
+  bag_.reserve(n_F_);
+  hist_.Clear();
+  expanded_ = true;
+}
+
+PartitionSample HybridBernoulliSampler::Finalize() {
+  CompactHistogram hist =
+      expanded_ ? CompactHistogram::FromBag(bag_) : std::move(hist_);
+  bag_.clear();
+  hist_.Clear();
+  const uint64_t parent = elements_seen_;
+  const uint64_t bound = options_.footprint_bound_bytes;
+  switch (phase_) {
+    case SamplePhase::kExhaustive:
+      return PartitionSample::MakeExhaustive(std::move(hist), parent, bound);
+    case SamplePhase::kBernoulli:
+      return PartitionSample::MakeBernoulli(std::move(hist), parent, q_,
+                                            bound);
+    case SamplePhase::kReservoir:
+    default:
+      return PartitionSample::MakeReservoir(std::move(hist), parent, bound);
+  }
+}
+
+}  // namespace sampwh

@@ -1,0 +1,136 @@
+#include "src/core/hybrid_reservoir.h"
+
+#include <utility>
+
+#include "src/core/purge.h"
+#include "src/util/logging.h"
+
+namespace sampwh {
+
+HybridReservoirSampler::HybridReservoirSampler(const Options& options,
+                                               Pcg64 rng)
+    : options_(options),
+      n_F_(MaxSampleSizeForFootprint(options.footprint_bound_bytes)),
+      rng_(std::move(rng)) {
+  SAMPWH_CHECK(n_F_ >= 1);
+}
+
+Result<HybridReservoirSampler> HybridReservoirSampler::Resume(
+    const PartitionSample& base, const Options& options, Pcg64 rng) {
+  SAMPWH_RETURN_IF_ERROR(base.Validate());
+  HybridReservoirSampler sampler(options, std::move(rng));
+  sampler.elements_seen_ = base.parent_size();
+  sampler.hist_ = base.histogram();
+  if (base.phase() == SamplePhase::kExhaustive) {
+    sampler.phase_ = SamplePhase::kExhaustive;
+    if (sampler.hist_.footprint_bytes() > options.footprint_bound_bytes) {
+      // The base histogram exceeds the (tighter) target bound; cut it to a
+      // simple random sample of size n_F immediately so the bound holds
+      // from the first instant, and continue in reservoir mode.
+      PurgeReservoir(&sampler.hist_, sampler.n_F_, sampler.rng_);
+      sampler.phase_ = SamplePhase::kReservoir;
+      sampler.reservoir_capacity_ = sampler.n_F_;
+      sampler.reservoir_skip_.emplace(sampler.n_F_);
+      sampler.next_reservoir_index_ =
+          sampler.reservoir_skip_->NextInsertionIndex(
+              sampler.rng_, sampler.elements_seen_);
+    }
+    return sampler;
+  }
+  // Reservoir base, or Bernoulli base viewed (conditionally on its size) as
+  // a simple random sample.
+  uint64_t k = base.size();
+  if (k > sampler.n_F_) {
+    PurgeReservoir(&sampler.hist_, sampler.n_F_, sampler.rng_);
+    k = sampler.n_F_;
+  }
+  if (k == 0) {
+    return Status::InvalidArgument("cannot resume from an empty sample");
+  }
+  sampler.phase_ = SamplePhase::kReservoir;
+  sampler.reservoir_capacity_ = k;
+  sampler.expanded_ = true;
+  sampler.bag_ = sampler.hist_.ToBag();
+  sampler.hist_.Clear();
+  sampler.reservoir_skip_.emplace(k);
+  sampler.next_reservoir_index_ = sampler.reservoir_skip_->NextInsertionIndex(
+      sampler.rng_, sampler.elements_seen_);
+  return sampler;
+}
+
+uint64_t HybridReservoirSampler::sample_size() const {
+  return expanded_ ? bag_.size() : hist_.total_count();
+}
+
+uint64_t HybridReservoirSampler::footprint_bytes() const {
+  return expanded_ ? bag_.size() * kSingletonFootprintBytes
+                   : hist_.footprint_bytes();
+}
+
+void HybridReservoirSampler::Add(Value v) {
+  ++elements_seen_;
+  if (phase_ == SamplePhase::kExhaustive) {
+    // Fig. 7 lines 3-5, with the check moved BEFORE the insertion so the
+    // footprint bound holds at every instant even when the insertion would
+    // jump past F (duplicate-heavy streams grow the footprint in +4/+8
+    // steps and can straddle F without ever equaling it). If this value
+    // still fits, stay exhaustive; otherwise switch to reservoir mode over
+    // the elements_seen_ - 1 elements ingested so far — the footprint
+    // argument guarantees that count is >= n_F — and give the current
+    // element the standard reservoir treatment below. The purge of the
+    // histogram down to n_F values happens lazily at the first reservoir
+    // insertion (Fig. 7 lines 9-11).
+    const uint64_t existing = hist_.CountOf(v);
+    const uint64_t growth =
+        existing == 0 ? kSingletonFootprintBytes
+        : existing == 1 ? kPairFootprintBytes - kSingletonFootprintBytes
+                        : 0;
+    if (hist_.footprint_bytes() + growth <= options_.footprint_bound_bytes) {
+      hist_.Insert(v);
+      return;
+    }
+    phase_ = SamplePhase::kReservoir;
+    reservoir_capacity_ = n_F_;
+    reservoir_skip_.emplace(n_F_);
+    next_reservoir_index_ =
+        reservoir_skip_->NextInsertionIndex(rng_, elements_seen_ - 1);
+  }
+  if (elements_seen_ == next_reservoir_index_) {
+    ExpandIfNeeded();
+    const size_t victim = static_cast<size_t>(rng_.UniformInt(bag_.size()));
+    bag_[victim] = v;
+    next_reservoir_index_ =
+        reservoir_skip_->NextInsertionIndex(rng_, elements_seen_);
+  }
+}
+
+void HybridReservoirSampler::ExpandIfNeeded() {
+  if (expanded_) return;
+  if (hist_.total_count() > reservoir_capacity_) {
+    hist_ = PurgeReservoirStreamed({&hist_}, reservoir_capacity_, rng_);
+  }
+  bag_ = hist_.ToBag();
+  hist_.Clear();
+  expanded_ = true;
+}
+
+PartitionSample HybridReservoirSampler::Finalize() {
+  CompactHistogram hist =
+      expanded_ ? CompactHistogram::FromBag(bag_) : std::move(hist_);
+  bag_.clear();
+  hist_.Clear();
+  const uint64_t parent = elements_seen_;
+  const uint64_t bound = options_.footprint_bound_bytes;
+  if (phase_ == SamplePhase::kExhaustive) {
+    return PartitionSample::MakeExhaustive(std::move(hist), parent, bound);
+  }
+  // In reservoir mode the histogram may still hold more than n_F values if
+  // no insertion ever fired after the phase switch; cut it down so the
+  // finalized sample is a true size-n_F simple random sample.
+  if (!hist.empty() && hist.total_count() > reservoir_capacity_) {
+    hist = PurgeReservoirStreamed({&hist}, reservoir_capacity_, rng_);
+  }
+  return PartitionSample::MakeReservoir(std::move(hist), parent, bound);
+}
+
+}  // namespace sampwh

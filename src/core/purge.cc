@@ -1,0 +1,116 @@
+#include "src/core/purge.h"
+
+#include <utility>
+
+#include "src/core/vitter.h"
+#include "src/util/distributions.h"
+#include "src/util/fenwick_tree.h"
+#include "src/util/logging.h"
+
+namespace sampwh {
+
+void PurgeBernoulli(CompactHistogram* sample, double q, Pcg64& rng) {
+  SAMPWH_CHECK(q >= 0.0 && q <= 1.0);
+  if (q >= 1.0) return;
+  CompactHistogram thinned;
+  sample->ForEach([&](Value v, uint64_t n) {
+    const uint64_t kept = SampleBinomial(rng, n, q);
+    if (kept > 0) thinned.Insert(v, kept);
+  });
+  *sample = std::move(thinned);
+}
+
+CompactHistogram PurgeReservoirStreamed(
+    const std::vector<const CompactHistogram*>& sources, uint64_t M,
+    Pcg64& rng) {
+  CompactHistogram result;
+  if (M == 0) return result;
+
+  // Flatten entry lists (sorted within each source for determinism).
+  std::vector<std::pair<Value, uint64_t>> entries;
+  for (const CompactHistogram* source : sources) {
+    const auto sorted = source->SortedEntries();
+    entries.insert(entries.end(), sorted.begin(), sorted.end());
+  }
+
+  FenwickTree new_counts(entries.size());
+  VitterSkip skip(M);
+  uint64_t b = 0;  // elements of the implicit expanded stream seen so far
+  uint64_t L = 0;  // current reservoir occupancy
+  uint64_t j = 1;  // 1-based stream index of the next insertion
+
+  for (size_t i = 0; i < entries.size(); ++i) {
+    b += entries[i].second;
+    while (j <= b) {
+      if (L == M) {
+        // Evict a uniformly random victim: a random position in [1, M]
+        // mapped through the prefix sums of the new counts.
+        const uint64_t target = rng.UniformInt(M) + 1;
+        const size_t victim = new_counts.FindByPrefixSum(target);
+        new_counts.Add(victim, -1);
+        --L;
+      }
+      new_counts.Add(i, +1);
+      ++L;
+      j = (j < M) ? j + 1 : skip.NextInsertionIndex(rng, j);
+    }
+  }
+
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const uint64_t n = new_counts.Get(i);
+    if (n > 0) result.Insert(entries[i].first, n);
+  }
+  return result;
+}
+
+void PurgeReservoir(CompactHistogram* sample, uint64_t M, Pcg64& rng) {
+  if (sample->total_count() <= M) return;
+  *sample = PurgeReservoirStreamed({sample}, M, rng);
+}
+
+CompactHistogram PurgeReservoirStreamedLinearScan(
+    const std::vector<const CompactHistogram*>& sources, uint64_t M,
+    Pcg64& rng) {
+  CompactHistogram result;
+  if (M == 0) return result;
+
+  std::vector<std::pair<Value, uint64_t>> entries;
+  for (const CompactHistogram* source : sources) {
+    const auto sorted = source->SortedEntries();
+    entries.insert(entries.end(), sorted.begin(), sorted.end());
+  }
+
+  std::vector<uint64_t> new_counts(entries.size(), 0);
+  VitterSkip skip(M);
+  uint64_t b = 0;
+  uint64_t L = 0;
+  uint64_t j = 1;
+
+  for (size_t i = 0; i < entries.size(); ++i) {
+    b += entries[i].second;
+    while (j <= b) {
+      if (L == M) {
+        // Fig. 4 lines 8-9 verbatim: find the l with
+        // sum_{gamma < l} n_gamma < v <= sum_{gamma <= l} n_gamma.
+        uint64_t v = rng.UniformInt(M) + 1;
+        size_t victim = 0;
+        while (v > new_counts[victim]) {
+          v -= new_counts[victim];
+          ++victim;
+        }
+        --new_counts[victim];
+        --L;
+      }
+      ++new_counts[i];
+      ++L;
+      j = (j < M) ? j + 1 : skip.NextInsertionIndex(rng, j);
+    }
+  }
+
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (new_counts[i] > 0) result.Insert(entries[i].first, new_counts[i]);
+  }
+  return result;
+}
+
+}  // namespace sampwh

@@ -1,0 +1,52 @@
+#include "src/core/qbound.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+#include "src/util/special_functions.h"
+
+namespace sampwh {
+
+double ApproxBernoulliRate(uint64_t N, double p, uint64_t n_F) {
+  SAMPWH_CHECK(N >= 1);
+  SAMPWH_CHECK(p > 0.0 && p <= 0.5);
+  if (n_F >= N) return 1.0;
+  const double n = static_cast<double>(N);
+  const double nf = static_cast<double>(n_F);
+  const double z = NormalQuantile(1.0 - p);
+  const double z2 = z * z;
+  const double discriminant = n * (n * z2 + 4.0 * n * nf - 4.0 * nf * nf);
+  SAMPWH_CHECK(discriminant >= 0.0);
+  const double q =
+      (n * (2.0 * nf + z2) - z * std::sqrt(discriminant)) /
+      (2.0 * n * (n + z2));
+  // Clamp to a valid probability; the approximation can stray marginally
+  // outside [0, 1] for extreme parameters.
+  if (q < 0.0) return 0.0;
+  if (q > 1.0) return 1.0;
+  return q;
+}
+
+double ExactBernoulliRate(uint64_t N, double p, uint64_t n_F) {
+  SAMPWH_CHECK(N >= 1);
+  SAMPWH_CHECK(p > 0.0 && p < 1.0);
+  if (n_F >= N) return 1.0;
+  // f(q) = P{Bin(N, q) > n_F} = I_q(n_F + 1, N - n_F) is continuous and
+  // strictly increasing in q on (0, 1), f(0) = 0, f(1) = 1, so the root is
+  // unique and bisection is safe.
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double tail = BinomialTailProbability(N, mid, n_F);
+    if (tail > p) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+    if (hi - lo < 1e-15 * hi) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace sampwh

@@ -1,0 +1,29 @@
+// Selection of the phase-2 Bernoulli sampling rate in Algorithm HB: the
+// largest q such that a Bern(q) sample from a population of size N exceeds
+// n_F data-element values with probability at most p. Provides the paper's
+// closed-form normal approximation (Eq. 1) and the exact solution of
+// f(q) = p obtained by bisection on the binomial tail — the two series
+// whose relative difference is the paper's Figure 5.
+
+#ifndef SAMPWH_CORE_QBOUND_H_
+#define SAMPWH_CORE_QBOUND_H_
+
+#include <cstdint>
+
+namespace sampwh {
+
+/// Eq. (1): q(N, p, n_F) via the central limit approximation
+///   q ≈ [N(2 n_F + z_p^2) − z_p sqrt(N (N z_p^2 + 4 N n_F − 4 n_F^2))]
+///       / (2 N (N + z_p^2)),
+/// where z_p is the (1-p)-quantile of the standard normal. Requires
+/// 0 < p <= 0.5. Returns 1.0 when n_F >= N (the whole population fits).
+double ApproxBernoulliRate(uint64_t N, double p, uint64_t n_F);
+
+/// The exact root of f(q) = P{Binomial(N, q) > n_F} = p, solved by
+/// bisection on the (monotone increasing) regularized-incomplete-beta form
+/// of the binomial tail. Returns 1.0 when n_F >= N.
+double ExactBernoulliRate(uint64_t N, double p, uint64_t n_F);
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_CORE_QBOUND_H_

@@ -1,0 +1,47 @@
+#include "src/core/reservoir_sampler.h"
+
+#include <utility>
+
+#include "src/core/compact_histogram.h"
+#include "src/util/logging.h"
+
+namespace sampwh {
+
+ReservoirSampler::ReservoirSampler(uint64_t capacity, Pcg64 rng,
+                                   VitterSkip::Mode skip_mode)
+    : capacity_(capacity), rng_(std::move(rng)), skip_(capacity, skip_mode) {
+  SAMPWH_CHECK(capacity >= 1);
+  reservoir_.reserve(capacity);
+}
+
+void ReservoirSampler::Add(Value v) {
+  ++elements_seen_;
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(v);
+    if (reservoir_.size() == capacity_) {
+      next_insertion_index_ = skip_.NextInsertionIndex(rng_, elements_seen_);
+    }
+    return;
+  }
+  if (elements_seen_ == next_insertion_index_) {
+    const size_t victim = static_cast<size_t>(rng_.UniformInt(capacity_));
+    reservoir_[victim] = v;
+    next_insertion_index_ = skip_.NextInsertionIndex(rng_, elements_seen_);
+  }
+}
+
+PartitionSample ReservoirSampler::Finalize() {
+  CompactHistogram hist = CompactHistogram::FromBag(reservoir_);
+  const uint64_t bound = capacity_ * kSingletonFootprintBytes;
+  PartitionSample sample =
+      (elements_seen_ <= capacity_)
+          ? PartitionSample::MakeExhaustive(std::move(hist), elements_seen_,
+                                            bound)
+          : PartitionSample::MakeReservoir(std::move(hist), elements_seen_,
+                                           bound);
+  reservoir_.clear();
+  elements_seen_ = 0;
+  return sample;
+}
+
+}  // namespace sampwh

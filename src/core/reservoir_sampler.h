@@ -1,0 +1,55 @@
+// Plain bounded reservoir sampling (§3.2): maintains a simple random sample
+// of fixed capacity k over a stream, using Vitter skips. This is the
+// classical building block Algorithms HB and HR fall back to; it is exposed
+// directly for callers that want size control without the compact phase-1
+// histogram.
+
+#ifndef SAMPWH_CORE_RESERVOIR_SAMPLER_H_
+#define SAMPWH_CORE_RESERVOIR_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/sample.h"
+#include "src/core/types.h"
+#include "src/core/vitter.h"
+#include "src/util/random.h"
+
+namespace sampwh {
+
+class ReservoirSampler {
+ public:
+  /// Maintains a simple random sample of at most `capacity` values.
+  ReservoirSampler(uint64_t capacity, Pcg64 rng,
+                   VitterSkip::Mode skip_mode = VitterSkip::Mode::kAuto);
+
+  void Add(Value v);
+
+  void AddBatch(const std::vector<Value>& values) {
+    for (const Value v : values) Add(v);
+  }
+
+  uint64_t elements_seen() const { return elements_seen_; }
+  uint64_t capacity() const { return capacity_; }
+  uint64_t sample_size() const { return reservoir_.size(); }
+
+  /// The current reservoir contents (exposed for tests).
+  const std::vector<Value>& contents() const { return reservoir_; }
+
+  /// Finalizes into a PartitionSample: exhaustive if the stream never
+  /// outgrew the reservoir, a reservoir sample otherwise. The footprint
+  /// bound recorded is capacity * kSingletonFootprintBytes.
+  PartitionSample Finalize();
+
+ private:
+  uint64_t capacity_;
+  Pcg64 rng_;
+  VitterSkip skip_;
+  uint64_t elements_seen_ = 0;
+  uint64_t next_insertion_index_ = 0;
+  std::vector<Value> reservoir_;
+};
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_CORE_RESERVOIR_SAMPLER_H_

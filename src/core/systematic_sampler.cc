@@ -1,0 +1,22 @@
+#include "src/core/systematic_sampler.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace sampwh {
+
+SystematicSampler::SystematicSampler(uint64_t stride, Pcg64 rng)
+    : stride_(stride) {
+  SAMPWH_CHECK(stride >= 1);
+  offset_ = rng.UniformInt(stride);
+}
+
+void SystematicSampler::Add(Value v) {
+  if (elements_seen_ % stride_ == offset_) {
+    hist_.Insert(v);
+  }
+  ++elements_seen_;
+}
+
+}  // namespace sampwh

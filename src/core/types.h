@@ -1,0 +1,40 @@
+// Core value and footprint model.
+//
+// The warehouse stores 64-bit value codes. Wider payloads (strings, doubles,
+// composite keys) are dictionary-encoded by the warehouse layer
+// (src/warehouse/dictionary.h) before sampling, the standard column-store
+// trick; the sampling algorithms themselves only ever see Value codes.
+//
+// The footprint model follows the paper's compact representation (§3.3):
+// a (value, count) pair costs kPairFootprintBytes and a singleton value is
+// stored as the bare value, costing kSingletonFootprintBytes. The
+// user-supplied bound F caps footprint(S) in bytes at every instant, and
+// n_F = F / kSingletonFootprintBytes is the corresponding cap on the number
+// of data-element values once a sample is expanded to a bag.
+
+#ifndef SAMPWH_CORE_TYPES_H_
+#define SAMPWH_CORE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sampwh {
+
+/// The data-element value type seen by all samplers.
+using Value = int64_t;
+
+/// Footprint of a bare singleton value (8-byte value).
+inline constexpr size_t kSingletonFootprintBytes = 8;
+
+/// Footprint of a (value, count) pair (8-byte value + 4-byte count).
+inline constexpr size_t kPairFootprintBytes = 12;
+
+/// Maximum number of expanded data-element values that fit in a footprint
+/// of `footprint_bytes`: n_F in the paper.
+inline constexpr uint64_t MaxSampleSizeForFootprint(uint64_t footprint_bytes) {
+  return footprint_bytes / kSingletonFootprintBytes;
+}
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_CORE_TYPES_H_

@@ -1,0 +1,102 @@
+#include "src/core/vitter.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace sampwh {
+
+VitterSkip::VitterSkip(uint64_t k, Mode mode) : k_(k), mode_(mode) {
+  SAMPWH_CHECK(k >= 1);
+  w_ = 0.0;  // lazily initialized on first Algorithm Z call
+}
+
+uint64_t VitterSkip::NextInsertionIndex(Pcg64& rng, uint64_t n) {
+  SAMPWH_DCHECK(n >= k_);
+  uint64_t skip;
+  switch (mode_) {
+    case Mode::kAlgorithmX:
+      skip = SkipX(rng, n);
+      break;
+    case Mode::kAlgorithmZ:
+      skip = SkipZ(rng, n);
+      break;
+    case Mode::kAuto:
+    default:
+      skip = (n <= kXtoZSwitchFactor * k_) ? SkipX(rng, n) : SkipZ(rng, n);
+      break;
+  }
+  return n + skip + 1;
+}
+
+uint64_t VitterSkip::SkipX(Pcg64& rng, uint64_t n) const {
+  // Sequential search: P{skip >= s} = prod_{j=1..s} (n + j - k) / (n + j).
+  const double v = rng.NextDoubleOpen();
+  uint64_t s = 0;
+  double t = static_cast<double>(n) + 1.0;
+  double quot = (t - static_cast<double>(k_)) / t;
+  while (quot > v) {
+    ++s;
+    t += 1.0;
+    quot *= (t - static_cast<double>(k_)) / t;
+  }
+  return s;
+}
+
+uint64_t VitterSkip::SkipZ(Pcg64& rng, uint64_t n) {
+  // Vitter 1985, Algorithm Z: generate the skip S by rejection from the
+  // continuous envelope X = n (W - 1), with an inexpensive squeeze test
+  // before the exact (product-form) acceptance test.
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k_);
+  if (w_ == 0.0) {
+    w_ = std::exp(-std::log(rng.NextDoubleOpen()) / kd);
+  }
+  const double term = nd - kd + 1.0;
+  for (;;) {
+    double u;
+    double x;
+    double s_floor;
+    // Generate U and X.
+    for (;;) {
+      u = rng.NextDoubleOpen();
+      x = nd * (w_ - 1.0);
+      s_floor = std::floor(x);
+      if (s_floor >= 0.0) break;
+      // Numerical underflow (w_ rounded to 1.0); refresh W and retry.
+      w_ = std::exp(-std::log(rng.NextDoubleOpen()) / kd);
+    }
+    // Squeeze acceptance test.
+    const double lhs = std::exp(
+        std::log(((u * ((nd + 1.0) / term) * ((nd + 1.0) / term)) *
+                  (term + s_floor)) /
+                 (nd + x)) /
+        kd);
+    const double rhs = (((nd + x) / (term + s_floor)) * term) / nd;
+    if (lhs <= rhs) {
+      w_ = rhs / lhs;
+      return static_cast<uint64_t>(s_floor);
+    }
+    // Exact acceptance test.
+    double y = (((u * (nd + 1.0)) / term) * (nd + s_floor + 1.0)) / (nd + x);
+    double denom;
+    double numer_lim;
+    if (kd < s_floor) {
+      denom = nd;
+      numer_lim = term + s_floor;
+    } else {
+      denom = nd - kd + s_floor;
+      numer_lim = nd + 1.0;
+    }
+    for (double numer = nd + s_floor; numer >= numer_lim; numer -= 1.0) {
+      y = (y * numer) / denom;
+      denom -= 1.0;
+    }
+    w_ = std::exp(-std::log(rng.NextDoubleOpen()) / kd);
+    if (std::exp(std::log(y) / kd) <= (nd + x) / nd) {
+      return static_cast<uint64_t>(s_floor);
+    }
+  }
+}
+
+}  // namespace sampwh

@@ -1,0 +1,51 @@
+// The reservoir-sampling skip function skip(n; k) of §3.2: given that
+// element n has just been processed, how many elements to pass over before
+// the next reservoir insertion. Implements Vitter's Algorithm X (sequential
+// search, O(skip) time) and Algorithm Z (rejection with a squeeze, O(1)
+// expected time), switching from X to Z once n > kXtoZSwitchFactor * k as
+// Vitter recommends.
+
+#ifndef SAMPWH_CORE_VITTER_H_
+#define SAMPWH_CORE_VITTER_H_
+
+#include <cstdint>
+
+#include "src/util/random.h"
+
+namespace sampwh {
+
+class VitterSkip {
+ public:
+  /// Threshold on n/k below which Algorithm X beats Algorithm Z (Vitter
+  /// suggests ~22).
+  static constexpr uint64_t kXtoZSwitchFactor = 22;
+
+  enum class Mode {
+    kAuto,         ///< X for small n/k, Z beyond (production setting).
+    kAlgorithmX,   ///< always sequential search (ablation / testing).
+    kAlgorithmZ,   ///< always rejection (ablation / testing).
+  };
+
+  /// A skip generator for a reservoir of capacity `k` >= 1.
+  explicit VitterSkip(uint64_t k, Mode mode = Mode::kAuto);
+
+  uint64_t reservoir_size() const { return k_; }
+
+  /// The paper's n + skip(n; k): the 1-based index of the next element to
+  /// insert into the reservoir, given that `n` elements have been processed
+  /// so far. Requires n >= k (the first k elements are always inserted
+  /// without consulting the skip function). Always returns > n.
+  uint64_t NextInsertionIndex(Pcg64& rng, uint64_t n);
+
+ private:
+  uint64_t SkipX(Pcg64& rng, uint64_t n) const;
+  uint64_t SkipZ(Pcg64& rng, uint64_t n);
+
+  uint64_t k_;
+  Mode mode_;
+  double w_;  // Algorithm Z state: W = exp(-log(U)/k), refreshed on accept
+};
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_CORE_VITTER_H_

@@ -1,0 +1,78 @@
+#include "src/core/weighted_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace sampwh {
+
+namespace {
+bool KeyGreater(const WeightedItem& a, const WeightedItem& b) {
+  return a.key > b.key;  // std::*_heap with this comparator => min-heap
+}
+}  // namespace
+
+WeightedReservoirSampler::WeightedReservoirSampler(uint64_t capacity,
+                                                   Pcg64 rng)
+    : capacity_(capacity), rng_(std::move(rng)) {
+  SAMPWH_CHECK(capacity >= 1);
+  heap_.reserve(capacity);
+}
+
+void WeightedReservoirSampler::Add(Value v, double weight) {
+  SAMPWH_CHECK(weight > 0.0);
+  ++elements_seen_;
+  total_weight_seen_ += weight;
+  // A-ES key: u^(1/w), computed in log space for numerical stability with
+  // very large or very small weights.
+  const double u = rng_.NextDoubleOpen();
+  const double key = std::exp(std::log(u) / weight);
+  if (heap_.size() < capacity_) {
+    PushItem(WeightedItem{v, weight, key});
+    return;
+  }
+  if (key > heap_.front().key) {
+    std::pop_heap(heap_.begin(), heap_.end(), KeyGreater);
+    heap_.back() = WeightedItem{v, weight, key};
+    std::push_heap(heap_.begin(), heap_.end(), KeyGreater);
+  }
+}
+
+void WeightedReservoirSampler::PushItem(const WeightedItem& item) {
+  heap_.push_back(item);
+  std::push_heap(heap_.begin(), heap_.end(), KeyGreater);
+}
+
+std::vector<WeightedItem> WeightedReservoirSampler::Items() const {
+  std::vector<WeightedItem> items = heap_;
+  std::sort(items.begin(), items.end(),
+            [](const WeightedItem& a, const WeightedItem& b) {
+              return a.key > b.key;
+            });
+  return items;
+}
+
+Result<WeightedReservoirSampler> WeightedReservoirSampler::Merge(
+    const WeightedReservoirSampler& a, const WeightedReservoirSampler& b) {
+  // Keys of items that fell out of either reservoir are, by the A-ES
+  // invariant, smaller than every retained key — so the top-k of the
+  // retained union equals the top-k the single-pass sampler would have
+  // kept over the concatenated stream.
+  const uint64_t capacity = std::min(a.capacity_, b.capacity_);
+  std::vector<WeightedItem> all = a.heap_;
+  all.insert(all.end(), b.heap_.begin(), b.heap_.end());
+  std::sort(all.begin(), all.end(),
+            [](const WeightedItem& x, const WeightedItem& y) {
+              return x.key > y.key;
+            });
+  if (all.size() > capacity) all.resize(capacity);
+
+  WeightedReservoirSampler merged(capacity, Pcg64(0));
+  merged.elements_seen_ = a.elements_seen_ + b.elements_seen_;
+  merged.total_weight_seen_ = a.total_weight_seen_ + b.total_weight_seen_;
+  for (const WeightedItem& item : all) merged.PushItem(item);
+  return merged;
+}
+
+}  // namespace sampwh

@@ -1,0 +1,68 @@
+// Weight-biased sampling (§6 future work: "biased sampling"), implemented
+// with the Efraimidis-Spirakis A-ES weighted reservoir: each arriving item
+// with weight w > 0 draws the key u^(1/w) (u uniform) and the sampler
+// keeps the k largest-keyed items. The result is a weighted random sample
+// without replacement: at every prefix of the stream, item i is the
+// first-selected with probability w_i / sum w_j, etc.
+//
+// The scheme fits this library's warehouse philosophy because it is
+// MERGEABLE in the same spirit as §4: keys are retained alongside the
+// items, and a weighted sample of the union of two disjoint partitions is
+// exactly the top-k of the union of the two key sets — no rescaling, no
+// communication beyond the samples themselves.
+
+#ifndef SAMPWH_CORE_WEIGHTED_SAMPLER_H_
+#define SAMPWH_CORE_WEIGHTED_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace sampwh {
+
+struct WeightedItem {
+  Value value = 0;
+  double weight = 0.0;
+  /// The A-ES key u^(1/weight); larger keys win.
+  double key = 0.0;
+};
+
+class WeightedReservoirSampler {
+ public:
+  /// Keeps the `capacity` largest-keyed items.
+  WeightedReservoirSampler(uint64_t capacity, Pcg64 rng);
+
+  /// Processes one item; `weight` must be positive.
+  void Add(Value v, double weight);
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t elements_seen() const { return elements_seen_; }
+  uint64_t sample_size() const { return heap_.size(); }
+  /// Total weight observed so far (for expansion estimates).
+  double total_weight_seen() const { return total_weight_seen_; }
+
+  /// Current items, sorted by descending key (deterministic output order).
+  std::vector<WeightedItem> Items() const;
+
+  /// Merges two weighted reservoirs over DISJOINT streams into one of
+  /// capacity min(a.capacity, b.capacity): the top-k of the key union.
+  static Result<WeightedReservoirSampler> Merge(
+      const WeightedReservoirSampler& a, const WeightedReservoirSampler& b);
+
+ private:
+  void PushItem(const WeightedItem& item);
+
+  uint64_t capacity_;
+  Pcg64 rng_;
+  uint64_t elements_seen_ = 0;
+  double total_weight_seen_ = 0.0;
+  // Min-heap on key: heap_[0] is the current threshold item.
+  std::vector<WeightedItem> heap_;
+};
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_CORE_WEIGHTED_SAMPLER_H_

@@ -1,0 +1,41 @@
+#include "src/stats/chi_square.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/logging.h"
+#include "src/util/special_functions.h"
+
+namespace sampwh {
+
+ChiSquareResult ChiSquareGoodnessOfFit(
+    const std::vector<uint64_t>& observed,
+    const std::vector<double>& expected_probabilities) {
+  SAMPWH_CHECK(observed.size() == expected_probabilities.size());
+  SAMPWH_CHECK(observed.size() >= 2);
+  ChiSquareResult result;
+  for (const uint64_t o : observed) result.total += o;
+  SAMPWH_CHECK(result.total > 0);
+
+  result.min_expected = std::numeric_limits<double>::infinity();
+  const double total = static_cast<double>(result.total);
+  for (size_t i = 0; i < observed.size(); ++i) {
+    const double expected = expected_probabilities[i] * total;
+    SAMPWH_CHECK(expected > 0.0);
+    result.min_expected = std::min(result.min_expected, expected);
+    const double diff = static_cast<double>(observed[i]) - expected;
+    result.statistic += diff * diff / expected;
+  }
+  result.degrees_of_freedom = static_cast<double>(observed.size()) - 1.0;
+  result.p_value =
+      1.0 - ChiSquareCdf(result.statistic, result.degrees_of_freedom);
+  return result;
+}
+
+ChiSquareResult ChiSquareUniformFit(const std::vector<uint64_t>& observed) {
+  const std::vector<double> uniform(
+      observed.size(), 1.0 / static_cast<double>(observed.size()));
+  return ChiSquareGoodnessOfFit(observed, uniform);
+}
+
+}  // namespace sampwh

@@ -1,0 +1,37 @@
+// Pearson chi-square goodness-of-fit testing, used by the uniformity
+// harness to verify the library's central statistical claim — that every
+// sampler and merge produces equally likely equal-size samples — and to
+// reproduce the paper's §3.3 demonstration that concise sampling does not.
+
+#ifndef SAMPWH_STATS_CHI_SQUARE_H_
+#define SAMPWH_STATS_CHI_SQUARE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sampwh {
+
+struct ChiSquareResult {
+  double statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  /// P{chi2(df) >= statistic}: small values reject the null hypothesis
+  /// that the observations follow the expected distribution.
+  double p_value = 1.0;
+  /// Total observations.
+  uint64_t total = 0;
+  /// Smallest expected cell count (the test is unreliable below ~5).
+  double min_expected = 0.0;
+};
+
+/// Goodness of fit of `observed` counts against `expected_probabilities`
+/// (must sum to ~1; same length as observed).
+ChiSquareResult ChiSquareGoodnessOfFit(
+    const std::vector<uint64_t>& observed,
+    const std::vector<double>& expected_probabilities);
+
+/// Goodness of fit against the uniform distribution over all cells.
+ChiSquareResult ChiSquareUniformFit(const std::vector<uint64_t>& observed);
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_STATS_CHI_SQUARE_H_

@@ -1,0 +1,172 @@
+#include "src/stats/estimators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sampwh {
+
+namespace {
+
+// Finite-population correction factor sqrt((N - n) / (N - 1)) for
+// without-replacement sampling; ~1 for Bernoulli samples of large parents.
+double Fpc(double big_n, double n) {
+  if (big_n <= 1.0 || n >= big_n) return 0.0;
+  return std::sqrt((big_n - n) / (big_n - 1.0));
+}
+
+}  // namespace
+
+Result<Estimate> EstimateCount(const PartitionSample& sample,
+                               const std::function<bool(Value)>& predicate) {
+  SAMPWH_ASSIGN_OR_RETURN(Estimate sel,
+                          EstimateSelectivity(sample, predicate));
+  const double big_n = static_cast<double>(sample.parent_size());
+  Estimate out;
+  out.value = sel.value * big_n;
+  out.standard_error = sel.standard_error * big_n;
+  out.exact = sel.exact;
+  return out;
+}
+
+Result<Estimate> EstimateSum(const PartitionSample& sample) {
+  SAMPWH_RETURN_IF_ERROR(sample.Validate());
+  const uint64_t n = sample.size();
+  if (n == 0) return Status::FailedPrecondition("empty sample");
+  double sum = 0.0;
+  sample.histogram().ForEach([&](Value v, uint64_t c) {
+    sum += static_cast<double>(v) * static_cast<double>(c);
+  });
+  const double big_n = static_cast<double>(sample.parent_size());
+  Estimate out;
+  if (sample.phase() == SamplePhase::kExhaustive) {
+    out.value = sum;
+    out.exact = true;
+    return out;
+  }
+  SAMPWH_ASSIGN_OR_RETURN(Estimate mean, EstimateMean(sample));
+  out.value = big_n * mean.value;
+  out.standard_error = big_n * mean.standard_error;
+  return out;
+}
+
+Result<Estimate> EstimateMean(const PartitionSample& sample) {
+  SAMPWH_RETURN_IF_ERROR(sample.Validate());
+  const uint64_t n = sample.size();
+  if (n == 0) return Status::FailedPrecondition("empty sample");
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  sample.histogram().ForEach([&](Value v, uint64_t c) {
+    const double x = static_cast<double>(v);
+    const double cd = static_cast<double>(c);
+    sum += x * cd;
+    sum_sq += x * x * cd;
+  });
+  const double nd = static_cast<double>(n);
+  const double mean = sum / nd;
+  Estimate out;
+  out.value = mean;
+  if (sample.phase() == SamplePhase::kExhaustive) {
+    out.exact = true;
+    return out;
+  }
+  const double variance =
+      n > 1 ? (sum_sq - nd * mean * mean) / (nd - 1.0) : 0.0;
+  const double big_n = static_cast<double>(sample.parent_size());
+  out.standard_error =
+      std::sqrt(std::max(0.0, variance) / nd) * Fpc(big_n, nd);
+  return out;
+}
+
+Result<Estimate> EstimateSelectivity(
+    const PartitionSample& sample,
+    const std::function<bool(Value)>& predicate) {
+  SAMPWH_RETURN_IF_ERROR(sample.Validate());
+  const uint64_t n = sample.size();
+  if (n == 0) return Status::FailedPrecondition("empty sample");
+  uint64_t matching = 0;
+  sample.histogram().ForEach([&](Value v, uint64_t c) {
+    if (predicate(v)) matching += c;
+  });
+  const double nd = static_cast<double>(n);
+  const double fraction = static_cast<double>(matching) / nd;
+  Estimate out;
+  out.value = fraction;
+  if (sample.phase() == SamplePhase::kExhaustive) {
+    out.exact = true;
+    return out;
+  }
+  const double big_n = static_cast<double>(sample.parent_size());
+  out.standard_error =
+      std::sqrt(fraction * (1.0 - fraction) / nd) * Fpc(big_n, nd);
+  return out;
+}
+
+Result<Estimate> EstimateFrequency(const PartitionSample& sample, Value v) {
+  return EstimateCount(sample, [v](Value x) { return x == v; });
+}
+
+Result<Estimate> EstimateDistinctCount(const PartitionSample& sample) {
+  SAMPWH_RETURN_IF_ERROR(sample.Validate());
+  const uint64_t d = sample.histogram().distinct_count();
+  Estimate out;
+  if (sample.phase() == SamplePhase::kExhaustive) {
+    out.value = static_cast<double>(d);
+    out.exact = true;
+    return out;
+  }
+  uint64_t f1 = 0;
+  uint64_t f2 = 0;
+  sample.histogram().ForEach([&](Value, uint64_t c) {
+    if (c == 1) ++f1;
+    if (c == 2) ++f2;
+  });
+  // Chao (1984): a lower-bound-style correction for unseen values. When no
+  // doubletons exist, use the bias-corrected variant f1 (f1 - 1) / 2.
+  double correction;
+  if (f2 > 0) {
+    correction = static_cast<double>(f1) * static_cast<double>(f1) /
+                 (2.0 * static_cast<double>(f2));
+  } else {
+    correction = static_cast<double>(f1) *
+                 (static_cast<double>(f1) - 1.0) / 2.0;
+  }
+  out.value = static_cast<double>(d) + correction;
+  // Cap at the parent size: no population has more distinct values than
+  // elements.
+  out.value =
+      std::min(out.value, static_cast<double>(sample.parent_size()));
+  // Heuristic SE: Chao's variance approximation is omitted; report the
+  // correction magnitude as a crude spread indicator.
+  out.standard_error = correction;
+  return out;
+}
+
+Result<Estimate> EstimateDistinctCountGee(const PartitionSample& sample) {
+  SAMPWH_RETURN_IF_ERROR(sample.Validate());
+  const uint64_t n = sample.size();
+  if (n == 0) return Status::FailedPrecondition("empty sample");
+  const uint64_t d = sample.histogram().distinct_count();
+  Estimate out;
+  if (sample.phase() == SamplePhase::kExhaustive) {
+    out.value = static_cast<double>(d);
+    out.exact = true;
+    return out;
+  }
+  uint64_t f1 = 0;
+  sample.histogram().ForEach([&](Value, uint64_t c) {
+    if (c == 1) ++f1;
+  });
+  const double big_n = static_cast<double>(sample.parent_size());
+  const double scale = std::sqrt(big_n / static_cast<double>(n));
+  // sqrt(N/n) f1 + (d - f1): singletons are scaled up (they stand in for
+  // unseen values), repeated values are counted once.
+  out.value = scale * static_cast<double>(f1) +
+              static_cast<double>(d - f1);
+  out.value = std::min(out.value, big_n);
+  // Report the scaled-singleton mass as a crude spread indicator, in the
+  // same spirit as EstimateDistinctCount.
+  out.standard_error = (scale - 1.0) * static_cast<double>(f1);
+  return out;
+}
+
+}  // namespace sampwh

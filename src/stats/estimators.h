@@ -1,0 +1,60 @@
+// Approximate-query estimators over partition samples — the consumer side
+// of the sample warehouse (§1: "quick approximate answers to analytical
+// queries"). All estimators exploit the sample metadata (parent size,
+// phase, rate); for uniform samples the standard expansion estimators are
+// unbiased.
+
+#ifndef SAMPWH_STATS_ESTIMATORS_H_
+#define SAMPWH_STATS_ESTIMATORS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/core/sample.h"
+#include "src/util/status.h"
+
+namespace sampwh {
+
+/// A point estimate with a large-sample standard error (0 when the sample
+/// is exhaustive, in which case the estimate is exact).
+struct Estimate {
+  double value = 0.0;
+  double standard_error = 0.0;
+  bool exact = false;
+};
+
+/// Estimated number of parent elements satisfying `predicate`
+/// (expansion estimator N * s/n with finite-population-corrected SE).
+Result<Estimate> EstimateCount(const PartitionSample& sample,
+                               const std::function<bool(Value)>& predicate);
+
+/// Estimated sum of all parent values.
+Result<Estimate> EstimateSum(const PartitionSample& sample);
+
+/// Estimated mean of the parent values (sample mean, SE with fpc).
+Result<Estimate> EstimateMean(const PartitionSample& sample);
+
+/// Estimated fraction of parent elements satisfying `predicate`.
+Result<Estimate> EstimateSelectivity(
+    const PartitionSample& sample,
+    const std::function<bool(Value)>& predicate);
+
+/// Estimated number of parent elements equal to `v` (frequency estimate).
+Result<Estimate> EstimateFrequency(const PartitionSample& sample, Value v);
+
+/// Estimated number of distinct values in the parent. `d` alone is a lower
+/// bound; the Chao (1984) correction d + f1^2 / (2 f2) is returned when
+/// applicable. Exact for exhaustive samples. Heuristic, documented as such.
+Result<Estimate> EstimateDistinctCount(const PartitionSample& sample);
+
+/// GEE (Charikar et al. 2000): D_hat = sqrt(N/n) * f1 + sum_{j>=2} f_j,
+/// the guaranteed-error estimator for uniform samples — its ratio error is
+/// within O(sqrt(N/n)) of the best achievable by ANY sample-based distinct
+/// estimator. Exact for exhaustive samples. Complements the Chao estimate:
+/// GEE is pessimistic-robust, Chao adapts to the observed collision
+/// structure.
+Result<Estimate> EstimateDistinctCountGee(const PartitionSample& sample);
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_STATS_ESTIMATORS_H_

@@ -1,0 +1,105 @@
+#include "src/stats/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace sampwh {
+
+double KolmogorovQ(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term =
+        std::exp(-2.0 * static_cast<double>(j) * static_cast<double>(j) *
+                 lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+namespace {
+
+KsResult FinishKs(double d, uint64_t n) {
+  KsResult result;
+  result.statistic = d;
+  result.n = n;
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  // Stephens' small-sample correction.
+  result.p_value =
+      KolmogorovQ((sqrt_n + 0.12 + 0.11 / sqrt_n) * d);
+  return result;
+}
+
+}  // namespace
+
+KsResult KsTestUniform(std::vector<double> values, double lo, double hi) {
+  SAMPWH_CHECK(!values.empty());
+  SAMPWH_CHECK(hi > lo);
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  double d = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const double f = (values[i] - lo) / (hi - lo);
+    const double above = static_cast<double>(i + 1) / n - f;
+    const double below = f - static_cast<double>(i) / n;
+    d = std::max({d, above, below});
+  }
+  return FinishKs(d, values.size());
+}
+
+KsResult KsTestDiscreteUniform(std::vector<Value> values, Value lo,
+                               Value hi) {
+  SAMPWH_CHECK(!values.empty());
+  SAMPWH_CHECK(hi >= lo);
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  const double range = static_cast<double>(hi - lo) + 1.0;
+  double d = 0.0;
+  for (size_t i = 0; i < values.size();) {
+    // Process each distinct value once: the empirical CDF jumps at ties.
+    size_t j = i;
+    while (j < values.size() && values[j] == values[i]) ++j;
+    const double ref_cdf =
+        static_cast<double>(values[i] - lo + 1) / range;  // P{V <= v}
+    const double ref_cdf_left =
+        static_cast<double>(values[i] - lo) / range;  // P{V < v}
+    const double emp_after = static_cast<double>(j) / n;
+    const double emp_before = static_cast<double>(i) / n;
+    d = std::max({d, std::fabs(emp_after - ref_cdf),
+                  std::fabs(emp_before - ref_cdf_left)});
+    i = j;
+  }
+  return FinishKs(d, values.size());
+}
+
+KsResult KsTestTwoSample(std::vector<double> a, std::vector<double> b) {
+  SAMPWH_CHECK(!a.empty() && !b.empty());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  double d = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    d = std::max(d, std::fabs(static_cast<double>(i) / na -
+                              static_cast<double>(j) / nb));
+  }
+  KsResult result;
+  result.statistic = d;
+  result.n = a.size() + b.size();
+  const double ne = na * nb / (na + nb);
+  const double sqrt_ne = std::sqrt(ne);
+  result.p_value = KolmogorovQ((sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d);
+  return result;
+}
+
+}  // namespace sampwh

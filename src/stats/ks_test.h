@@ -1,0 +1,41 @@
+// One-sample Kolmogorov-Smirnov test against the discrete-uniform and
+// continuous-uniform laws, plus a two-sample variant. Complements the
+// chi-square harness: KS is sensitive to distributional drift across the
+// value range (e.g. a sampler that under-represents large values), which a
+// coarse chi-square on subsets can miss.
+
+#ifndef SAMPWH_STATS_KS_TEST_H_
+#define SAMPWH_STATS_KS_TEST_H_
+
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace sampwh {
+
+struct KsResult {
+  /// The KS statistic D = sup |F_empirical - F_reference|.
+  double statistic = 0.0;
+  /// Asymptotic p-value via the Kolmogorov distribution.
+  double p_value = 1.0;
+  uint64_t n = 0;
+};
+
+/// Asymptotic Kolmogorov complementary CDF
+/// Q(lambda) = 2 sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2).
+double KolmogorovQ(double lambda);
+
+/// Tests `values` (continuous, any order) against U(lo, hi).
+KsResult KsTestUniform(std::vector<double> values, double lo, double hi);
+
+/// Tests integer sample values against the discrete uniform law on
+/// [lo, hi]; ties are handled by comparing against the right-continuous
+/// reference CDF, which is conservative.
+KsResult KsTestDiscreteUniform(std::vector<Value> values, Value lo, Value hi);
+
+/// Two-sample KS test (e.g. sampler output vs. a reference sampler).
+KsResult KsTestTwoSample(std::vector<double> a, std::vector<double> b);
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_STATS_KS_TEST_H_

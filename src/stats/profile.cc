@@ -1,0 +1,108 @@
+#include "src/stats/profile.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "src/stats/estimators.h"
+
+namespace sampwh {
+
+Result<ColumnProfile> ProfileColumn(const PartitionSample& sample,
+                                    size_t max_heavy_hitters) {
+  SAMPWH_RETURN_IF_ERROR(sample.Validate());
+  if (sample.size() == 0) {
+    return Status::FailedPrecondition("cannot profile an empty sample");
+  }
+  ColumnProfile profile;
+  profile.parent_size = sample.parent_size();
+  profile.sample_size = sample.size();
+  profile.phase = sample.phase();
+  profile.exact = sample.phase() == SamplePhase::kExhaustive;
+
+  profile.min_value = std::numeric_limits<Value>::max();
+  profile.max_value = std::numeric_limits<Value>::min();
+  double sum = 0.0;
+  uint64_t singletons = 0;
+  std::vector<HeavyHitter> hitters;
+  const double expansion =
+      static_cast<double>(sample.parent_size()) /
+      static_cast<double>(sample.size());
+  sample.histogram().ForEach([&](Value v, uint64_t count) {
+    profile.min_value = std::min(profile.min_value, v);
+    profile.max_value = std::max(profile.max_value, v);
+    sum += static_cast<double>(v) * static_cast<double>(count);
+    if (count == 1) ++singletons;
+    hitters.push_back(HeavyHitter{
+        v, count, static_cast<double>(count) * expansion});
+  });
+  profile.mean = sum / static_cast<double>(sample.size());
+  profile.distinct_in_sample = sample.histogram().distinct_count();
+  profile.singleton_fraction =
+      static_cast<double>(singletons) /
+      static_cast<double>(profile.distinct_in_sample);
+
+  SAMPWH_ASSIGN_OR_RETURN(Estimate distinct, EstimateDistinctCount(sample));
+  profile.estimated_distinct = distinct.value;
+  profile.key_likelihood =
+      profile.parent_size == 0
+          ? 0.0
+          : distinct.value / static_cast<double>(profile.parent_size);
+
+  std::sort(hitters.begin(), hitters.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              if (a.sample_count != b.sample_count) {
+                return a.sample_count > b.sample_count;
+              }
+              return a.value < b.value;
+            });
+  if (hitters.size() > max_heavy_hitters) {
+    hitters.resize(max_heavy_hitters);
+  }
+  profile.heavy_hitters = std::move(hitters);
+  return profile;
+}
+
+namespace {
+
+// Intersection and per-side distinct counts of two sample domains.
+void DomainCounts(const PartitionSample& a, const PartitionSample& b,
+                  uint64_t* a_distinct, uint64_t* b_distinct,
+                  uint64_t* intersection) {
+  std::set<Value> domain_a;
+  a.histogram().ForEach([&](Value v, uint64_t) { domain_a.insert(v); });
+  *a_distinct = domain_a.size();
+  *b_distinct = 0;
+  *intersection = 0;
+  b.histogram().ForEach([&](Value v, uint64_t) {
+    ++*b_distinct;
+    if (domain_a.contains(v)) ++*intersection;
+  });
+}
+
+}  // namespace
+
+double SampleDomainOverlap(const PartitionSample& a,
+                           const PartitionSample& b) {
+  uint64_t a_distinct;
+  uint64_t b_distinct;
+  uint64_t intersection;
+  DomainCounts(a, b, &a_distinct, &b_distinct, &intersection);
+  const uint64_t union_size = a_distinct + b_distinct - intersection;
+  if (union_size == 0) return 0.0;
+  return static_cast<double>(intersection) /
+         static_cast<double>(union_size);
+}
+
+double SampleDomainContainment(const PartitionSample& a,
+                               const PartitionSample& b) {
+  uint64_t a_distinct;
+  uint64_t b_distinct;
+  uint64_t intersection;
+  DomainCounts(a, b, &a_distinct, &b_distinct, &intersection);
+  if (a_distinct == 0) return 0.0;
+  return static_cast<double>(intersection) /
+         static_cast<double>(a_distinct);
+}
+
+}  // namespace sampwh

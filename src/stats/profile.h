@@ -1,0 +1,69 @@
+// Column profiling over warehouse samples — the metadata-discovery
+// consumer the paper's introduction motivates (BHUNT, CORDS, data
+// integration): summarize a data set from its bounded-footprint sample
+// alone, and compare two columns' profiles for join-path evidence.
+
+#ifndef SAMPWH_STATS_PROFILE_H_
+#define SAMPWH_STATS_PROFILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/sample.h"
+#include "src/util/status.h"
+
+namespace sampwh {
+
+/// A (value, estimated parent frequency) heavy hitter.
+struct HeavyHitter {
+  Value value = 0;
+  uint64_t sample_count = 0;
+  double estimated_frequency = 0.0;  ///< estimated count in the parent
+};
+
+/// Sample-derived summary of one data set (column).
+struct ColumnProfile {
+  uint64_t parent_size = 0;
+  uint64_t sample_size = 0;
+  SamplePhase phase = SamplePhase::kExhaustive;
+  /// Exact when the sample is exhaustive.
+  bool exact = false;
+
+  Value min_value = 0;
+  Value max_value = 0;
+  double mean = 0.0;
+
+  /// Distinct values observed in the sample (a lower bound for the parent).
+  uint64_t distinct_in_sample = 0;
+  /// Chao-corrected estimate of the parent's distinct count.
+  double estimated_distinct = 0.0;
+  /// estimated_distinct / parent_size: ~1 flags a key/unique column.
+  double key_likelihood = 0.0;
+  /// Fraction of sampled values whose sample count is 1; high values
+  /// indicate a wide, key-like domain, low values a categorical column.
+  double singleton_fraction = 0.0;
+
+  /// Most frequent values, by sample count, descending.
+  std::vector<HeavyHitter> heavy_hitters;
+};
+
+/// Builds a profile from a (uniform) partition sample. `max_heavy_hitters`
+/// caps the heavy-hitter list.
+Result<ColumnProfile> ProfileColumn(const PartitionSample& sample,
+                                    size_t max_heavy_hitters = 10);
+
+/// Jaccard overlap of the distinct values observed in two samples:
+/// |A ∩ B| / |A ∪ B|. High overlap between columns sampled over a shared
+/// (dictionary) domain is join-path evidence.
+double SampleDomainOverlap(const PartitionSample& a,
+                           const PartitionSample& b);
+
+/// Containment of a's sampled domain in b's: |A ∩ B| / |A|. Asymmetric:
+/// foreign keys are contained in the primary key's domain but not vice
+/// versa.
+double SampleDomainContainment(const PartitionSample& a,
+                               const PartitionSample& b);
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_STATS_PROFILE_H_

@@ -1,0 +1,137 @@
+#include "src/stats/uniformity.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/util/logging.h"
+
+namespace sampwh {
+
+SubsetRanker::SubsetRanker(uint32_t n) : n_(n) {
+  SAMPWH_CHECK(n >= 1 && n <= 62);  // ranks must fit comfortably in 64 bits
+  choose_.assign(n + 1, std::vector<uint64_t>(n + 1, 0));
+  for (uint32_t m = 0; m <= n; ++m) {
+    choose_[m][0] = 1;
+    for (uint32_t k = 1; k <= m; ++k) {
+      choose_[m][k] =
+          choose_[m - 1][k - 1] + (k <= m - 1 ? choose_[m - 1][k] : 0);
+    }
+  }
+}
+
+uint64_t SubsetRanker::Choose(uint32_t m, uint32_t k) const {
+  if (k > m || m > n_) return 0;
+  return choose_[m][k];
+}
+
+uint64_t SubsetRanker::Rank(
+    const std::vector<uint32_t>& sorted_indices) const {
+  // Combinatorial number system: rank = sum_i C(c_i, i + 1) for the sorted
+  // indices c_0 < c_1 < ... < c_{k-1}.
+  uint64_t rank = 0;
+  for (size_t i = 0; i < sorted_indices.size(); ++i) {
+    SAMPWH_DCHECK(sorted_indices[i] < n_);
+    rank += Choose(sorted_indices[i], static_cast<uint32_t>(i) + 1);
+  }
+  return rank;
+}
+
+std::vector<uint32_t> SubsetRanker::Unrank(uint64_t rank, uint32_t k) const {
+  std::vector<uint32_t> indices(k);
+  uint64_t remaining = rank;
+  for (uint32_t i = k; i >= 1; --i) {
+    // Largest c with C(c, i) <= remaining.
+    uint32_t c = i - 1;
+    while (c + 1 < n_ && Choose(c + 1, i) <= remaining) ++c;
+    indices[i - 1] = c;
+    remaining -= Choose(c, i);
+  }
+  return indices;
+}
+
+double UniformityReport::MinPValue() const {
+  double min_p = 1.0;
+  for (const auto& [k, result] : by_size) {
+    if (result.tested) min_p = std::min(min_p, result.chi_square.p_value);
+  }
+  return min_p;
+}
+
+uint64_t UniformityReport::TestedClasses() const {
+  uint64_t tested = 0;
+  for (const auto& [k, result] : by_size) {
+    if (result.tested) ++tested;
+  }
+  return tested;
+}
+
+UniformityReport RunSubsetUniformityExperiment(
+    const std::vector<Value>& distinct_population, uint64_t trials,
+    const SampleTrialFn& sample_fn, Pcg64& rng,
+    double min_expected_per_cell) {
+  const uint32_t n = static_cast<uint32_t>(distinct_population.size());
+  SubsetRanker ranker(n);
+  std::unordered_map<Value, uint32_t> index_of;
+  for (uint32_t i = 0; i < n; ++i) {
+    const bool inserted =
+        index_of.emplace(distinct_population[i], i).second;
+    SAMPWH_CHECK(inserted);  // population must be distinct
+  }
+
+  // counts[k][rank]
+  std::map<uint64_t, std::vector<uint64_t>> counts;
+  for (uint64_t t = 0; t < trials; ++t) {
+    std::vector<Value> sampled = sample_fn(rng);
+    std::vector<uint32_t> indices;
+    indices.reserve(sampled.size());
+    for (const Value v : sampled) {
+      const auto it = index_of.find(v);
+      SAMPWH_CHECK(it != index_of.end());
+      indices.push_back(it->second);
+    }
+    std::sort(indices.begin(), indices.end());
+    SAMPWH_CHECK(std::adjacent_find(indices.begin(), indices.end()) ==
+                 indices.end());  // distinct population => sample is a set
+    const uint64_t k = indices.size();
+    auto& cells = counts[k];
+    if (cells.empty()) cells.assign(ranker.Choose(n, k), 0);
+    ++cells[ranker.Rank(indices)];
+  }
+
+  UniformityReport report;
+  report.total_trials = trials;
+  for (auto& [k, cells] : counts) {
+    SizeClassResult result;
+    result.num_subsets = cells.size();
+    for (const uint64_t c : cells) result.trials += c;
+    // Size classes 0 and n have a single subset: nothing to test.
+    if (cells.size() >= 2 &&
+        static_cast<double>(result.trials) >=
+            min_expected_per_cell * static_cast<double>(cells.size())) {
+      result.chi_square = ChiSquareUniformFit(cells);
+      result.tested = true;
+    }
+    report.by_size[k] = result;
+  }
+  return report;
+}
+
+std::map<HistogramOutcome, uint64_t> TallyHistogramOutcomes(
+    uint64_t trials, const SampleTrialFn& sample_fn, Pcg64& rng) {
+  std::map<HistogramOutcome, uint64_t> tally;
+  for (uint64_t t = 0; t < trials; ++t) {
+    std::vector<Value> sampled = sample_fn(rng);
+    std::sort(sampled.begin(), sampled.end());
+    HistogramOutcome outcome;
+    for (size_t i = 0; i < sampled.size();) {
+      size_t j = i;
+      while (j < sampled.size() && sampled[j] == sampled[i]) ++j;
+      outcome.emplace_back(sampled[i], j - i);
+      i = j;
+    }
+    ++tally[outcome];
+  }
+  return tally;
+}
+
+}  // namespace sampwh

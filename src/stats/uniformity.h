@@ -1,0 +1,96 @@
+// Empirical uniformity verification (the library's central statistical
+// claim, §2 requirement 1, and the §3.3 counterexample).
+//
+// A sampling scheme is uniform iff, conditioned on the sample size k, every
+// size-k subset of the population is equally likely. For a small population
+// of DISTINCT values, the produced value set identifies the element subset
+// exactly, so the harness can enumerate all C(n, k) subsets, tally how
+// often each one is produced over many independent runs, and chi-square
+// each size class against the uniform law.
+//
+// For populations WITH duplicates (the paper's {a,a,a,b,b,b} example),
+// element subsets are not observable; the harness instead tallies compact
+// histogram outcomes, which is exactly the granularity at which the paper
+// proves concise sampling non-uniform (outcome H3 = {(a,2),b} must occur
+// nine times as often as H1 = {(a,3)} under any uniform scheme, but concise
+// sampling never produces it).
+
+#ifndef SAMPWH_STATS_UNIFORMITY_H_
+#define SAMPWH_STATS_UNIFORMITY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/stats/chi_square.h"
+#include "src/util/random.h"
+
+namespace sampwh {
+
+/// Ranks size-k subsets of {0, ..., n-1} with the combinatorial number
+/// system: a bijection between sorted index tuples and [0, C(n, k)).
+class SubsetRanker {
+ public:
+  /// Supports subsets of a ground set of size n (kept small: the table is
+  /// O(n^2) and ranks must fit in 64 bits).
+  explicit SubsetRanker(uint32_t n);
+
+  uint32_t n() const { return n_; }
+
+  /// C(m, k) from the precomputed table, m <= n.
+  uint64_t Choose(uint32_t m, uint32_t k) const;
+
+  /// Rank of a strictly increasing index tuple within its size class.
+  uint64_t Rank(const std::vector<uint32_t>& sorted_indices) const;
+
+  /// Inverse of Rank.
+  std::vector<uint32_t> Unrank(uint64_t rank, uint32_t k) const;
+
+ private:
+  uint32_t n_;
+  std::vector<std::vector<uint64_t>> choose_;
+};
+
+/// One trial of a sampling experiment: sample the (implicit, fixed)
+/// population and return the sampled values.
+using SampleTrialFn = std::function<std::vector<Value>(Pcg64&)>;
+
+/// Chi-square verdict for one sample-size class.
+struct SizeClassResult {
+  uint64_t trials = 0;       ///< trials that produced this size
+  uint64_t num_subsets = 0;  ///< C(n, k)
+  bool tested = false;       ///< false when expected counts were too small
+  ChiSquareResult chi_square;
+};
+
+struct UniformityReport {
+  uint64_t total_trials = 0;
+  std::map<uint64_t, SizeClassResult> by_size;
+
+  /// Smallest p-value across all tested size classes (1.0 if none tested).
+  double MinPValue() const;
+  /// Number of size classes that were actually chi-square tested.
+  uint64_t TestedClasses() const;
+};
+
+/// Runs `trials` independent trials of `sample_fn` against a population of
+/// DISTINCT values, maps each returned value set to its subset rank, and
+/// chi-squares every size class whose expected per-cell count reaches
+/// `min_expected_per_cell`.
+UniformityReport RunSubsetUniformityExperiment(
+    const std::vector<Value>& distinct_population, uint64_t trials,
+    const SampleTrialFn& sample_fn, Pcg64& rng,
+    double min_expected_per_cell = 5.0);
+
+/// Outcome tally keyed by the sorted compact histogram of the returned
+/// sample — the duplicate-friendly granularity of the §3.3 example.
+using HistogramOutcome = std::vector<std::pair<Value, uint64_t>>;
+
+std::map<HistogramOutcome, uint64_t> TallyHistogramOutcomes(
+    uint64_t trials, const SampleTrialFn& sample_fn, Pcg64& rng);
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_STATS_UNIFORMITY_H_

@@ -1,0 +1,63 @@
+#include "src/util/fenwick_tree.h"
+
+#include "src/util/logging.h"
+
+namespace sampwh {
+
+FenwickTree::FenwickTree(size_t size)
+    : size_(size), total_(0), tree_(size + 1, 0) {}
+
+FenwickTree::FenwickTree(const std::vector<uint64_t>& weights)
+    : size_(weights.size()), total_(0), tree_(weights.size() + 1, 0) {
+  // O(n) construction: place each weight, then push partial sums upward.
+  for (size_t i = 0; i < size_; ++i) {
+    tree_[i + 1] += weights[i];
+    total_ += weights[i];
+  }
+  for (size_t i = 1; i <= size_; ++i) {
+    const size_t parent = i + (i & (~i + 1));
+    if (parent <= size_) tree_[parent] += tree_[i];
+  }
+}
+
+void FenwickTree::Add(size_t i, int64_t delta) {
+  SAMPWH_DCHECK(i < size_);
+  total_ = static_cast<uint64_t>(static_cast<int64_t>(total_) + delta);
+  for (size_t j = i + 1; j <= size_; j += j & (~j + 1)) {
+    tree_[j] = static_cast<uint64_t>(static_cast<int64_t>(tree_[j]) + delta);
+  }
+}
+
+uint64_t FenwickTree::PrefixSum(size_t i) const {
+  SAMPWH_DCHECK(i < size_);
+  uint64_t sum = 0;
+  for (size_t j = i + 1; j > 0; j -= j & (~j + 1)) {
+    sum += tree_[j];
+  }
+  return sum;
+}
+
+uint64_t FenwickTree::Get(size_t i) const {
+  uint64_t value = PrefixSum(i);
+  if (i > 0) value -= PrefixSum(i - 1);
+  return value;
+}
+
+size_t FenwickTree::FindByPrefixSum(uint64_t target) const {
+  SAMPWH_DCHECK(target >= 1 && target <= total_);
+  // Binary lifting over the implicit tree.
+  size_t pos = 0;
+  size_t bit = 1;
+  while ((bit << 1) <= size_) bit <<= 1;
+  uint64_t remaining = target;
+  for (; bit > 0; bit >>= 1) {
+    const size_t next = pos + bit;
+    if (next <= size_ && tree_[next] < remaining) {
+      pos = next;
+      remaining -= tree_[next];
+    }
+  }
+  return pos;  // pos is 0-based index of the found slot
+}
+
+}  // namespace sampwh

@@ -1,0 +1,53 @@
+// Fenwick (binary indexed) tree over non-negative integer weights, with
+// prefix-sum search. purgeReservoir (paper Fig. 4, line 9) must repeatedly
+// pick a uniformly random victim from a reservoir stored as (value, count)
+// pairs — i.e. select the pair whose cumulative count brackets a random
+// index — and then decrement that count. The Fenwick tree makes each
+// select+update O(log m) instead of the O(m) scan in the paper's pseudocode.
+
+#ifndef SAMPWH_UTIL_FENWICK_TREE_H_
+#define SAMPWH_UTIL_FENWICK_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sampwh {
+
+class FenwickTree {
+ public:
+  /// A tree over `size` slots, all initially 0.
+  explicit FenwickTree(size_t size);
+
+  /// A tree initialized from `weights` in O(n).
+  explicit FenwickTree(const std::vector<uint64_t>& weights);
+
+  size_t size() const { return size_; }
+
+  /// Adds `delta` to slot i (delta may be negative as long as the slot
+  /// value stays non-negative; callers maintain that invariant).
+  void Add(size_t i, int64_t delta);
+
+  /// Sum of slots [0, i] inclusive.
+  uint64_t PrefixSum(size_t i) const;
+
+  /// Sum of all slots.
+  uint64_t Total() const { return total_; }
+
+  /// Value of slot i.
+  uint64_t Get(size_t i) const;
+
+  /// Returns the smallest index i such that PrefixSum(i) >= target, for
+  /// 1 <= target <= Total(). This maps a uniform random integer in
+  /// [1, Total()] to a slot with probability proportional to its weight.
+  size_t FindByPrefixSum(uint64_t target) const;
+
+ private:
+  size_t size_;
+  uint64_t total_;
+  std::vector<uint64_t> tree_;  // 1-based internal layout
+};
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_UTIL_FENWICK_TREE_H_

@@ -1,0 +1,36 @@
+// Lightweight assertion macros. SAMPWH_CHECK fires in all build types
+// (invariant violations in a sampling warehouse silently corrupt statistics,
+// which is worse than crashing); SAMPWH_DCHECK compiles out in release.
+
+#ifndef SAMPWH_UTIL_LOGGING_H_
+#define SAMPWH_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sampwh::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "SAMPWH_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace sampwh::internal
+
+#define SAMPWH_CHECK(expr)                                        \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::sampwh::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                             \
+  } while (0)
+
+#ifdef NDEBUG
+#define SAMPWH_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#else
+#define SAMPWH_DCHECK(expr) SAMPWH_CHECK(expr)
+#endif
+
+#endif  // SAMPWH_UTIL_LOGGING_H_

@@ -1,0 +1,74 @@
+// Binary serialization with bounds-checked decoding. Partition samples are
+// persisted in the sample warehouse with varint-compressed counts, so a
+// compact histogram stays compact on disk as well as in memory.
+
+#ifndef SAMPWH_UTIL_SERIALIZATION_H_
+#define SAMPWH_UTIL_SERIALIZATION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace sampwh {
+
+/// Append-only encoder for the warehouse on-disk format.
+class BinaryWriter {
+ public:
+  /// Little-endian fixed-width integers.
+  void PutFixed32(uint32_t v);
+  void PutFixed64(uint64_t v);
+  /// LEB128 variable-length unsigned integer (1-10 bytes).
+  void PutVarint64(uint64_t v);
+  /// Zig-zag-mapped signed integer, then varint.
+  void PutVarintSigned64(int64_t v);
+  /// IEEE-754 double, bit-cast through a fixed 64.
+  void PutDouble(double v);
+  /// Length-prefixed (varint) byte string.
+  void PutString(std::string_view s);
+  /// Raw bytes with no length prefix.
+  void PutRaw(const void* data, size_t n);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string Release() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Decoder over a borrowed byte range; every Get returns OutOfRange on
+/// truncated input and Corruption on malformed varints, never reads past
+/// the end.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data), pos_(0) {}
+
+  Status GetFixed32(uint32_t* v);
+  Status GetFixed64(uint64_t* v);
+  Status GetVarint64(uint64_t* v);
+  Status GetVarintSigned64(int64_t* v);
+  Status GetDouble(double* v);
+  Status GetString(std::string* s);
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_;
+};
+
+/// Writes `contents` to `path` atomically (write to a temp file in the same
+/// directory, then rename).
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+/// Reads the whole file at `path` into `*contents`.
+Status ReadFile(const std::string& path, std::string* contents);
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_UTIL_SERIALIZATION_H_

@@ -1,0 +1,248 @@
+#include "src/util/special_functions.h"
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "src/util/logging.h"
+
+namespace sampwh {
+
+namespace {
+
+// Lanczos approximation, g = 7, 9 coefficients (Godfrey / Boost parameters).
+constexpr double kLanczosG = 7.0;
+constexpr std::array<double, 9> kLanczosCoefficients = {
+    0.99999999999980993,  676.5203681218851,     -1259.1392167224028,
+    771.32342877765313,   -176.61502916214059,   12.507343278686905,
+    -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+
+constexpr double kLogSqrtTwoPi = 0.91893853320467274178;  // ln sqrt(2*pi)
+
+// ln(n!) table for n <= 255.
+constexpr int kLogFactorialTableSize = 256;
+
+const std::array<double, kLogFactorialTableSize>& LogFactorialTable() {
+  static const std::array<double, kLogFactorialTableSize> table = [] {
+    std::array<double, kLogFactorialTableSize> t{};
+    t[0] = 0.0;
+    for (int i = 1; i < kLogFactorialTableSize; ++i) {
+      t[i] = t[i - 1] + std::log(static_cast<double>(i));
+    }
+    return t;
+  }();
+  return table;
+}
+
+// Continued fraction for the incomplete beta function (modified Lentz).
+double IncompleteBetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 400;
+  constexpr double kEpsilon = 1e-15;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const double m2 = 2.0 * m;
+    // Even step.
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    // Odd step.
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+// Series expansion for P(a, x), valid for x < a + 1.
+double LowerIncompleteGammaSeries(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int n = 0; n < 500; ++n) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * 1e-16) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
+}
+
+// Continued fraction for Q(a, x), valid for x >= a + 1 (modified Lentz).
+double UpperIncompleteGammaContinuedFraction(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-16) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - LogGamma(a));
+}
+
+}  // namespace
+
+double LogGamma(double x) {
+  SAMPWH_CHECK(x > 0.0);
+  if (x < 0.5) {
+    // Reflection: Gamma(x) Gamma(1-x) = pi / sin(pi x).
+    return std::log(M_PI / std::sin(M_PI * x)) - LogGamma(1.0 - x);
+  }
+  const double z = x - 1.0;
+  double sum = kLanczosCoefficients[0];
+  for (size_t i = 1; i < kLanczosCoefficients.size(); ++i) {
+    sum += kLanczosCoefficients[i] / (z + static_cast<double>(i));
+  }
+  const double t = z + kLanczosG + 0.5;
+  return kLogSqrtTwoPi + (z + 0.5) * std::log(t) - t + std::log(sum);
+}
+
+double LogFactorial(uint64_t n) {
+  if (n < kLogFactorialTableSize) {
+    return LogFactorialTable()[n];
+  }
+  return LogGamma(static_cast<double>(n) + 1.0);
+}
+
+double LogBinomialCoefficient(uint64_t n, uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  SAMPWH_CHECK(a > 0.0 && b > 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double log_front = LogGamma(a + b) - LogGamma(a) - LogGamma(b) +
+                           a * std::log(x) + b * std::log1p(-x);
+  const double front = std::exp(log_front);
+  // Use the symmetry relation to keep the continued fraction in its
+  // fast-converging region.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * IncompleteBetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * IncompleteBetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double RegularizedLowerIncompleteGamma(double a, double x) {
+  SAMPWH_CHECK(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return LowerIncompleteGammaSeries(a, x);
+  return 1.0 - UpperIncompleteGammaContinuedFraction(a, x);
+}
+
+double RegularizedUpperIncompleteGamma(double a, double x) {
+  SAMPWH_CHECK(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - LowerIncompleteGammaSeries(a, x);
+  return UpperIncompleteGammaContinuedFraction(a, x);
+}
+
+double Erfc(double x) {
+  if (x < 0.0) return 2.0 - Erfc(-x);
+  return RegularizedUpperIncompleteGamma(0.5, x * x);
+}
+
+double Erf(double x) { return 1.0 - Erfc(x); }
+
+double NormalCdf(double x) { return 0.5 * Erfc(-x / M_SQRT2); }
+
+double NormalQuantile(double p) {
+  SAMPWH_CHECK(p > 0.0 && p < 1.0);
+  // Acklam's algorithm: rational approximations on the central region and
+  // both tails.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log1p(-p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+
+  // One Halley refinement step against the forward CDF.
+  const double e = NormalCdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double BinomialTailProbability(uint64_t n, double q, uint64_t m) {
+  SAMPWH_CHECK(q >= 0.0 && q <= 1.0);
+  if (m >= n) return 0.0;
+  if (q <= 0.0) return 0.0;
+  if (q >= 1.0) return 1.0;
+  // P{X > m} = P{X >= m+1} = I_q(m+1, n-m).
+  return RegularizedIncompleteBeta(static_cast<double>(m) + 1.0,
+                                   static_cast<double>(n - m), q);
+}
+
+double ChiSquareCdf(double x, double df) {
+  SAMPWH_CHECK(df > 0.0);
+  if (x <= 0.0) return 0.0;
+  return RegularizedLowerIncompleteGamma(df / 2.0, x / 2.0);
+}
+
+double BinomialPmf(uint64_t n, double q, uint64_t k) {
+  if (k > n) return 0.0;
+  if (q <= 0.0) return k == 0 ? 1.0 : 0.0;
+  if (q >= 1.0) return k == n ? 1.0 : 0.0;
+  const double log_pmf = LogBinomialCoefficient(n, k) +
+                         static_cast<double>(k) * std::log(q) +
+                         static_cast<double>(n - k) * std::log1p(-q);
+  return std::exp(log_pmf);
+}
+
+}  // namespace sampwh

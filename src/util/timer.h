@@ -1,0 +1,39 @@
+// Wall-clock and CPU timers for the benchmark harnesses. The paper reports
+// elapsed time decomposed into sample time and merge time (Figs. 9-14); the
+// CPU timer lets the harness also report CPU usage as the paper's
+// instrumented executables did.
+
+#ifndef SAMPWH_UTIL_TIMER_H_
+#define SAMPWH_UTIL_TIMER_H_
+
+#include <cstdint>
+
+namespace sampwh {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+  void Restart();
+  /// Seconds since construction or the last Restart().
+  double ElapsedSeconds() const;
+
+ private:
+  int64_t start_ns_;
+};
+
+/// Per-process CPU-time stopwatch (sums over all threads).
+class CpuTimer {
+ public:
+  CpuTimer() { Restart(); }
+  void Restart();
+  /// CPU-seconds consumed since construction or the last Restart().
+  double ElapsedSeconds() const;
+
+ private:
+  int64_t start_ns_;
+};
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_UTIL_TIMER_H_

@@ -1,0 +1,47 @@
+// Dictionary encoding between arbitrary byte-string tokens and the 64-bit
+// Value codes the samplers operate on — the column-store device that lets
+// the warehouse sample string-valued data sets (XML leaf instances, text
+// columns) without teaching the core algorithms about variable-length
+// payloads. Codes are assigned densely in first-seen order.
+
+#ifndef SAMPWH_WAREHOUSE_DICTIONARY_H_
+#define SAMPWH_WAREHOUSE_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/util/serialization.h"
+#include "src/util/status.h"
+
+namespace sampwh {
+
+class ValueDictionary {
+ public:
+  ValueDictionary() = default;
+
+  /// Returns the code for `token`, assigning the next free code on first
+  /// sight.
+  Value Encode(std::string_view token);
+
+  /// Returns the code for `token` without inserting, or NotFound.
+  Result<Value> Lookup(std::string_view token) const;
+
+  /// Inverse mapping; OutOfRange for unknown codes.
+  Result<std::string> Decode(Value code) const;
+
+  uint64_t size() const { return tokens_.size(); }
+
+  void SerializeTo(BinaryWriter* writer) const;
+  static Result<ValueDictionary> DeserializeFrom(BinaryReader* reader);
+
+ private:
+  std::unordered_map<std::string, Value> codes_;
+  std::vector<std::string> tokens_;
+};
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_WAREHOUSE_DICTIONARY_H_

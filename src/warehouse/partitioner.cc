@@ -1,0 +1,58 @@
+#include "src/warehouse/partitioner.h"
+
+#include "src/util/logging.h"
+
+namespace sampwh {
+
+CountPartitioner::CountPartitioner(uint64_t max_elements)
+    : max_elements_(max_elements) {
+  SAMPWH_CHECK(max_elements >= 1);
+}
+
+bool CountPartitioner::ShouldCloseBefore(const PartitionProgress& progress,
+                                         uint64_t next_timestamp) {
+  (void)next_timestamp;
+  return progress.elements >= max_elements_;
+}
+
+TemporalPartitioner::TemporalPartitioner(uint64_t window_ticks)
+    : window_ticks_(window_ticks) {
+  SAMPWH_CHECK(window_ticks >= 1);
+}
+
+bool TemporalPartitioner::ShouldCloseBefore(
+    const PartitionProgress& progress, uint64_t next_timestamp) {
+  if (progress.elements == 0) return false;
+  return next_timestamp >= progress.first_timestamp + window_ticks_;
+}
+
+RatioTriggerPartitioner::RatioTriggerPartitioner(double min_sampling_fraction,
+                                                 uint64_t min_elements)
+    : min_sampling_fraction_(min_sampling_fraction),
+      min_elements_(min_elements) {
+  SAMPWH_CHECK(min_sampling_fraction > 0.0 && min_sampling_fraction <= 1.0);
+}
+
+bool RatioTriggerPartitioner::ShouldCloseAfter(
+    const PartitionProgress& progress) {
+  if (progress.elements < min_elements_) return false;
+  const double fraction = static_cast<double>(progress.sample_size) /
+                          static_cast<double>(progress.elements);
+  return fraction <= min_sampling_fraction_;
+}
+
+std::unique_ptr<Partitioner> MakeCountPartitioner(uint64_t max_elements) {
+  return std::make_unique<CountPartitioner>(max_elements);
+}
+
+std::unique_ptr<Partitioner> MakeTemporalPartitioner(uint64_t window_ticks) {
+  return std::make_unique<TemporalPartitioner>(window_ticks);
+}
+
+std::unique_ptr<Partitioner> MakeRatioTriggerPartitioner(
+    double min_sampling_fraction, uint64_t min_elements) {
+  return std::make_unique<RatioTriggerPartitioner>(min_sampling_fraction,
+                                                   min_elements);
+}
+
+}  // namespace sampwh

@@ -1,0 +1,100 @@
+// Stream partitioning policies (§2): the incoming stream of a data set is
+// cut into mutually disjoint partitions, each of which is sampled
+// independently. Three policies from the paper's scenarios:
+//
+//  * CountPartitioner    — fixed-size partitions ("form data-set partitions
+//                          of specified size on the fly", §4.3, which also
+//                          gives Algorithm HB its a priori N).
+//  * TemporalPartitioner — one partition per time window ("one partition
+//                          per day ... combine daily samples to form
+//                          weekly, monthly, or yearly samples").
+//  * RatioTriggerPartitioner — robustness against rate fluctuation: keep a
+//                          fixed-size sample and finalize the partition as
+//                          soon as sample/parent falls to a minimum
+//                          sampling fraction, then start a new partition.
+
+#ifndef SAMPWH_WAREHOUSE_PARTITIONER_H_
+#define SAMPWH_WAREHOUSE_PARTITIONER_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace sampwh {
+
+/// Running state of the partition currently being filled, as visible to a
+/// partitioning policy.
+struct PartitionProgress {
+  uint64_t elements = 0;     ///< parent elements in the open partition
+  uint64_t sample_size = 0;  ///< current sample size for it
+  uint64_t first_timestamp = 0;
+  uint64_t last_timestamp = 0;
+};
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Close the open partition before accepting an element with timestamp
+  /// `next_timestamp`? (Used by count/temporal policies: the arriving
+  /// element belongs to the next partition.)
+  virtual bool ShouldCloseBefore(const PartitionProgress& progress,
+                                 uint64_t next_timestamp) {
+    (void)progress;
+    (void)next_timestamp;
+    return false;
+  }
+
+  /// Close the open partition after the element just accepted? (Used by
+  /// the ratio trigger: the element that drove the fraction to the bound
+  /// still belongs to the finalized partition.)
+  virtual bool ShouldCloseAfter(const PartitionProgress& progress) {
+    (void)progress;
+    return false;
+  }
+};
+
+/// Fixed-size partitions of `max_elements` each.
+class CountPartitioner : public Partitioner {
+ public:
+  explicit CountPartitioner(uint64_t max_elements);
+  bool ShouldCloseBefore(const PartitionProgress& progress,
+                         uint64_t next_timestamp) override;
+
+ private:
+  uint64_t max_elements_;
+};
+
+/// Tumbling event-time windows of `window_ticks`, aligned to the first
+/// element's timestamp within each window.
+class TemporalPartitioner : public Partitioner {
+ public:
+  explicit TemporalPartitioner(uint64_t window_ticks);
+  bool ShouldCloseBefore(const PartitionProgress& progress,
+                         uint64_t next_timestamp) override;
+
+ private:
+  uint64_t window_ticks_;
+};
+
+/// §2's on-the-fly trigger: finalize once sample_size/elements has dropped
+/// to `min_sampling_fraction` (and the partition holds at least
+/// `min_elements`, so a cold sampler does not trigger immediately).
+class RatioTriggerPartitioner : public Partitioner {
+ public:
+  RatioTriggerPartitioner(double min_sampling_fraction,
+                          uint64_t min_elements = 1);
+  bool ShouldCloseAfter(const PartitionProgress& progress) override;
+
+ private:
+  double min_sampling_fraction_;
+  uint64_t min_elements_;
+};
+
+std::unique_ptr<Partitioner> MakeCountPartitioner(uint64_t max_elements);
+std::unique_ptr<Partitioner> MakeTemporalPartitioner(uint64_t window_ticks);
+std::unique_ptr<Partitioner> MakeRatioTriggerPartitioner(
+    double min_sampling_fraction, uint64_t min_elements = 1);
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_WAREHOUSE_PARTITIONER_H_

@@ -1,0 +1,37 @@
+#include "src/warehouse/retention.h"
+
+#include <algorithm>
+
+namespace sampwh {
+
+std::vector<PartitionId> RetentionCandidates(
+    const std::vector<PartitionInfo>& partitions,
+    const RetentionPolicy& policy, uint64_t now) {
+  std::vector<PartitionId> expired;
+
+  if (policy.keep_window_ticks > 0 && now >= policy.keep_window_ticks) {
+    const uint64_t cutoff = now - policy.keep_window_ticks;
+    for (const PartitionInfo& p : partitions) {
+      if (p.max_timestamp < cutoff) expired.push_back(p.id);
+    }
+  }
+
+  if (policy.keep_last_partitions > 0 &&
+      partitions.size() > policy.keep_last_partitions) {
+    // Partitions are identified by monotonically assigned ids; "newest"
+    // means largest id.
+    std::vector<PartitionId> ids;
+    ids.reserve(partitions.size());
+    for (const PartitionInfo& p : partitions) ids.push_back(p.id);
+    std::sort(ids.begin(), ids.end());
+    const size_t drop = ids.size() - policy.keep_last_partitions;
+    expired.insert(expired.end(), ids.begin(),
+                   ids.begin() + static_cast<long>(drop));
+  }
+
+  std::sort(expired.begin(), expired.end());
+  expired.erase(std::unique(expired.begin(), expired.end()), expired.end());
+  return expired;
+}
+
+}  // namespace sampwh

@@ -1,0 +1,34 @@
+// Retention policies: decide which partitions to roll out as the paper's
+// §2 scenario slides its window ("as new daily samples are rolled in and
+// old daily samples are rolled out"). Policies compute candidates from
+// catalog metadata; the warehouse applies them.
+
+#ifndef SAMPWH_WAREHOUSE_RETENTION_H_
+#define SAMPWH_WAREHOUSE_RETENTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/warehouse/catalog.h"
+#include "src/warehouse/ids.h"
+#include "src/util/status.h"
+
+namespace sampwh {
+
+struct RetentionPolicy {
+  /// Roll out partitions whose max_timestamp < now - keep_window_ticks.
+  /// 0 disables the time criterion.
+  uint64_t keep_window_ticks = 0;
+  /// Keep at most this many newest partitions (by id); 0 disables.
+  uint64_t keep_last_partitions = 0;
+};
+
+/// Partitions of `partitions` that the policy would roll out at time
+/// `now`. A partition is a candidate when ANY enabled criterion expires it.
+std::vector<PartitionId> RetentionCandidates(
+    const std::vector<PartitionInfo>& partitions,
+    const RetentionPolicy& policy, uint64_t now);
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_WAREHOUSE_RETENTION_H_

@@ -1,0 +1,147 @@
+#include "src/warehouse/sample_store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "src/util/serialization.h"
+
+namespace sampwh {
+
+namespace {
+
+std::string SerializeSample(const PartitionSample& sample) {
+  BinaryWriter writer;
+  sample.SerializeTo(&writer);
+  return writer.Release();
+}
+
+Result<PartitionSample> DeserializeSample(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  return PartitionSample::DeserializeFrom(&reader);
+}
+
+}  // namespace
+
+Status InMemorySampleStore::Put(const PartitionKey& key,
+                                const PartitionSample& sample) {
+  SAMPWH_RETURN_IF_ERROR(sample.Validate());
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_[key] = SerializeSample(sample);
+  return Status::OK();
+}
+
+Result<PartitionSample> InMemorySampleStore::Get(
+    const PartitionKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = samples_.find(key);
+  if (it == samples_.end()) {
+    return Status::NotFound("no sample for partition");
+  }
+  return DeserializeSample(it->second);
+}
+
+Status InMemorySampleStore::Delete(const PartitionKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.erase(key) == 0) {
+    return Status::NotFound("no sample for partition");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<PartitionId>> InMemorySampleStore::List(
+    const DatasetId& dataset) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PartitionId> ids;
+  for (auto it = samples_.lower_bound(PartitionKey{dataset, 0});
+       it != samples_.end() && it->first.dataset == dataset; ++it) {
+    ids.push_back(it->first.partition);
+  }
+  return ids;
+}
+
+uint64_t InMemorySampleStore::TotalStoredBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [key, bytes] : samples_) total += bytes.size();
+  return total;
+}
+
+FileSampleStore::FileSampleStore(std::string directory)
+    : directory_(std::move(directory)) {}
+
+Result<std::unique_ptr<FileSampleStore>> FileSampleStore::Open(
+    const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::IOError("cannot create sample directory " + directory +
+                           ": " + ec.message());
+  }
+  return std::unique_ptr<FileSampleStore>(new FileSampleStore(directory));
+}
+
+std::string FileSampleStore::PathFor(const PartitionKey& key) const {
+  return directory_ + "/" + key.dataset + "." +
+         std::to_string(key.partition) + ".sample";
+}
+
+Status FileSampleStore::Put(const PartitionKey& key,
+                            const PartitionSample& sample) {
+  SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(key.dataset));
+  SAMPWH_RETURN_IF_ERROR(sample.Validate());
+  const std::string bytes = SerializeSample(sample);
+  std::lock_guard<std::mutex> lock(mu_);
+  return WriteFileAtomic(PathFor(key), bytes);
+}
+
+Result<PartitionSample> FileSampleStore::Get(const PartitionKey& key) const {
+  SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(key.dataset));
+  std::string bytes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SAMPWH_RETURN_IF_ERROR(ReadFile(PathFor(key), &bytes));
+  }
+  return DeserializeSample(bytes);
+}
+
+Status FileSampleStore::Delete(const PartitionKey& key) {
+  SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(key.dataset));
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  if (!std::filesystem::remove(PathFor(key), ec) || ec) {
+    return Status::NotFound("no sample file for partition");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<PartitionId>> FileSampleStore::List(
+    const DatasetId& dataset) const {
+  SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(dataset));
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PartitionId> ids;
+  const std::string prefix = dataset + ".";
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) != 0) continue;
+    const size_t id_begin = prefix.size();
+    const size_t id_end = name.find(".sample", id_begin);
+    if (id_end == std::string::npos ||
+        name.size() != id_end + 7 /* strlen(".sample") */) {
+      continue;
+    }
+    const std::string id_str = name.substr(id_begin, id_end - id_begin);
+    if (id_str.empty() ||
+        id_str.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    ids.push_back(std::stoull(id_str));
+  }
+  if (ec) return Status::IOError("cannot list " + directory_);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace sampwh

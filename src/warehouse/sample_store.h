@@ -1,0 +1,82 @@
+// Persistence for partition samples. The sample warehouse keeps one
+// serialized PartitionSample per (dataset, partition); roll-in writes it,
+// roll-out deletes it, queries read subsets back for merging. Two backends:
+// an in-memory map for tests and simulations, and a directory of one file
+// per sample with atomic replace for durability.
+
+#ifndef SAMPWH_WAREHOUSE_SAMPLE_STORE_H_
+#define SAMPWH_WAREHOUSE_SAMPLE_STORE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/sample.h"
+#include "src/warehouse/ids.h"
+
+namespace sampwh {
+
+class SampleStore {
+ public:
+  virtual ~SampleStore() = default;
+
+  /// Stores (replacing) the sample for `key`.
+  virtual Status Put(const PartitionKey& key,
+                     const PartitionSample& sample) = 0;
+
+  /// Loads the sample for `key`; NotFound if absent.
+  virtual Result<PartitionSample> Get(const PartitionKey& key) const = 0;
+
+  /// Removes the sample for `key`; NotFound if absent.
+  virtual Status Delete(const PartitionKey& key) = 0;
+
+  /// All partition ids stored for `dataset`, ascending.
+  virtual Result<std::vector<PartitionId>> List(
+      const DatasetId& dataset) const = 0;
+};
+
+/// Map-backed store; thread-safe.
+class InMemorySampleStore : public SampleStore {
+ public:
+  Status Put(const PartitionKey& key, const PartitionSample& sample) override;
+  Result<PartitionSample> Get(const PartitionKey& key) const override;
+  Status Delete(const PartitionKey& key) override;
+  Result<std::vector<PartitionId>> List(
+      const DatasetId& dataset) const override;
+
+  /// Total serialized footprint currently held (bytes of sample payloads);
+  /// lets tests assert the warehouse-wide storage behavior.
+  uint64_t TotalStoredBytes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<PartitionKey, std::string> samples_;  // serialized form
+};
+
+/// One file per sample under `directory` (created if missing), written with
+/// atomic replace; thread-safe.
+class FileSampleStore : public SampleStore {
+ public:
+  static Result<std::unique_ptr<FileSampleStore>> Open(
+      const std::string& directory);
+
+  Status Put(const PartitionKey& key, const PartitionSample& sample) override;
+  Result<PartitionSample> Get(const PartitionKey& key) const override;
+  Status Delete(const PartitionKey& key) override;
+  Result<std::vector<PartitionId>> List(
+      const DatasetId& dataset) const override;
+
+ private:
+  explicit FileSampleStore(std::string directory);
+
+  std::string PathFor(const PartitionKey& key) const;
+
+  mutable std::mutex mu_;
+  std::string directory_;
+};
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_WAREHOUSE_SAMPLE_STORE_H_

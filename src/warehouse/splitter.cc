@@ -1,0 +1,38 @@
+#include "src/warehouse/splitter.h"
+
+#include "src/util/logging.h"
+
+namespace sampwh {
+
+namespace {
+// Fibonacci-style value hash; avalanche quality is plenty for routing.
+uint64_t HashValue(Value v) {
+  uint64_t x = static_cast<uint64_t>(v);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+StreamSplitter::StreamSplitter(size_t num_workers, SplitPolicy policy)
+    : num_workers_(num_workers), policy_(policy) {
+  SAMPWH_CHECK(num_workers >= 1);
+}
+
+size_t StreamSplitter::Route(Value v) {
+  switch (policy_) {
+    case SplitPolicy::kHash:
+      return static_cast<size_t>(HashValue(v) % num_workers_);
+    case SplitPolicy::kRoundRobin:
+    default: {
+      const size_t worker = next_;
+      next_ = (next_ + 1) % num_workers_;
+      return worker;
+    }
+  }
+}
+
+}  // namespace sampwh

@@ -1,0 +1,44 @@
+// Stream splitting (§2's second scenario: "the incoming stream could be
+// split over a number of machines and samples from the concurrent sampling
+// processes merged on demand"). The splitter assigns each arriving element
+// to one of k workers; each worker runs its own StreamIngestor, and the
+// per-worker partitions are later merged by the warehouse.
+//
+// Round-robin keeps worker loads perfectly balanced. Hash routing sends
+// equal values to the same worker (useful when workers keep per-value
+// state); both policies keep the sub-streams disjoint, which is all the
+// merge layer requires.
+
+#ifndef SAMPWH_WAREHOUSE_SPLITTER_H_
+#define SAMPWH_WAREHOUSE_SPLITTER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/core/types.h"
+
+namespace sampwh {
+
+enum class SplitPolicy {
+  kRoundRobin,
+  kHash,
+};
+
+class StreamSplitter {
+ public:
+  StreamSplitter(size_t num_workers, SplitPolicy policy);
+
+  size_t num_workers() const { return num_workers_; }
+
+  /// The worker that should receive `v`.
+  size_t Route(Value v);
+
+ private:
+  size_t num_workers_;
+  SplitPolicy policy_;
+  size_t next_ = 0;  // round-robin cursor
+};
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_WAREHOUSE_SPLITTER_H_

@@ -1,0 +1,57 @@
+#include "src/warehouse/stream_ingestor.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace sampwh {
+
+StreamIngestor::StreamIngestor(Warehouse* warehouse, DatasetId dataset,
+                               std::unique_ptr<Partitioner> partitioner)
+    : warehouse_(warehouse),
+      dataset_(std::move(dataset)),
+      partitioner_(std::move(partitioner)) {
+  SAMPWH_CHECK(warehouse_ != nullptr);
+}
+
+void StreamIngestor::StartPartition() {
+  sampler_.emplace(warehouse_->SamplerConfigFor(dataset_),
+                   warehouse_->ForkRng());
+  progress_ = PartitionProgress{};
+}
+
+Status StreamIngestor::CloseCurrentPartition() {
+  if (!sampler_.has_value() || progress_.elements == 0) return Status::OK();
+  PartitionSample sample = sampler_->Finalize();
+  SAMPWH_ASSIGN_OR_RETURN(
+      PartitionId id,
+      warehouse_->RollIn(dataset_, sample, progress_.first_timestamp,
+                         progress_.last_timestamp));
+  rolled_in_.push_back(id);
+  sampler_.reset();
+  progress_ = PartitionProgress{};
+  return Status::OK();
+}
+
+Status StreamIngestor::Append(Value v, uint64_t timestamp) {
+  if (partitioner_ != nullptr && sampler_.has_value() &&
+      partitioner_->ShouldCloseBefore(progress_, timestamp)) {
+    SAMPWH_RETURN_IF_ERROR(CloseCurrentPartition());
+  }
+  if (!sampler_.has_value()) StartPartition();
+
+  if (progress_.elements == 0) progress_.first_timestamp = timestamp;
+  progress_.last_timestamp = timestamp;
+  sampler_->Add(v);
+  ++progress_.elements;
+  progress_.sample_size = sampler_->sample_size();
+
+  if (partitioner_ != nullptr && partitioner_->ShouldCloseAfter(progress_)) {
+    SAMPWH_RETURN_IF_ERROR(CloseCurrentPartition());
+  }
+  return Status::OK();
+}
+
+Status StreamIngestor::Flush() { return CloseCurrentPartition(); }
+
+}  // namespace sampwh

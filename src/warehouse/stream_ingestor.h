@@ -1,0 +1,55 @@
+// Streaming ingestion for one data set (or one split of its stream): runs
+// a sampler over arriving elements and, whenever the partitioning policy
+// closes a partition, finalizes the sample and rolls it into the warehouse
+// — the left half of Fig. 1 in the paper.
+
+#ifndef SAMPWH_WAREHOUSE_STREAM_INGESTOR_H_
+#define SAMPWH_WAREHOUSE_STREAM_INGESTOR_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/core/any_sampler.h"
+#include "src/warehouse/partitioner.h"
+#include "src/warehouse/warehouse.h"
+
+namespace sampwh {
+
+class StreamIngestor {
+ public:
+  /// `warehouse` must outlive the ingestor; the dataset must exist.
+  /// `partitioner` decides partition boundaries; pass nullptr for a single
+  /// never-closing partition (explicit Flush() only).
+  StreamIngestor(Warehouse* warehouse, DatasetId dataset,
+                 std::unique_ptr<Partitioner> partitioner);
+
+  /// Feeds one element with an optional event timestamp (virtual ticks).
+  /// Timestamps must be non-decreasing within one ingestor.
+  Status Append(Value v, uint64_t timestamp = 0);
+
+  /// Finalizes and rolls in the open partition, if it holds any elements.
+  Status Flush();
+
+  /// Partition ids this ingestor has rolled in so far, in creation order.
+  const std::vector<PartitionId>& rolled_in() const { return rolled_in_; }
+
+  /// Elements in the currently open partition.
+  uint64_t open_elements() const { return progress_.elements; }
+
+ private:
+  Status CloseCurrentPartition();
+  void StartPartition();
+
+  Warehouse* warehouse_;
+  DatasetId dataset_;
+  std::unique_ptr<Partitioner> partitioner_;
+
+  std::optional<AnySampler> sampler_;
+  PartitionProgress progress_;
+  std::vector<PartitionId> rolled_in_;
+};
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_WAREHOUSE_STREAM_INGESTOR_H_

@@ -1,0 +1,28 @@
+// A manually advanced clock for temporal partitioning. Production streams
+// would stamp elements with real event time; tests and simulations drive
+// this clock so that "one partition per day" scenarios are deterministic.
+
+#ifndef SAMPWH_WAREHOUSE_VIRTUAL_CLOCK_H_
+#define SAMPWH_WAREHOUSE_VIRTUAL_CLOCK_H_
+
+#include <cstdint>
+
+namespace sampwh {
+
+class VirtualClock {
+ public:
+  explicit VirtualClock(uint64_t start = 0) : now_(start) {}
+
+  uint64_t Now() const { return now_; }
+  void AdvanceTo(uint64_t t) {
+    if (t > now_) now_ = t;
+  }
+  void AdvanceBy(uint64_t delta) { now_ += delta; }
+
+ private:
+  uint64_t now_;
+};
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_WAREHOUSE_VIRTUAL_CLOCK_H_

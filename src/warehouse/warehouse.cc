@@ -1,0 +1,349 @@
+#include "src/warehouse/warehouse.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace sampwh {
+
+namespace {
+
+WarehouseOptions NormalizeOptions(WarehouseOptions options) {
+  // The merge layer inherits the sampler's bound and exceedance target
+  // unless the caller set them explicitly.
+  if (options.merge.footprint_bound_bytes == 0) {
+    options.merge.footprint_bound_bytes =
+        options.sampler.footprint_bound_bytes;
+  }
+  return options;
+}
+
+}  // namespace
+
+Warehouse::Warehouse(const WarehouseOptions& options,
+                     std::unique_ptr<SampleStore> store)
+    : options_(NormalizeOptions(options)),
+      store_(std::move(store)),
+      rng_(options_.seed) {
+  SAMPWH_CHECK(store_ != nullptr);
+}
+
+Warehouse::Warehouse(const WarehouseOptions& options)
+    : Warehouse(options, std::make_unique<InMemorySampleStore>()) {}
+
+Status Warehouse::CreateDataset(const DatasetId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return catalog_.CreateDataset(id);
+}
+
+Status Warehouse::CreateDataset(const DatasetId& id,
+                                const SamplerConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SAMPWH_RETURN_IF_ERROR(catalog_.CreateDataset(id));
+  sampler_overrides_[id] = config;
+  return Status::OK();
+}
+
+SamplerConfig Warehouse::SamplerConfigFor(const DatasetId& dataset) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sampler_overrides_.find(dataset);
+  return it != sampler_overrides_.end() ? it->second : options_.sampler;
+}
+
+Status Warehouse::DropDataset(const DatasetId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SAMPWH_ASSIGN_OR_RETURN(std::vector<PartitionInfo> parts,
+                          catalog_.ListPartitions(id));
+  for (const PartitionInfo& p : parts) {
+    // Best effort: catalog consistency matters more than store misses.
+    store_->Delete(PartitionKey{id, p.id});
+  }
+  sampler_overrides_.erase(id);
+  return catalog_.DropDataset(id);
+}
+
+bool Warehouse::HasDataset(const DatasetId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return catalog_.HasDataset(id);
+}
+
+std::vector<DatasetId> Warehouse::ListDatasets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return catalog_.ListDatasets();
+}
+
+Result<DatasetInfo> Warehouse::GetDatasetInfo(const DatasetId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return catalog_.GetDatasetInfo(id);
+}
+
+Result<std::vector<PartitionInfo>> Warehouse::ListPartitions(
+    const DatasetId& dataset) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return catalog_.ListPartitions(dataset);
+}
+
+Result<std::vector<PartitionId>> Warehouse::PartitionsInTimeRange(
+    const DatasetId& dataset, uint64_t from, uint64_t to) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return catalog_.PartitionsInTimeRange(dataset, from, to);
+}
+
+Result<PartitionId> Warehouse::RollIn(const DatasetId& dataset,
+                                      const PartitionSample& sample,
+                                      uint64_t min_timestamp,
+                                      uint64_t max_timestamp) {
+  SAMPWH_RETURN_IF_ERROR(sample.Validate());
+  std::lock_guard<std::mutex> lock(mu_);
+  SAMPWH_ASSIGN_OR_RETURN(PartitionId id,
+                          catalog_.AllocatePartitionId(dataset));
+  SAMPWH_RETURN_IF_ERROR(store_->Put(PartitionKey{dataset, id}, sample));
+  PartitionInfo info;
+  info.id = id;
+  info.parent_size = sample.parent_size();
+  info.sample_size = sample.size();
+  info.phase = sample.phase();
+  info.min_timestamp = min_timestamp;
+  info.max_timestamp = max_timestamp;
+  const Status status = catalog_.AddPartition(dataset, info);
+  if (!status.ok()) {
+    store_->Delete(PartitionKey{dataset, id});
+    return status;
+  }
+  return id;
+}
+
+Status Warehouse::RollOut(const DatasetId& dataset, PartitionId partition) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SAMPWH_RETURN_IF_ERROR(catalog_.RemovePartition(dataset, partition));
+  return store_->Delete(PartitionKey{dataset, partition});
+}
+
+Result<std::vector<PartitionId>> Warehouse::ApplyRetention(
+    const DatasetId& dataset, const RetentionPolicy& policy, uint64_t now) {
+  std::vector<PartitionId> expired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SAMPWH_ASSIGN_OR_RETURN(std::vector<PartitionInfo> parts,
+                            catalog_.ListPartitions(dataset));
+    expired = RetentionCandidates(parts, policy, now);
+  }
+  for (const PartitionId id : expired) {
+    SAMPWH_RETURN_IF_ERROR(RollOut(dataset, id));
+  }
+  return expired;
+}
+
+Result<PartitionId> Warehouse::CompactPartitions(
+    const DatasetId& dataset, const std::vector<PartitionId>& parts) {
+  if (parts.size() < 2) {
+    return Status::InvalidArgument("compaction needs at least 2 partitions");
+  }
+  // Combined event-time range of the inputs.
+  uint64_t min_ts = UINT64_MAX;
+  uint64_t max_ts = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const PartitionId id : parts) {
+      SAMPWH_ASSIGN_OR_RETURN(PartitionInfo info,
+                              catalog_.GetPartition(dataset, id));
+      min_ts = std::min(min_ts, info.min_timestamp);
+      max_ts = std::max(max_ts, info.max_timestamp);
+    }
+  }
+  SAMPWH_ASSIGN_OR_RETURN(PartitionSample merged, MergeByIds(dataset, parts));
+  // Roll the inputs out only after the merge succeeded; then roll the
+  // consolidated sample in.
+  for (const PartitionId id : parts) {
+    SAMPWH_RETURN_IF_ERROR(RollOut(dataset, id));
+  }
+  return RollIn(dataset, merged, min_ts, max_ts);
+}
+
+Result<PartitionSample> Warehouse::GetSample(const DatasetId& dataset,
+                                             PartitionId partition) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SAMPWH_RETURN_IF_ERROR(
+        catalog_.GetPartition(dataset, partition).status());
+  }
+  return store_->Get(PartitionKey{dataset, partition});
+}
+
+Result<std::vector<PartitionId>> Warehouse::IngestBatch(
+    const DatasetId& dataset, const std::vector<Value>& values,
+    size_t num_partitions, ThreadPool* pool) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("need at least one partition");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!catalog_.HasDataset(dataset)) {
+      return Status::NotFound("no dataset: " + dataset);
+    }
+  }
+  num_partitions = std::min<size_t>(
+      num_partitions, std::max<size_t>(values.size(), size_t{1}));
+
+  // Pre-fork one RNG stream per partition so results do not depend on
+  // scheduling.
+  std::vector<Pcg64> rngs;
+  rngs.reserve(num_partitions);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < num_partitions; ++i) {
+      rngs.push_back(rng_.Fork(i));
+    }
+  }
+
+  std::vector<PartitionSample> samples(num_partitions);
+  const size_t chunk = values.size() / num_partitions;
+  const size_t remainder = values.size() % num_partitions;
+  const SamplerConfig dataset_config = SamplerConfigFor(dataset);
+  auto run_one = [&](size_t p, size_t begin, size_t end) {
+    SamplerConfig config = dataset_config;
+    if (config.kind == SamplerKind::kHybridBernoulli &&
+        config.expected_partition_size == 0) {
+      // Batch loads know the partition size a priori — exactly the setting
+      // Algorithm HB is designed for.
+      config.expected_partition_size = end - begin;
+    }
+    AnySampler sampler(config, std::move(rngs[p]));
+    for (size_t i = begin; i < end; ++i) sampler.Add(values[i]);
+    samples[p] = sampler.Finalize();
+  };
+
+  size_t begin = 0;
+  std::vector<std::pair<size_t, size_t>> ranges;
+  for (size_t p = 0; p < num_partitions; ++p) {
+    const size_t size = chunk + (p < remainder ? 1 : 0);
+    ranges.emplace_back(begin, begin + size);
+    begin += size;
+  }
+  SAMPWH_CHECK(begin == values.size());
+
+  if (pool != nullptr) {
+    for (size_t p = 0; p < num_partitions; ++p) {
+      pool->Submit([&, p] { run_one(p, ranges[p].first, ranges[p].second); });
+    }
+    pool->Wait();
+  } else {
+    for (size_t p = 0; p < num_partitions; ++p) {
+      run_one(p, ranges[p].first, ranges[p].second);
+    }
+  }
+
+  std::vector<PartitionId> ids;
+  ids.reserve(num_partitions);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    SAMPWH_ASSIGN_OR_RETURN(PartitionId id, RollIn(dataset, samples[p]));
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+Result<PartitionSample> Warehouse::MergeByIds(
+    const DatasetId& dataset, const std::vector<PartitionId>& parts) {
+  if (parts.empty()) {
+    return Status::InvalidArgument("no partitions to merge");
+  }
+  std::vector<PartitionSample> samples;
+  samples.reserve(parts.size());
+  for (const PartitionId id : parts) {
+    SAMPWH_ASSIGN_OR_RETURN(PartitionSample s,
+                            store_->Get(PartitionKey{dataset, id}));
+    samples.push_back(std::move(s));
+  }
+  std::vector<const PartitionSample*> pointers;
+  pointers.reserve(samples.size());
+  for (const PartitionSample& s : samples) pointers.push_back(&s);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  MergeOptions merge_options = options_.merge;
+  if (options_.cache_alias_tables) {
+    merge_options.alias_cache = &alias_cache_;
+  }
+  return MergeAll(pointers, merge_options, rng_, options_.merge_strategy);
+}
+
+Result<PartitionSample> Warehouse::MergedSample(
+    const DatasetId& dataset, const std::vector<PartitionId>& parts) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const PartitionId id : parts) {
+      SAMPWH_RETURN_IF_ERROR(catalog_.GetPartition(dataset, id).status());
+    }
+  }
+  return MergeByIds(dataset, parts);
+}
+
+Result<PartitionSample> Warehouse::MergedSampleAll(const DatasetId& dataset) {
+  std::vector<PartitionId> ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SAMPWH_ASSIGN_OR_RETURN(std::vector<PartitionInfo> infos,
+                            catalog_.ListPartitions(dataset));
+    ids.reserve(infos.size());
+    for (const PartitionInfo& p : infos) ids.push_back(p.id);
+  }
+  return MergeByIds(dataset, ids);
+}
+
+Result<PartitionSample> Warehouse::MergedSampleInTimeRange(
+    const DatasetId& dataset, uint64_t from, uint64_t to) {
+  std::vector<PartitionId> ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SAMPWH_ASSIGN_OR_RETURN(ids,
+                            catalog_.PartitionsInTimeRange(dataset, from, to));
+  }
+  return MergeByIds(dataset, ids);
+}
+
+Pcg64 Warehouse::ForkRng() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rng_.Fork(0xF02C);
+}
+
+Status Warehouse::SaveManifest(const std::string& path) const {
+  BinaryWriter writer;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    catalog_.SerializeTo(&writer);
+  }
+  return WriteFileAtomic(path, writer.buffer());
+}
+
+Result<std::unique_ptr<Warehouse>> Warehouse::Restore(
+    const WarehouseOptions& options, std::unique_ptr<SampleStore> store,
+    const std::string& manifest_path) {
+  std::string bytes;
+  SAMPWH_RETURN_IF_ERROR(ReadFile(manifest_path, &bytes));
+  BinaryReader reader(bytes);
+  SAMPWH_ASSIGN_OR_RETURN(Catalog catalog, Catalog::DeserializeFrom(&reader));
+
+  auto warehouse =
+      std::make_unique<Warehouse>(options, std::move(store));
+  // Cross-check every cataloged partition against its stored sample before
+  // accepting the manifest.
+  for (const DatasetId& dataset : catalog.ListDatasets()) {
+    SAMPWH_ASSIGN_OR_RETURN(std::vector<PartitionInfo> parts,
+                            catalog.ListPartitions(dataset));
+    for (const PartitionInfo& p : parts) {
+      SAMPWH_ASSIGN_OR_RETURN(
+          PartitionSample sample,
+          warehouse->store_->Get(PartitionKey{dataset, p.id}));
+      if (sample.parent_size() != p.parent_size ||
+          sample.size() != p.sample_size || sample.phase() != p.phase) {
+        return Status::Corruption(
+            "manifest metadata disagrees with stored sample for dataset " +
+            dataset);
+      }
+    }
+  }
+  warehouse->catalog_ = std::move(catalog);
+  return warehouse;
+}
+
+}  // namespace sampwh

@@ -1,0 +1,163 @@
+// The sample warehouse facade (paper Fig. 1): per-partition samples are
+// rolled in as partitions arrive in the full-scale warehouse, rolled out as
+// partitions are retired, and merged on demand into a uniform sample of any
+// union of a data set's partitions.
+
+#ifndef SAMPWH_WAREHOUSE_WAREHOUSE_H_
+#define SAMPWH_WAREHOUSE_WAREHOUSE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/core/any_sampler.h"
+#include "src/core/merge.h"
+#include "src/core/sample.h"
+#include "src/util/random.h"
+#include "src/util/thread_pool.h"
+#include "src/warehouse/catalog.h"
+#include "src/warehouse/ids.h"
+#include "src/warehouse/retention.h"
+#include "src/warehouse/sample_store.h"
+
+namespace sampwh {
+
+struct WarehouseOptions {
+  /// How partitions are sampled by IngestBatch / StreamIngestor.
+  SamplerConfig sampler;
+  /// How samples are merged at query time. The footprint bound defaults to
+  /// the sampler's bound; exceedance probability likewise.
+  MergeOptions merge;
+  /// Merge tree shape for multiway queries.
+  MergeStrategy merge_strategy = MergeStrategy::kLeftFold;
+  /// Reuse hypergeometric alias tables across queries (§4.2). Effective
+  /// mainly for symmetric merge trees.
+  bool cache_alias_tables = false;
+  /// Seed for all sampling/merging randomness in this warehouse.
+  uint64_t seed = 0x5157313136ULL;
+};
+
+class Warehouse {
+ public:
+  /// `store` must outlive nothing — the warehouse takes ownership.
+  Warehouse(const WarehouseOptions& options,
+            std::unique_ptr<SampleStore> store);
+
+  /// Warehouse with an in-memory store.
+  explicit Warehouse(const WarehouseOptions& options);
+
+  const WarehouseOptions& options() const { return options_; }
+
+  // --- Catalog operations -------------------------------------------------
+
+  Status CreateDataset(const DatasetId& id);
+  /// Creates a dataset whose partitions are sampled under `config` rather
+  /// than the warehouse default — e.g. a hot fact column with a large
+  /// footprint budget next to thousands of small dimension columns.
+  Status CreateDataset(const DatasetId& id, const SamplerConfig& config);
+  /// The sampler configuration ingestion uses for `dataset` (the dataset
+  /// override if present, the warehouse default otherwise).
+  SamplerConfig SamplerConfigFor(const DatasetId& dataset) const;
+  /// Drops the dataset and deletes all its stored samples.
+  Status DropDataset(const DatasetId& id);
+  bool HasDataset(const DatasetId& id) const;
+  std::vector<DatasetId> ListDatasets() const;
+  Result<DatasetInfo> GetDatasetInfo(const DatasetId& id) const;
+  Result<std::vector<PartitionInfo>> ListPartitions(
+      const DatasetId& dataset) const;
+  Result<std::vector<PartitionId>> PartitionsInTimeRange(
+      const DatasetId& dataset, uint64_t from, uint64_t to) const;
+
+  // --- Roll-in / roll-out -------------------------------------------------
+
+  /// Registers and stores a sample produced elsewhere (a remote sampling
+  /// node, a StreamIngestor, IngestBatch). Allocates and returns the
+  /// partition id. Timestamps annotate the partition's event-time range.
+  Result<PartitionId> RollIn(const DatasetId& dataset,
+                             const PartitionSample& sample,
+                             uint64_t min_timestamp = 0,
+                             uint64_t max_timestamp = 0);
+
+  /// Removes the partition's sample and catalog entry.
+  Status RollOut(const DatasetId& dataset, PartitionId partition);
+
+  /// Rolls out every partition that `policy` expires at time `now`
+  /// (sliding the §2 retention window in one call). Returns the ids that
+  /// were rolled out.
+  Result<std::vector<PartitionId>> ApplyRetention(
+      const DatasetId& dataset, const RetentionPolicy& policy,
+      uint64_t now);
+
+  /// Compacts several partitions into one: merges their samples (uniform
+  /// over the union, Theorem 1 machinery), rolls the inputs out and rolls
+  /// the merged sample in under a fresh id covering the combined time
+  /// range. This is how "one partition per day" warehouses consolidate a
+  /// closed week into a single stored sample without touching the full
+  /// data. Requires at least two partitions. Returns the new partition id.
+  Result<PartitionId> CompactPartitions(
+      const DatasetId& dataset, const std::vector<PartitionId>& parts);
+
+  /// Fetches one stored partition sample.
+  Result<PartitionSample> GetSample(const DatasetId& dataset,
+                                    PartitionId partition) const;
+
+  // --- Ingestion ----------------------------------------------------------
+
+  /// Divides `values` into `num_partitions` contiguous chunks, samples each
+  /// independently (in parallel when `pool` is given), and rolls all of
+  /// them in. Returns the new partition ids in chunk order.
+  Result<std::vector<PartitionId>> IngestBatch(
+      const DatasetId& dataset, const std::vector<Value>& values,
+      size_t num_partitions, ThreadPool* pool = nullptr);
+
+  // --- Queries ------------------------------------------------------------
+
+  /// A uniform random sample of the union of the named partitions
+  /// (which are disjoint by construction): the S_K of §2.
+  Result<PartitionSample> MergedSample(const DatasetId& dataset,
+                                       const std::vector<PartitionId>& parts);
+
+  /// A uniform random sample of the entire data set (all partitions).
+  Result<PartitionSample> MergedSampleAll(const DatasetId& dataset);
+
+  /// A uniform random sample of the partitions intersecting [from, to] —
+  /// the paper's daily-to-weekly/monthly rollup.
+  Result<PartitionSample> MergedSampleInTimeRange(const DatasetId& dataset,
+                                                  uint64_t from, uint64_t to);
+
+  /// A fresh RNG stream derived from the warehouse seed, for external
+  /// samplers that will roll their results in.
+  Pcg64 ForkRng();
+
+  // --- Durability ---------------------------------------------------------
+
+  /// Writes the catalog (datasets, partition metadata, id allocators) to
+  /// `path` with atomic replace. Together with a FileSampleStore this
+  /// makes the warehouse recoverable across restarts.
+  Status SaveManifest(const std::string& path) const;
+
+  /// Reopens a warehouse from a manifest written by SaveManifest and the
+  /// sample store it referenced. Verifies that every cataloged partition's
+  /// sample is present and consistent with its metadata.
+  static Result<std::unique_ptr<Warehouse>> Restore(
+      const WarehouseOptions& options, std::unique_ptr<SampleStore> store,
+      const std::string& manifest_path);
+
+ private:
+  Result<PartitionSample> MergeByIds(const DatasetId& dataset,
+                                     const std::vector<PartitionId>& parts);
+
+  WarehouseOptions options_;
+  std::unique_ptr<SampleStore> store_;
+
+  mutable std::mutex mu_;
+  Catalog catalog_;
+  std::map<DatasetId, SamplerConfig> sampler_overrides_;
+  Pcg64 rng_;
+  AliasCache alias_cache_;
+};
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_WAREHOUSE_WAREHOUSE_H_

@@ -1,0 +1,84 @@
+#include "src/workload/generators.h"
+
+#include "src/util/logging.h"
+
+namespace sampwh {
+
+std::string_view DataKindToString(DataKind kind) {
+  switch (kind) {
+    case DataKind::kUnique:
+      return "unique";
+    case DataKind::kUniform:
+      return "uniform";
+    case DataKind::kZipf:
+      return "zipfian";
+  }
+  return "unknown";
+}
+
+DataGenerator::DataGenerator(DataKind kind, uint64_t count, Value first_value,
+                             uint64_t range, double s, uint64_t seed)
+    : kind_(kind),
+      count_(count),
+      next_unique_(first_value),
+      range_(range),
+      rng_(seed) {
+  if (kind == DataKind::kZipf) {
+    zipf_ = std::make_shared<const ZipfGenerator>(range, s);
+  }
+}
+
+DataGenerator DataGenerator::Unique(uint64_t count, Value first_value) {
+  return DataGenerator(DataKind::kUnique, count, first_value, 0, 0.0, 0);
+}
+
+DataGenerator DataGenerator::Uniform(uint64_t count, uint64_t range,
+                                     uint64_t seed) {
+  SAMPWH_CHECK(range >= 1);
+  return DataGenerator(DataKind::kUniform, count, 0, range, 0.0, seed);
+}
+
+DataGenerator DataGenerator::Zipf(uint64_t count, uint64_t range, double s,
+                                  uint64_t seed) {
+  SAMPWH_CHECK(range >= 1);
+  return DataGenerator(DataKind::kZipf, count, 0, range, s, seed);
+}
+
+DataGenerator DataGenerator::Make(DataKind kind, uint64_t count,
+                                  uint64_t partition_index, uint64_t seed) {
+  switch (kind) {
+    case DataKind::kUnique:
+      return Unique(count,
+                    static_cast<Value>(partition_index * count) + 1);
+    case DataKind::kUniform:
+      return Uniform(count, kPaperUniformRange,
+                     seed ^ (partition_index * 0x9e3779b97f4a7c15ULL));
+    case DataKind::kZipf:
+    default:
+      return Zipf(count, kPaperZipfRange, kPaperZipfExponent,
+                  seed ^ (partition_index * 0xd1b54a32d192ed03ULL));
+  }
+}
+
+Value DataGenerator::Next() {
+  SAMPWH_DCHECK(HasNext());
+  ++produced_;
+  switch (kind_) {
+    case DataKind::kUnique:
+      return next_unique_++;
+    case DataKind::kUniform:
+      return static_cast<Value>(rng_.UniformInt(range_)) + 1;
+    case DataKind::kZipf:
+    default:
+      return static_cast<Value>(zipf_->Sample(rng_));
+  }
+}
+
+std::vector<Value> DataGenerator::Take(uint64_t n) {
+  std::vector<Value> out;
+  out.reserve(n);
+  while (n-- > 0 && HasNext()) out.push_back(Next());
+  return out;
+}
+
+}  // namespace sampwh

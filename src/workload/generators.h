@@ -1,0 +1,81 @@
+// The paper's three experimental data sets (§5): unique integers 1..N,
+// integers uniform on [1, 1,000,000], and Zipf-distributed integers on
+// [1, 4000]. Generators are streaming and seeded so that partitioned runs
+// are reproducible and partitions can be produced independently (each
+// partition generator gets its own RNG stream).
+
+#ifndef SAMPWH_WORKLOAD_GENERATORS_H_
+#define SAMPWH_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/util/distributions.h"
+#include "src/util/random.h"
+
+namespace sampwh {
+
+enum class DataKind {
+  kUnique,   ///< distinct integers (every value appears exactly once)
+  kUniform,  ///< uniform on [1, uniform_range]
+  kZipf,     ///< Zipf(s) on [1, zipf_range]
+};
+
+std::string_view DataKindToString(DataKind kind);
+
+/// Streaming generator for one data-set partition.
+class DataGenerator {
+ public:
+  /// `count` unique values first_value, first_value+1, ... (a partition of
+  /// the paper's "unique" population: partition i of size m starts at
+  /// i*m + 1).
+  static DataGenerator Unique(uint64_t count, Value first_value = 1);
+
+  /// `count` values uniform on [1, range] (paper default range 10^6).
+  static DataGenerator Uniform(uint64_t count, uint64_t range, uint64_t seed);
+
+  /// `count` Zipf(s) values on [1, range] (paper default range 4000).
+  static DataGenerator Zipf(uint64_t count, uint64_t range, double s,
+                            uint64_t seed);
+
+  /// Convenience dispatcher used by the benchmark harnesses.
+  static DataGenerator Make(DataKind kind, uint64_t count,
+                            uint64_t partition_index, uint64_t seed);
+
+  uint64_t count() const { return count_; }
+  bool HasNext() const { return produced_ < count_; }
+
+  /// Next value; must not be called when !HasNext().
+  Value Next();
+
+  /// Drains up to `n` values into a vector.
+  std::vector<Value> Take(uint64_t n);
+
+  /// Drains all remaining values.
+  std::vector<Value> TakeAll() { return Take(count_ - produced_); }
+
+ private:
+  DataGenerator(DataKind kind, uint64_t count, Value first_value,
+                uint64_t range, double s, uint64_t seed);
+
+  DataKind kind_;
+  uint64_t count_;
+  uint64_t produced_ = 0;
+  Value next_unique_;
+  uint64_t range_;
+  Pcg64 rng_;
+  std::shared_ptr<const ZipfGenerator> zipf_;  // shared: the CDF table is
+                                               // immutable and reusable
+};
+
+/// The paper's default ranges.
+inline constexpr uint64_t kPaperUniformRange = 1000000;
+inline constexpr uint64_t kPaperZipfRange = 4000;
+inline constexpr double kPaperZipfExponent = 1.0;
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_WORKLOAD_GENERATORS_H_

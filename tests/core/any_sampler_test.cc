@@ -1,0 +1,57 @@
+#include "src/core/any_sampler.h"
+
+#include <gtest/gtest.h>
+
+namespace sampwh {
+namespace {
+
+TEST(AnySamplerTest, HbConfigProducesHbBehavior) {
+  SamplerConfig config;
+  config.kind = SamplerKind::kHybridBernoulli;
+  config.footprint_bound_bytes = 1024;
+  config.expected_partition_size = 50000;
+  AnySampler sampler(config, Pcg64(1));
+  for (Value v = 0; v < 50000; ++v) sampler.Add(v);
+  const PartitionSample s = sampler.Finalize();
+  EXPECT_EQ(s.phase(), SamplePhase::kBernoulli);
+  EXPECT_LE(s.footprint_bytes(), 1024u);
+}
+
+TEST(AnySamplerTest, HrConfigProducesHrBehavior) {
+  SamplerConfig config;
+  config.kind = SamplerKind::kHybridReservoir;
+  config.footprint_bound_bytes = 1024;
+  AnySampler sampler(config, Pcg64(2));
+  for (Value v = 0; v < 50000; ++v) sampler.Add(v);
+  const PartitionSample s = sampler.Finalize();
+  EXPECT_EQ(s.phase(), SamplePhase::kReservoir);
+  EXPECT_EQ(s.size(), 128u);
+}
+
+TEST(AnySamplerTest, SbConfigProducesFixedRateBernoulli) {
+  SamplerConfig config;
+  config.kind = SamplerKind::kStratifiedBernoulli;
+  config.bernoulli_rate = 0.05;
+  AnySampler sampler(config, Pcg64(3));
+  for (Value v = 0; v < 10000; ++v) sampler.Add(v);
+  const PartitionSample s = sampler.Finalize();
+  EXPECT_EQ(s.phase(), SamplePhase::kBernoulli);
+  EXPECT_EQ(s.sampling_rate(), 0.05);
+  EXPECT_EQ(s.footprint_bound_bytes(), 0u);
+}
+
+TEST(AnySamplerTest, TracksElementsSeen) {
+  SamplerConfig config;
+  AnySampler sampler(config, Pcg64(4));
+  sampler.AddBatch({1, 2, 3, 4, 5});
+  EXPECT_EQ(sampler.elements_seen(), 5u);
+}
+
+TEST(AnySamplerTest, KindNames) {
+  EXPECT_EQ(SamplerKindToString(SamplerKind::kHybridBernoulli), "HB");
+  EXPECT_EQ(SamplerKindToString(SamplerKind::kHybridReservoir), "HR");
+  EXPECT_EQ(SamplerKindToString(SamplerKind::kStratifiedBernoulli), "SB");
+}
+
+}  // namespace
+}  // namespace sampwh

@@ -1,0 +1,74 @@
+#include "src/core/bernoulli_sampler.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sampwh {
+namespace {
+
+TEST(BernoulliSamplerTest, RateOneKeepsEverything) {
+  BernoulliSampler sampler(1.0, Pcg64(1));
+  for (Value v = 0; v < 100; ++v) sampler.Add(v);
+  const PartitionSample s = sampler.Finalize();
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_EQ(s.parent_size(), 100u);
+  EXPECT_EQ(s.phase(), SamplePhase::kBernoulli);
+}
+
+TEST(BernoulliSamplerTest, SampleSizeIsBinomial) {
+  const double q = 0.05;
+  const uint64_t n = 20000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    BernoulliSampler sampler(q, Pcg64(100 + t));
+    for (Value v = 0; v < static_cast<Value>(n); ++v) sampler.Add(v);
+    const double size = static_cast<double>(sampler.sample_size());
+    sum += size;
+    sum_sq += size * size;
+  }
+  const double mean = sum / trials;
+  const double var = sum_sq / trials - mean * mean;
+  const double expected_mean = n * q;                 // 1000
+  const double expected_var = n * q * (1 - q);        // 950
+  EXPECT_NEAR(mean, expected_mean,
+              5.0 * std::sqrt(expected_var / trials));
+  EXPECT_NEAR(var, expected_var, 0.25 * expected_var);
+}
+
+TEST(BernoulliSamplerTest, MetadataRecordsRateAndParent) {
+  BernoulliSampler sampler(0.25, Pcg64(2));
+  for (Value v = 0; v < 1000; ++v) sampler.Add(v);
+  const PartitionSample s = sampler.Finalize();
+  EXPECT_EQ(s.sampling_rate(), 0.25);
+  EXPECT_EQ(s.parent_size(), 1000u);
+  EXPECT_EQ(s.footprint_bound_bytes(), 0u);  // SB is unbounded
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(BernoulliSamplerTest, DuplicatesStoredCompactly) {
+  BernoulliSampler sampler(1.0, Pcg64(3));
+  for (int i = 0; i < 50; ++i) sampler.Add(7);
+  const PartitionSample s = sampler.Finalize();
+  EXPECT_EQ(s.histogram().distinct_count(), 1u);
+  EXPECT_EQ(s.histogram().CountOf(7), 50u);
+  EXPECT_EQ(s.footprint_bytes(), kPairFootprintBytes);
+}
+
+TEST(BernoulliSamplerTest, EachElementIncludedIndependently) {
+  // Inclusion indicator of a fixed position across repeated runs.
+  const double q = 0.2;
+  int included = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    BernoulliSampler sampler(q, Pcg64(1000 + t));
+    for (Value v = 0; v < 10; ++v) sampler.Add(v);
+    if (sampler.Finalize().histogram().CountOf(4) > 0) ++included;
+  }
+  EXPECT_NEAR(included / static_cast<double>(trials), q, 0.01);
+}
+
+}  // namespace
+}  // namespace sampwh

@@ -1,0 +1,209 @@
+#include "src/core/compact_histogram.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sampwh {
+namespace {
+
+TEST(CompactHistogramTest, StartsEmpty) {
+  CompactHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_EQ(h.distinct_count(), 0u);
+  EXPECT_EQ(h.footprint_bytes(), 0u);
+}
+
+TEST(CompactHistogramTest, SingletonFootprint) {
+  CompactHistogram h;
+  h.Insert(42);
+  EXPECT_EQ(h.total_count(), 1u);
+  EXPECT_EQ(h.distinct_count(), 1u);
+  EXPECT_EQ(h.footprint_bytes(), kSingletonFootprintBytes);
+}
+
+TEST(CompactHistogramTest, SingletonBecomesPair) {
+  CompactHistogram h;
+  h.Insert(42);
+  h.Insert(42);
+  EXPECT_EQ(h.total_count(), 2u);
+  EXPECT_EQ(h.distinct_count(), 1u);
+  EXPECT_EQ(h.footprint_bytes(), kPairFootprintBytes);
+  // Third copy of the same value costs no extra footprint.
+  h.Insert(42);
+  EXPECT_EQ(h.footprint_bytes(), kPairFootprintBytes);
+}
+
+TEST(CompactHistogramTest, BatchInsertFootprint) {
+  CompactHistogram h;
+  h.Insert(1, 5);  // directly a pair
+  EXPECT_EQ(h.footprint_bytes(), kPairFootprintBytes);
+  h.Insert(2, 1);  // singleton
+  EXPECT_EQ(h.footprint_bytes(),
+            kPairFootprintBytes + kSingletonFootprintBytes);
+  h.Insert(2, 3);  // singleton upgraded
+  EXPECT_EQ(h.footprint_bytes(), 2 * kPairFootprintBytes);
+  EXPECT_EQ(h.total_count(), 9u);
+}
+
+TEST(CompactHistogramTest, InsertZeroIsNoop) {
+  CompactHistogram h;
+  h.Insert(7, 0);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(CompactHistogramTest, RemoveDowngradesAndErases) {
+  CompactHistogram h;
+  h.Insert(1, 3);
+  h.Remove(1, 1);
+  EXPECT_EQ(h.CountOf(1), 2u);
+  EXPECT_EQ(h.footprint_bytes(), kPairFootprintBytes);
+  h.Remove(1, 1);
+  EXPECT_EQ(h.CountOf(1), 1u);
+  EXPECT_EQ(h.footprint_bytes(), kSingletonFootprintBytes);
+  h.Remove(1, 1);
+  EXPECT_EQ(h.CountOf(1), 0u);
+  EXPECT_EQ(h.footprint_bytes(), 0u);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(CompactHistogramTest, RemoveBatchFromPair) {
+  CompactHistogram h;
+  h.Insert(9, 10);
+  h.Remove(9, 10);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.footprint_bytes(), 0u);
+}
+
+TEST(CompactHistogramTest, CountOfAbsentValueIsZero) {
+  CompactHistogram h;
+  h.Insert(1);
+  EXPECT_EQ(h.CountOf(2), 0u);
+}
+
+TEST(CompactHistogramTest, SortedEntriesAreSorted) {
+  CompactHistogram h;
+  h.Insert(30, 2);
+  h.Insert(-5);
+  h.Insert(10, 7);
+  const auto entries = h.SortedEntries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0], (std::pair<Value, uint64_t>{-5, 1}));
+  EXPECT_EQ(entries[1], (std::pair<Value, uint64_t>{10, 7}));
+  EXPECT_EQ(entries[2], (std::pair<Value, uint64_t>{30, 2}));
+}
+
+TEST(CompactHistogramTest, BagRoundTrip) {
+  CompactHistogram h;
+  h.Insert(3, 2);
+  h.Insert(1);
+  h.Insert(2, 3);
+  const std::vector<Value> bag = h.ToBag();
+  EXPECT_EQ(bag, (std::vector<Value>{1, 2, 2, 2, 3, 3}));
+  EXPECT_TRUE(CompactHistogram::FromBag(bag) == h);
+}
+
+TEST(CompactHistogramTest, JoinSumsCounts) {
+  CompactHistogram a;
+  a.Insert(1, 2);
+  a.Insert(2);
+  CompactHistogram b;
+  b.Insert(2, 3);
+  b.Insert(3);
+  a.Join(b);
+  EXPECT_EQ(a.CountOf(1), 2u);
+  EXPECT_EQ(a.CountOf(2), 4u);
+  EXPECT_EQ(a.CountOf(3), 1u);
+  EXPECT_EQ(a.total_count(), 7u);
+}
+
+TEST(CompactHistogramTest, JoinedFootprintMatchesActualJoin) {
+  CompactHistogram a;
+  a.Insert(1, 2);
+  a.Insert(2);
+  a.Insert(5);
+  CompactHistogram b;
+  b.Insert(2, 3);  // upgrades a's singleton
+  b.Insert(3);     // new singleton
+  b.Insert(1);     // existing pair, no change
+  b.Insert(6, 4);  // new pair
+  const uint64_t predicted = a.JoinedFootprintBytes(b);
+  a.Join(b);
+  EXPECT_EQ(predicted, a.footprint_bytes());
+}
+
+TEST(CompactHistogramTest, RemoveRandomVictimPreservesCounts) {
+  CompactHistogram h;
+  h.Insert(1, 5);
+  h.Insert(2, 5);
+  Pcg64 rng(1);
+  for (int i = 0; i < 10; ++i) {
+    const Value victim = h.RemoveRandomVictim(rng);
+    EXPECT_TRUE(victim == 1 || victim == 2);
+  }
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(CompactHistogramTest, RemoveRandomVictimIsUniformOverElements) {
+  // Value 1 has 9 copies, value 2 has 1: the victim should be 1 about 90%
+  // of the time.
+  Pcg64 rng(2);
+  int ones = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    CompactHistogram h;
+    h.Insert(1, 9);
+    h.Insert(2, 1);
+    if (h.RemoveRandomVictim(rng) == 1) ++ones;
+  }
+  EXPECT_NEAR(ones / static_cast<double>(trials), 0.9, 0.01);
+}
+
+TEST(CompactHistogramTest, ClearResetsEverything) {
+  CompactHistogram h;
+  h.Insert(1, 3);
+  h.Clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.footprint_bytes(), 0u);
+  EXPECT_EQ(h.distinct_count(), 0u);
+}
+
+TEST(CompactHistogramTest, EqualityIgnoresInsertionOrder) {
+  CompactHistogram a;
+  a.Insert(1);
+  a.Insert(2, 2);
+  CompactHistogram b;
+  b.Insert(2, 2);
+  b.Insert(1);
+  EXPECT_TRUE(a == b);
+  b.Insert(3);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(CompactHistogramTest, FootprintInvariantUnderRandomOps) {
+  // Property: footprint always equals 8*singletons + 12*pairs.
+  Pcg64 rng(3);
+  CompactHistogram h;
+  for (int step = 0; step < 20000; ++step) {
+    const Value v = static_cast<Value>(rng.UniformInt(50));
+    if (rng.Bernoulli(0.7) || h.CountOf(v) == 0) {
+      h.Insert(v, rng.UniformInt(3) + 1);
+    } else {
+      h.Remove(v, 1 + rng.UniformInt(h.CountOf(v)));
+    }
+    if (step % 500 == 0) {
+      uint64_t expected = 0;
+      uint64_t total = 0;
+      h.ForEach([&](Value, uint64_t n) {
+        expected += (n == 1) ? kSingletonFootprintBytes : kPairFootprintBytes;
+        total += n;
+      });
+      ASSERT_EQ(h.footprint_bytes(), expected);
+      ASSERT_EQ(h.total_count(), total);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sampwh

@@ -1,0 +1,131 @@
+#include "src/core/concise_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sampwh {
+namespace {
+
+TEST(ConciseSamplerTest, ExactHistogramWhileItFits) {
+  ConciseSampler::Options options;
+  options.footprint_bound_bytes = 1024;
+  ConciseSampler sampler(options, Pcg64(1));
+  for (int i = 0; i < 100; ++i) sampler.Add(i % 10);
+  EXPECT_EQ(sampler.threshold(), 1.0);
+  EXPECT_EQ(sampler.sample_size(), 100u);
+  for (Value v = 0; v < 10; ++v) {
+    EXPECT_EQ(sampler.histogram().CountOf(v), 10u);
+  }
+}
+
+TEST(ConciseSamplerTest, FootprintNeverExceedsBound) {
+  ConciseSampler::Options options;
+  options.footprint_bound_bytes = 256;
+  ConciseSampler sampler(options, Pcg64(2));
+  for (Value v = 0; v < 50000; ++v) {
+    sampler.Add(v);  // all-distinct stream: worst case for the footprint
+    ASSERT_LE(sampler.footprint_bytes(), options.footprint_bound_bytes);
+  }
+  EXPECT_GT(sampler.threshold(), 1.0);
+}
+
+TEST(ConciseSamplerTest, LowDiversityStreamStaysExhaustive) {
+  ConciseSampler::Options options;
+  options.footprint_bound_bytes = 256;
+  ConciseSampler sampler(options, Pcg64(3));
+  for (int i = 0; i < 100000; ++i) sampler.Add(i % 4);
+  // 4 pairs fit easily: the "sample" is the exact histogram.
+  EXPECT_EQ(sampler.threshold(), 1.0);
+  EXPECT_EQ(sampler.sample_size(), 100000u);
+}
+
+// The paper's §3.3 counterexample, reproduced empirically. Population
+// D = {1..6} with values u1 = u2 = u3 = a, u4 = u5 = u6 = b and room for
+// only one (value, count) pair. Under ANY uniform scheme producing size-3
+// samples, outcome H3 = {(a,2), b} arises from 9 of the C(6,3) = 20
+// subsets and H1 = {(a,3)} from exactly 1, so H3 must appear ~9x as often
+// as H1. Concise sampling can NEVER produce H3 (it does not fit), yet
+// produces H1 — hence it is not uniform.
+TEST(ConciseSamplerTest, Section33CounterexampleNonUniform) {
+  constexpr Value a = 100;
+  constexpr Value b = 200;
+  // One pair = 12 bytes. Bound of 12 bytes: H1/H2 fit, H3 (pair +
+  // singleton = 20 bytes) does not.
+  ConciseSampler::Options options;
+  options.footprint_bound_bytes = kPairFootprintBytes;
+  options.threshold_growth = 1.5;
+
+  uint64_t h1_or_h2 = 0;  // {(a,3)} or {(b,3)}
+  uint64_t h3_like = 0;   // any outcome holding both values
+  Pcg64 seeder(42);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    ConciseSampler sampler(options, seeder.Fork(t));
+    for (const Value v : {a, a, a, b, b, b}) sampler.Add(v);
+    const CompactHistogram& h = sampler.histogram();
+    if (h.CountOf(a) > 0 && h.CountOf(b) > 0) ++h3_like;
+    if (h.CountOf(a) == 3 && h.CountOf(b) == 0) ++h1_or_h2;
+    if (h.CountOf(b) == 3 && h.CountOf(a) == 0) ++h1_or_h2;
+  }
+  // Mixed-value outcomes never fit in one pair.
+  EXPECT_EQ(h3_like, 0u);
+  // Yet the pure outcomes do occur.
+  EXPECT_GT(h1_or_h2, 0u);
+}
+
+TEST(ConciseSamplerTest, SingleValueStreamNeverPurges) {
+  ConciseSampler::Options options;
+  options.footprint_bound_bytes = 64;
+  ConciseSampler sampler(options, Pcg64(5));
+  for (int i = 0; i < 1000000; ++i) sampler.Add(7);
+  EXPECT_EQ(sampler.sample_size(), 1000000u);
+  EXPECT_EQ(sampler.footprint_bytes(), kPairFootprintBytes);
+}
+
+TEST(ConciseSamplerTest, ViolatesTheUniformSizeThreeLaw) {
+  // §3.3, quantitatively: on {a,a,a,b,b,b}, a UNIFORM scheme producing
+  // size-3 samples emits mixed-value outcomes ({(a,2),b} or {a,(b,2)})
+  // exactly 18/20 of the time and pure outcomes ({(a,3)} or {(b,3)}) 2/20.
+  // Concise sampling's footprint-coupled purging distorts that law: the
+  // observed mixed fraction among size-3 outcomes deviates from 0.9 by
+  // many standard errors (the direction depends on the bound and purge
+  // schedule; non-uniformity is the invariant claim).
+  constexpr Value a = 1;
+  constexpr Value b = 2;
+  ConciseSampler::Options options;
+  options.footprint_bound_bytes =
+      kPairFootprintBytes + kSingletonFootprintBytes;  // 20 bytes
+  options.threshold_growth = 1.5;
+  Pcg64 seeder(77);
+  uint64_t mixed = 0;
+  uint64_t pure = 0;
+  const int trials = 30000;
+  for (int t = 0; t < trials; ++t) {
+    ConciseSampler sampler(options, seeder.Fork(t));
+    for (const Value v : {a, a, a, b, b, b}) sampler.Add(v);
+    const CompactHistogram& h = sampler.histogram();
+    if (h.total_count() != 3) continue;  // condition on sample size 3
+    const bool has_a = h.CountOf(a) > 0;
+    const bool has_b = h.CountOf(b) > 0;
+    if (has_a && has_b) {
+      ++mixed;
+    } else {
+      ++pure;
+    }
+  }
+  const uint64_t size3 = pure + mixed;
+  ASSERT_GT(size3, 1000u) << "not enough size-3 outcomes";
+  const double fraction =
+      static_cast<double>(mixed) / static_cast<double>(size3);
+  const double se =
+      std::sqrt(0.9 * 0.1 / static_cast<double>(size3));
+  EXPECT_GT(std::fabs(fraction - 0.9), 5.0 * se)
+      << "mixed=" << mixed << " pure=" << pure
+      << " fraction=" << fraction;
+}
+
+}  // namespace
+}  // namespace sampwh

@@ -1,0 +1,109 @@
+#include "src/core/counting_sampler.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace sampwh {
+namespace {
+
+TEST(CountingSamplerTest, ExactCountsWhileThresholdIsOne) {
+  CountingSampler::Options options;
+  options.footprint_bound_bytes = 1024;
+  CountingSampler sampler(options, Pcg64(1));
+  for (int i = 0; i < 60; ++i) sampler.Add(i % 3);
+  EXPECT_EQ(sampler.threshold(), 1.0);
+  for (Value v = 0; v < 3; ++v) {
+    EXPECT_EQ(sampler.histogram().CountOf(v), 20u);
+  }
+}
+
+TEST(CountingSamplerTest, MembersAlwaysCounted) {
+  // Once a value is in the sample, later occurrences increment exactly —
+  // as long as no threshold raise intervenes (a raise may evict counts;
+  // that is the Gibbons-Matias semantics, not a bug). A raise only fires
+  // when the footprint grows, and incrementing a value already stored as a
+  // (value, count) pair leaves the footprint unchanged, so the test first
+  // secures a survivor in pair form.
+  CountingSampler::Options options;
+  options.footprint_bound_bytes = 64;
+  CountingSampler sampler(options, Pcg64(2));
+  // Force the threshold up with distinct values.
+  for (Value v = 100; v < 200; ++v) sampler.Add(v);
+  ASSERT_GT(sampler.threshold(), 1.0);
+  // Secure a survivor with count >= 2 (stored as a pair). Adding a copy of
+  // a current member may itself trigger a raise that evicts it; retry with
+  // whatever member remains.
+  Value survivor = -1;
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    Value member = -1;
+    sampler.histogram().ForEach([&](Value v, uint64_t) { member = v; });
+    ASSERT_NE(member, -1);
+    sampler.Add(member);
+    if (sampler.histogram().CountOf(member) >= 2) {
+      survivor = member;
+      break;
+    }
+  }
+  ASSERT_NE(survivor, -1);
+  const uint64_t before = sampler.histogram().CountOf(survivor);
+  for (int i = 0; i < 25; ++i) sampler.Add(survivor);
+  EXPECT_EQ(sampler.histogram().CountOf(survivor), before + 25);
+}
+
+TEST(CountingSamplerTest, FootprintNeverExceedsBound) {
+  CountingSampler::Options options;
+  options.footprint_bound_bytes = 128;
+  CountingSampler sampler(options, Pcg64(3));
+  for (Value v = 0; v < 20000; ++v) {
+    sampler.Add(v);
+    ASSERT_LE(sampler.footprint_bytes(), options.footprint_bound_bytes);
+  }
+}
+
+TEST(CountingSamplerTest, DeleteDecrementsAndRemoves) {
+  CountingSampler::Options options;
+  options.footprint_bound_bytes = 1024;
+  CountingSampler sampler(options, Pcg64(4));
+  sampler.Add(7);
+  sampler.Add(7);
+  EXPECT_TRUE(sampler.Delete(7));
+  EXPECT_EQ(sampler.histogram().CountOf(7), 1u);
+  EXPECT_TRUE(sampler.Delete(7));
+  EXPECT_EQ(sampler.histogram().CountOf(7), 0u);
+  EXPECT_FALSE(sampler.Delete(7));
+}
+
+TEST(CountingSamplerTest, DeleteOfUnsampledValueIsNoop) {
+  CountingSampler::Options options;
+  CountingSampler sampler(options, Pcg64(5));
+  sampler.Add(1);
+  EXPECT_FALSE(sampler.Delete(99));
+  EXPECT_EQ(sampler.sample_size(), 1u);
+}
+
+TEST(CountingSamplerTest, InsertDeleteBalanceTracksParent) {
+  // With threshold still 1 (no purge pressure), the sample mirrors the
+  // parent multiset exactly through interleaved inserts and deletes.
+  CountingSampler::Options options;
+  options.footprint_bound_bytes = 4096;
+  CountingSampler sampler(options, Pcg64(6));
+  Pcg64 rng(7);
+  std::map<Value, uint64_t> model;
+  for (int step = 0; step < 5000; ++step) {
+    const Value v = static_cast<Value>(rng.UniformInt(20));
+    if (rng.Bernoulli(0.6) || model[v] == 0) {
+      sampler.Add(v);
+      ++model[v];
+    } else {
+      EXPECT_TRUE(sampler.Delete(v));
+      --model[v];
+    }
+  }
+  for (const auto& [v, n] : model) {
+    EXPECT_EQ(sampler.histogram().CountOf(v), n) << v;
+  }
+}
+
+}  // namespace
+}  // namespace sampwh

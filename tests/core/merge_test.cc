@@ -1,0 +1,341 @@
+#include "src/core/merge.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/hybrid_bernoulli.h"
+#include "src/core/hybrid_reservoir.h"
+
+namespace sampwh {
+namespace {
+
+CompactHistogram MakeHistogram(
+    const std::vector<std::pair<Value, uint64_t>>& entries) {
+  CompactHistogram h;
+  for (const auto& [v, n] : entries) h.Insert(v, n);
+  return h;
+}
+
+PartitionSample SampleHb(uint64_t f, const std::vector<Value>& data,
+                         uint64_t seed) {
+  HybridBernoulliSampler::Options options;
+  options.footprint_bound_bytes = f;
+  options.expected_population_size = data.size();
+  HybridBernoulliSampler sampler(options, Pcg64(seed));
+  for (const Value v : data) sampler.Add(v);
+  return sampler.Finalize();
+}
+
+PartitionSample SampleHr(uint64_t f, const std::vector<Value>& data,
+                         uint64_t seed) {
+  HybridReservoirSampler::Options options;
+  options.footprint_bound_bytes = f;
+  HybridReservoirSampler sampler(options, Pcg64(seed));
+  for (const Value v : data) sampler.Add(v);
+  return sampler.Finalize();
+}
+
+std::vector<Value> Range(Value begin, Value end) {
+  std::vector<Value> out;
+  for (Value v = begin; v < end; ++v) out.push_back(v);
+  return out;
+}
+
+MergeOptions Opts(uint64_t f) {
+  MergeOptions options;
+  options.footprint_bound_bytes = f;
+  return options;
+}
+
+TEST(HypergeometricSplitTest, WithinSupport) {
+  Pcg64 rng(1);
+  for (int t = 0; t < 1000; ++t) {
+    const uint64_t l = SampleHypergeometricSplit(10, 20, 15, rng);
+    EXPECT_GE(l, 0u);
+    EXPECT_LE(l, 10u);
+    EXPECT_GE(15 - l, 0u);
+  }
+}
+
+TEST(AliasCacheTest, CachesAndSamplesCorrectMean) {
+  AliasCache cache;
+  Pcg64 rng(2);
+  double sum = 0.0;
+  const int trials = 50000;
+  for (int t = 0; t < trials; ++t) {
+    sum += static_cast<double>(cache.Sample(100, 300, 40, rng));
+  }
+  EXPECT_EQ(cache.size(), 1u);  // one distribution, built once
+  EXPECT_NEAR(sum / trials, 10.0, 0.2);  // E[L] = 40 * 100/400
+  cache.Sample(50, 50, 10, rng);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(HrMergeTest, BothExhaustiveStaysExhaustive) {
+  const PartitionSample s1 = SampleHr(65536, Range(0, 100), 1);
+  const PartitionSample s2 = SampleHr(65536, Range(100, 250), 2);
+  Pcg64 rng(3);
+  const auto merged = HRMerge(s1, s2, Opts(65536), rng);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().phase(), SamplePhase::kExhaustive);
+  EXPECT_EQ(merged.value().size(), 250u);
+  EXPECT_EQ(merged.value().parent_size(), 250u);
+}
+
+TEST(HrMergeTest, BothReservoirGivesMinSize) {
+  const PartitionSample s1 = SampleHr(512, Range(0, 5000), 4);
+  const PartitionSample s2 = SampleHr(512, Range(5000, 30000), 5);
+  ASSERT_EQ(s1.size(), 64u);
+  ASSERT_EQ(s2.size(), 64u);
+  Pcg64 rng(6);
+  const auto merged = HRMerge(s1, s2, Opts(512), rng);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().phase(), SamplePhase::kReservoir);
+  EXPECT_EQ(merged.value().size(), 64u);
+  EXPECT_EQ(merged.value().parent_size(), 30000u);
+  EXPECT_TRUE(merged.value().Validate().ok());
+}
+
+TEST(HrMergeTest, ExhaustivePlusReservoir) {
+  const PartitionSample s1 = SampleHr(65536, Range(0, 500), 7);     // exact
+  const PartitionSample s2 = SampleHr(512, Range(1000, 9000), 8);  // SRS 64
+  Pcg64 rng(9);
+  const auto merged = HRMerge(s1, s2, Opts(512), rng);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().parent_size(), 8500u);
+  EXPECT_LE(merged.value().size(), 64u);
+  EXPECT_TRUE(merged.value().Validate().ok());
+}
+
+TEST(HrMergeTest, MergedShareFromEachSideIsHypergeometric) {
+  // Theorem 1 corollary: the merged sample takes L ~ HG(|D1|,|D2|,k)
+  // elements from D1. Verify the mean over repeated merges.
+  const int trials = 3000;
+  double from_d1 = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const PartitionSample s1 = SampleHr(256, Range(0, 1000), 100 + t);
+    const PartitionSample s2 =
+        SampleHr(256, Range(1000, 4000), 5000 + t);  // |D2| = 3000
+    Pcg64 rng(90000 + t);
+    const auto merged = HRMerge(s1, s2, Opts(256), rng);
+    ASSERT_TRUE(merged.ok());
+    merged.value().histogram().ForEach([&](Value v, uint64_t c) {
+      if (v < 1000) from_d1 += static_cast<double>(c);
+    });
+  }
+  // k = 32, E[L] = 32 * 1000/4000 = 8.
+  EXPECT_NEAR(from_d1 / trials, 8.0, 0.25);
+}
+
+TEST(HrMergeTest, EmptyBernoulliInputYieldsEmptyUniformSample) {
+  const PartitionSample empty =
+      PartitionSample::MakeBernoulli(CompactHistogram(), 1000, 0.001, 512);
+  const PartitionSample s2 = SampleHr(512, Range(0, 5000), 10);
+  Pcg64 rng(11);
+  const auto merged = HRMerge(empty, s2, Opts(512), rng);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().size(), 0u);
+  EXPECT_EQ(merged.value().parent_size(), 6000u);
+}
+
+TEST(HbMergeTest, BothExhaustiveSmall) {
+  const PartitionSample s1 = SampleHb(65536, Range(0, 80), 12);
+  const PartitionSample s2 = SampleHb(65536, Range(80, 150), 13);
+  Pcg64 rng(14);
+  const auto merged = HBMerge(s1, s2, Opts(65536), rng);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().phase(), SamplePhase::kExhaustive);
+  EXPECT_EQ(merged.value().size(), 150u);
+}
+
+TEST(HbMergeTest, ExhaustiveStreamedIntoBernoulli) {
+  const PartitionSample small = SampleHb(65536, Range(0, 200), 15);
+  const PartitionSample big = SampleHb(8192, Range(1000, 101000), 16);
+  ASSERT_EQ(big.phase(), SamplePhase::kBernoulli);
+  Pcg64 rng(17);
+  const auto merged = HBMerge(small, big, Opts(8192), rng);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().parent_size(), 100200u);
+  EXPECT_TRUE(merged.value().Validate().ok());
+}
+
+TEST(HbMergeTest, BothBernoulliCommonRate) {
+  const PartitionSample s1 = SampleHb(8192, Range(0, 100000), 18);
+  const PartitionSample s2 = SampleHb(8192, Range(100000, 200000), 19);
+  ASSERT_EQ(s1.phase(), SamplePhase::kBernoulli);
+  ASSERT_EQ(s2.phase(), SamplePhase::kBernoulli);
+  Pcg64 rng(20);
+  const auto merged = HBMerge(s1, s2, Opts(8192), rng);
+  ASSERT_TRUE(merged.ok());
+  const PartitionSample& m = merged.value();
+  EXPECT_EQ(m.parent_size(), 200000u);
+  EXPECT_LE(m.footprint_bytes(), 8192u);
+  EXPECT_TRUE(m.Validate().ok());
+  if (m.phase() == SamplePhase::kBernoulli) {
+    // The merged rate must match q(|D1|+|D2|, p, n_F).
+    EXPECT_LT(m.sampling_rate(), s1.sampling_rate());
+  }
+}
+
+TEST(HbMergeTest, MergedSizeTracksCommonRate) {
+  double sum = 0.0;
+  const int trials = 40;
+  double expected = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const PartitionSample s1 =
+        SampleHb(8192, Range(0, 50000), 2000 + t);
+    const PartitionSample s2 =
+        SampleHb(8192, Range(50000, 150000), 3000 + t);
+    Pcg64 rng(4000 + t);
+    const auto merged = HBMerge(s1, s2, Opts(8192), rng);
+    ASSERT_TRUE(merged.ok());
+    sum += static_cast<double>(merged.value().size());
+    expected = 150000.0 * merged.value().sampling_rate();
+  }
+  // Mean within 5% of N * q.
+  EXPECT_NEAR(sum / trials, expected, 0.05 * expected);
+}
+
+TEST(HbMergeTest, ReservoirInputDelegatesToHrMerge) {
+  // Force one HB sample into phase 3 via a stream 20x its declared size.
+  HybridBernoulliSampler::Options options;
+  options.footprint_bound_bytes = 512;
+  options.expected_population_size = 2000;
+  HybridBernoulliSampler sampler(options, Pcg64(21));
+  for (Value v = 0; v < 40000; ++v) sampler.Add(v);
+  const PartitionSample reservoir = sampler.Finalize();
+  ASSERT_EQ(reservoir.phase(), SamplePhase::kReservoir);
+
+  const PartitionSample bern = SampleHb(512, Range(100000, 140000), 22);
+  Pcg64 rng(23);
+  const auto merged = HBMerge(reservoir, bern, Opts(512), rng);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().phase(), SamplePhase::kReservoir);
+  EXPECT_EQ(merged.value().parent_size(), 80000u);
+  EXPECT_TRUE(merged.value().Validate().ok());
+}
+
+TEST(MergeSamplesTest, DispatchesByPhase) {
+  const PartitionSample hb1 = SampleHb(8192, Range(0, 50000), 24);
+  const PartitionSample hr1 = SampleHr(8192, Range(50000, 90000), 25);
+  Pcg64 rng(26);
+  const auto merged = MergeSamples(hb1, hr1, Opts(8192), rng);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().phase(), SamplePhase::kReservoir);
+}
+
+TEST(UnionBernoulliTest, EqualRatesJustJoin) {
+  const PartitionSample s1 = PartitionSample::MakeBernoulli(
+      MakeHistogram({{1, 2}, {2, 1}}), 100, 0.1, 0);
+  const PartitionSample s2 = PartitionSample::MakeBernoulli(
+      MakeHistogram({{2, 2}, {3, 1}}), 200, 0.1, 0);
+  Pcg64 rng(27);
+  const auto merged = UnionBernoulli({&s1, &s2}, rng);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().size(), 6u);
+  EXPECT_EQ(merged.value().parent_size(), 300u);
+  EXPECT_EQ(merged.value().sampling_rate(), 0.1);
+  EXPECT_EQ(merged.value().histogram().CountOf(2), 3u);
+}
+
+TEST(UnionBernoulliTest, UnequalRatesAreEqualized) {
+  Pcg64 rng(28);
+  double kept = 0.0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    const PartitionSample s1 = PartitionSample::MakeBernoulli(
+        MakeHistogram({{1, 100}}), 1000, 0.2, 0);
+    const PartitionSample s2 = PartitionSample::MakeBernoulli(
+        MakeHistogram({{2, 100}}), 1000, 0.1, 0);
+    const auto merged = UnionBernoulli({&s1, &s2}, rng);
+    ASSERT_TRUE(merged.ok());
+    EXPECT_EQ(merged.value().sampling_rate(), 0.1);
+    kept += static_cast<double>(merged.value().histogram().CountOf(1));
+  }
+  // s1's elements survive the 0.1/0.2 thinning half the time.
+  EXPECT_NEAR(kept / trials, 50.0, 1.0);
+}
+
+TEST(UnionBernoulliTest, RejectsReservoirInput) {
+  const PartitionSample r = SampleHr(512, Range(0, 5000), 29);
+  Pcg64 rng(30);
+  EXPECT_FALSE(UnionBernoulli({&r}, rng).ok());
+}
+
+TEST(MergeAllTest, SingleInputPassesThrough) {
+  const PartitionSample s = SampleHr(512, Range(0, 5000), 31);
+  Pcg64 rng(32);
+  const auto merged = MergeAll({&s}, Opts(512), rng);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().size(), s.size());
+}
+
+TEST(MergeAllTest, EmptyInputIsError) {
+  Pcg64 rng(33);
+  EXPECT_FALSE(MergeAll({}, Opts(512), rng).ok());
+}
+
+TEST(MergeAllTest, FoldAndTreeBothCoverAllPartitions) {
+  std::vector<PartitionSample> samples;
+  for (int p = 0; p < 8; ++p) {
+    samples.push_back(
+        SampleHr(512, Range(p * 1000, (p + 1) * 1000), 40 + p));
+  }
+  std::vector<const PartitionSample*> pointers;
+  for (const auto& s : samples) pointers.push_back(&s);
+  for (const auto strategy :
+       {MergeStrategy::kLeftFold, MergeStrategy::kBalancedTree}) {
+    Pcg64 rng(50);
+    const auto merged = MergeAll(pointers, Opts(512), rng, strategy);
+    ASSERT_TRUE(merged.ok());
+    EXPECT_EQ(merged.value().parent_size(), 8000u);
+    EXPECT_EQ(merged.value().size(), 64u);
+    EXPECT_TRUE(merged.value().Validate().ok());
+  }
+}
+
+TEST(MergeAllTest, AliasCacheReusedAcrossSymmetricTree) {
+  // 8 equal-size partitions, balanced tree: 3 levels -> 3 distinct split
+  // distributions.
+  std::vector<PartitionSample> samples;
+  for (int p = 0; p < 8; ++p) {
+    samples.push_back(
+        SampleHr(256, Range(p * 1000, (p + 1) * 1000), 60 + p));
+  }
+  std::vector<const PartitionSample*> pointers;
+  for (const auto& s : samples) pointers.push_back(&s);
+  AliasCache cache;
+  MergeOptions options = Opts(256);
+  options.alias_cache = &cache;
+  Pcg64 rng(70);
+  const auto merged =
+      MergeAll(pointers, options, rng, MergeStrategy::kBalancedTree);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(MergeDisjointValueCoverage, MergedValuesComeFromBothParents) {
+  int saw_left = 0;
+  int saw_right = 0;
+  for (int t = 0; t < 50; ++t) {
+    const PartitionSample s1 = SampleHr(256, Range(0, 2000), 80 + t);
+    const PartitionSample s2 = SampleHr(256, Range(2000, 4000), 180 + t);
+    Pcg64 rng(280 + t);
+    const auto merged = HRMerge(s1, s2, Opts(256), rng);
+    ASSERT_TRUE(merged.ok());
+    merged.value().histogram().ForEach([&](Value v, uint64_t) {
+      if (v < 2000) {
+        ++saw_left;
+      } else {
+        ++saw_right;
+      }
+    });
+  }
+  EXPECT_GT(saw_left, 0);
+  EXPECT_GT(saw_right, 0);
+}
+
+}  // namespace
+}  // namespace sampwh

@@ -1,0 +1,89 @@
+#include "src/core/qbound.h"
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/special_functions.h"
+
+namespace sampwh {
+namespace {
+
+TEST(QBoundTest, FullPopulationFitsMeansRateOne) {
+  EXPECT_EQ(ApproxBernoulliRate(100, 0.01, 100), 1.0);
+  EXPECT_EQ(ApproxBernoulliRate(100, 0.01, 200), 1.0);
+  EXPECT_EQ(ExactBernoulliRate(100, 0.01, 100), 1.0);
+}
+
+TEST(QBoundTest, ExactRateSatisfiesTheDefiningEquation) {
+  for (const auto& [n, p, nf] :
+       std::vector<std::tuple<uint64_t, double, uint64_t>>{
+           {100000, 0.001, 8192},
+           {1 << 20, 0.001, 8192},
+           {100000, 0.00001, 1000},
+           {32768, 0.5, 100}}) {
+    const double q = ExactBernoulliRate(n, p, nf);
+    EXPECT_NEAR(BinomialTailProbability(n, q, nf), p, 1e-6 * p + 1e-12)
+        << n << " " << p << " " << nf;
+  }
+}
+
+TEST(QBoundTest, ApproxCloseToExactPaperFigure5Regime) {
+  // Fig. 5: N = 1e5, p in [1e-5, 5e-3], n_F in {1e2, 1e3, 1e4}: the paper
+  // reports relative error never above 2.765%.
+  const uint64_t n = 100000;
+  for (const uint64_t nf : {100ULL, 1000ULL, 10000ULL}) {
+    for (const double p : {1e-5, 1e-4, 1e-3, 5e-3}) {
+      const double approx = ApproxBernoulliRate(n, p, nf);
+      const double exact = ExactBernoulliRate(n, p, nf);
+      const double rel_err = std::fabs(approx - exact) / exact;
+      EXPECT_LT(rel_err, 0.03) << "nf=" << nf << " p=" << p;
+    }
+  }
+}
+
+TEST(QBoundTest, RateDecreasesWithTighterBound) {
+  const double loose = ExactBernoulliRate(1 << 20, 0.001, 16384);
+  const double tight = ExactBernoulliRate(1 << 20, 0.001, 1024);
+  EXPECT_GT(loose, tight);
+}
+
+TEST(QBoundTest, RateDecreasesWithSmallerExceedance) {
+  const double p_large = ExactBernoulliRate(1 << 20, 0.01, 8192);
+  const double p_small = ExactBernoulliRate(1 << 20, 0.00001, 8192);
+  EXPECT_GT(p_large, p_small);
+}
+
+TEST(QBoundTest, RateDecreasesWithLargerPopulation) {
+  const double small_n = ExactBernoulliRate(1 << 16, 0.001, 4096);
+  const double large_n = ExactBernoulliRate(1 << 24, 0.001, 4096);
+  EXPECT_GT(small_n, large_n);
+}
+
+TEST(QBoundTest, ApproxRateIsAValidProbability) {
+  for (uint64_t n : {64ULL, 1024ULL, 1ULL << 26}) {
+    for (uint64_t nf : {1ULL, 16ULL, 8192ULL}) {
+      if (nf >= n) continue;
+      for (double p : {1e-6, 1e-3, 0.5}) {
+        const double q = ApproxBernoulliRate(n, p, nf);
+        EXPECT_GE(q, 0.0);
+        EXPECT_LE(q, 1.0);
+      }
+    }
+  }
+}
+
+TEST(QBoundTest, ExpectedSampleSizeIsNearButBelowBound) {
+  // With p = 0.001, Nq should be a bit below n_F (about z_p sigma below).
+  const uint64_t n = 1 << 20;
+  const uint64_t nf = 8192;
+  const double q = ExactBernoulliRate(n, 0.001, nf);
+  const double expected_size = n * q;
+  EXPECT_LT(expected_size, static_cast<double>(nf));
+  EXPECT_GT(expected_size, 0.9 * static_cast<double>(nf));
+}
+
+}  // namespace
+}  // namespace sampwh

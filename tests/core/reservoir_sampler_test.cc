@@ -1,0 +1,94 @@
+#include "src/core/reservoir_sampler.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sampwh {
+namespace {
+
+TEST(ReservoirSamplerTest, ShortStreamIsExhaustive) {
+  ReservoirSampler sampler(10, Pcg64(1));
+  for (Value v = 0; v < 7; ++v) sampler.Add(v);
+  const PartitionSample s = sampler.Finalize();
+  EXPECT_EQ(s.phase(), SamplePhase::kExhaustive);
+  EXPECT_EQ(s.size(), 7u);
+  for (Value v = 0; v < 7; ++v) EXPECT_EQ(s.histogram().CountOf(v), 1u);
+}
+
+TEST(ReservoirSamplerTest, LongStreamCapsAtCapacity) {
+  ReservoirSampler sampler(10, Pcg64(2));
+  for (Value v = 0; v < 10000; ++v) sampler.Add(v);
+  const PartitionSample s = sampler.Finalize();
+  EXPECT_EQ(s.phase(), SamplePhase::kReservoir);
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_EQ(s.parent_size(), 10000u);
+}
+
+TEST(ReservoirSamplerTest, EveryElementEquallyLikely) {
+  // Inclusion frequency of each stream position must be k/N.
+  const uint64_t k = 4;
+  const uint64_t n = 40;
+  const int trials = 40000;
+  std::vector<int> included(n, 0);
+  for (int t = 0; t < trials; ++t) {
+    ReservoirSampler sampler(k, Pcg64(10 + t));
+    for (Value v = 0; v < static_cast<Value>(n); ++v) sampler.Add(v);
+    for (const Value v : sampler.contents()) ++included[v];
+  }
+  const double expected = trials * static_cast<double>(k) / n;  // 4000
+  for (uint64_t v = 0; v < n; ++v) {
+    EXPECT_NEAR(included[v], expected, 5.0 * std::sqrt(expected)) << v;
+  }
+}
+
+TEST(ReservoirSamplerTest, SkipModesProduceSameLaw) {
+  // Mean of sampled values should match under X-only and Z-only skips.
+  const uint64_t n = 5000;
+  for (const auto mode :
+       {VitterSkip::Mode::kAlgorithmX, VitterSkip::Mode::kAlgorithmZ}) {
+    double sum = 0.0;
+    const int trials = 300;
+    for (int t = 0; t < trials; ++t) {
+      ReservoirSampler sampler(16, Pcg64(500 + t), mode);
+      for (Value v = 0; v < static_cast<Value>(n); ++v) sampler.Add(v);
+      for (const Value v : sampler.contents()) sum += static_cast<double>(v);
+    }
+    const double mean = sum / (300.0 * 16.0);
+    // Population mean (n-1)/2 = 2499.5; SE ~ n/sqrt(12 * 4800) ~ 21.
+    EXPECT_NEAR(mean, 2499.5, 110.0);
+  }
+}
+
+TEST(ReservoirSamplerTest, FinalizeResetsState) {
+  ReservoirSampler sampler(5, Pcg64(3));
+  for (Value v = 0; v < 100; ++v) sampler.Add(v);
+  sampler.Finalize();
+  EXPECT_EQ(sampler.sample_size(), 0u);
+  EXPECT_EQ(sampler.elements_seen(), 0u);
+}
+
+TEST(ReservoirSamplerTest, CapacityOneHoldsUniformElement) {
+  std::vector<int> chosen(5, 0);
+  const int trials = 50000;
+  for (int t = 0; t < trials; ++t) {
+    ReservoirSampler sampler(1, Pcg64(7000 + t));
+    for (Value v = 0; v < 5; ++v) sampler.Add(v);
+    ++chosen[sampler.contents()[0]];
+  }
+  for (int v = 0; v < 5; ++v) {
+    EXPECT_NEAR(chosen[v], trials / 5.0, 5.0 * std::sqrt(trials / 5.0)) << v;
+  }
+}
+
+TEST(ReservoirSamplerTest, FootprintBoundRecorded) {
+  ReservoirSampler sampler(100, Pcg64(4));
+  for (Value v = 0; v < 1000; ++v) sampler.Add(v);
+  const PartitionSample s = sampler.Finalize();
+  EXPECT_EQ(s.footprint_bound_bytes(), 100 * kSingletonFootprintBytes);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+}  // namespace
+}  // namespace sampwh

@@ -1,0 +1,108 @@
+// Robustness fuzzing for the PartitionSample wire format: random byte
+// mutations, truncations and garbage must never crash the decoder — every
+// outcome is either a clean error Status or a sample that passes
+// Validate(). (Deterministic seeds: this is a reproducible mini-fuzzer,
+// not an OSS-Fuzz harness.)
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/sample.h"
+#include "src/util/random.h"
+
+namespace sampwh {
+namespace {
+
+std::string SerializeReference(uint64_t seed) {
+  Pcg64 rng(seed);
+  CompactHistogram h;
+  const uint64_t distinct = 1 + rng.UniformInt(200);
+  for (uint64_t i = 0; i < distinct; ++i) {
+    h.Insert(rng.UniformRange(-1000000, 1000000), 1 + rng.UniformInt(5));
+  }
+  const uint64_t total = h.total_count();
+  PartitionSample s;
+  switch (rng.UniformInt(3)) {
+    case 0:
+      s = PartitionSample::MakeExhaustive(std::move(h), total, 0);
+      break;
+    case 1:
+      s = PartitionSample::MakeBernoulli(std::move(h), total * 10,
+                                         rng.NextDouble(), 0);
+      break;
+    default:
+      s = PartitionSample::MakeReservoir(std::move(h), total * 10, 0);
+      break;
+  }
+  BinaryWriter w;
+  s.SerializeTo(&w);
+  return w.Release();
+}
+
+void ExpectNoCrash(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  const Result<PartitionSample> decoded =
+      PartitionSample::DeserializeFrom(&reader);
+  if (decoded.ok()) {
+    EXPECT_TRUE(decoded.value().Validate().ok());
+  }
+}
+
+TEST(SampleFuzzTest, SingleByteMutationsNeverCrash) {
+  Pcg64 rng(1);
+  for (int round = 0; round < 200; ++round) {
+    const std::string reference = SerializeReference(100 + round);
+    for (int mutation = 0; mutation < 20; ++mutation) {
+      std::string bytes = reference;
+      const size_t pos = static_cast<size_t>(rng.UniformInt(bytes.size()));
+      bytes[pos] = static_cast<char>(rng.UniformInt(256));
+      ExpectNoCrash(bytes);
+    }
+  }
+}
+
+TEST(SampleFuzzTest, TruncationsNeverCrash) {
+  for (int round = 0; round < 100; ++round) {
+    const std::string reference = SerializeReference(500 + round);
+    for (size_t len = 0; len < reference.size();
+         len += 1 + reference.size() / 37) {
+      ExpectNoCrash(reference.substr(0, len));
+    }
+  }
+}
+
+TEST(SampleFuzzTest, RandomGarbageNeverCrashes) {
+  Pcg64 rng(2);
+  for (int round = 0; round < 500; ++round) {
+    std::string bytes(rng.UniformInt(200), '\0');
+    for (char& c : bytes) c = static_cast<char>(rng.UniformInt(256));
+    ExpectNoCrash(bytes);
+  }
+}
+
+TEST(SampleFuzzTest, ByteSwapsNeverCrash) {
+  Pcg64 rng(3);
+  for (int round = 0; round < 200; ++round) {
+    std::string bytes = SerializeReference(900 + round);
+    if (bytes.size() < 2) continue;
+    const size_t i = static_cast<size_t>(rng.UniformInt(bytes.size()));
+    const size_t j = static_cast<size_t>(rng.UniformInt(bytes.size()));
+    std::swap(bytes[i], bytes[j]);
+    ExpectNoCrash(bytes);
+  }
+}
+
+TEST(SampleFuzzTest, UnmutatedReferenceAlwaysDecodes) {
+  for (int round = 0; round < 100; ++round) {
+    const std::string reference = SerializeReference(1300 + round);
+    BinaryReader reader(reference);
+    const Result<PartitionSample> decoded =
+        PartitionSample::DeserializeFrom(&reader);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_TRUE(reader.AtEnd());
+  }
+}
+
+}  // namespace
+}  // namespace sampwh

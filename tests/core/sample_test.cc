@@ -1,0 +1,160 @@
+#include "src/core/sample.h"
+
+#include <gtest/gtest.h>
+
+namespace sampwh {
+namespace {
+
+CompactHistogram MakeHistogram(
+    const std::vector<std::pair<Value, uint64_t>>& entries) {
+  CompactHistogram h;
+  for (const auto& [v, n] : entries) h.Insert(v, n);
+  return h;
+}
+
+TEST(PartitionSampleTest, ExhaustiveFactoryAndAccessors) {
+  const PartitionSample s = PartitionSample::MakeExhaustive(
+      MakeHistogram({{1, 2}, {2, 1}}), 3, 1024);
+  EXPECT_EQ(s.phase(), SamplePhase::kExhaustive);
+  EXPECT_EQ(s.parent_size(), 3u);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.sampling_rate(), 1.0);
+  EXPECT_EQ(s.footprint_bound_bytes(), 1024u);
+  EXPECT_EQ(s.max_sample_size(), 128u);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(PartitionSampleTest, BernoulliFactory) {
+  const PartitionSample s = PartitionSample::MakeBernoulli(
+      MakeHistogram({{5, 1}}), 100, 0.01, 1024);
+  EXPECT_EQ(s.phase(), SamplePhase::kBernoulli);
+  EXPECT_EQ(s.sampling_rate(), 0.01);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(PartitionSampleTest, ReservoirFactory) {
+  const PartitionSample s = PartitionSample::MakeReservoir(
+      MakeHistogram({{5, 2}, {6, 1}}), 100, 1024);
+  EXPECT_EQ(s.phase(), SamplePhase::kReservoir);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(PartitionSampleTest, ValidateRejectsOverfullExhaustive) {
+  const PartitionSample s = PartitionSample::MakeExhaustive(
+      MakeHistogram({{1, 2}}), 5, 1024);  // claims parent 5, holds 2
+  EXPECT_TRUE(s.Validate().IsCorruption());
+}
+
+TEST(PartitionSampleTest, ValidateRejectsSampleLargerThanParent) {
+  const PartitionSample s = PartitionSample::MakeReservoir(
+      MakeHistogram({{1, 10}}), 5, 1024);
+  EXPECT_TRUE(s.Validate().IsCorruption());
+}
+
+TEST(PartitionSampleTest, ValidateRejectsBadRate) {
+  const PartitionSample s = PartitionSample::MakeBernoulli(
+      MakeHistogram({{1, 1}}), 5, 1.5, 1024);
+  EXPECT_TRUE(s.Validate().IsCorruption());
+}
+
+TEST(PartitionSampleTest, ValidateRejectsFootprintOverBound) {
+  // 3 distinct singletons = 24 bytes > 16-byte bound.
+  const PartitionSample s = PartitionSample::MakeReservoir(
+      MakeHistogram({{1, 1}, {2, 1}, {3, 1}}), 100, 16);
+  EXPECT_TRUE(s.Validate().IsCorruption());
+}
+
+TEST(PartitionSampleTest, ZeroBoundMeansUnbounded) {
+  const PartitionSample s = PartitionSample::MakeBernoulli(
+      MakeHistogram({{1, 1}, {2, 1}, {3, 1}}), 100, 0.5, 0);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(PartitionSampleTest, SerializationRoundTripAllPhases) {
+  const std::vector<PartitionSample> samples = {
+      PartitionSample::MakeExhaustive(MakeHistogram({{-10, 2}, {42, 3}}), 5,
+                                      4096),
+      PartitionSample::MakeBernoulli(MakeHistogram({{1, 1}, {1000000, 4}}),
+                                     123456, 0.0125, 4096),
+      PartitionSample::MakeReservoir(
+          MakeHistogram({{-5, 1}, {0, 2}, {7, 1}}), 999, 4096),
+  };
+  for (const PartitionSample& s : samples) {
+    BinaryWriter w;
+    s.SerializeTo(&w);
+    BinaryReader r(w.buffer());
+    const Result<PartitionSample> decoded =
+        PartitionSample::DeserializeFrom(&r);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().phase(), s.phase());
+    EXPECT_EQ(decoded.value().parent_size(), s.parent_size());
+    EXPECT_EQ(decoded.value().sampling_rate(), s.sampling_rate());
+    EXPECT_EQ(decoded.value().footprint_bound_bytes(),
+              s.footprint_bound_bytes());
+    EXPECT_TRUE(decoded.value().histogram() == s.histogram());
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(PartitionSampleTest, EmptySampleSerializes) {
+  const PartitionSample s =
+      PartitionSample::MakeReservoir(CompactHistogram(), 100, 4096);
+  BinaryWriter w;
+  s.SerializeTo(&w);
+  BinaryReader r(w.buffer());
+  const Result<PartitionSample> decoded =
+      PartitionSample::DeserializeFrom(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().size(), 0u);
+}
+
+TEST(PartitionSampleTest, DeserializeRejectsBadMagic) {
+  BinaryWriter w;
+  w.PutFixed32(0x12345678);
+  BinaryReader r(w.buffer());
+  EXPECT_TRUE(PartitionSample::DeserializeFrom(&r).status().IsCorruption());
+}
+
+TEST(PartitionSampleTest, DeserializeRejectsBadPhase) {
+  BinaryWriter w;
+  w.PutFixed32(0x53575331);
+  w.PutVarint64(9);  // invalid phase
+  BinaryReader r(w.buffer());
+  EXPECT_TRUE(PartitionSample::DeserializeFrom(&r).status().IsCorruption());
+}
+
+TEST(PartitionSampleTest, DeserializeRejectsTruncation) {
+  const PartitionSample s = PartitionSample::MakeReservoir(
+      MakeHistogram({{1, 2}, {2, 2}}), 50, 4096);
+  BinaryWriter w;
+  s.SerializeTo(&w);
+  const std::string truncated = w.buffer().substr(0, w.size() - 2);
+  BinaryReader r(truncated);
+  EXPECT_FALSE(PartitionSample::DeserializeFrom(&r).ok());
+}
+
+TEST(PartitionSampleTest, DeserializeValidatesInvariants) {
+  // Hand-craft an exhaustive sample whose histogram does not cover the
+  // claimed parent size.
+  BinaryWriter w;
+  w.PutFixed32(0x53575331);
+  w.PutVarint64(1);    // phase exhaustive
+  w.PutVarint64(10);   // parent size 10
+  w.PutDouble(1.0);
+  w.PutVarint64(0);    // unbounded
+  w.PutVarint64(1);    // one entry
+  w.PutVarintSigned64(7);
+  w.PutVarint64(2);    // ... holding 2 values only
+  BinaryReader r(w.buffer());
+  EXPECT_TRUE(PartitionSample::DeserializeFrom(&r).status().IsCorruption());
+}
+
+TEST(SamplePhaseTest, Names) {
+  EXPECT_EQ(SamplePhaseToString(SamplePhase::kExhaustive), "exhaustive");
+  EXPECT_EQ(SamplePhaseToString(SamplePhase::kBernoulli), "bernoulli");
+  EXPECT_EQ(SamplePhaseToString(SamplePhase::kReservoir), "reservoir");
+}
+
+}  // namespace
+}  // namespace sampwh

@@ -1,0 +1,69 @@
+#include "src/core/systematic_sampler.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sampwh {
+namespace {
+
+TEST(SystematicSamplerTest, StrideOneKeepsEverything) {
+  SystematicSampler sampler(1, Pcg64(1));
+  for (Value v = 0; v < 100; ++v) sampler.Add(v);
+  EXPECT_EQ(sampler.sample_size(), 100u);
+}
+
+TEST(SystematicSamplerTest, SampleSizeIsDeterministicWithinOne) {
+  for (int t = 0; t < 50; ++t) {
+    SystematicSampler sampler(10, Pcg64(100 + t));
+    for (Value v = 0; v < 995; ++v) sampler.Add(v);
+    // 995 / 10 = 99.5: every offset yields 99 or 100 inclusions.
+    EXPECT_GE(sampler.sample_size(), 99u);
+    EXPECT_LE(sampler.sample_size(), 100u);
+  }
+}
+
+TEST(SystematicSamplerTest, TakesEveryStrideth) {
+  SystematicSampler sampler(7, Pcg64(2));
+  for (Value v = 0; v < 700; ++v) sampler.Add(v);
+  const uint64_t offset = sampler.offset();
+  for (Value v = 0; v < 700; ++v) {
+    const bool expected = (static_cast<uint64_t>(v) % 7) == offset;
+    EXPECT_EQ(sampler.histogram().CountOf(v) == 1, expected) << v;
+  }
+}
+
+TEST(SystematicSamplerTest, MarginalInclusionIsOneOverStride) {
+  const uint64_t stride = 5;
+  const uint64_t n = 50;
+  std::vector<int> included(n, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    SystematicSampler sampler(stride, Pcg64(1000 + t));
+    for (Value v = 0; v < static_cast<Value>(n); ++v) sampler.Add(v);
+    sampler.histogram().ForEach(
+        [&](Value v, uint64_t c) { included[v] += static_cast<int>(c); });
+  }
+  const double expected = trials / static_cast<double>(stride);
+  for (uint64_t v = 0; v < n; ++v) {
+    EXPECT_NEAR(included[v], expected, 5.0 * std::sqrt(expected)) << v;
+  }
+}
+
+TEST(SystematicSamplerTest, JointLawIsDegenerate) {
+  // The reason systematic samples stay out of the uniform merge paths:
+  // elements stride apart are perfectly correlated — only `stride`
+  // distinct outcomes exist.
+  const uint64_t stride = 4;
+  for (int t = 0; t < 200; ++t) {
+    SystematicSampler sampler(stride, Pcg64(2000 + t));
+    for (Value v = 0; v < 16; ++v) sampler.Add(v);
+    // If element 0 is in, element 4 must be too (and vice versa).
+    EXPECT_EQ(sampler.histogram().CountOf(0), sampler.histogram().CountOf(4));
+    EXPECT_EQ(sampler.histogram().CountOf(1), sampler.histogram().CountOf(9));
+  }
+}
+
+}  // namespace
+}  // namespace sampwh

@@ -1,0 +1,135 @@
+#include "src/core/vitter.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sampwh {
+namespace {
+
+TEST(VitterSkipTest, NextIndexAlwaysAdvances) {
+  // Walks a realistic reservoir trajectory. n grows by a factor of about
+  // (1 + 1/k) per skip, so the iteration count is capped to keep n small
+  // enough that Algorithm X's O(skip) sequential search stays fast.
+  for (const auto mode : {VitterSkip::Mode::kAlgorithmX,
+                          VitterSkip::Mode::kAlgorithmZ,
+                          VitterSkip::Mode::kAuto}) {
+    Pcg64 rng(1);
+    VitterSkip skip(64, mode);
+    uint64_t n = 64;
+    for (int i = 0; i < 250; ++i) {
+      const uint64_t next = skip.NextInsertionIndex(rng, n);
+      ASSERT_GT(next, n);
+      n = next;
+    }
+    EXPECT_GT(n, 64u);
+  }
+}
+
+// The marginal law of the skip: P{next included = n + s + 1} for a
+// reservoir of size k after n elements equals
+//   (k / (n+s+1)) * prod_{j=1..s} (n+j-k)/(n+j).
+double SkipPmf(uint64_t n, uint64_t k, uint64_t s) {
+  double prob = 1.0;
+  for (uint64_t j = 1; j <= s; ++j) {
+    prob *= static_cast<double>(n + j - k) / static_cast<double>(n + j);
+  }
+  return prob * static_cast<double>(k) / static_cast<double>(n + s + 1);
+}
+
+class VitterSkipDistributionTest
+    : public ::testing::TestWithParam<VitterSkip::Mode> {};
+
+TEST_P(VitterSkipDistributionTest, SkipLawMatchesReservoirSampling) {
+  const uint64_t k = 5;
+  const uint64_t n = 200;  // n/k = 40 forces Z in auto mode
+  Pcg64 rng(42);
+  VitterSkip skip(k, GetParam());
+  const int trials = 60000;
+  std::vector<int> counts(2000, 0);
+  for (int i = 0; i < trials; ++i) {
+    const uint64_t s = skip.NextInsertionIndex(rng, n) - n - 1;
+    if (s < counts.size()) ++counts[s];
+  }
+  double chi2 = 0.0;
+  int cells = 0;
+  for (uint64_t s = 0; s < counts.size(); ++s) {
+    const double expected = trials * SkipPmf(n, k, s);
+    if (expected < 10.0) break;
+    chi2 += (counts[s] - expected) * (counts[s] - expected) / expected;
+    ++cells;
+  }
+  ASSERT_GT(cells, 10);
+  // Generous: P{chi2(df~cells) > cells + 5 sqrt(2 cells)} is tiny.
+  EXPECT_LT(chi2, cells + 5.0 * std::sqrt(2.0 * cells)) << "cells " << cells;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, VitterSkipDistributionTest,
+                         ::testing::Values(VitterSkip::Mode::kAlgorithmX,
+                                           VitterSkip::Mode::kAlgorithmZ,
+                                           VitterSkip::Mode::kAuto));
+
+TEST(VitterSkipTest, XAndZAgreeOnMeanSkip) {
+  const uint64_t k = 8;
+  const uint64_t n = 500;
+  const int trials = 30000;
+  double mean_x = 0.0;
+  double mean_z = 0.0;
+  {
+    Pcg64 rng(7);
+    VitterSkip skip(k, VitterSkip::Mode::kAlgorithmX);
+    for (int i = 0; i < trials; ++i) {
+      mean_x += static_cast<double>(skip.NextInsertionIndex(rng, n) - n);
+    }
+  }
+  {
+    Pcg64 rng(8);
+    VitterSkip skip(k, VitterSkip::Mode::kAlgorithmZ);
+    for (int i = 0; i < trials; ++i) {
+      mean_z += static_cast<double>(skip.NextInsertionIndex(rng, n) - n);
+    }
+  }
+  mean_x /= trials;
+  mean_z /= trials;
+  EXPECT_NEAR(mean_x, mean_z, 0.05 * mean_x);
+}
+
+TEST(VitterSkipTest, ReservoirSizeOneWorks) {
+  // k = 1 roughly doubles n per skip; 25 steps keeps n around 10^7.
+  Pcg64 rng(9);
+  VitterSkip skip(1);
+  uint64_t n = 1;
+  for (int i = 0; i < 25; ++i) {
+    n = skip.NextInsertionIndex(rng, n);
+  }
+  EXPECT_GT(n, 25u);
+}
+
+TEST(VitterSkipTest, InclusionProbabilityIsKOverN) {
+  // Simulate reservoir decisions over a fixed stream and verify that
+  // element t is replaced into the reservoir with probability ~ k/t.
+  const uint64_t k = 20;
+  const uint64_t stream = 2000;
+  const int trials = 4000;
+  std::vector<int> included(stream + 1, 0);
+  Pcg64 rng(10);
+  for (int t = 0; t < trials; ++t) {
+    VitterSkip skip(k);
+    uint64_t next = skip.NextInsertionIndex(rng, k);
+    while (next <= stream) {
+      ++included[next];
+      next = skip.NextInsertionIndex(rng, next);
+    }
+  }
+  // Check a few positions well past k.
+  for (uint64_t pos : {100ULL, 500ULL, 1999ULL}) {
+    const double expected = static_cast<double>(k) / static_cast<double>(pos);
+    const double observed = included[pos] / static_cast<double>(trials);
+    EXPECT_NEAR(observed, expected, 5.0 * std::sqrt(expected / trials))
+        << pos;
+  }
+}
+
+}  // namespace
+}  // namespace sampwh

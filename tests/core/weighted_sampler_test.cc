@@ -1,0 +1,138 @@
+#include "src/core/weighted_sampler.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sampwh {
+namespace {
+
+TEST(WeightedSamplerTest, ShortStreamKeepsEverything) {
+  WeightedReservoirSampler sampler(10, Pcg64(1));
+  for (Value v = 0; v < 5; ++v) sampler.Add(v, 1.0 + v);
+  EXPECT_EQ(sampler.sample_size(), 5u);
+  EXPECT_EQ(sampler.elements_seen(), 5u);
+  EXPECT_DOUBLE_EQ(sampler.total_weight_seen(), 1 + 2 + 3 + 4 + 5);
+}
+
+TEST(WeightedSamplerTest, CapacityRespected) {
+  WeightedReservoirSampler sampler(16, Pcg64(2));
+  for (Value v = 0; v < 10000; ++v) sampler.Add(v, 1.0);
+  EXPECT_EQ(sampler.sample_size(), 16u);
+}
+
+TEST(WeightedSamplerTest, ItemsSortedByDescendingKey) {
+  WeightedReservoirSampler sampler(32, Pcg64(3));
+  for (Value v = 0; v < 1000; ++v) sampler.Add(v, 1.0 + (v % 7));
+  const auto items = sampler.Items();
+  for (size_t i = 1; i < items.size(); ++i) {
+    EXPECT_GE(items[i - 1].key, items[i].key);
+  }
+}
+
+TEST(WeightedSamplerTest, EqualWeightsReduceToUniformSampling) {
+  // With all weights equal, inclusion frequencies must match a plain SRS:
+  // k/N per element.
+  const uint64_t n = 50;
+  const uint64_t k = 5;
+  std::vector<int> included(n, 0);
+  const int trials = 30000;
+  for (int t = 0; t < trials; ++t) {
+    WeightedReservoirSampler sampler(k, Pcg64(100 + t));
+    for (Value v = 0; v < static_cast<Value>(n); ++v) sampler.Add(v, 1.0);
+    for (const WeightedItem& item : sampler.Items()) {
+      ++included[item.value];
+    }
+  }
+  const double expected = trials * static_cast<double>(k) / n;
+  for (uint64_t v = 0; v < n; ++v) {
+    EXPECT_NEAR(included[v], expected, 5.0 * std::sqrt(expected)) << v;
+  }
+}
+
+TEST(WeightedSamplerTest, FirstSelectionFollowsWeights) {
+  // A-ES with k = 1: P{item i selected} = w_i / sum w (exactly).
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  std::vector<int> selected(weights.size(), 0);
+  const int trials = 40000;
+  for (int t = 0; t < trials; ++t) {
+    WeightedReservoirSampler sampler(1, Pcg64(500 + t));
+    for (size_t i = 0; i < weights.size(); ++i) {
+      sampler.Add(static_cast<Value>(i), weights[i]);
+    }
+    ++selected[sampler.Items()[0].value];
+  }
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double expected = trials * weights[i] / 10.0;
+    EXPECT_NEAR(selected[i], expected, 5.0 * std::sqrt(expected)) << i;
+  }
+}
+
+TEST(WeightedSamplerTest, HeavyWeightsDominate) {
+  WeightedReservoirSampler sampler(8, Pcg64(4));
+  // 992 light items, 8 items weighted 1000x heavier.
+  for (Value v = 0; v < 992; ++v) sampler.Add(v, 1.0);
+  for (Value v = 1000; v < 1008; ++v) sampler.Add(v, 1000.0);
+  uint64_t heavy = 0;
+  for (const WeightedItem& item : sampler.Items()) {
+    if (item.value >= 1000) ++heavy;
+  }
+  EXPECT_GE(heavy, 6u);  // overwhelmingly the heavy items
+}
+
+TEST(WeightedSamplerTest, MergeMatchesSinglePassDistribution) {
+  // Merging reservoirs over two disjoint halves must select items with
+  // the same frequencies as one sampler over the concatenated stream.
+  const uint64_t n = 40;
+  const uint64_t k = 4;
+  auto weight_of = [](Value v) { return 1.0 + (v % 5); };
+  std::map<Value, int> merged_counts;
+  std::map<Value, int> single_counts;
+  const int trials = 30000;
+  for (int t = 0; t < trials; ++t) {
+    WeightedReservoirSampler a(k, Pcg64(1000 + t));
+    WeightedReservoirSampler b(k, Pcg64(99000 + t));
+    WeightedReservoirSampler single(k, Pcg64(777000 + t));
+    for (Value v = 0; v < static_cast<Value>(n); ++v) {
+      if (v < static_cast<Value>(n / 2)) {
+        a.Add(v, weight_of(v));
+      } else {
+        b.Add(v, weight_of(v));
+      }
+      single.Add(v, weight_of(v));
+    }
+    const auto merged = WeightedReservoirSampler::Merge(a, b);
+    ASSERT_TRUE(merged.ok());
+    EXPECT_EQ(merged.value().sample_size(), k);
+    EXPECT_EQ(merged.value().elements_seen(), n);
+    for (const WeightedItem& item : merged.value().Items()) {
+      ++merged_counts[item.value];
+    }
+    for (const WeightedItem& item : single.Items()) {
+      ++single_counts[item.value];
+    }
+  }
+  for (Value v = 0; v < static_cast<Value>(n); ++v) {
+    const double m = merged_counts[v];
+    const double s = single_counts[v];
+    EXPECT_NEAR(m, s, 5.0 * std::sqrt(std::max(m, s) + 1.0)) << v;
+  }
+}
+
+TEST(WeightedSamplerTest, MergeCapacityIsMinimum) {
+  WeightedReservoirSampler a(4, Pcg64(5));
+  WeightedReservoirSampler b(8, Pcg64(6));
+  for (Value v = 0; v < 100; ++v) {
+    a.Add(v, 1.0);
+    b.Add(v + 1000, 1.0);
+  }
+  const auto merged = WeightedReservoirSampler::Merge(a, b);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().capacity(), 4u);
+  EXPECT_EQ(merged.value().sample_size(), 4u);
+}
+
+}  // namespace
+}  // namespace sampwh

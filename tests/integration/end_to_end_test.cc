@@ -1,0 +1,246 @@
+// End-to-end scenarios straight from the paper's §2:
+//  1. Bulk load an initial batch in parallel, then merge periodic update
+//     partitions into a running sample of the whole data set.
+//  2. Split an overwhelming stream across workers, sample concurrently,
+//     merge on demand.
+//  3. Partition temporally (daily), roll daily samples in, build weekly /
+//     monthly rollups, roll old days out.
+//  4. Dictionary-encoded string data sampled through the same machinery.
+// Every scenario checks statistical plausibility of downstream estimates
+// against ground truth.
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/stats/estimators.h"
+#include "src/warehouse/dictionary.h"
+#include "src/warehouse/splitter.h"
+#include "src/warehouse/stream_ingestor.h"
+#include "src/warehouse/warehouse.h"
+#include "src/workload/generators.h"
+
+namespace sampwh {
+namespace {
+
+WarehouseOptions DefaultOptions(SamplerKind kind, uint64_t f = 8192) {
+  WarehouseOptions options;
+  options.sampler.kind = kind;
+  options.sampler.footprint_bound_bytes = f;
+  return options;
+}
+
+TEST(EndToEndTest, BulkLoadPlusPeriodicUpdates) {
+  // Scenario 1 (§2): parallel initial load, then periodic smaller updates;
+  // the merged sample always covers the full data set and supports
+  // accurate estimates.
+  Warehouse wh(DefaultOptions(SamplerKind::kHybridBernoulli));
+  ASSERT_TRUE(wh.CreateDataset("sales").ok());
+
+  // Initial bulk load: 200k values uniform on [1, 1000], 8-way parallel.
+  DataGenerator initial = DataGenerator::Uniform(200000, 1000, 42);
+  ThreadPool pool(4);
+  ASSERT_TRUE(wh.IngestBatch("sales", initial.TakeAll(), 8, &pool).ok());
+
+  // Ten periodic updates of 10k values each.
+  for (int update = 0; update < 10; ++update) {
+    DataGenerator gen =
+        DataGenerator::Uniform(10000, 1000, 1000 + update);
+    ASSERT_TRUE(wh.IngestBatch("sales", gen.TakeAll(), 1).ok());
+  }
+
+  const auto merged = wh.MergedSampleAll("sales");
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged.value().parent_size(), 300000u);
+  EXPECT_LE(merged.value().footprint_bytes(), 8192u);
+
+  // Mean of Uniform[1,1000] is 500.5.
+  const auto mean = EstimateMean(merged.value());
+  ASSERT_TRUE(mean.ok());
+  EXPECT_NEAR(mean.value().value, 500.5,
+              5.0 * mean.value().standard_error + 1.0);
+
+  // Selectivity of v <= 100 is ~0.1.
+  const auto sel = EstimateSelectivity(merged.value(),
+                                       [](Value v) { return v <= 100; });
+  ASSERT_TRUE(sel.ok());
+  EXPECT_NEAR(sel.value().value, 0.1, 5.0 * sel.value().standard_error + 0.01);
+}
+
+TEST(EndToEndTest, SplitStreamAcrossWorkersAndMergeOnDemand) {
+  // Scenario 2 (§2): the stream is split over "machines" (ingestors); each
+  // samples independently; the warehouse merges on demand.
+  Warehouse wh(DefaultOptions(SamplerKind::kHybridReservoir, 2048));
+  ASSERT_TRUE(wh.CreateDataset("clicks").ok());
+
+  constexpr size_t kWorkers = 4;
+  StreamSplitter splitter(kWorkers, SplitPolicy::kRoundRobin);
+  std::vector<std::unique_ptr<StreamIngestor>> ingestors;
+  for (size_t w = 0; w < kWorkers; ++w) {
+    ingestors.push_back(std::make_unique<StreamIngestor>(
+        &wh, "clicks", MakeCountPartitioner(5000)));
+  }
+  DataGenerator gen = DataGenerator::Uniform(60000, 1000000, 7);
+  while (gen.HasNext()) {
+    const Value v = gen.Next();
+    ASSERT_TRUE(ingestors[splitter.Route(v)]->Append(v).ok());
+  }
+  for (auto& ingestor : ingestors) ASSERT_TRUE(ingestor->Flush().ok());
+
+  const auto info = wh.GetDatasetInfo("clicks");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().total_parent_size, 60000u);
+  EXPECT_EQ(info.value().num_partitions, 12u);  // 3 per worker
+
+  const auto merged = wh.MergedSampleAll("clicks");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().parent_size(), 60000u);
+  EXPECT_EQ(merged.value().size(), 256u);  // n_F for 2048 bytes
+
+  const auto mean = EstimateMean(merged.value());
+  ASSERT_TRUE(mean.ok());
+  EXPECT_NEAR(mean.value().value, 500000.5,
+              5.0 * mean.value().standard_error);
+}
+
+TEST(EndToEndTest, DailyPartitionsWeeklyRollupsAndRollOut) {
+  // Scenario 3 (§2): one partition per day; weekly and monthly samples by
+  // merging; old days rolled out as the retention window slides.
+  Warehouse wh(DefaultOptions(SamplerKind::kHybridReservoir, 1024));
+  ASSERT_TRUE(wh.CreateDataset("events").ok());
+  StreamIngestor ingestor(&wh, "events", MakeTemporalPartitioner(24));
+
+  // 28 days, 2000 events/day; day d produces values centered on d.
+  constexpr uint64_t kDays = 28;
+  constexpr uint64_t kPerDay = 2000;
+  for (uint64_t day = 0; day < kDays; ++day) {
+    Pcg64 rng(500 + day);
+    for (uint64_t i = 0; i < kPerDay; ++i) {
+      const uint64_t ts = day * 24 + (i * 24) / kPerDay;
+      const Value v = static_cast<Value>(day * 1000 + rng.UniformInt(1000));
+      ASSERT_TRUE(ingestor.Append(v, ts).ok());
+    }
+  }
+  ASSERT_TRUE(ingestor.Flush().ok());
+  ASSERT_EQ(ingestor.rolled_in().size(), kDays);
+
+  // Weekly rollup for week 2 (days 7..13).
+  const auto week2 = wh.MergedSampleInTimeRange("events", 7 * 24,
+                                                14 * 24 - 1);
+  ASSERT_TRUE(week2.ok());
+  EXPECT_EQ(week2.value().parent_size(), 7 * kPerDay);
+  week2.value().histogram().ForEach([](Value v, uint64_t) {
+    EXPECT_GE(v, 7000);
+    EXPECT_LT(v, 14000);
+  });
+
+  // Monthly rollup covers everything.
+  const auto month = wh.MergedSampleAll("events");
+  ASSERT_TRUE(month.ok());
+  EXPECT_EQ(month.value().parent_size(), kDays * kPerDay);
+
+  // Slide the retention window: roll out week 1 (days 0..6).
+  const auto old_parts = wh.PartitionsInTimeRange("events", 0, 7 * 24 - 1);
+  ASSERT_TRUE(old_parts.ok());
+  EXPECT_EQ(old_parts.value().size(), 7u);
+  for (const PartitionId id : old_parts.value()) {
+    ASSERT_TRUE(wh.RollOut("events", id).ok());
+  }
+  const auto remaining = wh.MergedSampleAll("events");
+  ASSERT_TRUE(remaining.ok());
+  EXPECT_EQ(remaining.value().parent_size(), (kDays - 7) * kPerDay);
+  remaining.value().histogram().ForEach([](Value v, uint64_t) {
+    EXPECT_GE(v, 7000);  // week 1 values are gone
+  });
+}
+
+TEST(EndToEndTest, DictionaryEncodedStringDataset) {
+  // Scenario 4: string-valued data flows through the dictionary, gets
+  // sampled as codes, and decodes back to strings at query time.
+  Warehouse wh(DefaultOptions(SamplerKind::kHybridReservoir, 512));
+  ASSERT_TRUE(wh.CreateDataset("countries").ok());
+  ValueDictionary dict;
+  const std::vector<std::string> tokens = {"us", "de", "jp", "br", "in"};
+  // Skewed token stream: token i appears (5 - i) * 4000 times.
+  std::vector<Value> encoded;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Value code = dict.Encode(tokens[i]);
+    encoded.insert(encoded.end(), (5 - i) * 4000, code);
+  }
+  ASSERT_TRUE(wh.IngestBatch("countries", encoded, 4).ok());
+  const auto merged = wh.MergedSampleAll("countries");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().parent_size(), 60000u);
+
+  // Estimated frequency of "us" (~20000 of 60000) within tolerance; decode
+  // every sampled code successfully.
+  const auto us_freq =
+      EstimateFrequency(merged.value(), dict.Lookup("us").value());
+  ASSERT_TRUE(us_freq.ok());
+  EXPECT_NEAR(us_freq.value().value, 20000.0,
+              5.0 * us_freq.value().standard_error + 500.0);
+  merged.value().histogram().ForEach([&dict](Value code, uint64_t) {
+    EXPECT_TRUE(dict.Decode(code).ok());
+  });
+}
+
+TEST(EndToEndTest, FileBackedWarehouseFullCycle) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "sampwh_e2e").string();
+  std::filesystem::remove_all(dir);
+  {
+    auto store = FileSampleStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    Warehouse wh(DefaultOptions(SamplerKind::kHybridBernoulli, 4096),
+                 std::move(store).value());
+    ASSERT_TRUE(wh.CreateDataset("persisted").ok());
+    DataGenerator gen = DataGenerator::Uniform(50000, 1000, 99);
+    ASSERT_TRUE(wh.IngestBatch("persisted", gen.TakeAll(), 5).ok());
+    const auto merged = wh.MergedSampleAll("persisted");
+    ASSERT_TRUE(merged.ok());
+    EXPECT_EQ(merged.value().parent_size(), 50000u);
+  }
+  // The samples survive on disk beyond the warehouse's lifetime.
+  {
+    auto store = FileSampleStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    const auto ids = store.value()->List("persisted");
+    ASSERT_TRUE(ids.ok());
+    EXPECT_EQ(ids.value().size(), 5u);
+    for (const PartitionId id : ids.value()) {
+      const auto s = store.value()->Get({"persisted", id});
+      ASSERT_TRUE(s.ok());
+      EXPECT_TRUE(s.value().Validate().ok());
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EndToEndTest, HbVersusHrSampleSizeCharacter) {
+  // §4.3 / §5 conclusion 4, as an integration check: on identical data,
+  // HR's merged sample is exactly n_F while HB's is smaller and random.
+  const uint64_t f = 2048;  // n_F = 256
+  DataGenerator gen = DataGenerator::Uniform(100000, 1000000, 3);
+  const std::vector<Value> data = gen.TakeAll();
+
+  Warehouse hr(DefaultOptions(SamplerKind::kHybridReservoir, f));
+  ASSERT_TRUE(hr.CreateDataset("d").ok());
+  ASSERT_TRUE(hr.IngestBatch("d", data, 8).ok());
+  const auto hr_merged = hr.MergedSampleAll("d");
+  ASSERT_TRUE(hr_merged.ok());
+  EXPECT_EQ(hr_merged.value().size(), 256u);
+
+  Warehouse hb(DefaultOptions(SamplerKind::kHybridBernoulli, f));
+  ASSERT_TRUE(hb.CreateDataset("d").ok());
+  ASSERT_TRUE(hb.IngestBatch("d", data, 8).ok());
+  const auto hb_merged = hb.MergedSampleAll("d");
+  ASSERT_TRUE(hb_merged.ok());
+  EXPECT_LT(hb_merged.value().size(), 256u);
+  EXPECT_GT(hb_merged.value().size(), 128u);  // but not collapsed
+}
+
+}  // namespace
+}  // namespace sampwh

@@ -1,0 +1,143 @@
+// A "month in the life" of a file-backed sample warehouse, exercising the
+// full operational surface in one continuous scenario: streaming ingestion
+// with temporal partitioning, weekly compaction, retention-driven
+// roll-out, manifest persistence, process "restart", and continued
+// operation afterwards — with estimate sanity-checks at every stage.
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/stats/estimators.h"
+#include "src/warehouse/stream_ingestor.h"
+#include "src/warehouse/warehouse.h"
+#include "src/util/random.h"
+
+namespace sampwh {
+namespace {
+
+constexpr uint64_t kTicksPerDay = 24;
+constexpr uint64_t kEventsPerDay = 3000;
+
+WarehouseOptions Options() {
+  WarehouseOptions options;
+  options.sampler.kind = SamplerKind::kHybridReservoir;
+  options.sampler.footprint_bound_bytes = 2048;  // n_F = 256
+  return options;
+}
+
+// Day `day` produces values uniform on [day*100, day*100 + 100000).
+void IngestDay(StreamIngestor* ingestor, uint64_t day) {
+  Pcg64 rng(9000 + day);
+  for (uint64_t i = 0; i < kEventsPerDay; ++i) {
+    const uint64_t ts = day * kTicksPerDay + (i * kTicksPerDay) / kEventsPerDay;
+    const Value v = static_cast<Value>(day * 100 + rng.UniformInt(100000));
+    ASSERT_TRUE(ingestor->Append(v, ts).ok());
+  }
+}
+
+TEST(LifecycleTest, FourWeeksOfOperation) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "sampwh_lifecycle").string();
+  const std::string manifest = dir + "/MANIFEST";
+  std::filesystem::remove_all(dir);
+
+  // ---- Weeks 1-3: daily ingestion, weekly compaction --------------------
+  {
+    auto store = FileSampleStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    Warehouse wh(Options(), std::move(store).value());
+    ASSERT_TRUE(wh.CreateDataset("events").ok());
+    StreamIngestor ingestor(&wh, "events",
+                            MakeTemporalPartitioner(kTicksPerDay));
+    for (uint64_t day = 0; day < 21; ++day) {
+      IngestDay(&ingestor, day);
+    }
+    ASSERT_TRUE(ingestor.Flush().ok());
+    ASSERT_EQ(wh.ListPartitions("events").value().size(), 21u);
+
+    // Compact each closed week into one stored sample.
+    for (int week = 0; week < 3; ++week) {
+      const auto days = wh.PartitionsInTimeRange(
+          "events", week * 7 * kTicksPerDay,
+          (week + 1) * 7 * kTicksPerDay - 1);
+      ASSERT_TRUE(days.ok());
+      ASSERT_EQ(days.value().size(), 7u);
+      ASSERT_TRUE(wh.CompactPartitions("events", days.value()).ok());
+    }
+    const auto parts = wh.ListPartitions("events");
+    ASSERT_TRUE(parts.ok());
+    EXPECT_EQ(parts.value().size(), 3u);  // three weekly samples
+    const auto info = wh.GetDatasetInfo("events");
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info.value().total_parent_size, 21 * kEventsPerDay);
+
+    ASSERT_TRUE(wh.SaveManifest(manifest).ok());
+  }
+
+  // ---- "Restart": restore from manifest, keep operating ------------------
+  {
+    auto store = FileSampleStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    auto restored =
+        Warehouse::Restore(Options(), std::move(store).value(), manifest);
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    Warehouse& wh = *restored.value();
+
+    // Week 4 streams in after the restart.
+    StreamIngestor ingestor(&wh, "events",
+                            MakeTemporalPartitioner(kTicksPerDay));
+    for (uint64_t day = 21; day < 28; ++day) {
+      IngestDay(&ingestor, day);
+    }
+    ASSERT_TRUE(ingestor.Flush().ok());
+    EXPECT_EQ(wh.ListPartitions("events").value().size(), 10u);  // 3 + 7
+
+    // Month-to-date query spans compacted weeklies and fresh dailies.
+    const auto month = wh.MergedSampleAll("events");
+    ASSERT_TRUE(month.ok());
+    EXPECT_EQ(month.value().parent_size(), 28 * kEventsPerDay);
+    EXPECT_EQ(month.value().size(), 256u);
+    const auto mean = EstimateMean(month.value());
+    ASSERT_TRUE(mean.ok());
+    // True mean ~ 50000 + mean(day)*100 ~ 51350.
+    EXPECT_NEAR(mean.value().value, 51350.0,
+                5.0 * mean.value().standard_error + 100.0);
+
+    // Retention: keep a 2-week window at the end of day 28.
+    RetentionPolicy policy;
+    policy.keep_window_ticks = 14 * kTicksPerDay;
+    const auto expired =
+        wh.ApplyRetention("events", policy, 28 * kTicksPerDay);
+    ASSERT_TRUE(expired.ok());
+    EXPECT_EQ(expired.value().size(), 2u);  // weeks 1 and 2 age out
+    const auto remaining = wh.MergedSampleAll("events");
+    ASSERT_TRUE(remaining.ok());
+    EXPECT_EQ(remaining.value().parent_size(), 14 * kEventsPerDay);
+    // All surviving values come from days >= 14.
+    remaining.value().histogram().ForEach([](Value v, uint64_t) {
+      EXPECT_GE(v, 1400);
+    });
+
+    ASSERT_TRUE(wh.SaveManifest(manifest).ok());
+  }
+
+  // ---- Second restart proves the post-retention state is durable --------
+  {
+    auto store = FileSampleStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    auto restored =
+        Warehouse::Restore(Options(), std::move(store).value(), manifest);
+    ASSERT_TRUE(restored.ok());
+    const auto info = restored.value()->GetDatasetInfo("events");
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info.value().total_parent_size, 14 * kEventsPerDay);
+    EXPECT_EQ(info.value().num_partitions, 8u);  // week-3 compact + 7 dailies
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sampwh

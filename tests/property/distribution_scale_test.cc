@@ -1,0 +1,102 @@
+// Value-distribution checks at realistic scale. The subset-enumeration
+// harness verifies exact uniformity on tiny populations; these tests
+// complement it with Kolmogorov-Smirnov checks that large merged samples
+// track the parent's value distribution — catching any bias a sampler or
+// merge could introduce along the value axis (e.g. under-representing one
+// partition's range).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/stats/ks_test.h"
+#include "src/warehouse/warehouse.h"
+#include "src/workload/generators.h"
+
+namespace sampwh {
+namespace {
+
+std::vector<Value> SampleValues(const PartitionSample& s) {
+  return s.histogram().ToBag();
+}
+
+WarehouseOptions Options(SamplerKind kind) {
+  WarehouseOptions options;
+  options.sampler.kind = kind;
+  options.sampler.footprint_bound_bytes = 16384;  // n_F = 2048
+  return options;
+}
+
+class MergedDistributionTest
+    : public ::testing::TestWithParam<std::tuple<SamplerKind, int>> {};
+
+TEST_P(MergedDistributionTest, MergedSampleTracksUniformParent) {
+  const auto [kind, partitions] = GetParam();
+  Warehouse wh(Options(kind));
+  ASSERT_TRUE(wh.CreateDataset("d").ok());
+  // Parent: 200K values uniform on [1, 10^6].
+  DataGenerator gen = DataGenerator::Uniform(200000, 1000000, 99);
+  ASSERT_TRUE(
+      wh.IngestBatch("d", gen.TakeAll(), static_cast<size_t>(partitions))
+          .ok());
+  const auto merged = wh.MergedSampleAll("d");
+  ASSERT_TRUE(merged.ok());
+  const std::vector<Value> values = SampleValues(merged.value());
+  ASSERT_GT(values.size(), 500u);
+  const KsResult ks = KsTestDiscreteUniform(values, 1, 1000000);
+  EXPECT_GT(ks.p_value, 1e-4)
+      << "D = " << ks.statistic << " n = " << ks.n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndPartitions, MergedDistributionTest,
+    ::testing::Combine(::testing::Values(SamplerKind::kHybridBernoulli,
+                                         SamplerKind::kHybridReservoir),
+                       ::testing::Values(1, 4, 16, 64)));
+
+TEST(MergedDistributionTest, UniquePartitionRangesEquallyRepresented) {
+  // Unique data split into contiguous chunks: after merging, the sampled
+  // values must be uniform over the WHOLE range — any per-partition bias
+  // in the merge would show up as a KS failure here.
+  Warehouse wh(Options(SamplerKind::kHybridReservoir));
+  ASSERT_TRUE(wh.CreateDataset("u").ok());
+  std::vector<Value> values;
+  for (Value v = 0; v < 262144; ++v) values.push_back(v);
+  ASSERT_TRUE(wh.IngestBatch("u", values, 32).ok());
+  const auto merged = wh.MergedSampleAll("u");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().size(), 2048u);
+  const KsResult ks =
+      KsTestDiscreteUniform(SampleValues(merged.value()), 0, 262143);
+  EXPECT_GT(ks.p_value, 1e-4) << "D = " << ks.statistic;
+}
+
+TEST(MergedDistributionTest, ZipfShapePreservedThroughSampling) {
+  // Zipf data sampled and merged: compare the sampled values against a
+  // direct Zipf stream with a two-sample KS test.
+  Warehouse wh(Options(SamplerKind::kHybridReservoir));
+  ASSERT_TRUE(wh.CreateDataset("z").ok());
+  DataGenerator gen =
+      DataGenerator::Zipf(200000, kPaperZipfRange, 1.0, 123);
+  ASSERT_TRUE(wh.IngestBatch("z", gen.TakeAll(), 8).ok());
+  const auto merged = wh.MergedSampleAll("z");
+  ASSERT_TRUE(merged.ok());
+
+  std::vector<double> sampled;
+  for (const Value v : SampleValues(merged.value())) {
+    sampled.push_back(static_cast<double>(v));
+  }
+  // Zipf partitions stay exhaustive, so the merged sample may be large —
+  // cap the reference stream accordingly.
+  DataGenerator ref_gen =
+      DataGenerator::Zipf(sampled.size(), kPaperZipfRange, 1.0, 456);
+  std::vector<double> reference;
+  for (const Value v : ref_gen.TakeAll()) {
+    reference.push_back(static_cast<double>(v));
+  }
+  const KsResult ks = KsTestTwoSample(sampled, reference);
+  EXPECT_GT(ks.p_value, 1e-4) << "D = " << ks.statistic;
+}
+
+}  // namespace
+}  // namespace sampwh

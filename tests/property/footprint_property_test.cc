@@ -1,0 +1,214 @@
+// §2 requirement 3 (a priori bounded footprint), exercised adversarially:
+// for every bounded sampler and every stream shape — distinct, heavily
+// duplicated, sorted, Zipf-skewed, alternating — the in-memory footprint
+// must respect the bound after EVERY arrival, and the finalized sample must
+// validate, serialize and deserialize.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/concise_sampler.h"
+#include "src/core/counting_sampler.h"
+#include "src/core/hybrid_bernoulli.h"
+#include "src/core/hybrid_reservoir.h"
+#include "src/core/merge.h"
+#include "src/core/multi_purge_sampler.h"
+#include "src/util/distributions.h"
+#include "src/workload/generators.h"
+
+namespace sampwh {
+namespace {
+
+enum class StreamShape {
+  kDistinct,
+  kFourValues,
+  kSortedWithRuns,
+  kZipf,
+  kAlternating,
+};
+
+std::vector<Value> MakeStream(StreamShape shape, uint64_t n, uint64_t seed) {
+  std::vector<Value> out;
+  out.reserve(n);
+  Pcg64 rng(seed);
+  switch (shape) {
+    case StreamShape::kDistinct:
+      for (uint64_t i = 0; i < n; ++i) out.push_back(static_cast<Value>(i));
+      break;
+    case StreamShape::kFourValues:
+      for (uint64_t i = 0; i < n; ++i) {
+        out.push_back(static_cast<Value>(rng.UniformInt(4)));
+      }
+      break;
+    case StreamShape::kSortedWithRuns:
+      for (uint64_t i = 0; i < n; ++i) {
+        out.push_back(static_cast<Value>(i / 7));
+      }
+      break;
+    case StreamShape::kZipf: {
+      ZipfGenerator zipf(500, 1.2);
+      for (uint64_t i = 0; i < n; ++i) {
+        out.push_back(static_cast<Value>(zipf.Sample(rng)));
+      }
+      break;
+    }
+    case StreamShape::kAlternating:
+      for (uint64_t i = 0; i < n; ++i) {
+        // Long duplicate runs interleaved with fresh values.
+        out.push_back(i % 3 == 0 ? static_cast<Value>(i)
+                                 : static_cast<Value>(-7));
+      }
+      break;
+  }
+  return out;
+}
+
+class FootprintPropertyTest : public ::testing::TestWithParam<StreamShape> {};
+
+TEST_P(FootprintPropertyTest, HybridBernoulliRespectsBoundAlways) {
+  const std::vector<Value> stream = MakeStream(GetParam(), 30000, 1);
+  for (const uint64_t f : {128ULL, 1024ULL, 16384ULL}) {
+    HybridBernoulliSampler::Options options;
+    options.footprint_bound_bytes = f;
+    options.expected_population_size = stream.size();
+    HybridBernoulliSampler sampler(options, Pcg64(2));
+    for (const Value v : stream) {
+      sampler.Add(v);
+      ASSERT_LE(sampler.footprint_bytes(), f);
+    }
+    const PartitionSample s = sampler.Finalize();
+    ASSERT_TRUE(s.Validate().ok()) << s.Validate().ToString();
+    BinaryWriter w;
+    s.SerializeTo(&w);
+    BinaryReader r(w.buffer());
+    ASSERT_TRUE(PartitionSample::DeserializeFrom(&r).ok());
+  }
+}
+
+TEST_P(FootprintPropertyTest, HybridReservoirRespectsBoundAlways) {
+  const std::vector<Value> stream = MakeStream(GetParam(), 30000, 3);
+  for (const uint64_t f : {128ULL, 1024ULL, 16384ULL}) {
+    HybridReservoirSampler::Options options;
+    options.footprint_bound_bytes = f;
+    HybridReservoirSampler sampler(options, Pcg64(4));
+    for (const Value v : stream) {
+      sampler.Add(v);
+      ASSERT_LE(sampler.footprint_bytes(), f);
+    }
+    const PartitionSample s = sampler.Finalize();
+    ASSERT_TRUE(s.Validate().ok()) << s.Validate().ToString();
+  }
+}
+
+TEST_P(FootprintPropertyTest, MultiPurgeRespectsBoundAlways) {
+  const std::vector<Value> stream = MakeStream(GetParam(), 30000, 5);
+  MultiPurgeBernoulliSampler::Options options;
+  options.footprint_bound_bytes = 512;
+  options.expected_population_size = 1000;  // deliberately wrong: 30x less
+  MultiPurgeBernoulliSampler sampler(options, Pcg64(6));
+  for (const Value v : stream) {
+    sampler.Add(v);
+    ASSERT_LE(sampler.footprint_bytes(), 512u);
+  }
+  EXPECT_TRUE(sampler.Finalize().Validate().ok());
+}
+
+TEST_P(FootprintPropertyTest, ConciseAndCountingRespectBound) {
+  const std::vector<Value> stream = MakeStream(GetParam(), 30000, 7);
+  ConciseSampler::Options concise_options;
+  concise_options.footprint_bound_bytes = 256;
+  ConciseSampler concise(concise_options, Pcg64(8));
+  CountingSampler::Options counting_options;
+  counting_options.footprint_bound_bytes = 256;
+  CountingSampler counting(counting_options, Pcg64(9));
+  for (const Value v : stream) {
+    concise.Add(v);
+    counting.Add(v);
+    ASSERT_LE(concise.footprint_bytes(), 256u);
+    ASSERT_LE(counting.footprint_bytes(), 256u);
+  }
+}
+
+TEST_P(FootprintPropertyTest, MergedSamplesRespectTargetBound) {
+  const std::vector<Value> stream = MakeStream(GetParam(), 20000, 10);
+  const size_t half = stream.size() / 2;
+  for (const bool use_hr : {false, true}) {
+    Pcg64 rng(11);
+    PartitionSample s1, s2;
+    if (use_hr) {
+      HybridReservoirSampler::Options options;
+      options.footprint_bound_bytes = 1024;
+      HybridReservoirSampler a(options, rng.Fork(1));
+      for (size_t i = 0; i < half; ++i) a.Add(stream[i]);
+      HybridReservoirSampler b(options, rng.Fork(2));
+      for (size_t i = half; i < stream.size(); ++i) b.Add(stream[i]);
+      s1 = a.Finalize();
+      s2 = b.Finalize();
+    } else {
+      HybridBernoulliSampler::Options options;
+      options.footprint_bound_bytes = 1024;
+      options.expected_population_size = half;
+      HybridBernoulliSampler a(options, rng.Fork(1));
+      for (size_t i = 0; i < half; ++i) a.Add(stream[i]);
+      HybridBernoulliSampler b(options, rng.Fork(2));
+      for (size_t i = half; i < stream.size(); ++i) b.Add(stream[i]);
+      s1 = a.Finalize();
+      s2 = b.Finalize();
+    }
+    MergeOptions merge_options;
+    merge_options.footprint_bound_bytes = 1024;
+    const auto merged = use_hr ? HRMerge(s1, s2, merge_options, rng)
+                               : HBMerge(s1, s2, merge_options, rng);
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    EXPECT_LE(merged.value().footprint_bytes(), 1024u);
+    EXPECT_TRUE(merged.value().Validate().ok());
+    EXPECT_EQ(merged.value().parent_size(), stream.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, FootprintPropertyTest,
+                         ::testing::Values(StreamShape::kDistinct,
+                                           StreamShape::kFourValues,
+                                           StreamShape::kSortedWithRuns,
+                                           StreamShape::kZipf,
+                                           StreamShape::kAlternating));
+
+TEST(FootprintEdgeCases, MinimalBoundOfOneValue) {
+  // F = 8 bytes: n_F = 1. Both samplers must cope with a single-slot
+  // reservoir.
+  HybridReservoirSampler::Options hr_options;
+  hr_options.footprint_bound_bytes = kSingletonFootprintBytes;
+  HybridReservoirSampler hr(hr_options, Pcg64(1));
+  for (Value v = 0; v < 1000; ++v) {
+    hr.Add(v);
+    ASSERT_LE(hr.footprint_bytes(), kSingletonFootprintBytes + 4);
+  }
+  const PartitionSample s = hr.Finalize();
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(FootprintEdgeCases, EmptyStreamFinalizes) {
+  HybridBernoulliSampler::Options options;
+  options.footprint_bound_bytes = 1024;
+  options.expected_population_size = 0;
+  HybridBernoulliSampler sampler(options, Pcg64(2));
+  const PartitionSample s = sampler.Finalize();
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.parent_size(), 0u);
+  EXPECT_EQ(s.phase(), SamplePhase::kExhaustive);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(FootprintEdgeCases, SingleElementStream) {
+  HybridReservoirSampler::Options options;
+  options.footprint_bound_bytes = 1024;
+  HybridReservoirSampler sampler(options, Pcg64(3));
+  sampler.Add(42);
+  const PartitionSample s = sampler.Finalize();
+  EXPECT_EQ(s.phase(), SamplePhase::kExhaustive);
+  EXPECT_EQ(s.histogram().CountOf(42), 1u);
+}
+
+}  // namespace
+}  // namespace sampwh

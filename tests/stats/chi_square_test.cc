@@ -1,0 +1,75 @@
+#include "src/stats/chi_square.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace sampwh {
+namespace {
+
+TEST(ChiSquareTest, PerfectFitHasZeroStatistic) {
+  const ChiSquareResult r = ChiSquareUniformFit({100, 100, 100, 100});
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-12);
+  EXPECT_EQ(r.degrees_of_freedom, 3.0);
+  EXPECT_EQ(r.total, 400u);
+}
+
+TEST(ChiSquareTest, GrossMisfitHasTinyPValue) {
+  const ChiSquareResult r = ChiSquareUniformFit({1000, 10, 10, 10});
+  EXPECT_LT(r.p_value, 1e-10);
+}
+
+TEST(ChiSquareTest, KnownStatisticValue) {
+  // observed {10, 20, 30}, expected uniform 20 each: chi2 = 5+0+5 = 10.
+  const ChiSquareResult r = ChiSquareUniformFit({10, 20, 30});
+  EXPECT_NEAR(r.statistic, 10.0, 1e-12);
+  EXPECT_EQ(r.degrees_of_freedom, 2.0);
+  // P{chi2(2) >= 10} = exp(-5) ~ 0.0067.
+  EXPECT_NEAR(r.p_value, 0.006737946999085467, 1e-9);
+}
+
+TEST(ChiSquareTest, NonUniformExpectedProbabilities) {
+  const ChiSquareResult r =
+      ChiSquareGoodnessOfFit({50, 150}, {0.25, 0.75});
+  EXPECT_NEAR(r.statistic, 0.0, 1e-12);
+}
+
+TEST(ChiSquareTest, MinExpectedReported) {
+  const ChiSquareResult r =
+      ChiSquareGoodnessOfFit({90, 10}, {0.9, 0.1});
+  EXPECT_NEAR(r.min_expected, 10.0, 1e-12);
+}
+
+TEST(ChiSquareTest, UniformDataPassesAtReasonableAlpha) {
+  // Calibration: genuinely uniform multinomial data should usually pass.
+  Pcg64 rng(1);
+  int rejections = 0;
+  const int experiments = 200;
+  for (int e = 0; e < experiments; ++e) {
+    std::vector<uint64_t> counts(10, 0);
+    for (int i = 0; i < 5000; ++i) ++counts[rng.UniformInt(10)];
+    if (ChiSquareUniformFit(counts).p_value < 0.01) ++rejections;
+  }
+  // ~1% expected; 10/200 would be a wild outlier.
+  EXPECT_LE(rejections, 10);
+}
+
+TEST(ChiSquareTest, DetectsMildSkew) {
+  // 20% excess mass on one of ten cells, n = 20000: power ~ 1.
+  Pcg64 rng(2);
+  std::vector<uint64_t> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.Bernoulli(0.12)) {
+      ++counts[0];
+    } else {
+      ++counts[1 + rng.UniformInt(9)];
+    }
+  }
+  EXPECT_LT(ChiSquareUniformFit(counts).p_value, 1e-3);
+}
+
+}  // namespace
+}  // namespace sampwh

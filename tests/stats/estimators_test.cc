@@ -1,0 +1,201 @@
+#include "src/stats/estimators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/hybrid_reservoir.h"
+#include "src/util/random.h"
+
+namespace sampwh {
+namespace {
+
+CompactHistogram MakeHistogram(
+    const std::vector<std::pair<Value, uint64_t>>& entries) {
+  CompactHistogram h;
+  for (const auto& [v, n] : entries) h.Insert(v, n);
+  return h;
+}
+
+PartitionSample ExhaustiveSample() {
+  // Parent = {1, 1, 2, 3, 3, 3} (sum 13, mean 13/6).
+  return PartitionSample::MakeExhaustive(
+      MakeHistogram({{1, 2}, {2, 1}, {3, 3}}), 6, 0);
+}
+
+TEST(EstimatorsTest, ExhaustiveSumIsExact) {
+  const auto e = EstimateSum(ExhaustiveSample());
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e.value().exact);
+  EXPECT_DOUBLE_EQ(e.value().value, 13.0);
+  EXPECT_DOUBLE_EQ(e.value().standard_error, 0.0);
+}
+
+TEST(EstimatorsTest, ExhaustiveMeanIsExact) {
+  const auto e = EstimateMean(ExhaustiveSample());
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e.value().exact);
+  EXPECT_NEAR(e.value().value, 13.0 / 6.0, 1e-12);
+}
+
+TEST(EstimatorsTest, ExhaustiveCountIsExact) {
+  const auto e =
+      EstimateCount(ExhaustiveSample(), [](Value v) { return v >= 2; });
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(e.value().value, 4.0);
+}
+
+TEST(EstimatorsTest, ExhaustiveDistinctIsExact) {
+  const auto e = EstimateDistinctCount(ExhaustiveSample());
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e.value().exact);
+  EXPECT_DOUBLE_EQ(e.value().value, 3.0);
+}
+
+TEST(EstimatorsTest, EmptySampleIsError) {
+  const PartitionSample empty =
+      PartitionSample::MakeReservoir(CompactHistogram(), 100, 0);
+  EXPECT_FALSE(EstimateMean(empty).ok());
+  EXPECT_FALSE(EstimateSum(empty).ok());
+}
+
+TEST(EstimatorsTest, ReservoirSumIsUnbiasedAndWithinError) {
+  // Parent: 0..9999, true sum 49995000, true mean 4999.5.
+  std::vector<Value> parent;
+  for (Value v = 0; v < 10000; ++v) parent.push_back(v);
+  double total = 0.0;
+  const int trials = 200;
+  int within_3se = 0;
+  for (int t = 0; t < trials; ++t) {
+    HybridReservoirSampler::Options options;
+    options.footprint_bound_bytes = 2048;  // n_F = 256
+    HybridReservoirSampler sampler(options, Pcg64(100 + t));
+    for (const Value v : parent) sampler.Add(v);
+    const PartitionSample s = sampler.Finalize();
+    const auto e = EstimateSum(s);
+    ASSERT_TRUE(e.ok());
+    total += e.value().value;
+    if (std::fabs(e.value().value - 49995000.0) <=
+        3.0 * e.value().standard_error) {
+      ++within_3se;
+    }
+  }
+  EXPECT_NEAR(total / trials, 49995000.0, 0.02 * 49995000.0);
+  // 3 SE covers ~99.7%; demand at least 90% to keep the test robust.
+  EXPECT_GE(within_3se, trials * 9 / 10);
+}
+
+TEST(EstimatorsTest, SelectivityEstimatesFraction) {
+  std::vector<Value> parent;
+  for (Value v = 0; v < 20000; ++v) parent.push_back(v % 100);
+  HybridReservoirSampler::Options options;
+  options.footprint_bound_bytes = 4096;  // n_F = 512
+  HybridReservoirSampler sampler(options, Pcg64(7));
+  for (const Value v : parent) sampler.Add(v);
+  const PartitionSample s = sampler.Finalize();
+  // True selectivity of v < 25 is 0.25.
+  const auto e = EstimateSelectivity(s, [](Value v) { return v < 25; });
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e.value().value, 0.25, 5.0 * e.value().standard_error + 0.01);
+}
+
+TEST(EstimatorsTest, FrequencyEstimate) {
+  const PartitionSample s = PartitionSample::MakeReservoir(
+      MakeHistogram({{7, 25}, {8, 75}}), 10000, 0);
+  const auto e = EstimateFrequency(s, 7);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e.value().value, 2500.0, 1e-9);
+}
+
+TEST(EstimatorsTest, ChaoDistinctCorrectionDirection) {
+  // A sample full of singletons implies many unseen values: the estimate
+  // must exceed the observed distinct count.
+  const PartitionSample s = PartitionSample::MakeReservoir(
+      MakeHistogram({{1, 1}, {2, 1}, {3, 1}, {4, 1}, {5, 2}, {6, 2}}),
+      100000, 0);
+  const auto e = EstimateDistinctCount(s);
+  ASSERT_TRUE(e.ok());
+  EXPECT_GT(e.value().value, 6.0);
+}
+
+TEST(EstimatorsTest, DistinctCappedByParentSize) {
+  const PartitionSample s = PartitionSample::MakeReservoir(
+      MakeHistogram({{1, 1}, {2, 1}, {3, 1}, {4, 1}}), 5, 0);
+  const auto e = EstimateDistinctCount(s);
+  ASSERT_TRUE(e.ok());
+  EXPECT_LE(e.value().value, 5.0);
+}
+
+TEST(EstimatorsTest, GeeExactForExhaustive) {
+  const auto e = EstimateDistinctCountGee(ExhaustiveSample());
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e.value().exact);
+  EXPECT_DOUBLE_EQ(e.value().value, 3.0);
+}
+
+TEST(EstimatorsTest, GeeScalesSingletons) {
+  // n = 100 of N = 10000, all singletons: GEE = sqrt(100) * 100 = 1000.
+  CompactHistogram h;
+  for (Value v = 0; v < 100; ++v) h.Insert(v);
+  const PartitionSample s =
+      PartitionSample::MakeReservoir(std::move(h), 10000, 0);
+  const auto e = EstimateDistinctCountGee(s);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e.value().value, 1000.0, 1e-9);
+}
+
+TEST(EstimatorsTest, GeeCountsRepeatedValuesOnce) {
+  // 50 singletons + 25 doubletons from N = 40000, n = 100:
+  // GEE = 20 * 50 + 25 = 1025.
+  CompactHistogram h;
+  for (Value v = 0; v < 50; ++v) h.Insert(v);
+  for (Value v = 100; v < 125; ++v) h.Insert(v, 2);
+  const PartitionSample s =
+      PartitionSample::MakeReservoir(std::move(h), 40000, 0);
+  const auto e = EstimateDistinctCountGee(s);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e.value().value, 20.0 * 50 + 25, 1e-9);
+}
+
+TEST(EstimatorsTest, GeeVersusChaoOnRealSamples) {
+  // Parent: 100K elements over 5000 distinct values (uniformly): both
+  // estimators must land within a factor ~3 of the truth from a 512-value
+  // sample; GEE should not collapse to the naive lower bound.
+  Pcg64 data_rng(1);
+  HybridReservoirSampler::Options options;
+  options.footprint_bound_bytes = 4096;  // n_F = 512
+  HybridReservoirSampler sampler(options, Pcg64(2));
+  for (int i = 0; i < 100000; ++i) {
+    sampler.Add(static_cast<Value>(data_rng.UniformInt(5000)));
+  }
+  const PartitionSample s = sampler.Finalize();
+  const auto gee = EstimateDistinctCountGee(s);
+  const auto chao = EstimateDistinctCount(s);
+  ASSERT_TRUE(gee.ok() && chao.ok());
+  EXPECT_GT(gee.value().value, 1700.0);
+  EXPECT_LT(gee.value().value, 15000.0);
+  EXPECT_GT(chao.value().value,
+            static_cast<double>(s.histogram().distinct_count()));
+}
+
+TEST(EstimatorsTest, MeanStandardErrorShrinksWithSampleSize) {
+  std::vector<Value> parent;
+  for (Value v = 0; v < 50000; ++v) parent.push_back(v);
+  double se_small = 0.0;
+  double se_large = 0.0;
+  for (const auto& [f, out] :
+       std::vector<std::pair<uint64_t, double*>>{{1024, &se_small},
+                                                 {16384, &se_large}}) {
+    HybridReservoirSampler::Options options;
+    options.footprint_bound_bytes = f;
+    HybridReservoirSampler sampler(options, Pcg64(9));
+    for (const Value v : parent) sampler.Add(v);
+    const auto e = EstimateMean(sampler.Finalize());
+    ASSERT_TRUE(e.ok());
+    *out = e.value().standard_error;
+  }
+  EXPECT_LT(se_large, se_small);
+}
+
+}  // namespace
+}  // namespace sampwh

@@ -1,0 +1,85 @@
+#include "src/stats/ks_test.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace sampwh {
+namespace {
+
+TEST(KolmogorovQTest, KnownValues) {
+  EXPECT_EQ(KolmogorovQ(0.0), 1.0);
+  // Q(1.36) ~ 0.049 (the classic 5% critical value).
+  EXPECT_NEAR(KolmogorovQ(1.36), 0.049, 0.002);
+  EXPECT_LT(KolmogorovQ(2.0), 0.001);
+}
+
+TEST(KsUniformTest, UniformDataPasses) {
+  Pcg64 rng(1);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) values.push_back(rng.NextDouble());
+  const KsResult r = KsTestUniform(values, 0.0, 1.0);
+  EXPECT_GT(r.p_value, 0.001);
+  EXPECT_LT(r.statistic, 0.05);
+}
+
+TEST(KsUniformTest, ShiftedDataFails) {
+  Pcg64 rng(2);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(rng.NextDouble() * 0.8);  // squeezed into [0, 0.8)
+  }
+  const KsResult r = KsTestUniform(values, 0.0, 1.0);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsDiscreteUniformTest, UniformIntegersPass) {
+  Pcg64 rng(3);
+  std::vector<Value> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(static_cast<Value>(rng.UniformInt(1000)) + 1);
+  }
+  const KsResult r = KsTestDiscreteUniform(values, 1, 1000);
+  EXPECT_GT(r.p_value, 0.001);
+}
+
+TEST(KsDiscreteUniformTest, SkewedIntegersFail) {
+  Pcg64 rng(4);
+  std::vector<Value> values;
+  for (int i = 0; i < 5000; ++i) {
+    // Half the mass in the bottom decile.
+    if (rng.Bernoulli(0.5)) {
+      values.push_back(static_cast<Value>(rng.UniformInt(100)) + 1);
+    } else {
+      values.push_back(static_cast<Value>(rng.UniformInt(1000)) + 1);
+    }
+  }
+  EXPECT_LT(KsTestDiscreteUniform(values, 1, 1000).p_value, 1e-6);
+}
+
+TEST(KsTwoSampleTest, SameDistributionPasses) {
+  Pcg64 rng(5);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 3000; ++i) {
+    a.push_back(rng.NextDouble());
+    b.push_back(rng.NextDouble());
+  }
+  EXPECT_GT(KsTestTwoSample(a, b).p_value, 0.001);
+}
+
+TEST(KsTwoSampleTest, DifferentDistributionsFail) {
+  Pcg64 rng(6);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 3000; ++i) {
+    a.push_back(rng.NextDouble());
+    b.push_back(rng.NextDouble() * rng.NextDouble());  // Beta-ish, skewed
+  }
+  EXPECT_LT(KsTestTwoSample(a, b).p_value, 1e-6);
+}
+
+}  // namespace
+}  // namespace sampwh

@@ -1,0 +1,89 @@
+#include "src/stats/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/hybrid_reservoir.h"
+#include "src/util/random.h"
+
+namespace sampwh {
+namespace {
+
+CompactHistogram MakeHistogram(
+    const std::vector<std::pair<Value, uint64_t>>& entries) {
+  CompactHistogram h;
+  for (const auto& [v, n] : entries) h.Insert(v, n);
+  return h;
+}
+
+TEST(ProfileTest, EmptySampleIsError) {
+  const PartitionSample empty =
+      PartitionSample::MakeReservoir(CompactHistogram(), 100, 0);
+  EXPECT_FALSE(ProfileColumn(empty).ok());
+}
+
+TEST(ProfileTest, ExhaustiveProfileIsExact) {
+  const PartitionSample s = PartitionSample::MakeExhaustive(
+      MakeHistogram({{-5, 1}, {3, 2}, {10, 1}}), 4, 0);
+  const auto profile = ProfileColumn(s);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_TRUE(profile.value().exact);
+  EXPECT_EQ(profile.value().min_value, -5);
+  EXPECT_EQ(profile.value().max_value, 10);
+  EXPECT_NEAR(profile.value().mean, (-5 + 3 + 3 + 10) / 4.0, 1e-12);
+  EXPECT_EQ(profile.value().distinct_in_sample, 3u);
+  EXPECT_DOUBLE_EQ(profile.value().estimated_distinct, 3.0);
+}
+
+TEST(ProfileTest, HeavyHittersSortedAndCapped) {
+  const PartitionSample s = PartitionSample::MakeReservoir(
+      MakeHistogram({{1, 50}, {2, 30}, {3, 15}, {4, 5}}), 10000, 0);
+  const auto profile = ProfileColumn(s, /*max_heavy_hitters=*/2);
+  ASSERT_TRUE(profile.ok());
+  ASSERT_EQ(profile.value().heavy_hitters.size(), 2u);
+  EXPECT_EQ(profile.value().heavy_hitters[0].value, 1);
+  EXPECT_EQ(profile.value().heavy_hitters[1].value, 2);
+  // Expansion estimate: 50/100 of 10000.
+  EXPECT_NEAR(profile.value().heavy_hitters[0].estimated_frequency, 5000.0,
+              1e-9);
+}
+
+TEST(ProfileTest, KeyColumnFlaggedByLikelihood) {
+  // All-distinct sample over an all-distinct parent.
+  HybridReservoirSampler::Options options;
+  options.footprint_bound_bytes = 2048;
+  HybridReservoirSampler sampler(options, Pcg64(1));
+  for (Value v = 0; v < 50000; ++v) sampler.Add(v);
+  const auto profile = ProfileColumn(sampler.Finalize());
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile.value().singleton_fraction, 1.0);
+  EXPECT_GT(profile.value().key_likelihood, 0.5);
+}
+
+TEST(ProfileTest, CategoricalColumnHasLowSingletonFraction) {
+  HybridReservoirSampler::Options options;
+  options.footprint_bound_bytes = 2048;
+  HybridReservoirSampler sampler(options, Pcg64(2));
+  for (int i = 0; i < 50000; ++i) sampler.Add(i % 10);
+  const auto profile = ProfileColumn(sampler.Finalize());
+  ASSERT_TRUE(profile.ok());
+  EXPECT_LT(profile.value().singleton_fraction, 0.2);
+  EXPECT_LT(profile.value().key_likelihood, 0.01);
+}
+
+TEST(ProfileTest, DomainOverlapAndContainment) {
+  const PartitionSample keys = PartitionSample::MakeReservoir(
+      MakeHistogram({{1, 1}, {2, 1}, {3, 1}, {4, 1}}), 100, 0);
+  const PartitionSample fks = PartitionSample::MakeReservoir(
+      MakeHistogram({{1, 5}, {2, 5}}), 100, 0);
+  const PartitionSample other = PartitionSample::MakeReservoir(
+      MakeHistogram({{99, 3}}), 100, 0);
+  // fks ⊂ keys: containment of fks in keys is 1, of keys in fks is 0.5.
+  EXPECT_DOUBLE_EQ(SampleDomainContainment(fks, keys), 1.0);
+  EXPECT_DOUBLE_EQ(SampleDomainContainment(keys, fks), 0.5);
+  EXPECT_DOUBLE_EQ(SampleDomainOverlap(keys, fks), 0.5);
+  EXPECT_DOUBLE_EQ(SampleDomainOverlap(keys, other), 0.0);
+  EXPECT_DOUBLE_EQ(SampleDomainOverlap(keys, keys), 1.0);
+}
+
+}  // namespace
+}  // namespace sampwh

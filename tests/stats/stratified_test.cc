@@ -1,0 +1,125 @@
+#include "src/stats/stratified.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/hybrid_reservoir.h"
+
+namespace sampwh {
+namespace {
+
+CompactHistogram MakeHistogram(
+    const std::vector<std::pair<Value, uint64_t>>& entries) {
+  CompactHistogram h;
+  for (const auto& [v, n] : entries) h.Insert(v, n);
+  return h;
+}
+
+TEST(StratifiedSampleTest, EmptyIsError) {
+  StratifiedSample s;
+  EXPECT_FALSE(s.EstimateMean().ok());
+  EXPECT_FALSE(s.EstimateSum().ok());
+}
+
+TEST(StratifiedSampleTest, RejectsEmptyStratum) {
+  StratifiedSample s;
+  EXPECT_FALSE(
+      s.AddStratum(PartitionSample::MakeReservoir(CompactHistogram(), 10, 0))
+          .ok());
+}
+
+TEST(StratifiedSampleTest, ExhaustiveStrataGiveExactAnswers) {
+  StratifiedSample s;
+  // Stratum 1: {1,1,2} (mean 4/3); stratum 2: {10,10} (mean 10).
+  ASSERT_TRUE(s.AddStratum(PartitionSample::MakeExhaustive(
+                               MakeHistogram({{1, 2}, {2, 1}}), 3, 0))
+                  .ok());
+  ASSERT_TRUE(s.AddStratum(PartitionSample::MakeExhaustive(
+                               MakeHistogram({{10, 2}}), 2, 0))
+                  .ok());
+  EXPECT_EQ(s.num_strata(), 2u);
+  EXPECT_EQ(s.total_parent_size(), 5u);
+  const auto mean = s.EstimateMean();
+  ASSERT_TRUE(mean.ok());
+  EXPECT_TRUE(mean.value().exact);
+  EXPECT_NEAR(mean.value().value, 24.0 / 5.0, 1e-12);  // (1+1+2+10+10)/5
+  const auto sum = s.EstimateSum();
+  ASSERT_TRUE(sum.ok());
+  EXPECT_NEAR(sum.value().value, 24.0, 1e-9);
+}
+
+TEST(StratifiedSampleTest, WeightsByStratumSize) {
+  StratifiedSample s;
+  // Small stratum of 10 with value 100; huge stratum of 990 with value 0.
+  ASSERT_TRUE(s.AddStratum(PartitionSample::MakeExhaustive(
+                               MakeHistogram({{100, 10}}), 10, 0))
+                  .ok());
+  ASSERT_TRUE(s.AddStratum(PartitionSample::MakeExhaustive(
+                               MakeHistogram({{0, 990}}), 990, 0))
+                  .ok());
+  const auto mean = s.EstimateMean();
+  ASSERT_TRUE(mean.ok());
+  EXPECT_NEAR(mean.value().value, 1.0, 1e-12);  // 1000/1000
+}
+
+TEST(StratifiedSampleTest, StratifiedBeatsPooledOnHomogeneousStrata) {
+  // Classic result: when strata are internally homogeneous, the stratified
+  // estimator's standard error is much smaller than a pooled SRS of the
+  // same total size would give. Stratum h holds values near 1000 * h.
+  StratifiedSample strat;
+  Pcg64 seeder(1);
+  for (int h = 0; h < 4; ++h) {
+    HybridReservoirSampler::Options options;
+    options.footprint_bound_bytes = 512;  // 64 values per stratum
+    HybridReservoirSampler sampler(options, seeder.Fork(h));
+    Pcg64 noise(100 + h);
+    for (int i = 0; i < 10000; ++i) {
+      sampler.Add(1000 * h + static_cast<Value>(noise.UniformInt(10)));
+    }
+    ASSERT_TRUE(strat.AddStratum(sampler.Finalize()).ok());
+  }
+  const auto mean = strat.EstimateMean();
+  ASSERT_TRUE(mean.ok());
+  // True mean: average of strata means ~ (4.5 + 1004.5 + 2004.5 + 3004.5)/4.
+  EXPECT_NEAR(mean.value().value, 1504.5, 5.0);
+  // Within-stratum spread is ~10, so the stratified SE is tiny compared to
+  // the between-strata spread (~1100) a pooled estimator would suffer.
+  EXPECT_LT(mean.value().standard_error, 2.0);
+}
+
+TEST(StratifiedSampleTest, SelectivityAggregatesAcrossStrata) {
+  StratifiedSample s;
+  ASSERT_TRUE(s.AddStratum(PartitionSample::MakeExhaustive(
+                               MakeHistogram({{1, 50}, {2, 50}}), 100, 0))
+                  .ok());
+  ASSERT_TRUE(s.AddStratum(PartitionSample::MakeExhaustive(
+                               MakeHistogram({{2, 300}}), 300, 0))
+                  .ok());
+  const auto sel = s.EstimateSelectivity([](Value v) { return v == 2; });
+  ASSERT_TRUE(sel.ok());
+  EXPECT_NEAR(sel.value().value, 350.0 / 400.0, 1e-12);
+}
+
+TEST(StratifiedSampleTest, ToUniformSampleBridgesToMergeLayer) {
+  StratifiedSample strat;
+  Pcg64 seeder(2);
+  for (int h = 0; h < 3; ++h) {
+    HybridReservoirSampler::Options options;
+    options.footprint_bound_bytes = 256;
+    HybridReservoirSampler sampler(options, seeder.Fork(h));
+    for (Value v = h * 1000; v < h * 1000 + 500; ++v) sampler.Add(v);
+    ASSERT_TRUE(strat.AddStratum(sampler.Finalize()).ok());
+  }
+  MergeOptions options;
+  options.footprint_bound_bytes = 256;
+  Pcg64 rng(3);
+  const auto uniform = strat.ToUniformSample(options, rng);
+  ASSERT_TRUE(uniform.ok());
+  EXPECT_EQ(uniform.value().parent_size(), 1500u);
+  EXPECT_EQ(uniform.value().size(), 32u);
+  EXPECT_TRUE(uniform.value().Validate().ok());
+}
+
+}  // namespace
+}  // namespace sampwh

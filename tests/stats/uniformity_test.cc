@@ -1,0 +1,129 @@
+#include "src/stats/uniformity.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sampwh {
+namespace {
+
+TEST(SubsetRankerTest, ChooseTable) {
+  SubsetRanker ranker(10);
+  EXPECT_EQ(ranker.Choose(10, 0), 1u);
+  EXPECT_EQ(ranker.Choose(10, 3), 120u);
+  EXPECT_EQ(ranker.Choose(10, 10), 1u);
+  EXPECT_EQ(ranker.Choose(5, 7), 0u);
+}
+
+TEST(SubsetRankerTest, RankIsBijectiveOverAllSubsets) {
+  SubsetRanker ranker(8);
+  for (uint32_t k = 1; k <= 8; ++k) {
+    const uint64_t total = ranker.Choose(8, k);
+    std::vector<bool> seen(total, false);
+    // Enumerate subsets via Unrank and verify Rank inverts it.
+    for (uint64_t r = 0; r < total; ++r) {
+      const std::vector<uint32_t> subset = ranker.Unrank(r, k);
+      EXPECT_EQ(subset.size(), k);
+      EXPECT_TRUE(std::is_sorted(subset.begin(), subset.end()));
+      const uint64_t back = ranker.Rank(subset);
+      EXPECT_EQ(back, r);
+      EXPECT_FALSE(seen[r]);
+      seen[r] = true;
+    }
+  }
+}
+
+TEST(SubsetRankerTest, EmptySubsetRanksZero) {
+  SubsetRanker ranker(5);
+  EXPECT_EQ(ranker.Rank({}), 0u);
+}
+
+TEST(UniformityExperimentTest, TrueSrsPasses) {
+  // Sampling 3 of 7 elements uniformly must pass the chi-square.
+  const std::vector<Value> population = {10, 20, 30, 40, 50, 60, 70};
+  Pcg64 rng(1);
+  const UniformityReport report = RunSubsetUniformityExperiment(
+      population, 20000,
+      [&population](Pcg64& trial_rng) {
+        // Floyd's algorithm for a size-3 SRS.
+        std::vector<Value> pool = population;
+        std::vector<Value> out;
+        for (int i = 0; i < 3; ++i) {
+          const size_t j = static_cast<size_t>(
+              trial_rng.UniformInt(pool.size()));
+          out.push_back(pool[j]);
+          pool.erase(pool.begin() + static_cast<long>(j));
+        }
+        return out;
+      },
+      rng);
+  ASSERT_EQ(report.TestedClasses(), 1u);
+  EXPECT_GT(report.MinPValue(), 1e-4);
+  EXPECT_EQ(report.by_size.at(3).num_subsets, 35u);
+}
+
+TEST(UniformityExperimentTest, BiasedSamplerFails) {
+  // A sampler that never picks the first element is detectably non-uniform.
+  const std::vector<Value> population = {1, 2, 3, 4, 5, 6};
+  Pcg64 rng(2);
+  const UniformityReport report = RunSubsetUniformityExperiment(
+      population, 20000,
+      [&population](Pcg64& trial_rng) {
+        std::vector<Value> pool(population.begin() + 1, population.end());
+        std::vector<Value> out;
+        for (int i = 0; i < 2; ++i) {
+          const size_t j = static_cast<size_t>(
+              trial_rng.UniformInt(pool.size()));
+          out.push_back(pool[j]);
+          pool.erase(pool.begin() + static_cast<long>(j));
+        }
+        return out;
+      },
+      rng);
+  EXPECT_LT(report.MinPValue(), 1e-10);
+}
+
+TEST(UniformityExperimentTest, SkipsUnderpopulatedSizeClasses) {
+  const std::vector<Value> population = {1, 2, 3, 4, 5, 6, 7, 8};
+  Pcg64 rng(3);
+  // 40 trials cannot populate C(8,4) = 70 cells at 5 expected each.
+  const UniformityReport report = RunSubsetUniformityExperiment(
+      population, 40,
+      [&population](Pcg64& trial_rng) {
+        std::vector<Value> pool = population;
+        std::vector<Value> out;
+        for (int i = 0; i < 4; ++i) {
+          const size_t j = static_cast<size_t>(
+              trial_rng.UniformInt(pool.size()));
+          out.push_back(pool[j]);
+          pool.erase(pool.begin() + static_cast<long>(j));
+        }
+        return out;
+      },
+      rng);
+  EXPECT_EQ(report.TestedClasses(), 0u);
+  EXPECT_EQ(report.MinPValue(), 1.0);
+  EXPECT_EQ(report.by_size.at(4).trials, 40u);
+}
+
+TEST(TallyHistogramOutcomesTest, GroupsByHistogram) {
+  Pcg64 rng(4);
+  int flip = 0;
+  const auto tally = TallyHistogramOutcomes(
+      10,
+      [&flip](Pcg64&) {
+        ++flip;
+        return (flip % 2 == 0) ? std::vector<Value>{1, 1, 2}
+                               : std::vector<Value>{2, 1, 1};
+      },
+      rng);
+  // Both orderings collapse to the same histogram {(1,2),(2,1)}.
+  ASSERT_EQ(tally.size(), 1u);
+  const HistogramOutcome expected = {{1, 2}, {2, 1}};
+  EXPECT_EQ(tally.begin()->first, expected);
+  EXPECT_EQ(tally.begin()->second, 10u);
+}
+
+}  // namespace
+}  // namespace sampwh

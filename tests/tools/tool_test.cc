@@ -1,0 +1,118 @@
+// End-to-end checks for the sampwh_tool CLI: generate artifacts with the
+// library, drive the real binary through its subcommands, and verify exit
+// codes and on-disk effects.
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/hybrid_reservoir.h"
+#include "src/util/serialization.h"
+#include "src/warehouse/warehouse.h"
+
+namespace sampwh {
+namespace {
+
+#ifndef SAMPWH_TOOL_PATH
+#error "SAMPWH_TOOL_PATH must be defined by the build"
+#endif
+
+std::string ToolPath() { return SAMPWH_TOOL_PATH; }
+
+int RunTool(const std::string& args) {
+  const std::string command = ToolPath() + " " + args + " > /dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  return WEXITSTATUS(status);
+}
+
+class ToolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "sampwh_tool_test")
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string WriteSample(const std::string& name, Value begin, Value end) {
+    HybridReservoirSampler::Options options;
+    options.footprint_bound_bytes = 512;
+    HybridReservoirSampler sampler(options, Pcg64(7));
+    for (Value v = begin; v < end; ++v) sampler.Add(v);
+    BinaryWriter writer;
+    sampler.Finalize().SerializeTo(&writer);
+    const std::string path = dir_ + "/" + name;
+    EXPECT_TRUE(WriteFileAtomic(path, writer.buffer()).ok());
+    return path;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ToolTest, NoArgumentsPrintsUsage) { EXPECT_EQ(RunTool(""), 2); }
+
+TEST_F(ToolTest, UnknownCommandPrintsUsage) {
+  EXPECT_EQ(RunTool("frobnicate x"), 2);
+}
+
+TEST_F(ToolTest, DumpSucceedsOnValidSample) {
+  const std::string path = WriteSample("a.sample", 0, 5000);
+  EXPECT_EQ(RunTool("dump " + path), 0);
+}
+
+TEST_F(ToolTest, DumpFailsOnMissingFile) {
+  EXPECT_EQ(RunTool("dump " + dir_ + "/nope.sample"), 1);
+}
+
+TEST_F(ToolTest, DumpFailsOnGarbage) {
+  const std::string path = dir_ + "/garbage.sample";
+  ASSERT_TRUE(WriteFileAtomic(path, "not a sample").ok());
+  EXPECT_EQ(RunTool("dump " + path), 1);
+}
+
+TEST_F(ToolTest, ProfileAndEstimateSucceed) {
+  const std::string path = WriteSample("b.sample", 0, 5000);
+  EXPECT_EQ(RunTool("profile " + path), 0);
+  EXPECT_EQ(RunTool("estimate " + path + " mean"), 0);
+  EXPECT_EQ(RunTool("estimate " + path + " sum"), 0);
+  EXPECT_EQ(RunTool("estimate " + path + " distinct"), 0);
+  EXPECT_EQ(RunTool("estimate " + path + " bogus"), 1);
+}
+
+TEST_F(ToolTest, MergeProducesLoadableSample) {
+  const std::string a = WriteSample("a.sample", 0, 4000);
+  const std::string b = WriteSample("b.sample", 4000, 8000);
+  const std::string out = dir_ + "/merged.sample";
+  EXPECT_EQ(RunTool("merge " + out + " " + a + " " + b), 0);
+  std::string bytes;
+  ASSERT_TRUE(ReadFile(out, &bytes).ok());
+  BinaryReader reader(bytes);
+  const auto merged = PartitionSample::DeserializeFrom(&reader);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().parent_size(), 8000u);
+}
+
+TEST_F(ToolTest, InspectRestoredWarehouse) {
+  const std::string store_dir = dir_ + "/store";
+  const std::string manifest = dir_ + "/MANIFEST";
+  {
+    auto store = FileSampleStore::Open(store_dir);
+    ASSERT_TRUE(store.ok());
+    WarehouseOptions options;
+    options.sampler.footprint_bound_bytes = 512;
+    Warehouse wh(options, std::move(store).value());
+    ASSERT_TRUE(wh.CreateDataset("ds").ok());
+    std::vector<Value> values;
+    for (Value v = 0; v < 3000; ++v) values.push_back(v);
+    ASSERT_TRUE(wh.IngestBatch("ds", values, 3).ok());
+    ASSERT_TRUE(wh.SaveManifest(manifest).ok());
+  }
+  EXPECT_EQ(RunTool("inspect " + store_dir + " " + manifest), 0);
+  EXPECT_EQ(RunTool("inspect " + store_dir + " " + dir_ + "/nope"), 1);
+}
+
+}  // namespace
+}  // namespace sampwh

@@ -1,0 +1,154 @@
+#include "src/util/random.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sampwh {
+namespace {
+
+TEST(SplitMix64Test, IsDeterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(Pcg64Test, IsDeterministic) {
+  Pcg64 a(42);
+  Pcg64 b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(Pcg64Test, StreamsAreIndependent) {
+  Pcg64 a(42, 0);
+  Pcg64 b(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Pcg64Test, NextDoubleInUnitInterval) {
+  Pcg64 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Pcg64Test, NextDoubleOpenNeverZero) {
+  Pcg64 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDoubleOpen();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Pcg64Test, NextDoubleMeanIsHalf) {
+  Pcg64 rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Pcg64Test, UniformIntRespectsBound) {
+  Pcg64 rng(13);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(Pcg64Test, UniformIntCoversAllResidues) {
+  Pcg64 rng(17);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Pcg64Test, UniformIntIsUnbiased) {
+  // Frequency check over a bound that is not a power of two.
+  Pcg64 rng(19);
+  const uint64_t bound = 6;
+  const int n = 120000;
+  std::vector<int> counts(bound, 0);
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(bound)];
+  for (uint64_t v = 0; v < bound; ++v) {
+    EXPECT_NEAR(counts[v], n / static_cast<double>(bound),
+                5.0 * std::sqrt(n / static_cast<double>(bound)));
+  }
+}
+
+TEST(Pcg64Test, UniformRangeInclusive) {
+  Pcg64 rng(23);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Pcg64Test, BernoulliEdgeCases) {
+  Pcg64 rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Pcg64Test, BernoulliMatchesRate) {
+  Pcg64 rng(31);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Pcg64Test, ForkProducesIndependentStream) {
+  Pcg64 parent(37);
+  Pcg64 child = parent.Fork(1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent.NextUint64() == child.NextUint64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Pcg64Test, BitBalance) {
+  // Each output bit should be set about half the time.
+  Pcg64 rng(41);
+  const int n = 50000;
+  std::vector<int> ones(64, 0);
+  for (int i = 0; i < n; ++i) {
+    uint64_t x = rng.NextUint64();
+    for (int b = 0; b < 64; ++b) {
+      ones[b] += static_cast<int>((x >> b) & 1);
+    }
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(ones[b], n / 2.0, 5.0 * std::sqrt(n / 4.0))
+        << "bit " << b;
+  }
+}
+
+}  // namespace
+}  // namespace sampwh

@@ -1,0 +1,168 @@
+#include "src/util/serialization.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace sampwh {
+namespace {
+
+TEST(SerializationTest, FixedIntsRoundTrip) {
+  BinaryWriter w;
+  w.PutFixed32(0xdeadbeef);
+  w.PutFixed64(0x0123456789abcdefULL);
+  BinaryReader r(w.buffer());
+  uint32_t a;
+  uint64_t b;
+  ASSERT_TRUE(r.GetFixed32(&a).ok());
+  ASSERT_TRUE(r.GetFixed64(&b).ok());
+  EXPECT_EQ(a, 0xdeadbeefu);
+  EXPECT_EQ(b, 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializationTest, VarintRoundTripAcrossMagnitudes) {
+  BinaryWriter w;
+  const uint64_t values[] = {0,     1,        127,        128,
+                             16383, 16384,    (1ULL << 32) - 1,
+                             1ULL << 32,      UINT64_MAX};
+  for (const uint64_t v : values) w.PutVarint64(v);
+  BinaryReader r(w.buffer());
+  for (const uint64_t v : values) {
+    uint64_t decoded;
+    ASSERT_TRUE(r.GetVarint64(&decoded).ok());
+    EXPECT_EQ(decoded, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializationTest, VarintEncodingIsCompact) {
+  BinaryWriter w;
+  w.PutVarint64(5);
+  EXPECT_EQ(w.size(), 1u);
+  w.PutVarint64(300);
+  EXPECT_EQ(w.size(), 3u);  // 1 + 2
+}
+
+TEST(SerializationTest, SignedVarintRoundTrip) {
+  BinaryWriter w;
+  const int64_t values[] = {0,  -1, 1, -64, 64, -1000000, 1000000,
+                            std::numeric_limits<int64_t>::min(),
+                            std::numeric_limits<int64_t>::max()};
+  for (const int64_t v : values) w.PutVarintSigned64(v);
+  BinaryReader r(w.buffer());
+  for (const int64_t v : values) {
+    int64_t decoded;
+    ASSERT_TRUE(r.GetVarintSigned64(&decoded).ok());
+    EXPECT_EQ(decoded, v) << v;
+  }
+}
+
+TEST(SerializationTest, ZigZagKeepsSmallMagnitudesShort) {
+  BinaryWriter w;
+  w.PutVarintSigned64(-3);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(SerializationTest, DoubleRoundTrip) {
+  BinaryWriter w;
+  const double values[] = {0.0, -0.0, 1.5, -3.25e300, 1e-300,
+                           std::numeric_limits<double>::infinity()};
+  for (const double v : values) w.PutDouble(v);
+  BinaryReader r(w.buffer());
+  for (const double v : values) {
+    double decoded;
+    ASSERT_TRUE(r.GetDouble(&decoded).ok());
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(SerializationTest, StringRoundTrip) {
+  BinaryWriter w;
+  w.PutString("");
+  w.PutString("hello");
+  w.PutString(std::string(1000, 'x'));
+  std::string with_nul("a\0b", 3);
+  w.PutString(with_nul);
+  BinaryReader r(w.buffer());
+  std::string s;
+  ASSERT_TRUE(r.GetString(&s).ok());
+  EXPECT_EQ(s, "");
+  ASSERT_TRUE(r.GetString(&s).ok());
+  EXPECT_EQ(s, "hello");
+  ASSERT_TRUE(r.GetString(&s).ok());
+  EXPECT_EQ(s, std::string(1000, 'x'));
+  ASSERT_TRUE(r.GetString(&s).ok());
+  EXPECT_EQ(s, with_nul);
+}
+
+TEST(SerializationTest, TruncatedReadsFailCleanly) {
+  BinaryWriter w;
+  w.PutFixed64(12345);
+  const std::string truncated = w.buffer().substr(0, 3);
+  BinaryReader r(truncated);
+  uint64_t v;
+  EXPECT_TRUE(r.GetFixed64(&v).IsOutOfRange());
+}
+
+TEST(SerializationTest, TruncatedVarintFails) {
+  BinaryWriter w;
+  w.PutVarint64(UINT64_MAX);
+  const std::string truncated = w.buffer().substr(0, 4);
+  BinaryReader r(truncated);
+  uint64_t v;
+  EXPECT_TRUE(r.GetVarint64(&v).IsOutOfRange());
+}
+
+TEST(SerializationTest, MalformedVarintIsCorruption) {
+  // 11 continuation bytes: longer than any valid varint64.
+  const std::string bad(11, '\x80');
+  BinaryReader r(bad);
+  uint64_t v;
+  const Status s = r.GetVarint64(&v);
+  EXPECT_TRUE(s.IsCorruption() || s.IsOutOfRange());
+}
+
+TEST(SerializationTest, StringWithOversizedLengthFails) {
+  BinaryWriter w;
+  w.PutVarint64(1000);  // claims 1000 bytes
+  w.PutRaw("abc", 3);   // provides 3
+  BinaryReader r(w.buffer());
+  std::string s;
+  EXPECT_TRUE(r.GetString(&s).IsOutOfRange());
+}
+
+TEST(FileIoTest, WriteAndReadBack) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sampwh_serial_test.bin")
+          .string();
+  const std::string payload("some\0binary\xff payload", 20);
+  ASSERT_TRUE(WriteFileAtomic(path, payload).ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFile(path, &contents).ok());
+  EXPECT_EQ(contents, payload);
+  std::filesystem::remove(path);
+}
+
+TEST(FileIoTest, ReadMissingFileIsNotFound) {
+  std::string contents;
+  EXPECT_TRUE(ReadFile("/nonexistent/dir/file.bin", &contents).IsNotFound());
+}
+
+TEST(FileIoTest, AtomicWriteReplacesExisting) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sampwh_replace_test.bin")
+          .string();
+  ASSERT_TRUE(WriteFileAtomic(path, "old").ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "new contents").ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFile(path, &contents).ok());
+  EXPECT_EQ(contents, "new contents");
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace sampwh

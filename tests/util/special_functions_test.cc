@@ -1,0 +1,153 @@
+#include "src/util/special_functions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sampwh {
+namespace {
+
+TEST(LogGammaTest, MatchesFactorials) {
+  // Gamma(n+1) = n!.
+  double factorial = 1.0;
+  for (int n = 1; n <= 20; ++n) {
+    factorial *= n;
+    EXPECT_NEAR(LogGamma(n + 1.0), std::log(factorial), 1e-10) << n;
+  }
+}
+
+TEST(LogGammaTest, HalfIntegerValues) {
+  // Gamma(1/2) = sqrt(pi), Gamma(3/2) = sqrt(pi)/2.
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-12);
+  EXPECT_NEAR(LogGamma(1.5), std::log(std::sqrt(M_PI) / 2.0), 1e-12);
+}
+
+TEST(LogGammaTest, AgreesWithStdLgammaOverWideRange) {
+  for (double x : {0.1, 0.7, 1.0, 2.5, 10.0, 123.4, 1e4, 1e8}) {
+    EXPECT_NEAR(LogGamma(x), std::lgamma(x),
+                1e-9 * std::max(1.0, std::fabs(std::lgamma(x))))
+        << x;
+  }
+}
+
+TEST(LogFactorialTest, TableAndLgammaAgreeAtBoundary) {
+  EXPECT_NEAR(LogFactorial(255), LogGamma(256.0), 1e-9);
+  EXPECT_NEAR(LogFactorial(256), LogGamma(257.0), 1e-9);
+  EXPECT_EQ(LogFactorial(0), 0.0);
+  EXPECT_EQ(LogFactorial(1), 0.0);
+}
+
+TEST(LogBinomialCoefficientTest, SmallCases) {
+  EXPECT_NEAR(LogBinomialCoefficient(5, 2), std::log(10.0), 1e-12);
+  EXPECT_NEAR(LogBinomialCoefficient(10, 5), std::log(252.0), 1e-12);
+  EXPECT_NEAR(LogBinomialCoefficient(52, 5), std::log(2598960.0), 1e-9);
+  EXPECT_EQ(LogBinomialCoefficient(3, 7),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, SymmetryRelation) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  for (double x : {0.1, 0.3, 0.5, 0.8}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(2.5, 4.0, x),
+                1.0 - RegularizedIncompleteBeta(4.0, 2.5, 1.0 - x), 1e-12);
+  }
+}
+
+TEST(IncompleteBetaTest, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.05, 0.25, 0.75, 0.95}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(IncompleteBetaTest, IntegerCaseMatchesBinomialSum) {
+  // I_q(k, n-k+1) = P{Bin(n, q) >= k}.
+  const int n = 12;
+  const int k = 5;
+  const double q = 0.37;
+  double tail = 0.0;
+  for (int j = k; j <= n; ++j) tail += BinomialPmf(n, q, j);
+  EXPECT_NEAR(RegularizedIncompleteBeta(k, n - k + 1, q), tail, 1e-12);
+}
+
+TEST(IncompleteGammaTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 - e^{-x}.
+  for (double x : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(RegularizedLowerIncompleteGamma(1.0, x), 1.0 - std::exp(-x),
+                1e-12);
+  }
+}
+
+TEST(IncompleteGammaTest, LowerPlusUpperIsOne) {
+  for (double a : {0.5, 2.0, 7.5}) {
+    for (double x : {0.2, 1.0, 5.0, 20.0}) {
+      EXPECT_NEAR(RegularizedLowerIncompleteGamma(a, x) +
+                      RegularizedUpperIncompleteGamma(a, x),
+                  1.0, 1e-12);
+    }
+  }
+}
+
+TEST(ErfTest, MatchesStdErf) {
+  for (double x : {-3.0, -1.0, -0.1, 0.0, 0.5, 1.0, 2.5}) {
+    EXPECT_NEAR(Erf(x), std::erf(x), 1e-10) << x;
+    EXPECT_NEAR(Erfc(x), std::erfc(x), 1e-10) << x;
+  }
+}
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(NormalCdf(-1.0), 0.15865525393145707, 1e-10);
+}
+
+TEST(NormalQuantileTest, InvertsTheCdf) {
+  for (double p : {1e-6, 1e-3, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 1 - 1e-6}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-10) << p;
+  }
+}
+
+TEST(NormalQuantileTest, KnownQuantiles) {
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-8);
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-10);
+  EXPECT_NEAR(NormalQuantile(0.999), 3.090232306167813, 1e-8);
+}
+
+TEST(BinomialTailTest, MatchesDirectSummation) {
+  const uint64_t n = 40;
+  const double q = 0.2;
+  for (uint64_t m : {0ULL, 5ULL, 8ULL, 15ULL, 39ULL}) {
+    double direct = 0.0;
+    for (uint64_t j = m + 1; j <= n; ++j) direct += BinomialPmf(n, q, j);
+    EXPECT_NEAR(BinomialTailProbability(n, q, m), direct, 1e-12) << m;
+  }
+}
+
+TEST(BinomialTailTest, EdgeCases) {
+  EXPECT_EQ(BinomialTailProbability(10, 0.5, 10), 0.0);
+  EXPECT_EQ(BinomialTailProbability(10, 0.0, 5), 0.0);
+  EXPECT_EQ(BinomialTailProbability(10, 1.0, 5), 1.0);
+}
+
+TEST(BinomialPmfTest, SumsToOne) {
+  const uint64_t n = 25;
+  const double q = 0.43;
+  double total = 0.0;
+  for (uint64_t k = 0; k <= n; ++k) total += BinomialPmf(n, q, k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ChiSquareCdfTest, KnownValues) {
+  // chi2(1): P{X <= 3.841} ~ 0.95; chi2(10): P{X <= 18.307} ~ 0.95.
+  EXPECT_NEAR(ChiSquareCdf(3.841458820694124, 1.0), 0.95, 1e-9);
+  EXPECT_NEAR(ChiSquareCdf(18.307038053275146, 10.0), 0.95, 1e-9);
+  EXPECT_EQ(ChiSquareCdf(0.0, 5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace sampwh

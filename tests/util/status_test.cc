@@ -1,0 +1,107 @@
+#include "src/util/status.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace sampwh {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::Corruption("bad bytes").ToString(),
+            "Corruption: bad bytes");
+}
+
+TEST(StatusTest, ErrorsAreNotOk) {
+  EXPECT_FALSE(Status::Internal("boom").ok());
+}
+
+TEST(ResultTest, HoldsValueOnSuccess) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(r.value_or(99), 7);
+}
+
+TEST(ResultTest, HoldsStatusOnFailure) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(99), 99);
+}
+
+TEST(ResultTest, SupportsMoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultTest, SupportsNonDefaultConstructibleValues) {
+  struct NoDefault {
+    explicit NoDefault(int x) : x(x) {}
+    int x;
+  };
+  Result<NoDefault> ok(NoDefault(3));
+  EXPECT_EQ(ok.value().x, 3);
+  Result<NoDefault> bad(Status::Internal("x"));
+  EXPECT_FALSE(bad.ok());
+}
+
+Status FailingHelper() { return Status::IOError("disk on fire"); }
+
+Status UsesReturnIfError() {
+  SAMPWH_RETURN_IF_ERROR(FailingHelper());
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError().IsIOError());
+}
+
+Result<int> ProducesInt(bool fail) {
+  if (fail) return Status::OutOfRange("too big");
+  return 41;
+}
+
+Status UsesAssignOrReturn(bool fail, int* out) {
+  SAMPWH_ASSIGN_OR_RETURN(int v, ProducesInt(fail));
+  SAMPWH_ASSIGN_OR_RETURN(int w, ProducesInt(fail));
+  *out = v + w - 41;
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, AssignOrReturnAssignsAndPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(false, &out).ok());
+  EXPECT_EQ(out, 41);
+  EXPECT_TRUE(UsesAssignOrReturn(true, &out).IsOutOfRange());
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+}  // namespace
+}  // namespace sampwh

@@ -1,0 +1,35 @@
+#include "src/util/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace sampwh {
+namespace {
+
+TEST(WallTimerTest, ElapsedIsNonNegativeAndMonotone) {
+  WallTimer timer;
+  const double a = timer.ElapsedSeconds();
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  const double b = timer.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(WallTimerTest, RestartResets) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 1000000; ++i) sink = sink + i;
+  const double before = timer.ElapsedSeconds();
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), before + 1e-3);
+}
+
+TEST(CpuTimerTest, BusyWorkConsumesCpuTime) {
+  CpuTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 5000000; ++i) sink = sink + static_cast<double>(i) * 1.0001;
+  EXPECT_GT(timer.ElapsedSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace sampwh

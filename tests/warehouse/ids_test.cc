@@ -1,0 +1,40 @@
+#include "src/warehouse/ids.h"
+
+#include <gtest/gtest.h>
+
+namespace sampwh {
+namespace {
+
+TEST(IdsTest, ValidIdsPass) {
+  EXPECT_TRUE(ValidateDatasetId("orders").ok());
+  EXPECT_TRUE(ValidateDatasetId("orders.line_item-2026").ok());
+  EXPECT_TRUE(ValidateDatasetId("A_b.C-9").ok());
+}
+
+TEST(IdsTest, EmptyIdRejected) {
+  EXPECT_TRUE(ValidateDatasetId("").IsInvalidArgument());
+}
+
+TEST(IdsTest, IllegalCharactersRejected) {
+  EXPECT_FALSE(ValidateDatasetId("with space").ok());
+  EXPECT_FALSE(ValidateDatasetId("path/traversal").ok());
+  EXPECT_FALSE(ValidateDatasetId(std::string("null\0byte", 9)).ok());
+  EXPECT_FALSE(ValidateDatasetId("unicode\xc3\xa9").ok());
+}
+
+TEST(IdsTest, OverlongIdRejected) {
+  EXPECT_FALSE(ValidateDatasetId(std::string(201, 'a')).ok());
+  EXPECT_TRUE(ValidateDatasetId(std::string(200, 'a')).ok());
+}
+
+TEST(IdsTest, PartitionKeyOrdering) {
+  const PartitionKey a{"ds1", 5};
+  const PartitionKey b{"ds1", 6};
+  const PartitionKey c{"ds2", 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (PartitionKey{"ds1", 5}));
+}
+
+}  // namespace
+}  // namespace sampwh

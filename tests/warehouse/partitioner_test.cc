@@ -1,0 +1,68 @@
+#include "src/warehouse/partitioner.h"
+
+#include <gtest/gtest.h>
+
+namespace sampwh {
+namespace {
+
+TEST(CountPartitionerTest, ClosesAtMaxElements) {
+  CountPartitioner p(3);
+  PartitionProgress progress;
+  progress.elements = 2;
+  EXPECT_FALSE(p.ShouldCloseBefore(progress, 0));
+  progress.elements = 3;
+  EXPECT_TRUE(p.ShouldCloseBefore(progress, 0));
+  EXPECT_FALSE(p.ShouldCloseAfter(progress));  // count policy is before-only
+}
+
+TEST(TemporalPartitionerTest, ClosesWhenWindowElapses) {
+  TemporalPartitioner p(10);
+  PartitionProgress progress;
+  progress.elements = 5;
+  progress.first_timestamp = 100;
+  EXPECT_FALSE(p.ShouldCloseBefore(progress, 109));
+  EXPECT_TRUE(p.ShouldCloseBefore(progress, 110));
+  EXPECT_TRUE(p.ShouldCloseBefore(progress, 500));
+}
+
+TEST(TemporalPartitionerTest, EmptyPartitionNeverCloses) {
+  TemporalPartitioner p(10);
+  PartitionProgress progress;  // elements = 0
+  EXPECT_FALSE(p.ShouldCloseBefore(progress, 99999));
+}
+
+TEST(RatioTriggerPartitionerTest, ClosesWhenFractionDropsToBound) {
+  RatioTriggerPartitioner p(0.1, /*min_elements=*/10);
+  PartitionProgress progress;
+  progress.elements = 50;
+  progress.sample_size = 10;  // fraction 0.2 > 0.1
+  EXPECT_FALSE(p.ShouldCloseAfter(progress));
+  progress.elements = 100;    // fraction 0.1 <= 0.1
+  EXPECT_TRUE(p.ShouldCloseAfter(progress));
+}
+
+TEST(RatioTriggerPartitionerTest, RespectsMinElements) {
+  RatioTriggerPartitioner p(0.5, /*min_elements=*/100);
+  PartitionProgress progress;
+  progress.elements = 50;
+  progress.sample_size = 1;  // fraction well below the bound
+  EXPECT_FALSE(p.ShouldCloseAfter(progress));  // too few elements yet
+  progress.elements = 100;
+  EXPECT_TRUE(p.ShouldCloseAfter(progress));
+}
+
+TEST(PartitionerFactoryTest, FactoriesProduceWorkingPolicies) {
+  auto count = MakeCountPartitioner(2);
+  auto temporal = MakeTemporalPartitioner(5);
+  auto ratio = MakeRatioTriggerPartitioner(0.5);
+  PartitionProgress progress;
+  progress.elements = 2;
+  progress.sample_size = 1;
+  progress.first_timestamp = 0;
+  EXPECT_TRUE(count->ShouldCloseBefore(progress, 0));
+  EXPECT_TRUE(temporal->ShouldCloseBefore(progress, 5));
+  EXPECT_TRUE(ratio->ShouldCloseAfter(progress));
+}
+
+}  // namespace
+}  // namespace sampwh

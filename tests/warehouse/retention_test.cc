@@ -1,0 +1,95 @@
+#include "src/warehouse/retention.h"
+
+#include <gtest/gtest.h>
+
+#include "src/warehouse/warehouse.h"
+
+namespace sampwh {
+namespace {
+
+PartitionInfo Info(PartitionId id, uint64_t min_ts, uint64_t max_ts) {
+  PartitionInfo info;
+  info.id = id;
+  info.parent_size = 100;
+  info.sample_size = 10;
+  info.min_timestamp = min_ts;
+  info.max_timestamp = max_ts;
+  return info;
+}
+
+TEST(RetentionTest, DisabledPolicyExpiresNothing) {
+  const std::vector<PartitionInfo> parts = {Info(0, 0, 9), Info(1, 10, 19)};
+  EXPECT_TRUE(RetentionCandidates(parts, RetentionPolicy{}, 1000).empty());
+}
+
+TEST(RetentionTest, TimeWindowExpiresOldPartitions) {
+  const std::vector<PartitionInfo> parts = {
+      Info(0, 0, 9), Info(1, 10, 19), Info(2, 20, 29)};
+  RetentionPolicy policy;
+  policy.keep_window_ticks = 15;
+  // now = 30: cutoff 15; partitions with max_ts < 15 expire.
+  EXPECT_EQ(RetentionCandidates(parts, policy, 30),
+            (std::vector<PartitionId>{0}));
+  // now = 40: cutoff 25.
+  EXPECT_EQ(RetentionCandidates(parts, policy, 40),
+            (std::vector<PartitionId>{0, 1}));
+}
+
+TEST(RetentionTest, WindowLargerThanNowExpiresNothing) {
+  const std::vector<PartitionInfo> parts = {Info(0, 0, 9)};
+  RetentionPolicy policy;
+  policy.keep_window_ticks = 100;
+  EXPECT_TRUE(RetentionCandidates(parts, policy, 50).empty());
+}
+
+TEST(RetentionTest, KeepLastPartitionsDropsOldestIds) {
+  const std::vector<PartitionInfo> parts = {
+      Info(3, 0, 0), Info(1, 0, 0), Info(2, 0, 0), Info(0, 0, 0)};
+  RetentionPolicy policy;
+  policy.keep_last_partitions = 2;
+  EXPECT_EQ(RetentionCandidates(parts, policy, 0),
+            (std::vector<PartitionId>{0, 1}));
+}
+
+TEST(RetentionTest, CriteriaUnionWithoutDuplicates) {
+  const std::vector<PartitionInfo> parts = {
+      Info(0, 0, 9), Info(1, 10, 19), Info(2, 20, 29), Info(3, 30, 39)};
+  RetentionPolicy policy;
+  policy.keep_window_ticks = 15;    // at now = 40 expires ids 0, 1
+  policy.keep_last_partitions = 3;  // expires id 0
+  EXPECT_EQ(RetentionCandidates(parts, policy, 40),
+            (std::vector<PartitionId>{0, 1}));
+}
+
+TEST(RetentionTest, WarehouseApplyRetentionRollsOut) {
+  WarehouseOptions options;
+  options.sampler.kind = SamplerKind::kHybridReservoir;
+  options.sampler.footprint_bound_bytes = 512;
+  Warehouse wh(options);
+  ASSERT_TRUE(wh.CreateDataset("days").ok());
+  // Roll in 5 daily samples at 24-tick days.
+  Pcg64 rng = wh.ForkRng();
+  for (int day = 0; day < 5; ++day) {
+    SamplerConfig config = options.sampler;
+    AnySampler sampler(config, rng.Fork(day));
+    for (Value v = 0; v < 100; ++v) sampler.Add(day * 100 + v);
+    ASSERT_TRUE(
+        wh.RollIn("days", sampler.Finalize(), day * 24, day * 24 + 23)
+            .ok());
+  }
+  RetentionPolicy policy;
+  policy.keep_window_ticks = 3 * 24;
+  const auto expired = wh.ApplyRetention("days", policy, 5 * 24);
+  ASSERT_TRUE(expired.ok());
+  EXPECT_EQ(expired.value().size(), 2u);  // days 0 and 1
+  const auto remaining = wh.ListPartitions("days");
+  ASSERT_TRUE(remaining.ok());
+  EXPECT_EQ(remaining.value().size(), 3u);
+  // Idempotent: nothing further expires at the same `now`.
+  const auto again = wh.ApplyRetention("days", policy, 5 * 24);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.value().empty());
+}
+
+}  // namespace
+}  // namespace sampwh

@@ -1,0 +1,143 @@
+#include "src/warehouse/sample_store.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace sampwh {
+namespace {
+
+CompactHistogram MakeHistogram(
+    const std::vector<std::pair<Value, uint64_t>>& entries) {
+  CompactHistogram h;
+  for (const auto& [v, n] : entries) h.Insert(v, n);
+  return h;
+}
+
+PartitionSample TestSample(uint64_t parent = 100) {
+  return PartitionSample::MakeReservoir(MakeHistogram({{1, 2}, {5, 3}}),
+                                        parent, 4096);
+}
+
+template <typename T>
+class SampleStoreTest : public ::testing::Test {
+ public:
+  void SetUp() override {
+    if constexpr (std::is_same_v<T, FileSampleStore>) {
+      dir_ = (std::filesystem::temp_directory_path() /
+              ("sampwh_store_test_" +
+               std::to_string(::testing::UnitTest::GetInstance()
+                                  ->random_seed())))
+                 .string();
+      std::filesystem::remove_all(dir_);
+      auto opened = FileSampleStore::Open(dir_);
+      ASSERT_TRUE(opened.ok());
+      store_ = std::move(opened).value();
+    } else {
+      store_ = std::make_unique<InMemorySampleStore>();
+    }
+  }
+
+  void TearDown() override {
+    store_.reset();
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+
+  std::unique_ptr<SampleStore> store_;
+  std::string dir_;
+};
+
+using StoreTypes = ::testing::Types<InMemorySampleStore, FileSampleStore>;
+TYPED_TEST_SUITE(SampleStoreTest, StoreTypes);
+
+TYPED_TEST(SampleStoreTest, PutGetRoundTrip) {
+  const PartitionSample s = TestSample();
+  ASSERT_TRUE(this->store_->Put({"ds", 0}, s).ok());
+  const auto loaded = this->store_->Get({"ds", 0});
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().parent_size(), 100u);
+  EXPECT_TRUE(loaded.value().histogram() == s.histogram());
+}
+
+TYPED_TEST(SampleStoreTest, GetMissingIsNotFound) {
+  EXPECT_TRUE(this->store_->Get({"ds", 99}).status().IsNotFound());
+}
+
+TYPED_TEST(SampleStoreTest, PutReplacesExisting) {
+  ASSERT_TRUE(this->store_->Put({"ds", 0}, TestSample(100)).ok());
+  ASSERT_TRUE(this->store_->Put({"ds", 0}, TestSample(555)).ok());
+  EXPECT_EQ(this->store_->Get({"ds", 0}).value().parent_size(), 555u);
+}
+
+TYPED_TEST(SampleStoreTest, DeleteRemoves) {
+  ASSERT_TRUE(this->store_->Put({"ds", 0}, TestSample()).ok());
+  EXPECT_TRUE(this->store_->Delete({"ds", 0}).ok());
+  EXPECT_TRUE(this->store_->Get({"ds", 0}).status().IsNotFound());
+  EXPECT_TRUE(this->store_->Delete({"ds", 0}).IsNotFound());
+}
+
+TYPED_TEST(SampleStoreTest, ListIsPerDatasetAndSorted) {
+  ASSERT_TRUE(this->store_->Put({"ds", 5}, TestSample()).ok());
+  ASSERT_TRUE(this->store_->Put({"ds", 1}, TestSample()).ok());
+  ASSERT_TRUE(this->store_->Put({"other", 3}, TestSample()).ok());
+  const auto ids = this->store_->List("ds");
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids.value(), (std::vector<PartitionId>{1, 5}));
+}
+
+TYPED_TEST(SampleStoreTest, RejectsInvalidSamples) {
+  const PartitionSample bogus = PartitionSample::MakeExhaustive(
+      MakeHistogram({{1, 1}}), 99, 4096);  // claims parent 99, holds 1
+  EXPECT_FALSE(this->store_->Put({"ds", 0}, bogus).ok());
+}
+
+TEST(InMemorySampleStoreTest, TracksStoredBytes) {
+  InMemorySampleStore store;
+  EXPECT_EQ(store.TotalStoredBytes(), 0u);
+  ASSERT_TRUE(store.Put({"ds", 0}, TestSample()).ok());
+  const uint64_t one = store.TotalStoredBytes();
+  EXPECT_GT(one, 0u);
+  ASSERT_TRUE(store.Put({"ds", 1}, TestSample()).ok());
+  EXPECT_EQ(store.TotalStoredBytes(), 2 * one);
+  ASSERT_TRUE(store.Delete({"ds", 0}).ok());
+  EXPECT_EQ(store.TotalStoredBytes(), one);
+}
+
+TEST(FileSampleStoreTest, SamplesPersistAcrossReopen) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "sampwh_store_reopen")
+          .string();
+  std::filesystem::remove_all(dir);
+  {
+    auto store = FileSampleStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->Put({"ds", 7}, TestSample(123)).ok());
+  }
+  {
+    auto store = FileSampleStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    const auto loaded = store.value()->Get({"ds", 7});
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value().parent_size(), 123u);
+    EXPECT_EQ(store.value()->List("ds").value(),
+              (std::vector<PartitionId>{7}));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileSampleStoreTest, CorruptFileSurfacesError) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "sampwh_store_corrupt")
+          .string();
+  std::filesystem::remove_all(dir);
+  auto store = FileSampleStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store.value()->Put({"ds", 0}, TestSample()).ok());
+  // Clobber the file.
+  ASSERT_TRUE(WriteFileAtomic(dir + "/ds.0.sample", "garbage").ok());
+  EXPECT_FALSE(store.value()->Get({"ds", 0}).ok());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sampwh

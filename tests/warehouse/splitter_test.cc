@@ -1,0 +1,49 @@
+#include "src/warehouse/splitter.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sampwh {
+namespace {
+
+TEST(SplitterTest, RoundRobinCycles) {
+  StreamSplitter splitter(3, SplitPolicy::kRoundRobin);
+  EXPECT_EQ(splitter.Route(10), 0u);
+  EXPECT_EQ(splitter.Route(10), 1u);
+  EXPECT_EQ(splitter.Route(10), 2u);
+  EXPECT_EQ(splitter.Route(10), 0u);
+}
+
+TEST(SplitterTest, RoundRobinBalancesExactly) {
+  StreamSplitter splitter(4, SplitPolicy::kRoundRobin);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 4000; ++i) ++counts[splitter.Route(i)];
+  for (const int c : counts) EXPECT_EQ(c, 1000);
+}
+
+TEST(SplitterTest, HashIsDeterministicPerValue) {
+  StreamSplitter splitter(8, SplitPolicy::kHash);
+  const size_t route = splitter.Route(12345);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(splitter.Route(12345), route);
+}
+
+TEST(SplitterTest, HashSpreadsDistinctValues) {
+  StreamSplitter splitter(8, SplitPolicy::kHash);
+  std::vector<int> counts(8, 0);
+  for (Value v = 0; v < 8000; ++v) ++counts[splitter.Route(v)];
+  for (const int c : counts) {
+    EXPECT_GT(c, 800);   // within 20% of fair share
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(SplitterTest, SingleWorkerRoutesEverythingToZero) {
+  for (const auto policy : {SplitPolicy::kRoundRobin, SplitPolicy::kHash}) {
+    StreamSplitter splitter(1, policy);
+    for (Value v = 0; v < 100; ++v) EXPECT_EQ(splitter.Route(v), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sampwh

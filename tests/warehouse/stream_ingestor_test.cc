@@ -1,0 +1,131 @@
+#include "src/warehouse/stream_ingestor.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/arrival.h"
+#include "src/workload/generators.h"
+
+namespace sampwh {
+namespace {
+
+WarehouseOptions SmallOptions() {
+  WarehouseOptions options;
+  options.sampler.kind = SamplerKind::kHybridReservoir;
+  options.sampler.footprint_bound_bytes = 512;  // n_F = 64
+  return options;
+}
+
+TEST(StreamIngestorTest, CountPartitionerCutsFixedSizePartitions) {
+  Warehouse wh(SmallOptions());
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  StreamIngestor ingestor(&wh, "ds", MakeCountPartitioner(1000));
+  for (Value v = 0; v < 3500; ++v) {
+    ASSERT_TRUE(ingestor.Append(v).ok());
+  }
+  ASSERT_TRUE(ingestor.Flush().ok());
+  EXPECT_EQ(ingestor.rolled_in().size(), 4u);  // 1000+1000+1000+500
+  const auto parts = wh.ListPartitions("ds");
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts.value().size(), 4u);
+  EXPECT_EQ(parts.value()[0].parent_size, 1000u);
+  EXPECT_EQ(parts.value()[3].parent_size, 500u);
+}
+
+TEST(StreamIngestorTest, FlushOnEmptyIsNoop) {
+  Warehouse wh(SmallOptions());
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  StreamIngestor ingestor(&wh, "ds", MakeCountPartitioner(10));
+  EXPECT_TRUE(ingestor.Flush().ok());
+  EXPECT_TRUE(ingestor.rolled_in().empty());
+}
+
+TEST(StreamIngestorTest, TemporalPartitionerSplitsByWindow) {
+  Warehouse wh(SmallOptions());
+  ASSERT_TRUE(wh.CreateDataset("days").ok());
+  // One element per tick; 24-tick "days".
+  StreamIngestor ingestor(&wh, "days", MakeTemporalPartitioner(24));
+  for (uint64_t t = 0; t < 72; ++t) {
+    ASSERT_TRUE(ingestor.Append(static_cast<Value>(t), t).ok());
+  }
+  ASSERT_TRUE(ingestor.Flush().ok());
+  const auto parts = wh.ListPartitions("days");
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts.value().size(), 3u);
+  EXPECT_EQ(parts.value()[0].min_timestamp, 0u);
+  EXPECT_EQ(parts.value()[0].max_timestamp, 23u);
+  EXPECT_EQ(parts.value()[1].min_timestamp, 24u);
+  EXPECT_EQ(parts.value()[2].max_timestamp, 71u);
+}
+
+TEST(StreamIngestorTest, RatioTriggerFinalizesUnderPressure) {
+  // §2's scenario: fixed-size samples with a minimum sampling fraction.
+  // With n_F = 64 and a 1/16 minimum fraction, partitions close around
+  // 1024 elements.
+  Warehouse wh(SmallOptions());
+  ASSERT_TRUE(wh.CreateDataset("stream").ok());
+  StreamIngestor ingestor(&wh, "stream",
+                          MakeRatioTriggerPartitioner(1.0 / 16.0, 128));
+  for (Value v = 0; v < 10000; ++v) {
+    ASSERT_TRUE(ingestor.Append(v).ok());
+  }
+  ASSERT_TRUE(ingestor.Flush().ok());
+  const auto parts = wh.ListPartitions("stream");
+  ASSERT_TRUE(parts.ok());
+  EXPECT_GE(parts.value().size(), 5u);
+  for (const PartitionInfo& p : parts.value()) {
+    // Every closed partition met the minimum sampling fraction.
+    EXPECT_GE(static_cast<double>(p.sample_size) /
+                  static_cast<double>(p.parent_size),
+              1.0 / 16.0 - 1e-9)
+        << "partition " << p.id;
+  }
+}
+
+TEST(StreamIngestorTest, NullPartitionerMeansSinglePartition) {
+  Warehouse wh(SmallOptions());
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  StreamIngestor ingestor(&wh, "ds", nullptr);
+  for (Value v = 0; v < 5000; ++v) {
+    ASSERT_TRUE(ingestor.Append(v).ok());
+  }
+  EXPECT_EQ(ingestor.open_elements(), 5000u);
+  ASSERT_TRUE(ingestor.Flush().ok());
+  EXPECT_EQ(ingestor.rolled_in().size(), 1u);
+}
+
+TEST(StreamIngestorTest, WorksWithArrivalSimulator) {
+  Warehouse wh(SmallOptions());
+  ASSERT_TRUE(wh.CreateDataset("bursty").ok());
+  StreamIngestor ingestor(&wh, "bursty", MakeTemporalPartitioner(512));
+  ArrivalSimulator::Options arrival_options;
+  arrival_options.pattern = ArrivalPattern::kBursty;
+  arrival_options.base_gap = 1;
+  arrival_options.slow_factor = 8;
+  arrival_options.phase_length = 256;
+  ArrivalSimulator sim(DataGenerator::Unique(4096, 1), arrival_options);
+  while (sim.HasNext()) {
+    const TimedValue tv = sim.Next();
+    ASSERT_TRUE(ingestor.Append(tv.value, tv.timestamp).ok());
+  }
+  ASSERT_TRUE(ingestor.Flush().ok());
+  // Bursty arrivals: fast phases pack many elements into a window, slow
+  // phases few — partition parent sizes must vary.
+  const auto parts = wh.ListPartitions("bursty");
+  ASSERT_TRUE(parts.ok());
+  ASSERT_GE(parts.value().size(), 3u);
+  uint64_t min_size = UINT64_MAX;
+  uint64_t max_size = 0;
+  uint64_t total = 0;
+  for (const PartitionInfo& p : parts.value()) {
+    min_size = std::min(min_size, p.parent_size);
+    max_size = std::max(max_size, p.parent_size);
+    total += p.parent_size;
+  }
+  EXPECT_EQ(total, 4096u);
+  EXPECT_GT(max_size, min_size);
+}
+
+}  // namespace
+}  // namespace sampwh

@@ -1,0 +1,323 @@
+#include "src/warehouse/warehouse.h"
+
+#include <atomic>
+#include <filesystem>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace sampwh {
+namespace {
+
+WarehouseOptions HrOptions(uint64_t f = 512) {
+  WarehouseOptions options;
+  options.sampler.kind = SamplerKind::kHybridReservoir;
+  options.sampler.footprint_bound_bytes = f;
+  return options;
+}
+
+std::vector<Value> Range(Value begin, Value end) {
+  std::vector<Value> out;
+  for (Value v = begin; v < end; ++v) out.push_back(v);
+  return out;
+}
+
+TEST(WarehouseTest, DatasetLifecycle) {
+  Warehouse wh(HrOptions());
+  EXPECT_TRUE(wh.CreateDataset("orders").ok());
+  EXPECT_TRUE(wh.HasDataset("orders"));
+  EXPECT_TRUE(wh.CreateDataset("orders").IsAlreadyExists());
+  EXPECT_TRUE(wh.DropDataset("orders").ok());
+  EXPECT_FALSE(wh.HasDataset("orders"));
+}
+
+TEST(WarehouseTest, IngestBatchCreatesPartitionsAndSamples) {
+  Warehouse wh(HrOptions());
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  const auto ids = wh.IngestBatch("ds", Range(0, 10000), 4);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids.value().size(), 4u);
+  const auto parts = wh.ListPartitions("ds");
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts.value().size(), 4u);
+  for (const PartitionInfo& p : parts.value()) {
+    EXPECT_EQ(p.parent_size, 2500u);
+    EXPECT_EQ(p.sample_size, 64u);  // n_F for 512 bytes
+    EXPECT_EQ(p.phase, SamplePhase::kReservoir);
+  }
+}
+
+TEST(WarehouseTest, IngestBatchParallelMatchesStructure) {
+  Warehouse wh(HrOptions());
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  ThreadPool pool(4);
+  const auto ids = wh.IngestBatch("ds", Range(0, 10000), 8, &pool);
+  ASSERT_TRUE(ids.ok());
+  const auto info = wh.GetDatasetInfo("ds");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().num_partitions, 8u);
+  EXPECT_EQ(info.value().total_parent_size, 10000u);
+}
+
+TEST(WarehouseTest, IngestBatchUnevenSplit) {
+  Warehouse wh(HrOptions());
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  const auto ids = wh.IngestBatch("ds", Range(0, 10), 3);
+  ASSERT_TRUE(ids.ok());
+  const auto parts = wh.ListPartitions("ds");
+  ASSERT_TRUE(parts.ok());
+  uint64_t total = 0;
+  for (const PartitionInfo& p : parts.value()) total += p.parent_size;
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(WarehouseTest, IngestIntoMissingDatasetFails) {
+  Warehouse wh(HrOptions());
+  EXPECT_TRUE(wh.IngestBatch("ghost", Range(0, 10), 1).status().IsNotFound());
+}
+
+TEST(WarehouseTest, RollInRollOut) {
+  Warehouse wh(HrOptions());
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  CompactHistogram h;
+  for (Value v = 0; v < 10; ++v) h.Insert(v);
+  const PartitionSample s = PartitionSample::MakeExhaustive(h, 10, 512);
+  const auto id = wh.RollIn("ds", s, 100, 199);
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(wh.GetSample("ds", id.value()).ok());
+  ASSERT_TRUE(wh.RollOut("ds", id.value()).ok());
+  EXPECT_TRUE(wh.GetSample("ds", id.value()).status().IsNotFound());
+  EXPECT_TRUE(wh.RollOut("ds", id.value()).IsNotFound());
+}
+
+TEST(WarehouseTest, MergedSampleAllIsUniformSizeAndParent) {
+  Warehouse wh(HrOptions());
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  ASSERT_TRUE(wh.IngestBatch("ds", Range(0, 20000), 8).ok());
+  const auto merged = wh.MergedSampleAll("ds");
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged.value().parent_size(), 20000u);
+  EXPECT_EQ(merged.value().size(), 64u);
+  EXPECT_TRUE(merged.value().Validate().ok());
+  // All sampled values must come from the ingested domain.
+  merged.value().histogram().ForEach([](Value v, uint64_t) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 20000);
+  });
+}
+
+TEST(WarehouseTest, MergedSampleSubsetOnlyCoversRequestedPartitions) {
+  Warehouse wh(HrOptions());
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  const auto ids = wh.IngestBatch("ds", Range(0, 8000), 4);
+  ASSERT_TRUE(ids.ok());
+  // Partitions are contiguous chunks of 2000; merge the first two.
+  const auto merged =
+      wh.MergedSample("ds", {ids.value()[0], ids.value()[1]});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().parent_size(), 4000u);
+  merged.value().histogram().ForEach([](Value v, uint64_t) {
+    EXPECT_LT(v, 4000);
+  });
+}
+
+TEST(WarehouseTest, MergedSampleRejectsUnknownPartition) {
+  Warehouse wh(HrOptions());
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  ASSERT_TRUE(wh.IngestBatch("ds", Range(0, 100), 1).ok());
+  EXPECT_TRUE(wh.MergedSample("ds", {99}).status().IsNotFound());
+}
+
+TEST(WarehouseTest, TimeRangeQueryMergesMatchingWindows) {
+  Warehouse wh(HrOptions());
+  ASSERT_TRUE(wh.CreateDataset("daily").ok());
+  // Roll in 7 "days" of 1000 elements each.
+  Pcg64 rng = wh.ForkRng();
+  for (int day = 0; day < 7; ++day) {
+    SamplerConfig config = HrOptions().sampler;
+    AnySampler sampler(config, rng.Fork(day));
+    for (Value v = 0; v < 1000; ++v) {
+      sampler.Add(day * 1000 + v);
+    }
+    ASSERT_TRUE(
+        wh.RollIn("daily", sampler.Finalize(), day * 24, day * 24 + 23)
+            .ok());
+  }
+  // "Week so far": days 0-2.
+  const auto merged = wh.MergedSampleInTimeRange("daily", 0, 71);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().parent_size(), 3000u);
+  merged.value().histogram().ForEach([](Value v, uint64_t) {
+    EXPECT_LT(v, 3000);
+  });
+}
+
+TEST(WarehouseTest, RolledOutPartitionExcludedFromMerge) {
+  Warehouse wh(HrOptions());
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  const auto ids = wh.IngestBatch("ds", Range(0, 6000), 3);
+  ASSERT_TRUE(ids.ok());
+  ASSERT_TRUE(wh.RollOut("ds", ids.value()[2]).ok());
+  const auto merged = wh.MergedSampleAll("ds");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().parent_size(), 4000u);
+  merged.value().histogram().ForEach([](Value v, uint64_t) {
+    EXPECT_LT(v, 4000);  // third chunk [4000, 6000) is gone
+  });
+}
+
+TEST(WarehouseTest, HbConfiguredWarehouseMergesBernoulliSamples) {
+  WarehouseOptions options;
+  options.sampler.kind = SamplerKind::kHybridBernoulli;
+  options.sampler.footprint_bound_bytes = 8192;
+  Warehouse wh(options);
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  ASSERT_TRUE(wh.IngestBatch("ds", Range(0, 100000), 4).ok());
+  const auto merged = wh.MergedSampleAll("ds");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().parent_size(), 100000u);
+  EXPECT_LE(merged.value().footprint_bytes(), 8192u);
+  EXPECT_TRUE(merged.value().Validate().ok());
+}
+
+TEST(WarehouseTest, FileBackedWarehouseSurvivesOperations) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "sampwh_wh_test").string();
+  std::filesystem::remove_all(dir);
+  auto store = FileSampleStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  Warehouse wh(HrOptions(), std::move(store).value());
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  ASSERT_TRUE(wh.IngestBatch("ds", Range(0, 5000), 2).ok());
+  const auto merged = wh.MergedSampleAll("ds");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().parent_size(), 5000u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WarehouseTest, DropDatasetDeletesStoredSamples) {
+  WarehouseOptions options = HrOptions();
+  auto store = std::make_unique<InMemorySampleStore>();
+  InMemorySampleStore* raw = store.get();
+  Warehouse wh(options, std::move(store));
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  ASSERT_TRUE(wh.IngestBatch("ds", Range(0, 1000), 2).ok());
+  EXPECT_GT(raw->TotalStoredBytes(), 0u);
+  ASSERT_TRUE(wh.DropDataset("ds").ok());
+  EXPECT_EQ(raw->TotalStoredBytes(), 0u);
+}
+
+TEST(WarehouseTest, CompactPartitionsConsolidates) {
+  Warehouse wh(HrOptions());
+  ASSERT_TRUE(wh.CreateDataset("daily").ok());
+  // Seven "daily" partitions with time ranges.
+  std::vector<PartitionId> days;
+  Pcg64 rng = wh.ForkRng();
+  for (int day = 0; day < 7; ++day) {
+    AnySampler sampler(HrOptions().sampler, rng.Fork(day));
+    for (Value v = 0; v < 1000; ++v) sampler.Add(day * 1000 + v);
+    const auto id =
+        wh.RollIn("daily", sampler.Finalize(), day * 24, day * 24 + 23);
+    ASSERT_TRUE(id.ok());
+    days.push_back(id.value());
+  }
+  const auto week = wh.CompactPartitions("daily", days);
+  ASSERT_TRUE(week.ok()) << week.status().ToString();
+  // The dailies are gone; one weekly partition remains.
+  const auto parts = wh.ListPartitions("daily");
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts.value().size(), 1u);
+  EXPECT_EQ(parts.value()[0].id, week.value());
+  EXPECT_EQ(parts.value()[0].parent_size, 7000u);
+  EXPECT_EQ(parts.value()[0].min_timestamp, 0u);
+  EXPECT_EQ(parts.value()[0].max_timestamp, 6 * 24 + 23u);
+  // Queries keep working against the consolidated sample.
+  const auto merged = wh.MergedSampleAll("daily");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().parent_size(), 7000u);
+  EXPECT_EQ(merged.value().size(), 64u);
+}
+
+TEST(WarehouseTest, CompactPartitionsRejectsBadInput) {
+  Warehouse wh(HrOptions());
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  const auto ids = wh.IngestBatch("ds", Range(0, 2000), 2);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_FALSE(wh.CompactPartitions("ds", {ids.value()[0]}).ok());
+  EXPECT_FALSE(
+      wh.CompactPartitions("ds", {ids.value()[0], 999}).ok());
+  // Failed compaction must not have rolled anything out.
+  EXPECT_EQ(wh.ListPartitions("ds").value().size(), 2u);
+}
+
+TEST(WarehouseTest, ConcurrentIngestAndQuery) {
+  // Thread-safety smoke test: parallel RollIn/Query/ListPartitions from
+  // many threads must neither crash nor corrupt the catalog.
+  Warehouse wh(HrOptions());
+  ASSERT_TRUE(wh.CreateDataset("hot").ok());
+  ASSERT_TRUE(wh.IngestBatch("hot", Range(0, 1000), 1).ok());  // seed data
+  ThreadPool pool(8);
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 32; ++t) {
+    pool.Submit([&wh, &failures, t] {
+      SamplerConfig config;
+      config.kind = SamplerKind::kHybridReservoir;
+      config.footprint_bound_bytes = 512;
+      Pcg64 rng(5000 + t);
+      AnySampler sampler(config, std::move(rng));
+      for (Value v = 0; v < 2000; ++v) sampler.Add(t * 2000 + v);
+      if (!wh.RollIn("hot", sampler.Finalize()).ok()) failures.fetch_add(1);
+      if (!wh.MergedSampleAll("hot").ok()) failures.fetch_add(1);
+      if (!wh.ListPartitions("hot").ok()) failures.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(failures.load(), 0);
+  const auto info = wh.GetDatasetInfo("hot");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().num_partitions, 33u);
+  EXPECT_EQ(info.value().total_parent_size, 1000u + 32u * 2000u);
+}
+
+TEST(WarehouseTest, PerDatasetSamplerOverride) {
+  // The warehouse default is a tiny HR budget; the "hot" dataset overrides
+  // with a 4x larger bound and must get correspondingly larger samples.
+  Warehouse wh(HrOptions(512));  // default n_F = 64
+  ASSERT_TRUE(wh.CreateDataset("cold").ok());
+  SamplerConfig hot_config;
+  hot_config.kind = SamplerKind::kHybridReservoir;
+  hot_config.footprint_bound_bytes = 2048;  // n_F = 256
+  ASSERT_TRUE(wh.CreateDataset("hot", hot_config).ok());
+  EXPECT_EQ(wh.SamplerConfigFor("cold").footprint_bound_bytes, 512u);
+  EXPECT_EQ(wh.SamplerConfigFor("hot").footprint_bound_bytes, 2048u);
+
+  ASSERT_TRUE(wh.IngestBatch("cold", Range(0, 10000), 1).ok());
+  ASSERT_TRUE(wh.IngestBatch("hot", Range(0, 10000), 1).ok());
+  const auto cold = wh.ListPartitions("cold");
+  const auto hot = wh.ListPartitions("hot");
+  ASSERT_TRUE(cold.ok() && hot.ok());
+  EXPECT_EQ(cold.value()[0].sample_size, 64u);
+  EXPECT_EQ(hot.value()[0].sample_size, 256u);
+  // Dropping the dataset clears the override.
+  ASSERT_TRUE(wh.DropDataset("hot").ok());
+  EXPECT_EQ(wh.SamplerConfigFor("hot").footprint_bound_bytes, 512u);
+}
+
+TEST(WarehouseTest, BalancedTreeStrategyWithAliasCache) {
+  WarehouseOptions options = HrOptions(256);
+  options.merge_strategy = MergeStrategy::kBalancedTree;
+  options.cache_alias_tables = true;
+  Warehouse wh(options);
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  ASSERT_TRUE(wh.IngestBatch("ds", Range(0, 16000), 8).ok());
+  // Repeated queries reuse cached alias tables; results stay valid.
+  for (int i = 0; i < 3; ++i) {
+    const auto merged = wh.MergedSampleAll("ds");
+    ASSERT_TRUE(merged.ok());
+    EXPECT_EQ(merged.value().size(), 32u);
+    EXPECT_TRUE(merged.value().Validate().ok());
+  }
+}
+
+}  // namespace
+}  // namespace sampwh

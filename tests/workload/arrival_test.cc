@@ -1,0 +1,82 @@
+#include "src/workload/arrival.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sampwh {
+namespace {
+
+ArrivalSimulator::Options Opts(ArrivalPattern pattern) {
+  ArrivalSimulator::Options options;
+  options.pattern = pattern;
+  options.base_gap = 2;
+  options.slow_factor = 10;
+  options.phase_length = 100;
+  return options;
+}
+
+TEST(ArrivalTest, SteadyGapsAreConstant) {
+  ArrivalSimulator sim(DataGenerator::Unique(50, 1),
+                       Opts(ArrivalPattern::kSteady));
+  uint64_t prev = 0;
+  for (int i = 0; i < 50; ++i) {
+    const TimedValue tv = sim.Next();
+    EXPECT_EQ(tv.timestamp - prev, 2u);
+    prev = tv.timestamp;
+  }
+  EXPECT_FALSE(sim.HasNext());
+}
+
+TEST(ArrivalTest, TimestampsStrictlyIncrease) {
+  for (const auto pattern : {ArrivalPattern::kSteady, ArrivalPattern::kBursty,
+                             ArrivalPattern::kPoisson}) {
+    ArrivalSimulator sim(DataGenerator::Unique(500, 1), Opts(pattern));
+    uint64_t prev = 0;
+    while (sim.HasNext()) {
+      const TimedValue tv = sim.Next();
+      EXPECT_GT(tv.timestamp, prev);
+      prev = tv.timestamp;
+    }
+  }
+}
+
+TEST(ArrivalTest, BurstyAlternatesRates) {
+  ArrivalSimulator sim(DataGenerator::Unique(200, 1),
+                       Opts(ArrivalPattern::kBursty));
+  std::vector<uint64_t> gaps;
+  uint64_t prev = 0;
+  for (int i = 0; i < 200; ++i) {
+    const TimedValue tv = sim.Next();
+    gaps.push_back(tv.timestamp - prev);
+    prev = tv.timestamp;
+  }
+  // First 100 elements fast (gap 2), next 100 slow (gap 20).
+  EXPECT_EQ(gaps[50], 2u);
+  EXPECT_EQ(gaps[150], 20u);
+}
+
+TEST(ArrivalTest, PoissonMeanGapNearBase) {
+  ArrivalSimulator::Options options = Opts(ArrivalPattern::kPoisson);
+  ArrivalSimulator sim(DataGenerator::Unique(20000, 1), options);
+  uint64_t prev = 0;
+  double total_gap = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const TimedValue tv = sim.Next();
+    total_gap += static_cast<double>(tv.timestamp - prev);
+    prev = tv.timestamp;
+  }
+  // Geometric with success prob 1/(base+1): mean gap = base + 1 = 3.
+  EXPECT_NEAR(total_gap / 20000.0, 3.0, 0.1);
+}
+
+TEST(ArrivalTest, ValuesPassThroughUnchanged) {
+  ArrivalSimulator sim(DataGenerator::Unique(10, 100),
+                       Opts(ArrivalPattern::kSteady));
+  for (Value expected = 100; expected < 110; ++expected) {
+    EXPECT_EQ(sim.Next().value, expected);
+  }
+}
+
+}  // namespace
+}  // namespace sampwh

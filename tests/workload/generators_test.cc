@@ -1,0 +1,87 @@
+#include "src/workload/generators.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/stats/ks_test.h"
+
+namespace sampwh {
+namespace {
+
+TEST(GeneratorsTest, UniqueProducesSequentialDistinctValues) {
+  DataGenerator gen = DataGenerator::Unique(100, 501);
+  const std::vector<Value> values = gen.TakeAll();
+  ASSERT_EQ(values.size(), 100u);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(values[i], static_cast<Value>(501 + i));
+  }
+  EXPECT_FALSE(gen.HasNext());
+}
+
+TEST(GeneratorsTest, UniquePartitionsAreDisjoint) {
+  DataGenerator a = DataGenerator::Make(DataKind::kUnique, 1000, 0, 1);
+  DataGenerator b = DataGenerator::Make(DataKind::kUnique, 1000, 1, 1);
+  std::set<Value> seen;
+  for (const Value v : a.TakeAll()) EXPECT_TRUE(seen.insert(v).second);
+  for (const Value v : b.TakeAll()) EXPECT_TRUE(seen.insert(v).second);
+  EXPECT_EQ(seen.size(), 2000u);
+}
+
+TEST(GeneratorsTest, UniformRespectsRangeAndIsUniform) {
+  DataGenerator gen = DataGenerator::Uniform(20000, 1000, 42);
+  std::vector<Value> values = gen.TakeAll();
+  for (const Value v : values) {
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 1000);
+  }
+  EXPECT_GT(KsTestDiscreteUniform(values, 1, 1000).p_value, 1e-3);
+}
+
+TEST(GeneratorsTest, UniformIsSeedDeterministic) {
+  DataGenerator a = DataGenerator::Uniform(100, 1000, 7);
+  DataGenerator b = DataGenerator::Uniform(100, 1000, 7);
+  EXPECT_EQ(a.TakeAll(), b.TakeAll());
+  DataGenerator c = DataGenerator::Uniform(100, 1000, 8);
+  DataGenerator d = DataGenerator::Uniform(100, 1000, 7);
+  EXPECT_NE(c.TakeAll(), d.TakeAll());
+}
+
+TEST(GeneratorsTest, ZipfRespectsRangeAndSkews) {
+  DataGenerator gen =
+      DataGenerator::Zipf(50000, kPaperZipfRange, 1.0, 11);
+  std::vector<uint64_t> counts(kPaperZipfRange + 1, 0);
+  while (gen.HasNext()) {
+    const Value v = gen.Next();
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, static_cast<Value>(kPaperZipfRange));
+    ++counts[static_cast<size_t>(v)];
+  }
+  // Rank 1 must dominate rank 10 roughly 10:1.
+  EXPECT_GT(counts[1], 5 * counts[10]);
+  EXPECT_GT(counts[1], 0u);
+}
+
+TEST(GeneratorsTest, TakeRespectsCount) {
+  DataGenerator gen = DataGenerator::Unique(10, 1);
+  EXPECT_EQ(gen.Take(4).size(), 4u);
+  EXPECT_EQ(gen.Take(100).size(), 6u);  // only 6 left
+  EXPECT_FALSE(gen.HasNext());
+}
+
+TEST(GeneratorsTest, MakeDispatchesPartitionSeeds) {
+  // Different partitions of a uniform dataset must produce different data.
+  DataGenerator a = DataGenerator::Make(DataKind::kUniform, 100, 0, 5);
+  DataGenerator b = DataGenerator::Make(DataKind::kUniform, 100, 1, 5);
+  EXPECT_NE(a.TakeAll(), b.TakeAll());
+}
+
+TEST(GeneratorsTest, KindNames) {
+  EXPECT_EQ(DataKindToString(DataKind::kUnique), "unique");
+  EXPECT_EQ(DataKindToString(DataKind::kUniform), "uniform");
+  EXPECT_EQ(DataKindToString(DataKind::kZipf), "zipfian");
+}
+
+}  // namespace
+}  // namespace sampwh

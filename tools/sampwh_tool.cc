@@ -1,0 +1,216 @@
+// sampwh_tool — command-line utility over warehouse artifacts.
+//
+//   sampwh_tool dump <sample-file>
+//       Metadata and compact histogram head of one serialized sample.
+//   sampwh_tool profile <sample-file>
+//       Column profile (min/max/mean, distinct estimate, heavy hitters).
+//   sampwh_tool estimate <sample-file> mean|sum|distinct
+//       Point estimate with standard error.
+//   sampwh_tool merge <out-file> <in-file> <in-file> [in-file...]
+//       Uniform merge of samples of DISJOINT partitions (F = 64 KiB).
+//   sampwh_tool inspect <store-dir> <manifest-file>
+//       Restore a file-backed warehouse and list its catalog.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/merge.h"
+#include "src/core/sample.h"
+#include "src/stats/estimators.h"
+#include "src/stats/profile.h"
+#include "src/util/serialization.h"
+#include "src/warehouse/warehouse.h"
+
+namespace sampwh {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<PartitionSample> LoadSample(const std::string& path) {
+  std::string bytes;
+  SAMPWH_RETURN_IF_ERROR(ReadFile(path, &bytes));
+  BinaryReader reader(bytes);
+  return PartitionSample::DeserializeFrom(&reader);
+}
+
+Status SaveSample(const std::string& path, const PartitionSample& sample) {
+  BinaryWriter writer;
+  sample.SerializeTo(&writer);
+  return WriteFileAtomic(path, writer.buffer());
+}
+
+int CmdDump(const std::string& path) {
+  auto sample = LoadSample(path);
+  if (!sample.ok()) return Fail(sample.status());
+  const PartitionSample& s = sample.value();
+  std::printf("file:            %s\n", path.c_str());
+  std::printf("phase:           %s\n",
+              std::string(SamplePhaseToString(s.phase())).c_str());
+  std::printf("parent size:     %llu\n",
+              static_cast<unsigned long long>(s.parent_size()));
+  std::printf("sample size:     %llu\n",
+              static_cast<unsigned long long>(s.size()));
+  std::printf("distinct values: %llu\n",
+              static_cast<unsigned long long>(s.histogram().distinct_count()));
+  std::printf("sampling rate:   %.6g\n", s.sampling_rate());
+  std::printf("footprint:       %llu B (bound %llu B)\n",
+              static_cast<unsigned long long>(s.footprint_bytes()),
+              static_cast<unsigned long long>(s.footprint_bound_bytes()));
+  std::printf("entries (first 20, by value):\n");
+  int shown = 0;
+  for (const auto& [v, n] : s.histogram().SortedEntries()) {
+    if (shown++ >= 20) {
+      std::printf("  ...\n");
+      break;
+    }
+    std::printf("  %lld x%llu\n", static_cast<long long>(v),
+                static_cast<unsigned long long>(n));
+  }
+  return 0;
+}
+
+int CmdProfile(const std::string& path) {
+  auto sample = LoadSample(path);
+  if (!sample.ok()) return Fail(sample.status());
+  auto profile = ProfileColumn(sample.value());
+  if (!profile.ok()) return Fail(profile.status());
+  const ColumnProfile& p = profile.value();
+  std::printf("parent size:        %llu\n",
+              static_cast<unsigned long long>(p.parent_size));
+  std::printf("sample size:        %llu (%s)\n",
+              static_cast<unsigned long long>(p.sample_size),
+              p.exact ? "exhaustive - exact statistics" : "sampled");
+  std::printf("value range:        [%lld, %lld]\n",
+              static_cast<long long>(p.min_value),
+              static_cast<long long>(p.max_value));
+  std::printf("mean:               %.6g\n", p.mean);
+  std::printf("distinct in sample: %llu\n",
+              static_cast<unsigned long long>(p.distinct_in_sample));
+  std::printf("estimated distinct: %.0f\n", p.estimated_distinct);
+  std::printf("key likelihood:     %.3f\n", p.key_likelihood);
+  std::printf("singleton fraction: %.3f\n", p.singleton_fraction);
+  std::printf("heavy hitters:\n");
+  for (const HeavyHitter& h : p.heavy_hitters) {
+    std::printf("  %lld: %llu in sample (~%.0f in parent)\n",
+                static_cast<long long>(h.value),
+                static_cast<unsigned long long>(h.sample_count),
+                h.estimated_frequency);
+  }
+  return 0;
+}
+
+int CmdEstimate(const std::string& path, const std::string& what) {
+  auto sample = LoadSample(path);
+  if (!sample.ok()) return Fail(sample.status());
+  Result<Estimate> estimate = Status::InvalidArgument(
+      "unknown estimator '" + what + "' (want mean|sum|distinct)");
+  if (what == "mean") estimate = EstimateMean(sample.value());
+  if (what == "sum") estimate = EstimateSum(sample.value());
+  if (what == "distinct") estimate = EstimateDistinctCount(sample.value());
+  if (!estimate.ok()) return Fail(estimate.status());
+  std::printf("%s = %.6g", what.c_str(), estimate.value().value);
+  if (estimate.value().exact) {
+    std::printf(" (exact)\n");
+  } else {
+    std::printf(" +/- %.6g SE\n", estimate.value().standard_error);
+  }
+  return 0;
+}
+
+int CmdMerge(const std::vector<std::string>& args) {
+  const std::string& out = args[0];
+  std::vector<PartitionSample> samples;
+  for (size_t i = 1; i < args.size(); ++i) {
+    auto sample = LoadSample(args[i]);
+    if (!sample.ok()) return Fail(sample.status());
+    samples.push_back(std::move(sample).value());
+  }
+  std::vector<const PartitionSample*> pointers;
+  for (const PartitionSample& s : samples) pointers.push_back(&s);
+  MergeOptions options;
+  options.footprint_bound_bytes = 64 * 1024;
+  Pcg64 rng(0x700515EED);
+  auto merged = MergeAll(pointers, options, rng);
+  if (!merged.ok()) return Fail(merged.status());
+  const Status save = SaveSample(out, merged.value());
+  if (!save.ok()) return Fail(save);
+  std::printf("merged %zu samples -> %s (parent %llu, sample %llu, %s)\n",
+              samples.size(), out.c_str(),
+              static_cast<unsigned long long>(merged.value().parent_size()),
+              static_cast<unsigned long long>(merged.value().size()),
+              std::string(SamplePhaseToString(merged.value().phase()))
+                  .c_str());
+  return 0;
+}
+
+int CmdInspect(const std::string& dir, const std::string& manifest) {
+  auto store = FileSampleStore::Open(dir);
+  if (!store.ok()) return Fail(store.status());
+  WarehouseOptions options;
+  auto warehouse =
+      Warehouse::Restore(options, std::move(store).value(), manifest);
+  if (!warehouse.ok()) return Fail(warehouse.status());
+  for (const DatasetId& dataset : warehouse.value()->ListDatasets()) {
+    const auto info = warehouse.value()->GetDatasetInfo(dataset);
+    if (!info.ok()) return Fail(info.status());
+    std::printf("dataset %s: %llu partitions, %llu parent elements, "
+                "%llu sampled\n",
+                dataset.c_str(),
+                static_cast<unsigned long long>(info.value().num_partitions),
+                static_cast<unsigned long long>(
+                    info.value().total_parent_size),
+                static_cast<unsigned long long>(
+                    info.value().total_sample_size));
+    const auto parts = warehouse.value()->ListPartitions(dataset);
+    if (!parts.ok()) return Fail(parts.status());
+    for (const PartitionInfo& p : parts.value()) {
+      std::printf("  partition %llu: parent %llu, sample %llu, %s, "
+                  "ticks [%llu, %llu]\n",
+                  static_cast<unsigned long long>(p.id),
+                  static_cast<unsigned long long>(p.parent_size),
+                  static_cast<unsigned long long>(p.sample_size),
+                  std::string(SamplePhaseToString(p.phase)).c_str(),
+                  static_cast<unsigned long long>(p.min_timestamp),
+                  static_cast<unsigned long long>(p.max_timestamp));
+    }
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  sampwh_tool dump <sample-file>\n"
+      "  sampwh_tool profile <sample-file>\n"
+      "  sampwh_tool estimate <sample-file> mean|sum|distinct\n"
+      "  sampwh_tool merge <out-file> <in-file> <in-file> [in-file...]\n"
+      "  sampwh_tool inspect <store-dir> <manifest-file>\n");
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "dump" && args.size() == 1) return CmdDump(args[0]);
+  if (command == "profile" && args.size() == 1) return CmdProfile(args[0]);
+  if (command == "estimate" && args.size() == 2) {
+    return CmdEstimate(args[0], args[1]);
+  }
+  if (command == "merge" && args.size() >= 3) return CmdMerge(args);
+  if (command == "inspect" && args.size() == 2) {
+    return CmdInspect(args[0], args[1]);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace sampwh
+
+int main(int argc, char** argv) { return sampwh::Run(argc, argv); }
