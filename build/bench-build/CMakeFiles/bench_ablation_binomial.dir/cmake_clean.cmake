@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_binomial"
+  "../bench/bench_ablation_binomial.pdb"
+  "CMakeFiles/bench_ablation_binomial.dir/ablation_binomial.cc.o"
+  "CMakeFiles/bench_ablation_binomial.dir/ablation_binomial.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_binomial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_hypergeo"
+  "../bench/bench_ablation_hypergeo.pdb"
+  "CMakeFiles/bench_ablation_hypergeo.dir/ablation_hypergeo.cc.o"
+  "CMakeFiles/bench_ablation_hypergeo.dir/ablation_hypergeo.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hypergeo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_mergetree.cc" "bench-build/CMakeFiles/bench_ablation_mergetree.dir/ablation_mergetree.cc.o" "gcc" "bench-build/CMakeFiles/bench_ablation_mergetree.dir/ablation_mergetree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/sampwh_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sampwh_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sampwh_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/warehouse/CMakeFiles/sampwh_warehouse.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sampwh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sampwh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

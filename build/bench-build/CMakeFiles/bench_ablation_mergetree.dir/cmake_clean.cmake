@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_mergetree"
+  "../bench/bench_ablation_mergetree.pdb"
+  "CMakeFiles/bench_ablation_mergetree.dir/ablation_mergetree.cc.o"
+  "CMakeFiles/bench_ablation_mergetree.dir/ablation_mergetree.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mergetree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

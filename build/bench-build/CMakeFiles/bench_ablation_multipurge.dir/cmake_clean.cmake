@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_multipurge"
+  "../bench/bench_ablation_multipurge.pdb"
+  "CMakeFiles/bench_ablation_multipurge.dir/ablation_multipurge.cc.o"
+  "CMakeFiles/bench_ablation_multipurge.dir/ablation_multipurge.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multipurge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

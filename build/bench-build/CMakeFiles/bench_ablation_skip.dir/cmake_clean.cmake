@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_skip"
+  "../bench/bench_ablation_skip.pdb"
+  "CMakeFiles/bench_ablation_skip.dir/ablation_skip.cc.o"
+  "CMakeFiles/bench_ablation_skip.dir/ablation_skip.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_skip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_qapprox"
+  "../bench/bench_fig05_qapprox.pdb"
+  "CMakeFiles/bench_fig05_qapprox.dir/fig05_qapprox.cc.o"
+  "CMakeFiles/bench_fig05_qapprox.dir/fig05_qapprox.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_qapprox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

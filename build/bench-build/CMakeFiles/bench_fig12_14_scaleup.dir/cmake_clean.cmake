@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_14_scaleup"
+  "../bench/bench_fig12_14_scaleup.pdb"
+  "CMakeFiles/bench_fig12_14_scaleup.dir/fig12_14_scaleup.cc.o"
+  "CMakeFiles/bench_fig12_14_scaleup.dir/fig12_14_scaleup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_14_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_uniformity_demo"
+  "../bench/bench_uniformity_demo.pdb"
+  "CMakeFiles/bench_uniformity_demo.dir/uniformity_demo.cc.o"
+  "CMakeFiles/bench_uniformity_demo.dir/uniformity_demo.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_uniformity_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

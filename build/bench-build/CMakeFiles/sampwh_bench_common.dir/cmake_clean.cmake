@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampwh_bench_common.dir/common.cc.o"
+  "CMakeFiles/sampwh_bench_common.dir/common.cc.o.d"
+  "libsampwh_bench_common.a"
+  "libsampwh_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampwh_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

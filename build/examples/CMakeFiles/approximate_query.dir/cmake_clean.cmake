@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximate_query.dir/approximate_query.cpp.o"
+  "CMakeFiles/approximate_query.dir/approximate_query.cpp.o.d"
+  "approximate_query"
+  "approximate_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximate_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

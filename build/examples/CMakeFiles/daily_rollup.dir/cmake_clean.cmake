@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daily_rollup.dir/daily_rollup.cpp.o"
+  "CMakeFiles/daily_rollup.dir/daily_rollup.cpp.o.d"
+  "daily_rollup"
+  "daily_rollup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daily_rollup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

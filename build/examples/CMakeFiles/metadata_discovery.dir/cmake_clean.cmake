@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadata_discovery.dir/metadata_discovery.cpp.o"
+  "CMakeFiles/metadata_discovery.dir/metadata_discovery.cpp.o.d"
+  "metadata_discovery"
+  "metadata_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadata_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

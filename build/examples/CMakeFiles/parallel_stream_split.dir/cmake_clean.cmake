@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_stream_split.dir/parallel_stream_split.cpp.o"
+  "CMakeFiles/parallel_stream_split.dir/parallel_stream_split.cpp.o.d"
+  "parallel_stream_split"
+  "parallel_stream_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_stream_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/any_sampler.cc" "src/core/CMakeFiles/sampwh_core.dir/any_sampler.cc.o" "gcc" "src/core/CMakeFiles/sampwh_core.dir/any_sampler.cc.o.d"
+  "/root/repo/src/core/bernoulli_sampler.cc" "src/core/CMakeFiles/sampwh_core.dir/bernoulli_sampler.cc.o" "gcc" "src/core/CMakeFiles/sampwh_core.dir/bernoulli_sampler.cc.o.d"
+  "/root/repo/src/core/compact_histogram.cc" "src/core/CMakeFiles/sampwh_core.dir/compact_histogram.cc.o" "gcc" "src/core/CMakeFiles/sampwh_core.dir/compact_histogram.cc.o.d"
+  "/root/repo/src/core/concise_sampler.cc" "src/core/CMakeFiles/sampwh_core.dir/concise_sampler.cc.o" "gcc" "src/core/CMakeFiles/sampwh_core.dir/concise_sampler.cc.o.d"
+  "/root/repo/src/core/counting_sampler.cc" "src/core/CMakeFiles/sampwh_core.dir/counting_sampler.cc.o" "gcc" "src/core/CMakeFiles/sampwh_core.dir/counting_sampler.cc.o.d"
+  "/root/repo/src/core/hybrid_bernoulli.cc" "src/core/CMakeFiles/sampwh_core.dir/hybrid_bernoulli.cc.o" "gcc" "src/core/CMakeFiles/sampwh_core.dir/hybrid_bernoulli.cc.o.d"
+  "/root/repo/src/core/hybrid_reservoir.cc" "src/core/CMakeFiles/sampwh_core.dir/hybrid_reservoir.cc.o" "gcc" "src/core/CMakeFiles/sampwh_core.dir/hybrid_reservoir.cc.o.d"
+  "/root/repo/src/core/merge.cc" "src/core/CMakeFiles/sampwh_core.dir/merge.cc.o" "gcc" "src/core/CMakeFiles/sampwh_core.dir/merge.cc.o.d"
+  "/root/repo/src/core/multi_purge_sampler.cc" "src/core/CMakeFiles/sampwh_core.dir/multi_purge_sampler.cc.o" "gcc" "src/core/CMakeFiles/sampwh_core.dir/multi_purge_sampler.cc.o.d"
+  "/root/repo/src/core/purge.cc" "src/core/CMakeFiles/sampwh_core.dir/purge.cc.o" "gcc" "src/core/CMakeFiles/sampwh_core.dir/purge.cc.o.d"
+  "/root/repo/src/core/qbound.cc" "src/core/CMakeFiles/sampwh_core.dir/qbound.cc.o" "gcc" "src/core/CMakeFiles/sampwh_core.dir/qbound.cc.o.d"
+  "/root/repo/src/core/reservoir_sampler.cc" "src/core/CMakeFiles/sampwh_core.dir/reservoir_sampler.cc.o" "gcc" "src/core/CMakeFiles/sampwh_core.dir/reservoir_sampler.cc.o.d"
+  "/root/repo/src/core/sample.cc" "src/core/CMakeFiles/sampwh_core.dir/sample.cc.o" "gcc" "src/core/CMakeFiles/sampwh_core.dir/sample.cc.o.d"
+  "/root/repo/src/core/systematic_sampler.cc" "src/core/CMakeFiles/sampwh_core.dir/systematic_sampler.cc.o" "gcc" "src/core/CMakeFiles/sampwh_core.dir/systematic_sampler.cc.o.d"
+  "/root/repo/src/core/vitter.cc" "src/core/CMakeFiles/sampwh_core.dir/vitter.cc.o" "gcc" "src/core/CMakeFiles/sampwh_core.dir/vitter.cc.o.d"
+  "/root/repo/src/core/weighted_sampler.cc" "src/core/CMakeFiles/sampwh_core.dir/weighted_sampler.cc.o" "gcc" "src/core/CMakeFiles/sampwh_core.dir/weighted_sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sampwh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

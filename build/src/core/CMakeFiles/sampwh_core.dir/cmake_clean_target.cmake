@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsampwh_core.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/chi_square.cc" "src/stats/CMakeFiles/sampwh_stats.dir/chi_square.cc.o" "gcc" "src/stats/CMakeFiles/sampwh_stats.dir/chi_square.cc.o.d"
+  "/root/repo/src/stats/estimators.cc" "src/stats/CMakeFiles/sampwh_stats.dir/estimators.cc.o" "gcc" "src/stats/CMakeFiles/sampwh_stats.dir/estimators.cc.o.d"
+  "/root/repo/src/stats/ks_test.cc" "src/stats/CMakeFiles/sampwh_stats.dir/ks_test.cc.o" "gcc" "src/stats/CMakeFiles/sampwh_stats.dir/ks_test.cc.o.d"
+  "/root/repo/src/stats/profile.cc" "src/stats/CMakeFiles/sampwh_stats.dir/profile.cc.o" "gcc" "src/stats/CMakeFiles/sampwh_stats.dir/profile.cc.o.d"
+  "/root/repo/src/stats/stratified.cc" "src/stats/CMakeFiles/sampwh_stats.dir/stratified.cc.o" "gcc" "src/stats/CMakeFiles/sampwh_stats.dir/stratified.cc.o.d"
+  "/root/repo/src/stats/uniformity.cc" "src/stats/CMakeFiles/sampwh_stats.dir/uniformity.cc.o" "gcc" "src/stats/CMakeFiles/sampwh_stats.dir/uniformity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sampwh_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sampwh_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampwh_stats.dir/chi_square.cc.o"
+  "CMakeFiles/sampwh_stats.dir/chi_square.cc.o.d"
+  "CMakeFiles/sampwh_stats.dir/estimators.cc.o"
+  "CMakeFiles/sampwh_stats.dir/estimators.cc.o.d"
+  "CMakeFiles/sampwh_stats.dir/ks_test.cc.o"
+  "CMakeFiles/sampwh_stats.dir/ks_test.cc.o.d"
+  "CMakeFiles/sampwh_stats.dir/profile.cc.o"
+  "CMakeFiles/sampwh_stats.dir/profile.cc.o.d"
+  "CMakeFiles/sampwh_stats.dir/stratified.cc.o"
+  "CMakeFiles/sampwh_stats.dir/stratified.cc.o.d"
+  "CMakeFiles/sampwh_stats.dir/uniformity.cc.o"
+  "CMakeFiles/sampwh_stats.dir/uniformity.cc.o.d"
+  "libsampwh_stats.a"
+  "libsampwh_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampwh_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

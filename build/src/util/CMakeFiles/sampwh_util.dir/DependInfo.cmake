@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/alias_table.cc" "src/util/CMakeFiles/sampwh_util.dir/alias_table.cc.o" "gcc" "src/util/CMakeFiles/sampwh_util.dir/alias_table.cc.o.d"
+  "/root/repo/src/util/distributions.cc" "src/util/CMakeFiles/sampwh_util.dir/distributions.cc.o" "gcc" "src/util/CMakeFiles/sampwh_util.dir/distributions.cc.o.d"
+  "/root/repo/src/util/fenwick_tree.cc" "src/util/CMakeFiles/sampwh_util.dir/fenwick_tree.cc.o" "gcc" "src/util/CMakeFiles/sampwh_util.dir/fenwick_tree.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/util/CMakeFiles/sampwh_util.dir/random.cc.o" "gcc" "src/util/CMakeFiles/sampwh_util.dir/random.cc.o.d"
+  "/root/repo/src/util/serialization.cc" "src/util/CMakeFiles/sampwh_util.dir/serialization.cc.o" "gcc" "src/util/CMakeFiles/sampwh_util.dir/serialization.cc.o.d"
+  "/root/repo/src/util/special_functions.cc" "src/util/CMakeFiles/sampwh_util.dir/special_functions.cc.o" "gcc" "src/util/CMakeFiles/sampwh_util.dir/special_functions.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/util/CMakeFiles/sampwh_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/sampwh_util.dir/status.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/util/CMakeFiles/sampwh_util.dir/thread_pool.cc.o" "gcc" "src/util/CMakeFiles/sampwh_util.dir/thread_pool.cc.o.d"
+  "/root/repo/src/util/timer.cc" "src/util/CMakeFiles/sampwh_util.dir/timer.cc.o" "gcc" "src/util/CMakeFiles/sampwh_util.dir/timer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

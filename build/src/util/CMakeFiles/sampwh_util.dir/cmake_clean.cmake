@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampwh_util.dir/alias_table.cc.o"
+  "CMakeFiles/sampwh_util.dir/alias_table.cc.o.d"
+  "CMakeFiles/sampwh_util.dir/distributions.cc.o"
+  "CMakeFiles/sampwh_util.dir/distributions.cc.o.d"
+  "CMakeFiles/sampwh_util.dir/fenwick_tree.cc.o"
+  "CMakeFiles/sampwh_util.dir/fenwick_tree.cc.o.d"
+  "CMakeFiles/sampwh_util.dir/random.cc.o"
+  "CMakeFiles/sampwh_util.dir/random.cc.o.d"
+  "CMakeFiles/sampwh_util.dir/serialization.cc.o"
+  "CMakeFiles/sampwh_util.dir/serialization.cc.o.d"
+  "CMakeFiles/sampwh_util.dir/special_functions.cc.o"
+  "CMakeFiles/sampwh_util.dir/special_functions.cc.o.d"
+  "CMakeFiles/sampwh_util.dir/status.cc.o"
+  "CMakeFiles/sampwh_util.dir/status.cc.o.d"
+  "CMakeFiles/sampwh_util.dir/thread_pool.cc.o"
+  "CMakeFiles/sampwh_util.dir/thread_pool.cc.o.d"
+  "CMakeFiles/sampwh_util.dir/timer.cc.o"
+  "CMakeFiles/sampwh_util.dir/timer.cc.o.d"
+  "libsampwh_util.a"
+  "libsampwh_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampwh_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/warehouse/catalog.cc" "src/warehouse/CMakeFiles/sampwh_warehouse.dir/catalog.cc.o" "gcc" "src/warehouse/CMakeFiles/sampwh_warehouse.dir/catalog.cc.o.d"
+  "/root/repo/src/warehouse/dictionary.cc" "src/warehouse/CMakeFiles/sampwh_warehouse.dir/dictionary.cc.o" "gcc" "src/warehouse/CMakeFiles/sampwh_warehouse.dir/dictionary.cc.o.d"
+  "/root/repo/src/warehouse/ids.cc" "src/warehouse/CMakeFiles/sampwh_warehouse.dir/ids.cc.o" "gcc" "src/warehouse/CMakeFiles/sampwh_warehouse.dir/ids.cc.o.d"
+  "/root/repo/src/warehouse/partitioner.cc" "src/warehouse/CMakeFiles/sampwh_warehouse.dir/partitioner.cc.o" "gcc" "src/warehouse/CMakeFiles/sampwh_warehouse.dir/partitioner.cc.o.d"
+  "/root/repo/src/warehouse/retention.cc" "src/warehouse/CMakeFiles/sampwh_warehouse.dir/retention.cc.o" "gcc" "src/warehouse/CMakeFiles/sampwh_warehouse.dir/retention.cc.o.d"
+  "/root/repo/src/warehouse/sample_store.cc" "src/warehouse/CMakeFiles/sampwh_warehouse.dir/sample_store.cc.o" "gcc" "src/warehouse/CMakeFiles/sampwh_warehouse.dir/sample_store.cc.o.d"
+  "/root/repo/src/warehouse/splitter.cc" "src/warehouse/CMakeFiles/sampwh_warehouse.dir/splitter.cc.o" "gcc" "src/warehouse/CMakeFiles/sampwh_warehouse.dir/splitter.cc.o.d"
+  "/root/repo/src/warehouse/stream_ingestor.cc" "src/warehouse/CMakeFiles/sampwh_warehouse.dir/stream_ingestor.cc.o" "gcc" "src/warehouse/CMakeFiles/sampwh_warehouse.dir/stream_ingestor.cc.o.d"
+  "/root/repo/src/warehouse/warehouse.cc" "src/warehouse/CMakeFiles/sampwh_warehouse.dir/warehouse.cc.o" "gcc" "src/warehouse/CMakeFiles/sampwh_warehouse.dir/warehouse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sampwh_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sampwh_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

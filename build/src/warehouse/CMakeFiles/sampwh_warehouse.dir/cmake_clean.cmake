@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampwh_warehouse.dir/catalog.cc.o"
+  "CMakeFiles/sampwh_warehouse.dir/catalog.cc.o.d"
+  "CMakeFiles/sampwh_warehouse.dir/dictionary.cc.o"
+  "CMakeFiles/sampwh_warehouse.dir/dictionary.cc.o.d"
+  "CMakeFiles/sampwh_warehouse.dir/ids.cc.o"
+  "CMakeFiles/sampwh_warehouse.dir/ids.cc.o.d"
+  "CMakeFiles/sampwh_warehouse.dir/partitioner.cc.o"
+  "CMakeFiles/sampwh_warehouse.dir/partitioner.cc.o.d"
+  "CMakeFiles/sampwh_warehouse.dir/retention.cc.o"
+  "CMakeFiles/sampwh_warehouse.dir/retention.cc.o.d"
+  "CMakeFiles/sampwh_warehouse.dir/sample_store.cc.o"
+  "CMakeFiles/sampwh_warehouse.dir/sample_store.cc.o.d"
+  "CMakeFiles/sampwh_warehouse.dir/splitter.cc.o"
+  "CMakeFiles/sampwh_warehouse.dir/splitter.cc.o.d"
+  "CMakeFiles/sampwh_warehouse.dir/stream_ingestor.cc.o"
+  "CMakeFiles/sampwh_warehouse.dir/stream_ingestor.cc.o.d"
+  "CMakeFiles/sampwh_warehouse.dir/warehouse.cc.o"
+  "CMakeFiles/sampwh_warehouse.dir/warehouse.cc.o.d"
+  "libsampwh_warehouse.a"
+  "libsampwh_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampwh_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

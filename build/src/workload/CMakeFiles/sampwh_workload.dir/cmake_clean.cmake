@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampwh_workload.dir/arrival.cc.o"
+  "CMakeFiles/sampwh_workload.dir/arrival.cc.o.d"
+  "CMakeFiles/sampwh_workload.dir/generators.cc.o"
+  "CMakeFiles/sampwh_workload.dir/generators.cc.o.d"
+  "libsampwh_workload.a"
+  "libsampwh_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampwh_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

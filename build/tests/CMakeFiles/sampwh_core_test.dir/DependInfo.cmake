@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/any_sampler_test.cc" "tests/CMakeFiles/sampwh_core_test.dir/core/any_sampler_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_core_test.dir/core/any_sampler_test.cc.o.d"
+  "/root/repo/tests/core/bernoulli_sampler_test.cc" "tests/CMakeFiles/sampwh_core_test.dir/core/bernoulli_sampler_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_core_test.dir/core/bernoulli_sampler_test.cc.o.d"
+  "/root/repo/tests/core/compact_histogram_test.cc" "tests/CMakeFiles/sampwh_core_test.dir/core/compact_histogram_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_core_test.dir/core/compact_histogram_test.cc.o.d"
+  "/root/repo/tests/core/concise_sampler_test.cc" "tests/CMakeFiles/sampwh_core_test.dir/core/concise_sampler_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_core_test.dir/core/concise_sampler_test.cc.o.d"
+  "/root/repo/tests/core/counting_sampler_test.cc" "tests/CMakeFiles/sampwh_core_test.dir/core/counting_sampler_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_core_test.dir/core/counting_sampler_test.cc.o.d"
+  "/root/repo/tests/core/hybrid_bernoulli_test.cc" "tests/CMakeFiles/sampwh_core_test.dir/core/hybrid_bernoulli_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_core_test.dir/core/hybrid_bernoulli_test.cc.o.d"
+  "/root/repo/tests/core/hybrid_reservoir_test.cc" "tests/CMakeFiles/sampwh_core_test.dir/core/hybrid_reservoir_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_core_test.dir/core/hybrid_reservoir_test.cc.o.d"
+  "/root/repo/tests/core/merge_edge_test.cc" "tests/CMakeFiles/sampwh_core_test.dir/core/merge_edge_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_core_test.dir/core/merge_edge_test.cc.o.d"
+  "/root/repo/tests/core/merge_test.cc" "tests/CMakeFiles/sampwh_core_test.dir/core/merge_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_core_test.dir/core/merge_test.cc.o.d"
+  "/root/repo/tests/core/multi_purge_sampler_test.cc" "tests/CMakeFiles/sampwh_core_test.dir/core/multi_purge_sampler_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_core_test.dir/core/multi_purge_sampler_test.cc.o.d"
+  "/root/repo/tests/core/purge_test.cc" "tests/CMakeFiles/sampwh_core_test.dir/core/purge_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_core_test.dir/core/purge_test.cc.o.d"
+  "/root/repo/tests/core/qbound_test.cc" "tests/CMakeFiles/sampwh_core_test.dir/core/qbound_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_core_test.dir/core/qbound_test.cc.o.d"
+  "/root/repo/tests/core/reservoir_sampler_test.cc" "tests/CMakeFiles/sampwh_core_test.dir/core/reservoir_sampler_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_core_test.dir/core/reservoir_sampler_test.cc.o.d"
+  "/root/repo/tests/core/sample_fuzz_test.cc" "tests/CMakeFiles/sampwh_core_test.dir/core/sample_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_core_test.dir/core/sample_fuzz_test.cc.o.d"
+  "/root/repo/tests/core/sample_test.cc" "tests/CMakeFiles/sampwh_core_test.dir/core/sample_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_core_test.dir/core/sample_test.cc.o.d"
+  "/root/repo/tests/core/systematic_sampler_test.cc" "tests/CMakeFiles/sampwh_core_test.dir/core/systematic_sampler_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_core_test.dir/core/systematic_sampler_test.cc.o.d"
+  "/root/repo/tests/core/vitter_test.cc" "tests/CMakeFiles/sampwh_core_test.dir/core/vitter_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_core_test.dir/core/vitter_test.cc.o.d"
+  "/root/repo/tests/core/weighted_sampler_test.cc" "tests/CMakeFiles/sampwh_core_test.dir/core/weighted_sampler_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_core_test.dir/core/weighted_sampler_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/sampwh_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sampwh_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/warehouse/CMakeFiles/sampwh_warehouse.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sampwh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sampwh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampwh_integration_test.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/sampwh_integration_test.dir/integration/end_to_end_test.cc.o.d"
+  "CMakeFiles/sampwh_integration_test.dir/integration/lifecycle_test.cc.o"
+  "CMakeFiles/sampwh_integration_test.dir/integration/lifecycle_test.cc.o.d"
+  "sampwh_integration_test"
+  "sampwh_integration_test.pdb"
+  "sampwh_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampwh_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property/distribution_scale_test.cc" "tests/CMakeFiles/sampwh_property_test.dir/property/distribution_scale_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_property_test.dir/property/distribution_scale_test.cc.o.d"
+  "/root/repo/tests/property/footprint_property_test.cc" "tests/CMakeFiles/sampwh_property_test.dir/property/footprint_property_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_property_test.dir/property/footprint_property_test.cc.o.d"
+  "/root/repo/tests/property/merge_property_test.cc" "tests/CMakeFiles/sampwh_property_test.dir/property/merge_property_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_property_test.dir/property/merge_property_test.cc.o.d"
+  "/root/repo/tests/property/uniformity_property_test.cc" "tests/CMakeFiles/sampwh_property_test.dir/property/uniformity_property_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_property_test.dir/property/uniformity_property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/sampwh_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sampwh_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/warehouse/CMakeFiles/sampwh_warehouse.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sampwh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sampwh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

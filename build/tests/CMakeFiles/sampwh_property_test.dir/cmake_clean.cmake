@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampwh_property_test.dir/property/distribution_scale_test.cc.o"
+  "CMakeFiles/sampwh_property_test.dir/property/distribution_scale_test.cc.o.d"
+  "CMakeFiles/sampwh_property_test.dir/property/footprint_property_test.cc.o"
+  "CMakeFiles/sampwh_property_test.dir/property/footprint_property_test.cc.o.d"
+  "CMakeFiles/sampwh_property_test.dir/property/merge_property_test.cc.o"
+  "CMakeFiles/sampwh_property_test.dir/property/merge_property_test.cc.o.d"
+  "CMakeFiles/sampwh_property_test.dir/property/uniformity_property_test.cc.o"
+  "CMakeFiles/sampwh_property_test.dir/property/uniformity_property_test.cc.o.d"
+  "sampwh_property_test"
+  "sampwh_property_test.pdb"
+  "sampwh_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampwh_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

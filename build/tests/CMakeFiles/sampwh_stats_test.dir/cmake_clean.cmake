@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampwh_stats_test.dir/stats/chi_square_test.cc.o"
+  "CMakeFiles/sampwh_stats_test.dir/stats/chi_square_test.cc.o.d"
+  "CMakeFiles/sampwh_stats_test.dir/stats/estimators_test.cc.o"
+  "CMakeFiles/sampwh_stats_test.dir/stats/estimators_test.cc.o.d"
+  "CMakeFiles/sampwh_stats_test.dir/stats/ks_test_test.cc.o"
+  "CMakeFiles/sampwh_stats_test.dir/stats/ks_test_test.cc.o.d"
+  "CMakeFiles/sampwh_stats_test.dir/stats/profile_test.cc.o"
+  "CMakeFiles/sampwh_stats_test.dir/stats/profile_test.cc.o.d"
+  "CMakeFiles/sampwh_stats_test.dir/stats/stratified_test.cc.o"
+  "CMakeFiles/sampwh_stats_test.dir/stats/stratified_test.cc.o.d"
+  "CMakeFiles/sampwh_stats_test.dir/stats/uniformity_test.cc.o"
+  "CMakeFiles/sampwh_stats_test.dir/stats/uniformity_test.cc.o.d"
+  "sampwh_stats_test"
+  "sampwh_stats_test.pdb"
+  "sampwh_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampwh_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampwh_tool_test.dir/tools/tool_test.cc.o"
+  "CMakeFiles/sampwh_tool_test.dir/tools/tool_test.cc.o.d"
+  "sampwh_tool_test"
+  "sampwh_tool_test.pdb"
+  "sampwh_tool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampwh_tool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/alias_table_test.cc" "tests/CMakeFiles/sampwh_util_test.dir/util/alias_table_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_util_test.dir/util/alias_table_test.cc.o.d"
+  "/root/repo/tests/util/distributions_test.cc" "tests/CMakeFiles/sampwh_util_test.dir/util/distributions_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_util_test.dir/util/distributions_test.cc.o.d"
+  "/root/repo/tests/util/fenwick_tree_test.cc" "tests/CMakeFiles/sampwh_util_test.dir/util/fenwick_tree_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_util_test.dir/util/fenwick_tree_test.cc.o.d"
+  "/root/repo/tests/util/random_test.cc" "tests/CMakeFiles/sampwh_util_test.dir/util/random_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_util_test.dir/util/random_test.cc.o.d"
+  "/root/repo/tests/util/serialization_test.cc" "tests/CMakeFiles/sampwh_util_test.dir/util/serialization_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_util_test.dir/util/serialization_test.cc.o.d"
+  "/root/repo/tests/util/special_functions_test.cc" "tests/CMakeFiles/sampwh_util_test.dir/util/special_functions_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_util_test.dir/util/special_functions_test.cc.o.d"
+  "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/sampwh_util_test.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_util_test.dir/util/status_test.cc.o.d"
+  "/root/repo/tests/util/thread_pool_test.cc" "tests/CMakeFiles/sampwh_util_test.dir/util/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_util_test.dir/util/thread_pool_test.cc.o.d"
+  "/root/repo/tests/util/timer_test.cc" "tests/CMakeFiles/sampwh_util_test.dir/util/timer_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_util_test.dir/util/timer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/sampwh_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sampwh_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/warehouse/CMakeFiles/sampwh_warehouse.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sampwh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sampwh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampwh_util_test.dir/util/alias_table_test.cc.o"
+  "CMakeFiles/sampwh_util_test.dir/util/alias_table_test.cc.o.d"
+  "CMakeFiles/sampwh_util_test.dir/util/distributions_test.cc.o"
+  "CMakeFiles/sampwh_util_test.dir/util/distributions_test.cc.o.d"
+  "CMakeFiles/sampwh_util_test.dir/util/fenwick_tree_test.cc.o"
+  "CMakeFiles/sampwh_util_test.dir/util/fenwick_tree_test.cc.o.d"
+  "CMakeFiles/sampwh_util_test.dir/util/random_test.cc.o"
+  "CMakeFiles/sampwh_util_test.dir/util/random_test.cc.o.d"
+  "CMakeFiles/sampwh_util_test.dir/util/serialization_test.cc.o"
+  "CMakeFiles/sampwh_util_test.dir/util/serialization_test.cc.o.d"
+  "CMakeFiles/sampwh_util_test.dir/util/special_functions_test.cc.o"
+  "CMakeFiles/sampwh_util_test.dir/util/special_functions_test.cc.o.d"
+  "CMakeFiles/sampwh_util_test.dir/util/status_test.cc.o"
+  "CMakeFiles/sampwh_util_test.dir/util/status_test.cc.o.d"
+  "CMakeFiles/sampwh_util_test.dir/util/thread_pool_test.cc.o"
+  "CMakeFiles/sampwh_util_test.dir/util/thread_pool_test.cc.o.d"
+  "CMakeFiles/sampwh_util_test.dir/util/timer_test.cc.o"
+  "CMakeFiles/sampwh_util_test.dir/util/timer_test.cc.o.d"
+  "sampwh_util_test"
+  "sampwh_util_test.pdb"
+  "sampwh_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampwh_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

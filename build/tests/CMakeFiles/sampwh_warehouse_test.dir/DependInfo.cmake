@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/warehouse/catalog_test.cc" "tests/CMakeFiles/sampwh_warehouse_test.dir/warehouse/catalog_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_warehouse_test.dir/warehouse/catalog_test.cc.o.d"
+  "/root/repo/tests/warehouse/dictionary_test.cc" "tests/CMakeFiles/sampwh_warehouse_test.dir/warehouse/dictionary_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_warehouse_test.dir/warehouse/dictionary_test.cc.o.d"
+  "/root/repo/tests/warehouse/ids_test.cc" "tests/CMakeFiles/sampwh_warehouse_test.dir/warehouse/ids_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_warehouse_test.dir/warehouse/ids_test.cc.o.d"
+  "/root/repo/tests/warehouse/manifest_test.cc" "tests/CMakeFiles/sampwh_warehouse_test.dir/warehouse/manifest_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_warehouse_test.dir/warehouse/manifest_test.cc.o.d"
+  "/root/repo/tests/warehouse/partitioner_test.cc" "tests/CMakeFiles/sampwh_warehouse_test.dir/warehouse/partitioner_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_warehouse_test.dir/warehouse/partitioner_test.cc.o.d"
+  "/root/repo/tests/warehouse/retention_test.cc" "tests/CMakeFiles/sampwh_warehouse_test.dir/warehouse/retention_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_warehouse_test.dir/warehouse/retention_test.cc.o.d"
+  "/root/repo/tests/warehouse/sample_store_test.cc" "tests/CMakeFiles/sampwh_warehouse_test.dir/warehouse/sample_store_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_warehouse_test.dir/warehouse/sample_store_test.cc.o.d"
+  "/root/repo/tests/warehouse/splitter_test.cc" "tests/CMakeFiles/sampwh_warehouse_test.dir/warehouse/splitter_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_warehouse_test.dir/warehouse/splitter_test.cc.o.d"
+  "/root/repo/tests/warehouse/stream_ingestor_test.cc" "tests/CMakeFiles/sampwh_warehouse_test.dir/warehouse/stream_ingestor_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_warehouse_test.dir/warehouse/stream_ingestor_test.cc.o.d"
+  "/root/repo/tests/warehouse/warehouse_test.cc" "tests/CMakeFiles/sampwh_warehouse_test.dir/warehouse/warehouse_test.cc.o" "gcc" "tests/CMakeFiles/sampwh_warehouse_test.dir/warehouse/warehouse_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/sampwh_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sampwh_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/warehouse/CMakeFiles/sampwh_warehouse.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sampwh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sampwh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

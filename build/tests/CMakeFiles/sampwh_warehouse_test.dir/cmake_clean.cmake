@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampwh_warehouse_test.dir/warehouse/catalog_test.cc.o"
+  "CMakeFiles/sampwh_warehouse_test.dir/warehouse/catalog_test.cc.o.d"
+  "CMakeFiles/sampwh_warehouse_test.dir/warehouse/dictionary_test.cc.o"
+  "CMakeFiles/sampwh_warehouse_test.dir/warehouse/dictionary_test.cc.o.d"
+  "CMakeFiles/sampwh_warehouse_test.dir/warehouse/ids_test.cc.o"
+  "CMakeFiles/sampwh_warehouse_test.dir/warehouse/ids_test.cc.o.d"
+  "CMakeFiles/sampwh_warehouse_test.dir/warehouse/manifest_test.cc.o"
+  "CMakeFiles/sampwh_warehouse_test.dir/warehouse/manifest_test.cc.o.d"
+  "CMakeFiles/sampwh_warehouse_test.dir/warehouse/partitioner_test.cc.o"
+  "CMakeFiles/sampwh_warehouse_test.dir/warehouse/partitioner_test.cc.o.d"
+  "CMakeFiles/sampwh_warehouse_test.dir/warehouse/retention_test.cc.o"
+  "CMakeFiles/sampwh_warehouse_test.dir/warehouse/retention_test.cc.o.d"
+  "CMakeFiles/sampwh_warehouse_test.dir/warehouse/sample_store_test.cc.o"
+  "CMakeFiles/sampwh_warehouse_test.dir/warehouse/sample_store_test.cc.o.d"
+  "CMakeFiles/sampwh_warehouse_test.dir/warehouse/splitter_test.cc.o"
+  "CMakeFiles/sampwh_warehouse_test.dir/warehouse/splitter_test.cc.o.d"
+  "CMakeFiles/sampwh_warehouse_test.dir/warehouse/stream_ingestor_test.cc.o"
+  "CMakeFiles/sampwh_warehouse_test.dir/warehouse/stream_ingestor_test.cc.o.d"
+  "CMakeFiles/sampwh_warehouse_test.dir/warehouse/warehouse_test.cc.o"
+  "CMakeFiles/sampwh_warehouse_test.dir/warehouse/warehouse_test.cc.o.d"
+  "sampwh_warehouse_test"
+  "sampwh_warehouse_test.pdb"
+  "sampwh_warehouse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampwh_warehouse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

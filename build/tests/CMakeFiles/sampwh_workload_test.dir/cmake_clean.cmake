@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampwh_workload_test.dir/workload/arrival_test.cc.o"
+  "CMakeFiles/sampwh_workload_test.dir/workload/arrival_test.cc.o.d"
+  "CMakeFiles/sampwh_workload_test.dir/workload/generators_test.cc.o"
+  "CMakeFiles/sampwh_workload_test.dir/workload/generators_test.cc.o.d"
+  "sampwh_workload_test"
+  "sampwh_workload_test.pdb"
+  "sampwh_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampwh_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

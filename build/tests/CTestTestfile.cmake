@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sampwh_util_test[1]_include.cmake")
+include("/root/repo/build/tests/sampwh_core_test[1]_include.cmake")
+include("/root/repo/build/tests/sampwh_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/sampwh_workload_test[1]_include.cmake")
+include("/root/repo/build/tests/sampwh_warehouse_test[1]_include.cmake")
+include("/root/repo/build/tests/sampwh_property_test[1]_include.cmake")
+include("/root/repo/build/tests/sampwh_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/sampwh_tool_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampwh_tool.dir/sampwh_tool.cc.o"
+  "CMakeFiles/sampwh_tool.dir/sampwh_tool.cc.o.d"
+  "sampwh_tool"
+  "sampwh_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampwh_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
