@@ -1,0 +1,316 @@
+// Ingestion-throughput harness for the skip-based batch fast path: measures
+// elements/sec through the three ingestion paths
+//
+//   append_scalar  StreamIngestor::Append, one element at a time
+//   append_batch   StreamIngestor::AppendBatch in 64K-element chunks
+//   sampler_batch  AnySampler::AddBatch on the whole stream (the pure
+//                  skip-sampling path, no warehouse bookkeeping)
+//
+// across sampler configurations (SB at several rates, HB, HR), plus a
+// multi-partition scaling series: 8 partitions ingested through
+// Warehouse::IngestBatch on thread pools of 1/2/4/8 workers. Each scaling
+// row reports both the real measured wall time on this machine and the
+// makespan of an LPT assignment of the measured per-partition times onto
+// W idealized workers — the same simulated-cluster substitution the
+// figure-reproduction harnesses use (DESIGN.md §2), so scaling is
+// meaningful even on single-core CI runners.
+//
+// Results go to stdout as a table and to BENCH_ingest.json in the working
+// directory. REPRO_FULL=1 runs the paper-scale stream (2^26 elements).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/core/any_sampler.h"
+#include "src/util/logging.h"
+#include "src/util/thread_pool.h"
+#include "src/util/timer.h"
+#include "src/warehouse/stream_ingestor.h"
+#include "src/warehouse/warehouse.h"
+#include "src/workload/generators.h"
+
+namespace sampwh::bench {
+namespace {
+
+constexpr size_t kChunk = 64 * 1024;
+
+struct PathRow {
+  std::string config;   // "SB q=0.01", "HB F=64KiB", ...
+  std::string path;     // append_scalar / append_batch / sampler_batch
+  double seconds = 0.0;
+  double elements_per_sec = 0.0;
+  double speedup_vs_scalar = 1.0;
+};
+
+struct ScalingRow {
+  uint64_t workers = 1;
+  double measured_seconds = 0.0;
+  double measured_speedup = 1.0;
+  double simulated_makespan_seconds = 0.0;
+  double simulated_speedup = 1.0;
+};
+
+SamplerConfig SbConfig(double q) {
+  SamplerConfig config;
+  config.kind = SamplerKind::kStratifiedBernoulli;
+  config.bernoulli_rate = q;
+  return config;
+}
+
+SamplerConfig BoundedConfig(SamplerKind kind, uint64_t expected) {
+  SamplerConfig config;
+  config.kind = kind;
+  config.footprint_bound_bytes = 64 * 1024;
+  config.expected_partition_size = expected;
+  return config;
+}
+
+/// Best-of-`reps` of `fn()`, where `fn` returns the seconds it measured
+/// (setup and teardown stay outside the measured section).
+template <typename Fn>
+double BestOf(int reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) best = std::min(best, fn());
+  return best;
+}
+
+/// Times the append loop only; warehouse setup and the final partition
+/// close (finalize + roll-in, identical for every path) run untimed.
+template <typename AppendLoop>
+double TimeIngestorPath(const SamplerConfig& config, int reps,
+                        AppendLoop&& loop) {
+  return BestOf(reps, [&]() -> double {
+    WarehouseOptions options;
+    options.sampler = config;
+    Warehouse warehouse(options);
+    SAMPWH_CHECK(warehouse.CreateDataset("bench").ok());
+    StreamIngestor ingestor(&warehouse, "bench", nullptr);
+    WallTimer timer;
+    loop(ingestor);
+    const double seconds = timer.ElapsedSeconds();
+    SAMPWH_CHECK(ingestor.Flush().ok());
+    return seconds;
+  });
+}
+
+double TimeAppendScalar(const SamplerConfig& config,
+                        const std::vector<Value>& values, int reps) {
+  return TimeIngestorPath(config, reps, [&](StreamIngestor& ingestor) {
+    for (Value v : values) SAMPWH_CHECK(ingestor.Append(v).ok());
+  });
+}
+
+double TimeAppendBatch(const SamplerConfig& config,
+                       const std::vector<Value>& values, int reps) {
+  return TimeIngestorPath(config, reps, [&](StreamIngestor& ingestor) {
+    const std::span<const Value> all(values);
+    for (size_t i = 0; i < all.size(); i += kChunk) {
+      SAMPWH_CHECK(
+          ingestor.AppendBatch(all.subspan(i, std::min(kChunk, all.size() - i)))
+              .ok());
+    }
+  });
+}
+
+double TimeSamplerBatch(const SamplerConfig& config,
+                        const std::vector<Value>& values, int reps) {
+  return BestOf(reps, [&]() -> double {
+    AnySampler sampler(config, Pcg64(20060403));
+    WallTimer timer;
+    sampler.AddBatch(values);
+    const double seconds = timer.ElapsedSeconds();
+    (void)sampler.Finalize();
+    return seconds;
+  });
+}
+
+/// Longest-processing-time makespan of `times` on `workers` idealized
+/// workers (same greedy the figure harnesses use for their simulated
+/// sampling cluster).
+double LptMakespan(std::vector<double> times, uint64_t workers) {
+  if (workers == 0) workers = 1;
+  std::sort(times.begin(), times.end(), std::greater<double>());
+  std::vector<double> load(workers, 0.0);
+  for (double t : times) {
+    *std::min_element(load.begin(), load.end()) += t;
+  }
+  return *std::max_element(load.begin(), load.end());
+}
+
+void RunPathSection(uint64_t total_elements, int reps,
+                    std::vector<PathRow>& rows) {
+  struct Case {
+    std::string name;
+    SamplerConfig config;
+  };
+  const std::vector<Case> cases = {
+      {"SB q=0.01", SbConfig(0.01)},
+      {"SB q=0.05", SbConfig(0.05)},
+      {"SB q=0.10", SbConfig(0.10)},
+      {"HB F=64KiB",
+       BoundedConfig(SamplerKind::kHybridBernoulli, total_elements)},
+      {"HR F=64KiB",
+       BoundedConfig(SamplerKind::kHybridReservoir, total_elements)},
+  };
+  const std::vector<Value> values =
+      DataGenerator::Unique(total_elements).TakeAll();
+
+  std::printf("Ingestion paths (%llu elements, best of %d)\n",
+              static_cast<unsigned long long>(total_elements), reps);
+  const std::vector<int> widths = {12, 14, 10, 14, 9};
+  PrintRow({"config", "path", "seconds", "elems/sec", "speedup"}, widths);
+
+  for (const Case& c : cases) {
+    const double scalar = TimeAppendScalar(c.config, values, reps);
+    const double batch = TimeAppendBatch(c.config, values, reps);
+    const double pure = TimeSamplerBatch(c.config, values, reps);
+    const auto emit = [&](const std::string& path, double seconds) {
+      PathRow row;
+      row.config = c.name;
+      row.path = path;
+      row.seconds = seconds;
+      row.elements_per_sec =
+          static_cast<double>(total_elements) / std::max(seconds, 1e-12);
+      row.speedup_vs_scalar = scalar / std::max(seconds, 1e-12);
+      rows.push_back(row);
+      std::printf("%-12s %-14s %9.4f %14.0f %8.2fx\n", row.config.c_str(),
+                  row.path.c_str(), row.seconds, row.elements_per_sec,
+                  row.speedup_vs_scalar);
+    };
+    emit("append_scalar", scalar);
+    emit("append_batch", batch);
+    emit("sampler_batch", pure);
+  }
+  std::printf("\n");
+}
+
+void RunScalingSection(uint64_t total_elements, int reps,
+                       std::vector<ScalingRow>& rows) {
+  constexpr uint64_t kPartitions = 8;
+  const SamplerConfig config = SbConfig(0.10);
+  const std::vector<Value> values =
+      DataGenerator::Unique(total_elements).TakeAll();
+
+  // Per-partition serial sampling times feed the simulated-cluster series.
+  const uint64_t per_partition = total_elements / kPartitions;
+  std::vector<double> partition_times;
+  for (uint64_t p = 0; p < kPartitions; ++p) {
+    const std::span<const Value> chunk(values.data() + p * per_partition,
+                                       per_partition);
+    partition_times.push_back(BestOf(reps, [&]() -> double {
+      AnySampler sampler(config, Pcg64(20060403 + p));
+      WallTimer timer;
+      sampler.AddBatch(chunk);
+      const double seconds = timer.ElapsedSeconds();
+      (void)sampler.Finalize();
+      return seconds;
+    }));
+  }
+  const double serial =
+      std::accumulate(partition_times.begin(), partition_times.end(), 0.0);
+
+  std::printf(
+      "Multi-partition scaling (%llu elements, %llu partitions, SB q=0.10)\n",
+      static_cast<unsigned long long>(total_elements),
+      static_cast<unsigned long long>(kPartitions));
+  const std::vector<int> widths = {8, 12, 12, 14, 12};
+  PrintRow({"workers", "measured", "meas.spd", "sim.makespan", "sim.spd"},
+           widths);
+
+  double measured_base = 0.0;
+  for (uint64_t workers : {1u, 2u, 4u, 8u}) {
+    ScalingRow row;
+    row.workers = workers;
+    row.measured_seconds = BestOf(reps, [&]() -> double {
+      WarehouseOptions options;
+      options.sampler = config;
+      Warehouse warehouse(options);
+      SAMPWH_CHECK(warehouse.CreateDataset("bench").ok());
+      ThreadPool pool(workers);
+      WallTimer timer;
+      auto ids = warehouse.IngestBatch("bench", values, kPartitions, &pool);
+      const double seconds = timer.ElapsedSeconds();
+      SAMPWH_CHECK(ids.ok());
+      return seconds;
+    });
+    if (workers == 1) measured_base = row.measured_seconds;
+    row.measured_speedup =
+        measured_base / std::max(row.measured_seconds, 1e-12);
+    row.simulated_makespan_seconds = LptMakespan(partition_times, workers);
+    row.simulated_speedup =
+        serial / std::max(row.simulated_makespan_seconds, 1e-12);
+    rows.push_back(row);
+    std::printf("%-8llu %11.4fs %11.2fx %13.4fs %11.2fx\n",
+                static_cast<unsigned long long>(workers), row.measured_seconds,
+                row.measured_speedup, row.simulated_makespan_seconds,
+                row.simulated_speedup);
+  }
+  std::printf("\n");
+}
+
+bool WriteJson(const std::string& path, uint64_t path_elements,
+               uint64_t scaling_elements, const std::vector<PathRow>& paths,
+               const std::vector<ScalingRow>& scaling) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"config\": {\"path_elements\": " << path_elements
+      << ", \"scaling_elements\": " << scaling_elements
+      << ", \"scaling_partitions\": 8, \"full_scale\": "
+      << (FullScale() ? "true" : "false")
+      << ", \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << "},\n";
+  out << "  \"paths\": [\n";
+  for (size_t i = 0; i < paths.size(); ++i) {
+    const PathRow& r = paths[i];
+    out << "    {\"config\": \"" << r.config << "\", \"path\": \"" << r.path
+        << "\", \"seconds\": " << r.seconds
+        << ", \"elements_per_sec\": " << r.elements_per_sec
+        << ", \"speedup_vs_scalar\": " << r.speedup_vs_scalar << "}"
+        << (i + 1 < paths.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"scaling\": [\n";
+  for (size_t i = 0; i < scaling.size(); ++i) {
+    const ScalingRow& r = scaling[i];
+    out << "    {\"workers\": " << r.workers
+        << ", \"measured_seconds\": " << r.measured_seconds
+        << ", \"measured_speedup\": " << r.measured_speedup
+        << ", \"simulated_makespan_seconds\": " << r.simulated_makespan_seconds
+        << ", \"simulated_speedup\": " << r.simulated_speedup << "}"
+        << (i + 1 < scaling.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return out.good();
+}
+
+int Main() {
+  const uint64_t elements = FullScale() ? (1ull << 26) : (1ull << 22);
+  const int reps = 3;
+
+  std::vector<PathRow> paths;
+  std::vector<ScalingRow> scaling;
+  RunPathSection(elements, reps, paths);
+  RunScalingSection(elements, reps, scaling);
+  if (!WriteJson("BENCH_ingest.json", elements, elements, paths, scaling)) {
+    std::fprintf(stderr, "failed to write BENCH_ingest.json\n");
+    return 1;
+  }
+  std::printf("Wrote BENCH_ingest.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace sampwh::bench
+
+int main() { return sampwh::bench::Main(); }

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Full local verification: an optimized build plus an ASan/UBSan build,
+# each running the whole ctest suite. Usage:
+#
+#   scripts/check.sh            # both configurations
+#   scripts/check.sh --fast     # optimized configuration only
+#
+# Build trees go to build-check/<config> so the default build/ tree is
+# left alone.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fast=0
+if [[ "${1:-}" == "--fast" ]]; then
+  fast=1
+fi
+
+run_config() {
+  local name="$1"
+  shift
+  local dir="build-check/${name}"
+  echo "=== [${name}] configure ==="
+  cmake -B "${dir}" -S . "$@" >/dev/null
+  echo "=== [${name}] build ==="
+  cmake --build "${dir}" -j "$(nproc)"
+  echo "=== [${name}] test ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)"
+}
+
+run_config relwithdebinfo -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+if [[ "${fast}" -eq 0 ]]; then
+  run_config asan \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+fi
+
+echo "All checks passed."

@@ -49,6 +49,10 @@ void AnySampler::Add(Value v) {
   std::visit([v](auto& sampler) { sampler.Add(v); }, impl_);
 }
 
+void AnySampler::AddBatch(std::span<const Value> values) {
+  std::visit([values](auto& sampler) { sampler.AddBatch(values); }, impl_);
+}
+
 uint64_t AnySampler::elements_seen() const {
   return std::visit([](const auto& sampler) { return sampler.elements_seen(); },
                     impl_);

@@ -7,9 +7,9 @@
 #define SAMPWH_CORE_ANY_SAMPLER_H_
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <variant>
-#include <vector>
 
 #include "src/core/bernoulli_sampler.h"
 #include "src/core/hybrid_bernoulli.h"
@@ -47,9 +47,11 @@ class AnySampler {
   AnySampler(const SamplerConfig& config, Pcg64 rng);
 
   void Add(Value v);
-  void AddBatch(const std::vector<Value>& values) {
-    for (const Value v : values) Add(v);
-  }
+
+  /// Forwards the whole batch through one virtual dispatch to the selected
+  /// sampler's skip-based batch path (identical results to an element-wise
+  /// Add loop under the same seed).
+  void AddBatch(std::span<const Value> values);
 
   uint64_t elements_seen() const;
   uint64_t sample_size() const;

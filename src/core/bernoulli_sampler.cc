@@ -23,6 +23,23 @@ void BernoulliSampler::Add(Value v) {
   gap_ = SampleGeometricSkip(rng_, q_);
 }
 
+void BernoulliSampler::AddBatch(std::span<const Value> values) {
+  size_t i = 0;
+  const size_t n = values.size();
+  while (i < n) {
+    const size_t remaining = n - i;
+    if (gap_ >= remaining) {
+      gap_ -= remaining;
+      break;
+    }
+    i += gap_;
+    hist_.Insert(values[i]);
+    ++i;
+    gap_ = SampleGeometricSkip(rng_, q_);
+  }
+  elements_seen_ += n;
+}
+
 PartitionSample BernoulliSampler::Finalize() {
   CompactHistogram hist = std::move(hist_);
   hist_.Clear();

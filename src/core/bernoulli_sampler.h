@@ -9,7 +9,7 @@
 #define SAMPWH_CORE_BERNOULLI_SAMPLER_H_
 
 #include <cstdint>
-#include <vector>
+#include <span>
 
 #include "src/core/compact_histogram.h"
 #include "src/core/sample.h"
@@ -25,9 +25,12 @@ class BernoulliSampler {
 
   void Add(Value v);
 
-  void AddBatch(const std::vector<Value>& values) {
-    for (const Value v : values) Add(v);
-  }
+  /// Batch fast path: jumps directly from inclusion to inclusion with the
+  /// geometric skip, so the per-element cost is O(q) amortized instead of
+  /// O(1) per element. Consumes the RNG in exactly the same order as an
+  /// element-wise Add loop, so both paths produce identical samples under
+  /// the same seed.
+  void AddBatch(std::span<const Value> values);
 
   uint64_t elements_seen() const { return elements_seen_; }
   uint64_t sample_size() const { return hist_.total_count(); }

@@ -128,6 +128,53 @@ void HybridBernoulliSampler::Add(Value v) {
   }
 }
 
+void HybridBernoulliSampler::AddBatch(std::span<const Value> values) {
+  size_t i = 0;
+  const size_t n = values.size();
+  // Phase 1 ingests every element into the histogram with a footprint
+  // check each time; delegate to the scalar path until it transitions
+  // (which also gives the transition element its phase-2/3 treatment).
+  while (i < n && phase_ == SamplePhase::kExhaustive) {
+    Add(values[i]);
+    ++i;
+  }
+  // Phase 2: geometric-skip jumps (Fig. 2 lines 13-19, batched).
+  while (i < n && phase_ == SamplePhase::kBernoulli) {
+    const size_t remaining = n - i;
+    if (bernoulli_gap_ >= remaining) {
+      bernoulli_gap_ -= remaining;
+      elements_seen_ += remaining;
+      return;
+    }
+    i += bernoulli_gap_;
+    elements_seen_ += bernoulli_gap_ + 1;
+    ExpandIfNeeded();
+    bag_.push_back(values[i]);
+    ++i;
+    if (bag_.size() >= n_F_) {
+      EnterPhase3(elements_seen_);
+    } else {
+      bernoulli_gap_ = SampleGeometricSkip(rng_, q_);
+    }
+  }
+  // Phase 3: Vitter-skip jumps (Fig. 2 lines 21-27, batched).
+  while (i < n) {
+    const uint64_t remaining = n - i;
+    if (next_reservoir_index_ > elements_seen_ + remaining) {
+      elements_seen_ += remaining;
+      return;
+    }
+    i += next_reservoir_index_ - elements_seen_ - 1;
+    elements_seen_ = next_reservoir_index_;
+    ExpandIfNeeded();
+    const size_t victim = static_cast<size_t>(rng_.UniformInt(bag_.size()));
+    bag_[victim] = values[i];
+    ++i;
+    next_reservoir_index_ =
+        reservoir_skip_->NextInsertionIndex(rng_, elements_seen_);
+  }
+}
+
 void HybridBernoulliSampler::TransitionFromPhase1(uint64_t processed) {
   const uint64_t n = options_.expected_population_size > 0
                          ? options_.expected_population_size

@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "src/core/compact_histogram.h"
@@ -75,10 +76,15 @@ class HybridBernoulliSampler {
   /// Processes one arriving data element.
   void Add(Value v);
 
-  /// Processes a batch of arriving data elements.
-  void AddBatch(const std::vector<Value>& values) {
-    for (const Value v : values) Add(v);
-  }
+  /// Processes a batch of arriving data elements. Phase 1 is inherently
+  /// per-element (every value updates the histogram and its footprint);
+  /// phases 2 and 3 jump directly between inclusions with the geometric /
+  /// Vitter skips, so RNG draws and sample updates scale with the number
+  /// of inclusions, not the batch size. Phase transitions can occur
+  /// mid-batch at exactly the element where the element-wise path would
+  /// transition; RNG draw order matches Add exactly, so both paths yield
+  /// identical samples under the same seed.
+  void AddBatch(std::span<const Value> values);
 
   /// Number of data elements processed so far.
   uint64_t elements_seen() const { return elements_seen_; }

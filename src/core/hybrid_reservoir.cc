@@ -104,6 +104,34 @@ void HybridReservoirSampler::Add(Value v) {
   }
 }
 
+void HybridReservoirSampler::AddBatch(std::span<const Value> values) {
+  size_t i = 0;
+  const size_t n = values.size();
+  // Phase 1: per-element footprint accounting; the scalar path also gives
+  // the transition element its reservoir treatment when the bound trips.
+  while (i < n && phase_ == SamplePhase::kExhaustive) {
+    Add(values[i]);
+    ++i;
+  }
+  // Phase 2: jump straight to each Vitter insertion index (Fig. 7 lines
+  // 7-13, batched).
+  while (i < n) {
+    const uint64_t remaining = n - i;
+    if (next_reservoir_index_ > elements_seen_ + remaining) {
+      elements_seen_ += remaining;
+      return;
+    }
+    i += next_reservoir_index_ - elements_seen_ - 1;
+    elements_seen_ = next_reservoir_index_;
+    ExpandIfNeeded();
+    const size_t victim = static_cast<size_t>(rng_.UniformInt(bag_.size()));
+    bag_[victim] = values[i];
+    ++i;
+    next_reservoir_index_ =
+        reservoir_skip_->NextInsertionIndex(rng_, elements_seen_);
+  }
+}
+
 void HybridReservoirSampler::ExpandIfNeeded() {
   if (expanded_) return;
   if (hist_.total_count() > reservoir_capacity_) {

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "src/core/compact_histogram.h"
@@ -46,9 +47,13 @@ class HybridReservoirSampler {
   /// Processes one arriving data element.
   void Add(Value v);
 
-  void AddBatch(const std::vector<Value>& values) {
-    for (const Value v : values) Add(v);
-  }
+  /// Batch fast path. Phase 1 stays per-element (each value updates the
+  /// histogram footprint); phase 2 jumps directly between Vitter insertion
+  /// indices so the amortized cost per element is O(n_F / n). The phase
+  /// transition can occur mid-batch, at the same element where an
+  /// element-wise Add loop would transition; RNG draw order matches Add
+  /// exactly (identical samples under the same seed).
+  void AddBatch(std::span<const Value> values);
 
   uint64_t elements_seen() const { return elements_seen_; }
 

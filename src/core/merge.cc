@@ -1,6 +1,9 @@
 #include "src/core/merge.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <functional>
+#include <optional>
 #include <utility>
 
 #include "src/core/hybrid_bernoulli.h"
@@ -37,6 +40,7 @@ bool IsExhaustive(const PartitionSample& s) {
 
 uint64_t AliasCache::Sample(uint64_t n1, uint64_t n2, uint64_t k,
                             Pcg64& rng) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto key = std::make_tuple(n1, n2, k);
   auto it = tables_.find(key);
   if (it == tables_.end()) {
@@ -45,6 +49,11 @@ uint64_t AliasCache::Sample(uint64_t n1, uint64_t n2, uint64_t k,
     it = tables_.emplace(key, std::move(entry)).first;
   }
   return it->second.support_min + it->second.table.Sample(rng);
+}
+
+size_t AliasCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.size();
 }
 
 uint64_t SampleHypergeometricSplit(uint64_t n1, uint64_t n2, uint64_t k,
@@ -250,7 +259,8 @@ Result<PartitionSample> MergeAll(
     return Status::InvalidArgument("MergeAll of zero samples");
   }
   if (samples.size() == 1) return *samples[0];
-  if (strategy == MergeStrategy::kBalancedTree) {
+  if (strategy == MergeStrategy::kBalancedTree ||
+      strategy == MergeStrategy::kParallelTree) {
     return MergeRange(samples, 0, samples.size(), options, rng);
   }
   PartitionSample acc = *samples[0];
@@ -259,6 +269,68 @@ Result<PartitionSample> MergeAll(
                             MergeSamples(acc, *samples[i], options, rng));
   }
   return acc;
+}
+
+Result<PartitionSample> MergeAllParallel(
+    const std::vector<const PartitionSample*>& samples,
+    const MergeOptions& options, Pcg64& rng, ThreadPool* pool) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("MergeAll of zero samples");
+  }
+  if (samples.size() == 1) return *samples[0];
+  if (pool == nullptr || samples.size() == 2) {
+    return MergeAll(samples, options, rng, MergeStrategy::kBalancedTree);
+  }
+
+  std::vector<PartitionSample> level;
+  level.reserve(samples.size());
+  for (const PartitionSample* s : samples) level.push_back(*s);
+
+  while (level.size() > 1) {
+    const size_t pairs = level.size() / 2;
+    // Fork all node RNGs up front, in index order, so results are
+    // independent of pool scheduling.
+    std::vector<Pcg64> node_rngs;
+    node_rngs.reserve(pairs);
+    for (size_t j = 0; j < pairs; ++j) node_rngs.push_back(rng.Fork(j));
+
+    std::vector<std::optional<PartitionSample>> merged(pairs);
+    std::vector<Status> statuses(pairs, Status::OK());
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    size_t remaining = pairs;
+
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(pairs);
+    for (size_t j = 0; j < pairs; ++j) {
+      tasks.push_back([&, j] {
+        Result<PartitionSample> r = MergeSamples(
+            level[2 * j], level[2 * j + 1], options, node_rngs[j]);
+        if (r.ok()) {
+          merged[j] = std::move(r).value();
+        } else {
+          statuses[j] = r.status();
+        }
+        std::lock_guard<std::mutex> lock(done_mu);
+        if (--remaining == 0) done_cv.notify_all();
+      });
+    }
+    pool->SubmitBatch(std::move(tasks));
+    {
+      std::unique_lock<std::mutex> lock(done_mu);
+      done_cv.wait(lock, [&] { return remaining == 0; });
+    }
+
+    std::vector<PartitionSample> next;
+    next.reserve(pairs + (level.size() % 2));
+    for (size_t j = 0; j < pairs; ++j) {
+      SAMPWH_RETURN_IF_ERROR(statuses[j]);
+      next.push_back(std::move(*merged[j]));
+    }
+    if (level.size() % 2 == 1) next.push_back(std::move(level.back()));
+    level = std::move(next);
+  }
+  return std::move(level.front());
 }
 
 }  // namespace sampwh

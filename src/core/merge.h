@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <tuple>
 #include <vector>
 
@@ -29,13 +30,15 @@
 #include "src/util/alias_table.h"
 #include "src/util/random.h"
 #include "src/util/status.h"
+#include "src/util/thread_pool.h"
 
 namespace sampwh {
 
 /// Caches alias tables for hypergeometric split distributions keyed by
 /// (|D1|, |D2|, k). In a symmetric pairwise merge tree every level reuses
 /// one distribution, so each table is built once and then sampled in O(1)
-/// (paper §4.2).
+/// (paper §4.2). Thread-safe: merge nodes running concurrently on a
+/// thread pool may share one cache.
 class AliasCache {
  public:
   /// Draws L from Hypergeometric(n1, n2, k), building the table on first
@@ -43,13 +46,14 @@ class AliasCache {
   uint64_t Sample(uint64_t n1, uint64_t n2, uint64_t k, Pcg64& rng);
 
   /// Number of distinct distributions cached so far.
-  size_t size() const { return tables_.size(); }
+  size_t size() const;
 
  private:
   struct Entry {
     uint64_t support_min;
     AliasTable table;
   };
+  mutable std::mutex mu_;
   std::map<std::tuple<uint64_t, uint64_t, uint64_t>, Entry> tables_;
 };
 
@@ -101,15 +105,29 @@ Result<PartitionSample> UnionBernoulli(
 enum class MergeStrategy {
   kLeftFold,       ///< the paper's serial pairwise merges
   kBalancedTree,   ///< pairwise tree; pairs AliasCache for symmetric inputs
+  kParallelTree,   ///< balanced tree with independent nodes run on a pool
 };
 
 /// Merges any number of per-partition samples into one sample of the union
 /// of their parents. Empty input is an error; a single input is returned
-/// unchanged.
+/// unchanged. kParallelTree without a pool degrades to kBalancedTree.
 Result<PartitionSample> MergeAll(
     const std::vector<const PartitionSample*>& samples,
     const MergeOptions& options, Pcg64& rng,
     MergeStrategy strategy = MergeStrategy::kLeftFold);
+
+/// Parallel k-way merge: reduces the samples level by level, scheduling
+/// the pairwise HBMerge/HRMerge nodes of each level on `pool` (all levels
+/// of the tree but the last have independent nodes). Every node draws from
+/// its own RNG stream forked from `rng` before scheduling, so the merged
+/// sample is deterministic for a given seed regardless of how the pool
+/// interleaves the nodes — and identical across runs with any pool size.
+/// Falls back to the serial balanced tree when `pool` is null. Safe to
+/// call on a pool shared with other producers: completion is tracked
+/// per-node, not via ThreadPool::Wait.
+Result<PartitionSample> MergeAllParallel(
+    const std::vector<const PartitionSample*>& samples,
+    const MergeOptions& options, Pcg64& rng, ThreadPool* pool);
 
 }  // namespace sampwh
 

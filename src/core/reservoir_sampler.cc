@@ -30,6 +30,34 @@ void ReservoirSampler::Add(Value v) {
   }
 }
 
+void ReservoirSampler::AddBatch(std::span<const Value> values) {
+  size_t i = 0;
+  const size_t n = values.size();
+  // Fill phase: the first k elements are always admitted.
+  while (i < n && reservoir_.size() < capacity_) {
+    reservoir_.push_back(values[i]);
+    ++elements_seen_;
+    ++i;
+    if (reservoir_.size() == capacity_) {
+      next_insertion_index_ = skip_.NextInsertionIndex(rng_, elements_seen_);
+    }
+  }
+  // Skip phase: jump straight to each insertion index.
+  while (i < n) {
+    const uint64_t remaining = n - i;
+    if (next_insertion_index_ > elements_seen_ + remaining) {
+      elements_seen_ += remaining;
+      break;
+    }
+    i += next_insertion_index_ - elements_seen_ - 1;
+    elements_seen_ = next_insertion_index_;
+    const size_t victim = static_cast<size_t>(rng_.UniformInt(capacity_));
+    reservoir_[victim] = values[i];
+    ++i;
+    next_insertion_index_ = skip_.NextInsertionIndex(rng_, elements_seen_);
+  }
+}
+
 PartitionSample ReservoirSampler::Finalize() {
   CompactHistogram hist = CompactHistogram::FromBag(reservoir_);
   const uint64_t bound = capacity_ * kSingletonFootprintBytes;

@@ -8,6 +8,7 @@
 #define SAMPWH_CORE_RESERVOIR_SAMPLER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/core/sample.h"
@@ -25,9 +26,11 @@ class ReservoirSampler {
 
   void Add(Value v);
 
-  void AddBatch(const std::vector<Value>& values) {
-    for (const Value v : values) Add(v);
-  }
+  /// Batch fast path: once the reservoir is full, jumps directly between
+  /// Vitter insertion indices, so the amortized cost per element is
+  /// O(k / n) rather than O(1). RNG draw order matches an element-wise
+  /// Add loop exactly (identical samples under the same seed).
+  void AddBatch(std::span<const Value> values);
 
   uint64_t elements_seen() const { return elements_seen_; }
   uint64_t capacity() const { return capacity_; }

@@ -31,6 +31,19 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+void ThreadPool::SubmitBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    SAMPWH_CHECK(!shutting_down_);
+    for (std::function<void()>& task : tasks) {
+      queue_.push_back(std::move(task));
+    }
+    in_flight_ += tasks.size();
+  }
+  work_available_.notify_all();
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });

@@ -30,6 +30,11 @@ class ThreadPool {
   /// Enqueues a task for execution.
   void Submit(std::function<void()> task);
 
+  /// Enqueues a whole batch of tasks under a single lock acquisition and
+  /// one notify_all, so a producer fanning out N partition tasks pays one
+  /// mutex round-trip instead of N.
+  void SubmitBatch(std::vector<std::function<void()>> tasks);
+
   /// Blocks until every submitted task has finished.
   void Wait();
 

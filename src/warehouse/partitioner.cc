@@ -15,6 +15,13 @@ bool CountPartitioner::ShouldCloseBefore(const PartitionProgress& progress,
   return progress.elements >= max_elements_;
 }
 
+uint64_t CountPartitioner::MaxAppendable(
+    const PartitionProgress& progress) const {
+  return progress.elements >= max_elements_
+             ? 0
+             : max_elements_ - progress.elements;
+}
+
 TemporalPartitioner::TemporalPartitioner(uint64_t window_ticks)
     : window_ticks_(window_ticks) {
   SAMPWH_CHECK(window_ticks >= 1);
@@ -39,6 +46,16 @@ bool RatioTriggerPartitioner::ShouldCloseAfter(
   const double fraction = static_cast<double>(progress.sample_size) /
                           static_cast<double>(progress.elements);
   return fraction <= min_sampling_fraction_;
+}
+
+uint64_t RatioTriggerPartitioner::MaxAppendable(
+    const PartitionProgress& progress) const {
+  // Never re-check before min_elements_ is reached; past it, check every
+  // granule so the batched trigger stays close to the element-wise one.
+  if (progress.elements < min_elements_) {
+    return min_elements_ - progress.elements;
+  }
+  return kBatchCheckGranule;
 }
 
 std::unique_ptr<Partitioner> MakeCountPartitioner(uint64_t max_elements) {

@@ -51,6 +51,19 @@ class Partitioner {
     (void)progress;
     return false;
   }
+
+  /// Batched ingestion: an upper bound on how many more elements may be
+  /// appended to the open partition before the policy's close conditions
+  /// must be re-evaluated. Count-based policies return the exact headroom
+  /// (so batch and element-wise ingestion produce identical partition
+  /// boundaries); policies that only trigger on ShouldCloseAfter may
+  /// return a check granule, in which case batched ingestion closes the
+  /// partition within one granule of the element-wise trigger point.
+  /// UINT64_MAX means the whole batch can be appended in one chunk.
+  virtual uint64_t MaxAppendable(const PartitionProgress& progress) const {
+    (void)progress;
+    return UINT64_MAX;
+  }
 };
 
 /// Fixed-size partitions of `max_elements` each.
@@ -59,6 +72,7 @@ class CountPartitioner : public Partitioner {
   explicit CountPartitioner(uint64_t max_elements);
   bool ShouldCloseBefore(const PartitionProgress& progress,
                          uint64_t next_timestamp) override;
+  uint64_t MaxAppendable(const PartitionProgress& progress) const override;
 
  private:
   uint64_t max_elements_;
@@ -84,6 +98,12 @@ class RatioTriggerPartitioner : public Partitioner {
   RatioTriggerPartitioner(double min_sampling_fraction,
                           uint64_t min_elements = 1);
   bool ShouldCloseAfter(const PartitionProgress& progress) override;
+  /// Granule at which batched ingestion re-checks the ratio; the batched
+  /// trigger fires within kBatchCheckGranule elements of the element-wise
+  /// trigger point.
+  uint64_t MaxAppendable(const PartitionProgress& progress) const override;
+
+  static constexpr uint64_t kBatchCheckGranule = 1024;
 
  private:
   double min_sampling_fraction_;

@@ -1,5 +1,6 @@
 #include "src/warehouse/stream_ingestor.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/util/logging.h"
@@ -20,8 +21,13 @@ void StreamIngestor::StartPartition() {
   progress_ = PartitionProgress{};
 }
 
+void StreamIngestor::RefreshSampleSize() {
+  if (sampler_.has_value()) progress_.sample_size = sampler_->sample_size();
+}
+
 Status StreamIngestor::CloseCurrentPartition() {
   if (!sampler_.has_value() || progress_.elements == 0) return Status::OK();
+  RefreshSampleSize();
   PartitionSample sample = sampler_->Finalize();
   SAMPWH_ASSIGN_OR_RETURN(
       PartitionId id,
@@ -44,10 +50,47 @@ Status StreamIngestor::Append(Value v, uint64_t timestamp) {
   progress_.last_timestamp = timestamp;
   sampler_->Add(v);
   ++progress_.elements;
-  progress_.sample_size = sampler_->sample_size();
 
-  if (partitioner_ != nullptr && partitioner_->ShouldCloseAfter(progress_)) {
-    SAMPWH_RETURN_IF_ERROR(CloseCurrentPartition());
+  if (partitioner_ != nullptr) {
+    RefreshSampleSize();
+    if (partitioner_->ShouldCloseAfter(progress_)) {
+      SAMPWH_RETURN_IF_ERROR(CloseCurrentPartition());
+    }
+  }
+  return Status::OK();
+}
+
+Status StreamIngestor::AppendBatch(std::span<const Value> values,
+                                   uint64_t timestamp) {
+  size_t i = 0;
+  while (i < values.size()) {
+    if (partitioner_ != nullptr && sampler_.has_value() &&
+        partitioner_->ShouldCloseBefore(progress_, timestamp)) {
+      SAMPWH_RETURN_IF_ERROR(CloseCurrentPartition());
+    }
+    if (!sampler_.has_value()) StartPartition();
+
+    uint64_t chunk = values.size() - i;
+    if (partitioner_ != nullptr) {
+      // MaxAppendable can be 0 when a close-before policy has headroom 0
+      // but declined to close (e.g. an empty open partition); make forward
+      // progress by appending at least one element.
+      chunk = std::min(
+          chunk, std::max<uint64_t>(partitioner_->MaxAppendable(progress_),
+                                    uint64_t{1}));
+    }
+    if (progress_.elements == 0) progress_.first_timestamp = timestamp;
+    progress_.last_timestamp = timestamp;
+    sampler_->AddBatch(values.subspan(i, chunk));
+    progress_.elements += chunk;
+    i += chunk;
+
+    if (partitioner_ != nullptr) {
+      RefreshSampleSize();
+      if (partitioner_->ShouldCloseAfter(progress_)) {
+        SAMPWH_RETURN_IF_ERROR(CloseCurrentPartition());
+      }
+    }
   }
   return Status::OK();
 }

@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "src/core/any_sampler.h"
@@ -28,6 +29,15 @@ class StreamIngestor {
   /// Timestamps must be non-decreasing within one ingestor.
   Status Append(Value v, uint64_t timestamp = 0);
 
+  /// Feeds a batch of elements sharing one event timestamp. Partitioner
+  /// checks and progress bookkeeping are amortized per chunk (the chunk
+  /// size is negotiated with the partitioner via MaxAppendable), and each
+  /// chunk flows through the sampler's skip-based AddBatch fast path.
+  /// Count/temporal policies produce exactly the partition boundaries an
+  /// element-wise Append loop would; ratio-trigger policies close within
+  /// one check granule of the element-wise trigger point.
+  Status AppendBatch(std::span<const Value> values, uint64_t timestamp = 0);
+
   /// Finalizes and rolls in the open partition, if it holds any elements.
   Status Flush();
 
@@ -40,6 +50,10 @@ class StreamIngestor {
  private:
   Status CloseCurrentPartition();
   void StartPartition();
+  // progress_.sample_size is refreshed lazily — only where a partitioning
+  // policy can actually read it (before ShouldCloseAfter and when closing)
+  // — so the per-element hot path pays no sampler query.
+  void RefreshSampleSize();
 
   Warehouse* warehouse_;
   DatasetId dataset_;

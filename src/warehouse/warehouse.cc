@@ -27,32 +27,48 @@ Warehouse::Warehouse(const WarehouseOptions& options,
       store_(std::move(store)),
       rng_(options_.seed) {
   SAMPWH_CHECK(store_ != nullptr);
+  if (options_.worker_threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  }
 }
 
 Warehouse::Warehouse(const WarehouseOptions& options)
     : Warehouse(options, std::make_unique<InMemorySampleStore>()) {}
 
+Result<std::shared_ptr<std::mutex>> Warehouse::DatasetMutex(
+    const DatasetId& dataset) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = dataset_mu_.find(dataset);
+  if (it == dataset_mu_.end()) {
+    return Status::NotFound("no dataset: " + dataset);
+  }
+  return it->second;
+}
+
 Status Warehouse::CreateDataset(const DatasetId& id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return catalog_.CreateDataset(id);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  SAMPWH_RETURN_IF_ERROR(catalog_.CreateDataset(id));
+  dataset_mu_[id] = std::make_shared<std::mutex>();
+  return Status::OK();
 }
 
 Status Warehouse::CreateDataset(const DatasetId& id,
                                 const SamplerConfig& config) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   SAMPWH_RETURN_IF_ERROR(catalog_.CreateDataset(id));
+  dataset_mu_[id] = std::make_shared<std::mutex>();
   sampler_overrides_[id] = config;
   return Status::OK();
 }
 
 SamplerConfig Warehouse::SamplerConfigFor(const DatasetId& dataset) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const auto it = sampler_overrides_.find(dataset);
   return it != sampler_overrides_.end() ? it->second : options_.sampler;
 }
 
 Status Warehouse::DropDataset(const DatasetId& id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   SAMPWH_ASSIGN_OR_RETURN(std::vector<PartitionInfo> parts,
                           catalog_.ListPartitions(id));
   for (const PartitionInfo& p : parts) {
@@ -60,33 +76,43 @@ Status Warehouse::DropDataset(const DatasetId& id) {
     store_->Delete(PartitionKey{id, p.id});
   }
   sampler_overrides_.erase(id);
+  dataset_mu_.erase(id);
   return catalog_.DropDataset(id);
 }
 
 bool Warehouse::HasDataset(const DatasetId& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return catalog_.HasDataset(id);
 }
 
 std::vector<DatasetId> Warehouse::ListDatasets() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return catalog_.ListDatasets();
 }
 
 Result<DatasetInfo> Warehouse::GetDatasetInfo(const DatasetId& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  SAMPWH_ASSIGN_OR_RETURN(std::shared_ptr<std::mutex> dataset_mu,
+                          DatasetMutex(id));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::lock_guard<std::mutex> dlock(*dataset_mu);
   return catalog_.GetDatasetInfo(id);
 }
 
 Result<std::vector<PartitionInfo>> Warehouse::ListPartitions(
     const DatasetId& dataset) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  SAMPWH_ASSIGN_OR_RETURN(std::shared_ptr<std::mutex> dataset_mu,
+                          DatasetMutex(dataset));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::lock_guard<std::mutex> dlock(*dataset_mu);
   return catalog_.ListPartitions(dataset);
 }
 
 Result<std::vector<PartitionId>> Warehouse::PartitionsInTimeRange(
     const DatasetId& dataset, uint64_t from, uint64_t to) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  SAMPWH_ASSIGN_OR_RETURN(std::shared_ptr<std::mutex> dataset_mu,
+                          DatasetMutex(dataset));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::lock_guard<std::mutex> dlock(*dataset_mu);
   return catalog_.PartitionsInTimeRange(dataset, from, to);
 }
 
@@ -95,7 +121,10 @@ Result<PartitionId> Warehouse::RollIn(const DatasetId& dataset,
                                       uint64_t min_timestamp,
                                       uint64_t max_timestamp) {
   SAMPWH_RETURN_IF_ERROR(sample.Validate());
-  std::lock_guard<std::mutex> lock(mu_);
+  SAMPWH_ASSIGN_OR_RETURN(std::shared_ptr<std::mutex> dataset_mu,
+                          DatasetMutex(dataset));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::lock_guard<std::mutex> dlock(*dataset_mu);
   SAMPWH_ASSIGN_OR_RETURN(PartitionId id,
                           catalog_.AllocatePartitionId(dataset));
   SAMPWH_RETURN_IF_ERROR(store_->Put(PartitionKey{dataset, id}, sample));
@@ -115,7 +144,10 @@ Result<PartitionId> Warehouse::RollIn(const DatasetId& dataset,
 }
 
 Status Warehouse::RollOut(const DatasetId& dataset, PartitionId partition) {
-  std::lock_guard<std::mutex> lock(mu_);
+  SAMPWH_ASSIGN_OR_RETURN(std::shared_ptr<std::mutex> dataset_mu,
+                          DatasetMutex(dataset));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::lock_guard<std::mutex> dlock(*dataset_mu);
   SAMPWH_RETURN_IF_ERROR(catalog_.RemovePartition(dataset, partition));
   return store_->Delete(PartitionKey{dataset, partition});
 }
@@ -124,9 +156,8 @@ Result<std::vector<PartitionId>> Warehouse::ApplyRetention(
     const DatasetId& dataset, const RetentionPolicy& policy, uint64_t now) {
   std::vector<PartitionId> expired;
   {
-    std::lock_guard<std::mutex> lock(mu_);
     SAMPWH_ASSIGN_OR_RETURN(std::vector<PartitionInfo> parts,
-                            catalog_.ListPartitions(dataset));
+                            ListPartitions(dataset));
     expired = RetentionCandidates(parts, policy, now);
   }
   for (const PartitionId id : expired) {
@@ -140,11 +171,14 @@ Result<PartitionId> Warehouse::CompactPartitions(
   if (parts.size() < 2) {
     return Status::InvalidArgument("compaction needs at least 2 partitions");
   }
+  SAMPWH_ASSIGN_OR_RETURN(std::shared_ptr<std::mutex> dataset_mu,
+                          DatasetMutex(dataset));
   // Combined event-time range of the inputs.
   uint64_t min_ts = UINT64_MAX;
   uint64_t max_ts = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    std::lock_guard<std::mutex> dlock(*dataset_mu);
     for (const PartitionId id : parts) {
       SAMPWH_ASSIGN_OR_RETURN(PartitionInfo info,
                               catalog_.GetPartition(dataset, id));
@@ -163,8 +197,11 @@ Result<PartitionId> Warehouse::CompactPartitions(
 
 Result<PartitionSample> Warehouse::GetSample(const DatasetId& dataset,
                                              PartitionId partition) const {
+  SAMPWH_ASSIGN_OR_RETURN(std::shared_ptr<std::mutex> dataset_mu,
+                          DatasetMutex(dataset));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    std::lock_guard<std::mutex> dlock(*dataset_mu);
     SAMPWH_RETURN_IF_ERROR(
         catalog_.GetPartition(dataset, partition).status());
   }
@@ -178,11 +215,12 @@ Result<std::vector<PartitionId>> Warehouse::IngestBatch(
     return Status::InvalidArgument("need at least one partition");
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     if (!catalog_.HasDataset(dataset)) {
       return Status::NotFound("no dataset: " + dataset);
     }
   }
+  if (pool == nullptr) pool = pool_.get();
   num_partitions = std::min<size_t>(
       num_partitions, std::max<size_t>(values.size(), size_t{1}));
 
@@ -191,7 +229,7 @@ Result<std::vector<PartitionId>> Warehouse::IngestBatch(
   std::vector<Pcg64> rngs;
   rngs.reserve(num_partitions);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(rng_mu_);
     for (size_t i = 0; i < num_partitions; ++i) {
       rngs.push_back(rng_.Fork(i));
     }
@@ -210,7 +248,8 @@ Result<std::vector<PartitionId>> Warehouse::IngestBatch(
       config.expected_partition_size = end - begin;
     }
     AnySampler sampler(config, std::move(rngs[p]));
-    for (size_t i = begin; i < end; ++i) sampler.Add(values[i]);
+    sampler.AddBatch(
+        std::span<const Value>(values.data() + begin, end - begin));
     samples[p] = sampler.Finalize();
   };
 
@@ -224,9 +263,13 @@ Result<std::vector<PartitionId>> Warehouse::IngestBatch(
   SAMPWH_CHECK(begin == values.size());
 
   if (pool != nullptr) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(num_partitions);
     for (size_t p = 0; p < num_partitions; ++p) {
-      pool->Submit([&, p] { run_one(p, ranges[p].first, ranges[p].second); });
+      tasks.push_back(
+          [&, p] { run_one(p, ranges[p].first, ranges[p].second); });
     }
+    pool->SubmitBatch(std::move(tasks));
     pool->Wait();
   } else {
     for (size_t p = 0; p < num_partitions; ++p) {
@@ -259,18 +302,31 @@ Result<PartitionSample> Warehouse::MergeByIds(
   pointers.reserve(samples.size());
   for (const PartitionSample& s : samples) pointers.push_back(&s);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  // Merge on a private RNG stream so long merges never hold a warehouse
+  // lock; the alias cache is internally synchronized.
+  Pcg64 merge_rng(options_.seed);
+  {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    merge_rng = rng_.Fork(0x4D52);
+  }
   MergeOptions merge_options = options_.merge;
   if (options_.cache_alias_tables) {
     merge_options.alias_cache = &alias_cache_;
   }
-  return MergeAll(pointers, merge_options, rng_, options_.merge_strategy);
+  if (options_.merge_strategy == MergeStrategy::kParallelTree) {
+    return MergeAllParallel(pointers, merge_options, merge_rng, pool_.get());
+  }
+  return MergeAll(pointers, merge_options, merge_rng,
+                  options_.merge_strategy);
 }
 
 Result<PartitionSample> Warehouse::MergedSample(
     const DatasetId& dataset, const std::vector<PartitionId>& parts) {
+  SAMPWH_ASSIGN_OR_RETURN(std::shared_ptr<std::mutex> dataset_mu,
+                          DatasetMutex(dataset));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    std::lock_guard<std::mutex> dlock(*dataset_mu);
     for (const PartitionId id : parts) {
       SAMPWH_RETURN_IF_ERROR(catalog_.GetPartition(dataset, id).status());
     }
@@ -281,9 +337,8 @@ Result<PartitionSample> Warehouse::MergedSample(
 Result<PartitionSample> Warehouse::MergedSampleAll(const DatasetId& dataset) {
   std::vector<PartitionId> ids;
   {
-    std::lock_guard<std::mutex> lock(mu_);
     SAMPWH_ASSIGN_OR_RETURN(std::vector<PartitionInfo> infos,
-                            catalog_.ListPartitions(dataset));
+                            ListPartitions(dataset));
     ids.reserve(infos.size());
     for (const PartitionInfo& p : infos) ids.push_back(p.id);
   }
@@ -292,24 +347,20 @@ Result<PartitionSample> Warehouse::MergedSampleAll(const DatasetId& dataset) {
 
 Result<PartitionSample> Warehouse::MergedSampleInTimeRange(
     const DatasetId& dataset, uint64_t from, uint64_t to) {
-  std::vector<PartitionId> ids;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    SAMPWH_ASSIGN_OR_RETURN(ids,
-                            catalog_.PartitionsInTimeRange(dataset, from, to));
-  }
+  SAMPWH_ASSIGN_OR_RETURN(std::vector<PartitionId> ids,
+                          PartitionsInTimeRange(dataset, from, to));
   return MergeByIds(dataset, ids);
 }
 
 Pcg64 Warehouse::ForkRng() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(rng_mu_);
   return rng_.Fork(0xF02C);
 }
 
 Status Warehouse::SaveManifest(const std::string& path) const {
   BinaryWriter writer;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::shared_mutex> lock(mu_);
     catalog_.SerializeTo(&writer);
   }
   return WriteFileAtomic(path, writer.buffer());
@@ -343,6 +394,9 @@ Result<std::unique_ptr<Warehouse>> Warehouse::Restore(
     }
   }
   warehouse->catalog_ = std::move(catalog);
+  for (const DatasetId& dataset : warehouse->catalog_.ListDatasets()) {
+    warehouse->dataset_mu_[dataset] = std::make_shared<std::mutex>();
+  }
   return warehouse;
 }
 

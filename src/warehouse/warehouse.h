@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "src/core/any_sampler.h"
@@ -34,6 +35,10 @@ struct WarehouseOptions {
   /// Reuse hypergeometric alias tables across queries (§4.2). Effective
   /// mainly for symmetric merge trees.
   bool cache_alias_tables = false;
+  /// When > 0, the warehouse owns a ThreadPool of this many workers and
+  /// uses it for multi-partition IngestBatch calls (unless the caller
+  /// passes an explicit pool) and for kParallelTree merges.
+  size_t worker_threads = 0;
   /// Seed for all sampling/merging randomness in this warehouse.
   uint64_t seed = 0x5157313136ULL;
 };
@@ -147,13 +152,28 @@ class Warehouse {
  private:
   Result<PartitionSample> MergeByIds(const DatasetId& dataset,
                                      const std::vector<PartitionId>& parts);
+  /// The per-dataset mutex for `dataset` (NotFound when it does not
+  /// exist). Must be called without mu_ held.
+  Result<std::shared_ptr<std::mutex>> DatasetMutex(
+      const DatasetId& dataset) const;
 
   WarehouseOptions options_;
   std::unique_ptr<SampleStore> store_;
+  std::unique_ptr<ThreadPool> pool_;  // when options_.worker_threads > 0
 
-  mutable std::mutex mu_;
+  // Locking model. `mu_` guards the catalog *structure* (which datasets
+  // exist), sampler_overrides_, and dataset_mu_; dataset creation/drop and
+  // manifest I/O take it exclusively, everything else takes it shared.
+  // Partition metadata of one dataset is guarded by that dataset's own
+  // mutex (taken with mu_ held shared), so ingest into different datasets
+  // never serializes on one global lock. rng_ has a dedicated mutex so RNG
+  // forks stay cheap under catalog traffic; long-running work (sampling,
+  // merging, store I/O on read paths) runs outside all warehouse locks.
+  mutable std::shared_mutex mu_;
   Catalog catalog_;
   std::map<DatasetId, SamplerConfig> sampler_overrides_;
+  mutable std::map<DatasetId, std::shared_ptr<std::mutex>> dataset_mu_;
+  mutable std::mutex rng_mu_;
   Pcg64 rng_;
   AliasCache alias_cache_;
 };

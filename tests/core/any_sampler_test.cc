@@ -43,7 +43,8 @@ TEST(AnySamplerTest, SbConfigProducesFixedRateBernoulli) {
 TEST(AnySamplerTest, TracksElementsSeen) {
   SamplerConfig config;
   AnySampler sampler(config, Pcg64(4));
-  sampler.AddBatch({1, 2, 3, 4, 5});
+  const std::vector<Value> values = {1, 2, 3, 4, 5};
+  sampler.AddBatch(values);
   EXPECT_EQ(sampler.elements_seen(), 5u);
 }
 

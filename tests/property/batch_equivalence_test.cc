@@ -1,0 +1,168 @@
+// Statistical and exact equivalence of the skip-based AddBatch fast paths
+// with the element-wise Add loops. Two layers of evidence:
+//
+//  1. Exact: every batch path consumes the RNG in the same order as the
+//     scalar path, so under one seed Add and AddBatch must produce
+//     bit-identical samples — for every algorithm, at every chunking.
+//  2. Statistical: per-value inclusion frequencies of batch-built samples
+//     are chi-square-consistent with the uniform inclusion law each
+//     algorithm guarantees (each value of a distinct-valued population is
+//     included equally often).
+//
+// Seeds are fixed; thresholds are chosen so the suite is deterministic.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/any_sampler.h"
+#include "src/core/bernoulli_sampler.h"
+#include "src/stats/chi_square.h"
+#include "src/workload/generators.h"
+
+namespace sampwh {
+namespace {
+
+constexpr double kAlpha = 1e-4;
+
+std::vector<Value> Population(uint64_t n) {
+  return DataGenerator::Unique(n).TakeAll();
+}
+
+PartitionSample RunScalar(const SamplerConfig& config, uint64_t seed,
+                          const std::vector<Value>& values) {
+  AnySampler sampler(config, Pcg64(seed));
+  for (const Value v : values) sampler.Add(v);
+  return sampler.Finalize();
+}
+
+PartitionSample RunBatched(const SamplerConfig& config, uint64_t seed,
+                           const std::vector<Value>& values, size_t chunk) {
+  AnySampler sampler(config, Pcg64(seed));
+  const std::span<const Value> all(values);
+  for (size_t i = 0; i < all.size(); i += chunk) {
+    sampler.AddBatch(all.subspan(i, std::min(chunk, all.size() - i)));
+  }
+  return sampler.Finalize();
+}
+
+void ExpectSameSample(const PartitionSample& a, const PartitionSample& b) {
+  EXPECT_EQ(a.phase(), b.phase());
+  EXPECT_EQ(a.parent_size(), b.parent_size());
+  EXPECT_DOUBLE_EQ(a.sampling_rate(), b.sampling_rate());
+  EXPECT_TRUE(a.histogram() == b.histogram());
+}
+
+// Chunk sizes crossing every interesting boundary: single elements, a
+// prime that misaligns with phase transitions, a large power of two, and
+// the whole stream in one call.
+const size_t kChunkSizes[] = {1, 7, 1024, 1u << 20};
+
+void ExpectBatchMatchesScalarExactly(const SamplerConfig& config,
+                                     uint64_t population) {
+  const std::vector<Value> values = Population(population);
+  for (uint64_t seed : {1u, 17u, 123456u}) {
+    const PartitionSample scalar = RunScalar(config, seed, values);
+    for (const size_t chunk : kChunkSizes) {
+      SCOPED_TRACE(testing::Message()
+                   << "seed " << seed << " chunk " << chunk);
+      ExpectSameSample(scalar, RunBatched(config, seed, values, chunk));
+    }
+  }
+}
+
+TEST(BatchEquivalenceProperty, BernoulliBatchIsExactlyScalar) {
+  SamplerConfig config;
+  config.kind = SamplerKind::kStratifiedBernoulli;
+  config.bernoulli_rate = 0.05;
+  ExpectBatchMatchesScalarExactly(config, 50000);
+}
+
+TEST(BatchEquivalenceProperty, HybridBernoulliBatchIsExactlyScalar) {
+  // F = 1 KiB: the 50K-element stream crosses exhaustive -> Bernoulli and
+  // (after enough Bernoulli purges or a bag overflow) Bernoulli ->
+  // reservoir mid-stream, so every phase's batch loop is exercised,
+  // including transitions that land inside a chunk.
+  SamplerConfig config;
+  config.kind = SamplerKind::kHybridBernoulli;
+  config.footprint_bound_bytes = 1024;
+  config.expected_partition_size = 50000;
+  ExpectBatchMatchesScalarExactly(config, 50000);
+}
+
+TEST(BatchEquivalenceProperty, HybridReservoirBatchIsExactlyScalar) {
+  SamplerConfig config;
+  config.kind = SamplerKind::kHybridReservoir;
+  config.footprint_bound_bytes = 1024;
+  ExpectBatchMatchesScalarExactly(config, 50000);
+}
+
+TEST(BatchEquivalenceProperty, TinyAndEmptyBatches) {
+  SamplerConfig config;
+  config.kind = SamplerKind::kHybridReservoir;
+  config.footprint_bound_bytes = 256;
+  AnySampler sampler(config, Pcg64(9));
+  sampler.AddBatch({});  // no-op
+  EXPECT_EQ(sampler.elements_seen(), 0u);
+  const std::vector<Value> one = {42};
+  sampler.AddBatch(one);
+  EXPECT_EQ(sampler.elements_seen(), 1u);
+  EXPECT_EQ(sampler.sample_size(), 1u);
+}
+
+// Inclusion frequencies of batch-built samples follow the algorithm's
+// uniform inclusion law: over a distinct-valued population every value is
+// included with the same probability, so per-value inclusion counts across
+// many independent batch runs must pass a uniform chi-square fit.
+void ExpectUniformInclusion(const SamplerConfig& config, uint64_t population,
+                            int trials) {
+  const std::vector<Value> values = Population(population);
+  std::vector<uint64_t> inclusions(population, 0);
+  for (int t = 0; t < trials; ++t) {
+    AnySampler sampler(config, Pcg64(1000 + t));
+    sampler.AddBatch(values);
+    const PartitionSample s = sampler.Finalize();
+    s.histogram().ForEach([&](Value v, uint64_t count) {
+      inclusions[static_cast<size_t>(v - 1)] += count;
+    });
+  }
+  const ChiSquareResult result = ChiSquareUniformFit(inclusions);
+  EXPECT_GT(result.min_expected, 5.0);
+  EXPECT_GT(result.p_value, kAlpha)
+      << "statistic " << result.statistic << " df "
+      << result.degrees_of_freedom;
+}
+
+TEST(BatchEquivalenceProperty, BernoulliBatchInclusionIsUniform) {
+  SamplerConfig config;
+  config.kind = SamplerKind::kStratifiedBernoulli;
+  config.bernoulli_rate = 0.2;
+  ExpectUniformInclusion(config, 200, 400);
+}
+
+TEST(BatchEquivalenceProperty, ReservoirBatchInclusionIsUniform) {
+  SamplerConfig config;
+  config.kind = SamplerKind::kHybridReservoir;
+  config.footprint_bound_bytes = 32 * 8;  // n_F = 32 of 200
+  ExpectUniformInclusion(config, 200, 400);
+}
+
+TEST(BatchEquivalenceProperty, SkipBasedBernoulliPhaseIsDeterministic) {
+  // The geometric-skip Bernoulli path must be a pure function of (seed,
+  // stream): identical runs give identical samples, and the draw sequence
+  // does not depend on how the stream is chunked.
+  const std::vector<Value> values = Population(30000);
+  SamplerConfig config;
+  config.kind = SamplerKind::kStratifiedBernoulli;
+  config.bernoulli_rate = 0.01;
+  const PartitionSample first = RunBatched(config, 77, values, 4096);
+  const PartitionSample second = RunBatched(config, 77, values, 4096);
+  ExpectSameSample(first, second);
+  const PartitionSample rechunked = RunBatched(config, 77, values, 997);
+  ExpectSameSample(first, rechunked);
+}
+
+}  // namespace
+}  // namespace sampwh

@@ -1,6 +1,7 @@
 #include "src/util/thread_pool.h"
 
 #include <atomic>
+#include <functional>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -54,6 +55,40 @@ TEST(ThreadPoolTest, SingleThreadPoolWorks) {
   }
   pool.Wait();
   EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, SubmitBatchRunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 200; ++i) {
+    tasks.push_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.SubmitBatch(std::move(tasks));
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, SubmitBatchEmptyIsNoOp) {
+  ThreadPool pool(2);
+  pool.SubmitBatch({});
+  pool.Wait();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, SubmitBatchInterleavesWithSubmit) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int wave = 0; wave < 4; ++wave) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 25; ++i) {
+      tasks.push_back([&counter] { counter.fetch_add(1); });
+    }
+    pool.SubmitBatch(std::move(tasks));
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 4 * 26);
 }
 
 TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {

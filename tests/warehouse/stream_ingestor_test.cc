@@ -1,6 +1,8 @@
 #include "src/warehouse/stream_ingestor.h"
 
 #include <algorithm>
+#include <span>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -93,6 +95,114 @@ TEST(StreamIngestorTest, NullPartitionerMeansSinglePartition) {
   EXPECT_EQ(ingestor.open_elements(), 5000u);
   ASSERT_TRUE(ingestor.Flush().ok());
   EXPECT_EQ(ingestor.rolled_in().size(), 1u);
+}
+
+TEST(StreamIngestorTest, AppendBatchCountBoundariesMatchScalar) {
+  // Count partitioner: batch ingestion must cut exactly the partitions an
+  // element-wise loop would, at every chunking of the stream.
+  const std::vector<Value> values = DataGenerator::Unique(3500).TakeAll();
+  for (const size_t chunk : {1u, 7u, 1000u, 3500u}) {
+    Warehouse wh(SmallOptions());
+    ASSERT_TRUE(wh.CreateDataset("ds").ok());
+    StreamIngestor ingestor(&wh, "ds", MakeCountPartitioner(1000));
+    const std::span<const Value> all(values);
+    for (size_t i = 0; i < all.size(); i += chunk) {
+      ASSERT_TRUE(
+          ingestor.AppendBatch(all.subspan(i, std::min(chunk, all.size() - i)))
+              .ok());
+    }
+    ASSERT_TRUE(ingestor.Flush().ok());
+    const auto parts = wh.ListPartitions("ds");
+    ASSERT_TRUE(parts.ok());
+    ASSERT_EQ(parts.value().size(), 4u) << "chunk " << chunk;
+    EXPECT_EQ(parts.value()[0].parent_size, 1000u);
+    EXPECT_EQ(parts.value()[1].parent_size, 1000u);
+    EXPECT_EQ(parts.value()[2].parent_size, 1000u);
+    EXPECT_EQ(parts.value()[3].parent_size, 500u);
+  }
+}
+
+TEST(StreamIngestorTest, AppendBatchProducesScalarIdenticalSamples) {
+  // Same warehouse seed, same partition boundaries, same RNG consumption
+  // order: the rolled-in samples must be identical element for element.
+  const std::vector<Value> values = DataGenerator::Unique(3000).TakeAll();
+
+  Warehouse scalar_wh(SmallOptions());
+  ASSERT_TRUE(scalar_wh.CreateDataset("ds").ok());
+  StreamIngestor scalar_ingestor(&scalar_wh, "ds", MakeCountPartitioner(1000));
+  for (const Value v : values) ASSERT_TRUE(scalar_ingestor.Append(v).ok());
+  ASSERT_TRUE(scalar_ingestor.Flush().ok());
+
+  Warehouse batch_wh(SmallOptions());
+  ASSERT_TRUE(batch_wh.CreateDataset("ds").ok());
+  StreamIngestor batch_ingestor(&batch_wh, "ds", MakeCountPartitioner(1000));
+  const std::span<const Value> all(values);
+  for (size_t i = 0; i < all.size(); i += 128) {
+    ASSERT_TRUE(
+        batch_ingestor.AppendBatch(all.subspan(i, std::min<size_t>(128, all.size() - i)))
+            .ok());
+  }
+  ASSERT_TRUE(batch_ingestor.Flush().ok());
+
+  ASSERT_EQ(scalar_ingestor.rolled_in().size(),
+            batch_ingestor.rolled_in().size());
+  for (size_t p = 0; p < scalar_ingestor.rolled_in().size(); ++p) {
+    const auto s = scalar_wh.GetSample("ds", scalar_ingestor.rolled_in()[p]);
+    const auto b = batch_wh.GetSample("ds", batch_ingestor.rolled_in()[p]);
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE(s.value().histogram() == b.value().histogram())
+        << "partition " << p;
+  }
+}
+
+TEST(StreamIngestorTest, AppendBatchTemporalBoundariesMatchScalar) {
+  // Batches carry one timestamp each; feeding one batch per window tick
+  // must split exactly like the element-wise temporal loop.
+  Warehouse wh(SmallOptions());
+  ASSERT_TRUE(wh.CreateDataset("days").ok());
+  StreamIngestor ingestor(&wh, "days", MakeTemporalPartitioner(24));
+  for (uint64_t t = 0; t < 72; ++t) {
+    const std::vector<Value> batch = {static_cast<Value>(2 * t),
+                                      static_cast<Value>(2 * t + 1)};
+    ASSERT_TRUE(ingestor.AppendBatch(batch, t).ok());
+  }
+  ASSERT_TRUE(ingestor.Flush().ok());
+  const auto parts = wh.ListPartitions("days");
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts.value().size(), 3u);
+  EXPECT_EQ(parts.value()[0].min_timestamp, 0u);
+  EXPECT_EQ(parts.value()[0].max_timestamp, 23u);
+  EXPECT_EQ(parts.value()[1].min_timestamp, 24u);
+  EXPECT_EQ(parts.value()[2].max_timestamp, 71u);
+  for (const PartitionInfo& p : parts.value()) {
+    EXPECT_EQ(p.parent_size, 48u);
+  }
+}
+
+TEST(StreamIngestorTest, AppendBatchRatioTriggerStillMeetsFraction) {
+  Warehouse wh(SmallOptions());
+  ASSERT_TRUE(wh.CreateDataset("stream").ok());
+  StreamIngestor ingestor(&wh, "stream",
+                          MakeRatioTriggerPartitioner(1.0 / 16.0, 128));
+  const std::vector<Value> values = DataGenerator::Unique(10000).TakeAll();
+  ASSERT_TRUE(ingestor.AppendBatch(values).ok());
+  ASSERT_TRUE(ingestor.Flush().ok());
+  const auto parts = wh.ListPartitions("stream");
+  ASSERT_TRUE(parts.ok());
+  EXPECT_GE(parts.value().size(), 5u);
+  uint64_t total = 0;
+  for (const PartitionInfo& p : parts.value()) {
+    total += p.parent_size;
+    // The check granule lets a partition run at most kBatchCheckGranule
+    // elements past the element-wise trigger point; the minimum fraction
+    // contract must still hold within that slack.
+    EXPECT_GE(static_cast<double>(p.sample_size) /
+                  static_cast<double>(p.parent_size),
+              1.0 / 16.0 * 0.8)
+        << "partition " << p.id;
+  }
+  EXPECT_EQ(total, 10000u);
 }
 
 TEST(StreamIngestorTest, WorksWithArrivalSimulator) {

@@ -319,5 +319,78 @@ TEST(WarehouseTest, BalancedTreeStrategyWithAliasCache) {
   }
 }
 
+TEST(WarehouseTest, ParallelTreeStrategyMatchesSerialValidity) {
+  WarehouseOptions options = HrOptions(256);
+  options.merge_strategy = MergeStrategy::kParallelTree;
+  options.worker_threads = 4;  // warehouse-owned pool drives the merges
+  Warehouse wh(options);
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  ASSERT_TRUE(wh.IngestBatch("ds", Range(0, 16000), 8).ok());
+  for (int i = 0; i < 3; ++i) {
+    const auto merged = wh.MergedSampleAll("ds");
+    ASSERT_TRUE(merged.ok());
+    EXPECT_EQ(merged.value().parent_size(), 16000u);
+    EXPECT_EQ(merged.value().size(), 32u);
+    EXPECT_TRUE(merged.value().Validate().ok());
+  }
+}
+
+TEST(WarehouseTest, ParallelTreeWithoutPoolDegradesGracefully) {
+  WarehouseOptions options = HrOptions(256);
+  options.merge_strategy = MergeStrategy::kParallelTree;
+  // worker_threads left 0: merges fall back to the serial balanced tree.
+  Warehouse wh(options);
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  ASSERT_TRUE(wh.IngestBatch("ds", Range(0, 8000), 4).ok());
+  const auto merged = wh.MergedSampleAll("ds");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().parent_size(), 8000u);
+  EXPECT_TRUE(merged.value().Validate().ok());
+}
+
+TEST(WarehouseTest, OwnedPoolUsedForIngestBatch) {
+  WarehouseOptions options = HrOptions(512);
+  options.worker_threads = 4;
+  Warehouse wh(options);
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  const auto ids = wh.IngestBatch("ds", Range(0, 8000), 8);  // no pool arg
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids.value().size(), 8u);
+  const auto info = wh.GetDatasetInfo("ds");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().total_parent_size, 8000u);
+}
+
+TEST(WarehouseTest, ConcurrentIngestAcrossDatasets) {
+  // Per-dataset locking: ingest into 4 datasets from 8 threads while
+  // querying them; no crashes, every partition accounted for.
+  Warehouse wh(HrOptions());
+  const std::vector<DatasetId> datasets = {"a", "b", "c", "d"};
+  for (const auto& ds : datasets) ASSERT_TRUE(wh.CreateDataset(ds).ok());
+  ThreadPool pool(8);
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 32; ++t) {
+    const DatasetId ds = datasets[t % datasets.size()];
+    pool.Submit([&wh, &failures, ds, t] {
+      SamplerConfig config;
+      config.kind = SamplerKind::kHybridReservoir;
+      config.footprint_bound_bytes = 512;
+      AnySampler sampler(config, Pcg64(9000 + t));
+      const std::vector<Value> values = Range(t * 1000, (t + 1) * 1000);
+      sampler.AddBatch(values);
+      if (!wh.RollIn(ds, sampler.Finalize()).ok()) failures.fetch_add(1);
+      if (!wh.ListPartitions(ds).ok()) failures.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(failures.load(), 0);
+  for (const auto& ds : datasets) {
+    const auto info = wh.GetDatasetInfo(ds);
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info.value().num_partitions, 8u);
+    EXPECT_EQ(info.value().total_parent_size, 8000u);
+  }
+}
+
 }  // namespace
 }  // namespace sampwh
