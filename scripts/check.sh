@@ -38,4 +38,10 @@ if [[ "${fast}" -eq 0 ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 fi
 
+# Query-path smoke bench (~2 s): exercises the sample cache, parallel
+# prefetch and memoized merge tree end to end, asserts warm == cold bytes,
+# and fails if the warm speedup regresses below its gate.
+echo "=== [relwithdebinfo] query bench (smoke) ==="
+(cd build-check/relwithdebinfo/bench && ./bench_query_throughput --smoke)
+
 echo "All checks passed."

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstring>
 #include <functional>
 #include <optional>
 #include <utility>
@@ -37,6 +38,19 @@ bool IsExhaustive(const PartitionSample& s) {
 }
 
 }  // namespace
+
+uint64_t MergeOptionsFingerprint(const MergeOptions& options) {
+  uint64_t rate_bits = 0;
+  static_assert(sizeof(rate_bits) == sizeof(options.exceedance_probability));
+  std::memcpy(&rate_bits, &options.exceedance_probability, sizeof(rate_bits));
+  SplitMix64 mixer(options.footprint_bound_bytes);
+  uint64_t fp = mixer.Next();
+  fp ^= SplitMix64(rate_bits).Next();
+  fp ^= SplitMix64((options.use_exact_rate ? 2u : 0u) |
+                   (options.alias_cache != nullptr ? 1u : 0u))
+            .Next();
+  return fp;
+}
 
 uint64_t AliasCache::Sample(uint64_t n1, uint64_t n2, uint64_t k,
                             Pcg64& rng) {

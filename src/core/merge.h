@@ -67,7 +67,23 @@ struct MergeOptions {
   /// When non-null, HRMerge draws its hypergeometric splits through this
   /// cache (§4.2 optimization); otherwise it uses direct inversion.
   AliasCache* alias_cache = nullptr;
+  /// Forces every query down the uncached merge path even when the caller
+  /// (e.g. a Warehouse with a merge memo configured) could reuse memoized
+  /// merge-tree nodes. The memoized path derives each node's RNG stream
+  /// from the node's partition-id set, so repeated identical queries return
+  /// the identical sample; tests that need independent randomness across
+  /// repeated queries (the uniformity property suite) set this flag.
+  bool disable_memoization = false;
 };
+
+/// Stable fingerprint of every MergeOptions field that can change the
+/// merged sample's bits for a fixed RNG stream: the footprint bound, the
+/// exceedance target, exact-vs-approximate rate solving, and whether an
+/// alias cache is wired in (alias-table sampling consumes the RNG
+/// differently from direct inversion). Memoized merge-tree nodes are keyed
+/// by this fingerprint so a cached node is never served to a query running
+/// under different merge semantics.
+uint64_t MergeOptionsFingerprint(const MergeOptions& options);
 
 /// Draws L, the number of elements a size-k simple random sample of
 /// D1 ∪ D2 takes from D1 (|D1| = n1, |D2| = n2): Eq. (2).

@@ -7,6 +7,7 @@
 #define SAMPWH_WAREHOUSE_IDS_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <tuple>
 
@@ -25,6 +26,17 @@ struct PartitionKey {
   bool operator<(const PartitionKey& other) const {
     return std::tie(dataset, partition) <
            std::tie(other.dataset, other.partition);
+  }
+};
+
+/// Hash functor for PartitionKey, usable with unordered containers and the
+/// sharded read-path caches (which re-mix the result for shard selection).
+struct PartitionKeyHash {
+  size_t operator()(const PartitionKey& key) const {
+    const size_t h = std::hash<DatasetId>{}(key.dataset);
+    // Boost-style combine.
+    return h ^ (std::hash<PartitionId>{}(key.partition) + 0x9e3779b97f4a7c15ULL +
+                (h << 6) + (h >> 2));
   }
 };
 

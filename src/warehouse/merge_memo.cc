@@ -1,0 +1,108 @@
+#include "src/warehouse/merge_memo.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sampwh {
+
+namespace {
+
+constexpr uint64_t kEntryOverheadBytes = 160;
+
+// FNV-1a over a byte range.
+uint64_t Fnv1a(uint64_t h, const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
+}  // namespace
+
+MergeMemo::MergeMemo(size_t num_shards, uint64_t byte_budget)
+    : cache_(num_shards, byte_budget) {}
+
+uint64_t MergeMemo::CurrentEpoch(const DatasetId& dataset) const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  const auto it = epochs_.find(dataset);
+  return it != epochs_.end() ? it->second : 0;
+}
+
+std::string MergeMemo::KeyFor(const DatasetId& dataset,
+                              std::span<const PartitionId> ids,
+                              uint64_t options_fingerprint, uint64_t epoch) {
+  std::string key;
+  key.reserve(dataset.size() + 1 + 2 * sizeof(uint64_t) +
+              ids.size() * sizeof(PartitionId));
+  key.append(dataset);
+  key.push_back('\0');
+  key.append(reinterpret_cast<const char*>(&options_fingerprint),
+             sizeof(options_fingerprint));
+  key.append(reinterpret_cast<const char*>(&epoch), sizeof(epoch));
+  key.append(reinterpret_cast<const char*>(ids.data()),
+             ids.size_bytes());
+  return key;
+}
+
+uint64_t MergeMemo::NodeStream(const DatasetId& dataset,
+                               std::span<const PartitionId> ids,
+                               uint64_t options_fingerprint) {
+  uint64_t h = Fnv1a(kFnvOffset, dataset.data(), dataset.size());
+  h = Fnv1a(h, &options_fingerprint, sizeof(options_fingerprint));
+  h = Fnv1a(h, ids.data(), ids.size_bytes());
+  return h;
+}
+
+std::shared_ptr<const PartitionSample> MergeMemo::Lookup(
+    const DatasetId& dataset, std::span<const PartitionId> ids,
+    uint64_t options_fingerprint, uint64_t epoch) {
+  std::shared_ptr<const MemoNode> node =
+      cache_.Lookup(KeyFor(dataset, ids, options_fingerprint, epoch));
+  if (node == nullptr) return nullptr;
+  // Aliasing pointer: shares ownership of the node, points at its sample.
+  return std::shared_ptr<const PartitionSample>(node, &node->sample);
+}
+
+void MergeMemo::Insert(const DatasetId& dataset,
+                       std::span<const PartitionId> ids,
+                       uint64_t options_fingerprint, uint64_t epoch,
+                       PartitionSample sample) {
+  auto node = std::make_shared<MemoNode>();
+  node->sample = std::move(sample);
+  node->dataset = dataset;
+  node->members.assign(ids.begin(), ids.end());
+  const uint64_t charge = node->sample.footprint_bytes() + dataset.size() +
+                          ids.size_bytes() + kEntryOverheadBytes;
+  cache_.Insert(KeyFor(dataset, ids, options_fingerprint, epoch),
+                std::move(node), charge);
+}
+
+size_t MergeMemo::InvalidatePartition(const DatasetId& dataset,
+                                      PartitionId partition) {
+  return cache_.EraseIf(
+      [&dataset, partition](const std::string&, const MemoNode& node) {
+        return node.dataset == dataset &&
+               std::binary_search(node.members.begin(), node.members.end(),
+                                  partition);
+      });
+}
+
+void MergeMemo::InvalidateDataset(const DatasetId& dataset) {
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    ++epochs_[dataset];
+  }
+  cache_.EraseIf([&dataset](const std::string&, const MemoNode& node) {
+    return node.dataset == dataset;
+  });
+}
+
+void MergeMemo::Clear() { cache_.Clear(); }
+
+CacheStats MergeMemo::Stats() const { return cache_.Stats(); }
+
+}  // namespace sampwh

@@ -1,0 +1,103 @@
+// MergeMemo: a sharded LRU cache of interior merge-tree nodes. A union
+// query over partitions {p1..pn} merges pairwise up a balanced tree; every
+// interior node is a uniform sample of the union of a contiguous range of
+// the canonically sorted partition-id set. Repeated or overlapping union
+// queries (a rolling window slides by one day but shares most partitions)
+// rebuild identical subtrees from scratch — this cache memoizes them.
+//
+// Keying. A node is identified by (dataset, canonical sorted partition-id
+// range, MergeOptions fingerprint, epoch). The node's RNG stream is derived
+// from the same identity (NodeStream), never from query history, so a
+// memoized node is bit-identical to what recomputation would produce: the
+// cache changes latency, never sampling semantics. The price is that
+// repeated identical queries return the identical realization — callers
+// needing independent randomness per query set
+// MergeOptions::disable_memoization.
+//
+// Invalidation. Roll-out / retention expiry of a partition eagerly evicts
+// every memoized node containing it (the member set is stored per entry).
+// Dataset drops bump the dataset's epoch — generation-based wholesale
+// invalidation, O(1) — and purge residual nodes for their bytes. Stale
+// nodes racing an eviction are unreachable: their key names a rolled-out
+// partition, and every query validates the catalog before merging.
+
+#ifndef SAMPWH_WAREHOUSE_MERGE_MEMO_H_
+#define SAMPWH_WAREHOUSE_MERGE_MEMO_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/sample.h"
+#include "src/util/sharded_cache.h"
+#include "src/warehouse/ids.h"
+
+namespace sampwh {
+
+class MergeMemo {
+ public:
+  MergeMemo(size_t num_shards, uint64_t byte_budget);
+
+  /// The current epoch of `dataset`; resolve it once per query, before any
+  /// node lookup, and pass it to every Lookup/Insert of that query.
+  uint64_t CurrentEpoch(const DatasetId& dataset) const;
+
+  /// The memoized merged sample of the node covering `ids` (canonically
+  /// sorted), or nullptr on miss / stale epoch.
+  std::shared_ptr<const PartitionSample> Lookup(
+      const DatasetId& dataset, std::span<const PartitionId> ids,
+      uint64_t options_fingerprint, uint64_t epoch);
+
+  /// Memoizes a computed node.
+  void Insert(const DatasetId& dataset, std::span<const PartitionId> ids,
+              uint64_t options_fingerprint, uint64_t epoch,
+              PartitionSample sample);
+
+  /// Evicts every memoized node whose member set contains `partition`
+  /// (roll-out, retention expiry). Nodes over sibling partitions survive —
+  /// that is what makes rolling-window queries reuse their shared
+  /// subtrees. Returns the number of nodes evicted.
+  size_t InvalidatePartition(const DatasetId& dataset, PartitionId partition);
+
+  /// Generation-based wholesale invalidation of one dataset (drop): bumps
+  /// the epoch so every outstanding node of the dataset is stale, then
+  /// purges them to release bytes.
+  void InvalidateDataset(const DatasetId& dataset);
+
+  /// Drops all nodes.
+  void Clear();
+
+  CacheStats Stats() const;
+  uint64_t byte_budget() const { return cache_.byte_budget(); }
+
+  /// Deterministic RNG stream id for the merge node over `ids`: a hash of
+  /// (dataset, ids, options fingerprint). Identical node identity across
+  /// queries — and across cold/warm runs — selects the identical stream,
+  /// which is what makes memoized and recomputed nodes bit-identical.
+  static uint64_t NodeStream(const DatasetId& dataset,
+                             std::span<const PartitionId> ids,
+                             uint64_t options_fingerprint);
+
+ private:
+  struct MemoNode {
+    PartitionSample sample;
+    DatasetId dataset;
+    std::vector<PartitionId> members;  // sorted
+  };
+
+  static std::string KeyFor(const DatasetId& dataset,
+                            std::span<const PartitionId> ids,
+                            uint64_t options_fingerprint, uint64_t epoch);
+
+  mutable std::mutex epoch_mu_;
+  std::unordered_map<DatasetId, uint64_t> epochs_;
+  ShardedLruCache<std::string, MemoNode> cache_;
+};
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_WAREHOUSE_MERGE_MEMO_H_

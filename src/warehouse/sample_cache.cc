@@ -1,0 +1,56 @@
+#include "src/warehouse/sample_cache.h"
+
+#include <utility>
+
+namespace sampwh {
+
+namespace {
+
+// Fixed per-entry overhead charged on top of the sample's histogram
+// footprint: key, LRU node and index bookkeeping.
+constexpr uint64_t kEntryOverheadBytes = 128;
+
+}  // namespace
+
+SampleCache::SampleCache(size_t num_shards, uint64_t byte_budget)
+    : cache_(num_shards, byte_budget) {}
+
+uint64_t SampleCache::CurrentEpoch(const DatasetId& dataset) const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  const auto it = epochs_.find(dataset);
+  return it != epochs_.end() ? it->second : 0;
+}
+
+std::shared_ptr<const PartitionSample> SampleCache::Lookup(
+    const DatasetId& dataset, uint64_t epoch, PartitionId partition) {
+  return cache_.Lookup(EpochKey{dataset, epoch, partition});
+}
+
+void SampleCache::Insert(const DatasetId& dataset, uint64_t epoch,
+                         PartitionId partition,
+                         std::shared_ptr<const PartitionSample> sample) {
+  const uint64_t charge =
+      sample->footprint_bytes() + dataset.size() + kEntryOverheadBytes;
+  cache_.Insert(EpochKey{dataset, epoch, partition}, std::move(sample),
+                charge);
+}
+
+void SampleCache::Invalidate(const DatasetId& dataset, PartitionId partition) {
+  cache_.Erase(EpochKey{dataset, CurrentEpoch(dataset), partition});
+}
+
+void SampleCache::InvalidateDataset(const DatasetId& dataset) {
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    ++epochs_[dataset];
+  }
+  cache_.EraseIf([&dataset](const EpochKey& key, const PartitionSample&) {
+    return key.dataset == dataset;
+  });
+}
+
+void SampleCache::Clear() { cache_.Clear(); }
+
+CacheStats SampleCache::Stats() const { return cache_.Stats(); }
+
+}  // namespace sampwh

@@ -1,6 +1,7 @@
 #include "src/warehouse/sample_store.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <filesystem>
 #include <utility>
 
@@ -21,24 +22,77 @@ Result<PartitionSample> DeserializeSample(const std::string& bytes) {
   return PartitionSample::DeserializeFrom(&reader);
 }
 
+bool IsSampleFileName(const std::string& name) {
+  constexpr std::string_view kSuffix = ".sample";
+  return name.size() > kSuffix.size() &&
+         name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) ==
+             0;
+}
+
 }  // namespace
+
+Result<std::vector<PartitionSample>> SampleStore::GetMany(
+    const std::vector<PartitionKey>& keys, ThreadPool* pool) const {
+  std::vector<PartitionSample> out(keys.size());
+  if (pool == nullptr || keys.size() < 2) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      SAMPWH_ASSIGN_OR_RETURN(out[i], Get(keys[i]));
+    }
+    return out;
+  }
+  // One task per key with private completion tracking — never
+  // ThreadPool::Wait, which would also wait on unrelated work sharing the
+  // pool (and deadlock if called from a pool task).
+  std::vector<Status> statuses(keys.size(), Status::OK());
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t remaining = keys.size();
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    tasks.push_back([&, i] {
+      Result<PartitionSample> r = Get(keys[i]);
+      if (r.ok()) {
+        out[i] = std::move(r).value();
+      } else {
+        statuses[i] = r.status();
+      }
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--remaining == 0) done_cv.notify_all();
+    });
+  }
+  pool->SubmitBatch(std::move(tasks));
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+  for (const Status& status : statuses) SAMPWH_RETURN_IF_ERROR(status);
+  return out;
+}
 
 Status InMemorySampleStore::Put(const PartitionKey& key,
                                 const PartitionSample& sample) {
   SAMPWH_RETURN_IF_ERROR(sample.Validate());
+  std::string bytes = SerializeSample(sample);
   std::lock_guard<std::mutex> lock(mu_);
-  samples_[key] = SerializeSample(sample);
+  samples_[key] = std::move(bytes);
   return Status::OK();
 }
 
 Result<PartitionSample> InMemorySampleStore::Get(
     const PartitionKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = samples_.find(key);
-  if (it == samples_.end()) {
-    return Status::NotFound("no sample for partition");
+  // Copy the serialized form under the lock, deserialize outside it, so
+  // concurrent GetMany fetches overlap the (dominant) decode work.
+  std::string bytes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = samples_.find(key);
+    if (it == samples_.end()) {
+      return Status::NotFound("no sample for partition");
+    }
+    bytes = it->second;
   }
-  return DeserializeSample(it->second);
+  return DeserializeSample(bytes);
 }
 
 Status InMemorySampleStore::Delete(const PartitionKey& key) {
@@ -86,20 +140,40 @@ std::string FileSampleStore::PathFor(const PartitionKey& key) const {
          std::to_string(key.partition) + ".sample";
 }
 
+size_t FileSampleStore::StripeIndexForTesting(const PartitionKey& key) {
+  return PartitionKeyHash{}(key) % kLockStripes;
+}
+
+std::mutex& FileSampleStore::StripeFor(const PartitionKey& key) const {
+  return stripes_[PartitionKeyHash{}(key) % kLockStripes];
+}
+
+void FileSampleStore::SetReadHookForTesting(
+    std::function<void(const PartitionKey&)> hook) {
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  read_hook_ = std::move(hook);
+}
+
 Status FileSampleStore::Put(const PartitionKey& key,
                             const PartitionSample& sample) {
   SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(key.dataset));
   SAMPWH_RETURN_IF_ERROR(sample.Validate());
   const std::string bytes = SerializeSample(sample);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(StripeFor(key));
   return WriteFileAtomic(PathFor(key), bytes);
 }
 
 Result<PartitionSample> FileSampleStore::Get(const PartitionKey& key) const {
   SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(key.dataset));
+  std::function<void(const PartitionKey&)> hook;
+  {
+    std::lock_guard<std::mutex> lock(hook_mu_);
+    hook = read_hook_;
+  }
   std::string bytes;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(StripeFor(key));
+    if (hook) hook(key);
     SAMPWH_RETURN_IF_ERROR(ReadFile(PathFor(key), &bytes));
   }
   return DeserializeSample(bytes);
@@ -107,7 +181,7 @@ Result<PartitionSample> FileSampleStore::Get(const PartitionKey& key) const {
 
 Status FileSampleStore::Delete(const PartitionKey& key) {
   SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(key.dataset));
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(StripeFor(key));
   std::error_code ec;
   if (!std::filesystem::remove(PathFor(key), ec) || ec) {
     return Status::NotFound("no sample file for partition");
@@ -118,7 +192,9 @@ Status FileSampleStore::Delete(const PartitionKey& key) {
 Result<std::vector<PartitionId>> FileSampleStore::List(
     const DatasetId& dataset) const {
   SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(dataset));
-  std::lock_guard<std::mutex> lock(mu_);
+  // Lock-free: the directory scan relies on the filesystem's own atomicity
+  // (atomic-replace Puts and unlink Deletes), so a List never blocks — or
+  // is blocked by — reads and writes of individual samples.
   std::vector<PartitionId> ids;
   const std::string prefix = dataset + ".";
   std::error_code ec;
@@ -142,6 +218,20 @@ Result<std::vector<PartitionId>> FileSampleStore::List(
   if (ec) return Status::IOError("cannot list " + directory_);
   std::sort(ids.begin(), ids.end());
   return ids;
+}
+
+uint64_t FileSampleStore::TotalStoredBytes() const {
+  uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (!IsSampleFileName(name)) continue;
+    const auto size = entry.file_size(ec);
+    if (!ec) total += size;
+  }
+  return total;
 }
 
 }  // namespace sampwh

@@ -3,10 +3,18 @@
 // roll-out deletes it, queries read subsets back for merging. Two backends:
 // an in-memory map for tests and simulations, and a directory of one file
 // per sample with atomic replace for durability.
+//
+// Read-path concurrency: Get never holds a lock across deserialization, and
+// the file backend stripes its locking per key, so concurrent Gets of
+// different partitions do parallel IO. GetMany overlays deserialization
+// across partitions on a caller-provided thread pool — the warehouse query
+// path uses it to prefetch every partition of a union query at once.
 
 #ifndef SAMPWH_WAREHOUSE_SAMPLE_STORE_H_
 #define SAMPWH_WAREHOUSE_SAMPLE_STORE_H_
 
+#include <array>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -14,6 +22,7 @@
 #include <vector>
 
 #include "src/core/sample.h"
+#include "src/util/thread_pool.h"
 #include "src/warehouse/ids.h"
 
 namespace sampwh {
@@ -29,12 +38,26 @@ class SampleStore {
   /// Loads the sample for `key`; NotFound if absent.
   virtual Result<PartitionSample> Get(const PartitionKey& key) const = 0;
 
+  /// Loads the samples for `keys`, in order; fails on the first missing
+  /// key. With a pool, fetches run as one task per key so file reads and
+  /// deserialization overlap across partitions (both backends allow
+  /// concurrent Gets of different keys). Must not be called from a task
+  /// already running on `pool`.
+  virtual Result<std::vector<PartitionSample>> GetMany(
+      const std::vector<PartitionKey>& keys, ThreadPool* pool = nullptr) const;
+
   /// Removes the sample for `key`; NotFound if absent.
   virtual Status Delete(const PartitionKey& key) = 0;
 
   /// All partition ids stored for `dataset`, ascending.
   virtual Result<std::vector<PartitionId>> List(
       const DatasetId& dataset) const = 0;
+
+  /// Total serialized footprint currently held (bytes of sample payloads;
+  /// on-disk payload bytes for the file backend). Both backends report the
+  /// same value for the same stored content, so footprint assertions run
+  /// backend-agnostically.
+  virtual uint64_t TotalStoredBytes() const = 0;
 };
 
 /// Map-backed store; thread-safe.
@@ -45,10 +68,7 @@ class InMemorySampleStore : public SampleStore {
   Status Delete(const PartitionKey& key) override;
   Result<std::vector<PartitionId>> List(
       const DatasetId& dataset) const override;
-
-  /// Total serialized footprint currently held (bytes of sample payloads);
-  /// lets tests assert the warehouse-wide storage behavior.
-  uint64_t TotalStoredBytes() const;
+  uint64_t TotalStoredBytes() const override;
 
  private:
   mutable std::mutex mu_;
@@ -56,7 +76,9 @@ class InMemorySampleStore : public SampleStore {
 };
 
 /// One file per sample under `directory` (created if missing), written with
-/// atomic replace; thread-safe.
+/// atomic replace; thread-safe. Locking is striped per key: operations on
+/// keys hashed to different stripes run fully concurrently, so a slow read
+/// of one partition never blocks reads of others.
 class FileSampleStore : public SampleStore {
  public:
   static Result<std::unique_ptr<FileSampleStore>> Open(
@@ -67,13 +89,30 @@ class FileSampleStore : public SampleStore {
   Status Delete(const PartitionKey& key) override;
   Result<std::vector<PartitionId>> List(
       const DatasetId& dataset) const override;
+  uint64_t TotalStoredBytes() const override;
+
+  /// Test-only fault-injection hook, invoked inside Get while the key's
+  /// lock stripe is held (after validation, before the file read). A hook
+  /// that blocks stalls exactly one stripe; the concurrency regression
+  /// test uses a rendezvous hook to prove Gets of different stripes make
+  /// progress simultaneously.
+  void SetReadHookForTesting(std::function<void(const PartitionKey&)> hook);
+
+  /// Which of the kLockStripes stripes `key` locks; lets tests pick keys
+  /// guaranteed to use distinct stripes.
+  static size_t StripeIndexForTesting(const PartitionKey& key);
 
  private:
+  static constexpr size_t kLockStripes = 32;
+
   explicit FileSampleStore(std::string directory);
 
   std::string PathFor(const PartitionKey& key) const;
+  std::mutex& StripeFor(const PartitionKey& key) const;
 
-  mutable std::mutex mu_;
+  mutable std::array<std::mutex, kLockStripes> stripes_;
+  mutable std::mutex hook_mu_;
+  std::function<void(const PartitionKey&)> read_hook_;
   std::string directory_;
 };
 

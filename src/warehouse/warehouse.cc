@@ -30,6 +30,14 @@ Warehouse::Warehouse(const WarehouseOptions& options,
   if (options_.worker_threads > 0) {
     pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
   }
+  if (options_.sample_cache_bytes > 0) {
+    sample_cache_ = std::make_unique<SampleCache>(
+        options_.cache_shards, options_.sample_cache_bytes);
+  }
+  if (options_.merge_memo_bytes > 0) {
+    merge_memo_ = std::make_unique<MergeMemo>(options_.cache_shards,
+                                              options_.merge_memo_bytes);
+  }
 }
 
 Warehouse::Warehouse(const WarehouseOptions& options)
@@ -77,6 +85,10 @@ Status Warehouse::DropDataset(const DatasetId& id) {
   }
   sampler_overrides_.erase(id);
   dataset_mu_.erase(id);
+  // Epoch-bump both caches: a recreated dataset reuses partition ids from
+  // 0, so pre-drop entries must become unreachable, not merely evicted.
+  if (sample_cache_ != nullptr) sample_cache_->InvalidateDataset(id);
+  if (merge_memo_ != nullptr) merge_memo_->InvalidateDataset(id);
   return catalog_.DropDataset(id);
 }
 
@@ -140,6 +152,12 @@ Result<PartitionId> Warehouse::RollIn(const DatasetId& dataset,
     store_->Delete(PartitionKey{dataset, id});
     return status;
   }
+  if (sample_cache_ != nullptr) {
+    // Write-through: a freshly rolled-in partition is the one queries are
+    // about to merge, so cache its deserialized form immediately.
+    sample_cache_->Insert(dataset, sample_cache_->CurrentEpoch(dataset), id,
+                          std::make_shared<const PartitionSample>(sample));
+  }
   return id;
 }
 
@@ -149,6 +167,13 @@ Status Warehouse::RollOut(const DatasetId& dataset, PartitionId partition) {
   std::shared_lock<std::shared_mutex> lock(mu_);
   std::lock_guard<std::mutex> dlock(*dataset_mu);
   SAMPWH_RETURN_IF_ERROR(catalog_.RemovePartition(dataset, partition));
+  // Strict invalidation: the partition's cached sample and every memoized
+  // merge node containing it go with the catalog entry, so no future read
+  // can observe rolled-out state.
+  if (sample_cache_ != nullptr) sample_cache_->Invalidate(dataset, partition);
+  if (merge_memo_ != nullptr) {
+    merge_memo_->InvalidatePartition(dataset, partition);
+  }
   return store_->Delete(PartitionKey{dataset, partition});
 }
 
@@ -205,7 +230,20 @@ Result<PartitionSample> Warehouse::GetSample(const DatasetId& dataset,
     SAMPWH_RETURN_IF_ERROR(
         catalog_.GetPartition(dataset, partition).status());
   }
-  return store_->Get(PartitionKey{dataset, partition});
+  if (sample_cache_ == nullptr) {
+    return store_->Get(PartitionKey{dataset, partition});
+  }
+  // Resolve the epoch before the store fetch: an insertion racing a
+  // dataset drop then lands under the stale epoch and is unreachable.
+  const uint64_t epoch = sample_cache_->CurrentEpoch(dataset);
+  if (auto cached = sample_cache_->Lookup(dataset, epoch, partition)) {
+    return *cached;
+  }
+  SAMPWH_ASSIGN_OR_RETURN(PartitionSample sample,
+                          store_->Get(PartitionKey{dataset, partition}));
+  auto shared = std::make_shared<const PartitionSample>(std::move(sample));
+  sample_cache_->Insert(dataset, epoch, partition, shared);
+  return *shared;
 }
 
 Result<std::vector<PartitionId>> Warehouse::IngestBatch(
@@ -286,21 +324,118 @@ Result<std::vector<PartitionId>> Warehouse::IngestBatch(
   return ids;
 }
 
+Result<std::vector<std::shared_ptr<const PartitionSample>>>
+Warehouse::FetchSamples(const DatasetId& dataset,
+                        std::span<const PartitionId> ids) {
+  std::vector<std::shared_ptr<const PartitionSample>> samples(ids.size());
+  if (sample_cache_ == nullptr) {
+    std::vector<PartitionKey> keys;
+    keys.reserve(ids.size());
+    for (const PartitionId id : ids) {
+      keys.push_back(PartitionKey{dataset, id});
+    }
+    SAMPWH_ASSIGN_OR_RETURN(std::vector<PartitionSample> fetched,
+                            store_->GetMany(keys, pool_.get()));
+    for (size_t i = 0; i < fetched.size(); ++i) {
+      samples[i] =
+          std::make_shared<const PartitionSample>(std::move(fetched[i]));
+    }
+    return samples;
+  }
+  // Resolve the epoch before any store fetch so that samples inserted after
+  // a racing dataset drop land under the stale epoch and stay unreachable.
+  const uint64_t epoch = sample_cache_->CurrentEpoch(dataset);
+  std::vector<PartitionKey> missing;
+  std::vector<size_t> missing_pos;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    samples[i] = sample_cache_->Lookup(dataset, epoch, ids[i]);
+    if (samples[i] == nullptr) {
+      missing.push_back(PartitionKey{dataset, ids[i]});
+      missing_pos.push_back(i);
+    }
+  }
+  if (!missing.empty()) {
+    SAMPWH_ASSIGN_OR_RETURN(std::vector<PartitionSample> fetched,
+                            store_->GetMany(missing, pool_.get()));
+    for (size_t m = 0; m < fetched.size(); ++m) {
+      auto shared =
+          std::make_shared<const PartitionSample>(std::move(fetched[m]));
+      sample_cache_->Insert(dataset, epoch, missing[m].partition, shared);
+      samples[missing_pos[m]] = std::move(shared);
+    }
+  }
+  return samples;
+}
+
+Result<PartitionSample> Warehouse::MergeMemoized(
+    const DatasetId& dataset, std::span<const PartitionId> ids,
+    std::span<const std::shared_ptr<const PartitionSample>> leaves,
+    const MergeOptions& merge_options, uint64_t options_fingerprint,
+    uint64_t memo_epoch) {
+  if (ids.size() == 1) return *leaves[0];
+  if (auto cached =
+          merge_memo_->Lookup(dataset, ids, options_fingerprint, memo_epoch)) {
+    return *cached;
+  }
+  const size_t half = ids.size() / 2;
+  SAMPWH_ASSIGN_OR_RETURN(
+      PartitionSample left,
+      MergeMemoized(dataset, ids.subspan(0, half), leaves.subspan(0, half),
+                    merge_options, options_fingerprint, memo_epoch));
+  SAMPWH_ASSIGN_OR_RETURN(
+      PartitionSample right,
+      MergeMemoized(dataset, ids.subspan(half), leaves.subspan(half),
+                    merge_options, options_fingerprint, memo_epoch));
+  // The node's randomness is a pure function of its identity — never of
+  // query history — so a recomputation after eviction reproduces the node
+  // bit-identically.
+  Pcg64 rng(options_.seed ^ 0x4D454D4FULL,
+            MergeMemo::NodeStream(dataset, ids, options_fingerprint));
+  SAMPWH_ASSIGN_OR_RETURN(PartitionSample merged,
+                          MergeSamples(left, right, merge_options, rng));
+  merge_memo_->Insert(dataset, ids, options_fingerprint, memo_epoch, merged);
+  return merged;
+}
+
 Result<PartitionSample> Warehouse::MergeByIds(
     const DatasetId& dataset, const std::vector<PartitionId>& parts) {
   if (parts.empty()) {
     return Status::InvalidArgument("no partitions to merge");
   }
-  std::vector<PartitionSample> samples;
-  samples.reserve(parts.size());
-  for (const PartitionId id : parts) {
-    SAMPWH_ASSIGN_OR_RETURN(PartitionSample s,
-                            store_->Get(PartitionKey{dataset, id}));
-    samples.push_back(std::move(s));
+  MergeOptions merge_options = options_.merge;
+  if (options_.cache_alias_tables) {
+    merge_options.alias_cache = &alias_cache_;
   }
+
+  const bool memoize =
+      merge_memo_ != nullptr && !merge_options.disable_memoization;
+  if (memoize) {
+    // Canonical node identity: the sorted partition-id set. Queries naming
+    // the same set in any order share memoized subtrees.
+    std::vector<PartitionId> sorted(parts);
+    std::sort(sorted.begin(), sorted.end());
+    const uint64_t fingerprint = MergeOptionsFingerprint(merge_options);
+    const uint64_t memo_epoch = merge_memo_->CurrentEpoch(dataset);
+    if (sorted.size() > 1) {
+      // Root shortcut: a fully memoized query skips the leaf fetch too.
+      if (auto cached =
+              merge_memo_->Lookup(dataset, sorted, fingerprint, memo_epoch)) {
+        return *cached;
+      }
+    }
+    SAMPWH_ASSIGN_OR_RETURN(
+        std::vector<std::shared_ptr<const PartitionSample>> leaves,
+        FetchSamples(dataset, sorted));
+    return MergeMemoized(dataset, sorted, leaves, merge_options, fingerprint,
+                         memo_epoch);
+  }
+
+  SAMPWH_ASSIGN_OR_RETURN(
+      std::vector<std::shared_ptr<const PartitionSample>> samples,
+      FetchSamples(dataset, parts));
   std::vector<const PartitionSample*> pointers;
   pointers.reserve(samples.size());
-  for (const PartitionSample& s : samples) pointers.push_back(&s);
+  for (const auto& s : samples) pointers.push_back(s.get());
 
   // Merge on a private RNG stream so long merges never hold a warehouse
   // lock; the alias cache is internally synchronized.
@@ -308,10 +443,6 @@ Result<PartitionSample> Warehouse::MergeByIds(
   {
     std::lock_guard<std::mutex> lock(rng_mu_);
     merge_rng = rng_.Fork(0x4D52);
-  }
-  MergeOptions merge_options = options_.merge;
-  if (options_.cache_alias_tables) {
-    merge_options.alias_cache = &alias_cache_;
   }
   if (options_.merge_strategy == MergeStrategy::kParallelTree) {
     return MergeAllParallel(pointers, merge_options, merge_rng, pool_.get());
@@ -355,6 +486,18 @@ Result<PartitionSample> Warehouse::MergedSampleInTimeRange(
 Pcg64 Warehouse::ForkRng() {
   std::lock_guard<std::mutex> lock(rng_mu_);
   return rng_.Fork(0xF02C);
+}
+
+WarehouseCacheStats Warehouse::GetCacheStats() const {
+  WarehouseCacheStats stats;
+  if (sample_cache_ != nullptr) stats.sample_cache = sample_cache_->Stats();
+  if (merge_memo_ != nullptr) stats.merge_memo = merge_memo_->Stats();
+  return stats;
+}
+
+void Warehouse::InvalidateCaches() {
+  if (sample_cache_ != nullptr) sample_cache_->Clear();
+  if (merge_memo_ != nullptr) merge_memo_->Clear();
 }
 
 Status Warehouse::SaveManifest(const std::string& path) const {

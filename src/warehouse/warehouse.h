@@ -10,16 +10,20 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <span>
 #include <vector>
 
 #include "src/core/any_sampler.h"
 #include "src/core/merge.h"
 #include "src/core/sample.h"
 #include "src/util/random.h"
+#include "src/util/sharded_cache.h"
 #include "src/util/thread_pool.h"
 #include "src/warehouse/catalog.h"
 #include "src/warehouse/ids.h"
+#include "src/warehouse/merge_memo.h"
 #include "src/warehouse/retention.h"
+#include "src/warehouse/sample_cache.h"
 #include "src/warehouse/sample_store.h"
 
 namespace sampwh {
@@ -37,10 +41,34 @@ struct WarehouseOptions {
   bool cache_alias_tables = false;
   /// When > 0, the warehouse owns a ThreadPool of this many workers and
   /// uses it for multi-partition IngestBatch calls (unless the caller
-  /// passes an explicit pool) and for kParallelTree merges.
+  /// passes an explicit pool), for kParallelTree merges, and to prefetch
+  /// the partitions of a union query in parallel (SampleStore::GetMany).
   size_t worker_threads = 0;
+  /// Byte budget of the deserialized-sample read cache in front of the
+  /// sample store; 0 disables it. The cache is semantically invisible: a
+  /// cached read is bit-identical to a store read (strict invalidation on
+  /// roll-out / retention / drop), it only removes store IO and
+  /// deserialization from warm reads.
+  uint64_t sample_cache_bytes = 64ull << 20;
+  /// Byte budget of the memoized merge-tree node cache; 0 (the default)
+  /// disables memoization. When enabled, every merge node draws from an
+  /// RNG stream derived from its (dataset, partition-id set, merge
+  /// options) identity, so query results are deterministic for a given
+  /// seed and warm queries are bit-identical to cold ones — repeated
+  /// identical queries return the identical sample. Callers that need
+  /// independent randomness across repeated queries (uniformity property
+  /// tests) set merge.disable_memoization instead of re-deriving seeds.
+  uint64_t merge_memo_bytes = 0;
+  /// Shard count for the read-path caches (rounded to a power of two).
+  size_t cache_shards = 16;
   /// Seed for all sampling/merging randomness in this warehouse.
   uint64_t seed = 0x5157313136ULL;
+};
+
+/// Counters of the two read-path caches (zeroed structs when disabled).
+struct WarehouseCacheStats {
+  CacheStats sample_cache;
+  CacheStats merge_memo;
 };
 
 class Warehouse {
@@ -135,6 +163,19 @@ class Warehouse {
   /// samplers that will roll their results in.
   Pcg64 ForkRng();
 
+  // --- Read-path caches ---------------------------------------------------
+
+  /// Hit/miss/eviction counters and current residency of the sample cache
+  /// and the merge memo.
+  WarehouseCacheStats GetCacheStats() const;
+
+  /// Drops every cached sample and memoized merge node. Queries after an
+  /// invalidation recompute from the store and — with memoization enabled —
+  /// produce bit-identical results, since merge RNG streams derive from
+  /// query identity, not cache state. Call this when the backing store is
+  /// mutated externally (outside this Warehouse's roll-in/roll-out).
+  void InvalidateCaches();
+
   // --- Durability ---------------------------------------------------------
 
   /// Writes the catalog (datasets, partition metadata, id allocators) to
@@ -152,6 +193,18 @@ class Warehouse {
  private:
   Result<PartitionSample> MergeByIds(const DatasetId& dataset,
                                      const std::vector<PartitionId>& parts);
+  /// Recursive memoized balanced-tree merge over the canonically sorted
+  /// `ids` (leaves[i] is the stored sample of ids[i]).
+  Result<PartitionSample> MergeMemoized(
+      const DatasetId& dataset, std::span<const PartitionId> ids,
+      std::span<const std::shared_ptr<const PartitionSample>> leaves,
+      const MergeOptions& merge_options, uint64_t options_fingerprint,
+      uint64_t memo_epoch);
+  /// Fetches the samples for `ids` in order, through the sample cache when
+  /// configured (misses prefetched in parallel via SampleStore::GetMany on
+  /// the warehouse pool).
+  Result<std::vector<std::shared_ptr<const PartitionSample>>> FetchSamples(
+      const DatasetId& dataset, std::span<const PartitionId> ids);
   /// The per-dataset mutex for `dataset` (NotFound when it does not
   /// exist). Must be called without mu_ held.
   Result<std::shared_ptr<std::mutex>> DatasetMutex(
@@ -160,6 +213,8 @@ class Warehouse {
   WarehouseOptions options_;
   std::unique_ptr<SampleStore> store_;
   std::unique_ptr<ThreadPool> pool_;  // when options_.worker_threads > 0
+  std::unique_ptr<SampleCache> sample_cache_;  // when sample_cache_bytes > 0
+  std::unique_ptr<MergeMemo> merge_memo_;      // when merge_memo_bytes > 0
 
   // Locking model. `mu_` guards the catalog *structure* (which datasets
   // exist), sampler_overrides_, and dataset_mu_; dataset creation/drop and

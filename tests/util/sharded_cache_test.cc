@@ -1,0 +1,142 @@
+#include "src/util/sharded_cache.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sampwh {
+namespace {
+
+using Cache = ShardedLruCache<std::string, int>;
+
+std::shared_ptr<const int> Val(int v) { return std::make_shared<const int>(v); }
+
+TEST(ShardedCacheTest, LookupMissThenHit) {
+  Cache cache(4, 1 << 20);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  cache.Insert("a", Val(1), 10);
+  const auto got = cache.Lookup("a");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, 1);
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, 10u);
+}
+
+TEST(ShardedCacheTest, InsertReplacesAndAdjustsBytes) {
+  Cache cache(1, 1 << 20);
+  cache.Insert("a", Val(1), 100);
+  cache.Insert("a", Val(2), 30);
+  EXPECT_EQ(*cache.Lookup("a"), 2);
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, 30u);
+}
+
+TEST(ShardedCacheTest, EvictsLeastRecentlyUsedOverBudget) {
+  // One shard so the LRU order is global and the budget exact.
+  Cache cache(1, 100);
+  cache.Insert("a", Val(1), 40);
+  cache.Insert("b", Val(2), 40);
+  ASSERT_NE(cache.Lookup("a"), nullptr);  // freshen "a"; "b" is now LRU
+  cache.Insert("c", Val(3), 40);          // 120 > 100: evict "b"
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+  EXPECT_LE(cache.Stats().bytes, 100u);
+}
+
+TEST(ShardedCacheTest, OversizedEntryDoesNotStick) {
+  Cache cache(1, 50);
+  cache.Insert("huge", Val(1), 500);
+  EXPECT_EQ(cache.Lookup("huge"), nullptr);
+  EXPECT_EQ(cache.Stats().bytes, 0u);
+}
+
+TEST(ShardedCacheTest, ValueSurvivesEviction) {
+  // shared_ptr semantics: a reader keeps its value alive across eviction.
+  Cache cache(1, 100);
+  cache.Insert("a", Val(7), 60);
+  const auto held = cache.Lookup("a");
+  cache.Insert("b", Val(8), 60);  // evicts "a"
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(*held, 7);
+}
+
+TEST(ShardedCacheTest, EraseAndEraseIf) {
+  Cache cache(4, 1 << 20);
+  cache.Insert("keep", Val(1), 1);
+  cache.Insert("drop1", Val(2), 1);
+  cache.Insert("drop2", Val(3), 1);
+  EXPECT_TRUE(cache.Erase("drop1"));
+  EXPECT_FALSE(cache.Erase("drop1"));
+  const size_t erased = cache.EraseIf(
+      [](const std::string& key, const int&) { return key[0] == 'd'; });
+  EXPECT_EQ(erased, 1u);
+  EXPECT_NE(cache.Lookup("keep"), nullptr);
+  EXPECT_EQ(cache.Lookup("drop2"), nullptr);
+  EXPECT_EQ(cache.Stats().invalidations, 2u);
+}
+
+TEST(ShardedCacheTest, ClearKeepsCumulativeCounters) {
+  Cache cache(4, 1 << 20);
+  cache.Insert("a", Val(1), 5);
+  ASSERT_NE(cache.Lookup("a"), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.hits, 1u);        // survives Clear
+  EXPECT_EQ(stats.insertions, 1u);  // survives Clear
+  EXPECT_EQ(stats.invalidations, 1u);
+}
+
+TEST(ShardedCacheTest, ShardCountNormalization) {
+  EXPECT_EQ(cache_internal::NormalizeShardCount(0), 1u);
+  EXPECT_EQ(cache_internal::NormalizeShardCount(1), 1u);
+  EXPECT_EQ(cache_internal::NormalizeShardCount(3), 4u);
+  EXPECT_EQ(cache_internal::NormalizeShardCount(16), 16u);
+  EXPECT_EQ(cache_internal::NormalizeShardCount(17), 32u);
+  EXPECT_EQ(cache_internal::NormalizeShardCount(100000), 256u);
+}
+
+TEST(ShardedCacheTest, ConcurrentMixedOperationsStayConsistent) {
+  Cache cache(8, 1 << 16);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key = "k" + std::to_string((t * 7 + i) % 64);
+        switch (i % 4) {
+          case 0:
+            cache.Insert(key, Val(i), 16);
+            break;
+          case 1:
+          case 2:
+            cache.Lookup(key);
+            break;
+          default:
+            cache.Erase(key);
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread / 2);
+  EXPECT_LE(stats.bytes, uint64_t{1} << 16);
+}
+
+}  // namespace
+}  // namespace sampwh
