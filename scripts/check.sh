@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
 # Full local verification: an optimized build plus an ASan/UBSan build,
-# each running the whole ctest suite. Usage:
+# each running the whole ctest suite, plus the concurrency smoke tiers.
+# Usage:
 #
-#   scripts/check.sh            # both configurations
+#   scripts/check.sh            # optimized + ASan/UBSan configurations
 #   scripts/check.sh --fast     # optimized configuration only
+#   scripts/check.sh --tsan     # ThreadSanitizer build, concurrency and
+#                               # stress tests only (slow; run separately)
+#
+# STRESS_SOAK=1 scripts/check.sh additionally runs the long stress soak
+# (~30 s) in the optimized tree after the test suites.
 #
 # Build trees go to build-check/<config> so the default build/ tree is
 # left alone.
@@ -12,10 +18,16 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-fast=0
-if [[ "${1:-}" == "--fast" ]]; then
-  fast=1
-fi
+mode="full"
+case "${1:-}" in
+  --fast) mode="fast" ;;
+  --tsan) mode="tsan" ;;
+  "") ;;
+  *)
+    echo "usage: scripts/check.sh [--fast|--tsan]" >&2
+    exit 2
+    ;;
+esac
 
 run_config() {
   local name="$1"
@@ -29,9 +41,35 @@ run_config() {
   ctest --test-dir "${dir}" --output-on-failure -j "$(nproc)"
 }
 
+if [[ "${mode}" == "tsan" ]]; then
+  # ThreadSanitizer pass over the concurrency-sensitive surface: the
+  # gtest binaries covering the store/cache/warehouse layers plus the
+  # stress smoke. gtest binaries exit nonzero on failure, and TSan with
+  # halt_on_error aborts on the first race, so plain invocation gates.
+  dir="build-check/tsan"
+  echo "=== [tsan] configure ==="
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+  echo "=== [tsan] build ==="
+  cmake --build "${dir}" -j "$(nproc)" --target \
+    sampwh_util_test sampwh_warehouse_test sampwh_integration_test \
+    stress_runner
+  export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+  for bin in sampwh_util_test sampwh_warehouse_test sampwh_integration_test; do
+    echo "=== [tsan] ${bin} ==="
+    "${dir}/tests/${bin}"
+  done
+  echo "=== [tsan] stress smoke ==="
+  "${dir}/tests/stress_runner" --smoke
+  echo "All TSan checks passed."
+  exit 0
+fi
+
 run_config relwithdebinfo -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
-if [[ "${fast}" -eq 0 ]]; then
+if [[ "${mode}" == "full" ]]; then
   run_config asan \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
@@ -43,5 +81,17 @@ fi
 # and fails if the warm speedup regresses below its gate.
 echo "=== [relwithdebinfo] query bench (smoke) ==="
 (cd build-check/relwithdebinfo/bench && ./bench_query_throughput --smoke)
+
+# Fault-injection stress smoke (~2 s): seeded concurrent
+# ingest/query/roll-out rounds against an injected store, checking the
+# no-stale-cache / footprint / warm-identity / crash-recovery invariants.
+# The ctest suite already ran it once; this prints its round summary.
+echo "=== [relwithdebinfo] stress smoke ==="
+build-check/relwithdebinfo/tests/stress_runner --smoke
+
+if [[ "${STRESS_SOAK:-0}" != "0" ]]; then
+  echo "=== [relwithdebinfo] stress soak ==="
+  build-check/relwithdebinfo/tests/stress_runner --soak
+fi
 
 echo "All checks passed."

@@ -1,0 +1,114 @@
+#include "src/testing/fault_injector.h"
+
+namespace sampwh {
+
+std::string_view FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kIOError:
+      return "io-error";
+    case FaultKind::kTornWrite:
+      return "torn-write";
+    case FaultKind::kCrashBeforeRename:
+      return "crash-before-rename";
+    case FaultKind::kCorruptRead:
+      return "corrupt-read";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(uint64_t seed) : rng_(seed, 0xFA17ULL) {}
+
+void FaultInjector::Arm(const std::string& site, FaultKind kind,
+                        uint64_t count, uint64_t skip) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  state.kind = kind;
+  state.count = count;
+  state.skip = skip;
+  state.probability = 0.0;
+}
+
+void FaultInjector::ArmRandom(const std::string& site, FaultKind kind,
+                              double probability) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  state.kind = kind;
+  state.count = 0;
+  state.skip = 0;
+  state.probability = probability;
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return;
+  it->second.kind = FaultKind::kNone;
+  it->second.count = 0;
+  it->second.skip = 0;
+  it->second.probability = 0.0;
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [site, state] : sites_) {
+    state.kind = FaultKind::kNone;
+    state.count = 0;
+    state.skip = 0;
+    state.probability = 0.0;
+  }
+}
+
+FaultKind FaultInjector::Next(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  ++state.hits;
+  if (state.kind == FaultKind::kNone) return FaultKind::kNone;
+  if (state.probability > 0.0) {
+    if (!rng_.Bernoulli(state.probability)) return FaultKind::kNone;
+    ++state.fired;
+    return state.kind;
+  }
+  if (state.skip > 0) {
+    --state.skip;
+    return FaultKind::kNone;
+  }
+  if (state.count == 0) return FaultKind::kNone;
+  --state.count;
+  ++state.fired;
+  return state.kind;
+}
+
+uint64_t FaultInjector::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjector::FiredCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fired;
+}
+
+uint64_t FaultInjector::TotalFired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [site, state] : sites_) total += state.fired;
+  return total;
+}
+
+size_t FaultInjector::TornPrefixLength(size_t total_bytes) {
+  if (total_bytes < 2) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return 1 + static_cast<size_t>(rng_.UniformInt(total_bytes - 1));
+}
+
+size_t FaultInjector::CorruptByteIndex(size_t total_bytes) {
+  if (total_bytes == 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<size_t>(rng_.UniformInt(total_bytes));
+}
+
+}  // namespace sampwh

@@ -1,0 +1,106 @@
+// Seeded fault injection for the persistence path. Production code is
+// instrumented at NAMED SITES (a string per operation class); a test arms a
+// site with a fault kind and the instrumented code applies the fault on its
+// next hits. Faults are either deterministic ("fail the next 2 writes") or
+// probabilistic with a seeded RNG ("fail ~1% of reads"), so every failing
+// schedule is reproducible from the injector seed.
+//
+// The injector is linked into both sample-store backends and the warehouse
+// prefetch path; with no sites armed every hit is a single mutex-guarded
+// map probe, so the hooks stay in production builds.
+
+#ifndef SAMPWH_TESTING_FAULT_INJECTOR_H_
+#define SAMPWH_TESTING_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/util/random.h"
+
+namespace sampwh {
+
+/// What happens at an armed injection site.
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  /// The operation fails with Status::IOError and leaves no side effects —
+  /// a transient environmental fault (EIO, ENOSPC). Retry-safe.
+  kIOError = 1,
+  /// A write persists only a prefix of its bytes and then the process
+  /// "crashes": the destination file is replaced by the torn prefix and the
+  /// operation reports IOError. Must NOT be retried — the tear is left
+  /// behind for Recover() to quarantine.
+  kTornWrite = 2,
+  /// A write stops before its atomic rename: the temp file is left behind,
+  /// the destination is untouched, the operation reports IOError. Recover()
+  /// drops the orphan temp.
+  kCrashBeforeRename = 3,
+  /// A read succeeds at the IO level but one bit of the returned buffer is
+  /// flipped — simulated media corruption the CRC layer must catch.
+  kCorruptRead = 4,
+};
+
+std::string_view FaultKindToString(FaultKind kind);
+
+// Injection sites instrumented in the store backends and query prefetch.
+inline constexpr char kFaultSitePutWrite[] = "sample_store.put.write";
+inline constexpr char kFaultSiteGetRead[] = "sample_store.get.read";
+inline constexpr char kFaultSiteDelete[] = "sample_store.delete";
+inline constexpr char kFaultSiteGetManyTask[] = "sample_store.get_many.task";
+
+/// Thread-safe; one injector is typically shared by a store and the test
+/// driving it.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0);
+
+  /// Deterministic arming: at `site`, pass the first `skip` hits through,
+  /// then fire `kind` on the next `count` hits, then return to kNone.
+  /// Re-arming a site replaces its previous plan (hit counters persist).
+  void Arm(const std::string& site, FaultKind kind, uint64_t count = 1,
+           uint64_t skip = 0);
+
+  /// Probabilistic arming: every hit of `site` fires `kind` with
+  /// probability `probability`, drawn from the injector's seeded RNG.
+  void ArmRandom(const std::string& site, FaultKind kind, double probability);
+
+  void Disarm(const std::string& site);
+  void DisarmAll();
+
+  /// Instrumentation side: the fault to apply at this hit of `site`
+  /// (kNone when disarmed or exhausted).
+  FaultKind Next(const std::string& site);
+
+  /// Observability: how often `site` was reached / actually faulted.
+  uint64_t HitCount(const std::string& site) const;
+  uint64_t FiredCount(const std::string& site) const;
+  uint64_t TotalFired() const;
+
+  /// For kTornWrite: how many of `total_bytes` survive the tear — seeded,
+  /// in [1, total_bytes - 1] (0 when the write is too small to tear).
+  size_t TornPrefixLength(size_t total_bytes);
+
+  /// For kCorruptRead: which byte of a `total_bytes` buffer gets a bit
+  /// flipped.
+  size_t CorruptByteIndex(size_t total_bytes);
+
+ private:
+  struct SiteState {
+    FaultKind kind = FaultKind::kNone;
+    uint64_t skip = 0;         // deterministic: hits to pass through first
+    uint64_t count = 0;        // deterministic: remaining hits to fail
+    double probability = 0.0;  // probabilistic mode when > 0
+    uint64_t hits = 0;
+    uint64_t fired = 0;
+  };
+
+  mutable std::mutex mu_;
+  Pcg64 rng_;
+  std::unordered_map<std::string, SiteState> sites_;
+};
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_TESTING_FAULT_INJECTOR_H_

@@ -1,5 +1,6 @@
 #include "src/util/serialization.h"
 
+#include <array>
 #include <cstdio>
 #include <cstring>
 
@@ -111,6 +112,71 @@ Status BinaryReader::GetString(std::string* s) {
   if (remaining() < n) return Status::OutOfRange("truncated string body");
   s->assign(data_.data() + pos_, n);
   pos_ += n;
+  return Status::OK();
+}
+
+uint32_t Crc32(std::string_view data) {
+  // Table generated once; the reflected 0xEDB88320 polynomial.
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = kTable[(crc ^ static_cast<unsigned char>(ch)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string WrapSampleEnvelope(std::string_view payload) {
+  BinaryWriter writer;
+  writer.PutFixed32(kSampleEnvelopeMagic);
+  writer.PutFixed32(kSampleEnvelopeVersion);
+  writer.PutFixed64(payload.size());
+  writer.PutFixed32(Crc32(payload));
+  writer.PutRaw(payload.data(), payload.size());
+  return writer.Release();
+}
+
+bool HasSampleEnvelope(std::string_view file) {
+  uint32_t magic;
+  BinaryReader reader(file);
+  return reader.GetFixed32(&magic).ok() && magic == kSampleEnvelopeMagic;
+}
+
+Status UnwrapSampleEnvelope(std::string_view file, std::string_view* payload) {
+  BinaryReader reader(file);
+  uint32_t magic;
+  if (!reader.GetFixed32(&magic).ok() || magic != kSampleEnvelopeMagic) {
+    return Status::Corruption("bad sample envelope magic");
+  }
+  uint32_t version;
+  uint64_t payload_size;
+  uint32_t crc;
+  if (!reader.GetFixed32(&version).ok() ||
+      !reader.GetFixed64(&payload_size).ok() || !reader.GetFixed32(&crc).ok()) {
+    return Status::Corruption("truncated sample envelope header");
+  }
+  if (version != kSampleEnvelopeVersion) {
+    return Status::Corruption("unsupported sample envelope version " +
+                              std::to_string(version));
+  }
+  if (reader.remaining() != payload_size) {
+    return Status::Corruption("sample envelope payload size mismatch (torn "
+                              "or truncated file)");
+  }
+  const std::string_view body = file.substr(kSampleEnvelopeHeaderBytes);
+  if (Crc32(body) != crc) {
+    return Status::Corruption("sample payload CRC mismatch");
+  }
+  *payload = body;
   return Status::OK();
 }
 

@@ -62,6 +62,43 @@ class BinaryReader {
   size_t pos_;
 };
 
+/// CRC-32 (reflected polynomial 0xEDB88320 — the zlib/PNG checksum) of
+/// `data`. Detects every single- and double-bit error at the payload sizes
+/// the warehouse stores.
+uint32_t Crc32(std::string_view data);
+
+// --- Versioned sample-file envelope (on-disk format v2) --------------------
+//
+// Every persisted sample is framed so that truncated, torn or bit-rotted
+// files are DETECTED on read instead of being silently deserialized:
+//
+//   fixed32  magic       "SWV2" (little-endian bytes on disk)
+//   fixed32  version     kSampleEnvelopeVersion
+//   fixed64  payload size in bytes
+//   fixed32  CRC-32 of the payload
+//   payload  the v1 sample encoding (which begins with its own magic)
+//
+// v1 files — bare payloads written before the envelope existed — remain
+// read-compatible: they start with the sample magic, not the envelope
+// magic, and readers fall back to decoding them directly.
+
+inline constexpr uint32_t kSampleEnvelopeMagic = 0x32565753;  // "SWV2"
+inline constexpr uint32_t kSampleEnvelopeVersion = 2;
+inline constexpr size_t kSampleEnvelopeHeaderBytes = 20;
+
+/// Frames `payload` in a v2 envelope (header + payload bytes).
+std::string WrapSampleEnvelope(std::string_view payload);
+
+/// True when `file` begins with the v2 envelope magic (it may still be
+/// truncated or corrupt; UnwrapSampleEnvelope verifies).
+bool HasSampleEnvelope(std::string_view file);
+
+/// Verifies the envelope framing of `file` (magic, version, payload size,
+/// CRC) and on success points `*payload` at the payload bytes inside
+/// `file`. Any mismatch — truncation, tear, bit flip, unknown version — is
+/// Corruption; the payload is never handed out unverified.
+Status UnwrapSampleEnvelope(std::string_view file, std::string_view* payload);
+
 /// Writes `contents` to `path` atomically (write to a temp file in the same
 /// directory, then rename).
 Status WriteFileAtomic(const std::string& path, std::string_view contents);

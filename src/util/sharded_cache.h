@@ -80,6 +80,18 @@ class ShardedLruCache {
     return it->second->value;
   }
 
+  /// The entry for `key` WITHOUT touching recency order or hit/miss
+  /// counters; nullptr on miss. For invariant checks that must observe the
+  /// cache without perturbing it (e.g. the stress harness probing for stale
+  /// entries mid-run).
+  std::shared_ptr<const Value> Peek(const Key& key) const {
+    const Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) return nullptr;
+    return it->second->value;
+  }
+
   /// Inserts (replacing) `key`, charging `charge` bytes against the shard
   /// budget, and evicts least-recently-used entries until the shard fits
   /// again. An entry larger than the whole shard budget is evicted
@@ -181,6 +193,10 @@ class ShardedLruCache {
   };
 
   Shard& ShardFor(const Key& key) {
+    const uint64_t h = cache_internal::MixHash(Hash{}(key));
+    return shards_[h & (shards_.size() - 1)];
+  }
+  const Shard& ShardFor(const Key& key) const {
     const uint64_t h = cache_internal::MixHash(Hash{}(key));
     return shards_[h & (shards_.size() - 1)];
   }

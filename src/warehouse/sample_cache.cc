@@ -26,6 +26,11 @@ std::shared_ptr<const PartitionSample> SampleCache::Lookup(
   return cache_.Lookup(EpochKey{dataset, epoch, partition});
 }
 
+std::shared_ptr<const PartitionSample> SampleCache::Peek(
+    const DatasetId& dataset, uint64_t epoch, PartitionId partition) const {
+  return cache_.Peek(EpochKey{dataset, epoch, partition});
+}
+
 void SampleCache::Insert(const DatasetId& dataset, uint64_t epoch,
                          PartitionId partition,
                          std::shared_ptr<const PartitionSample> sample) {

@@ -43,6 +43,13 @@ class SampleCache {
                                                 uint64_t epoch,
                                                 PartitionId partition);
 
+  /// Like Lookup but side-effect free: no recency freshening, no hit/miss
+  /// accounting. Lets tests and invariant checkers probe residency without
+  /// perturbing LRU order or statistics.
+  std::shared_ptr<const PartitionSample> Peek(const DatasetId& dataset,
+                                              uint64_t epoch,
+                                              PartitionId partition) const;
+
   /// Inserts (replacing) the sample under (dataset, epoch, partition).
   void Insert(const DatasetId& dataset, uint64_t epoch, PartitionId partition,
               std::shared_ptr<const PartitionSample> sample);

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdio>
 #include <filesystem>
+#include <thread>
 #include <utility>
 
 #include "src/util/serialization.h"
@@ -14,29 +16,96 @@ namespace {
 std::string SerializeSample(const PartitionSample& sample) {
   BinaryWriter writer;
   sample.SerializeTo(&writer);
-  return writer.Release();
+  return WrapSampleEnvelope(writer.buffer());
 }
 
+// Decodes stored bytes: v2 envelope (verified) or bare v1 payload from a
+// pre-envelope store. Every decode failure is normalized to Corruption so
+// both backends surface one category for damaged payloads.
 Result<PartitionSample> DeserializeSample(const std::string& bytes) {
-  BinaryReader reader(bytes);
-  return PartitionSample::DeserializeFrom(&reader);
+  std::string_view payload(bytes);
+  if (HasSampleEnvelope(bytes)) {
+    SAMPWH_RETURN_IF_ERROR(UnwrapSampleEnvelope(bytes, &payload));
+  }
+  BinaryReader reader(payload);
+  Result<PartitionSample> decoded = PartitionSample::DeserializeFrom(&reader);
+  if (!decoded.ok()) {
+    return Status::Corruption("corrupt sample payload: " +
+                              decoded.status().message());
+  }
+  return decoded;
+}
+
+// Full verification for recovery scans: envelope + decode + structural
+// invariants.
+Status VerifySampleBytes(const std::string& bytes) {
+  SAMPWH_ASSIGN_OR_RETURN(PartitionSample sample, DeserializeSample(bytes));
+  return sample.Validate();
+}
+
+bool HasSuffix(const std::string& name, std::string_view suffix) {
+  return name.size() > suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
 bool IsSampleFileName(const std::string& name) {
-  constexpr std::string_view kSuffix = ".sample";
-  return name.size() > kSuffix.size() &&
-         name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) ==
-             0;
+  return HasSuffix(name, ".sample");
+}
+
+void SleepBackoff(std::chrono::microseconds backoff) {
+  if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
 }
 
 }  // namespace
 
+void SampleStore::SetFaultInjector(std::shared_ptr<FaultInjector> injector) {
+  std::lock_guard<std::mutex> lock(config_mu_);
+  injector_ = std::move(injector);
+}
+
+void SampleStore::SetRetryPolicy(const RetryPolicy& policy) {
+  std::lock_guard<std::mutex> lock(config_mu_);
+  retry_policy_ = policy;
+  if (retry_policy_.max_attempts < 1) retry_policy_.max_attempts = 1;
+}
+
+SampleStore::RetryPolicy SampleStore::retry_policy() const {
+  std::lock_guard<std::mutex> lock(config_mu_);
+  return retry_policy_;
+}
+
+std::shared_ptr<FaultInjector> SampleStore::fault_injector() const {
+  std::lock_guard<std::mutex> lock(config_mu_);
+  return injector_;
+}
+
+Result<RecoveryReport> SampleStore::Recover(
+    const std::vector<PartitionKey>& expected) {
+  RecoveryReport report;
+  for (const PartitionKey& key : expected) {
+    if (!Get(key).ok()) report.missing_partitions.push_back(key);
+  }
+  return report;
+}
+
 Result<std::vector<PartitionSample>> SampleStore::GetMany(
     const std::vector<PartitionKey>& keys, ThreadPool* pool) const {
+  const std::shared_ptr<FaultInjector> injector = fault_injector();
+  auto fetch_one = [&](size_t i) -> Result<PartitionSample> {
+    // Prefetch-task site: a fault here models a fetch task dying before it
+    // reaches the store (scheduler/pool-level failure). The whole GetMany
+    // must fail — never a partial vector.
+    if (injector != nullptr &&
+        injector->Next(kFaultSiteGetManyTask) == FaultKind::kIOError) {
+      return Status::IOError("injected prefetch-task fault");
+    }
+    return Get(keys[i]);
+  };
+
   std::vector<PartitionSample> out(keys.size());
   if (pool == nullptr || keys.size() < 2) {
     for (size_t i = 0; i < keys.size(); ++i) {
-      SAMPWH_ASSIGN_OR_RETURN(out[i], Get(keys[i]));
+      SAMPWH_ASSIGN_OR_RETURN(out[i], fetch_one(i));
     }
     return out;
   }
@@ -51,7 +120,7 @@ Result<std::vector<PartitionSample>> SampleStore::GetMany(
   tasks.reserve(keys.size());
   for (size_t i = 0; i < keys.size(); ++i) {
     tasks.push_back([&, i] {
-      Result<PartitionSample> r = Get(keys[i]);
+      Result<PartitionSample> r = fetch_one(i);
       if (r.ok()) {
         out[i] = std::move(r).value();
       } else {
@@ -74,28 +143,93 @@ Status InMemorySampleStore::Put(const PartitionKey& key,
                                 const PartitionSample& sample) {
   SAMPWH_RETURN_IF_ERROR(sample.Validate());
   std::string bytes = SerializeSample(sample);
-  std::lock_guard<std::mutex> lock(mu_);
-  samples_[key] = std::move(bytes);
-  return Status::OK();
+  const std::shared_ptr<FaultInjector> injector = fault_injector();
+  const RetryPolicy policy = retry_policy();
+  std::chrono::microseconds backoff = policy.initial_backoff;
+  for (int attempt = 1;; ++attempt) {
+    const FaultKind fault = injector != nullptr
+                                ? injector->Next(kFaultSitePutWrite)
+                                : FaultKind::kNone;
+    switch (fault) {
+      case FaultKind::kTornWrite: {
+        // The in-memory analogue of a tear: the stored blob is a prefix of
+        // the enveloped bytes; the CRC layer catches it on read.
+        const size_t keep = injector->TornPrefixLength(bytes.size());
+        std::lock_guard<std::mutex> lock(mu_);
+        samples_[key] = bytes.substr(0, keep);
+        return Status::IOError("injected crash: torn write");
+      }
+      case FaultKind::kCrashBeforeRename:
+        // Crash before publication: nothing was stored.
+        return Status::IOError("injected crash before publish");
+      case FaultKind::kIOError:
+        if (attempt >= policy.max_attempts) {
+          return Status::IOError("injected transient write fault");
+        }
+        SleepBackoff(backoff);
+        backoff *= 2;
+        continue;
+      default: {
+        std::lock_guard<std::mutex> lock(mu_);
+        samples_[key] = std::move(bytes);
+        return Status::OK();
+      }
+    }
+  }
 }
 
 Result<PartitionSample> InMemorySampleStore::Get(
     const PartitionKey& key) const {
+  const std::shared_ptr<FaultInjector> injector = fault_injector();
+  const RetryPolicy policy = retry_policy();
+  std::chrono::microseconds backoff = policy.initial_backoff;
   // Copy the serialized form under the lock, deserialize outside it, so
   // concurrent GetMany fetches overlap the (dominant) decode work.
   std::string bytes;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = samples_.find(key);
-    if (it == samples_.end()) {
-      return Status::NotFound("no sample for partition");
+  for (int attempt = 1;; ++attempt) {
+    const FaultKind fault = injector != nullptr
+                                ? injector->Next(kFaultSiteGetRead)
+                                : FaultKind::kNone;
+    if (fault == FaultKind::kIOError) {
+      if (attempt >= policy.max_attempts) {
+        return Status::IOError("injected transient read fault");
+      }
+      SleepBackoff(backoff);
+      backoff *= 2;
+      continue;
     }
-    bytes = it->second;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = samples_.find(key);
+      if (it == samples_.end()) {
+        return Status::NotFound("no sample for partition");
+      }
+      bytes = it->second;
+    }
+    if (fault == FaultKind::kCorruptRead && !bytes.empty()) {
+      bytes[injector->CorruptByteIndex(bytes.size())] ^= 0x01;
+    }
+    break;
   }
   return DeserializeSample(bytes);
 }
 
 Status InMemorySampleStore::Delete(const PartitionKey& key) {
+  const std::shared_ptr<FaultInjector> injector = fault_injector();
+  const RetryPolicy policy = retry_policy();
+  std::chrono::microseconds backoff = policy.initial_backoff;
+  for (int attempt = 1;; ++attempt) {
+    if (injector != nullptr &&
+        injector->Next(kFaultSiteDelete) == FaultKind::kIOError) {
+      if (attempt >= policy.max_attempts) {
+        return Status::IOError("injected transient delete fault");
+      }
+      SleepBackoff(backoff);
+      backoff *= 2;
+      continue;
+    }
+    break;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (samples_.erase(key) == 0) {
     return Status::NotFound("no sample for partition");
@@ -119,6 +253,31 @@ uint64_t InMemorySampleStore::TotalStoredBytes() const {
   uint64_t total = 0;
   for (const auto& [key, bytes] : samples_) total += bytes.size();
   return total;
+}
+
+Result<RecoveryReport> InMemorySampleStore::Recover(
+    const std::vector<PartitionKey>& expected) {
+  RecoveryReport report;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = samples_.begin(); it != samples_.end();) {
+      ++report.scanned;
+      if (!VerifySampleBytes(it->second).ok()) {
+        report.quarantined.push_back(it->first.dataset + "." +
+                                     std::to_string(it->first.partition));
+        it = samples_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const PartitionKey& key : expected) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (samples_.find(key) == samples_.end()) {
+      report.missing_partitions.push_back(key);
+    }
+  }
+  return report;
 }
 
 FileSampleStore::FileSampleStore(std::string directory)
@@ -154,13 +313,69 @@ void FileSampleStore::SetReadHookForTesting(
   read_hook_ = std::move(hook);
 }
 
+Status FileSampleStore::WriteSampleFile(const PartitionKey& key,
+                                        const std::string& path,
+                                        const std::string& bytes) {
+  const std::shared_ptr<FaultInjector> injector = fault_injector();
+  const RetryPolicy policy = retry_policy();
+  std::chrono::microseconds backoff = policy.initial_backoff;
+  for (int attempt = 1;; ++attempt) {
+    const FaultKind fault = injector != nullptr
+                                ? injector->Next(kFaultSitePutWrite)
+                                : FaultKind::kNone;
+    Status status;
+    switch (fault) {
+      case FaultKind::kTornWrite: {
+        // Simulated power loss after the rename: the destination holds a
+        // prefix of the bytes. Not retried — the tear must stay for
+        // Recover() to find.
+        const size_t keep = injector->TornPrefixLength(bytes.size());
+        WriteFileAtomic(path, std::string_view(bytes).substr(0, keep));
+        return Status::IOError("injected crash: torn write of " + path);
+      }
+      case FaultKind::kCrashBeforeRename: {
+        // Simulated crash between the temp write and its rename: the temp
+        // file is orphaned, the destination untouched. Not retried.
+        const std::string tmp = path + ".tmp";
+        std::FILE* f = std::fopen(tmp.c_str(), "wb");
+        if (f != nullptr) {
+          std::fwrite(bytes.data(), 1, bytes.size(), f);
+          std::fclose(f);
+        }
+        return Status::IOError("injected crash before rename of " + path);
+      }
+      case FaultKind::kIOError:
+        status = Status::IOError("injected transient write fault");
+        break;
+      default:
+        status = WriteFileAtomic(path, bytes);
+        break;
+    }
+    if (status.ok() || !status.IsIOError() ||
+        attempt >= policy.max_attempts) {
+      return status;
+    }
+    SleepBackoff(backoff);
+    backoff *= 2;
+  }
+}
+
+void FileSampleStore::QuarantineFile(const PartitionKey& key,
+                                     const std::string& path) const {
+  std::lock_guard<std::mutex> lock(StripeFor(key));
+  std::error_code ec;
+  std::filesystem::rename(path, path + ".quarantine", ec);
+  // Best effort: if the rename races a concurrent replace or delete, the
+  // corrupt bytes are already gone.
+}
+
 Status FileSampleStore::Put(const PartitionKey& key,
                             const PartitionSample& sample) {
   SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(key.dataset));
   SAMPWH_RETURN_IF_ERROR(sample.Validate());
   const std::string bytes = SerializeSample(sample);
   std::lock_guard<std::mutex> lock(StripeFor(key));
-  return WriteFileAtomic(PathFor(key), bytes);
+  return WriteSampleFile(key, PathFor(key), bytes);
 }
 
 Result<PartitionSample> FileSampleStore::Get(const PartitionKey& key) const {
@@ -170,18 +385,61 @@ Result<PartitionSample> FileSampleStore::Get(const PartitionKey& key) const {
     std::lock_guard<std::mutex> lock(hook_mu_);
     hook = read_hook_;
   }
+  const std::string path = PathFor(key);
+  const std::shared_ptr<FaultInjector> injector = fault_injector();
+  const RetryPolicy policy = retry_policy();
   std::string bytes;
   {
     std::lock_guard<std::mutex> lock(StripeFor(key));
     if (hook) hook(key);
-    SAMPWH_RETURN_IF_ERROR(ReadFile(PathFor(key), &bytes));
+    std::chrono::microseconds backoff = policy.initial_backoff;
+    for (int attempt = 1;; ++attempt) {
+      const FaultKind fault = injector != nullptr
+                                  ? injector->Next(kFaultSiteGetRead)
+                                  : FaultKind::kNone;
+      Status status = fault == FaultKind::kIOError
+                          ? Status::IOError("injected transient read fault")
+                          : ReadFile(path, &bytes);
+      if (status.ok() && fault == FaultKind::kCorruptRead && !bytes.empty()) {
+        bytes[injector->CorruptByteIndex(bytes.size())] ^= 0x01;
+      }
+      if (status.ok()) break;
+      if (!status.IsIOError() || attempt >= policy.max_attempts) {
+        return status;
+      }
+      SleepBackoff(backoff);
+      backoff *= 2;
+    }
   }
-  return DeserializeSample(bytes);
+  Result<PartitionSample> decoded = DeserializeSample(bytes);
+  if (!decoded.ok()) {
+    // Detected tear/corruption: move the damaged file aside so it is never
+    // re-served (and a fresh Put of the key starts clean), keep it on disk
+    // for inspection.
+    QuarantineFile(key, path);
+    return decoded.status();
+  }
+  return decoded;
 }
 
 Status FileSampleStore::Delete(const PartitionKey& key) {
   SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(key.dataset));
+  const std::shared_ptr<FaultInjector> injector = fault_injector();
+  const RetryPolicy policy = retry_policy();
+  std::chrono::microseconds backoff = policy.initial_backoff;
   std::lock_guard<std::mutex> lock(StripeFor(key));
+  for (int attempt = 1;; ++attempt) {
+    if (injector != nullptr &&
+        injector->Next(kFaultSiteDelete) == FaultKind::kIOError) {
+      if (attempt >= policy.max_attempts) {
+        return Status::IOError("injected transient delete fault");
+      }
+      SleepBackoff(backoff);
+      backoff *= 2;
+      continue;
+    }
+    break;
+  }
   std::error_code ec;
   if (!std::filesystem::remove(PathFor(key), ec) || ec) {
     return Status::NotFound("no sample file for partition");
@@ -232,6 +490,54 @@ uint64_t FileSampleStore::TotalStoredBytes() const {
     if (!ec) total += size;
   }
   return total;
+}
+
+Result<RecoveryReport> FileSampleStore::Recover(
+    const std::vector<PartitionKey>& expected) {
+  RecoveryReport report;
+  std::vector<std::filesystem::path> temps;
+  std::vector<std::filesystem::path> samples;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (HasSuffix(name, ".tmp")) {
+      temps.push_back(entry.path());
+    } else if (IsSampleFileName(name)) {
+      samples.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    return Status::IOError("cannot scan " + directory_ + ": " + ec.message());
+  }
+  // Orphan temps are leftovers of writes that crashed before their rename;
+  // the destination (if any) is still the last fully published version.
+  for (const auto& tmp : temps) {
+    std::error_code remove_ec;
+    std::filesystem::remove(tmp, remove_ec);
+    if (!remove_ec) {
+      report.removed_temps.push_back(tmp.filename().string());
+    }
+  }
+  for (const auto& path : samples) {
+    ++report.scanned;
+    std::string bytes;
+    Status status = ReadFile(path.string(), &bytes);
+    if (status.ok()) status = VerifySampleBytes(bytes);
+    if (!status.ok()) {
+      std::error_code rename_ec;
+      std::filesystem::rename(path, path.string() + ".quarantine", rename_ec);
+      report.quarantined.push_back(path.filename().string());
+    }
+  }
+  for (const PartitionKey& key : expected) {
+    std::error_code exists_ec;
+    if (!std::filesystem::exists(PathFor(key), exists_ec)) {
+      report.missing_partitions.push_back(key);
+    }
+  }
+  return report;
 }
 
 }  // namespace sampwh

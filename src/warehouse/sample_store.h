@@ -9,11 +9,23 @@
 // different partitions do parallel IO. GetMany overlays deserialization
 // across partitions on a caller-provided thread pool — the warehouse query
 // path uses it to prefetch every partition of a union query at once.
+//
+// Robustness: samples are persisted in the versioned, CRC-framed envelope
+// of util/serialization (format v2; bare v1 payloads stay readable), so a
+// torn, truncated or bit-rotted sample is detected on read — Corruption is
+// surfaced and the file backend quarantines the damaged file (renamed
+// aside, never silently deserialized). Transient IO faults are retried with
+// bounded exponential backoff. Recover() reconciles persisted state after a
+// crash: orphan temp files are dropped, unreadable samples quarantined, and
+// expected-but-missing partitions reported. Both backends consult an
+// optional FaultInjector at named sites so every failure path is testable
+// deterministically.
 
 #ifndef SAMPWH_WAREHOUSE_SAMPLE_STORE_H_
 #define SAMPWH_WAREHOUSE_SAMPLE_STORE_H_
 
 #include <array>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
@@ -22,27 +34,52 @@
 #include <vector>
 
 #include "src/core/sample.h"
+#include "src/testing/fault_injector.h"
 #include "src/util/thread_pool.h"
 #include "src/warehouse/ids.h"
 
 namespace sampwh {
 
+/// What a Recover() scan found and did. File names are basenames within
+/// the store directory (the in-memory backend synthesizes "dataset.id").
+struct RecoveryReport {
+  /// Sample files (or blobs) whose content was examined.
+  uint64_t scanned = 0;
+  /// Unreadable / corrupt samples renamed aside (file backend appends
+  /// ".quarantine") or dropped (in-memory backend).
+  std::vector<std::string> quarantined;
+  /// Orphan "*.tmp" files from writes that crashed before their rename.
+  std::vector<std::string> removed_temps;
+  /// Keys from `expected` whose samples are absent or were quarantined.
+  std::vector<PartitionKey> missing_partitions;
+};
+
 class SampleStore {
  public:
+  /// Bounded retry for transient IO faults: `max_attempts` tries total,
+  /// exponential backoff starting at `initial_backoff` between them. Only
+  /// IOError is retried — NotFound and Corruption never are.
+  struct RetryPolicy {
+    int max_attempts = 3;
+    std::chrono::microseconds initial_backoff{200};
+  };
+
   virtual ~SampleStore() = default;
 
   /// Stores (replacing) the sample for `key`.
   virtual Status Put(const PartitionKey& key,
                      const PartitionSample& sample) = 0;
 
-  /// Loads the sample for `key`; NotFound if absent.
+  /// Loads the sample for `key`; NotFound if absent, Corruption if the
+  /// stored bytes fail envelope verification or decoding.
   virtual Result<PartitionSample> Get(const PartitionKey& key) const = 0;
 
   /// Loads the samples for `keys`, in order; fails on the first missing
   /// key. With a pool, fetches run as one task per key so file reads and
   /// deserialization overlap across partitions (both backends allow
   /// concurrent Gets of different keys). Must not be called from a task
-  /// already running on `pool`.
+  /// already running on `pool`. Errors propagate whole: a failed fetch
+  /// fails the call, never yields a partial vector.
   virtual Result<std::vector<PartitionSample>> GetMany(
       const std::vector<PartitionKey>& keys, ThreadPool* pool = nullptr) const;
 
@@ -53,11 +90,34 @@ class SampleStore {
   virtual Result<std::vector<PartitionId>> List(
       const DatasetId& dataset) const = 0;
 
-  /// Total serialized footprint currently held (bytes of sample payloads;
-  /// on-disk payload bytes for the file backend). Both backends report the
-  /// same value for the same stored content, so footprint assertions run
-  /// backend-agnostically.
+  /// Total serialized footprint currently held (enveloped bytes; on-disk
+  /// bytes for the file backend). Both backends report the same value for
+  /// the same stored content, so footprint assertions run
+  /// backend-agnostically. Quarantined files and orphan temps don't count.
   virtual uint64_t TotalStoredBytes() const = 0;
+
+  /// Startup reconciliation after a crash. Scans stored samples, drops
+  /// leftovers of interrupted writes, quarantines anything unreadable, and
+  /// reports which of `expected` (typically the catalog's partition set)
+  /// cannot be served. Call before serving traffic; not safe concurrently
+  /// with Put/Get/Delete.
+  virtual Result<RecoveryReport> Recover(
+      const std::vector<PartitionKey>& expected = {});
+
+  /// Arms fault injection for this store (nullptr disarms). The injector
+  /// is consulted at the kFaultSite* sites in fault_injector.h.
+  void SetFaultInjector(std::shared_ptr<FaultInjector> injector);
+
+  void SetRetryPolicy(const RetryPolicy& policy);
+  RetryPolicy retry_policy() const;
+
+ protected:
+  std::shared_ptr<FaultInjector> fault_injector() const;
+
+ private:
+  mutable std::mutex config_mu_;
+  std::shared_ptr<FaultInjector> injector_;
+  RetryPolicy retry_policy_;
 };
 
 /// Map-backed store; thread-safe.
@@ -70,15 +130,23 @@ class InMemorySampleStore : public SampleStore {
       const DatasetId& dataset) const override;
   uint64_t TotalStoredBytes() const override;
 
+  /// Validates every stored blob (dropping corrupt ones — e.g. a torn
+  /// injected write) and reports expected keys that are absent.
+  Result<RecoveryReport> Recover(
+      const std::vector<PartitionKey>& expected = {}) override;
+
  private:
   mutable std::mutex mu_;
-  std::map<PartitionKey, std::string> samples_;  // serialized form
+  std::map<PartitionKey, std::string> samples_;  // enveloped serialized form
 };
 
 /// One file per sample under `directory` (created if missing), written with
 /// atomic replace; thread-safe. Locking is striped per key: operations on
 /// keys hashed to different stripes run fully concurrently, so a slow read
-/// of one partition never blocks reads of others.
+/// of one partition never blocks reads of others. A Get that detects a
+/// corrupt file quarantines it (renames to "<name>.quarantine") so the
+/// damage is preserved for inspection but never re-served; transient IO
+/// errors are retried per the store's RetryPolicy.
 class FileSampleStore : public SampleStore {
  public:
   static Result<std::unique_ptr<FileSampleStore>> Open(
@@ -90,6 +158,12 @@ class FileSampleStore : public SampleStore {
   Result<std::vector<PartitionId>> List(
       const DatasetId& dataset) const override;
   uint64_t TotalStoredBytes() const override;
+
+  /// Directory scan: removes orphan "*.tmp" files, quarantines sample
+  /// files that fail envelope/decode/Validate, reports expected keys that
+  /// are no longer servable.
+  Result<RecoveryReport> Recover(
+      const std::vector<PartitionKey>& expected = {}) override;
 
   /// Test-only fault-injection hook, invoked inside Get while the key's
   /// lock stripe is held (after validation, before the file read). A hook
@@ -109,6 +183,11 @@ class FileSampleStore : public SampleStore {
 
   std::string PathFor(const PartitionKey& key) const;
   std::mutex& StripeFor(const PartitionKey& key) const;
+  /// Write with injected-fault simulation and transient-fault retry.
+  Status WriteSampleFile(const PartitionKey& key, const std::string& path,
+                         const std::string& bytes);
+  /// Renames `path` aside (best effort) after a corruption diagnosis.
+  void QuarantineFile(const PartitionKey& key, const std::string& path) const;
 
   mutable std::array<std::mutex, kLockStripes> stripes_;
   mutable std::mutex hook_mu_;

@@ -543,4 +543,58 @@ Result<std::unique_ptr<Warehouse>> Warehouse::Restore(
   return warehouse;
 }
 
+Result<Warehouse::RestoredWarehouse> Warehouse::RestoreWithRecovery(
+    const WarehouseOptions& options, std::unique_ptr<SampleStore> store,
+    const std::string& manifest_path) {
+  std::string bytes;
+  SAMPWH_RETURN_IF_ERROR(ReadFile(manifest_path, &bytes));
+  BinaryReader reader(bytes);
+  SAMPWH_ASSIGN_OR_RETURN(Catalog catalog, Catalog::DeserializeFrom(&reader));
+
+  // The catalog is the source of truth for what SHOULD exist; hand that
+  // expectation to the store's recovery scan so it can report the gap after
+  // quarantining whatever a crash left unreadable.
+  std::vector<PartitionKey> expected;
+  for (const DatasetId& dataset : catalog.ListDatasets()) {
+    SAMPWH_ASSIGN_OR_RETURN(std::vector<PartitionInfo> parts,
+                            catalog.ListPartitions(dataset));
+    for (const PartitionInfo& p : parts) {
+      expected.push_back(PartitionKey{dataset, p.id});
+    }
+  }
+  RestoredWarehouse restored;
+  SAMPWH_ASSIGN_OR_RETURN(restored.report, store->Recover(expected));
+
+  // Reconcile the catalog against the recovered store: drop what cannot be
+  // served (missing or quarantined) or whose metadata disagrees with the
+  // stored sample. Everything left is queryable.
+  for (const PartitionKey& key : expected) {
+    SAMPWH_ASSIGN_OR_RETURN(PartitionInfo info,
+                            catalog.GetPartition(key.dataset, key.partition));
+    Result<PartitionSample> sample = store->Get(key);
+    bool keep = sample.ok();
+    if (keep) {
+      keep = sample.value().parent_size() == info.parent_size &&
+             sample.value().size() == info.sample_size &&
+             sample.value().phase() == info.phase;
+      // Decodable but inconsistent with the manifest: remove the stored
+      // bytes too, so catalog and store agree afterwards.
+      if (!keep) store->Delete(key);  // best effort
+    }
+    if (!keep) {
+      SAMPWH_RETURN_IF_ERROR(catalog.RemovePartition(key.dataset,
+                                                     key.partition));
+      restored.dropped_partitions.push_back(key);
+    }
+  }
+
+  restored.warehouse = std::make_unique<Warehouse>(options, std::move(store));
+  restored.warehouse->catalog_ = std::move(catalog);
+  for (const DatasetId& dataset :
+       restored.warehouse->catalog_.ListDatasets()) {
+    restored.warehouse->dataset_mu_[dataset] = std::make_shared<std::mutex>();
+  }
+  return restored;
+}
+
 }  // namespace sampwh

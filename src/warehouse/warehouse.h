@@ -190,6 +190,35 @@ class Warehouse {
       const WarehouseOptions& options, std::unique_ptr<SampleStore> store,
       const std::string& manifest_path);
 
+  /// Outcome of RestoreWithRecovery: the reopened warehouse plus what the
+  /// store-level recovery scan found and which cataloged partitions had to
+  /// be dropped to bring catalog and store back into agreement.
+  struct RestoredWarehouse {
+    std::unique_ptr<Warehouse> warehouse;
+    RecoveryReport report;
+    std::vector<PartitionKey> dropped_partitions;
+  };
+
+  /// Crash-tolerant reopen. Where Restore() fails on the first damaged or
+  /// missing sample, this runs SampleStore::Recover() (dropping orphan
+  /// temps, quarantining torn/corrupt files) and then reconciles: any
+  /// cataloged partition whose sample is unreadable or disagrees with its
+  /// metadata is removed from the catalog (and its stored sample deleted),
+  /// so the returned warehouse serves exactly the surviving partitions.
+  /// Caches start cold; queries over survivors work immediately.
+  static Result<RestoredWarehouse> RestoreWithRecovery(
+      const WarehouseOptions& options, std::unique_ptr<SampleStore> store,
+      const std::string& manifest_path);
+
+  /// The deserialized-sample cache, or nullptr when disabled. Test-only:
+  /// lets invariant checks Peek at residency without perturbing the cache.
+  const SampleCache* sample_cache_for_testing() const {
+    return sample_cache_.get();
+  }
+
+  /// The backing store. Test-only: for arming fault injection mid-scenario.
+  SampleStore* store_for_testing() { return store_.get(); }
+
  private:
   Result<PartitionSample> MergeByIds(const DatasetId& dataset,
                                      const std::vector<PartitionId>& parts);

@@ -82,17 +82,53 @@ TEST_F(ToolTest, ProfileAndEstimateSucceed) {
   EXPECT_EQ(RunTool("estimate " + path + " bogus"), 1);
 }
 
-TEST_F(ToolTest, MergeProducesLoadableSample) {
+TEST_F(ToolTest, MergeProducesLoadableEnvelopedSample) {
   const std::string a = WriteSample("a.sample", 0, 4000);
   const std::string b = WriteSample("b.sample", 4000, 8000);
   const std::string out = dir_ + "/merged.sample";
   EXPECT_EQ(RunTool("merge " + out + " " + a + " " + b), 0);
   std::string bytes;
   ASSERT_TRUE(ReadFile(out, &bytes).ok());
-  BinaryReader reader(bytes);
+  // Merge output carries the checksummed v2 envelope.
+  ASSERT_TRUE(HasSampleEnvelope(bytes));
+  std::string_view payload;
+  ASSERT_TRUE(UnwrapSampleEnvelope(bytes, &payload).ok());
+  BinaryReader reader(payload);
   const auto merged = PartitionSample::DeserializeFrom(&reader);
   ASSERT_TRUE(merged.ok());
   EXPECT_EQ(merged.value().parent_size(), 8000u);
+  // And the tool reads its own output back.
+  EXPECT_EQ(RunTool("dump " + out), 0);
+}
+
+TEST_F(ToolTest, DumpReadsStoreWrittenEnvelopedFiles) {
+  // Files written by FileSampleStore carry the v2 envelope; dump must
+  // unwrap them, and must reject them once a payload byte is flipped.
+  const std::string store_dir = dir_ + "/store";
+  std::string path;
+  {
+    auto store = FileSampleStore::Open(store_dir);
+    ASSERT_TRUE(store.ok());
+    WarehouseOptions options;
+    options.sampler.footprint_bound_bytes = 512;
+    Warehouse wh(options, std::move(store).value());
+    ASSERT_TRUE(wh.CreateDataset("ds").ok());
+    std::vector<Value> values;
+    for (Value v = 0; v < 2000; ++v) values.push_back(v);
+    ASSERT_TRUE(wh.IngestBatch("ds", values, 1).ok());
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(store_dir)) {
+    if (entry.path().extension() == ".sample") path = entry.path().string();
+  }
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(RunTool("dump " + path), 0);
+  EXPECT_EQ(RunTool("profile " + path), 0);
+
+  std::string bytes;
+  ASSERT_TRUE(ReadFile(path, &bytes).ok());
+  bytes[kSampleEnvelopeHeaderBytes] ^= 0x40;
+  ASSERT_TRUE(WriteFileAtomic(path, bytes).ok());
+  EXPECT_EQ(RunTool("dump " + path), 1);
 }
 
 TEST_F(ToolTest, InspectRestoredWarehouse) {

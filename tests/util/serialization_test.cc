@@ -164,5 +164,84 @@ TEST(FileIoTest, AtomicWriteReplacesExisting) {
   std::filesystem::remove(path);
 }
 
+TEST(Crc32Test, MatchesKnownAnswers) {
+  // Reference values of the standard reflected CRC-32 (the zlib/IEEE
+  // polynomial), so the checksum stays interoperable across releases.
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32Test, DetectsAnyChange) {
+  const uint32_t base = Crc32("warehouse sample payload");
+  EXPECT_NE(base, Crc32("warehouse sample payloae"));
+  EXPECT_NE(base, Crc32("warehouse sample payloa"));
+  EXPECT_NE(base, Crc32("Warehouse sample payload"));
+}
+
+TEST(SampleEnvelopeTest, WrapUnwrapRoundTrips) {
+  const std::string payload = "arbitrary sample bytes \x00\x01\xff";
+  const std::string file = WrapSampleEnvelope(payload);
+  EXPECT_EQ(file.size(), kSampleEnvelopeHeaderBytes + payload.size());
+  EXPECT_TRUE(HasSampleEnvelope(file));
+  std::string_view unwrapped;
+  ASSERT_TRUE(UnwrapSampleEnvelope(file, &unwrapped).ok());
+  EXPECT_EQ(unwrapped, payload);
+}
+
+TEST(SampleEnvelopeTest, EmptyPayloadRoundTrips) {
+  const std::string file = WrapSampleEnvelope("");
+  std::string_view unwrapped;
+  ASSERT_TRUE(UnwrapSampleEnvelope(file, &unwrapped).ok());
+  EXPECT_TRUE(unwrapped.empty());
+}
+
+TEST(SampleEnvelopeTest, HeaderLayoutIsStable) {
+  // On-disk layout contract: fixed32 magic | fixed32 version |
+  // fixed64 payload size | fixed32 payload CRC | payload. A change here is
+  // a format break and needs a version bump plus read-compat fallback.
+  const std::string file = WrapSampleEnvelope("xy");
+  BinaryReader reader(file);
+  uint32_t magic = 0, version = 0, crc = 0;
+  uint64_t size = 0;
+  ASSERT_TRUE(reader.GetFixed32(&magic).ok());
+  ASSERT_TRUE(reader.GetFixed32(&version).ok());
+  ASSERT_TRUE(reader.GetFixed64(&size).ok());
+  ASSERT_TRUE(reader.GetFixed32(&crc).ok());
+  EXPECT_EQ(magic, kSampleEnvelopeMagic);
+  EXPECT_EQ(version, kSampleEnvelopeVersion);
+  EXPECT_EQ(size, 2u);
+  EXPECT_EQ(crc, Crc32("xy"));
+}
+
+TEST(SampleEnvelopeTest, RejectsForeignAndDamagedInputs) {
+  std::string_view payload;
+  EXPECT_TRUE(UnwrapSampleEnvelope("", &payload).IsCorruption());
+  EXPECT_TRUE(UnwrapSampleEnvelope("not an envelope", &payload)
+                  .IsCorruption());
+  const std::string file = WrapSampleEnvelope("payload");
+  // Truncated file (torn write).
+  EXPECT_TRUE(UnwrapSampleEnvelope(file.substr(0, file.size() - 1), &payload)
+                  .IsCorruption());
+  // Future format version.
+  std::string future = file;
+  future[4] = static_cast<char>(future[4] + 1);
+  EXPECT_TRUE(UnwrapSampleEnvelope(future, &payload).IsCorruption());
+  // Flipped payload bit.
+  std::string flipped = file;
+  flipped.back() = static_cast<char>(flipped.back() ^ 0x10);
+  EXPECT_TRUE(UnwrapSampleEnvelope(flipped, &payload).IsCorruption());
+}
+
+TEST(SampleEnvelopeTest, DetectionDoesNotMisfireOnV1Payloads) {
+  // A bare v1 sample payload begins with the sample magic, not the
+  // envelope magic, so the read-compat fallback can tell them apart.
+  BinaryWriter writer;
+  writer.PutFixed32(0x53575331);  // v1 sample magic
+  writer.PutFixed32(7);
+  EXPECT_FALSE(HasSampleEnvelope(writer.buffer()));
+}
+
 }  // namespace
 }  // namespace sampwh

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/util/serialization.h"
 #include "src/util/thread_pool.h"
 
 namespace sampwh {
@@ -157,6 +158,125 @@ TYPED_TEST(SampleStoreTest, TotalStoredBytesTracksContent) {
   EXPECT_EQ(this->store_->TotalStoredBytes(), one);
 }
 
+// --- Fault-path conformance ------------------------------------------------
+// Both backends must surface the SAME Status category for each failure
+// class: NotFound for absent keys (covered above), Corruption for damaged
+// payloads, IOError for transient faults that outlive the retry budget.
+// Callers (warehouse, recovery, harness) branch on these categories, so a
+// backend that reports a different code changes recovery behavior.
+
+TYPED_TEST(SampleStoreTest, InjectedCorruptReadIsCorruption) {
+  ASSERT_TRUE(this->store_->Put({"ds", 0}, TestSample()).ok());
+  auto injector = std::make_shared<FaultInjector>(7);
+  this->store_->SetFaultInjector(injector);
+  injector->Arm(kFaultSiteGetRead, FaultKind::kCorruptRead);
+  EXPECT_TRUE(this->store_->Get({"ds", 0}).status().IsCorruption());
+}
+
+TYPED_TEST(SampleStoreTest, TransientReadFaultIsRetriedThenSucceeds) {
+  ASSERT_TRUE(this->store_->Put({"ds", 0}, TestSample(321)).ok());
+  auto injector = std::make_shared<FaultInjector>(7);
+  this->store_->SetFaultInjector(injector);
+  SampleStore::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = std::chrono::microseconds(1);
+  this->store_->SetRetryPolicy(policy);
+  // Two injected faults, three attempts allowed: the last retry lands.
+  injector->Arm(kFaultSiteGetRead, FaultKind::kIOError, /*count=*/2);
+  const auto loaded = this->store_->Get({"ds", 0});
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().parent_size(), 321u);
+  EXPECT_EQ(injector->FiredCount(kFaultSiteGetRead), 2u);
+}
+
+TYPED_TEST(SampleStoreTest, ExhaustedReadRetriesSurfaceIOError) {
+  ASSERT_TRUE(this->store_->Put({"ds", 0}, TestSample()).ok());
+  auto injector = std::make_shared<FaultInjector>(7);
+  this->store_->SetFaultInjector(injector);
+  SampleStore::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = std::chrono::microseconds(1);
+  this->store_->SetRetryPolicy(policy);
+  injector->Arm(kFaultSiteGetRead, FaultKind::kIOError, /*count=*/3);
+  EXPECT_TRUE(this->store_->Get({"ds", 0}).status().IsIOError());
+  // The fault cleared after three firings; the store heals on the next Get.
+  EXPECT_TRUE(this->store_->Get({"ds", 0}).ok());
+}
+
+TYPED_TEST(SampleStoreTest, TransientWriteFaultIsRetriedThenSucceeds) {
+  auto injector = std::make_shared<FaultInjector>(7);
+  this->store_->SetFaultInjector(injector);
+  SampleStore::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = std::chrono::microseconds(1);
+  this->store_->SetRetryPolicy(policy);
+  injector->Arm(kFaultSitePutWrite, FaultKind::kIOError, /*count=*/2);
+  ASSERT_TRUE(this->store_->Put({"ds", 0}, TestSample(99)).ok());
+  EXPECT_EQ(this->store_->Get({"ds", 0}).value().parent_size(), 99u);
+}
+
+TYPED_TEST(SampleStoreTest, TornWriteIsIOErrorThenCorruptionOnRead) {
+  auto injector = std::make_shared<FaultInjector>(7);
+  this->store_->SetFaultInjector(injector);
+  injector->Arm(kFaultSitePutWrite, FaultKind::kTornWrite);
+  // The tear is a simulated crash, not a transient fault: no retry, the
+  // damaged bytes stay persisted.
+  EXPECT_TRUE(this->store_->Put({"ds", 0}, TestSample()).IsIOError());
+  EXPECT_TRUE(this->store_->Get({"ds", 0}).status().IsCorruption());
+}
+
+TYPED_TEST(SampleStoreTest, RecoverQuarantinesTornSample) {
+  ASSERT_TRUE(this->store_->Put({"ds", 0}, TestSample(111)).ok());
+  auto injector = std::make_shared<FaultInjector>(7);
+  this->store_->SetFaultInjector(injector);
+  injector->Arm(kFaultSitePutWrite, FaultKind::kTornWrite);
+  EXPECT_TRUE(this->store_->Put({"ds", 1}, TestSample(222)).IsIOError());
+  this->store_->SetFaultInjector(nullptr);
+
+  const auto report = this->store_->Recover({{"ds", 0}, {"ds", 1}});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().quarantined.size(), 1u);
+  ASSERT_EQ(report.value().missing_partitions.size(), 1u);
+  EXPECT_EQ(report.value().missing_partitions[0].partition, 1u);
+  // Post-recovery state is clean: the survivor reads, the torn key is a
+  // plain miss (never Corruption).
+  EXPECT_EQ(this->store_->Get({"ds", 0}).value().parent_size(), 111u);
+  EXPECT_TRUE(this->store_->Get({"ds", 1}).status().IsNotFound());
+}
+
+TYPED_TEST(SampleStoreTest, GetManyInjectedTaskFaultFailsWholeCall) {
+  std::vector<PartitionKey> keys;
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(this->store_->Put({"ds", i}, TestSample(100 + i)).ok());
+    keys.push_back({"ds", i});
+  }
+  auto injector = std::make_shared<FaultInjector>(7);
+  this->store_->SetFaultInjector(injector);
+  // One fault among four fetch tasks: the whole prefetch must fail, never
+  // return a partial vector.
+  injector->Arm(kFaultSiteGetManyTask, FaultKind::kIOError, /*count=*/1,
+                /*skip=*/2);
+  EXPECT_TRUE(this->store_->GetMany(keys).status().IsIOError());
+  ThreadPool pool(3);
+  injector->Arm(kFaultSiteGetManyTask, FaultKind::kIOError, /*count=*/1,
+                /*skip=*/2);
+  EXPECT_TRUE(this->store_->GetMany(keys, &pool).status().IsIOError());
+  // Disarmed, the same call succeeds in full.
+  injector->Disarm(kFaultSiteGetManyTask);
+  const auto loaded = this->store_->GetMany(keys, &pool);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 4u);
+}
+
+TYPED_TEST(SampleStoreTest, RecoverReportsMissingExpectedPartitions) {
+  ASSERT_TRUE(this->store_->Put({"ds", 0}, TestSample()).ok());
+  const auto report = this->store_->Recover({{"ds", 0}, {"ds", 5}});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().quarantined.empty());
+  ASSERT_EQ(report.value().missing_partitions.size(), 1u);
+  EXPECT_EQ(report.value().missing_partitions[0].partition, 5u);
+}
+
 // Backend conformance: both stores must report the identical footprint for
 // identical content, so capacity accounting is backend-agnostic.
 TEST(SampleStoreConformanceTest, TotalStoredBytesAgreesAcrossBackends) {
@@ -279,6 +399,88 @@ TEST(FileSampleStoreTest, CorruptFileSurfacesError) {
   // Clobber the file.
   ASSERT_TRUE(WriteFileAtomic(dir + "/ds.0.sample", "garbage").ok());
   EXPECT_FALSE(store.value()->Get({"ds", 0}).ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileSampleStoreTest, CorruptFileIsQuarantinedNotReServed) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "sampwh_store_quarantine")
+          .string();
+  std::filesystem::remove_all(dir);
+  auto store = FileSampleStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store.value()->Put({"ds", 0}, TestSample()).ok());
+  // Truncate mid-payload: a realistic torn write. The envelope's size/CRC
+  // framing must catch it.
+  std::string bytes;
+  ASSERT_TRUE(ReadFile(dir + "/ds.0.sample", &bytes).ok());
+  ASSERT_TRUE(
+      WriteFileAtomic(dir + "/ds.0.sample",
+                      std::string_view(bytes).substr(0, bytes.size() / 2))
+          .ok());
+  EXPECT_TRUE(store.value()->Get({"ds", 0}).status().IsCorruption());
+  // The damaged file was moved aside: later reads are a clean miss, the
+  // partition no longer lists or counts, and the evidence is preserved.
+  EXPECT_TRUE(store.value()->Get({"ds", 0}).status().IsNotFound());
+  EXPECT_TRUE(store.value()->List("ds").value().empty());
+  EXPECT_EQ(store.value()->TotalStoredBytes(), 0u);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/ds.0.sample.quarantine"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileSampleStoreTest, ReadsBareV1PayloadFiles) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "sampwh_store_v1compat")
+          .string();
+  std::filesystem::remove_all(dir);
+  auto store = FileSampleStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  // A pre-envelope store wrote the serialized sample directly; those files
+  // must stay readable after the format bump.
+  const PartitionSample sample = TestSample(777);
+  BinaryWriter writer;
+  sample.SerializeTo(&writer);
+  ASSERT_TRUE(WriteFileAtomic(dir + "/ds.0.sample", writer.buffer()).ok());
+  const auto loaded = store.value()->Get({"ds", 0});
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().parent_size(), 777u);
+  // A rewrite upgrades the file in place to the enveloped format.
+  ASSERT_TRUE(store.value()->Put({"ds", 0}, sample).ok());
+  std::string bytes;
+  ASSERT_TRUE(ReadFile(dir + "/ds.0.sample", &bytes).ok());
+  EXPECT_TRUE(HasSampleEnvelope(bytes));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileSampleStoreTest, RecoverRemovesOrphanTempsAndKeepsSurvivors) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "sampwh_store_recover")
+          .string();
+  std::filesystem::remove_all(dir);
+  auto store = FileSampleStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store.value()->Put({"ds", 0}, TestSample(100)).ok());
+
+  auto injector = std::make_shared<FaultInjector>(11);
+  store.value()->SetFaultInjector(injector);
+  // A write that crashes before its rename leaves an orphan temp file and
+  // an untouched (absent) destination.
+  injector->Arm(kFaultSitePutWrite, FaultKind::kCrashBeforeRename);
+  EXPECT_TRUE(store.value()->Put({"ds", 1}, TestSample(200)).IsIOError());
+  EXPECT_TRUE(store.value()->Get({"ds", 1}).status().IsNotFound());
+  store.value()->SetFaultInjector(nullptr);
+
+  const auto report = store.value()->Recover({{"ds", 0}, {"ds", 1}});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().removed_temps.size(), 1u);
+  EXPECT_TRUE(report.value().quarantined.empty());
+  ASSERT_EQ(report.value().missing_partitions.size(), 1u);
+  EXPECT_EQ(report.value().missing_partitions[0].partition, 1u);
+  // No stray temp remains; the survivor is intact.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_NE(entry.path().extension(), ".tmp");
+  }
+  EXPECT_EQ(store.value()->Get({"ds", 0}).value().parent_size(), 100u);
   std::filesystem::remove_all(dir);
 }
 

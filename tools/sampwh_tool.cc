@@ -34,14 +34,20 @@ int Fail(const Status& status) {
 Result<PartitionSample> LoadSample(const std::string& path) {
   std::string bytes;
   SAMPWH_RETURN_IF_ERROR(ReadFile(path, &bytes));
-  BinaryReader reader(bytes);
+  // Store-written files carry the checksummed v2 envelope; merge outputs
+  // and pre-envelope files are bare payloads.
+  std::string_view payload = bytes;
+  if (HasSampleEnvelope(bytes)) {
+    SAMPWH_RETURN_IF_ERROR(UnwrapSampleEnvelope(bytes, &payload));
+  }
+  BinaryReader reader(payload);
   return PartitionSample::DeserializeFrom(&reader);
 }
 
 Status SaveSample(const std::string& path, const PartitionSample& sample) {
   BinaryWriter writer;
   sample.SerializeTo(&writer);
-  return WriteFileAtomic(path, writer.buffer());
+  return WriteFileAtomic(path, WrapSampleEnvelope(writer.buffer()));
 }
 
 int CmdDump(const std::string& path) {
