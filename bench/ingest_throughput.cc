@@ -15,12 +15,18 @@
 // figure-reproduction harnesses use (DESIGN.md §2), so scaling is
 // meaningful even on single-core CI runners.
 //
+// A fourth section measures the cost of crash-safe ingestion: AppendBatch
+// through a file-backed warehouse with the checkpoint protocol off vs
+// every-N-element cadences, reporting the throughput overhead each cadence
+// pays for its resume granularity.
+//
 // Results go to stdout as a table and to BENCH_ingest.json in the working
 // directory. REPRO_FULL=1 runs the paper-scale stream (2^26 elements).
 
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <memory>
@@ -35,6 +41,7 @@
 #include "src/util/logging.h"
 #include "src/util/thread_pool.h"
 #include "src/util/timer.h"
+#include "src/warehouse/sample_store.h"
 #include "src/warehouse/stream_ingestor.h"
 #include "src/warehouse/warehouse.h"
 #include "src/workload/generators.h"
@@ -50,6 +57,14 @@ struct PathRow {
   double seconds = 0.0;
   double elements_per_sec = 0.0;
   double speedup_vs_scalar = 1.0;
+};
+
+struct CheckpointRow {
+  uint64_t cadence = 0;  // every-N-elements; 0 = checkpoints off
+  double seconds = 0.0;
+  double elements_per_sec = 0.0;
+  double overhead_pct = 0.0;  // vs checkpoints off
+  uint64_t checkpoints_written = 0;
 };
 
 struct ScalingRow {
@@ -194,6 +209,73 @@ void RunPathSection(uint64_t total_elements, int reps,
   std::printf("\n");
 }
 
+void RunCheckpointSection(uint64_t total_elements, int reps,
+                          std::vector<CheckpointRow>& rows) {
+  // Cadence checkpoints fire at append-chunk granularity, so the stream is
+  // delivered in batches no larger than the smallest cadence — the
+  // realistic shape for a checkpointed source (e.g. a replayable queue
+  // delivering bounded batches).
+  constexpr size_t kCkptChunk = 4096;
+  const SamplerConfig config =
+      BoundedConfig(SamplerKind::kHybridReservoir, total_elements);
+  const std::vector<Value> values =
+      DataGenerator::Unique(total_elements).TakeAll();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "sampwh_bench_ckpt").string();
+
+  std::printf(
+      "Checkpoint cadence overhead (%llu elements, HR, file store, best of "
+      "%d)\n",
+      static_cast<unsigned long long>(total_elements), reps);
+  const std::vector<int> widths = {12, 10, 14, 10, 12};
+  PrintRow({"cadence", "seconds", "elems/sec", "overhead", "ckpts"}, widths);
+
+  double baseline = 0.0;
+  for (uint64_t cadence : {uint64_t{0}, uint64_t{65536}, uint64_t{16384},
+                           uint64_t{4096}}) {
+    CheckpointRow row;
+    row.cadence = cadence;
+    row.seconds = BestOf(reps, [&]() -> double {
+      std::filesystem::remove_all(dir);
+      auto store = FileSampleStore::Open(dir);
+      SAMPWH_CHECK(store.ok());
+      WarehouseOptions options;
+      options.sampler = config;
+      Warehouse warehouse(options, std::move(store).value());
+      SAMPWH_CHECK(warehouse.CreateDataset("bench").ok());
+      StreamIngestor ingestor(&warehouse, "bench", nullptr);
+      if (cadence > 0) {
+        ingestor.EnableCheckpoints({.every_n_elements = cadence});
+      }
+      const std::span<const Value> all(values);
+      WallTimer timer;
+      for (size_t i = 0; i < all.size(); i += kCkptChunk) {
+        SAMPWH_CHECK(ingestor
+                         .AppendBatch(all.subspan(
+                             i, std::min(kCkptChunk, all.size() - i)))
+                         .ok());
+      }
+      const double seconds = timer.ElapsedSeconds();
+      SAMPWH_CHECK(ingestor.Flush().ok());
+      row.checkpoints_written =
+          warehouse.store_for_testing()->GetStoreStats().checkpoints_written;
+      return seconds;
+    });
+    if (cadence == 0) baseline = row.seconds;
+    row.elements_per_sec =
+        static_cast<double>(total_elements) / std::max(row.seconds, 1e-12);
+    row.overhead_pct =
+        100.0 * (row.seconds / std::max(baseline, 1e-12) - 1.0);
+    rows.push_back(row);
+    std::printf("%-12llu %9.4f %14.0f %8.2f%% %11llu\n",
+                static_cast<unsigned long long>(row.cadence), row.seconds,
+                row.elements_per_sec, row.overhead_pct,
+                static_cast<unsigned long long>(row.checkpoints_written));
+  }
+  std::filesystem::remove_all(dir);
+  std::printf("\n");
+}
+
 void RunScalingSection(uint64_t total_elements, int reps,
                        std::vector<ScalingRow>& rows) {
   constexpr uint64_t kPartitions = 8;
@@ -260,6 +342,7 @@ void RunScalingSection(uint64_t total_elements, int reps,
 
 bool WriteJson(const std::string& path, uint64_t path_elements,
                uint64_t scaling_elements, const std::vector<PathRow>& paths,
+               const std::vector<CheckpointRow>& checkpoints,
                const std::vector<ScalingRow>& scaling) {
   std::ofstream out(path);
   out << "{\n";
@@ -277,6 +360,16 @@ bool WriteJson(const std::string& path, uint64_t path_elements,
         << ", \"elements_per_sec\": " << r.elements_per_sec
         << ", \"speedup_vs_scalar\": " << r.speedup_vs_scalar << "}"
         << (i + 1 < paths.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"checkpoint_cadence\": [\n";
+  for (size_t i = 0; i < checkpoints.size(); ++i) {
+    const CheckpointRow& r = checkpoints[i];
+    out << "    {\"cadence\": " << r.cadence << ", \"seconds\": " << r.seconds
+        << ", \"elements_per_sec\": " << r.elements_per_sec
+        << ", \"overhead_pct\": " << r.overhead_pct
+        << ", \"checkpoints_written\": " << r.checkpoints_written << "}"
+        << (i + 1 < checkpoints.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
   out << "  \"scaling\": [\n";
@@ -299,10 +392,13 @@ int Main() {
   const int reps = 3;
 
   std::vector<PathRow> paths;
+  std::vector<CheckpointRow> checkpoints;
   std::vector<ScalingRow> scaling;
   RunPathSection(elements, reps, paths);
+  RunCheckpointSection(elements, reps, checkpoints);
   RunScalingSection(elements, reps, scaling);
-  if (!WriteJson("BENCH_ingest.json", elements, elements, paths, scaling)) {
+  if (!WriteJson("BENCH_ingest.json", elements, elements, paths, checkpoints,
+                 scaling)) {
     std::fprintf(stderr, "failed to write BENCH_ingest.json\n");
     return 1;
   }

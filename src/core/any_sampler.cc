@@ -1,10 +1,21 @@
 #include "src/core/any_sampler.h"
 
+#include <type_traits>
 #include <utility>
+
+#include "src/util/serialization.h"
 
 namespace sampwh {
 
 namespace {
+
+// Kind tags in the serialized sampler-state record. Stable on-disk values —
+// do not renumber.
+constexpr uint64_t kStateTagHybridBernoulli = 1;
+constexpr uint64_t kStateTagHybridReservoir = 2;
+constexpr uint64_t kStateTagBernoulli = 3;
+
+constexpr uint64_t kSamplerStateVersion = 1;
 
 std::variant<HybridBernoulliSampler, HybridReservoirSampler, BernoulliSampler>
 MakeImpl(const SamplerConfig& config, Pcg64 rng) {
@@ -65,6 +76,69 @@ uint64_t AnySampler::sample_size() const {
 
 PartitionSample AnySampler::Finalize() {
   return std::visit([](auto& sampler) { return sampler.Finalize(); }, impl_);
+}
+
+std::string AnySampler::SaveState() const {
+  BinaryWriter writer;
+  writer.PutFixed32(kSamplerStateRecordMagic);
+  writer.PutVarint64(kSamplerStateVersion);
+  std::visit(
+      [&writer](const auto& sampler) {
+        using T = std::decay_t<decltype(sampler)>;
+        if constexpr (std::is_same_v<T, HybridBernoulliSampler>) {
+          writer.PutVarint64(kStateTagHybridBernoulli);
+        } else if constexpr (std::is_same_v<T, HybridReservoirSampler>) {
+          writer.PutVarint64(kStateTagHybridReservoir);
+        } else {
+          writer.PutVarint64(kStateTagBernoulli);
+        }
+        sampler.SaveState(&writer);
+      },
+      impl_);
+  return std::move(writer).Release();
+}
+
+Result<AnySampler> AnySampler::LoadState(std::string_view bytes) {
+  BinaryReader reader(bytes);
+  uint32_t magic;
+  SAMPWH_RETURN_IF_ERROR(reader.GetFixed32(&magic));
+  if (magic != kSamplerStateRecordMagic) {
+    return Status::Corruption("not a sampler-state record");
+  }
+  uint64_t version;
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&version));
+  if (version != kSamplerStateVersion) {
+    return Status::Corruption("unsupported sampler-state version");
+  }
+  uint64_t tag;
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&tag));
+  Impl impl = BernoulliSampler(1.0, Pcg64(0));
+  switch (tag) {
+    case kStateTagHybridBernoulli: {
+      SAMPWH_ASSIGN_OR_RETURN(auto sampler,
+                              HybridBernoulliSampler::LoadState(&reader));
+      impl = std::move(sampler);
+      break;
+    }
+    case kStateTagHybridReservoir: {
+      SAMPWH_ASSIGN_OR_RETURN(auto sampler,
+                              HybridReservoirSampler::LoadState(&reader));
+      impl = std::move(sampler);
+      break;
+    }
+    case kStateTagBernoulli: {
+      SAMPWH_ASSIGN_OR_RETURN(auto sampler,
+                              BernoulliSampler::LoadState(&reader));
+      impl = std::move(sampler);
+      break;
+    }
+    default:
+      return Status::Corruption("unknown sampler-state kind tag");
+  }
+  if (reader.remaining() != 0) {
+    return Status::Corruption("trailing bytes after sampler state");
+  }
+  return AnySampler(std::move(impl));
 }
 
 }  // namespace sampwh

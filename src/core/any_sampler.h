@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <string_view>
 #include <variant>
 
@@ -16,6 +17,7 @@
 #include "src/core/hybrid_reservoir.h"
 #include "src/core/sample.h"
 #include "src/util/random.h"
+#include "src/util/status.h"
 
 namespace sampwh {
 
@@ -57,10 +59,22 @@ class AnySampler {
   uint64_t sample_size() const;
   PartitionSample Finalize();
 
+  /// Serializes the complete mid-stream state — kind tag, configuration,
+  /// compact histogram / bag, skip counters and the RNG engine — as a
+  /// self-describing sampler-state record (kSamplerStateRecordMagic).
+  /// LoadState() reconstructs a sampler that continues bit-identically to
+  /// one that was never serialized. The bytes are meant to ride inside the
+  /// checksummed SWV2 envelope; neither side applies its own checksum.
+  std::string SaveState() const;
+  static Result<AnySampler> LoadState(std::string_view bytes);
+
  private:
-  std::variant<HybridBernoulliSampler, HybridReservoirSampler,
-               BernoulliSampler>
-      impl_;
+  using Impl = std::variant<HybridBernoulliSampler, HybridReservoirSampler,
+                            BernoulliSampler>;
+
+  explicit AnySampler(Impl impl) : impl_(std::move(impl)) {}
+
+  Impl impl_;
 };
 
 }  // namespace sampwh

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/core/sampler_state.h"
 #include "src/util/distributions.h"
 #include "src/util/logging.h"
 
@@ -38,6 +39,31 @@ void BernoulliSampler::AddBatch(std::span<const Value> values) {
     gap_ = SampleGeometricSkip(rng_, q_);
   }
   elements_seen_ += n;
+}
+
+void BernoulliSampler::SaveState(BinaryWriter* writer) const {
+  writer->PutDouble(q_);
+  SaveRngState(rng_, writer);
+  writer->PutVarint64(elements_seen_);
+  writer->PutVarint64(gap_);
+  hist_.SerializeTo(writer);
+}
+
+Result<BernoulliSampler> BernoulliSampler::LoadState(BinaryReader* reader) {
+  double q;
+  SAMPWH_RETURN_IF_ERROR(reader->GetDouble(&q));
+  if (!(q > 0.0 && q <= 1.0)) {
+    return Status::Corruption("SB state: bad sampling rate");
+  }
+  // The constructor draws the first geometric skip from the RNG it is
+  // given; build with a throwaway engine, then restore every field from
+  // the record (including the real engine state).
+  BernoulliSampler s(q, Pcg64(0));
+  SAMPWH_RETURN_IF_ERROR(LoadRngState(reader, &s.rng_));
+  SAMPWH_RETURN_IF_ERROR(reader->GetVarint64(&s.elements_seen_));
+  SAMPWH_RETURN_IF_ERROR(reader->GetVarint64(&s.gap_));
+  SAMPWH_ASSIGN_OR_RETURN(s.hist_, CompactHistogram::DeserializeFrom(reader));
+  return s;
 }
 
 PartitionSample BernoulliSampler::Finalize() {

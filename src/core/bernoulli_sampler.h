@@ -39,6 +39,11 @@ class BernoulliSampler {
   /// Finalizes into an (unbounded-footprint) Bernoulli PartitionSample.
   PartitionSample Finalize();
 
+  /// Serializes rate, histogram, the pending geometric skip and the RNG
+  /// engine; LoadState() resumes bit-identically.
+  void SaveState(BinaryWriter* writer) const;
+  static Result<BernoulliSampler> LoadState(BinaryReader* reader);
+
  private:
   double q_;
   Pcg64 rng_;

@@ -114,4 +114,35 @@ void CompactHistogram::Clear() {
   footprint_bytes_ = 0;
 }
 
+void CompactHistogram::SerializeTo(BinaryWriter* writer) const {
+  const auto entries = SortedEntries();
+  writer->PutVarint64(entries.size());
+  Value previous = 0;
+  for (const auto& [v, n] : entries) {
+    writer->PutVarintSigned64(v - previous);
+    writer->PutVarint64(n);
+    previous = v;
+  }
+}
+
+Result<CompactHistogram> CompactHistogram::DeserializeFrom(
+    BinaryReader* reader) {
+  uint64_t num_entries;
+  SAMPWH_RETURN_IF_ERROR(reader->GetVarint64(&num_entries));
+  CompactHistogram hist;
+  Value previous = 0;
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    int64_t delta;
+    uint64_t count;
+    SAMPWH_RETURN_IF_ERROR(reader->GetVarintSigned64(&delta));
+    SAMPWH_RETURN_IF_ERROR(reader->GetVarint64(&count));
+    if (count == 0) {
+      return Status::Corruption("zero count in histogram entry");
+    }
+    previous += delta;
+    hist.Insert(previous, count);
+  }
+  return hist;
+}
+
 }  // namespace sampwh

@@ -15,6 +15,8 @@
 
 #include "src/core/types.h"
 #include "src/util/random.h"
+#include "src/util/serialization.h"
+#include "src/util/status.h"
 
 namespace sampwh {
 
@@ -74,6 +76,14 @@ class CompactHistogram {
   Value RemoveRandomVictim(Pcg64& rng);
 
   void Clear();
+
+  /// Encodes the histogram as (entry count, then sorted delta-encoded
+  /// (value, count) pairs) — the same wire idiom PartitionSample uses, so
+  /// multiset-equal histograms always serialize to identical bytes.
+  void SerializeTo(BinaryWriter* writer) const;
+
+  /// Bounds-checked decode; Corruption on zero counts or malformed input.
+  static Result<CompactHistogram> DeserializeFrom(BinaryReader* reader);
 
   bool operator==(const CompactHistogram& other) const {
     return counts_ == other.counts_;

@@ -4,6 +4,7 @@
 
 #include "src/core/purge.h"
 #include "src/core/qbound.h"
+#include "src/core/sampler_state.h"
 #include "src/util/distributions.h"
 #include "src/util/logging.h"
 
@@ -212,6 +213,77 @@ void HybridBernoulliSampler::ExpandIfNeeded() {
   bag_.reserve(n_F_);
   hist_.Clear();
   expanded_ = true;
+}
+
+void HybridBernoulliSampler::SaveState(BinaryWriter* writer) const {
+  writer->PutVarint64(options_.footprint_bound_bytes);
+  writer->PutVarint64(options_.expected_population_size);
+  writer->PutDouble(options_.exceedance_probability);
+  writer->PutVarint64(options_.use_exact_rate ? 1 : 0);
+  SaveRngState(rng_, writer);
+  writer->PutVarint64(static_cast<uint64_t>(phase_));
+  writer->PutVarint64(elements_seen_);
+  writer->PutDouble(q_);
+  hist_.SerializeTo(writer);
+  writer->PutVarint64(expanded_ ? 1 : 0);
+  SaveValueBag(bag_, writer);
+  writer->PutVarint64(bernoulli_gap_);
+  SaveVitterState(reservoir_skip_, writer);
+  writer->PutVarint64(next_reservoir_index_);
+}
+
+Result<HybridBernoulliSampler> HybridBernoulliSampler::LoadState(
+    BinaryReader* reader) {
+  Options options;
+  uint64_t use_exact;
+  SAMPWH_RETURN_IF_ERROR(
+      reader->GetVarint64(&options.footprint_bound_bytes));
+  SAMPWH_RETURN_IF_ERROR(
+      reader->GetVarint64(&options.expected_population_size));
+  SAMPWH_RETURN_IF_ERROR(reader->GetDouble(&options.exceedance_probability));
+  SAMPWH_RETURN_IF_ERROR(reader->GetVarint64(&use_exact));
+  options.use_exact_rate = use_exact != 0;
+  // Re-validate the constructor preconditions so corrupt state fails with
+  // Corruption instead of tripping a CHECK.
+  if (MaxSampleSizeForFootprint(options.footprint_bound_bytes) < 1) {
+    return Status::Corruption("HB state: footprint bound below one value");
+  }
+  if (!(options.exceedance_probability > 0.0 &&
+        options.exceedance_probability <= 0.5)) {
+    return Status::Corruption("HB state: bad exceedance probability");
+  }
+  Pcg64 rng(0);
+  SAMPWH_RETURN_IF_ERROR(LoadRngState(reader, &rng));
+  HybridBernoulliSampler s(options, std::move(rng));
+  uint64_t phase_raw;
+  SAMPWH_RETURN_IF_ERROR(reader->GetVarint64(&phase_raw));
+  if (phase_raw < 1 || phase_raw > 3) {
+    return Status::Corruption("HB state: bad phase");
+  }
+  s.phase_ = static_cast<SamplePhase>(phase_raw);
+  SAMPWH_RETURN_IF_ERROR(reader->GetVarint64(&s.elements_seen_));
+  SAMPWH_RETURN_IF_ERROR(reader->GetDouble(&s.q_));
+  if (!(s.q_ > 0.0 && s.q_ <= 1.0)) {
+    return Status::Corruption("HB state: bad sampling rate");
+  }
+  SAMPWH_ASSIGN_OR_RETURN(s.hist_, CompactHistogram::DeserializeFrom(reader));
+  uint64_t expanded_raw;
+  SAMPWH_RETURN_IF_ERROR(reader->GetVarint64(&expanded_raw));
+  if (expanded_raw > 1) {
+    return Status::Corruption("HB state: bad expanded flag");
+  }
+  s.expanded_ = expanded_raw != 0;
+  SAMPWH_RETURN_IF_ERROR(LoadValueBag(reader, &s.bag_));
+  SAMPWH_RETURN_IF_ERROR(reader->GetVarint64(&s.bernoulli_gap_));
+  SAMPWH_RETURN_IF_ERROR(LoadVitterState(reader, &s.reservoir_skip_));
+  SAMPWH_RETURN_IF_ERROR(reader->GetVarint64(&s.next_reservoir_index_));
+  if (s.phase_ == SamplePhase::kReservoir && !s.reservoir_skip_.has_value()) {
+    return Status::Corruption("HB state: reservoir phase without skip");
+  }
+  if (s.expanded_ && s.bag_.empty() && s.phase_ == SamplePhase::kReservoir) {
+    return Status::Corruption("HB state: empty expanded reservoir");
+  }
+  return s;
 }
 
 PartitionSample HybridBernoulliSampler::Finalize() {

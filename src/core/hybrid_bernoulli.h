@@ -105,6 +105,13 @@ class HybridBernoulliSampler {
   /// histogram form). The sampler is left empty.
   PartitionSample Finalize();
 
+  /// Serializes the complete mid-stream state — options, phase, rate,
+  /// histogram / expanded bag (in element order), the pending geometric and
+  /// Vitter skips, and the RNG engine. Non-destructive; LoadState() yields
+  /// a sampler that continues bit-identically to this one.
+  void SaveState(BinaryWriter* writer) const;
+  static Result<HybridBernoulliSampler> LoadState(BinaryReader* reader);
+
  private:
   // `processed` is the number of stream elements already fully processed
   // when the transition happens; reservoir skips resume from there.

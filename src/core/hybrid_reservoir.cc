@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/core/purge.h"
+#include "src/core/sampler_state.h"
 #include "src/util/logging.h"
 
 namespace sampwh {
@@ -140,6 +141,56 @@ void HybridReservoirSampler::ExpandIfNeeded() {
   bag_ = hist_.ToBag();
   hist_.Clear();
   expanded_ = true;
+}
+
+void HybridReservoirSampler::SaveState(BinaryWriter* writer) const {
+  writer->PutVarint64(options_.footprint_bound_bytes);
+  SaveRngState(rng_, writer);
+  writer->PutVarint64(static_cast<uint64_t>(phase_));
+  writer->PutVarint64(elements_seen_);
+  writer->PutVarint64(reservoir_capacity_);
+  hist_.SerializeTo(writer);
+  writer->PutVarint64(expanded_ ? 1 : 0);
+  SaveValueBag(bag_, writer);
+  SaveVitterState(reservoir_skip_, writer);
+  writer->PutVarint64(next_reservoir_index_);
+}
+
+Result<HybridReservoirSampler> HybridReservoirSampler::LoadState(
+    BinaryReader* reader) {
+  Options options;
+  SAMPWH_RETURN_IF_ERROR(
+      reader->GetVarint64(&options.footprint_bound_bytes));
+  if (MaxSampleSizeForFootprint(options.footprint_bound_bytes) < 1) {
+    return Status::Corruption("HR state: footprint bound below one value");
+  }
+  Pcg64 rng(0);
+  SAMPWH_RETURN_IF_ERROR(LoadRngState(reader, &rng));
+  HybridReservoirSampler s(options, std::move(rng));
+  uint64_t phase_raw;
+  SAMPWH_RETURN_IF_ERROR(reader->GetVarint64(&phase_raw));
+  if (phase_raw != static_cast<uint64_t>(SamplePhase::kExhaustive) &&
+      phase_raw != static_cast<uint64_t>(SamplePhase::kReservoir)) {
+    return Status::Corruption("HR state: bad phase");
+  }
+  s.phase_ = static_cast<SamplePhase>(phase_raw);
+  SAMPWH_RETURN_IF_ERROR(reader->GetVarint64(&s.elements_seen_));
+  SAMPWH_RETURN_IF_ERROR(reader->GetVarint64(&s.reservoir_capacity_));
+  SAMPWH_ASSIGN_OR_RETURN(s.hist_, CompactHistogram::DeserializeFrom(reader));
+  uint64_t expanded_raw;
+  SAMPWH_RETURN_IF_ERROR(reader->GetVarint64(&expanded_raw));
+  if (expanded_raw > 1) {
+    return Status::Corruption("HR state: bad expanded flag");
+  }
+  s.expanded_ = expanded_raw != 0;
+  SAMPWH_RETURN_IF_ERROR(LoadValueBag(reader, &s.bag_));
+  SAMPWH_RETURN_IF_ERROR(LoadVitterState(reader, &s.reservoir_skip_));
+  SAMPWH_RETURN_IF_ERROR(reader->GetVarint64(&s.next_reservoir_index_));
+  if (s.phase_ == SamplePhase::kReservoir &&
+      (!s.reservoir_skip_.has_value() || s.reservoir_capacity_ == 0)) {
+    return Status::Corruption("HR state: reservoir phase without skip");
+  }
+  return s;
 }
 
 PartitionSample HybridReservoirSampler::Finalize() {

@@ -67,6 +67,11 @@ class HybridReservoirSampler {
   /// sampler is left empty.
   PartitionSample Finalize();
 
+  /// Serializes the complete mid-stream state (see HybridBernoulliSampler::
+  /// SaveState); LoadState() resumes bit-identically.
+  void SaveState(BinaryWriter* writer) const;
+  static Result<HybridReservoirSampler> LoadState(BinaryReader* reader);
+
  private:
   void ExpandIfNeeded();
 

@@ -13,10 +13,16 @@ void PurgeBernoulli(CompactHistogram* sample, double q, Pcg64& rng) {
   SAMPWH_CHECK(q >= 0.0 && q <= 1.0);
   if (q >= 1.0) return;
   CompactHistogram thinned;
-  sample->ForEach([&](Value v, uint64_t n) {
+  // Iterate in sorted order, not hash order: one binomial draw per entry
+  // means the iteration order is part of the RNG stream, and hash order
+  // depends on the histogram's insertion history — a histogram rebuilt
+  // from its serialized (sorted) form would purge differently. Sorted
+  // iteration keeps purges reproducible across save/restore and across
+  // standard-library hash implementations.
+  for (const auto& [v, n] : sample->SortedEntries()) {
     const uint64_t kept = SampleBinomial(rng, n, q);
     if (kept > 0) thinned.Insert(v, kept);
-  });
+  }
   *sample = std::move(thinned);
 }
 

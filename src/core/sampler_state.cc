@@ -1,0 +1,77 @@
+#include "src/core/sampler_state.h"
+
+namespace sampwh {
+
+void SaveRngState(const Pcg64& rng, BinaryWriter* writer) {
+  const Pcg64::State state = rng.SaveState();
+  writer->PutFixed64(state.state_hi);
+  writer->PutFixed64(state.state_lo);
+  writer->PutFixed64(state.inc_hi);
+  writer->PutFixed64(state.inc_lo);
+}
+
+Status LoadRngState(BinaryReader* reader, Pcg64* rng) {
+  Pcg64::State state;
+  SAMPWH_RETURN_IF_ERROR(reader->GetFixed64(&state.state_hi));
+  SAMPWH_RETURN_IF_ERROR(reader->GetFixed64(&state.state_lo));
+  SAMPWH_RETURN_IF_ERROR(reader->GetFixed64(&state.inc_hi));
+  SAMPWH_RETURN_IF_ERROR(reader->GetFixed64(&state.inc_lo));
+  *rng = Pcg64::FromState(state);
+  return Status::OK();
+}
+
+void SaveVitterState(const std::optional<VitterSkip>& skip,
+                     BinaryWriter* writer) {
+  writer->PutVarint64(skip.has_value() ? 1 : 0);
+  if (!skip.has_value()) return;
+  const VitterSkip::State state = skip->SaveState();
+  writer->PutVarint64(state.k);
+  writer->PutVarint64(state.mode);
+  writer->PutDouble(state.w);
+}
+
+Status LoadVitterState(BinaryReader* reader,
+                       std::optional<VitterSkip>* skip) {
+  uint64_t present;
+  SAMPWH_RETURN_IF_ERROR(reader->GetVarint64(&present));
+  if (present == 0) {
+    skip->reset();
+    return Status::OK();
+  }
+  if (present != 1) return Status::Corruption("bad vitter presence flag");
+  VitterSkip::State state;
+  uint64_t mode;
+  SAMPWH_RETURN_IF_ERROR(reader->GetVarint64(&state.k));
+  SAMPWH_RETURN_IF_ERROR(reader->GetVarint64(&mode));
+  SAMPWH_RETURN_IF_ERROR(reader->GetDouble(&state.w));
+  if (state.k < 1) return Status::Corruption("vitter state with k = 0");
+  if (mode > 2) return Status::Corruption("bad vitter mode");
+  state.mode = static_cast<uint8_t>(mode);
+  skip->emplace(VitterSkip::FromState(state));
+  return Status::OK();
+}
+
+void SaveValueBag(const std::vector<Value>& bag, BinaryWriter* writer) {
+  writer->PutVarint64(bag.size());
+  for (const Value v : bag) writer->PutVarintSigned64(v);
+}
+
+Status LoadValueBag(BinaryReader* reader, std::vector<Value>* bag) {
+  uint64_t size;
+  SAMPWH_RETURN_IF_ERROR(reader->GetVarint64(&size));
+  // A value costs at least one encoded byte; reject sizes the remaining
+  // input cannot possibly hold before reserving memory for them.
+  if (size > reader->remaining()) {
+    return Status::Corruption("bag size exceeds input");
+  }
+  bag->clear();
+  bag->reserve(size);
+  for (uint64_t i = 0; i < size; ++i) {
+    int64_t v;
+    SAMPWH_RETURN_IF_ERROR(reader->GetVarintSigned64(&v));
+    bag->push_back(v);
+  }
+  return Status::OK();
+}
+
+}  // namespace sampwh

@@ -11,6 +11,21 @@ VitterSkip::VitterSkip(uint64_t k, Mode mode) : k_(k), mode_(mode) {
   w_ = 0.0;  // lazily initialized on first Algorithm Z call
 }
 
+VitterSkip::State VitterSkip::SaveState() const {
+  State state;
+  state.k = k_;
+  state.mode = static_cast<uint8_t>(mode_);
+  state.w = w_;
+  return state;
+}
+
+VitterSkip VitterSkip::FromState(const State& state) {
+  SAMPWH_CHECK(state.mode <= 2);
+  VitterSkip skip(state.k, static_cast<Mode>(state.mode));
+  skip.w_ = state.w;
+  return skip;
+}
+
 uint64_t VitterSkip::NextInsertionIndex(Pcg64& rng, uint64_t n) {
   SAMPWH_DCHECK(n >= k_);
   uint64_t skip;

@@ -37,6 +37,22 @@ class VitterSkip {
   /// without consulting the skip function). Always returns > n.
   uint64_t NextInsertionIndex(Pcg64& rng, uint64_t n);
 
+  /// Serializable generator state. `w` is Algorithm Z's rejection-envelope
+  /// variable W, carried across calls (0.0 before its lazy initialization);
+  /// restoring it bit-exactly is what makes a resumed reservoir sampler
+  /// draw the identical skip sequence.
+  struct State {
+    uint64_t k = 0;
+    uint8_t mode = 0;  // static_cast of Mode
+    double w = 0.0;
+  };
+
+  State SaveState() const;
+
+  /// Rebuilds a skip generator. Callers must validate k >= 1 and
+  /// mode <= 2 before calling (deserializers do; this CHECKs).
+  static VitterSkip FromState(const State& state);
+
  private:
   uint64_t SkipX(Pcg64& rng, uint64_t n) const;
   uint64_t SkipZ(Pcg64& rng, uint64_t n);

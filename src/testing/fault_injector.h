@@ -49,6 +49,10 @@ inline constexpr char kFaultSitePutWrite[] = "sample_store.put.write";
 inline constexpr char kFaultSiteGetRead[] = "sample_store.get.read";
 inline constexpr char kFaultSiteDelete[] = "sample_store.delete";
 inline constexpr char kFaultSiteGetManyTask[] = "sample_store.get_many.task";
+inline constexpr char kFaultSiteCheckpointWrite[] =
+    "sample_store.checkpoint.write";
+inline constexpr char kFaultSiteCheckpointRead[] =
+    "sample_store.checkpoint.read";
 
 /// Thread-safe; one injector is typically shared by a store and the test
 /// driving it.

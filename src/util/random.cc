@@ -54,4 +54,22 @@ Pcg64 Pcg64::Fork(uint64_t salt) {
   return Pcg64(child_seed, salt ^ 0x9e3779b97f4a7c15ULL);
 }
 
+Pcg64::State Pcg64::SaveState() const {
+  State s;
+  s.state_hi = static_cast<uint64_t>(state_ >> 64);
+  s.state_lo = static_cast<uint64_t>(state_);
+  s.inc_hi = static_cast<uint64_t>(inc_ >> 64);
+  s.inc_lo = static_cast<uint64_t>(inc_);
+  return s;
+}
+
+Pcg64 Pcg64::FromState(const State& state) {
+  Pcg64 rng(0);
+  rng.state_ =
+      (static_cast<u128>(state.state_hi) << 64) | state.state_lo;
+  rng.inc_ =
+      ((static_cast<u128>(state.inc_hi) << 64) | state.inc_lo) | 1;
+  return rng;
+}
+
 }  // namespace sampwh

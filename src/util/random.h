@@ -81,6 +81,24 @@ class Pcg64 {
   /// generator's next output, salt); used to fan out per-partition RNGs.
   Pcg64 Fork(uint64_t salt);
 
+  /// The full 128+128 bit generator state, split into four words so it can
+  /// be persisted without a 128-bit integer type in the on-disk format.
+  /// FromState(SaveState()) produces a generator that emits the identical
+  /// output sequence — the basis of crash-resumable sampling.
+  struct State {
+    uint64_t state_hi = 0;
+    uint64_t state_lo = 0;
+    uint64_t inc_hi = 0;
+    uint64_t inc_lo = 0;
+  };
+
+  State SaveState() const;
+
+  /// Rebuilds a generator from a saved state. The increment's low bit is
+  /// forced odd (a structural invariant of PCG), so any four words yield a
+  /// valid generator — corrupt input can skew, but never break, the RNG.
+  static Pcg64 FromState(const State& state);
+
  private:
   using u128 = unsigned __int128;
 

@@ -86,6 +86,19 @@ inline constexpr uint32_t kSampleEnvelopeMagic = 0x32565753;  // "SWV2"
 inline constexpr uint32_t kSampleEnvelopeVersion = 2;
 inline constexpr size_t kSampleEnvelopeHeaderBytes = 20;
 
+// The envelope carries no record-type field of its own: the payload's
+// leading fixed32 magic identifies the record. Three record types exist:
+//
+//   kSampleFormatMagic (sample.cc)  — a finalized PartitionSample
+//   kSamplerStateRecordMagic        — a mid-stream AnySampler::SaveState
+//   kCheckpointRecordMagic          — a StreamIngestor ingest checkpoint
+//                                     (which embeds a sampler-state record)
+//
+// All three ride through WrapSampleEnvelope / UnwrapSampleEnvelope, so the
+// CRC layer verifies every persisted record kind uniformly.
+inline constexpr uint32_t kSamplerStateRecordMagic = 0x53535753;  // "SWSS"
+inline constexpr uint32_t kCheckpointRecordMagic = 0x504b4357;    // "WCKP"
+
 /// Frames `payload` in a v2 envelope (header + payload bytes).
 std::string WrapSampleEnvelope(std::string_view payload);
 

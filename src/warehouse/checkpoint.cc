@@ -1,0 +1,123 @@
+#include "src/warehouse/checkpoint.h"
+
+#include <utility>
+
+#include "src/core/any_sampler.h"
+#include "src/core/sample.h"
+#include "src/util/serialization.h"
+
+namespace sampwh {
+
+namespace {
+
+constexpr uint64_t kCheckpointVersion = 1;
+
+}  // namespace
+
+std::string IngestCheckpoint::Serialize() const {
+  BinaryWriter writer;
+  writer.PutFixed32(kCheckpointRecordMagic);
+  writer.PutVarint64(kCheckpointVersion);
+  writer.PutVarint64(next_sequence);
+  writer.PutVarint64(partitions_started);
+  writer.PutVarint64(created_unix_micros);
+  writer.PutFixed64(rng.state_hi);
+  writer.PutFixed64(rng.state_lo);
+  writer.PutFixed64(rng.inc_hi);
+  writer.PutFixed64(rng.inc_lo);
+  writer.PutVarint64(rolled_in.size());
+  for (const PartitionId id : rolled_in) writer.PutVarint64(id);
+  writer.PutVarint64(progress.elements);
+  writer.PutVarint64(progress.sample_size);
+  writer.PutVarint64(progress.first_timestamp);
+  writer.PutVarint64(progress.last_timestamp);
+  writer.PutString(sampler_state);
+  writer.PutVarint64(pending.has_value() ? 1 : 0);
+  if (pending.has_value()) {
+    writer.PutString(pending->sample_payload);
+    writer.PutVarint64(pending->min_timestamp);
+    writer.PutVarint64(pending->max_timestamp);
+    writer.PutVarint64(pending->id_lower_bound);
+  }
+  return std::move(writer).Release();
+}
+
+Result<IngestCheckpoint> IngestCheckpoint::Deserialize(
+    std::string_view bytes) {
+  BinaryReader reader(bytes);
+  uint32_t magic;
+  SAMPWH_RETURN_IF_ERROR(reader.GetFixed32(&magic));
+  if (magic != kCheckpointRecordMagic) {
+    return Status::Corruption("not an ingest-checkpoint record");
+  }
+  uint64_t version;
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&version));
+  if (version != kCheckpointVersion) {
+    return Status::Corruption("unsupported ingest-checkpoint version");
+  }
+  IngestCheckpoint ckpt;
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&ckpt.next_sequence));
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&ckpt.partitions_started));
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&ckpt.created_unix_micros));
+  SAMPWH_RETURN_IF_ERROR(reader.GetFixed64(&ckpt.rng.state_hi));
+  SAMPWH_RETURN_IF_ERROR(reader.GetFixed64(&ckpt.rng.state_lo));
+  SAMPWH_RETURN_IF_ERROR(reader.GetFixed64(&ckpt.rng.inc_hi));
+  SAMPWH_RETURN_IF_ERROR(reader.GetFixed64(&ckpt.rng.inc_lo));
+  uint64_t rolled_in_count;
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&rolled_in_count));
+  if (rolled_in_count > reader.remaining()) {
+    return Status::Corruption("ingest checkpoint: rolled-in count too large");
+  }
+  ckpt.rolled_in.reserve(rolled_in_count);
+  for (uint64_t i = 0; i < rolled_in_count; ++i) {
+    PartitionId id;
+    SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&id));
+    ckpt.rolled_in.push_back(id);
+  }
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&ckpt.progress.elements));
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&ckpt.progress.sample_size));
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&ckpt.progress.first_timestamp));
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&ckpt.progress.last_timestamp));
+  SAMPWH_RETURN_IF_ERROR(reader.GetString(&ckpt.sampler_state));
+  uint64_t has_pending;
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&has_pending));
+  if (has_pending > 1) {
+    return Status::Corruption("ingest checkpoint: bad pending flag");
+  }
+  if (has_pending == 1) {
+    PendingRollIn pending;
+    SAMPWH_RETURN_IF_ERROR(reader.GetString(&pending.sample_payload));
+    SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&pending.min_timestamp));
+    SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&pending.max_timestamp));
+    SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&pending.id_lower_bound));
+    ckpt.pending = std::move(pending);
+  }
+  if (reader.remaining() != 0) {
+    return Status::Corruption("trailing bytes after ingest checkpoint");
+  }
+  // An open partition with elements must carry a sampler state to resume
+  // from; the reverse (a sampler state with zero elements) is legal — the
+  // sampler was created but nothing arrived since the last close.
+  if (ckpt.progress.elements > 0 && ckpt.sampler_state.empty()) {
+    return Status::Corruption(
+        "ingest checkpoint: open partition without sampler state");
+  }
+  return ckpt;
+}
+
+Status VerifyCheckpointPayload(std::string_view bytes) {
+  SAMPWH_ASSIGN_OR_RETURN(IngestCheckpoint ckpt,
+                          IngestCheckpoint::Deserialize(bytes));
+  if (!ckpt.sampler_state.empty()) {
+    SAMPWH_RETURN_IF_ERROR(AnySampler::LoadState(ckpt.sampler_state).status());
+  }
+  if (ckpt.pending.has_value()) {
+    BinaryReader reader(ckpt.pending->sample_payload);
+    SAMPWH_ASSIGN_OR_RETURN(PartitionSample sample,
+                            PartitionSample::DeserializeFrom(&reader));
+    SAMPWH_RETURN_IF_ERROR(sample.Validate());
+  }
+  return Status::OK();
+}
+
+}  // namespace sampwh

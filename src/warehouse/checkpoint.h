@@ -1,0 +1,98 @@
+// Ingest checkpoints: the durable record a StreamIngestor persists so that
+// ingestion can be killed at any instant and resumed with exactly-once
+// semantics over an at-least-once delivery stream.
+//
+// A checkpoint captures everything the ingestor needs to continue
+// bit-identically:
+//
+//   * the replay watermark `next_sequence` — every element with a sequence
+//     number below it has been applied; re-delivered batches at or below
+//     the watermark are acknowledged and skipped on resume,
+//   * the ingestor's own RNG engine and partition counter (per-partition
+//     sampler streams are forked from these, never from the warehouse RNG,
+//     so they are replayable),
+//   * the open partition's progress and the mid-stream sampler state
+//     (an AnySampler::SaveState record), and
+//   * optionally a finalized-but-not-yet-rolled-in partition sample
+//     (PendingRollIn) bridging the close protocol: checkpoint A is written
+//     with the pending sample BEFORE RollIn, checkpoint B after. A crash
+//     between the two is reconciled on resume via `id_lower_bound`: if the
+//     store already holds a partition with id >= id_lower_bound the roll-in
+//     completed and the pending sample is adopted; otherwise it is rolled
+//     in again (the manifest-restored id allocator hands out the same id,
+//     so the retry overwrites any orphan bytes identically).
+//
+// The serialized record rides inside the CRC-framed SWV2 envelope like
+// every other persisted record (leading fixed32 kCheckpointRecordMagic
+// identifies it); SampleStore keeps the newest two generations per dataset
+// so a torn checkpoint write falls back to the previous one.
+
+#ifndef SAMPWH_WAREHOUSE_CHECKPOINT_H_
+#define SAMPWH_WAREHOUSE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/random.h"
+#include "src/util/status.h"
+#include "src/warehouse/ids.h"
+#include "src/warehouse/partitioner.h"
+
+namespace sampwh {
+
+/// A partition that was finalized but whose roll-in had not been confirmed
+/// when the checkpoint was written.
+struct PendingRollIn {
+  /// Bare serialized PartitionSample (no envelope; the checkpoint record as
+  /// a whole is CRC-framed).
+  std::string sample_payload;
+  uint64_t min_timestamp = 0;
+  uint64_t max_timestamp = 0;
+  /// Partition ids >= this bound did not exist when the checkpoint was
+  /// written; finding one on resume proves the roll-in completed.
+  PartitionId id_lower_bound = 0;
+};
+
+struct IngestCheckpoint {
+  /// Replay watermark: the sequence number of the next element to apply.
+  uint64_t next_sequence = 0;
+  /// How many partitions this ingestor has started (the fork salt for the
+  /// next partition's sampler stream).
+  uint64_t partitions_started = 0;
+  /// Wall-clock creation time, for observability only (tooling prints the
+  /// checkpoint age; no correctness decision reads it).
+  uint64_t created_unix_micros = 0;
+  /// The ingestor's private RNG engine at checkpoint time.
+  Pcg64::State rng;
+  /// Partition ids rolled in by this ingestor, in creation order.
+  std::vector<PartitionId> rolled_in;
+  /// Progress of the open partition.
+  PartitionProgress progress;
+  /// Mid-stream AnySampler::SaveState record for the open partition's
+  /// sampler; empty when no partition is open.
+  std::string sampler_state;
+  /// Set when a finalized partition's roll-in was unconfirmed.
+  std::optional<PendingRollIn> pending;
+
+  /// Encodes the record (leading kCheckpointRecordMagic, then version).
+  std::string Serialize() const;
+
+  /// Decodes and structurally validates a record produced by Serialize().
+  /// Corruption on any malformed field; the embedded sampler state and
+  /// pending sample payload are NOT decoded here (VerifyCheckpointPayload
+  /// does the deep check).
+  static Result<IngestCheckpoint> Deserialize(std::string_view bytes);
+};
+
+/// Full structural verification of a checkpoint payload: Deserialize() plus
+/// decoding the embedded sampler-state record and pending sample payload.
+/// Recovery scans use this so a checkpoint is either provably loadable or
+/// quarantined — invalid bytes are never half-decoded at resume time.
+Status VerifyCheckpointPayload(std::string_view bytes);
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_WAREHOUSE_CHECKPOINT_H_

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "src/util/serialization.h"
+#include "src/warehouse/checkpoint.h"
 
 namespace sampwh {
 
@@ -52,11 +53,47 @@ bool IsSampleFileName(const std::string& name) {
   return HasSuffix(name, ".sample");
 }
 
+// Parses "<dataset>.<generation>.ckpt". Dataset ids may themselves contain
+// dots, so the generation is always the LAST dot-separated segment before
+// the suffix; it must be purely numeric.
+bool ParseCheckpointName(const std::string& name, DatasetId* dataset,
+                         uint64_t* generation) {
+  if (!HasSuffix(name, ".ckpt")) return false;
+  const std::string stem = name.substr(0, name.size() - 5);
+  const size_t last_dot = stem.rfind('.');
+  if (last_dot == std::string::npos || last_dot == 0) return false;
+  const std::string gen_str = stem.substr(last_dot + 1);
+  if (gen_str.empty() ||
+      gen_str.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *dataset = stem.substr(0, last_dot);
+  *generation = std::stoull(gen_str);
+  return true;
+}
+
+// Full verification for recovery scans of checkpoint bytes: envelope +
+// record decode + embedded sampler-state / pending-sample decode.
+Status VerifyCheckpointBytes(const std::string& bytes) {
+  std::string_view payload;
+  SAMPWH_RETURN_IF_ERROR(UnwrapSampleEnvelope(bytes, &payload));
+  return VerifyCheckpointPayload(payload);
+}
+
 void SleepBackoff(std::chrono::microseconds backoff) {
   if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
 }
 
 }  // namespace
+
+std::string QuarantineDestination(const std::string& path) {
+  std::string dest = path + ".quarantine";
+  std::error_code ec;
+  for (uint64_t n = 1; std::filesystem::exists(dest, ec); ++n) {
+    dest = path + ".quarantine." + std::to_string(n);
+  }
+  return dest;
+}
 
 void SampleStore::SetFaultInjector(std::shared_ptr<FaultInjector> injector) {
   std::lock_guard<std::mutex> lock(config_mu_);
@@ -77,6 +114,17 @@ SampleStore::RetryPolicy SampleStore::retry_policy() const {
 std::shared_ptr<FaultInjector> SampleStore::fault_injector() const {
   std::lock_guard<std::mutex> lock(config_mu_);
   return injector_;
+}
+
+StoreStats SampleStore::GetStoreStats() const {
+  StoreStats stats;
+  stats.retries_attempted = stats_retries_attempted_.load();
+  stats.retries_exhausted = stats_retries_exhausted_.load();
+  stats.quarantines = stats_quarantines_.load();
+  stats.recovered_temps = stats_recovered_temps_.load();
+  stats.checkpoints_written = stats_checkpoints_written_.load();
+  stats.checkpoints_restored = stats_checkpoints_restored_.load();
+  return stats;
 }
 
 Result<RecoveryReport> SampleStore::Recover(
@@ -164,8 +212,10 @@ Status InMemorySampleStore::Put(const PartitionKey& key,
         return Status::IOError("injected crash before publish");
       case FaultKind::kIOError:
         if (attempt >= policy.max_attempts) {
+          NoteRetryExhausted();
           return Status::IOError("injected transient write fault");
         }
+        NoteRetryAttempted();
         SleepBackoff(backoff);
         backoff *= 2;
         continue;
@@ -192,8 +242,10 @@ Result<PartitionSample> InMemorySampleStore::Get(
                                 : FaultKind::kNone;
     if (fault == FaultKind::kIOError) {
       if (attempt >= policy.max_attempts) {
+        NoteRetryExhausted();
         return Status::IOError("injected transient read fault");
       }
+      NoteRetryAttempted();
       SleepBackoff(backoff);
       backoff *= 2;
       continue;
@@ -222,8 +274,10 @@ Status InMemorySampleStore::Delete(const PartitionKey& key) {
     if (injector != nullptr &&
         injector->Next(kFaultSiteDelete) == FaultKind::kIOError) {
       if (attempt >= policy.max_attempts) {
+        NoteRetryExhausted();
         return Status::IOError("injected transient delete fault");
       }
+      NoteRetryAttempted();
       SleepBackoff(backoff);
       backoff *= 2;
       continue;
@@ -265,9 +319,23 @@ Result<RecoveryReport> InMemorySampleStore::Recover(
       if (!VerifySampleBytes(it->second).ok()) {
         report.quarantined.push_back(it->first.dataset + "." +
                                      std::to_string(it->first.partition));
+        NoteQuarantine();
         it = samples_.erase(it);
       } else {
         ++it;
+      }
+    }
+    for (auto& [dataset, gens] : checkpoints_) {
+      for (auto it = gens.begin(); it != gens.end();) {
+        ++report.scanned;
+        if (!VerifyCheckpointBytes(it->second).ok()) {
+          report.quarantined_checkpoints.push_back(
+              dataset + "." + std::to_string(it->first) + ".ckpt");
+          NoteQuarantine();
+          it = gens.erase(it);
+        } else {
+          ++it;
+        }
       }
     }
   }
@@ -278,6 +346,108 @@ Result<RecoveryReport> InMemorySampleStore::Recover(
     }
   }
   return report;
+}
+
+Status InMemorySampleStore::PutCheckpoint(const DatasetId& dataset,
+                                          std::string_view payload) {
+  SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(dataset));
+  std::string bytes = WrapSampleEnvelope(payload);
+  const std::shared_ptr<FaultInjector> injector = fault_injector();
+  const RetryPolicy policy = retry_policy();
+  std::chrono::microseconds backoff = policy.initial_backoff;
+  for (int attempt = 1;; ++attempt) {
+    const FaultKind fault = injector != nullptr
+                                ? injector->Next(kFaultSiteCheckpointWrite)
+                                : FaultKind::kNone;
+    switch (fault) {
+      case FaultKind::kTornWrite: {
+        const size_t keep = injector->TornPrefixLength(bytes.size());
+        std::lock_guard<std::mutex> lock(mu_);
+        auto& gens = checkpoints_[dataset];
+        const uint64_t gen = gens.empty() ? 1 : gens.rbegin()->first + 1;
+        gens[gen] = bytes.substr(0, keep);
+        return Status::IOError("injected crash: torn checkpoint write");
+      }
+      case FaultKind::kCrashBeforeRename:
+        return Status::IOError("injected crash before checkpoint publish");
+      case FaultKind::kIOError:
+        if (attempt >= policy.max_attempts) {
+          NoteRetryExhausted();
+          return Status::IOError("injected transient checkpoint-write fault");
+        }
+        NoteRetryAttempted();
+        SleepBackoff(backoff);
+        backoff *= 2;
+        continue;
+      default: {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto& gens = checkpoints_[dataset];
+        const uint64_t gen = gens.empty() ? 1 : gens.rbegin()->first + 1;
+        gens[gen] = std::move(bytes);
+        while (gens.size() > 2) gens.erase(gens.begin());
+        NoteCheckpointWritten();
+        return Status::OK();
+      }
+    }
+  }
+}
+
+Result<std::string> InMemorySampleStore::GetCheckpoint(
+    const DatasetId& dataset) const {
+  SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(dataset));
+  const std::shared_ptr<FaultInjector> injector = fault_injector();
+  const RetryPolicy policy = retry_policy();
+  std::chrono::microseconds backoff = policy.initial_backoff;
+  for (int attempt = 1;; ++attempt) {
+    if (injector != nullptr &&
+        injector->Next(kFaultSiteCheckpointRead) == FaultKind::kIOError) {
+      if (attempt >= policy.max_attempts) {
+        NoteRetryExhausted();
+        return Status::IOError("injected transient checkpoint-read fault");
+      }
+      NoteRetryAttempted();
+      SleepBackoff(backoff);
+      backoff *= 2;
+      continue;
+    }
+    break;
+  }
+  // Newest generation first; a corrupt one is dropped (the in-memory
+  // quarantine) and the previous generation served instead.
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto ds = checkpoints_.find(dataset);
+  if (ds != checkpoints_.end()) {
+    auto& gens = ds->second;
+    while (!gens.empty()) {
+      const auto newest = std::prev(gens.end());
+      std::string_view payload;
+      if (UnwrapSampleEnvelope(newest->second, &payload).ok()) {
+        NoteCheckpointRestored();
+        return std::string(payload);
+      }
+      NoteQuarantine();
+      gens.erase(newest);
+    }
+  }
+  return Status::NotFound("no checkpoint for dataset");
+}
+
+Status InMemorySampleStore::DeleteCheckpoint(const DatasetId& dataset) {
+  SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(dataset));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (checkpoints_.erase(dataset) == 0) {
+    return Status::NotFound("no checkpoint for dataset");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<DatasetId>> InMemorySampleStore::ListCheckpoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DatasetId> datasets;
+  for (const auto& [dataset, gens] : checkpoints_) {
+    if (!gens.empty()) datasets.push_back(dataset);
+  }
+  return datasets;
 }
 
 FileSampleStore::FileSampleStore(std::string directory)
@@ -299,6 +469,12 @@ std::string FileSampleStore::PathFor(const PartitionKey& key) const {
          std::to_string(key.partition) + ".sample";
 }
 
+std::string FileSampleStore::CheckpointPathFor(const DatasetId& dataset,
+                                               uint64_t generation) const {
+  return directory_ + "/" + dataset + "." + std::to_string(generation) +
+         ".ckpt";
+}
+
 size_t FileSampleStore::StripeIndexForTesting(const PartitionKey& key) {
   return PartitionKeyHash{}(key) % kLockStripes;
 }
@@ -313,16 +489,15 @@ void FileSampleStore::SetReadHookForTesting(
   read_hook_ = std::move(hook);
 }
 
-Status FileSampleStore::WriteSampleFile(const PartitionKey& key,
-                                        const std::string& path,
-                                        const std::string& bytes) {
+Status FileSampleStore::WriteFileWithFaults(const std::string& site,
+                                            const std::string& path,
+                                            const std::string& bytes) {
   const std::shared_ptr<FaultInjector> injector = fault_injector();
   const RetryPolicy policy = retry_policy();
   std::chrono::microseconds backoff = policy.initial_backoff;
   for (int attempt = 1;; ++attempt) {
-    const FaultKind fault = injector != nullptr
-                                ? injector->Next(kFaultSitePutWrite)
-                                : FaultKind::kNone;
+    const FaultKind fault = injector != nullptr ? injector->Next(site)
+                                                : FaultKind::kNone;
     Status status;
     switch (fault) {
       case FaultKind::kTornWrite: {
@@ -351,10 +526,14 @@ Status FileSampleStore::WriteSampleFile(const PartitionKey& key,
         status = WriteFileAtomic(path, bytes);
         break;
     }
-    if (status.ok() || !status.IsIOError() ||
-        attempt >= policy.max_attempts) {
+    if (status.ok() || !status.IsIOError()) {
       return status;
     }
+    if (attempt >= policy.max_attempts) {
+      NoteRetryExhausted();
+      return status;
+    }
+    NoteRetryAttempted();
     SleepBackoff(backoff);
     backoff *= 2;
   }
@@ -364,9 +543,16 @@ void FileSampleStore::QuarantineFile(const PartitionKey& key,
                                      const std::string& path) const {
   std::lock_guard<std::mutex> lock(StripeFor(key));
   std::error_code ec;
-  std::filesystem::rename(path, path + ".quarantine", ec);
+  std::filesystem::rename(path, QuarantineDestination(path), ec);
   // Best effort: if the rename races a concurrent replace or delete, the
   // corrupt bytes are already gone.
+  if (!ec) NoteQuarantine();
+}
+
+void FileSampleStore::QuarantineCheckpointPath(const std::string& path) const {
+  std::error_code ec;
+  std::filesystem::rename(path, QuarantineDestination(path), ec);
+  if (!ec) NoteQuarantine();
 }
 
 Status FileSampleStore::Put(const PartitionKey& key,
@@ -375,7 +561,7 @@ Status FileSampleStore::Put(const PartitionKey& key,
   SAMPWH_RETURN_IF_ERROR(sample.Validate());
   const std::string bytes = SerializeSample(sample);
   std::lock_guard<std::mutex> lock(StripeFor(key));
-  return WriteSampleFile(key, PathFor(key), bytes);
+  return WriteFileWithFaults(kFaultSitePutWrite, PathFor(key), bytes);
 }
 
 Result<PartitionSample> FileSampleStore::Get(const PartitionKey& key) const {
@@ -404,9 +590,12 @@ Result<PartitionSample> FileSampleStore::Get(const PartitionKey& key) const {
         bytes[injector->CorruptByteIndex(bytes.size())] ^= 0x01;
       }
       if (status.ok()) break;
-      if (!status.IsIOError() || attempt >= policy.max_attempts) {
+      if (!status.IsIOError()) return status;
+      if (attempt >= policy.max_attempts) {
+        NoteRetryExhausted();
         return status;
       }
+      NoteRetryAttempted();
       SleepBackoff(backoff);
       backoff *= 2;
     }
@@ -432,8 +621,10 @@ Status FileSampleStore::Delete(const PartitionKey& key) {
     if (injector != nullptr &&
         injector->Next(kFaultSiteDelete) == FaultKind::kIOError) {
       if (attempt >= policy.max_attempts) {
+        NoteRetryExhausted();
         return Status::IOError("injected transient delete fault");
       }
+      NoteRetryAttempted();
       SleepBackoff(backoff);
       backoff *= 2;
       continue;
@@ -497,15 +688,20 @@ Result<RecoveryReport> FileSampleStore::Recover(
   RecoveryReport report;
   std::vector<std::filesystem::path> temps;
   std::vector<std::filesystem::path> samples;
+  std::vector<std::filesystem::path> checkpoints;
   std::error_code ec;
   for (const auto& entry :
        std::filesystem::directory_iterator(directory_, ec)) {
     if (!entry.is_regular_file(ec)) continue;
     const std::string name = entry.path().filename().string();
+    DatasetId ckpt_dataset;
+    uint64_t ckpt_gen;
     if (HasSuffix(name, ".tmp")) {
       temps.push_back(entry.path());
     } else if (IsSampleFileName(name)) {
       samples.push_back(entry.path());
+    } else if (ParseCheckpointName(name, &ckpt_dataset, &ckpt_gen)) {
+      checkpoints.push_back(entry.path());
     }
   }
   if (ec) {
@@ -518,6 +714,7 @@ Result<RecoveryReport> FileSampleStore::Recover(
     std::filesystem::remove(tmp, remove_ec);
     if (!remove_ec) {
       report.removed_temps.push_back(tmp.filename().string());
+      NoteRecoveredTemp();
     }
   }
   for (const auto& path : samples) {
@@ -527,8 +724,24 @@ Result<RecoveryReport> FileSampleStore::Recover(
     if (status.ok()) status = VerifySampleBytes(bytes);
     if (!status.ok()) {
       std::error_code rename_ec;
-      std::filesystem::rename(path, path.string() + ".quarantine", rename_ec);
+      std::filesystem::rename(path, QuarantineDestination(path.string()),
+                              rename_ec);
       report.quarantined.push_back(path.filename().string());
+      if (!rename_ec) NoteQuarantine();
+    }
+  }
+  // Checkpoints get the FULL structural check (record + embedded sampler
+  // state + pending sample): resume must never begin decoding a checkpoint
+  // that cannot be loaded end to end.
+  for (const auto& path : checkpoints) {
+    ++report.scanned;
+    std::string bytes;
+    Status status = ReadFile(path.string(), &bytes);
+    if (status.ok()) status = VerifyCheckpointBytes(bytes);
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(ckpt_mu_);
+      QuarantineCheckpointPath(path.string());
+      report.quarantined_checkpoints.push_back(path.filename().string());
     }
   }
   for (const PartitionKey& key : expected) {
@@ -538,6 +751,121 @@ Result<RecoveryReport> FileSampleStore::Recover(
     }
   }
   return report;
+}
+
+std::vector<uint64_t> FileSampleStore::CheckpointGenerations(
+    const DatasetId& dataset) const {
+  std::vector<uint64_t> gens;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    DatasetId parsed;
+    uint64_t gen;
+    if (ParseCheckpointName(entry.path().filename().string(), &parsed, &gen) &&
+        parsed == dataset) {
+      gens.push_back(gen);
+    }
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+Status FileSampleStore::PutCheckpoint(const DatasetId& dataset,
+                                      std::string_view payload) {
+  SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(dataset));
+  const std::string bytes = WrapSampleEnvelope(payload);
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  const std::vector<uint64_t> gens = CheckpointGenerations(dataset);
+  const uint64_t next_gen = gens.empty() ? 1 : gens.back() + 1;
+  SAMPWH_RETURN_IF_ERROR(WriteFileWithFaults(
+      kFaultSiteCheckpointWrite, CheckpointPathFor(dataset, next_gen), bytes));
+  // Keep the newest two generations: the one just written plus one
+  // fallback in case the next write tears.
+  for (size_t i = 0; i + 1 < gens.size(); ++i) {
+    std::error_code remove_ec;
+    std::filesystem::remove(CheckpointPathFor(dataset, gens[i]), remove_ec);
+  }
+  NoteCheckpointWritten();
+  return Status::OK();
+}
+
+Result<std::string> FileSampleStore::GetCheckpoint(
+    const DatasetId& dataset) const {
+  SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(dataset));
+  const std::shared_ptr<FaultInjector> injector = fault_injector();
+  const RetryPolicy policy = retry_policy();
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  std::vector<uint64_t> gens = CheckpointGenerations(dataset);
+  // Newest generation first; a generation that fails envelope verification
+  // is quarantined and the previous one tried.
+  while (!gens.empty()) {
+    const std::string path = CheckpointPathFor(dataset, gens.back());
+    gens.pop_back();
+    std::string bytes;
+    std::chrono::microseconds backoff = policy.initial_backoff;
+    Status status;
+    for (int attempt = 1;; ++attempt) {
+      const FaultKind fault = injector != nullptr
+                                  ? injector->Next(kFaultSiteCheckpointRead)
+                                  : FaultKind::kNone;
+      status = fault == FaultKind::kIOError
+                   ? Status::IOError("injected transient checkpoint read")
+                   : ReadFile(path, &bytes);
+      if (status.ok() && fault == FaultKind::kCorruptRead && !bytes.empty()) {
+        bytes[injector->CorruptByteIndex(bytes.size())] ^= 0x01;
+      }
+      if (status.ok() || !status.IsIOError()) break;
+      if (attempt >= policy.max_attempts) {
+        NoteRetryExhausted();
+        break;
+      }
+      NoteRetryAttempted();
+      SleepBackoff(backoff);
+      backoff *= 2;
+    }
+    if (status.IsIOError()) return status;
+    if (!status.ok()) continue;  // vanished between list and read
+    std::string_view payload;
+    if (UnwrapSampleEnvelope(bytes, &payload).ok()) {
+      NoteCheckpointRestored();
+      return std::string(payload);
+    }
+    QuarantineCheckpointPath(path);
+  }
+  return Status::NotFound("no checkpoint for dataset");
+}
+
+Status FileSampleStore::DeleteCheckpoint(const DatasetId& dataset) {
+  SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(dataset));
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  const std::vector<uint64_t> gens = CheckpointGenerations(dataset);
+  if (gens.empty()) return Status::NotFound("no checkpoint for dataset");
+  for (const uint64_t gen : gens) {
+    std::error_code remove_ec;
+    std::filesystem::remove(CheckpointPathFor(dataset, gen), remove_ec);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<DatasetId>> FileSampleStore::ListCheckpoints() const {
+  std::vector<DatasetId> datasets;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    DatasetId dataset;
+    uint64_t gen;
+    if (ParseCheckpointName(entry.path().filename().string(), &dataset,
+                            &gen)) {
+      datasets.push_back(dataset);
+    }
+  }
+  if (ec) return Status::IOError("cannot list " + directory_);
+  std::sort(datasets.begin(), datasets.end());
+  datasets.erase(std::unique(datasets.begin(), datasets.end()),
+                 datasets.end());
+  return datasets;
 }
 
 }  // namespace sampwh

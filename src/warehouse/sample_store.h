@@ -25,12 +25,14 @@
 #define SAMPWH_WAREHOUSE_SAMPLE_STORE_H_
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/sample.h"
@@ -52,6 +54,27 @@ struct RecoveryReport {
   std::vector<std::string> removed_temps;
   /// Keys from `expected` whose samples are absent or were quarantined.
   std::vector<PartitionKey> missing_partitions;
+  /// Ingest-checkpoint generations that failed verification and were
+  /// quarantined (file backend) or dropped (in-memory backend).
+  std::vector<std::string> quarantined_checkpoints;
+  /// Filled by Warehouse::RestoreWithRecovery: datasets that had stored
+  /// checkpoints but no longer exist in the catalog (checkpoints deleted).
+  std::vector<DatasetId> stale_checkpoints;
+};
+
+/// Cumulative reliability counters for one store instance, covering samples
+/// and ingest checkpoints across both backends.
+struct StoreStats {
+  /// Backoff-then-retry cycles taken after a transient IO fault.
+  uint64_t retries_attempted = 0;
+  /// Operations that failed even after exhausting the retry budget.
+  uint64_t retries_exhausted = 0;
+  /// Corrupt samples or checkpoints moved aside (or dropped in memory).
+  uint64_t quarantines = 0;
+  /// Orphan temp files removed by Recover().
+  uint64_t recovered_temps = 0;
+  uint64_t checkpoints_written = 0;
+  uint64_t checkpoints_restored = 0;
 };
 
 class SampleStore {
@@ -104,6 +127,34 @@ class SampleStore {
   virtual Result<RecoveryReport> Recover(
       const std::vector<PartitionKey>& expected = {});
 
+  // --- Ingest checkpoints -------------------------------------------------
+  //
+  // One logical checkpoint per dataset, stored generationally (the newest
+  // two generations are kept) so a write torn mid-checkpoint never loses
+  // the previous good one. `payload` is an IngestCheckpoint record; the
+  // store frames it in the CRC'd SWV2 envelope like every sample.
+
+  /// Persists a new checkpoint generation for `dataset` and prunes old
+  /// generations beyond the newest two. Consults the injector at
+  /// kFaultSiteCheckpointWrite with the same semantics as sample writes.
+  virtual Status PutCheckpoint(const DatasetId& dataset,
+                               std::string_view payload) = 0;
+
+  /// The newest checkpoint payload for `dataset` that passes envelope
+  /// verification. A corrupt newest generation is quarantined and the
+  /// previous one served instead; NotFound when no valid generation
+  /// remains. Consults kFaultSiteCheckpointRead.
+  virtual Result<std::string> GetCheckpoint(const DatasetId& dataset)
+      const = 0;
+
+  /// Removes every checkpoint generation for `dataset`; NotFound when none
+  /// exist.
+  virtual Status DeleteCheckpoint(const DatasetId& dataset) = 0;
+
+  /// Datasets that currently have at least one stored checkpoint
+  /// generation, ascending.
+  virtual Result<std::vector<DatasetId>> ListCheckpoints() const = 0;
+
   /// Arms fault injection for this store (nullptr disarms). The injector
   /// is consulted at the kFaultSite* sites in fault_injector.h.
   void SetFaultInjector(std::shared_ptr<FaultInjector> injector);
@@ -111,13 +162,35 @@ class SampleStore {
   void SetRetryPolicy(const RetryPolicy& policy);
   RetryPolicy retry_policy() const;
 
+  /// Snapshot of the cumulative reliability counters.
+  StoreStats GetStoreStats() const;
+
  protected:
   std::shared_ptr<FaultInjector> fault_injector() const;
+
+  // Counter hooks for subclasses (thread-safe, callable from const paths).
+  void NoteRetryAttempted() const { stats_retries_attempted_.fetch_add(1); }
+  void NoteRetryExhausted() const { stats_retries_exhausted_.fetch_add(1); }
+  void NoteQuarantine() const { stats_quarantines_.fetch_add(1); }
+  void NoteRecoveredTemp() const { stats_recovered_temps_.fetch_add(1); }
+  void NoteCheckpointWritten() const {
+    stats_checkpoints_written_.fetch_add(1);
+  }
+  void NoteCheckpointRestored() const {
+    stats_checkpoints_restored_.fetch_add(1);
+  }
 
  private:
   mutable std::mutex config_mu_;
   std::shared_ptr<FaultInjector> injector_;
   RetryPolicy retry_policy_;
+
+  mutable std::atomic<uint64_t> stats_retries_attempted_{0};
+  mutable std::atomic<uint64_t> stats_retries_exhausted_{0};
+  mutable std::atomic<uint64_t> stats_quarantines_{0};
+  mutable std::atomic<uint64_t> stats_recovered_temps_{0};
+  mutable std::atomic<uint64_t> stats_checkpoints_written_{0};
+  mutable std::atomic<uint64_t> stats_checkpoints_restored_{0};
 };
 
 /// Map-backed store; thread-safe.
@@ -135,9 +208,19 @@ class InMemorySampleStore : public SampleStore {
   Result<RecoveryReport> Recover(
       const std::vector<PartitionKey>& expected = {}) override;
 
+  Status PutCheckpoint(const DatasetId& dataset,
+                       std::string_view payload) override;
+  Result<std::string> GetCheckpoint(const DatasetId& dataset) const override;
+  Status DeleteCheckpoint(const DatasetId& dataset) override;
+  Result<std::vector<DatasetId>> ListCheckpoints() const override;
+
  private:
   mutable std::mutex mu_;
   std::map<PartitionKey, std::string> samples_;  // enveloped serialized form
+  // generation -> enveloped checkpoint bytes; mutable so a const Get can
+  // drop a generation it diagnosed as corrupt (the in-memory analogue of
+  // quarantining a file aside).
+  mutable std::map<DatasetId, std::map<uint64_t, std::string>> checkpoints_;
 };
 
 /// One file per sample under `directory` (created if missing), written with
@@ -160,10 +243,20 @@ class FileSampleStore : public SampleStore {
   uint64_t TotalStoredBytes() const override;
 
   /// Directory scan: removes orphan "*.tmp" files, quarantines sample
-  /// files that fail envelope/decode/Validate, reports expected keys that
-  /// are no longer servable.
+  /// files that fail envelope/decode/Validate and checkpoint files that
+  /// fail full structural verification, reports expected keys that are no
+  /// longer servable. Quarantine renames are collision-free: a name whose
+  /// plain ".quarantine" sibling already exists (e.g. from a previous
+  /// recovery pass) gets a ".quarantine.<n>" suffix instead of
+  /// overwriting the preserved evidence.
   Result<RecoveryReport> Recover(
       const std::vector<PartitionKey>& expected = {}) override;
+
+  Status PutCheckpoint(const DatasetId& dataset,
+                       std::string_view payload) override;
+  Result<std::string> GetCheckpoint(const DatasetId& dataset) const override;
+  Status DeleteCheckpoint(const DatasetId& dataset) override;
+  Result<std::vector<DatasetId>> ListCheckpoints() const override;
 
   /// Test-only fault-injection hook, invoked inside Get while the key's
   /// lock stripe is held (after validation, before the file read). A hook
@@ -182,18 +275,36 @@ class FileSampleStore : public SampleStore {
   explicit FileSampleStore(std::string directory);
 
   std::string PathFor(const PartitionKey& key) const;
+  std::string CheckpointPathFor(const DatasetId& dataset,
+                                uint64_t generation) const;
   std::mutex& StripeFor(const PartitionKey& key) const;
-  /// Write with injected-fault simulation and transient-fault retry.
-  Status WriteSampleFile(const PartitionKey& key, const std::string& path,
-                         const std::string& bytes);
+  /// Write with injected-fault simulation and transient-fault retry;
+  /// `site` selects the injection site (sample put vs checkpoint write).
+  Status WriteFileWithFaults(const std::string& site, const std::string& path,
+                             const std::string& bytes);
   /// Renames `path` aside (best effort) after a corruption diagnosis.
   void QuarantineFile(const PartitionKey& key, const std::string& path) const;
+  /// Same, for checkpoint files; caller holds ckpt_mu_.
+  void QuarantineCheckpointPath(const std::string& path) const;
+  /// Checkpoint generations stored for `dataset`, ascending. Caller holds
+  /// ckpt_mu_ (or is a lock-free scan like ListCheckpoints).
+  std::vector<uint64_t> CheckpointGenerations(const DatasetId& dataset) const;
 
   mutable std::array<std::mutex, kLockStripes> stripes_;
   mutable std::mutex hook_mu_;
   std::function<void(const PartitionKey&)> read_hook_;
+  // Serializes checkpoint generation bookkeeping (allocate/prune/fallback);
+  // independent of the sample stripes so checkpoint traffic never blocks
+  // sample reads.
+  mutable std::mutex ckpt_mu_;
   std::string directory_;
 };
+
+/// Collision-free quarantine destination for `path`: "<path>.quarantine"
+/// when unclaimed, otherwise "<path>.quarantine.<n>" for the smallest free
+/// n — a repeated recovery pass never overwrites previously preserved
+/// evidence. Exposed for tests.
+std::string QuarantineDestination(const std::string& path);
 
 }  // namespace sampwh
 

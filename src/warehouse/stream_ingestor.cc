@@ -1,23 +1,43 @@
 #include "src/warehouse/stream_ingestor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "src/util/logging.h"
+#include "src/util/serialization.h"
+#include "src/warehouse/checkpoint.h"
 
 namespace sampwh {
+
+namespace {
+
+uint64_t NowUnixMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 StreamIngestor::StreamIngestor(Warehouse* warehouse, DatasetId dataset,
                                std::unique_ptr<Partitioner> partitioner)
     : warehouse_(warehouse),
       dataset_(std::move(dataset)),
-      partitioner_(std::move(partitioner)) {
+      partitioner_(std::move(partitioner)),
+      rng_(warehouse != nullptr ? warehouse->ForkRng() : Pcg64(0)) {
   SAMPWH_CHECK(warehouse_ != nullptr);
 }
 
 void StreamIngestor::StartPartition() {
+  // Fork the partition's sampler stream from the ingestor's OWN engine,
+  // keyed by the partition ordinal. Both the engine and the ordinal are
+  // checkpointed, so a resumed ingestor reproduces the exact RNG stream an
+  // uninterrupted run would have used for this and every later partition.
   sampler_.emplace(warehouse_->SamplerConfigFor(dataset_),
-                   warehouse_->ForkRng());
+                   rng_.Fork(partitions_started_));
+  ++partitions_started_;
   progress_ = PartitionProgress{};
 }
 
@@ -25,43 +45,140 @@ void StreamIngestor::RefreshSampleSize() {
   if (sampler_.has_value()) progress_.sample_size = sampler_->sample_size();
 }
 
+Result<PartitionId> StreamIngestor::NextIdLowerBound() const {
+  SAMPWH_ASSIGN_OR_RETURN(std::vector<PartitionInfo> parts,
+                          warehouse_->ListPartitions(dataset_));
+  PartitionId bound = 0;
+  for (const PartitionInfo& p : parts) {
+    bound = std::max(bound, p.id + 1);
+  }
+  return bound;
+}
+
 Status StreamIngestor::CloseCurrentPartition() {
   if (!sampler_.has_value() || progress_.elements == 0) return Status::OK();
   RefreshSampleSize();
-  PartitionSample sample = sampler_->Finalize();
-  SAMPWH_ASSIGN_OR_RETURN(
-      PartitionId id,
-      warehouse_->RollIn(dataset_, sample, progress_.first_timestamp,
-                         progress_.last_timestamp));
-  rolled_in_.push_back(id);
+  PendingClose pending;
+  pending.sample = sampler_->Finalize();
+  pending.min_timestamp = progress_.first_timestamp;
+  pending.max_timestamp = progress_.last_timestamp;
+  SAMPWH_ASSIGN_OR_RETURN(pending.id_lower_bound, NextIdLowerBound());
+  pending_ = std::move(pending);
   sampler_.reset();
   progress_ = PartitionProgress{};
+  return CompletePendingClose();
+}
+
+Status StreamIngestor::CompletePendingClose() {
+  if (!pending_.has_value()) return Status::OK();
+  // Checkpoint A: record the finalized sample durably BEFORE RollIn, so a
+  // crash in the window between them is reconciled on resume instead of
+  // replaying the partition's elements into a duplicate. A failure here
+  // leaves pending_ set; the next append (or an explicit Checkpoint())
+  // retries the whole close.
+  if (checkpoints_enabled_ && !pending_->checkpointed) {
+    SAMPWH_RETURN_IF_ERROR(WriteCheckpoint());
+    pending_->checkpointed = true;
+  }
+  SAMPWH_ASSIGN_OR_RETURN(
+      PartitionId id,
+      warehouse_->RollIn(dataset_, pending_->sample, pending_->min_timestamp,
+                         pending_->max_timestamp));
+  rolled_in_.push_back(id);
+  pending_.reset();
+  // Checkpoint B clears the pending record. Best effort: if it is lost, a
+  // resume from checkpoint A finds the rolled-in partition at or above
+  // id_lower_bound and adopts it instead of rolling in twice.
+  if (checkpoints_enabled_) WriteCheckpoint();
   return Status::OK();
 }
 
-Status StreamIngestor::Append(Value v, uint64_t timestamp) {
-  if (partitioner_ != nullptr && sampler_.has_value() &&
-      partitioner_->ShouldCloseBefore(progress_, timestamp)) {
-    SAMPWH_RETURN_IF_ERROR(CloseCurrentPartition());
+Status StreamIngestor::WriteCheckpoint() {
+  IngestCheckpoint ckpt;
+  ckpt.next_sequence = next_sequence_;
+  ckpt.partitions_started = partitions_started_;
+  ckpt.created_unix_micros = NowUnixMicros();
+  ckpt.rng = rng_.SaveState();
+  ckpt.rolled_in = rolled_in_;
+  ckpt.progress = progress_;
+  if (sampler_.has_value()) ckpt.sampler_state = sampler_->SaveState();
+  if (pending_.has_value()) {
+    PendingRollIn pending;
+    BinaryWriter writer;
+    pending_->sample.SerializeTo(&writer);
+    pending.sample_payload = std::move(writer).Release();
+    pending.min_timestamp = pending_->min_timestamp;
+    pending.max_timestamp = pending_->max_timestamp;
+    pending.id_lower_bound = pending_->id_lower_bound;
+    ckpt.pending = std::move(pending);
   }
-  if (!sampler_.has_value()) StartPartition();
-
-  if (progress_.elements == 0) progress_.first_timestamp = timestamp;
-  progress_.last_timestamp = timestamp;
-  sampler_->Add(v);
-  ++progress_.elements;
-
-  if (partitioner_ != nullptr) {
-    RefreshSampleSize();
-    if (partitioner_->ShouldCloseAfter(progress_)) {
-      SAMPWH_RETURN_IF_ERROR(CloseCurrentPartition());
-    }
-  }
+  SAMPWH_RETURN_IF_ERROR(
+      warehouse_->PutIngestCheckpoint(dataset_, ckpt.Serialize()));
+  elements_since_checkpoint_ = 0;
+  last_checkpoint_tick_ = progress_.last_timestamp;
   return Status::OK();
+}
+
+void StreamIngestor::MaybeCheckpoint() {
+  if (!checkpoints_enabled_ || pending_.has_value()) return;
+  const bool by_count = policy_.every_n_elements > 0 &&
+                        elements_since_checkpoint_ >= policy_.every_n_elements;
+  const bool by_time =
+      policy_.every_t_ticks > 0 &&
+      progress_.last_timestamp >=
+          last_checkpoint_tick_ + policy_.every_t_ticks;
+  if (!by_count && !by_time) return;
+  // Cadence checkpoints are an optimization of resume granularity, not a
+  // correctness requirement — a failed write only means more replay.
+  WriteCheckpoint();
+}
+
+void StreamIngestor::EnableCheckpoints(const CheckpointPolicy& policy) {
+  checkpoints_enabled_ = true;
+  policy_ = policy;
+}
+
+Status StreamIngestor::Checkpoint() {
+  if (pending_.has_value()) {
+    // Finish the interrupted close first so the checkpoint reflects a
+    // settled state (and records the roll-in as complete).
+    SAMPWH_RETURN_IF_ERROR(CompletePendingClose());
+    if (checkpoints_enabled_) return Status::OK();  // B was just written
+  }
+  return WriteCheckpoint();
+}
+
+Status StreamIngestor::Append(Value v, uint64_t timestamp) {
+  return AppendAt(next_sequence_, v, timestamp);
 }
 
 Status StreamIngestor::AppendBatch(std::span<const Value> values,
                                    uint64_t timestamp) {
+  return AppendBatchAt(next_sequence_, values, timestamp);
+}
+
+Status StreamIngestor::AppendAt(uint64_t sequence, Value v,
+                                uint64_t timestamp) {
+  return AppendBatchAt(sequence, std::span<const Value>(&v, 1), timestamp);
+}
+
+Status StreamIngestor::AppendBatchAt(uint64_t sequence,
+                                     std::span<const Value> values,
+                                     uint64_t timestamp) {
+  SAMPWH_RETURN_IF_ERROR(CompletePendingClose());
+  if (sequence > next_sequence_) {
+    return Status::FailedPrecondition(
+        "sequence gap: batch starts at " + std::to_string(sequence) +
+        " but the watermark is " + std::to_string(next_sequence_));
+  }
+  if (sequence + values.size() <= next_sequence_) {
+    // Entirely below the watermark: an at-least-once redelivery of work
+    // already applied. Acknowledge so the source can advance.
+    return Status::OK();
+  }
+  // Apply only the unapplied suffix of a straddling batch.
+  values = values.subspan(next_sequence_ - sequence);
+
   size_t i = 0;
   while (i < values.size()) {
     if (partitioner_ != nullptr && sampler_.has_value() &&
@@ -83,6 +200,8 @@ Status StreamIngestor::AppendBatch(std::span<const Value> values,
     progress_.last_timestamp = timestamp;
     sampler_->AddBatch(values.subspan(i, chunk));
     progress_.elements += chunk;
+    next_sequence_ += chunk;
+    elements_since_checkpoint_ += chunk;
     i += chunk;
 
     if (partitioner_ != nullptr) {
@@ -91,10 +210,80 @@ Status StreamIngestor::AppendBatch(std::span<const Value> values,
         SAMPWH_RETURN_IF_ERROR(CloseCurrentPartition());
       }
     }
+    MaybeCheckpoint();
   }
   return Status::OK();
 }
 
-Status StreamIngestor::Flush() { return CloseCurrentPartition(); }
+Status StreamIngestor::Flush() {
+  SAMPWH_RETURN_IF_ERROR(CompletePendingClose());
+  return CloseCurrentPartition();
+}
+
+Result<std::unique_ptr<StreamIngestor>> StreamIngestor::Resume(
+    Warehouse* warehouse, DatasetId dataset,
+    std::unique_ptr<Partitioner> partitioner, const CheckpointPolicy& policy) {
+  if (warehouse == nullptr) {
+    return Status::InvalidArgument("null warehouse");
+  }
+  SAMPWH_ASSIGN_OR_RETURN(std::string payload,
+                          warehouse->GetIngestCheckpoint(dataset));
+  SAMPWH_ASSIGN_OR_RETURN(IngestCheckpoint ckpt,
+                          IngestCheckpoint::Deserialize(payload));
+
+  auto ingestor = std::unique_ptr<StreamIngestor>(new StreamIngestor(
+      warehouse, std::move(dataset), std::move(partitioner)));
+  // The constructor forked a throwaway stream from the warehouse RNG;
+  // every piece of randomness the resumed run consumes comes from the
+  // restored engine below.
+  ingestor->rng_ = Pcg64::FromState(ckpt.rng);
+  ingestor->next_sequence_ = ckpt.next_sequence;
+  ingestor->partitions_started_ = ckpt.partitions_started;
+  ingestor->rolled_in_ = std::move(ckpt.rolled_in);
+  ingestor->progress_ = ckpt.progress;
+  if (!ckpt.sampler_state.empty()) {
+    SAMPWH_ASSIGN_OR_RETURN(AnySampler sampler,
+                            AnySampler::LoadState(ckpt.sampler_state));
+    ingestor->sampler_.emplace(std::move(sampler));
+  }
+  ingestor->EnableCheckpoints(policy);
+
+  if (ckpt.pending.has_value()) {
+    // The crash hit the close protocol between checkpoint A and checkpoint
+    // B. Decide from the catalog whether the roll-in completed.
+    BinaryReader reader(ckpt.pending->sample_payload);
+    SAMPWH_ASSIGN_OR_RETURN(PartitionSample sample,
+                            PartitionSample::DeserializeFrom(&reader));
+    SAMPWH_ASSIGN_OR_RETURN(
+        std::vector<PartitionInfo> parts,
+        warehouse->ListPartitions(ingestor->dataset_));
+    PartitionId adopted = 0;
+    bool found = false;
+    for (const PartitionInfo& p : parts) {
+      if (p.id >= ckpt.pending->id_lower_bound &&
+          (!found || p.id < adopted)) {
+        adopted = p.id;
+        found = true;
+      }
+    }
+    if (found) {
+      // Roll-in completed before the crash: adopt it, then persist
+      // checkpoint B so a second resume does not re-run this branch
+      // against a catalog that moved on.
+      ingestor->rolled_in_.push_back(adopted);
+      ingestor->WriteCheckpoint();  // best effort
+    } else {
+      PendingClose pending;
+      pending.sample = std::move(sample);
+      pending.min_timestamp = ckpt.pending->min_timestamp;
+      pending.max_timestamp = ckpt.pending->max_timestamp;
+      pending.id_lower_bound = ckpt.pending->id_lower_bound;
+      pending.checkpointed = true;  // checkpoint A is what we resumed from
+      ingestor->pending_ = std::move(pending);
+      SAMPWH_RETURN_IF_ERROR(ingestor->CompletePendingClose());
+    }
+  }
+  return ingestor;
+}
 
 }  // namespace sampwh

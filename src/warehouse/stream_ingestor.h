@@ -2,6 +2,17 @@
 // a sampler over arriving elements and, whenever the partitioning policy
 // closes a partition, finalizes the sample and rolls it into the warehouse
 // — the left half of Fig. 1 in the paper.
+//
+// Crash-safe resumable ingestion: with checkpoints enabled the ingestor
+// periodically persists an IngestCheckpoint (sampler state, partitioner
+// progress, its private RNG, and the replay watermark) through the
+// warehouse's sample store. After a crash, Resume() reloads the newest
+// valid checkpoint and the sequence-addressed Append*At entry points give
+// exactly-once semantics over an at-least-once delivery stream: a source
+// that replays from (at or before) next_sequence() has every duplicate
+// batch acknowledged and skipped, every new element applied exactly once,
+// and the resulting rolled-in samples are bit-identical to an
+// uninterrupted run.
 
 #ifndef SAMPWH_WAREHOUSE_STREAM_INGESTOR_H_
 #define SAMPWH_WAREHOUSE_STREAM_INGESTOR_H_
@@ -16,6 +27,18 @@
 #include "src/warehouse/warehouse.h"
 
 namespace sampwh {
+
+/// When the ingestor writes checkpoints on its own. Both dimensions are
+/// optional (0 disables); a checkpoint is also always written around each
+/// partition close (the two-phase close protocol), and Checkpoint() forces
+/// one at any time.
+struct CheckpointPolicy {
+  /// Checkpoint after this many applied elements (0: off).
+  uint64_t every_n_elements = 0;
+  /// Checkpoint when the event-time clock advanced this many ticks since
+  /// the last checkpoint (0: off).
+  uint64_t every_t_ticks = 0;
+};
 
 class StreamIngestor {
  public:
@@ -38,8 +61,41 @@ class StreamIngestor {
   /// one check granule of the element-wise trigger point.
   Status AppendBatch(std::span<const Value> values, uint64_t timestamp = 0);
 
+  /// Sequence-addressed variants for exactly-once replay: `sequence` is
+  /// the 0-based position of `v` (or of values[0]) in the source stream.
+  /// An element wholly below next_sequence() was already applied and is
+  /// acknowledged with OK without touching the sampler; a batch straddling
+  /// the watermark has only its unapplied suffix applied; a sequence past
+  /// the watermark is a gap in delivery — FailedPrecondition, nothing
+  /// applied.
+  Status AppendAt(uint64_t sequence, Value v, uint64_t timestamp = 0);
+  Status AppendBatchAt(uint64_t sequence, std::span<const Value> values,
+                       uint64_t timestamp = 0);
+
   /// Finalizes and rolls in the open partition, if it holds any elements.
   Status Flush();
+
+  /// Turns on the checkpoint protocol (cadence per `policy`; a zero policy
+  /// still checkpoints around partition closes and on Checkpoint()).
+  void EnableCheckpoints(const CheckpointPolicy& policy);
+
+  /// Forces a checkpoint of the current state now.
+  Status Checkpoint();
+
+  /// Reopens ingestion from the newest valid checkpoint of `dataset`
+  /// (NotFound when none exists). Reconciles a close that was interrupted
+  /// mid-protocol: a pending partition whose roll-in provably completed is
+  /// adopted, one whose roll-in is absent is rolled in now. The returned
+  /// ingestor has checkpoints enabled with `policy`; feed it the source
+  /// stream from next_sequence() (or any earlier replay point) via the
+  /// Append*At entry points.
+  static Result<std::unique_ptr<StreamIngestor>> Resume(
+      Warehouse* warehouse, DatasetId dataset,
+      std::unique_ptr<Partitioner> partitioner,
+      const CheckpointPolicy& policy = {});
+
+  /// The replay watermark: sequence number of the next element to apply.
+  uint64_t next_sequence() const { return next_sequence_; }
 
   /// Partition ids this ingestor has rolled in so far, in creation order.
   const std::vector<PartitionId>& rolled_in() const { return rolled_in_; }
@@ -48,20 +104,60 @@ class StreamIngestor {
   uint64_t open_elements() const { return progress_.elements; }
 
  private:
+  /// A finalized partition between the two checkpoints of the close
+  /// protocol: recorded durably (checkpoint A) before RollIn, cleared
+  /// durably (checkpoint B) after.
+  struct PendingClose {
+    PartitionSample sample;
+    uint64_t min_timestamp = 0;
+    uint64_t max_timestamp = 0;
+    /// No partition id >= this bound existed when the close began.
+    PartitionId id_lower_bound = 0;
+    /// Checkpoint A has been persisted.
+    bool checkpointed = false;
+  };
+
   Status CloseCurrentPartition();
+  /// Drives the pending close to completion: checkpoint A (if not yet
+  /// durable), RollIn, checkpoint B. Errors leave pending_ set so the next
+  /// append retries.
+  Status CompletePendingClose();
   void StartPartition();
   // progress_.sample_size is refreshed lazily — only where a partitioning
   // policy can actually read it (before ShouldCloseAfter and when closing)
   // — so the per-element hot path pays no sampler query.
   void RefreshSampleSize();
+  /// Serializes the full ingestor state and persists it through the
+  /// warehouse's store; resets the cadence counters on success.
+  Status WriteCheckpoint();
+  /// Cadence check after applied work; checkpoint failures here are
+  /// swallowed (the stream stays correct, only resumption granularity
+  /// degrades — the next cadence point retries).
+  void MaybeCheckpoint();
+  /// Smallest partition id that provably did not exist yet (allocator
+  /// lower bound for the pending-close adoption rule).
+  Result<PartitionId> NextIdLowerBound() const;
 
   Warehouse* warehouse_;
   DatasetId dataset_;
   std::unique_ptr<Partitioner> partitioner_;
 
+  /// The ingestor's private RNG: per-partition sampler streams fork from
+  /// it keyed by partitions_started_, never from the warehouse RNG, so a
+  /// restored checkpoint replays the exact same randomness.
+  Pcg64 rng_;
+  uint64_t partitions_started_ = 0;
+  uint64_t next_sequence_ = 0;
+
   std::optional<AnySampler> sampler_;
   PartitionProgress progress_;
   std::vector<PartitionId> rolled_in_;
+  std::optional<PendingClose> pending_;
+
+  bool checkpoints_enabled_ = false;
+  CheckpointPolicy policy_;
+  uint64_t elements_since_checkpoint_ = 0;
+  uint64_t last_checkpoint_tick_ = 0;
 };
 
 }  // namespace sampwh

@@ -54,18 +54,24 @@ Result<std::shared_ptr<std::mutex>> Warehouse::DatasetMutex(
 }
 
 Status Warehouse::CreateDataset(const DatasetId& id) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  SAMPWH_RETURN_IF_ERROR(catalog_.CreateDataset(id));
-  dataset_mu_[id] = std::make_shared<std::mutex>();
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    SAMPWH_RETURN_IF_ERROR(catalog_.CreateDataset(id));
+    dataset_mu_[id] = std::make_shared<std::mutex>();
+  }
+  AutoPersistManifest();
   return Status::OK();
 }
 
 Status Warehouse::CreateDataset(const DatasetId& id,
                                 const SamplerConfig& config) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  SAMPWH_RETURN_IF_ERROR(catalog_.CreateDataset(id));
-  dataset_mu_[id] = std::make_shared<std::mutex>();
-  sampler_overrides_[id] = config;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    SAMPWH_RETURN_IF_ERROR(catalog_.CreateDataset(id));
+    dataset_mu_[id] = std::make_shared<std::mutex>();
+    sampler_overrides_[id] = config;
+  }
+  AutoPersistManifest();
   return Status::OK();
 }
 
@@ -76,20 +82,27 @@ SamplerConfig Warehouse::SamplerConfigFor(const DatasetId& dataset) const {
 }
 
 Status Warehouse::DropDataset(const DatasetId& id) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  SAMPWH_ASSIGN_OR_RETURN(std::vector<PartitionInfo> parts,
-                          catalog_.ListPartitions(id));
-  for (const PartitionInfo& p : parts) {
-    // Best effort: catalog consistency matters more than store misses.
-    store_->Delete(PartitionKey{id, p.id});
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    SAMPWH_ASSIGN_OR_RETURN(std::vector<PartitionInfo> parts,
+                            catalog_.ListPartitions(id));
+    for (const PartitionInfo& p : parts) {
+      // Best effort: catalog consistency matters more than store misses.
+      store_->Delete(PartitionKey{id, p.id});
+    }
+    // A dropped dataset's ingest checkpoint is meaningless (and would read
+    // as stale on the next recovery); best effort again.
+    store_->DeleteCheckpoint(id);
+    sampler_overrides_.erase(id);
+    dataset_mu_.erase(id);
+    // Epoch-bump both caches: a recreated dataset reuses partition ids from
+    // 0, so pre-drop entries must become unreachable, not merely evicted.
+    if (sample_cache_ != nullptr) sample_cache_->InvalidateDataset(id);
+    if (merge_memo_ != nullptr) merge_memo_->InvalidateDataset(id);
+    SAMPWH_RETURN_IF_ERROR(catalog_.DropDataset(id));
   }
-  sampler_overrides_.erase(id);
-  dataset_mu_.erase(id);
-  // Epoch-bump both caches: a recreated dataset reuses partition ids from
-  // 0, so pre-drop entries must become unreachable, not merely evicted.
-  if (sample_cache_ != nullptr) sample_cache_->InvalidateDataset(id);
-  if (merge_memo_ != nullptr) merge_memo_->InvalidateDataset(id);
-  return catalog_.DropDataset(id);
+  AutoPersistManifest();
+  return Status::OK();
 }
 
 bool Warehouse::HasDataset(const DatasetId& id) const {
@@ -135,46 +148,59 @@ Result<PartitionId> Warehouse::RollIn(const DatasetId& dataset,
   SAMPWH_RETURN_IF_ERROR(sample.Validate());
   SAMPWH_ASSIGN_OR_RETURN(std::shared_ptr<std::mutex> dataset_mu,
                           DatasetMutex(dataset));
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  std::lock_guard<std::mutex> dlock(*dataset_mu);
-  SAMPWH_ASSIGN_OR_RETURN(PartitionId id,
-                          catalog_.AllocatePartitionId(dataset));
-  SAMPWH_RETURN_IF_ERROR(store_->Put(PartitionKey{dataset, id}, sample));
-  PartitionInfo info;
-  info.id = id;
-  info.parent_size = sample.parent_size();
-  info.sample_size = sample.size();
-  info.phase = sample.phase();
-  info.min_timestamp = min_timestamp;
-  info.max_timestamp = max_timestamp;
-  const Status status = catalog_.AddPartition(dataset, info);
-  if (!status.ok()) {
-    store_->Delete(PartitionKey{dataset, id});
-    return status;
+  PartitionId id;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    std::lock_guard<std::mutex> dlock(*dataset_mu);
+    SAMPWH_ASSIGN_OR_RETURN(id, catalog_.AllocatePartitionId(dataset));
+    SAMPWH_RETURN_IF_ERROR(store_->Put(PartitionKey{dataset, id}, sample));
+    PartitionInfo info;
+    info.id = id;
+    info.parent_size = sample.parent_size();
+    info.sample_size = sample.size();
+    info.phase = sample.phase();
+    info.min_timestamp = min_timestamp;
+    info.max_timestamp = max_timestamp;
+    const Status status = catalog_.AddPartition(dataset, info);
+    if (!status.ok()) {
+      store_->Delete(PartitionKey{dataset, id});
+      return status;
+    }
+    if (sample_cache_ != nullptr) {
+      // Write-through: a freshly rolled-in partition is the one queries are
+      // about to merge, so cache its deserialized form immediately.
+      sample_cache_->Insert(dataset, sample_cache_->CurrentEpoch(dataset), id,
+                            std::make_shared<const PartitionSample>(sample));
+    }
   }
-  if (sample_cache_ != nullptr) {
-    // Write-through: a freshly rolled-in partition is the one queries are
-    // about to merge, so cache its deserialized form immediately.
-    sample_cache_->Insert(dataset, sample_cache_->CurrentEpoch(dataset), id,
-                          std::make_shared<const PartitionSample>(sample));
-  }
+  // Outside mu_ (SaveManifest takes it exclusively). Persisting the id
+  // allocation durably is what lets a resumed ingestor prove whether an
+  // interrupted roll-in completed.
+  AutoPersistManifest();
   return id;
 }
 
 Status Warehouse::RollOut(const DatasetId& dataset, PartitionId partition) {
   SAMPWH_ASSIGN_OR_RETURN(std::shared_ptr<std::mutex> dataset_mu,
                           DatasetMutex(dataset));
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  std::lock_guard<std::mutex> dlock(*dataset_mu);
-  SAMPWH_RETURN_IF_ERROR(catalog_.RemovePartition(dataset, partition));
-  // Strict invalidation: the partition's cached sample and every memoized
-  // merge node containing it go with the catalog entry, so no future read
-  // can observe rolled-out state.
-  if (sample_cache_ != nullptr) sample_cache_->Invalidate(dataset, partition);
-  if (merge_memo_ != nullptr) {
-    merge_memo_->InvalidatePartition(dataset, partition);
+  Status delete_status;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    std::lock_guard<std::mutex> dlock(*dataset_mu);
+    SAMPWH_RETURN_IF_ERROR(catalog_.RemovePartition(dataset, partition));
+    // Strict invalidation: the partition's cached sample and every memoized
+    // merge node containing it go with the catalog entry, so no future read
+    // can observe rolled-out state.
+    if (sample_cache_ != nullptr) {
+      sample_cache_->Invalidate(dataset, partition);
+    }
+    if (merge_memo_ != nullptr) {
+      merge_memo_->InvalidatePartition(dataset, partition);
+    }
+    delete_status = store_->Delete(PartitionKey{dataset, partition});
   }
-  return store_->Delete(PartitionKey{dataset, partition});
+  AutoPersistManifest();
+  return delete_status;
 }
 
 Result<std::vector<PartitionId>> Warehouse::ApplyRetention(
@@ -488,6 +514,39 @@ Pcg64 Warehouse::ForkRng() {
   return rng_.Fork(0xF02C);
 }
 
+Status Warehouse::PutIngestCheckpoint(const DatasetId& dataset,
+                                      std::string_view payload) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (!catalog_.HasDataset(dataset)) {
+      return Status::NotFound("no dataset: " + dataset);
+    }
+  }
+  return store_->PutCheckpoint(dataset, payload);
+}
+
+Result<std::string> Warehouse::GetIngestCheckpoint(
+    const DatasetId& dataset) const {
+  return store_->GetCheckpoint(dataset);
+}
+
+Status Warehouse::DeleteIngestCheckpoint(const DatasetId& dataset) {
+  return store_->DeleteCheckpoint(dataset);
+}
+
+Result<std::vector<DatasetId>> Warehouse::ListIngestCheckpoints() const {
+  return store_->ListCheckpoints();
+}
+
+void Warehouse::AutoPersistManifest() {
+  if (options_.manifest_path.empty()) return;
+  // Best effort by design: a lost manifest update only regresses the
+  // catalog to an earlier consistent state. Recovery converges regardless —
+  // a re-rolled-in partition reuses the id the restored allocator hands
+  // out and overwrites the orphan sample with identical bytes.
+  SaveManifest(options_.manifest_path);
+}
+
 WarehouseCacheStats Warehouse::GetCacheStats() const {
   WarehouseCacheStats stats;
   if (sample_cache_ != nullptr) stats.sample_cache = sample_cache_->Stats();
@@ -564,6 +623,18 @@ Result<Warehouse::RestoredWarehouse> Warehouse::RestoreWithRecovery(
   }
   RestoredWarehouse restored;
   SAMPWH_ASSIGN_OR_RETURN(restored.report, store->Recover(expected));
+
+  // Ingest checkpoints for datasets the catalog no longer knows are stale —
+  // nothing could ever resume them — so they are deleted, not resurrected.
+  if (Result<std::vector<DatasetId>> ckpts = store->ListCheckpoints();
+      ckpts.ok()) {
+    for (const DatasetId& dataset : ckpts.value()) {
+      if (!catalog.HasDataset(dataset)) {
+        store->DeleteCheckpoint(dataset);  // best effort
+        restored.report.stale_checkpoints.push_back(dataset);
+      }
+    }
+  }
 
   // Reconcile the catalog against the recovered store: drop what cannot be
   // served (missing or quarantined) or whose metadata disagrees with the

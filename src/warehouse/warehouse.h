@@ -11,6 +11,8 @@
 #include <mutex>
 #include <shared_mutex>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/any_sampler.h"
@@ -63,6 +65,13 @@ struct WarehouseOptions {
   size_t cache_shards = 16;
   /// Seed for all sampling/merging randomness in this warehouse.
   uint64_t seed = 0x5157313136ULL;
+  /// When non-empty, the catalog manifest is re-persisted to this path
+  /// (atomic replace, best effort) after every catalog mutation — roll-in,
+  /// roll-out, dataset create/drop. Required for crash-safe resumable
+  /// ingestion: the checkpoint protocol's duplicate-roll-in reconciliation
+  /// relies on the restored id allocator reflecting every completed
+  /// roll-in.
+  std::string manifest_path;
 };
 
 /// Counters of the two read-path caches (zeroed structs when disabled).
@@ -163,6 +172,24 @@ class Warehouse {
   /// samplers that will roll their results in.
   Pcg64 ForkRng();
 
+  // --- Ingest checkpoints -------------------------------------------------
+
+  /// Persists a StreamIngestor checkpoint record for `dataset` through the
+  /// sample store (generational, CRC-framed). NotFound when the dataset
+  /// does not exist.
+  Status PutIngestCheckpoint(const DatasetId& dataset,
+                             std::string_view payload);
+
+  /// The newest valid checkpoint payload for `dataset`; NotFound when none
+  /// exists.
+  Result<std::string> GetIngestCheckpoint(const DatasetId& dataset) const;
+
+  /// Drops every stored checkpoint generation for `dataset`.
+  Status DeleteIngestCheckpoint(const DatasetId& dataset);
+
+  /// Datasets with at least one stored ingest checkpoint.
+  Result<std::vector<DatasetId>> ListIngestCheckpoints() const;
+
   // --- Read-path caches ---------------------------------------------------
 
   /// Hit/miss/eviction counters and current residency of the sample cache
@@ -238,6 +265,10 @@ class Warehouse {
   /// exist). Must be called without mu_ held.
   Result<std::shared_ptr<std::mutex>> DatasetMutex(
       const DatasetId& dataset) const;
+  /// Re-persists the manifest to options_.manifest_path (no-op when
+  /// unset). Must be called WITHOUT mu_ held — SaveManifest takes it
+  /// exclusively.
+  void AutoPersistManifest();
 
   WarehouseOptions options_;
   std::unique_ptr<SampleStore> store_;

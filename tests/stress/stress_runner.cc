@@ -21,6 +21,11 @@
 //      through RestoreWithRecovery, quarantines the torn file, brings
 //      catalog and store back into agreement, and leaves the surviving
 //      partitions queryable.
+//   7. Crash-resumable ingestion: for every sampler kind, a checkpointed
+//      StreamIngestor killed at a seeded arbitrary point (including with a
+//      torn mid-checkpoint write) and resumed against an at-least-once
+//      replay of the stream rolls in samples bit-identical to an
+//      uninterrupted run.
 //
 // Faults, workload choices and data are all derived from --seed, so a
 // failing round reproduces with its printed seed. Thread interleavings are
@@ -29,6 +34,7 @@
 // Usage: stress_runner [--smoke|--soak] [--seed=N] [--rounds=N]
 //                      [--duration-ms=N]
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -46,7 +52,9 @@
 #include "src/util/random.h"
 #include "src/util/serialization.h"
 #include "src/util/status.h"
+#include "src/warehouse/partitioner.h"
 #include "src/warehouse/sample_store.h"
+#include "src/warehouse/stream_ingestor.h"
 #include "src/warehouse/warehouse.h"
 
 namespace sampwh {
@@ -137,13 +145,18 @@ class StressRound {
     CheckGetManyPropagation();
     CheckWarmColdIdentity();
     CheckTornWriteRecovery();
+    CheckCrashResumeIngestion();
 
+    if (warehouse_ != nullptr) {
+      AccumulateStoreStats(warehouse_->store_for_testing()->GetStoreStats());
+    }
     warehouse_.reset();
     std::filesystem::remove_all(dir_);
     return violations_.Take();
   }
 
   const RoundStats& stats() const { return stats_; }
+  const StoreStats& store_stats() const { return store_stats_; }
 
  private:
   static constexpr const char* kDatasets[3] = {"stress_a", "stress_b",
@@ -429,6 +442,7 @@ class StressRound {
       violations_.Add("recovery check: torn Put did not surface IOError");
       return;
     }
+    AccumulateStoreStats(warehouse_->store_for_testing()->GetStoreStats());
     warehouse_.reset();  // "crash": drop all in-memory state
 
     auto store = FileSampleStore::Open(dir_);
@@ -483,6 +497,209 @@ class StressRound {
                      /*tolerate_faults=*/false);
   }
 
+  // --- Crash-resumable ingestion (invariant 7) ----------------------------
+
+  void AccumulateStoreStats(const StoreStats& s) {
+    store_stats_.retries_attempted += s.retries_attempted;
+    store_stats_.retries_exhausted += s.retries_exhausted;
+    store_stats_.quarantines += s.quarantines;
+    store_stats_.recovered_temps += s.recovered_temps;
+    store_stats_.checkpoints_written += s.checkpoints_written;
+    store_stats_.checkpoints_restored += s.checkpoints_restored;
+  }
+
+  WarehouseOptions ResumeOptions(SamplerKind kind, uint64_t scenario_seed,
+                                 const std::string& manifest) {
+    WarehouseOptions options;
+    options.sampler.kind = kind;
+    options.sampler.footprint_bound_bytes = 512;
+    options.sampler.expected_partition_size = 400;
+    options.sampler.bernoulli_rate = 0.05;
+    options.seed = scenario_seed;
+    options.manifest_path = manifest;
+    return options;
+  }
+
+  std::vector<std::string> RolledInBytes(Warehouse& warehouse,
+                                         const std::string& ds,
+                                         const std::string& label) {
+    std::vector<std::string> out;
+    Result<std::vector<PartitionInfo>> parts = warehouse.ListPartitions(ds);
+    if (!parts.ok()) {
+      violations_.Add(label + ": ListPartitions: " + Describe(parts.status()));
+      return out;
+    }
+    for (const PartitionInfo& p : parts.value()) {
+      Result<PartitionSample> sample = warehouse.GetSample(ds, p.id);
+      if (!sample.ok()) {
+        violations_.Add(label + ": GetSample(" + std::to_string(p.id) +
+                        "): " + Describe(sample.status()));
+        return out;
+      }
+      out.push_back(Bytes(sample.value()));
+    }
+    return out;
+  }
+
+  /// One kill-at-an-arbitrary-point scenario: ingest with checkpoints until
+  /// a seeded kill point (or an injected torn checkpoint write), destroy
+  /// every in-memory object, restore + resume, replay the source stream
+  /// from sequence 0, and demand bit-identity with an uninterrupted run.
+  void RunCrashResumeScenario(SamplerKind kind, bool torn_checkpoint) {
+    const uint64_t scenario_seed = rng_.NextUint64();
+    const std::string label =
+        std::string("crash-resume(") + std::string(SamplerKindToString(kind)) +
+        (torn_checkpoint ? ",torn-ckpt)" : ")");
+    const std::string ds = "resume";
+    const uint64_t total = 1200;
+    std::vector<Value> values;
+    values.reserve(total);
+    for (uint64_t v = 0; v < total; ++v) {
+      values.push_back(static_cast<Value>(scenario_seed % 4096 + v));
+    }
+    const uint64_t kill_point = rng_.NextUint64() % (total + 1);
+    const CheckpointPolicy policy{
+        .every_n_elements = 32 + rng_.NextUint64() % 224};
+
+    // Uninterrupted reference (in-memory store, same seed => same RNG).
+    std::vector<std::string> want;
+    {
+      Warehouse reference(ResumeOptions(kind, scenario_seed, ""));
+      if (!reference.CreateDataset(ds).ok()) {
+        violations_.Add(label + ": reference CreateDataset failed");
+        return;
+      }
+      StreamIngestor ingestor(&reference, ds, MakeCountPartitioner(400));
+      if (!ingestor.AppendBatch(values).ok() || !ingestor.Flush().ok()) {
+        violations_.Add(label + ": reference ingest failed");
+        return;
+      }
+      want = RolledInBytes(reference, ds, label + " reference");
+    }
+
+    const std::string subdir = dir_ + "/" + label;
+    std::filesystem::remove_all(subdir);
+    const std::string manifest = subdir + "/manifest";
+    const WarehouseOptions options =
+        ResumeOptions(kind, scenario_seed, manifest);
+
+    // Run 1: checkpointed ingest, killed at kill_point — or earlier if the
+    // torn checkpoint write fires inside the close protocol (checkpoint A
+    // failures surface as IOError; that IS the simulated crash instant).
+    {
+      auto store = FileSampleStore::Open(subdir);
+      if (!store.ok()) {
+        violations_.Add(label + ": open store: " + Describe(store.status()));
+        return;
+      }
+      auto injector = std::make_shared<FaultInjector>(scenario_seed);
+      if (torn_checkpoint) {
+        injector->Arm(kFaultSiteCheckpointWrite, FaultKind::kTornWrite,
+                      /*count=*/1, /*skip=*/rng_.NextUint64() % 4);
+      }
+      store.value()->SetFaultInjector(injector);
+      Warehouse warehouse(options, std::move(store).value());
+      if (!warehouse.CreateDataset(ds).ok()) {
+        violations_.Add(label + ": CreateDataset failed");
+        return;
+      }
+      StreamIngestor ingestor(&warehouse, ds, MakeCountPartitioner(400));
+      ingestor.EnableCheckpoints(policy);
+      uint64_t i = 0;
+      while (i < kill_point) {
+        const uint64_t chunk = std::min<uint64_t>(kill_point - i, 17);
+        const Status s = ingestor.AppendBatchAt(
+            i, std::span<const Value>(values).subspan(i, chunk));
+        if (s.IsIOError()) break;  // torn checkpoint write: crash here
+        if (!s.ok()) {
+          violations_.Add(label + ": ingest: " + Describe(s));
+          return;
+        }
+        i = ingestor.next_sequence();
+      }
+      AccumulateStoreStats(
+          warehouse.store_for_testing()->GetStoreStats());
+      // "Crash": warehouse and ingestor destroyed, nothing flushed.
+    }
+
+    // Restart: recover, resume, replay the whole stream from sequence 0.
+    auto store = FileSampleStore::Open(subdir);
+    if (!store.ok()) {
+      violations_.Add(label + ": reopen: " + Describe(store.status()));
+      return;
+    }
+    Result<Warehouse::RestoredWarehouse> restored =
+        Warehouse::RestoreWithRecovery(options, std::move(store).value(),
+                                       manifest);
+    if (!restored.ok()) {
+      violations_.Add(label + ": RestoreWithRecovery: " +
+                      Describe(restored.status()));
+      return;
+    }
+    Warehouse& warehouse = *restored.value().warehouse;
+    std::unique_ptr<StreamIngestor> ingestor;
+    Result<std::unique_ptr<StreamIngestor>> resumed = StreamIngestor::Resume(
+        &warehouse, ds, MakeCountPartitioner(400), policy);
+    if (resumed.ok()) {
+      ingestor = std::move(resumed).value();
+    } else if (resumed.status().IsNotFound()) {
+      // Killed before the first checkpoint: nothing was rolled in either,
+      // so a fresh ingestor replaying from 0 reproduces the run (it forks
+      // the same first RNG stream from the restored warehouse seed).
+      ingestor = std::make_unique<StreamIngestor>(&warehouse, ds,
+                                                  MakeCountPartitioner(400));
+      ingestor->EnableCheckpoints(policy);
+    } else {
+      violations_.Add(label + ": Resume: " + Describe(resumed.status()));
+      return;
+    }
+    if (ingestor->next_sequence() > kill_point) {
+      violations_.Add(label + ": watermark " +
+                      std::to_string(ingestor->next_sequence()) +
+                      " ahead of kill point " + std::to_string(kill_point));
+    }
+    for (uint64_t i = 0; i < total;) {
+      const uint64_t chunk = std::min<uint64_t>(total - i, 23);
+      const Status s = ingestor->AppendBatchAt(
+          i, std::span<const Value>(values).subspan(i, chunk));
+      if (!s.ok()) {
+        violations_.Add(label + ": replay at " + std::to_string(i) + ": " +
+                        Describe(s));
+        return;
+      }
+      i += chunk;
+    }
+    if (ingestor->next_sequence() != total) {
+      violations_.Add(label + ": replay watermark " +
+                      std::to_string(ingestor->next_sequence()) + " != " +
+                      std::to_string(total));
+      return;
+    }
+    if (const Status s = ingestor->Flush(); !s.ok()) {
+      violations_.Add(label + ": Flush: " + Describe(s));
+      return;
+    }
+    const std::vector<std::string> got =
+        RolledInBytes(warehouse, ds, label + " resumed");
+    if (got != want) {
+      violations_.Add(label + ": resumed run is not bit-identical to the "
+                      "uninterrupted run (" + std::to_string(got.size()) +
+                      " vs " + std::to_string(want.size()) + " partitions)");
+    }
+    AccumulateStoreStats(warehouse.store_for_testing()->GetStoreStats());
+  }
+
+  void CheckCrashResumeIngestion() {
+    static constexpr SamplerKind kKinds[] = {SamplerKind::kHybridBernoulli,
+                                             SamplerKind::kHybridReservoir,
+                                             SamplerKind::kStratifiedBernoulli};
+    for (SamplerKind kind : kKinds) {
+      RunCrashResumeScenario(kind, /*torn_checkpoint=*/false);
+    }
+    // Torn mid-checkpoint write, on a seed-rotated kind.
+    RunCrashResumeScenario(kKinds[seed_ % 3], /*torn_checkpoint=*/true);
+  }
+
   const uint64_t seed_;
   const std::chrono::milliseconds duration_;
   const double fault_probability_;
@@ -493,6 +710,9 @@ class StressRound {
   std::atomic<uint64_t> next_value_{0};
   Violations violations_;
   RoundStats stats_;
+  /// Reliability counters summed over every store the round opened (the
+  /// main store plus each crash-resume scenario store).
+  StoreStats store_stats_;
 };
 
 int RunHarness(const HarnessConfig& config) {
@@ -509,6 +729,13 @@ int RunHarness(const HarnessConfig& config) {
               << " rollouts=" << stats.rollouts.load()
               << " tolerated_errors=" << stats.tolerated_errors.load()
               << (violations.empty() ? " PASS" : " FAIL") << "\n";
+    const StoreStats& ss = runner.store_stats();
+    std::cout << "  store: retries=" << ss.retries_attempted
+              << " exhausted=" << ss.retries_exhausted
+              << " quarantines=" << ss.quarantines
+              << " recovered_temps=" << ss.recovered_temps
+              << " ckpt_written=" << ss.checkpoints_written
+              << " ckpt_restored=" << ss.checkpoints_restored << "\n";
     for (const std::string& v : violations) {
       std::cout << "  VIOLATION: " << v << "\n";
       ++failures;

@@ -1,0 +1,530 @@
+// The crash-safe resumable-ingestion protocol end to end: the checkpoint
+// record round-trips, both store backends keep generational checkpoints
+// that survive torn writes, and a StreamIngestor killed at an arbitrary
+// point — including inside the two-phase close protocol — resumes from its
+// checkpoint and, fed an at-least-once replay of the source stream,
+// produces rolled-in samples bit-identical to an uninterrupted run.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/testing/fault_injector.h"
+#include "src/util/serialization.h"
+#include "src/warehouse/checkpoint.h"
+#include "src/warehouse/partitioner.h"
+#include "src/warehouse/sample_store.h"
+#include "src/warehouse/stream_ingestor.h"
+#include "src/warehouse/warehouse.h"
+
+namespace sampwh {
+namespace {
+
+std::vector<Value> Range(Value begin, Value end) {
+  std::vector<Value> out;
+  for (Value v = begin; v < end; ++v) out.push_back(v);
+  return out;
+}
+
+WarehouseOptions TestOptions() {
+  WarehouseOptions options;
+  options.sampler.kind = SamplerKind::kHybridReservoir;
+  options.sampler.footprint_bound_bytes = 512;
+  options.seed = 0x434b505431ULL;
+  return options;
+}
+
+/// A structurally valid checkpoint payload (deep-verifiable: no open
+/// partition, no pending roll-in).
+std::string MinimalCheckpointPayload(uint64_t next_sequence) {
+  IngestCheckpoint ckpt;
+  ckpt.next_sequence = next_sequence;
+  ckpt.rng = Pcg64(next_sequence).SaveState();
+  return ckpt.Serialize();
+}
+
+/// Serialized bytes of every stored sample of `dataset`, ascending by
+/// partition id — the bit-identity yardstick.
+std::vector<std::string> SampleBytes(Warehouse& warehouse,
+                                     const DatasetId& dataset) {
+  std::vector<std::string> out;
+  auto parts = warehouse.ListPartitions(dataset);
+  EXPECT_TRUE(parts.ok());
+  if (!parts.ok()) return out;
+  for (const PartitionInfo& p : parts.value()) {
+    auto sample = warehouse.GetSample(dataset, p.id);
+    EXPECT_TRUE(sample.ok());
+    if (!sample.ok()) return out;
+    BinaryWriter writer;
+    sample.value().SerializeTo(&writer);
+    out.push_back(std::move(writer).Release());
+  }
+  return out;
+}
+
+// --- IngestCheckpoint record ----------------------------------------------
+
+TEST(IngestCheckpointTest, SerializeDeserializeRoundTrip) {
+  IngestCheckpoint ckpt;
+  ckpt.next_sequence = 123456789;
+  ckpt.partitions_started = 7;
+  ckpt.created_unix_micros = 1754550000000000ULL;
+  ckpt.rng = Pcg64(42).SaveState();
+  ckpt.rolled_in = {3, 5, 8};
+  ckpt.progress.elements = 0;  // no open partition: sampler_state empty
+  ckpt.progress.first_timestamp = 100;
+  ckpt.progress.last_timestamp = 900;
+  PendingRollIn pending;
+  pending.sample_payload = "opaque sample bytes";
+  pending.min_timestamp = 100;
+  pending.max_timestamp = 900;
+  pending.id_lower_bound = 9;
+  ckpt.pending = pending;
+
+  auto round = IngestCheckpoint::Deserialize(ckpt.Serialize());
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  const IngestCheckpoint& got = round.value();
+  EXPECT_EQ(got.next_sequence, ckpt.next_sequence);
+  EXPECT_EQ(got.partitions_started, ckpt.partitions_started);
+  EXPECT_EQ(got.created_unix_micros, ckpt.created_unix_micros);
+  EXPECT_EQ(got.rng.state_hi, ckpt.rng.state_hi);
+  EXPECT_EQ(got.rng.state_lo, ckpt.rng.state_lo);
+  EXPECT_EQ(got.rng.inc_hi, ckpt.rng.inc_hi);
+  EXPECT_EQ(got.rng.inc_lo, ckpt.rng.inc_lo);
+  EXPECT_EQ(got.rolled_in, ckpt.rolled_in);
+  EXPECT_EQ(got.progress.elements, ckpt.progress.elements);
+  EXPECT_EQ(got.progress.first_timestamp, ckpt.progress.first_timestamp);
+  EXPECT_EQ(got.progress.last_timestamp, ckpt.progress.last_timestamp);
+  ASSERT_TRUE(got.pending.has_value());
+  EXPECT_EQ(got.pending->sample_payload, pending.sample_payload);
+  EXPECT_EQ(got.pending->min_timestamp, pending.min_timestamp);
+  EXPECT_EQ(got.pending->max_timestamp, pending.max_timestamp);
+  EXPECT_EQ(got.pending->id_lower_bound, pending.id_lower_bound);
+}
+
+TEST(IngestCheckpointTest, DeserializeRejectsDamage) {
+  const std::string good = MinimalCheckpointPayload(42);
+  ASSERT_TRUE(IngestCheckpoint::Deserialize(good).ok());
+  EXPECT_FALSE(IngestCheckpoint::Deserialize("").ok());
+  EXPECT_FALSE(IngestCheckpoint::Deserialize("not a checkpoint").ok());
+  for (size_t len = 0; len < good.size(); ++len) {
+    EXPECT_FALSE(IngestCheckpoint::Deserialize(good.substr(0, len)).ok())
+        << "accepted a record truncated to " << len << " bytes";
+  }
+  EXPECT_FALSE(IngestCheckpoint::Deserialize(good + '\x01').ok());
+}
+
+TEST(IngestCheckpointTest, OpenPartitionRequiresSamplerState) {
+  IngestCheckpoint ckpt;
+  ckpt.progress.elements = 10;  // claims an open partition...
+  ckpt.sampler_state.clear();   // ...but carries no sampler to resume it
+  EXPECT_TRUE(
+      IngestCheckpoint::Deserialize(ckpt.Serialize()).status().IsCorruption());
+}
+
+TEST(IngestCheckpointTest, VerifyRejectsUndedecodableEmbeddedRecords) {
+  IngestCheckpoint ckpt;
+  ckpt.rng = Pcg64(1).SaveState();
+  ASSERT_TRUE(VerifyCheckpointPayload(ckpt.Serialize()).ok());
+  ckpt.progress.elements = 5;
+  ckpt.sampler_state = "junk that is not a sampler-state record";
+  EXPECT_FALSE(VerifyCheckpointPayload(ckpt.Serialize()).ok());
+  ckpt.progress.elements = 0;
+  ckpt.sampler_state.clear();
+  PendingRollIn pending;
+  pending.sample_payload = "junk that is not a sample";
+  ckpt.pending = pending;
+  EXPECT_FALSE(VerifyCheckpointPayload(ckpt.Serialize()).ok());
+}
+
+// --- Store-level checkpoint persistence -----------------------------------
+
+class CheckpointStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("sampwh_ckpt_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    std::filesystem::remove_all(dir_);
+    manifest_ = dir_ + "/manifest";
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<FileSampleStore> OpenStore() {
+    auto store = FileSampleStore::Open(dir_);
+    EXPECT_TRUE(store.ok());
+    return std::move(store).value();
+  }
+
+  std::string dir_;
+  std::string manifest_;
+};
+
+void ExerciseCheckpointCrud(SampleStore& store) {
+  EXPECT_TRUE(store.GetCheckpoint("events").status().IsNotFound());
+  EXPECT_TRUE(store.DeleteCheckpoint("events").IsNotFound());
+  EXPECT_TRUE(store.ListCheckpoints().value().empty());
+
+  const std::string first = MinimalCheckpointPayload(100);
+  const std::string second = MinimalCheckpointPayload(200);
+  ASSERT_TRUE(store.PutCheckpoint("events", first).ok());
+  EXPECT_EQ(store.GetCheckpoint("events").value(), first);
+  ASSERT_TRUE(store.PutCheckpoint("events", second).ok());
+  EXPECT_EQ(store.GetCheckpoint("events").value(), second);
+  ASSERT_TRUE(store.PutCheckpoint("orders", first).ok());
+
+  const auto datasets = store.ListCheckpoints();
+  ASSERT_TRUE(datasets.ok());
+  EXPECT_EQ(datasets.value(),
+            (std::vector<DatasetId>{"events", "orders"}));
+
+  EXPECT_TRUE(store.DeleteCheckpoint("events").ok());
+  EXPECT_TRUE(store.GetCheckpoint("events").status().IsNotFound());
+  EXPECT_EQ(store.ListCheckpoints().value(),
+            (std::vector<DatasetId>{"orders"}));
+
+  const StoreStats stats = store.GetStoreStats();
+  EXPECT_EQ(stats.checkpoints_written, 3u);
+  EXPECT_GE(stats.checkpoints_restored, 2u);
+}
+
+TEST_F(CheckpointStoreTest, CrudOnFileBackend) {
+  auto store = OpenStore();
+  ExerciseCheckpointCrud(*store);
+}
+
+TEST(CheckpointStoreInMemoryTest, CrudOnInMemoryBackend) {
+  InMemorySampleStore store;
+  ExerciseCheckpointCrud(store);
+}
+
+void ExerciseTornWriteFallback(SampleStore& store) {
+  const std::string good = MinimalCheckpointPayload(100);
+  const std::string newer = MinimalCheckpointPayload(200);
+  ASSERT_TRUE(store.PutCheckpoint("events", good).ok());
+
+  auto injector = std::make_shared<FaultInjector>(17);
+  injector->Arm(kFaultSiteCheckpointWrite, FaultKind::kTornWrite);
+  store.SetFaultInjector(injector);
+  EXPECT_TRUE(store.PutCheckpoint("events", newer).IsIOError());
+  store.SetFaultInjector(nullptr);
+
+  // The torn newest generation must not mask the previous good one.
+  const auto got = store.GetCheckpoint("events");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got.value(), good);
+  EXPECT_GE(store.GetStoreStats().quarantines, 1u);
+
+  // And a subsequent write supersedes everything.
+  ASSERT_TRUE(store.PutCheckpoint("events", newer).ok());
+  EXPECT_EQ(store.GetCheckpoint("events").value(), newer);
+}
+
+TEST_F(CheckpointStoreTest, TornWriteFallsBackToPreviousGeneration) {
+  auto store = OpenStore();
+  ExerciseTornWriteFallback(*store);
+}
+
+TEST(CheckpointStoreInMemoryTest, TornWriteFallsBackToPreviousGeneration) {
+  InMemorySampleStore store;
+  ExerciseTornWriteFallback(store);
+}
+
+TEST_F(CheckpointStoreTest, TransientWriteFaultIsRetried) {
+  auto store = OpenStore();
+  auto injector = std::make_shared<FaultInjector>(19);
+  injector->Arm(kFaultSiteCheckpointWrite, FaultKind::kIOError, 1);
+  store->SetFaultInjector(injector);
+  ASSERT_TRUE(store->PutCheckpoint("events",
+                                   MinimalCheckpointPayload(1)).ok());
+  const StoreStats stats = store->GetStoreStats();
+  EXPECT_GE(stats.retries_attempted, 1u);
+  EXPECT_EQ(stats.retries_exhausted, 0u);
+}
+
+TEST_F(CheckpointStoreTest, RecoverQuarantinesCorruptCheckpointFile) {
+  {
+    auto store = OpenStore();
+    ASSERT_TRUE(
+        store->PutCheckpoint("events", MinimalCheckpointPayload(7)).ok());
+  }
+  // Bit-rot the only checkpoint generation on disk.
+  std::string path;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".ckpt") path = entry.path().string();
+  }
+  ASSERT_FALSE(path.empty());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(10);
+    f.put('\xff');
+  }
+
+  auto store = OpenStore();
+  auto report = store->Recover();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().quarantined_checkpoints.size(), 1u);
+  EXPECT_TRUE(store->GetCheckpoint("events").status().IsNotFound());
+  EXPECT_TRUE(std::filesystem::exists(path + ".quarantine"));
+  EXPECT_GE(store->GetStoreStats().quarantines, 1u);
+}
+
+// --- Ingestor resume: exactly-once replay ---------------------------------
+
+class ResumableIngestTest : public CheckpointStoreTest {
+ protected:
+  WarehouseOptions DurableOptions() {
+    WarehouseOptions options = TestOptions();
+    options.manifest_path = manifest_;
+    return options;
+  }
+
+  /// The uninterrupted reference: same seed, same stream, no crash.
+  std::vector<std::string> ReferenceRun(const std::vector<Value>& values,
+                                        uint64_t partition_elements) {
+    Warehouse reference(TestOptions());
+    EXPECT_TRUE(reference.CreateDataset("events").ok());
+    StreamIngestor ingestor(&reference, "events",
+                            MakeCountPartitioner(partition_elements));
+    EXPECT_TRUE(ingestor.AppendBatch(values).ok());
+    EXPECT_TRUE(ingestor.Flush().ok());
+    return SampleBytes(reference, "events");
+  }
+};
+
+TEST_F(ResumableIngestTest, KillMidStreamResumeReplayBitIdentical) {
+  const std::vector<Value> values = Range(0, 800);
+  const std::vector<std::string> want = ReferenceRun(values, 250);
+  ASSERT_EQ(want.size(), 4u);
+
+  // Run 1: ingest 520 elements with cadence checkpoints, then "crash" (all
+  // in-memory state destroyed, no Flush).
+  {
+    Warehouse warehouse(DurableOptions(), OpenStore());
+    ASSERT_TRUE(warehouse.CreateDataset("events").ok());
+    StreamIngestor ingestor(&warehouse, "events", MakeCountPartitioner(250));
+    ingestor.EnableCheckpoints({.every_n_elements = 64});
+    for (uint64_t i = 0; i < 520; i += 40) {
+      ASSERT_TRUE(
+          ingestor
+              .AppendBatchAt(i, std::span<const Value>(values).subspan(i, 40))
+              .ok());
+    }
+    ASSERT_EQ(ingestor.next_sequence(), 520u);
+  }
+
+  // Restart: recover the warehouse, resume the ingestor, and replay the
+  // WHOLE stream from sequence 0 — an at-least-once source. Every batch
+  // below the watermark must be acknowledged and skipped.
+  auto restored = Warehouse::RestoreWithRecovery(DurableOptions(),
+                                                 OpenStore(), manifest_);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  Warehouse& warehouse = *restored.value().warehouse;
+  auto resumed = StreamIngestor::Resume(&warehouse, "events",
+                                        MakeCountPartitioner(250),
+                                        {.every_n_elements = 64});
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  StreamIngestor& ingestor = *resumed.value();
+  EXPECT_GT(ingestor.next_sequence(), 0u);
+  EXPECT_LE(ingestor.next_sequence(), 520u);
+
+  for (uint64_t i = 0; i < values.size(); i += 40) {
+    ASSERT_TRUE(
+        ingestor
+            .AppendBatchAt(i, std::span<const Value>(values).subspan(i, 40))
+            .ok())
+        << "replay batch at " << i;
+  }
+  EXPECT_EQ(ingestor.next_sequence(), values.size());
+  ASSERT_TRUE(ingestor.Flush().ok());
+
+  EXPECT_EQ(SampleBytes(warehouse, "events"), want);
+}
+
+TEST_F(ResumableIngestTest, DuplicatesAckedGapsRejected) {
+  Warehouse warehouse(DurableOptions(), OpenStore());
+  ASSERT_TRUE(warehouse.CreateDataset("events").ok());
+  StreamIngestor ingestor(&warehouse, "events", nullptr);
+  const std::vector<Value> values = Range(0, 100);
+
+  // A gap is refused outright.
+  EXPECT_TRUE(ingestor.AppendBatchAt(10, values).IsFailedPrecondition());
+  EXPECT_EQ(ingestor.next_sequence(), 0u);
+
+  ASSERT_TRUE(ingestor.AppendBatchAt(0, values).ok());
+  EXPECT_EQ(ingestor.next_sequence(), 100u);
+  EXPECT_EQ(ingestor.open_elements(), 100u);
+
+  // A full redelivery is acknowledged without touching the sampler.
+  ASSERT_TRUE(ingestor.AppendBatchAt(0, values).ok());
+  EXPECT_EQ(ingestor.next_sequence(), 100u);
+  EXPECT_EQ(ingestor.open_elements(), 100u);
+
+  // A straddling batch applies only its unapplied suffix.
+  const std::vector<Value> straddle = Range(60, 140);
+  ASSERT_TRUE(ingestor.AppendBatchAt(60, straddle).ok());
+  EXPECT_EQ(ingestor.next_sequence(), 140u);
+  EXPECT_EQ(ingestor.open_elements(), 140u);
+}
+
+TEST_F(ResumableIngestTest, ResumeWithoutCheckpointIsNotFound) {
+  Warehouse warehouse(DurableOptions(), OpenStore());
+  ASSERT_TRUE(warehouse.CreateDataset("events").ok());
+  EXPECT_TRUE(StreamIngestor::Resume(&warehouse, "events", nullptr)
+                  .status()
+                  .IsNotFound());
+}
+
+// Crash INSIDE the close protocol, after checkpoint A but before the
+// roll-in persisted: resume must roll the pending partition in (once).
+TEST_F(ResumableIngestTest, CrashBeforeRollInReplaysPendingPartition) {
+  const std::vector<Value> values = Range(0, 400);
+  const std::vector<std::string> want = ReferenceRun(values, 250);
+  ASSERT_EQ(want.size(), 2u);
+
+  {
+    Warehouse warehouse(DurableOptions(), OpenStore());
+    ASSERT_TRUE(warehouse.CreateDataset("events").ok());
+    StreamIngestor ingestor(&warehouse, "events", MakeCountPartitioner(250));
+    ingestor.EnableCheckpoints({});
+    ASSERT_TRUE(
+        ingestor.AppendBatchAt(0, std::span<const Value>(values).first(250))
+            .ok());
+    // The next element triggers the close; its RollIn dies on exhausted
+    // IO retries, leaving checkpoint A as the only durable trace.
+    auto injector = std::make_shared<FaultInjector>(23);
+    injector->Arm(kFaultSitePutWrite, FaultKind::kIOError, 100);
+    warehouse.store_for_testing()->SetFaultInjector(injector);
+    EXPECT_TRUE(ingestor
+                    .AppendBatchAt(250, std::span<const Value>(values)
+                                            .subspan(250, 1))
+                    .IsIOError());
+    EXPECT_TRUE(ingestor.rolled_in().empty());
+  }
+
+  auto restored = Warehouse::RestoreWithRecovery(DurableOptions(),
+                                                 OpenStore(), manifest_);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  Warehouse& warehouse = *restored.value().warehouse;
+  auto resumed = StreamIngestor::Resume(&warehouse, "events",
+                                        MakeCountPartitioner(250));
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  // Resume completed the interrupted roll-in exactly once.
+  ASSERT_EQ(resumed.value()->rolled_in().size(), 1u);
+  ASSERT_EQ(warehouse.ListPartitions("events").value().size(), 1u);
+
+  for (uint64_t i = 0; i < values.size(); i += 80) {
+    ASSERT_TRUE(
+        resumed.value()
+            ->AppendBatchAt(i, std::span<const Value>(values).subspan(i, 80))
+            .ok());
+  }
+  ASSERT_TRUE(resumed.value()->Flush().ok());
+  EXPECT_EQ(SampleBytes(warehouse, "events"), want);
+}
+
+// Crash between the roll-in and checkpoint B: the catalog already holds
+// the partition, so resume must ADOPT it, not roll it in twice.
+TEST_F(ResumableIngestTest, CheckpointBLossAdoptsCompletedRollIn) {
+  const std::vector<Value> values = Range(0, 400);
+  const std::vector<std::string> want = ReferenceRun(values, 250);
+  ASSERT_EQ(want.size(), 2u);
+
+  {
+    Warehouse warehouse(DurableOptions(), OpenStore());
+    warehouse.store_for_testing()->SetRetryPolicy(
+        {.max_attempts = 1, .initial_backoff = std::chrono::microseconds(1)});
+    ASSERT_TRUE(warehouse.CreateDataset("events").ok());
+    StreamIngestor ingestor(&warehouse, "events", MakeCountPartitioner(250));
+    ingestor.EnableCheckpoints({});
+    ASSERT_TRUE(
+        ingestor.AppendBatchAt(0, std::span<const Value>(values).first(250))
+            .ok());
+    // Let checkpoint A through (skip 1), then fail checkpoint B. B is best
+    // effort, so the append itself succeeds and the roll-in completes.
+    auto injector = std::make_shared<FaultInjector>(29);
+    injector->Arm(kFaultSiteCheckpointWrite, FaultKind::kIOError, 100, 1);
+    warehouse.store_for_testing()->SetFaultInjector(injector);
+    ASSERT_TRUE(ingestor
+                    .AppendBatchAt(250, std::span<const Value>(values)
+                                            .subspan(250, 1))
+                    .ok());
+    ASSERT_EQ(ingestor.rolled_in().size(), 1u);
+  }
+
+  auto restored = Warehouse::RestoreWithRecovery(DurableOptions(),
+                                                 OpenStore(), manifest_);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  Warehouse& warehouse = *restored.value().warehouse;
+  auto resumed = StreamIngestor::Resume(&warehouse, "events",
+                                        MakeCountPartitioner(250));
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  // Adopted, not duplicated: still exactly one partition in the catalog.
+  ASSERT_EQ(resumed.value()->rolled_in().size(), 1u);
+  ASSERT_EQ(warehouse.ListPartitions("events").value().size(), 1u);
+
+  for (uint64_t i = 0; i < values.size(); i += 80) {
+    ASSERT_TRUE(
+        resumed.value()
+            ->AppendBatchAt(i, std::span<const Value>(values).subspan(i, 80))
+            .ok());
+  }
+  ASSERT_TRUE(resumed.value()->Flush().ok());
+  EXPECT_EQ(SampleBytes(warehouse, "events"), want);
+}
+
+// --- Warehouse-level reconciliation ---------------------------------------
+
+TEST_F(CheckpointStoreTest, RestoreWithRecoveryDropsStaleCheckpoints) {
+  {
+    Warehouse warehouse(TestOptions(), OpenStore());
+    ASSERT_TRUE(warehouse.CreateDataset("events").ok());
+    ASSERT_TRUE(warehouse.IngestBatch("events", Range(0, 1000), 2).ok());
+    ASSERT_TRUE(warehouse.SaveManifest(manifest_).ok());
+    // A checkpoint for a dataset the catalog does not know (e.g. dropped
+    // after the checkpoint was written, or a foreign leftover).
+    ASSERT_TRUE(warehouse.store_for_testing()
+                    ->PutCheckpoint("ghost", MinimalCheckpointPayload(9))
+                    .ok());
+  }
+
+  auto restored = Warehouse::RestoreWithRecovery(TestOptions(), OpenStore(),
+                                                 manifest_);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().report.stale_checkpoints,
+            (std::vector<DatasetId>{"ghost"}));
+  EXPECT_TRUE(restored.value()
+                  .warehouse->ListIngestCheckpoints()
+                  .value()
+                  .empty());
+}
+
+TEST_F(CheckpointStoreTest, DropDatasetRemovesItsCheckpoint) {
+  Warehouse warehouse(TestOptions(), OpenStore());
+  ASSERT_TRUE(warehouse.CreateDataset("events").ok());
+  ASSERT_TRUE(
+      warehouse.PutIngestCheckpoint("events", MinimalCheckpointPayload(1))
+          .ok());
+  ASSERT_EQ(warehouse.ListIngestCheckpoints().value().size(), 1u);
+  ASSERT_TRUE(warehouse.DropDataset("events").ok());
+  EXPECT_TRUE(warehouse.ListIngestCheckpoints().value().empty());
+}
+
+TEST_F(CheckpointStoreTest, PutCheckpointForUnknownDatasetIsNotFound) {
+  Warehouse warehouse(TestOptions(), OpenStore());
+  EXPECT_TRUE(
+      warehouse.PutIngestCheckpoint("nope", MinimalCheckpointPayload(1))
+          .IsNotFound());
+}
+
+}  // namespace
+}  // namespace sampwh

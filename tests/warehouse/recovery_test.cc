@@ -5,6 +5,7 @@
 // answer queries. The strict Restore() keeps its fail-fast contract.
 
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -211,6 +212,38 @@ TEST_F(RecoveryTest, MetadataMismatchIsDroppedFromCatalog) {
                   .status()
                   .IsNotFound());
   EXPECT_TRUE(restored.value().warehouse->MergedSampleAll("events").ok());
+}
+
+// A second recovery pass over a file whose ".quarantine" name is already
+// taken (the same partition went bad twice across restarts) must preserve
+// BOTH pieces of evidence, not overwrite the first.
+TEST_F(RecoveryTest, RepeatedQuarantineNeverOverwritesEvidence) {
+  std::unique_ptr<Warehouse> warehouse = BuildPopulated();
+  const PartitionId victim =
+      warehouse->ListPartitions("events").value().front().id;
+  warehouse.reset();
+  const std::string path =
+      dir_ + "/events." + std::to_string(victim) + ".sample";
+
+  const auto corrupt_and_recover = [&](const std::string& bytes) {
+    {
+      std::ofstream f(path, std::ios::binary | std::ios::trunc);
+      f << bytes;
+    }
+    std::unique_ptr<FileSampleStore> store = OpenStore();
+    auto report = store->Recover();
+    ASSERT_TRUE(report.ok());
+    ASSERT_EQ(report.value().quarantined.size(), 1u);
+  };
+
+  corrupt_and_recover("first corruption");
+  EXPECT_TRUE(std::filesystem::exists(path + ".quarantine"));
+  corrupt_and_recover("second corruption");
+  EXPECT_TRUE(std::filesystem::exists(path + ".quarantine"));
+  EXPECT_TRUE(std::filesystem::exists(path + ".quarantine.1"));
+
+  // QuarantineDestination keeps climbing past every claimed suffix.
+  EXPECT_EQ(QuarantineDestination(path), path + ".quarantine.2");
 }
 
 TEST_F(RecoveryTest, CleanStoreRecoversToIdenticalWarehouse) {

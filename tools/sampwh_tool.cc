@@ -10,7 +10,11 @@
 //       Uniform merge of samples of DISJOINT partitions (F = 64 KiB).
 //   sampwh_tool inspect <store-dir> <manifest-file>
 //       Restore a file-backed warehouse and list its catalog.
+//   sampwh_tool checkpoints <store-dir>
+//       List datasets with pending ingest checkpoints: replay watermark,
+//       open-partition progress, rolled-in count, and checkpoint age.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -21,6 +25,7 @@
 #include "src/stats/estimators.h"
 #include "src/stats/profile.h"
 #include "src/util/serialization.h"
+#include "src/warehouse/checkpoint.h"
 #include "src/warehouse/warehouse.h"
 
 namespace sampwh {
@@ -188,6 +193,42 @@ int CmdInspect(const std::string& dir, const std::string& manifest) {
   return 0;
 }
 
+int CmdCheckpoints(const std::string& dir) {
+  auto store = FileSampleStore::Open(dir);
+  if (!store.ok()) return Fail(store.status());
+  auto datasets = store.value()->ListCheckpoints();
+  if (!datasets.ok()) return Fail(datasets.status());
+  if (datasets.value().empty()) {
+    std::printf("no pending ingest checkpoints\n");
+    return 0;
+  }
+  const uint64_t now_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  for (const DatasetId& dataset : datasets.value()) {
+    auto payload = store.value()->GetCheckpoint(dataset);
+    if (!payload.ok()) return Fail(payload.status());
+    auto ckpt = IngestCheckpoint::Deserialize(payload.value());
+    if (!ckpt.ok()) return Fail(ckpt.status());
+    const IngestCheckpoint& c = ckpt.value();
+    const double age_seconds =
+        now_micros > c.created_unix_micros
+            ? static_cast<double>(now_micros - c.created_unix_micros) / 1e6
+            : 0.0;
+    std::printf("dataset %s: watermark %llu, open partition %llu elements "
+                "(%llu sampled), %zu rolled in, %s, age %.1fs\n",
+                dataset.c_str(),
+                static_cast<unsigned long long>(c.next_sequence),
+                static_cast<unsigned long long>(c.progress.elements),
+                static_cast<unsigned long long>(c.progress.sample_size),
+                c.rolled_in.size(),
+                c.pending.has_value() ? "roll-in PENDING" : "no pending roll-in",
+                age_seconds);
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -196,7 +237,8 @@ int Usage() {
       "  sampwh_tool profile <sample-file>\n"
       "  sampwh_tool estimate <sample-file> mean|sum|distinct\n"
       "  sampwh_tool merge <out-file> <in-file> <in-file> [in-file...]\n"
-      "  sampwh_tool inspect <store-dir> <manifest-file>\n");
+      "  sampwh_tool inspect <store-dir> <manifest-file>\n"
+      "  sampwh_tool checkpoints <store-dir>\n");
   return 2;
 }
 
@@ -212,6 +254,9 @@ int Run(int argc, char** argv) {
   if (command == "merge" && args.size() >= 3) return CmdMerge(args);
   if (command == "inspect" && args.size() == 2) {
     return CmdInspect(args[0], args[1]);
+  }
+  if (command == "checkpoints" && args.size() == 1) {
+    return CmdCheckpoints(args[0]);
   }
   return Usage();
 }
