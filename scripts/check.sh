@@ -69,6 +69,14 @@ fi
 
 run_config relwithdebinfo -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
+# Quick re-gate on the lock-free/bitmask ingestion surface: the SPSC ring,
+# shard router, bitmask Bern(q) and ParallelIngestor suites run standalone
+# so a regression there fails with a targeted name even though the full
+# suite above already covered them.
+echo "=== [relwithdebinfo] parallel-ingest unit gate ==="
+ctest --test-dir build-check/relwithdebinfo -R \
+  "SpscRing|ShardRouter|BatchAccept|ParallelIngestor" --output-on-failure
+
 if [[ "${mode}" == "full" ]]; then
   run_config asan \
     -DCMAKE_BUILD_TYPE=Debug \
@@ -81,6 +89,12 @@ fi
 # and fails if the warm speedup regresses below its gate.
 echo "=== [relwithdebinfo] query bench (smoke) ==="
 (cd build-check/relwithdebinfo/bench && ./bench_query_throughput --smoke)
+
+# Ingest smoke bench (~5 s): exercises every ingestion path including the
+# shard-per-core ParallelIngestor; fails if the sharded path stops being
+# interleaving-independent or its busy-makespan speedup collapses.
+echo "=== [relwithdebinfo] ingest bench (smoke) ==="
+(cd build-check/relwithdebinfo/bench && ./bench_ingest_throughput --smoke)
 
 # Fault-injection stress smoke (~2 s): seeded concurrent
 # ingest/query/roll-out rounds against an injected store, checking the

@@ -15,7 +15,10 @@ constexpr uint64_t kStateTagHybridBernoulli = 1;
 constexpr uint64_t kStateTagHybridReservoir = 2;
 constexpr uint64_t kStateTagBernoulli = 3;
 
-constexpr uint64_t kSamplerStateVersion = 1;
+// v2 appended the Bern(q) acceptance-mode field to the SB record; v1
+// records are still readable (mode defaults to the scalar skip path).
+constexpr uint64_t kSamplerStateVersion = 2;
+constexpr uint64_t kMinSamplerStateVersion = 1;
 
 std::variant<HybridBernoulliSampler, HybridReservoirSampler, BernoulliSampler>
 MakeImpl(const SamplerConfig& config, Pcg64 rng) {
@@ -107,7 +110,7 @@ Result<AnySampler> AnySampler::LoadState(std::string_view bytes) {
   }
   uint64_t version;
   SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&version));
-  if (version != kSamplerStateVersion) {
+  if (version < kMinSamplerStateVersion || version > kSamplerStateVersion) {
     return Status::Corruption("unsupported sampler-state version");
   }
   uint64_t tag;
@@ -128,7 +131,7 @@ Result<AnySampler> AnySampler::LoadState(std::string_view bytes) {
     }
     case kStateTagBernoulli: {
       SAMPWH_ASSIGN_OR_RETURN(auto sampler,
-                              BernoulliSampler::LoadState(&reader));
+                              BernoulliSampler::LoadState(&reader, version));
       impl = std::move(sampler);
       break;
     }

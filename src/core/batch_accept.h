@@ -1,0 +1,59 @@
+// SIMD-friendly Bern(q) batch acceptance: instead of a data-dependent
+// branch per element (or the geometric-skip jump, whose inner loop is
+// serial in the RNG), acceptance decisions are generated as a 64-bit mask
+// over a span of up to 64 elements — a branch-free compare loop the
+// compiler can vectorize — followed by a compress-store of the accepted
+// values. Each lane's decision is bit-identical to Pcg64::Bernoulli(q) on
+// the same engine, so the mask path is an exact drop-in for a per-element
+// acceptance loop (proven in tests/core/batch_accept_test.cc), while the
+// classic geometric-skip path remains available as the scalar fallback and
+// stays RNG-order-identical to the pre-existing AddBatch behavior.
+//
+// Mode selection: BernoulliSampler picks its acceptance mode at
+// construction from the process-wide default, which is kGeometricSkip
+// unless overridden at compile time (-DSAMPWH_DEFAULT_BITMASK_ACCEPT=1) or
+// at runtime (SetDefaultBernAcceptMode). The two modes consume the RNG
+// differently, so the mode is part of the sampler's serialized state.
+
+#ifndef SAMPWH_CORE_BATCH_ACCEPT_H_
+#define SAMPWH_CORE_BATCH_ACCEPT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "src/core/types.h"
+#include "src/util/random.h"
+
+namespace sampwh {
+
+enum class BernAcceptMode : uint8_t {
+  /// Jump between inclusions with geometric skips (O(q) RNG draws per
+  /// element amortized; serial, branchy). The legacy path.
+  kGeometricSkip = 0,
+  /// Branch-free 64-lane acceptance bitmasks + compress-store (one RNG
+  /// draw per element; vector-friendly inner loop).
+  kBitmask = 1,
+};
+
+/// The process-wide default mode new samplers are constructed with.
+BernAcceptMode DefaultBernAcceptMode();
+void SetDefaultBernAcceptMode(BernAcceptMode mode);
+
+/// Acceptance bitmask for `lanes` (1..64) Bern(q) trials: bit i is set iff
+/// trial i accepts. Consumes exactly `lanes` NextUint64 draws, in lane
+/// order, and lane i's decision equals rng.Bernoulli(q) evaluated on the
+/// same draw — the mask path and a per-element loop are interchangeable
+/// mid-stream. Branch-free in the lanes loop.
+uint64_t BernoulliAcceptMask(Pcg64& rng, double q, size_t lanes);
+
+/// Compress-store: appends values[i] for every set bit i of `mask` to
+/// `out` (which must have room for popcount(mask) values). Returns the
+/// number of values stored. `values.size()` bounds the highest inspected
+/// lane.
+size_t CompressAccepted(std::span<const Value> values, uint64_t mask,
+                        Value* out);
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_CORE_BATCH_ACCEPT_H_

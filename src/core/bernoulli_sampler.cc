@@ -1,5 +1,6 @@
 #include "src/core/bernoulli_sampler.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/core/sampler_state.h"
@@ -8,14 +9,23 @@
 
 namespace sampwh {
 
-BernoulliSampler::BernoulliSampler(double q, Pcg64 rng)
-    : q_(q), rng_(std::move(rng)) {
+BernoulliSampler::BernoulliSampler(double q, Pcg64 rng, BernAcceptMode mode)
+    : q_(q), rng_(std::move(rng)), mode_(mode) {
   SAMPWH_CHECK(q > 0.0 && q <= 1.0);
-  gap_ = SampleGeometricSkip(rng_, q_);
+  // The bitmask mode draws once per element, so there is no pending skip to
+  // pre-draw; keeping the constructor draw-free in that mode is what makes
+  // its Add loop bit-identical to BernoulliAcceptMask lanes.
+  if (mode_ == BernAcceptMode::kGeometricSkip) {
+    gap_ = SampleGeometricSkip(rng_, q_);
+  }
 }
 
 void BernoulliSampler::Add(Value v) {
   ++elements_seen_;
+  if (mode_ == BernAcceptMode::kBitmask) {
+    if (rng_.Bernoulli(q_)) hist_.Insert(v);
+    return;
+  }
   if (gap_ > 0) {
     --gap_;
     return;
@@ -25,6 +35,18 @@ void BernoulliSampler::Add(Value v) {
 }
 
 void BernoulliSampler::AddBatch(std::span<const Value> values) {
+  if (mode_ == BernAcceptMode::kBitmask) {
+    Value accepted[64];
+    for (size_t i = 0; i < values.size(); i += 64) {
+      const size_t lanes = std::min<size_t>(64, values.size() - i);
+      const uint64_t mask = BernoulliAcceptMask(rng_, q_, lanes);
+      const size_t stored =
+          CompressAccepted(values.subspan(i, lanes), mask, accepted);
+      for (size_t j = 0; j < stored; ++j) hist_.Insert(accepted[j]);
+    }
+    elements_seen_ += values.size();
+    return;
+  }
   size_t i = 0;
   const size_t n = values.size();
   while (i < n) {
@@ -47,9 +69,11 @@ void BernoulliSampler::SaveState(BinaryWriter* writer) const {
   writer->PutVarint64(elements_seen_);
   writer->PutVarint64(gap_);
   hist_.SerializeTo(writer);
+  writer->PutVarint64(static_cast<uint64_t>(mode_));
 }
 
-Result<BernoulliSampler> BernoulliSampler::LoadState(BinaryReader* reader) {
+Result<BernoulliSampler> BernoulliSampler::LoadState(BinaryReader* reader,
+                                                     uint64_t version) {
   double q;
   SAMPWH_RETURN_IF_ERROR(reader->GetDouble(&q));
   if (!(q > 0.0 && q <= 1.0)) {
@@ -58,11 +82,20 @@ Result<BernoulliSampler> BernoulliSampler::LoadState(BinaryReader* reader) {
   // The constructor draws the first geometric skip from the RNG it is
   // given; build with a throwaway engine, then restore every field from
   // the record (including the real engine state).
-  BernoulliSampler s(q, Pcg64(0));
+  BernoulliSampler s(q, Pcg64(0), BernAcceptMode::kGeometricSkip);
   SAMPWH_RETURN_IF_ERROR(LoadRngState(reader, &s.rng_));
   SAMPWH_RETURN_IF_ERROR(reader->GetVarint64(&s.elements_seen_));
   SAMPWH_RETURN_IF_ERROR(reader->GetVarint64(&s.gap_));
   SAMPWH_ASSIGN_OR_RETURN(s.hist_, CompactHistogram::DeserializeFrom(reader));
+  if (version >= 2) {
+    // v1 records predate the acceptance-mode field: scalar skip implied.
+    uint64_t mode;
+    SAMPWH_RETURN_IF_ERROR(reader->GetVarint64(&mode));
+    if (mode > static_cast<uint64_t>(BernAcceptMode::kBitmask)) {
+      return Status::Corruption("SB state: bad acceptance mode");
+    }
+    s.mode_ = static_cast<BernAcceptMode>(mode);
+  }
   return s;
 }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <span>
 
+#include "src/core/batch_accept.h"
 #include "src/core/compact_histogram.h"
 #include "src/core/sample.h"
 #include "src/core/types.h"
@@ -20,35 +21,47 @@ namespace sampwh {
 
 class BernoulliSampler {
  public:
-  /// Samples at fixed rate q in (0, 1].
-  BernoulliSampler(double q, Pcg64 rng);
+  /// Samples at fixed rate q in (0, 1]. `mode` picks the batch-acceptance
+  /// strategy (see batch_accept.h); the two modes consume the RNG stream
+  /// differently but draw from the same distribution, so the mode is part
+  /// of the sampler's serialized state.
+  BernoulliSampler(double q, Pcg64 rng,
+                   BernAcceptMode mode = DefaultBernAcceptMode());
 
   void Add(Value v);
 
-  /// Batch fast path: jumps directly from inclusion to inclusion with the
-  /// geometric skip, so the per-element cost is O(q) amortized instead of
-  /// O(1) per element. Consumes the RNG in exactly the same order as an
-  /// element-wise Add loop, so both paths produce identical samples under
+  /// Batch fast path. In kGeometricSkip mode, jumps directly from inclusion
+  /// to inclusion with the geometric skip, so the per-element cost is O(q)
+  /// amortized instead of O(1) per element. In kBitmask mode, generates
+  /// 64-lane acceptance bitmasks with a branch-free vectorizable compare
+  /// loop and compress-stores the accepted values. Either mode consumes the
+  /// RNG in exactly the same order as an element-wise Add loop in that
+  /// mode, so batch and element-wise paths produce identical samples under
   /// the same seed.
   void AddBatch(std::span<const Value> values);
 
   uint64_t elements_seen() const { return elements_seen_; }
   uint64_t sample_size() const { return hist_.total_count(); }
   double sampling_rate() const { return q_; }
+  BernAcceptMode accept_mode() const { return mode_; }
 
   /// Finalizes into an (unbounded-footprint) Bernoulli PartitionSample.
   PartitionSample Finalize();
 
-  /// Serializes rate, histogram, the pending geometric skip and the RNG
-  /// engine; LoadState() resumes bit-identically.
+  /// Serializes rate, histogram, the pending geometric skip, the RNG engine
+  /// and the acceptance mode; LoadState() resumes bit-identically.
+  /// `version` is the enclosing sampler-state record version: v1 records
+  /// predate the acceptance-mode field and load as kGeometricSkip.
   void SaveState(BinaryWriter* writer) const;
-  static Result<BernoulliSampler> LoadState(BinaryReader* reader);
+  static Result<BernoulliSampler> LoadState(BinaryReader* reader,
+                                            uint64_t version);
 
  private:
   double q_;
   Pcg64 rng_;
+  BernAcceptMode mode_;
   uint64_t elements_seen_ = 0;
-  uint64_t gap_ = 0;  // elements to skip before the next inclusion
+  uint64_t gap_ = 0;  // kGeometricSkip: elements to skip before inclusion
   CompactHistogram hist_;
 };
 

@@ -350,7 +350,7 @@ Result<RecoveryReport> InMemorySampleStore::Recover(
 
 Status InMemorySampleStore::PutCheckpoint(const DatasetId& dataset,
                                           std::string_view payload) {
-  SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(dataset));
+  SAMPWH_RETURN_IF_ERROR(ValidateCheckpointKey(dataset));
   std::string bytes = WrapSampleEnvelope(payload);
   const std::shared_ptr<FaultInjector> injector = fault_injector();
   const RetryPolicy policy = retry_policy();
@@ -394,7 +394,7 @@ Status InMemorySampleStore::PutCheckpoint(const DatasetId& dataset,
 
 Result<std::string> InMemorySampleStore::GetCheckpoint(
     const DatasetId& dataset) const {
-  SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(dataset));
+  SAMPWH_RETURN_IF_ERROR(ValidateCheckpointKey(dataset));
   const std::shared_ptr<FaultInjector> injector = fault_injector();
   const RetryPolicy policy = retry_policy();
   std::chrono::microseconds backoff = policy.initial_backoff;
@@ -433,7 +433,7 @@ Result<std::string> InMemorySampleStore::GetCheckpoint(
 }
 
 Status InMemorySampleStore::DeleteCheckpoint(const DatasetId& dataset) {
-  SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(dataset));
+  SAMPWH_RETURN_IF_ERROR(ValidateCheckpointKey(dataset));
   std::lock_guard<std::mutex> lock(mu_);
   if (checkpoints_.erase(dataset) == 0) {
     return Status::NotFound("no checkpoint for dataset");
@@ -773,7 +773,7 @@ std::vector<uint64_t> FileSampleStore::CheckpointGenerations(
 
 Status FileSampleStore::PutCheckpoint(const DatasetId& dataset,
                                       std::string_view payload) {
-  SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(dataset));
+  SAMPWH_RETURN_IF_ERROR(ValidateCheckpointKey(dataset));
   const std::string bytes = WrapSampleEnvelope(payload);
   std::lock_guard<std::mutex> lock(ckpt_mu_);
   const std::vector<uint64_t> gens = CheckpointGenerations(dataset);
@@ -792,7 +792,7 @@ Status FileSampleStore::PutCheckpoint(const DatasetId& dataset,
 
 Result<std::string> FileSampleStore::GetCheckpoint(
     const DatasetId& dataset) const {
-  SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(dataset));
+  SAMPWH_RETURN_IF_ERROR(ValidateCheckpointKey(dataset));
   const std::shared_ptr<FaultInjector> injector = fault_injector();
   const RetryPolicy policy = retry_policy();
   std::lock_guard<std::mutex> lock(ckpt_mu_);
@@ -837,7 +837,7 @@ Result<std::string> FileSampleStore::GetCheckpoint(
 }
 
 Status FileSampleStore::DeleteCheckpoint(const DatasetId& dataset) {
-  SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(dataset));
+  SAMPWH_RETURN_IF_ERROR(ValidateCheckpointKey(dataset));
   std::lock_guard<std::mutex> lock(ckpt_mu_);
   const std::vector<uint64_t> gens = CheckpointGenerations(dataset);
   if (gens.empty()) return Status::NotFound("no checkpoint for dataset");

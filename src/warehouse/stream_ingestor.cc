@@ -23,10 +23,19 @@ uint64_t NowUnixMicros() {
 
 StreamIngestor::StreamIngestor(Warehouse* warehouse, DatasetId dataset,
                                std::unique_ptr<Partitioner> partitioner)
+    : StreamIngestor(warehouse, std::move(dataset), std::move(partitioner),
+                     warehouse != nullptr ? warehouse->ForkRng() : Pcg64(0),
+                     /*checkpoint_key=*/{}) {}
+
+StreamIngestor::StreamIngestor(Warehouse* warehouse, DatasetId dataset,
+                               std::unique_ptr<Partitioner> partitioner,
+                               Pcg64 rng, std::string checkpoint_key)
     : warehouse_(warehouse),
       dataset_(std::move(dataset)),
+      checkpoint_key_(checkpoint_key.empty() ? dataset_
+                                             : std::move(checkpoint_key)),
       partitioner_(std::move(partitioner)),
-      rng_(warehouse != nullptr ? warehouse->ForkRng() : Pcg64(0)) {
+      rng_(std::move(rng)) {
   SAMPWH_CHECK(warehouse_ != nullptr);
 }
 
@@ -112,8 +121,8 @@ Status StreamIngestor::WriteCheckpoint() {
     pending.id_lower_bound = pending_->id_lower_bound;
     ckpt.pending = std::move(pending);
   }
-  SAMPWH_RETURN_IF_ERROR(
-      warehouse_->PutIngestCheckpoint(dataset_, ckpt.Serialize()));
+  SAMPWH_RETURN_IF_ERROR(warehouse_->PutIngestCheckpointKeyed(
+      dataset_, checkpoint_key_, ckpt.Serialize()));
   elements_since_checkpoint_ = 0;
   last_checkpoint_tick_ = progress_.last_timestamp;
   return Status::OK();
@@ -222,21 +231,20 @@ Status StreamIngestor::Flush() {
 
 Result<std::unique_ptr<StreamIngestor>> StreamIngestor::Resume(
     Warehouse* warehouse, DatasetId dataset,
-    std::unique_ptr<Partitioner> partitioner, const CheckpointPolicy& policy) {
+    std::unique_ptr<Partitioner> partitioner, const CheckpointPolicy& policy,
+    std::string checkpoint_key) {
   if (warehouse == nullptr) {
     return Status::InvalidArgument("null warehouse");
   }
+  if (checkpoint_key.empty()) checkpoint_key = dataset;
   SAMPWH_ASSIGN_OR_RETURN(std::string payload,
-                          warehouse->GetIngestCheckpoint(dataset));
+                          warehouse->GetIngestCheckpoint(checkpoint_key));
   SAMPWH_ASSIGN_OR_RETURN(IngestCheckpoint ckpt,
                           IngestCheckpoint::Deserialize(payload));
 
   auto ingestor = std::unique_ptr<StreamIngestor>(new StreamIngestor(
-      warehouse, std::move(dataset), std::move(partitioner)));
-  // The constructor forked a throwaway stream from the warehouse RNG;
-  // every piece of randomness the resumed run consumes comes from the
-  // restored engine below.
-  ingestor->rng_ = Pcg64::FromState(ckpt.rng);
+      warehouse, std::move(dataset), std::move(partitioner),
+      Pcg64::FromState(ckpt.rng), std::move(checkpoint_key)));
   ingestor->next_sequence_ = ckpt.next_sequence;
   ingestor->partitions_started_ = ckpt.partitions_started;
   ingestor->rolled_in_ = std::move(ckpt.rolled_in);

@@ -48,6 +48,16 @@ class StreamIngestor {
   StreamIngestor(Warehouse* warehouse, DatasetId dataset,
                  std::unique_ptr<Partitioner> partitioner);
 
+  /// Variant for callers that manage several ingestors over one dataset
+  /// (ParallelIngestor's stripes): the private RNG is supplied explicitly
+  /// instead of forked from the warehouse engine — so each stripe's
+  /// randomness is a pure function of (seed, stripe), independent of
+  /// construction order — and checkpoints are stored under `checkpoint_key`
+  /// rather than the dataset name.
+  StreamIngestor(Warehouse* warehouse, DatasetId dataset,
+                 std::unique_ptr<Partitioner> partitioner, Pcg64 rng,
+                 std::string checkpoint_key);
+
   /// Feeds one element with an optional event timestamp (virtual ticks).
   /// Timestamps must be non-decreasing within one ingestor.
   Status Append(Value v, uint64_t timestamp = 0);
@@ -88,11 +98,12 @@ class StreamIngestor {
   /// adopted, one whose roll-in is absent is rolled in now. The returned
   /// ingestor has checkpoints enabled with `policy`; feed it the source
   /// stream from next_sequence() (or any earlier replay point) via the
-  /// Append*At entry points.
+  /// Append*At entry points. `checkpoint_key` selects a non-default
+  /// checkpoint cursor (empty: the dataset name).
   static Result<std::unique_ptr<StreamIngestor>> Resume(
       Warehouse* warehouse, DatasetId dataset,
       std::unique_ptr<Partitioner> partitioner,
-      const CheckpointPolicy& policy = {});
+      const CheckpointPolicy& policy = {}, std::string checkpoint_key = {});
 
   /// The replay watermark: sequence number of the next element to apply.
   uint64_t next_sequence() const { return next_sequence_; }
@@ -140,6 +151,9 @@ class StreamIngestor {
 
   Warehouse* warehouse_;
   DatasetId dataset_;
+  /// Where this ingestor's checkpoint generations live; the dataset name by
+  /// default, a "<dataset>#s<stripe>" key for one stripe of a parallel run.
+  std::string checkpoint_key_;
   std::unique_ptr<Partitioner> partitioner_;
 
   /// The ingestor's private RNG: per-partition sampler streams fork from

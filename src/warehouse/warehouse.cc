@@ -43,14 +43,16 @@ Warehouse::Warehouse(const WarehouseOptions& options,
 Warehouse::Warehouse(const WarehouseOptions& options)
     : Warehouse(options, std::make_unique<InMemorySampleStore>()) {}
 
-Result<std::shared_ptr<std::mutex>> Warehouse::DatasetMutex(
+Result<Warehouse::DatasetLock> Warehouse::LockDataset(
     const DatasetId& dataset) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  DatasetLock held;
+  held.structure = std::shared_lock<std::shared_mutex>(mu_);
   const auto it = dataset_mu_.find(dataset);
   if (it == dataset_mu_.end()) {
     return Status::NotFound("no dataset: " + dataset);
   }
-  return it->second;
+  held.dataset = std::unique_lock<std::mutex>(*it->second);
+  return held;
 }
 
 Status Warehouse::CreateDataset(const DatasetId& id) {
@@ -90,9 +92,19 @@ Status Warehouse::DropDataset(const DatasetId& id) {
       // Best effort: catalog consistency matters more than store misses.
       store_->Delete(PartitionKey{id, p.id});
     }
-    // A dropped dataset's ingest checkpoint is meaningless (and would read
-    // as stale on the next recovery); best effort again.
+    // A dropped dataset's ingest checkpoints are meaningless (and would
+    // read as stale on the next recovery); best effort again. Per-stripe
+    // cursors live under "<dataset>#..." keys.
     store_->DeleteCheckpoint(id);
+    if (Result<std::vector<DatasetId>> ckpts = store_->ListCheckpoints();
+        ckpts.ok()) {
+      for (const DatasetId& key : ckpts.value()) {
+        if (key.size() > id.size() && key[id.size()] == '#' &&
+            key.compare(0, id.size(), id) == 0) {
+          store_->DeleteCheckpoint(key);
+        }
+      }
+    }
     sampler_overrides_.erase(id);
     dataset_mu_.erase(id);
     // Epoch-bump both caches: a recreated dataset reuses partition ids from
@@ -116,28 +128,19 @@ std::vector<DatasetId> Warehouse::ListDatasets() const {
 }
 
 Result<DatasetInfo> Warehouse::GetDatasetInfo(const DatasetId& id) const {
-  SAMPWH_ASSIGN_OR_RETURN(std::shared_ptr<std::mutex> dataset_mu,
-                          DatasetMutex(id));
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  std::lock_guard<std::mutex> dlock(*dataset_mu);
+  SAMPWH_ASSIGN_OR_RETURN(DatasetLock held, LockDataset(id));
   return catalog_.GetDatasetInfo(id);
 }
 
 Result<std::vector<PartitionInfo>> Warehouse::ListPartitions(
     const DatasetId& dataset) const {
-  SAMPWH_ASSIGN_OR_RETURN(std::shared_ptr<std::mutex> dataset_mu,
-                          DatasetMutex(dataset));
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  std::lock_guard<std::mutex> dlock(*dataset_mu);
+  SAMPWH_ASSIGN_OR_RETURN(DatasetLock held, LockDataset(dataset));
   return catalog_.ListPartitions(dataset);
 }
 
 Result<std::vector<PartitionId>> Warehouse::PartitionsInTimeRange(
     const DatasetId& dataset, uint64_t from, uint64_t to) const {
-  SAMPWH_ASSIGN_OR_RETURN(std::shared_ptr<std::mutex> dataset_mu,
-                          DatasetMutex(dataset));
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  std::lock_guard<std::mutex> dlock(*dataset_mu);
+  SAMPWH_ASSIGN_OR_RETURN(DatasetLock held, LockDataset(dataset));
   return catalog_.PartitionsInTimeRange(dataset, from, to);
 }
 
@@ -146,12 +149,9 @@ Result<PartitionId> Warehouse::RollIn(const DatasetId& dataset,
                                       uint64_t min_timestamp,
                                       uint64_t max_timestamp) {
   SAMPWH_RETURN_IF_ERROR(sample.Validate());
-  SAMPWH_ASSIGN_OR_RETURN(std::shared_ptr<std::mutex> dataset_mu,
-                          DatasetMutex(dataset));
   PartitionId id;
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    std::lock_guard<std::mutex> dlock(*dataset_mu);
+    SAMPWH_ASSIGN_OR_RETURN(DatasetLock held, LockDataset(dataset));
     SAMPWH_ASSIGN_OR_RETURN(id, catalog_.AllocatePartitionId(dataset));
     SAMPWH_RETURN_IF_ERROR(store_->Put(PartitionKey{dataset, id}, sample));
     PartitionInfo info;
@@ -181,12 +181,9 @@ Result<PartitionId> Warehouse::RollIn(const DatasetId& dataset,
 }
 
 Status Warehouse::RollOut(const DatasetId& dataset, PartitionId partition) {
-  SAMPWH_ASSIGN_OR_RETURN(std::shared_ptr<std::mutex> dataset_mu,
-                          DatasetMutex(dataset));
   Status delete_status;
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    std::lock_guard<std::mutex> dlock(*dataset_mu);
+    SAMPWH_ASSIGN_OR_RETURN(DatasetLock held, LockDataset(dataset));
     SAMPWH_RETURN_IF_ERROR(catalog_.RemovePartition(dataset, partition));
     // Strict invalidation: the partition's cached sample and every memoized
     // merge node containing it go with the catalog entry, so no future read
@@ -222,14 +219,11 @@ Result<PartitionId> Warehouse::CompactPartitions(
   if (parts.size() < 2) {
     return Status::InvalidArgument("compaction needs at least 2 partitions");
   }
-  SAMPWH_ASSIGN_OR_RETURN(std::shared_ptr<std::mutex> dataset_mu,
-                          DatasetMutex(dataset));
   // Combined event-time range of the inputs.
   uint64_t min_ts = UINT64_MAX;
   uint64_t max_ts = 0;
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    std::lock_guard<std::mutex> dlock(*dataset_mu);
+    SAMPWH_ASSIGN_OR_RETURN(DatasetLock held, LockDataset(dataset));
     for (const PartitionId id : parts) {
       SAMPWH_ASSIGN_OR_RETURN(PartitionInfo info,
                               catalog_.GetPartition(dataset, id));
@@ -248,11 +242,8 @@ Result<PartitionId> Warehouse::CompactPartitions(
 
 Result<PartitionSample> Warehouse::GetSample(const DatasetId& dataset,
                                              PartitionId partition) const {
-  SAMPWH_ASSIGN_OR_RETURN(std::shared_ptr<std::mutex> dataset_mu,
-                          DatasetMutex(dataset));
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    std::lock_guard<std::mutex> dlock(*dataset_mu);
+    SAMPWH_ASSIGN_OR_RETURN(DatasetLock held, LockDataset(dataset));
     SAMPWH_RETURN_IF_ERROR(
         catalog_.GetPartition(dataset, partition).status());
   }
@@ -479,11 +470,8 @@ Result<PartitionSample> Warehouse::MergeByIds(
 
 Result<PartitionSample> Warehouse::MergedSample(
     const DatasetId& dataset, const std::vector<PartitionId>& parts) {
-  SAMPWH_ASSIGN_OR_RETURN(std::shared_ptr<std::mutex> dataset_mu,
-                          DatasetMutex(dataset));
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    std::lock_guard<std::mutex> dlock(*dataset_mu);
+    SAMPWH_ASSIGN_OR_RETURN(DatasetLock held, LockDataset(dataset));
     for (const PartitionId id : parts) {
       SAMPWH_RETURN_IF_ERROR(catalog_.GetPartition(dataset, id).status());
     }
@@ -516,13 +504,19 @@ Pcg64 Warehouse::ForkRng() {
 
 Status Warehouse::PutIngestCheckpoint(const DatasetId& dataset,
                                       std::string_view payload) {
+  return PutIngestCheckpointKeyed(dataset, dataset, payload);
+}
+
+Status Warehouse::PutIngestCheckpointKeyed(const DatasetId& dataset,
+                                           const std::string& key,
+                                           std::string_view payload) {
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     if (!catalog_.HasDataset(dataset)) {
       return Status::NotFound("no dataset: " + dataset);
     }
   }
-  return store_->PutCheckpoint(dataset, payload);
+  return store_->PutCheckpoint(key, payload);
 }
 
 Result<std::string> Warehouse::GetIngestCheckpoint(
@@ -628,10 +622,13 @@ Result<Warehouse::RestoredWarehouse> Warehouse::RestoreWithRecovery(
   // nothing could ever resume them — so they are deleted, not resurrected.
   if (Result<std::vector<DatasetId>> ckpts = store->ListCheckpoints();
       ckpts.ok()) {
-    for (const DatasetId& dataset : ckpts.value()) {
-      if (!catalog.HasDataset(dataset)) {
-        store->DeleteCheckpoint(dataset);  // best effort
-        restored.report.stale_checkpoints.push_back(dataset);
+    for (const DatasetId& key : ckpts.value()) {
+      // Per-stripe cursors are stored under "<dataset>#s<stripe>"; their
+      // liveness is decided by the dataset they belong to.
+      const DatasetId base = key.substr(0, key.find('#'));
+      if (!catalog.HasDataset(base)) {
+        store->DeleteCheckpoint(key);  // best effort
+        restored.report.stale_checkpoints.push_back(key);
       }
     }
   }

@@ -180,6 +180,14 @@ class Warehouse {
   Status PutIngestCheckpoint(const DatasetId& dataset,
                              std::string_view payload);
 
+  /// Keyed variant for ingestors that maintain several checkpoint cursors
+  /// over one dataset (ParallelIngestor stores one per stripe under
+  /// "<dataset>#s<stripe>"). Validates that `dataset` exists, then stores
+  /// the record under `key`; read it back with GetIngestCheckpoint(key).
+  Status PutIngestCheckpointKeyed(const DatasetId& dataset,
+                                  const std::string& key,
+                                  std::string_view payload);
+
   /// The newest valid checkpoint payload for `dataset`; NotFound when none
   /// exists.
   Result<std::string> GetIngestCheckpoint(const DatasetId& dataset) const;
@@ -261,10 +269,17 @@ class Warehouse {
   /// the warehouse pool).
   Result<std::vector<std::shared_ptr<const PartitionSample>>> FetchSamples(
       const DatasetId& dataset, std::span<const PartitionId> ids);
-  /// The per-dataset mutex for `dataset` (NotFound when it does not
-  /// exist). Must be called without mu_ held.
-  Result<std::shared_ptr<std::mutex>> DatasetMutex(
-      const DatasetId& dataset) const;
+  /// Both locks guarding one dataset's partition metadata, acquired in a
+  /// single pass: the shared structure lock on mu_ and the dataset's own
+  /// mutex. While a DatasetLock is held the dataset cannot be dropped
+  /// (drop needs mu_ exclusively), so the per-dataset mutex stays alive.
+  struct DatasetLock {
+    std::shared_lock<std::shared_mutex> structure;
+    std::unique_lock<std::mutex> dataset;
+  };
+  /// Acquires the dataset's locks (NotFound when it does not exist). Must
+  /// be called without mu_ held.
+  Result<DatasetLock> LockDataset(const DatasetId& dataset) const;
   /// Re-persists the manifest to options_.manifest_path (no-op when
   /// unset). Must be called WITHOUT mu_ held — SaveManifest takes it
   /// exclusively.

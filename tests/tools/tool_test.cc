@@ -2,6 +2,8 @@
 // library, drive the real binary through its subcommands, and verify exit
 // codes and on-disk effects.
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <filesystem>
 #include <string>
@@ -30,7 +32,10 @@ int RunTool(const std::string& args) {
 class ToolTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (std::filesystem::temp_directory_path() / "sampwh_tool_test")
+    // Unique per process: parallel ctest runs cases concurrently, and a
+    // shared directory would be remove_all'd mid-test by a sibling case.
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("sampwh_tool_test_" + std::to_string(::getpid())))
                .string();
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);

@@ -1,0 +1,121 @@
+// Property tests for the lock-free SPSC ring: capacity rounding, full/empty
+// boundary behavior, FIFO ordering across wraparound, move semantics, and
+// ordered delivery under a real concurrent producer/consumer pair.
+
+#include "src/util/spsc_ring.h"
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sampwh {
+namespace {
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(0).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(64).capacity(), 64u);
+  EXPECT_EQ(SpscRing<int>(65).capacity(), 128u);
+}
+
+TEST(SpscRingTest, FullAndEmptyBoundaries) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.Empty());
+  int out = -1;
+  EXPECT_FALSE(ring.TryPop(&out));
+
+  for (int i = 0; i < 4; ++i) {
+    int v = i;
+    EXPECT_TRUE(ring.TryPush(v)) << "push " << i;
+  }
+  EXPECT_EQ(ring.SizeApprox(), 4u);
+  int overflow = 99;
+  EXPECT_FALSE(ring.TryPush(overflow));
+  EXPECT_EQ(overflow, 99);  // rejected pushes leave the item untouched
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_TRUE(ring.Empty());
+  EXPECT_FALSE(ring.TryPop(&out));
+}
+
+TEST(SpscRingTest, FifoOrderAcrossManyWraparounds) {
+  SpscRing<uint64_t> ring(8);
+  uint64_t pushed = 0;
+  uint64_t popped = 0;
+  // Alternate bursts so head/tail wrap the 8-slot buffer many times and the
+  // ring passes through every fill level.
+  for (int round = 0; round < 1000; ++round) {
+    const int burst = 1 + round % 8;
+    for (int i = 0; i < burst; ++i) {
+      uint64_t v = pushed;
+      if (!ring.TryPush(v)) break;
+      ++pushed;
+    }
+    uint64_t out = 0;
+    const int drain = round % 2 == 0 ? burst : burst / 2;
+    for (int i = 0; i < drain && ring.TryPop(&out); ++i) {
+      ASSERT_EQ(out, popped);
+      ++popped;
+    }
+  }
+  uint64_t out = 0;
+  while (ring.TryPop(&out)) {
+    ASSERT_EQ(out, popped);
+    ++popped;
+  }
+  EXPECT_EQ(popped, pushed);
+  EXPECT_GT(pushed, 1000u);  // wrapped the 8-slot buffer many times over
+}
+
+TEST(SpscRingTest, MovesElementsThrough) {
+  SpscRing<std::unique_ptr<int>> ring(2);
+  auto item = std::make_unique<int>(7);
+  ASSERT_TRUE(ring.TryPush(item));
+  EXPECT_EQ(item, nullptr);  // moved out on success
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.TryPop(&out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(SpscRingTest, OrderedDeliveryUnderConcurrentConsumer) {
+  // A tiny ring maximizes full/empty contention: the producer must spin on
+  // a full ring and the consumer on an empty one, crossing the cached-index
+  // refresh paths constantly. The consumer asserts strict FIFO order.
+  constexpr uint64_t kItems = 200000;
+  SpscRing<uint64_t> ring(4);
+  std::thread consumer([&ring] {
+    uint64_t expected = 0;
+    uint64_t out = 0;
+    while (expected < kItems) {
+      if (ring.TryPop(&out)) {
+        ASSERT_EQ(out, expected);
+        ++expected;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (uint64_t i = 0; i < kItems;) {
+    uint64_t v = i;
+    if (ring.TryPush(v)) {
+      ++i;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+  EXPECT_TRUE(ring.Empty());
+}
+
+}  // namespace
+}  // namespace sampwh

@@ -1,0 +1,285 @@
+// ParallelIngestor: shard-per-core ingestion over lock-free rings. The
+// load-bearing property is the determinism contract — for a fixed
+// assignment of elements to stripes, the rolled-in sample BYTES are a pure
+// function of (seed, dataset, stripe), independent of producer
+// interleaving, shard count, producer count, and crash/resume — plus the
+// basics (drain accounting, per-stripe exactly-once replay, checkpoint
+// cleanup on drop).
+
+#include "src/warehouse/parallel_ingestor.h"
+
+#include <algorithm>
+#include <map>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/serialization.h"
+
+namespace sampwh {
+namespace {
+
+constexpr uint64_t kStripes = 12;
+constexpr uint64_t kPerStripe = 5000;
+
+WarehouseOptions SmallOptions() {
+  WarehouseOptions options;
+  options.sampler.kind = SamplerKind::kStratifiedBernoulli;
+  options.sampler.bernoulli_rate = 0.05;
+  options.seed = 0xBEEF;
+  return options;
+}
+
+std::vector<Value> StripeData(uint64_t stripe) {
+  // Distinct values per stripe so cross-stripe mixups would be visible.
+  std::vector<Value> values;
+  values.reserve(kPerStripe);
+  for (uint64_t i = 0; i < kPerStripe; ++i) {
+    values.push_back(static_cast<Value>(stripe * 1000000 + i));
+  }
+  return values;
+}
+
+/// The multiset of rolled-in sample bytes — the interleaving-independent
+/// footprint of an ingest run (partition IDS are arrival-ordered and may
+/// legitimately differ between runs).
+std::vector<std::string> SortedSampleBytes(Warehouse& wh,
+                                           const std::string& dataset) {
+  auto parts = wh.ListPartitions(dataset);
+  EXPECT_TRUE(parts.ok());
+  std::vector<std::string> bytes;
+  for (const PartitionInfo& p : parts.value()) {
+    auto sample = wh.GetSample(dataset, p.id);
+    EXPECT_TRUE(sample.ok());
+    BinaryWriter writer;
+    sample.value().SerializeTo(&writer);
+    bytes.push_back(std::move(writer).Release());
+  }
+  std::sort(bytes.begin(), bytes.end());
+  return bytes;
+}
+
+ParallelIngestor::PartitionerFactory CountFactory(uint64_t max_elements) {
+  return [max_elements](uint64_t) { return MakeCountPartitioner(max_elements); };
+}
+
+TEST(ParallelIngestorTest, IngestsAllStripesAndRollsIn) {
+  Warehouse wh(SmallOptions());
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  ParallelIngestOptions options;
+  options.shards = 3;
+  ParallelIngestor ingestor(&wh, "ds", CountFactory(2000), options);
+  ParallelIngestor::Producer* producer = ingestor.AddProducer();
+  for (uint64_t stripe = 0; stripe < kStripes; ++stripe) {
+    const std::vector<Value> data = StripeData(stripe);
+    const std::span<const Value> all(data);
+    for (size_t i = 0; i < all.size(); i += 512) {
+      ASSERT_TRUE(producer
+                      ->Append(stripe, all.subspan(i, std::min<size_t>(
+                                                          512, all.size() - i)))
+                      .ok());
+    }
+  }
+  ASSERT_TRUE(ingestor.Finish().ok());
+
+  // Every stripe closes ceil(5000/2000) = 3 partitions.
+  EXPECT_EQ(ingestor.rolled_in().size(), kStripes * 3);
+  auto parts = wh.ListPartitions("ds");
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts.value().size(), kStripes * 3);
+  uint64_t parent_total = 0;
+  for (const PartitionInfo& p : parts.value()) parent_total += p.parent_size;
+  EXPECT_EQ(parent_total, kStripes * kPerStripe);
+
+  // Work accounting: all shards together saw every batch and element.
+  uint64_t elements = 0;
+  uint64_t busy_shards = 0;
+  for (const ShardIngestStats& s : ingestor.shard_stats()) {
+    elements += s.elements;
+    busy_shards += s.batches > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(elements, kStripes * kPerStripe);
+  EXPECT_EQ(busy_shards, 3u);  // 12 stripes spread over all 3 shards
+}
+
+/// Runs a full parallel ingest of kStripes stripes into a fresh warehouse
+/// and returns the sorted sample-bytes multiset.
+std::vector<std::string> RunParallel(size_t shards, size_t producers,
+                                     bool reverse_stripe_order) {
+  Warehouse wh(SmallOptions());
+  EXPECT_TRUE(wh.CreateDataset("ds").ok());
+  ParallelIngestOptions options;
+  options.shards = shards;
+  options.ring_capacity = 8;  // small: force backpressure interleavings
+  ParallelIngestor ingestor(&wh, "ds", CountFactory(2000), options);
+
+  std::vector<ParallelIngestor::Producer*> handles;
+  for (size_t p = 0; p < producers; ++p) {
+    handles.push_back(ingestor.AddProducer());
+  }
+  // Producers own disjoint stripe sets (stripe % producers) and run as real
+  // threads, so shard-side arrival interleaving is genuinely nondeterministic.
+  std::vector<std::thread> threads;
+  for (size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (uint64_t i = 0; i < kStripes; ++i) {
+        const uint64_t stripe = reverse_stripe_order ? kStripes - 1 - i : i;
+        if (stripe % producers != p) continue;
+        const std::vector<Value> data = StripeData(stripe);
+        const std::span<const Value> all(data);
+        for (size_t off = 0; off < all.size(); off += 512) {
+          ASSERT_TRUE(handles[p]
+                          ->Append(stripe,
+                                   all.subspan(off, std::min<size_t>(
+                                                        512, all.size() - off)))
+                          .ok());
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_TRUE(ingestor.Finish().ok());
+  return SortedSampleBytes(wh, "ds");
+}
+
+TEST(ParallelIngestorTest, SampleBytesAreInterleavingIndependent) {
+  const std::vector<std::string> reference = RunParallel(1, 1, false);
+  ASSERT_FALSE(reference.empty());
+  // Same seed, same stripe assignment: shard count, producer count, feed
+  // order and thread scheduling must all be invisible in the sample bytes.
+  EXPECT_EQ(RunParallel(3, 2, false), reference);
+  EXPECT_EQ(RunParallel(4, 3, true), reference);
+  EXPECT_EQ(RunParallel(8, 4, false), reference);
+}
+
+TEST(ParallelIngestorTest, DrainWaitsForAllPushedBatches) {
+  Warehouse wh(SmallOptions());
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  ParallelIngestOptions options;
+  options.shards = 2;
+  ParallelIngestor ingestor(&wh, "ds", CountFactory(100000), options);
+  ParallelIngestor::Producer* producer = ingestor.AddProducer();
+  const std::vector<Value> data = StripeData(0);
+  for (uint64_t stripe = 0; stripe < 6; ++stripe) {
+    ASSERT_TRUE(producer->Append(stripe, data).ok());
+  }
+  ASSERT_TRUE(ingestor.Drain().ok());
+  uint64_t applied = 0;
+  for (const ShardIngestStats& s : ingestor.shard_stats()) {
+    applied += s.elements;
+  }
+  EXPECT_EQ(applied, 6 * kPerStripe);  // nothing in flight after Drain
+  const std::map<uint64_t, uint64_t> watermarks = ingestor.next_sequences();
+  EXPECT_EQ(watermarks.size(), 6u);
+  for (const auto& [stripe, next] : watermarks) {
+    EXPECT_EQ(next, kPerStripe) << "stripe " << stripe;
+  }
+  ASSERT_TRUE(ingestor.Finish().ok());
+}
+
+TEST(ParallelIngestorTest, CrashAndResumeMatchesUninterruptedRun) {
+  // Reference: one uninterrupted checkpointed parallel run.
+  Warehouse reference_wh(SmallOptions());
+  ASSERT_TRUE(reference_wh.CreateDataset("ds").ok());
+  ParallelIngestOptions options;
+  options.shards = 3;
+  options.enable_checkpoints = true;
+  options.checkpoint_policy.every_n_elements = 700;
+  {
+    ParallelIngestor ingestor(&reference_wh, "ds", CountFactory(2000),
+                              options);
+    ParallelIngestor::Producer* producer = ingestor.AddProducer();
+    for (uint64_t stripe = 0; stripe < 6; ++stripe) {
+      ASSERT_TRUE(producer->AppendAt(stripe, 0, StripeData(stripe)).ok());
+    }
+    ASSERT_TRUE(ingestor.Finish().ok());
+  }
+  const std::vector<std::string> want =
+      SortedSampleBytes(reference_wh, "ds");
+
+  // Crashed run: ingest a prefix, drain so checkpoints are written, then
+  // destroy without Finish (crash semantics: open stripes not flushed).
+  Warehouse wh(SmallOptions());
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  {
+    ParallelIngestor ingestor(&wh, "ds", CountFactory(2000), options);
+    ParallelIngestor::Producer* producer = ingestor.AddProducer();
+    for (uint64_t stripe = 0; stripe < 6; ++stripe) {
+      const std::vector<Value> data = StripeData(stripe);
+      ASSERT_TRUE(
+          producer
+              ->AppendAt(stripe, 0, std::span<const Value>(data).first(3100))
+              .ok());
+    }
+    ASSERT_TRUE(ingestor.Drain().ok());
+  }
+
+  // Resume with a DIFFERENT shard count and replay each stripe from its
+  // watermark (sources may replay earlier; duplicates are acknowledged).
+  auto resumed =
+      ParallelIngestor::Resume(&wh, "ds", CountFactory(2000), [] {
+        ParallelIngestOptions o;
+        o.shards = 2;
+        o.enable_checkpoints = true;
+        o.checkpoint_policy.every_n_elements = 700;
+        return o;
+      }());
+  ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+  ParallelIngestor::Producer* producer = resumed.value()->AddProducer();
+  const std::map<uint64_t, uint64_t> watermarks =
+      resumed.value()->next_sequences();
+  ASSERT_EQ(watermarks.size(), 6u);
+  for (const auto& [stripe, next] : watermarks) {
+    const std::vector<Value> data = StripeData(stripe);
+    // Replay from BEFORE the watermark: the straddling batch must be
+    // deduplicated per stripe, giving exactly-once application.
+    const uint64_t replay_from = next > 500 ? next - 500 : 0;
+    ASSERT_TRUE(producer
+                    ->AppendAt(stripe, replay_from,
+                               std::span<const Value>(data).subspan(
+                                   replay_from))
+                    .ok());
+  }
+  ASSERT_TRUE(resumed.value()->Finish().ok());
+  EXPECT_EQ(SortedSampleBytes(wh, "ds"), want);
+}
+
+TEST(ParallelIngestorTest, ResumeWithoutCheckpointsIsNotFound) {
+  Warehouse wh(SmallOptions());
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  auto resumed = ParallelIngestor::Resume(&wh, "ds", CountFactory(100), {});
+  EXPECT_FALSE(resumed.ok());
+}
+
+TEST(ParallelIngestorTest, DropDatasetRemovesStripeCheckpoints) {
+  Warehouse wh(SmallOptions());
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  ParallelIngestOptions options;
+  options.shards = 2;
+  options.enable_checkpoints = true;
+  options.checkpoint_policy.every_n_elements = 100;
+  {
+    ParallelIngestor ingestor(&wh, "ds", CountFactory(1000), options);
+    ParallelIngestor::Producer* producer = ingestor.AddProducer();
+    for (uint64_t stripe = 0; stripe < 4; ++stripe) {
+      ASSERT_TRUE(producer->Append(stripe, StripeData(stripe)).ok());
+    }
+    ASSERT_TRUE(ingestor.Finish().ok());
+  }
+  auto keys = wh.ListIngestCheckpoints();
+  ASSERT_TRUE(keys.ok());
+  EXPECT_FALSE(keys.value().empty());
+  ASSERT_TRUE(wh.DropDataset("ds").ok());
+  keys = wh.ListIngestCheckpoints();
+  ASSERT_TRUE(keys.ok());
+  for (const std::string& key : keys.value()) {
+    EXPECT_NE(key.substr(0, 3), "ds#") << "leaked stripe checkpoint " << key;
+    EXPECT_NE(key, "ds");
+  }
+}
+
+}  // namespace
+}  // namespace sampwh

@@ -1,5 +1,7 @@
 #include "src/warehouse/sample_store.h"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <condition_variable>
 #include <filesystem>
@@ -31,10 +33,11 @@ class SampleStoreTest : public ::testing::Test {
  public:
   void SetUp() override {
     if constexpr (std::is_same_v<T, FileSampleStore>) {
+      // Unique per process: parallel ctest runs each case in its own
+      // process, and a shared directory would be remove_all'd from under
+      // concurrently running sibling cases.
       dir_ = (std::filesystem::temp_directory_path() /
-              ("sampwh_store_test_" +
-               std::to_string(::testing::UnitTest::GetInstance()
-                                  ->random_seed())))
+              ("sampwh_store_test_" + std::to_string(::getpid())))
                  .string();
       std::filesystem::remove_all(dir_);
       auto opened = FileSampleStore::Open(dir_);
