@@ -1,10 +1,13 @@
 #include "bench/common.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <thread>
 
 #include "src/core/sample.h"
 #include "src/util/logging.h"
@@ -24,6 +27,14 @@ uint64_t SimulatedWorkers(uint64_t fallback) {
   if (env == nullptr || env[0] == '\0') return fallback;
   const unsigned long long parsed = std::strtoull(env, nullptr, 10);
   return parsed >= 1 ? parsed : fallback;
+}
+
+unsigned HardwareThreads() {
+  const unsigned reported = std::thread::hardware_concurrency();
+  if (reported >= 1) return reported;
+  const long online = sysconf(_SC_NPROCESSORS_ONLN);
+  if (online >= 1) return static_cast<unsigned>(online);
+  return 1;
 }
 
 namespace {

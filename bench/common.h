@@ -61,6 +61,13 @@ struct ScenarioSpec {
 /// REPRO_WORKERS env value, defaulting to `fallback`.
 uint64_t SimulatedWorkers(uint64_t fallback = 4);
 
+/// Usable hardware thread count for bench metadata and sizing.
+/// std::thread::hardware_concurrency() is allowed to return 0 ("unknown")
+/// and, under some container runtimes, reports a value that ignores the
+/// cgroup CPU quota; fall back to sysconf(_SC_NPROCESSORS_ONLN) and
+/// finally to 1 so benches never report or divide by zero.
+unsigned HardwareThreads();
+
 /// Samples every partition of the scenario (serially, timing aggregate CPU
 /// work as the paper's instrumented executables did), then merges the
 /// partition samples with serial pairwise merges (SB: rate-equalized

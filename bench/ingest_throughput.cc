@@ -42,6 +42,8 @@
 // directory. REPRO_FULL=1 runs the paper-scale stream (2^26 elements);
 // --smoke runs a reduced-size gated subset for CI.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -86,6 +88,7 @@ struct PathRow {
 
 struct CheckpointRow {
   uint64_t cadence = 0;  // every-N-elements; 0 = checkpoints off
+  uint64_t wal_records = 0;  // delta records group-committed to the WAL
   double seconds = 0.0;
   double elements_per_sec = 0.0;
   double overhead_pct = 0.0;  // vs checkpoints off
@@ -264,15 +267,20 @@ void RunCheckpointSection(uint64_t total_elements, int reps,
       BoundedConfig(SamplerKind::kHybridReservoir, total_elements);
   const std::vector<Value> values =
       DataGenerator::Unique(total_elements).TakeAll();
+  // Per-process scratch dir: concurrent bench/check.sh invocations must
+  // not recover each other's WAL and snapshot files.
   const std::string dir =
-      (std::filesystem::temp_directory_path() / "sampwh_bench_ckpt").string();
+      (std::filesystem::temp_directory_path() /
+       ("sampwh_bench_ckpt." + std::to_string(::getpid())))
+          .string();
 
   std::printf(
-      "Checkpoint cadence overhead (%llu elements, HR, file store, best of "
-      "%d)\n",
+      "Checkpoint cadence overhead (%llu elements, HR, file store, "
+      "asynchronous delta checkpointing, best of %d)\n",
       static_cast<unsigned long long>(total_elements), reps);
-  const std::vector<int> widths = {12, 10, 14, 10, 12};
-  PrintRow({"cadence", "seconds", "elems/sec", "overhead", "ckpts"}, widths);
+  const std::vector<int> widths = {12, 10, 14, 10, 8, 12};
+  PrintRow({"cadence", "seconds", "elems/sec", "overhead", "ckpts", "deltas"},
+           widths);
 
   double baseline = 0.0;
   for (uint64_t cadence : {uint64_t{0}, uint64_t{65536}, uint64_t{16384},
@@ -287,22 +295,27 @@ void RunCheckpointSection(uint64_t total_elements, int reps,
       options.sampler = config;
       Warehouse warehouse(options, std::move(store).value());
       SAMPWH_CHECK(warehouse.CreateDataset("bench").ok());
-      StreamIngestor ingestor(&warehouse, "bench", nullptr);
-      if (cadence > 0) {
-        ingestor.EnableCheckpoints({.every_n_elements = cadence});
-      }
-      const std::span<const Value> all(values);
-      WallTimer timer;
-      for (size_t i = 0; i < all.size(); i += kCkptChunk) {
-        SAMPWH_CHECK(ingestor
-                         .AppendBatch(all.subspan(
-                             i, std::min(kCkptChunk, all.size() - i)))
-                         .ok());
-      }
-      const double seconds = timer.ElapsedSeconds();
-      SAMPWH_CHECK(ingestor.Flush().ok());
-      row.checkpoints_written =
-          warehouse.store_for_testing()->GetStoreStats().checkpoints_written;
+      double seconds = 0.0;
+      {
+        StreamIngestor ingestor(&warehouse, "bench", nullptr);
+        if (cadence > 0) {
+          ingestor.EnableCheckpoints({.every_n_elements = cadence});
+        }
+        const std::span<const Value> all(values);
+        WallTimer timer;
+        for (size_t i = 0; i < all.size(); i += kCkptChunk) {
+          SAMPWH_CHECK(ingestor
+                           .AppendBatch(all.subspan(
+                               i, std::min(kCkptChunk, all.size() - i)))
+                           .ok());
+        }
+        seconds = timer.ElapsedSeconds();
+        SAMPWH_CHECK(ingestor.Flush().ok());
+      }  // joins the background checkpoint writer: stats below are final
+      const StoreStats stats =
+          warehouse.store_for_testing()->GetStoreStats();
+      row.checkpoints_written = stats.checkpoints_written;
+      row.wal_records = stats.wal_records_appended;
       return seconds;
     });
     if (cadence == 0) baseline = row.seconds;
@@ -311,10 +324,11 @@ void RunCheckpointSection(uint64_t total_elements, int reps,
     row.overhead_pct =
         100.0 * (row.seconds / std::max(baseline, 1e-12) - 1.0);
     rows.push_back(row);
-    std::printf("%-12llu %9.4f %14.0f %8.2f%% %11llu\n",
+    std::printf("%-12llu %9.4f %14.0f %8.2f%% %7llu %11llu\n",
                 static_cast<unsigned long long>(row.cadence), row.seconds,
                 row.elements_per_sec, row.overhead_pct,
-                static_cast<unsigned long long>(row.checkpoints_written));
+                static_cast<unsigned long long>(row.checkpoints_written),
+                static_cast<unsigned long long>(row.wal_records));
   }
   std::filesystem::remove_all(dir);
   std::printf("\n");
@@ -613,7 +627,7 @@ bool WriteJson(const std::string& path, uint64_t path_elements,
       << ", \"scaling_partitions\": 8, \"parallel_stripes\": "
       << parallel_stripes << ", \"full_scale\": "
       << (FullScale() ? "true" : "false")
-      << ", \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ", \"hardware_threads\": " << HardwareThreads()
       << "},\n";
   out << "  \"paths\": [\n";
   for (size_t i = 0; i < paths.size(); ++i) {
@@ -631,7 +645,8 @@ bool WriteJson(const std::string& path, uint64_t path_elements,
     out << "    {\"cadence\": " << r.cadence << ", \"seconds\": " << r.seconds
         << ", \"elements_per_sec\": " << r.elements_per_sec
         << ", \"overhead_pct\": " << r.overhead_pct
-        << ", \"checkpoints_written\": " << r.checkpoints_written << "}"
+        << ", \"checkpoints_written\": " << r.checkpoints_written
+        << ", \"wal_records\": " << r.wal_records << "}"
         << (i + 1 < checkpoints.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
@@ -711,6 +726,25 @@ int Main(bool smoke) {
                      "FAIL: parallel busy-makespan speedup %.2fx at 4 "
                      "workers (gate: 2x)\n",
                      r.measured_speedup);
+        return 1;
+      }
+    }
+    // CI gate: asynchronous checkpointing must stay off the hot path. The
+    // 64Ki cadence costs a couple of snapshots plus coalesced WAL deltas
+    // over the whole stream; 25% is a generous noise allowance on the
+    // smoke machine, an order of magnitude under the synchronous-era cost.
+    for (const CheckpointRow& r : checkpoints) {
+      if (r.cadence == 65536 && r.overhead_pct > 25.0) {
+        std::fprintf(stderr,
+                     "FAIL: checkpoint overhead %.2f%% at 64Ki cadence "
+                     "(gate: 25%%)\n",
+                     r.overhead_pct);
+        return 1;
+      }
+      if (r.cadence > 0 && r.checkpoints_written == 0) {
+        std::fprintf(stderr,
+                     "FAIL: cadence %llu wrote no snapshot generation\n",
+                     static_cast<unsigned long long>(r.cadence));
         return 1;
       }
     }

@@ -244,7 +244,7 @@ bool WriteJson(const std::string& path, const BenchParams& params,
   out << "  \"config\": {\"smoke\": " << (params.smoke ? "true" : "false")
       << ", \"per_partition_elements\": " << params.per_partition_elements
       << ", \"worker_threads\": 4, \"store\": \"file\""
-      << ", \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ", \"hardware_threads\": " << HardwareThreads()
       << "},\n";
   out << "  \"series\": [\n";
   for (size_t i = 0; i < rows.size(); ++i) {

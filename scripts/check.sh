@@ -92,7 +92,10 @@ echo "=== [relwithdebinfo] query bench (smoke) ==="
 
 # Ingest smoke bench (~5 s): exercises every ingestion path including the
 # shard-per-core ParallelIngestor; fails if the sharded path stops being
-# interleaving-independent or its busy-makespan speedup collapses.
+# interleaving-independent or its busy-makespan speedup collapses. Also
+# gates checkpoint overhead: >25% at 64Ki cadence (async delta
+# checkpointing should be near-free; a synchronous write sneaking back
+# onto the hot path fails here) or a cadence writing no snapshot at all.
 echo "=== [relwithdebinfo] ingest bench (smoke) ==="
 (cd build-check/relwithdebinfo/bench && ./bench_ingest_throughput --smoke)
 

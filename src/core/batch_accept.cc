@@ -10,7 +10,7 @@ constexpr BernAcceptMode kCompiledDefault =
 #if defined(SAMPWH_DEFAULT_BITMASK_ACCEPT) && SAMPWH_DEFAULT_BITMASK_ACCEPT
     BernAcceptMode::kBitmask;
 #else
-    BernAcceptMode::kGeometricSkip;
+    BernAcceptMode::kAuto;
 #endif
 
 std::atomic<BernAcceptMode> g_default_mode{kCompiledDefault};

@@ -10,10 +10,15 @@
 // stays RNG-order-identical to the pre-existing AddBatch behavior.
 //
 // Mode selection: BernoulliSampler picks its acceptance mode at
-// construction from the process-wide default, which is kGeometricSkip
-// unless overridden at compile time (-DSAMPWH_DEFAULT_BITMASK_ACCEPT=1) or
-// at runtime (SetDefaultBernAcceptMode). The two modes consume the RNG
-// differently, so the mode is part of the sampler's serialized state.
+// construction from the process-wide default, which is kAuto — resolve per
+// sampling rate, because neither concrete mode wins everywhere
+// (BENCH_ingest.json: bitmask runs at 0.27x the skip path at q=0.01 but
+// 1.5x at q=0.50; the crossover sits between q=0.1 and q=0.5). kAuto
+// resolves to a concrete mode before the sampler's first RNG draw, so the
+// serialized state always names an exact RNG-consumption discipline and
+// restores bit-identically. The default can still be pinned at compile
+// time (-DSAMPWH_DEFAULT_BITMASK_ACCEPT=1 → kBitmask) or at runtime
+// (SetDefaultBernAcceptMode).
 
 #ifndef SAMPWH_CORE_BATCH_ACCEPT_H_
 #define SAMPWH_CORE_BATCH_ACCEPT_H_
@@ -34,7 +39,20 @@ enum class BernAcceptMode : uint8_t {
   /// Branch-free 64-lane acceptance bitmasks + compress-store (one RNG
   /// draw per element; vector-friendly inner loop).
   kBitmask = 1,
+  /// Resolve per sampling rate at construction: kGeometricSkip below
+  /// kAutoBitmaskRateThreshold (sparse acceptance — skips amortize the RNG
+  /// cost), kBitmask at or above it (dense acceptance — the branch-free
+  /// mask wins). Never appears in serialized state: samplers store the
+  /// resolved concrete mode.
+  kAuto = 2,
 };
+
+/// Sampling rate at or above which kAuto resolves to kBitmask. Calibrated
+/// from BENCH_ingest.json (bitmask/skip throughput ratio: 0.27x at q=0.01,
+/// 0.97x at q=0.10, 1.5x at q=0.50): the crossover is just above q=0.1;
+/// 0.2 keeps a margin so kAuto never picks the mask where it measurably
+/// loses.
+inline constexpr double kAutoBitmaskRateThreshold = 0.2;
 
 /// The process-wide default mode new samplers are constructed with.
 BernAcceptMode DefaultBernAcceptMode();

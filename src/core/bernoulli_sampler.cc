@@ -12,6 +12,14 @@ namespace sampwh {
 BernoulliSampler::BernoulliSampler(double q, Pcg64 rng, BernAcceptMode mode)
     : q_(q), rng_(std::move(rng)), mode_(mode) {
   SAMPWH_CHECK(q > 0.0 && q <= 1.0);
+  // kAuto resolves before any RNG draw, so a sampler constructed with kAuto
+  // is indistinguishable — including its RNG stream — from one constructed
+  // with the concrete mode it resolves to, and SaveState() always records
+  // the concrete mode.
+  if (mode_ == BernAcceptMode::kAuto) {
+    mode_ = q_ >= kAutoBitmaskRateThreshold ? BernAcceptMode::kBitmask
+                                            : BernAcceptMode::kGeometricSkip;
+  }
   // The bitmask mode draws once per element, so there is no pending skip to
   // pre-draw; keeping the constructor draw-free in that mode is what makes
   // its Add loop bit-identical to BernoulliAcceptMask lanes.
@@ -91,6 +99,8 @@ Result<BernoulliSampler> BernoulliSampler::LoadState(BinaryReader* reader,
     // v1 records predate the acceptance-mode field: scalar skip implied.
     uint64_t mode;
     SAMPWH_RETURN_IF_ERROR(reader->GetVarint64(&mode));
+    // Only concrete modes round-trip: the constructor resolves kAuto
+    // before its first draw, so a serialized kAuto is corruption.
     if (mode > static_cast<uint64_t>(BernAcceptMode::kBitmask)) {
       return Status::Corruption("SB state: bad acceptance mode");
     }

@@ -53,6 +53,12 @@ inline constexpr char kFaultSiteCheckpointWrite[] =
     "sample_store.checkpoint.write";
 inline constexpr char kFaultSiteCheckpointRead[] =
     "sample_store.checkpoint.read";
+/// Group-committed delta appends to a checkpoint WAL. kTornWrite persists a
+/// prefix of the appended batch (the classic torn tail); kIOError appends
+/// nothing. Appends are never retried — the caller must rotate to a fresh
+/// snapshot generation after any failure.
+inline constexpr char kFaultSiteWalAppend[] =
+    "sample_store.checkpoint.wal_append";
 
 /// Thread-safe; one injector is typically shared by a store and the test
 /// driving it.

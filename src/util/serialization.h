@@ -87,17 +87,23 @@ inline constexpr uint32_t kSampleEnvelopeVersion = 2;
 inline constexpr size_t kSampleEnvelopeHeaderBytes = 20;
 
 // The envelope carries no record-type field of its own: the payload's
-// leading fixed32 magic identifies the record. Three record types exist:
+// leading fixed32 magic identifies the record. Four record types exist:
 //
 //   kSampleFormatMagic (sample.cc)  — a finalized PartitionSample
 //   kSamplerStateRecordMagic        — a mid-stream AnySampler::SaveState
 //   kCheckpointRecordMagic          — a StreamIngestor ingest checkpoint
 //                                     (which embeds a sampler-state record)
+//   kCheckpointDeltaRecordMagic     — a delta-journal record chained onto a
+//                                     checkpoint snapshot (WAL framing, not
+//                                     the envelope: each record carries its
+//                                     own length+CRC header)
 //
-// All three ride through WrapSampleEnvelope / UnwrapSampleEnvelope, so the
-// CRC layer verifies every persisted record kind uniformly.
+// The first three ride through WrapSampleEnvelope / UnwrapSampleEnvelope,
+// so the CRC layer verifies every persisted record kind uniformly; delta
+// records are CRC-framed per record inside the checkpoint WAL instead.
 inline constexpr uint32_t kSamplerStateRecordMagic = 0x53535753;  // "SWSS"
 inline constexpr uint32_t kCheckpointRecordMagic = 0x504b4357;    // "WCKP"
+inline constexpr uint32_t kCheckpointDeltaRecordMagic = 0x544C4457;  // "WDLT"
 
 /// Frames `payload` in a v2 envelope (header + payload bytes).
 std::string WrapSampleEnvelope(std::string_view payload);

@@ -11,6 +11,11 @@ namespace sampwh {
 namespace {
 
 constexpr uint64_t kCheckpointVersion = 1;
+constexpr uint64_t kCheckpointDeltaVersion = 1;
+
+/// Upper bound on one WAL record payload; a parsed length past it is
+/// treated as the torn tail rather than attempted as an allocation.
+constexpr uint64_t kMaxWalRecordBytes = 256ull << 20;
 
 }  // namespace
 
@@ -118,6 +123,136 @@ Status VerifyCheckpointPayload(std::string_view bytes) {
     SAMPWH_RETURN_IF_ERROR(sample.Validate());
   }
   return Status::OK();
+}
+
+std::string CheckpointDeltaRecord::Serialize() const {
+  BinaryWriter writer;
+  writer.PutFixed32(kCheckpointDeltaRecordMagic);
+  writer.PutVarint64(kCheckpointDeltaVersion);
+  writer.PutVarint64(static_cast<uint64_t>(kind));
+  if (kind == CheckpointDeltaKind::kClosePending) {
+    writer.PutString(checkpoint_payload);
+    return std::move(writer).Release();
+  }
+  writer.PutVarint64(next_sequence);
+  writer.PutVarint64(partitions_started);
+  writer.PutVarint64(created_unix_micros);
+  writer.PutFixed64(rng.state_hi);
+  writer.PutFixed64(rng.state_lo);
+  writer.PutFixed64(rng.inc_hi);
+  writer.PutFixed64(rng.inc_lo);
+  writer.PutVarint64(progress.elements);
+  writer.PutVarint64(progress.sample_size);
+  writer.PutVarint64(progress.first_timestamp);
+  writer.PutVarint64(progress.last_timestamp);
+  return std::move(writer).Release();
+}
+
+Result<CheckpointDeltaRecord> CheckpointDeltaRecord::Deserialize(
+    std::string_view bytes) {
+  BinaryReader reader(bytes);
+  uint32_t magic;
+  SAMPWH_RETURN_IF_ERROR(reader.GetFixed32(&magic));
+  if (magic != kCheckpointDeltaRecordMagic) {
+    return Status::Corruption("not a checkpoint-delta record");
+  }
+  uint64_t version;
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&version));
+  if (version != kCheckpointDeltaVersion) {
+    return Status::Corruption("unsupported checkpoint-delta version");
+  }
+  uint64_t kind;
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&kind));
+  CheckpointDeltaRecord record;
+  switch (kind) {
+    case static_cast<uint64_t>(CheckpointDeltaKind::kClosePending):
+      record.kind = CheckpointDeltaKind::kClosePending;
+      SAMPWH_RETURN_IF_ERROR(reader.GetString(&record.checkpoint_payload));
+      break;
+    case static_cast<uint64_t>(CheckpointDeltaKind::kProgress):
+      record.kind = CheckpointDeltaKind::kProgress;
+      SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&record.next_sequence));
+      SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&record.partitions_started));
+      SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&record.created_unix_micros));
+      SAMPWH_RETURN_IF_ERROR(reader.GetFixed64(&record.rng.state_hi));
+      SAMPWH_RETURN_IF_ERROR(reader.GetFixed64(&record.rng.state_lo));
+      SAMPWH_RETURN_IF_ERROR(reader.GetFixed64(&record.rng.inc_hi));
+      SAMPWH_RETURN_IF_ERROR(reader.GetFixed64(&record.rng.inc_lo));
+      SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&record.progress.elements));
+      SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&record.progress.sample_size));
+      SAMPWH_RETURN_IF_ERROR(
+          reader.GetVarint64(&record.progress.first_timestamp));
+      SAMPWH_RETURN_IF_ERROR(
+          reader.GetVarint64(&record.progress.last_timestamp));
+      break;
+    default:
+      return Status::Corruption("checkpoint delta: unknown kind " +
+                                std::to_string(kind));
+  }
+  if (reader.remaining() != 0) {
+    return Status::Corruption("trailing bytes after checkpoint delta");
+  }
+  return record;
+}
+
+Status VerifyCheckpointDeltaPayload(std::string_view bytes) {
+  SAMPWH_ASSIGN_OR_RETURN(CheckpointDeltaRecord record,
+                          CheckpointDeltaRecord::Deserialize(bytes));
+  if (record.kind == CheckpointDeltaKind::kClosePending) {
+    SAMPWH_RETURN_IF_ERROR(VerifyCheckpointPayload(record.checkpoint_payload));
+  }
+  return Status::OK();
+}
+
+void AppendCheckpointWalFrame(std::string* wal, std::string_view payload) {
+  BinaryWriter header;
+  header.PutFixed32(static_cast<uint32_t>(payload.size()));
+  header.PutFixed32(Crc32(payload));
+  wal->append(header.buffer());
+  wal->append(payload);
+}
+
+CheckpointWalParse ParseCheckpointWal(std::string_view wal) {
+  CheckpointWalParse parse;
+  size_t pos = 0;
+  while (pos < wal.size()) {
+    BinaryReader reader(wal.substr(pos));
+    uint32_t length;
+    uint32_t crc;
+    if (!reader.GetFixed32(&length).ok() || !reader.GetFixed32(&crc).ok() ||
+        length > kMaxWalRecordBytes ||
+        length > wal.size() - pos - kCheckpointWalFrameBytes) {
+      parse.torn_tail = true;
+      break;
+    }
+    const std::string_view payload =
+        wal.substr(pos + kCheckpointWalFrameBytes, length);
+    if (Crc32(payload) != crc) {
+      parse.torn_tail = true;
+      break;
+    }
+    parse.records.emplace_back(payload);
+    pos += kCheckpointWalFrameBytes + length;
+  }
+  parse.valid_bytes = pos;
+  return parse;
+}
+
+Result<IngestCheckpoint> ResolveCheckpointChain(const CheckpointChain& chain) {
+  SAMPWH_ASSIGN_OR_RETURN(IngestCheckpoint resolved,
+                          IngestCheckpoint::Deserialize(chain.snapshot));
+  for (const std::string& bytes : chain.deltas) {
+    SAMPWH_ASSIGN_OR_RETURN(CheckpointDeltaRecord record,
+                            CheckpointDeltaRecord::Deserialize(bytes));
+    if (record.kind == CheckpointDeltaKind::kClosePending) {
+      SAMPWH_ASSIGN_OR_RETURN(
+          resolved, IngestCheckpoint::Deserialize(record.checkpoint_payload));
+    }
+    // kProgress records are observability only: they carry no sampler
+    // state, so the last state-complete record wins regardless of trailing
+    // progress advances.
+  }
+  return resolved;
 }
 
 }  // namespace sampwh

@@ -93,6 +93,105 @@ struct IngestCheckpoint {
 /// quarantined — invalid bytes are never half-decoded at resume time.
 Status VerifyCheckpointPayload(std::string_view bytes);
 
+// --- Delta-journal records (asynchronous checkpointing) ---------------------
+//
+// Between full snapshots the background checkpoint writer appends small
+// DELTA records to a per-key write-ahead log owned by the newest snapshot
+// generation ("<key>.<generation>.wal" in the file backend). Two kinds:
+//
+//   * kProgress — watermark / RNG / partition-progress advance WITHOUT the
+//     sampler state. Cheap enough to group-commit at high cadence, but NOT a
+//     resume point: the sampler's contents at that watermark were never
+//     persisted, so resuming there would have to skip replayed elements
+//     whose sampling decisions are lost. Resolution treats these records as
+//     observability/liveness only.
+//   * kClosePending — a complete IngestCheckpoint (checkpoint A of the
+//     two-phase close protocol) embedded as a delta. State-complete: the
+//     open partition was just finalized, so the record carries everything a
+//     resume needs, without rewriting a snapshot generation per close.
+//
+// Resume resolves a chain to the NEWEST state-complete record — the
+// snapshot, overridden by each kClosePending in append order — and replays
+// the source from that record's watermark; exactly-once Append*At replay
+// makes the recovered samples bit-identical to an uninterrupted run.
+
+enum class CheckpointDeltaKind : uint8_t {
+  kProgress = 1,
+  kClosePending = 2,
+};
+
+struct CheckpointDeltaRecord {
+  CheckpointDeltaKind kind = CheckpointDeltaKind::kProgress;
+
+  // kProgress fields (ignored for kClosePending).
+  uint64_t next_sequence = 0;
+  uint64_t partitions_started = 0;
+  uint64_t created_unix_micros = 0;
+  Pcg64::State rng;
+  PartitionProgress progress;
+
+  /// kClosePending only: a full serialized IngestCheckpoint.
+  std::string checkpoint_payload;
+
+  /// Encodes the record (leading kCheckpointDeltaRecordMagic, version,
+  /// kind). The result is one WAL record payload — frame it with
+  /// AppendCheckpointWalFrame before persisting.
+  std::string Serialize() const;
+
+  /// Decodes and structurally validates a record produced by Serialize().
+  static Result<CheckpointDeltaRecord> Deserialize(std::string_view bytes);
+};
+
+/// Deep verification of one delta payload: Deserialize() plus — for
+/// kClosePending — full verification of the embedded checkpoint. Recovery
+/// scans truncate a WAL at the first record that fails this.
+Status VerifyCheckpointDeltaPayload(std::string_view bytes);
+
+// WAL framing: each record is
+//
+//   fixed32  payload length
+//   fixed32  CRC-32 of the payload
+//   payload  a CheckpointDeltaRecord encoding
+//
+// so a tear (a partially appended group at the tail) or a bit flip is
+// detected per record and the intact prefix stays loadable.
+
+inline constexpr size_t kCheckpointWalFrameBytes = 8;
+
+/// Appends one CRC-framed record to `wal`.
+void AppendCheckpointWalFrame(std::string* wal, std::string_view payload);
+
+struct CheckpointWalParse {
+  /// Record payloads whose framing and CRC verified, in append order.
+  std::vector<std::string> records;
+  /// Length of the WAL prefix covering exactly those records.
+  size_t valid_bytes = 0;
+  /// Bytes remained past the valid prefix (torn append or corruption).
+  bool torn_tail = false;
+};
+
+/// Scans `wal` front to back, stopping at the first record whose frame or
+/// CRC fails. Structural only — record payloads are not decoded here.
+CheckpointWalParse ParseCheckpointWal(std::string_view wal);
+
+/// One snapshot generation plus its delta journal, as read back from a
+/// SampleStore.
+struct CheckpointChain {
+  uint64_t generation = 0;
+  /// The snapshot's checkpoint payload (envelope already verified+removed).
+  std::string snapshot;
+  /// CRC-valid WAL record payloads, in append order.
+  std::vector<std::string> deltas;
+  /// The WAL ended in a torn/corrupt record that was ignored.
+  bool torn_tail = false;
+};
+
+/// Replays the delta chain onto the snapshot: returns the checkpoint of the
+/// newest state-complete record (the snapshot or a kClosePending delta).
+/// Trailing kProgress deltas never advance the result — see the kind
+/// commentary above for why that is required for bit-identical resume.
+Result<IngestCheckpoint> ResolveCheckpointChain(const CheckpointChain& chain);
+
 }  // namespace sampwh
 
 #endif  // SAMPWH_WAREHOUSE_CHECKPOINT_H_

@@ -1,0 +1,253 @@
+#include "src/warehouse/checkpoint_writer.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/warehouse/warehouse.h"
+
+namespace sampwh {
+
+CheckpointWriter::Channel::Channel(CheckpointWriter* writer, DatasetId dataset,
+                                   std::string key, size_t ring_capacity,
+                                   bool have_generation)
+    : writer_(writer),
+      dataset_(std::move(dataset)),
+      key_(std::move(key)),
+      ring_(ring_capacity),
+      have_generation_(have_generation) {}
+
+bool CheckpointWriter::Channel::OfferDelta(
+    const CheckpointDeltaRecord& record) {
+  Slot slot;
+  slot.record = record;
+  // No signal: deltas ride the periodic group-commit wake. Signaling every
+  // push would wake the writer per chunk and defeat batching.
+  return ring_.TryPush(slot);
+}
+
+bool CheckpointWriter::Channel::OfferSnapshot(std::string payload) {
+  Slot slot;
+  slot.is_snapshot = true;
+  slot.record.checkpoint_payload = std::move(payload);
+  if (!ring_.TryPush(slot)) return false;
+  writer_->Signal();
+  return true;
+}
+
+void CheckpointWriter::Channel::BlockingPush(Slot slot) {
+  while (!ring_.TryPush(slot)) {
+    // Ring full: the writer has queued work — wake it and let it drain.
+    writer_->Signal();
+    std::this_thread::yield();
+  }
+  writer_->Signal();
+}
+
+Status CheckpointWriter::Channel::PushWithAck(Slot slot) {
+  const std::shared_ptr<Ack> ack = std::make_shared<Ack>();
+  slot.ack = ack;
+  BlockingPush(std::move(slot));
+  std::unique_lock<std::mutex> lock(ack->mu);
+  ack->cv.wait(lock, [&] { return ack->done; });
+  return ack->status;
+}
+
+void CheckpointWriter::Channel::PushSnapshot(std::string payload) {
+  Slot slot;
+  slot.is_snapshot = true;
+  slot.record.checkpoint_payload = std::move(payload);
+  BlockingPush(std::move(slot));
+}
+
+void CheckpointWriter::Channel::PushClose(std::string payload) {
+  Slot slot;
+  slot.record.kind = CheckpointDeltaKind::kClosePending;
+  slot.record.checkpoint_payload = std::move(payload);
+  BlockingPush(std::move(slot));
+}
+
+Status CheckpointWriter::Channel::WriteDurableSnapshot(std::string payload) {
+  Slot slot;
+  slot.is_snapshot = true;
+  slot.record.checkpoint_payload = std::move(payload);
+  return PushWithAck(std::move(slot));
+}
+
+Status CheckpointWriter::Channel::WriteDurableClose(std::string payload) {
+  Slot slot;
+  slot.record.kind = CheckpointDeltaKind::kClosePending;
+  slot.record.checkpoint_payload = std::move(payload);
+  return PushWithAck(std::move(slot));
+}
+
+bool CheckpointWriter::Channel::TakeWantsSnapshot() {
+  return want_snapshot_.exchange(false, std::memory_order_relaxed);
+}
+
+CheckpointWriter::CheckpointWriter(Warehouse* warehouse,
+                                   const Options& options)
+    : warehouse_(warehouse), options_(options) {
+  thread_ = std::thread([this] { WriterMain(); });
+}
+
+CheckpointWriter::~CheckpointWriter() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+CheckpointWriter::Channel* CheckpointWriter::AddChannel(DatasetId dataset,
+                                                        std::string key,
+                                                        bool have_generation) {
+  auto channel = std::unique_ptr<Channel>(
+      new Channel(this, std::move(dataset), std::move(key),
+                  options_.ring_capacity, have_generation));
+  Channel* raw = channel.get();
+  std::lock_guard<std::mutex> lock(channels_mu_);
+  channels_.push_back(std::move(channel));
+  return raw;
+}
+
+void CheckpointWriter::Signal() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    work_signal_ = true;
+  }
+  wake_cv_.notify_one();
+}
+
+void CheckpointWriter::CompleteAck(const std::shared_ptr<Channel::Ack>& ack,
+                                   const Status& status) {
+  if (ack == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(ack->mu);
+    ack->status = status;
+    ack->done = true;
+  }
+  ack->cv.notify_all();
+}
+
+void CheckpointWriter::WriterMain() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  for (;;) {
+    wake_cv_.wait_for(lock,
+                      std::chrono::microseconds(options_.group_commit_micros),
+                      [&] { return work_signal_ || stop_; });
+    work_signal_ = false;
+    const bool stopping = stop_;
+    lock.unlock();
+    std::vector<Channel*> channels;
+    {
+      std::lock_guard<std::mutex> channels_lock(channels_mu_);
+      channels.reserve(channels_.size());
+      for (const auto& channel : channels_) channels.push_back(channel.get());
+    }
+    for (Channel* channel : channels) DrainChannel(channel);
+    // The final drain after observing stop_ completes every queued ack, so
+    // no producer blocked in PushWithAck is abandoned.
+    if (stopping) return;
+    lock.lock();
+  }
+}
+
+void CheckpointWriter::DrainChannel(Channel* ch) {
+  std::vector<std::string> batch;  // serialized WAL record payloads
+  std::vector<std::shared_ptr<Channel::Ack>> batch_acks;
+  bool pending_progress = false;
+  CheckpointDeltaRecord progress;
+
+  // Progress deltas are cumulative, so an adjacent run collapses to its
+  // last record at flush time.
+  auto flush_progress = [&] {
+    if (!pending_progress) return;
+    pending_progress = false;
+    if (ch->wal_broken_ || !ch->have_generation_) {
+      // Liveness records only — dropping them loses no resume point, but
+      // the chain should re-anchor soon.
+      ch->want_snapshot_.store(true, std::memory_order_relaxed);
+      return;
+    }
+    batch.push_back(progress.Serialize());
+  };
+
+  auto flush_batch = [&] {
+    flush_progress();
+    Status status;
+    if (!batch.empty()) {
+      status = warehouse_->AppendIngestCheckpointDeltasKeyed(ch->dataset_,
+                                                             ch->key_, batch);
+      if (status.ok()) {
+        for (const std::string& record : batch) {
+          ch->wal_bytes_since_snapshot_ +=
+              kCheckpointWalFrameBytes + record.size();
+        }
+        ch->wal_records_since_snapshot_ += batch.size();
+      } else {
+        // The append may have torn the WAL tail; never append past damage.
+        ch->wal_broken_ = true;
+        ch->want_snapshot_.store(true, std::memory_order_relaxed);
+      }
+      batch.clear();
+    }
+    for (const auto& ack : batch_acks) CompleteAck(ack, status);
+    batch_acks.clear();
+  };
+
+  auto write_snapshot = [&](const std::string& payload,
+                            const std::shared_ptr<Channel::Ack>& ack) {
+    // Records queued ahead of the snapshot belong to the OLD generation's
+    // WAL; land them before rotating.
+    flush_batch();
+    const Status status =
+        warehouse_->PutIngestCheckpointKeyed(ch->dataset_, ch->key_, payload);
+    if (status.ok()) {
+      ch->have_generation_ = true;
+      ch->wal_broken_ = false;
+      ch->wal_bytes_since_snapshot_ = 0;
+      ch->wal_records_since_snapshot_ = 0;
+    } else {
+      // A torn put can leave a damaged newest generation on disk; deltas
+      // appended behind it would vanish from a fallback resume.
+      ch->wal_broken_ = true;
+      ch->want_snapshot_.store(true, std::memory_order_relaxed);
+    }
+    CompleteAck(ack, status);
+  };
+
+  Channel::Slot slot;
+  while (ch->ring_.TryPop(&slot)) {
+    if (slot.is_snapshot) {
+      write_snapshot(slot.record.checkpoint_payload, slot.ack);
+    } else if (slot.record.kind == CheckpointDeltaKind::kClosePending) {
+      if (ch->wal_broken_ || !ch->have_generation_) {
+        // The close record embeds a complete checkpoint — promote it to a
+        // fresh snapshot generation, healing the broken chain.
+        write_snapshot(slot.record.checkpoint_payload, slot.ack);
+      } else {
+        flush_progress();
+        batch.push_back(slot.record.Serialize());
+        if (slot.ack != nullptr) {
+          // A durability barrier: commit the group now so the caller's
+          // wait reflects this record actually reaching the WAL.
+          batch_acks.push_back(slot.ack);
+          flush_batch();
+        }
+      }
+    } else {
+      progress = std::move(slot.record);
+      pending_progress = true;
+    }
+  }
+  flush_batch();
+
+  if (ch->have_generation_ && !ch->wal_broken_ &&
+      (ch->wal_bytes_since_snapshot_ >= options_.snapshot_every_wal_bytes ||
+       ch->wal_records_since_snapshot_ >= options_.snapshot_every_deltas)) {
+    ch->want_snapshot_.store(true, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace sampwh

@@ -1,0 +1,177 @@
+// Background checkpoint writer: takes checkpoint persistence off the ingest
+// hot path.
+//
+// An ingest thread never writes a checkpoint itself in asynchronous mode.
+// It snapshots its state into a small Slot and pushes it onto a per-stream
+// SPSC ring; a single dedicated writer thread drains every registered
+// channel on a group-commit cadence and performs the actual store IO:
+//
+//   * kProgress deltas are CUMULATIVE (each carries the full watermark /
+//     RNG / progress view), so an adjacent run coalesces to its last record
+//     — the writer appends a handful of records per wake no matter how hot
+//     the cadence is. They are group-committed to the newest generation's
+//     WAL with no fsync on the ingest thread.
+//   * Snapshots (full IngestCheckpoint payloads) rotate a fresh snapshot
+//     generation via PutCheckpoint and reset the delta chain.
+//   * kClosePending records (checkpoint A of the two-phase close) are
+//     state-complete; they ride the WAL when it is healthy and are promoted
+//     to a full snapshot when it is not.
+//
+// Backpressure is the ring itself: a full ring fails the offer, the
+// ingestor's cadence counters keep accumulating, and the offer is retried
+// on the next chunk — checkpoints get coarser under load instead of
+// stalling ingest.
+//
+// Failure containment: after ANY append or put failure the channel's WAL is
+// considered broken — a torn put can leave a damaged newest generation, and
+// appending behind it would hide close records from a fallback resume
+// (duplicate roll-in). While broken, progress deltas are dropped (they are
+// observability only), close records are promoted to full snapshots, and
+// the channel requests a fresh anchor snapshot; a successful put heals it.
+//
+// Durability barriers: close A must be durable BEFORE the roll-in it
+// describes (exactly-once replay depends on it), so WriteDurableClose /
+// WriteDurableSnapshot block the caller on a per-record ack carrying the
+// actual store Status. Everything else is fire-and-forget.
+
+#ifndef SAMPWH_WAREHOUSE_CHECKPOINT_WRITER_H_
+#define SAMPWH_WAREHOUSE_CHECKPOINT_WRITER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/util/spsc_ring.h"
+#include "src/util/status.h"
+#include "src/warehouse/checkpoint.h"
+#include "src/warehouse/ids.h"
+
+namespace sampwh {
+
+class Warehouse;
+
+class CheckpointWriter {
+ public:
+  struct Options {
+    /// Writer wake cadence: queued deltas wait at most this long before
+    /// they are group-committed.
+    uint64_t group_commit_micros = 2000;
+    /// Slots per channel ring. A full ring coarsens that stream's
+    /// checkpoint cadence (offers fail and are retried next chunk).
+    size_t ring_capacity = 64;
+    /// Compaction policy: request a fresh snapshot once the WAL since the
+    /// last one exceeds either bound.
+    uint64_t snapshot_every_wal_bytes = 1ull << 20;
+    uint64_t snapshot_every_deltas = 1024;
+  };
+
+  /// One ingest stream's lane to the writer. SPSC: exactly one producer
+  /// thread at a time (the thread driving that stream's ingestor); the
+  /// writer thread is the only consumer.
+  class Channel {
+   public:
+    /// Queues a progress delta. False when the ring is full — the caller
+    /// keeps its cadence counters and retries later.
+    bool OfferDelta(const CheckpointDeltaRecord& record);
+
+    /// Queues a full snapshot (cadence anchor / compaction). False when
+    /// the ring is full.
+    bool OfferSnapshot(std::string payload);
+
+    /// Queues a full snapshot, waiting for ring space if needed; durability
+    /// is best-effort (no ack).
+    void PushSnapshot(std::string payload);
+
+    /// Queues a close record without a durability wait (close B / the
+    /// resume-adoption record: a loss is reconciled by the adoption rule,
+    /// so it must not be dropped but need not be awaited).
+    void PushClose(std::string payload);
+
+    /// Durable full snapshot: blocks until the writer persisted it and
+    /// returns the store's Status (forced Checkpoint()).
+    Status WriteDurableSnapshot(std::string payload);
+
+    /// Durable close record (checkpoint A): blocks until persisted —
+    /// to the WAL when healthy, as a promoted snapshot otherwise.
+    Status WriteDurableClose(std::string payload);
+
+    /// True once per compaction request: the writer wants the producer to
+    /// send a fresh full snapshot at its next cadence point.
+    bool TakeWantsSnapshot();
+
+   private:
+    friend class CheckpointWriter;
+
+    struct Ack {
+      std::mutex mu;
+      std::condition_variable cv;
+      bool done = false;
+      Status status;
+    };
+
+    struct Slot {
+      /// Full snapshot payload in record.checkpoint_payload.
+      bool is_snapshot = false;
+      CheckpointDeltaRecord record;
+      std::shared_ptr<Ack> ack;
+    };
+
+    Channel(CheckpointWriter* writer, DatasetId dataset, std::string key,
+            size_t ring_capacity, bool have_generation);
+
+    void BlockingPush(Slot slot);
+    Status PushWithAck(Slot slot);
+
+    CheckpointWriter* writer_;
+    const DatasetId dataset_;
+    const std::string key_;
+    SpscRing<Slot> ring_;
+    std::atomic<bool> want_snapshot_{false};
+
+    // Writer-thread-only state.
+    bool have_generation_ = false;
+    bool wal_broken_ = false;
+    uint64_t wal_bytes_since_snapshot_ = 0;
+    uint64_t wal_records_since_snapshot_ = 0;
+  };
+
+  CheckpointWriter(Warehouse* warehouse, const Options& options);
+  ~CheckpointWriter();
+
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  /// Registers a stream. `have_generation` is true when a snapshot
+  /// generation already exists for `key` (resume). The channel lives as
+  /// long as the writer; thread-safe.
+  Channel* AddChannel(DatasetId dataset, std::string key,
+                      bool have_generation);
+
+ private:
+  void Signal();
+  void WriterMain();
+  void DrainChannel(Channel* channel);
+  static void CompleteAck(const std::shared_ptr<Channel::Ack>& ack,
+                          const Status& status);
+
+  Warehouse* const warehouse_;
+  const Options options_;
+
+  std::mutex channels_mu_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool work_signal_ = false;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_WAREHOUSE_CHECKPOINT_WRITER_H_

@@ -113,6 +113,18 @@ ParallelIngestor::ParallelIngestor(Warehouse* warehouse, DatasetId dataset,
                            ShardRouter::HashBytes(dataset_) ^ kStripeRngSalt
                      : 0) {
   SAMPWH_CHECK(warehouse_ != nullptr);
+  if (options_.enable_checkpoints && !options_.checkpoint_policy.synchronous) {
+    CheckpointWriter::Options writer_options;
+    writer_options.group_commit_micros =
+        options_.checkpoint_policy.group_commit_micros;
+    writer_options.ring_capacity = options_.checkpoint_ring_capacity;
+    writer_options.snapshot_every_wal_bytes =
+        options_.checkpoint_policy.snapshot_every_wal_bytes;
+    writer_options.snapshot_every_deltas =
+        options_.checkpoint_policy.snapshot_every_deltas;
+    ckpt_writer_ = std::make_unique<CheckpointWriter>(warehouse_,
+                                                      writer_options);
+  }
   const size_t n = router_.num_shards();
   producers_.reserve(std::max<size_t>(options_.max_producers, 1));
   pushed_.reserve(n);
@@ -190,7 +202,10 @@ StreamIngestor* ParallelIngestor::StripeIngestor(size_t shard,
       partitioner_factory_ ? partitioner_factory_(stripe) : nullptr,
       Pcg64(seed_base_, stripe), CheckpointKeyFor(stripe));
   if (options_.enable_checkpoints) {
-    ingestor->EnableCheckpoints(options_.checkpoint_policy);
+    // All stripes share the one background writer; each gets its own SPSC
+    // lane, produced only by this shard thread.
+    ingestor->EnableCheckpoints(options_.checkpoint_policy,
+                                ckpt_writer_.get());
   }
   return owned.emplace(stripe, std::move(ingestor)).first->second.get();
 }
@@ -324,7 +339,8 @@ Result<std::unique_ptr<ParallelIngestor>> ParallelIngestor::Resume(
                                ingestor->partitioner_factory_
                                    ? ingestor->partitioner_factory_(stripe)
                                    : nullptr,
-                               ingestor->options_.checkpoint_policy, key));
+                               ingestor->options_.checkpoint_policy, key,
+                               ingestor->ckpt_writer_.get()));
     ingestor->stripes_[shard].emplace(stripe, std::move(resumed_stripe));
     ++resumed;
   }

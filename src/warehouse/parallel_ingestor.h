@@ -53,9 +53,14 @@ struct ParallelIngestOptions {
   size_t max_producers = 16;
   /// Give every stripe ingestor a checkpoint cursor under
   /// "<dataset>#s<stripe>" and this cadence policy, making the whole
-  /// parallel run crash-resumable via Resume().
+  /// parallel run crash-resumable via Resume(). Unless
+  /// checkpoint_policy.synchronous, all stripes share ONE background
+  /// CheckpointWriter, so per-stripe delta cadences cost one extra thread
+  /// total, not one per stripe.
   bool enable_checkpoints = false;
   CheckpointPolicy checkpoint_policy;
+  /// Capacity of each stripe's checkpoint ring into the shared writer.
+  size_t checkpoint_ring_capacity = 32;
 };
 
 /// Per-shard work counters, for the scaling bench and for tests.
@@ -179,6 +184,11 @@ class ParallelIngestor {
   /// Stripe RNG base: seed ^ H(dataset) ^ salt; stripe k samples on
   /// Pcg64(seed_base_, k) — order-independent and resume-stable.
   uint64_t seed_base_;
+
+  /// Shared background checkpoint writer for all stripes (asynchronous
+  /// checkpoint mode only). Declared before stripes_ so it is destroyed
+  /// AFTER them — stripe channels stay valid for the stripes' lifetime.
+  std::unique_ptr<CheckpointWriter> ckpt_writer_;
 
   /// Producer table. Slots are filled front-to-back under producers_mu_;
   /// shard threads scan [0, producer_count_) lock-free — the vector is

@@ -4,11 +4,11 @@
 #include <condition_variable>
 #include <cstdio>
 #include <filesystem>
+#include <set>
 #include <thread>
 #include <utility>
 
 #include "src/util/serialization.h"
-#include "src/warehouse/checkpoint.h"
 
 namespace sampwh {
 
@@ -72,6 +72,64 @@ bool ParseCheckpointName(const std::string& name, DatasetId* dataset,
   return true;
 }
 
+// Parses "<dataset>.<generation>.wal" — the delta journal owned by the
+// snapshot generation of the same stem. Same last-numeric-segment rule as
+// ParseCheckpointName.
+bool ParseWalName(const std::string& name, DatasetId* dataset,
+                  uint64_t* generation) {
+  if (!HasSuffix(name, ".wal")) return false;
+  const std::string stem = name.substr(0, name.size() - 4);
+  const size_t last_dot = stem.rfind('.');
+  if (last_dot == std::string::npos || last_dot == 0) return false;
+  const std::string gen_str = stem.substr(last_dot + 1);
+  if (gen_str.empty() ||
+      gen_str.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *dataset = stem.substr(0, last_dot);
+  *generation = std::stoull(gen_str);
+  return true;
+}
+
+// Appends raw bytes to a file (created if absent). Deliberately NOT atomic:
+// WAL appends rely on per-record CRC framing instead — a tear at the tail
+// is detected and dropped on read.
+Status AppendBytesToFile(const std::string& path, std::string_view bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for append");
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (written != bytes.size() || !flushed || !closed) {
+    return Status::IOError("short append to " + path);
+  }
+  return Status::OK();
+}
+
+// Builds one framed batch from delta record payloads.
+std::string FrameWalBatch(const std::vector<std::string>& records) {
+  std::string batch;
+  for (const std::string& record : records) {
+    AppendCheckpointWalFrame(&batch, record);
+  }
+  return batch;
+}
+
+// Length of the prefix of `wal` covering records that pass DEEP verification
+// (frame + CRC + record decode + embedded checkpoint decode). Recovery
+// truncates a WAL to this length.
+size_t DeepVerifiedWalPrefix(std::string_view wal) {
+  const CheckpointWalParse parse = ParseCheckpointWal(wal);
+  size_t valid = 0;
+  for (const std::string& record : parse.records) {
+    if (!VerifyCheckpointDeltaPayload(record).ok()) break;
+    valid += kCheckpointWalFrameBytes + record.size();
+  }
+  return valid;
+}
+
 // Full verification for recovery scans of checkpoint bytes: envelope +
 // record decode + embedded sampler-state / pending-sample decode.
 Status VerifyCheckpointBytes(const std::string& bytes) {
@@ -124,6 +182,9 @@ StoreStats SampleStore::GetStoreStats() const {
   stats.recovered_temps = stats_recovered_temps_.load();
   stats.checkpoints_written = stats_checkpoints_written_.load();
   stats.checkpoints_restored = stats_checkpoints_restored_.load();
+  stats.wal_appends = stats_wal_appends_.load();
+  stats.wal_records_appended = stats_wal_records_appended_.load();
+  stats.wal_tails_truncated = stats_wal_tails_truncated_.load();
   return stats;
 }
 
@@ -338,6 +399,32 @@ Result<RecoveryReport> InMemorySampleStore::Recover(
         }
       }
     }
+    // WALs: a journal whose snapshot generation did not survive is an
+    // orphan (its records resolve against nothing); surviving journals are
+    // deep-verified and truncated at the first bad record.
+    for (auto ws = wals_.begin(); ws != wals_.end();) {
+      const auto cs = checkpoints_.find(ws->first);
+      for (auto it = ws->second.begin(); it != ws->second.end();) {
+        ++report.scanned;
+        const std::string name =
+            ws->first + "." + std::to_string(it->first) + ".wal";
+        if (cs == checkpoints_.end() ||
+            cs->second.find(it->first) == cs->second.end()) {
+          report.orphaned_wals.push_back(name);
+          NoteQuarantine();
+          it = ws->second.erase(it);
+          continue;
+        }
+        const size_t valid = DeepVerifiedWalPrefix(it->second);
+        if (valid != it->second.size()) {
+          it->second.resize(valid);
+          report.truncated_wal_tails.push_back(name);
+          NoteWalTailTruncated();
+        }
+        ++it;
+      }
+      ws = ws->second.empty() ? wals_.erase(ws) : std::next(ws);
+    }
   }
   for (const PartitionKey& key : expected) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -384,7 +471,14 @@ Status InMemorySampleStore::PutCheckpoint(const DatasetId& dataset,
         auto& gens = checkpoints_[dataset];
         const uint64_t gen = gens.empty() ? 1 : gens.rbegin()->first + 1;
         gens[gen] = std::move(bytes);
-        while (gens.size() > 2) gens.erase(gens.begin());
+        // A fresh generation starts with an empty journal; journals of
+        // pruned generations go with their snapshots.
+        auto& wals = wals_[dataset];
+        wals.erase(gen);
+        while (gens.size() > 2) {
+          wals.erase(gens.begin()->first);
+          gens.erase(gens.begin());
+        }
         NoteCheckpointWritten();
         return Status::OK();
       }
@@ -426,6 +520,83 @@ Result<std::string> InMemorySampleStore::GetCheckpoint(
         return std::string(payload);
       }
       NoteQuarantine();
+      DropWalLocked(dataset, newest->first);
+      gens.erase(newest);
+    }
+  }
+  return Status::NotFound("no checkpoint for dataset");
+}
+
+void InMemorySampleStore::DropWalLocked(const DatasetId& dataset,
+                                        uint64_t generation) const {
+  const auto ws = wals_.find(dataset);
+  if (ws == wals_.end()) return;
+  ws->second.erase(generation);
+  if (ws->second.empty()) wals_.erase(ws);
+}
+
+Status InMemorySampleStore::AppendCheckpointDeltas(
+    const DatasetId& key, const std::vector<std::string>& records) {
+  SAMPWH_RETURN_IF_ERROR(ValidateCheckpointKey(key));
+  if (records.empty()) return Status::OK();
+  const std::string batch = FrameWalBatch(records);
+  const std::shared_ptr<FaultInjector> injector = fault_injector();
+  const FaultKind fault = injector != nullptr
+                              ? injector->Next(kFaultSiteWalAppend)
+                              : FaultKind::kNone;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto ds = checkpoints_.find(key);
+  if (ds == checkpoints_.end() || ds->second.empty()) {
+    return Status::FailedPrecondition(
+        "no snapshot generation to append WAL records to");
+  }
+  const uint64_t gen = ds->second.rbegin()->first;
+  switch (fault) {
+    case FaultKind::kTornWrite: {
+      // Torn group commit: a prefix of the batch reaches the journal. Not
+      // retried — the per-record CRC framing drops the tail on read.
+      const size_t keep = injector->TornPrefixLength(batch.size());
+      wals_[key][gen] += batch.substr(0, keep);
+      return Status::IOError("injected crash: torn WAL append");
+    }
+    case FaultKind::kIOError:
+    case FaultKind::kCrashBeforeRename:
+      return Status::IOError("injected WAL append fault");
+    default:
+      wals_[key][gen] += batch;
+      NoteWalAppend(records.size());
+      return Status::OK();
+  }
+}
+
+Result<CheckpointChain> InMemorySampleStore::GetCheckpointChain(
+    const DatasetId& key) const {
+  SAMPWH_RETURN_IF_ERROR(ValidateCheckpointKey(key));
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto ds = checkpoints_.find(key);
+  if (ds != checkpoints_.end()) {
+    auto& gens = ds->second;
+    while (!gens.empty()) {
+      const auto newest = std::prev(gens.end());
+      std::string_view payload;
+      if (UnwrapSampleEnvelope(newest->second, &payload).ok()) {
+        CheckpointChain chain;
+        chain.generation = newest->first;
+        chain.snapshot = std::string(payload);
+        const auto ws = wals_.find(key);
+        if (ws != wals_.end()) {
+          const auto wal = ws->second.find(newest->first);
+          if (wal != ws->second.end()) {
+            CheckpointWalParse parse = ParseCheckpointWal(wal->second);
+            chain.deltas = std::move(parse.records);
+            chain.torn_tail = parse.torn_tail;
+          }
+        }
+        NoteCheckpointRestored();
+        return chain;
+      }
+      NoteQuarantine();
+      DropWalLocked(key, newest->first);
       gens.erase(newest);
     }
   }
@@ -435,6 +606,7 @@ Result<std::string> InMemorySampleStore::GetCheckpoint(
 Status InMemorySampleStore::DeleteCheckpoint(const DatasetId& dataset) {
   SAMPWH_RETURN_IF_ERROR(ValidateCheckpointKey(dataset));
   std::lock_guard<std::mutex> lock(mu_);
+  wals_.erase(dataset);
   if (checkpoints_.erase(dataset) == 0) {
     return Status::NotFound("no checkpoint for dataset");
   }
@@ -473,6 +645,12 @@ std::string FileSampleStore::CheckpointPathFor(const DatasetId& dataset,
                                                uint64_t generation) const {
   return directory_ + "/" + dataset + "." + std::to_string(generation) +
          ".ckpt";
+}
+
+std::string FileSampleStore::WalPathFor(const DatasetId& dataset,
+                                        uint64_t generation) const {
+  return directory_ + "/" + dataset + "." + std::to_string(generation) +
+         ".wal";
 }
 
 size_t FileSampleStore::StripeIndexForTesting(const PartitionKey& key) {
@@ -689,6 +867,7 @@ Result<RecoveryReport> FileSampleStore::Recover(
   std::vector<std::filesystem::path> temps;
   std::vector<std::filesystem::path> samples;
   std::vector<std::filesystem::path> checkpoints;
+  std::vector<std::filesystem::path> wals;
   std::error_code ec;
   for (const auto& entry :
        std::filesystem::directory_iterator(directory_, ec)) {
@@ -702,6 +881,8 @@ Result<RecoveryReport> FileSampleStore::Recover(
       samples.push_back(entry.path());
     } else if (ParseCheckpointName(name, &ckpt_dataset, &ckpt_gen)) {
       checkpoints.push_back(entry.path());
+    } else if (ParseWalName(name, &ckpt_dataset, &ckpt_gen)) {
+      wals.push_back(entry.path());
     }
   }
   if (ec) {
@@ -732,16 +913,46 @@ Result<RecoveryReport> FileSampleStore::Recover(
   }
   // Checkpoints get the FULL structural check (record + embedded sampler
   // state + pending sample): resume must never begin decoding a checkpoint
-  // that cannot be loaded end to end.
+  // that cannot be loaded end to end. Surviving stems anchor the WAL pass
+  // below.
+  std::set<std::string> live_ckpt_stems;
   for (const auto& path : checkpoints) {
     ++report.scanned;
+    const std::string name = path.filename().string();
     std::string bytes;
     Status status = ReadFile(path.string(), &bytes);
     if (status.ok()) status = VerifyCheckpointBytes(bytes);
     if (!status.ok()) {
       std::lock_guard<std::mutex> lock(ckpt_mu_);
       QuarantineCheckpointPath(path.string());
-      report.quarantined_checkpoints.push_back(path.filename().string());
+      newest_generation_.clear();
+      report.quarantined_checkpoints.push_back(name);
+    } else {
+      live_ckpt_stems.insert(name.substr(0, name.size() - 5 /* ".ckpt" */));
+    }
+  }
+  // WALs: a journal whose snapshot did not survive is an orphan (its
+  // records resolve against nothing) and is quarantined whole; surviving
+  // journals are deep-verified record by record and truncated at the first
+  // record that fails — a torn group commit never hides behind the tear.
+  for (const auto& path : wals) {
+    ++report.scanned;
+    const std::string name = path.filename().string();
+    const std::string stem = name.substr(0, name.size() - 4 /* ".wal" */);
+    std::string bytes;
+    const bool readable = ReadFile(path.string(), &bytes).ok();
+    if (live_ckpt_stems.find(stem) == live_ckpt_stems.end() || !readable) {
+      std::lock_guard<std::mutex> lock(ckpt_mu_);
+      QuarantineCheckpointPath(path.string());
+      report.orphaned_wals.push_back(name);
+      continue;
+    }
+    const size_t valid = DeepVerifiedWalPrefix(bytes);
+    if (valid != bytes.size()) {
+      std::lock_guard<std::mutex> lock(ckpt_mu_);
+      WriteFileAtomic(path.string(), std::string_view(bytes).substr(0, valid));
+      report.truncated_wal_tails.push_back(name);
+      NoteWalTailTruncated();
     }
   }
   for (const PartitionKey& key : expected) {
@@ -778,14 +989,27 @@ Status FileSampleStore::PutCheckpoint(const DatasetId& dataset,
   std::lock_guard<std::mutex> lock(ckpt_mu_);
   const std::vector<uint64_t> gens = CheckpointGenerations(dataset);
   const uint64_t next_gen = gens.empty() ? 1 : gens.back() + 1;
-  SAMPWH_RETURN_IF_ERROR(WriteFileWithFaults(
-      kFaultSiteCheckpointWrite, CheckpointPathFor(dataset, next_gen), bytes));
+  Status write = WriteFileWithFaults(
+      kFaultSiteCheckpointWrite, CheckpointPathFor(dataset, next_gen), bytes);
+  if (!write.ok()) {
+    // A torn write may have published a damaged newest generation; never
+    // let a cached entry route WAL appends at it.
+    newest_generation_.erase(dataset);
+    return write;
+  }
+  // The new generation starts with an empty journal: drop stale bytes a
+  // quarantined ancestor of the same number may have left behind.
+  std::error_code wal_ec;
+  std::filesystem::remove(WalPathFor(dataset, next_gen), wal_ec);
   // Keep the newest two generations: the one just written plus one
-  // fallback in case the next write tears.
+  // fallback in case the next write tears. Pruned snapshots take their
+  // journals with them.
   for (size_t i = 0; i + 1 < gens.size(); ++i) {
     std::error_code remove_ec;
     std::filesystem::remove(CheckpointPathFor(dataset, gens[i]), remove_ec);
+    std::filesystem::remove(WalPathFor(dataset, gens[i]), remove_ec);
   }
+  newest_generation_[dataset] = next_gen;
   NoteCheckpointWritten();
   return Status::OK();
 }
@@ -800,7 +1024,8 @@ Result<std::string> FileSampleStore::GetCheckpoint(
   // Newest generation first; a generation that fails envelope verification
   // is quarantined and the previous one tried.
   while (!gens.empty()) {
-    const std::string path = CheckpointPathFor(dataset, gens.back());
+    const uint64_t gen = gens.back();
+    const std::string path = CheckpointPathFor(dataset, gen);
     gens.pop_back();
     std::string bytes;
     std::chrono::microseconds backoff = policy.initial_backoff;
@@ -832,6 +1057,111 @@ Result<std::string> FileSampleStore::GetCheckpoint(
       return std::string(payload);
     }
     QuarantineCheckpointPath(path);
+    QuarantineCheckpointPath(WalPathFor(dataset, gen));
+    newest_generation_.erase(dataset);
+  }
+  return Status::NotFound("no checkpoint for dataset");
+}
+
+Status FileSampleStore::AppendCheckpointDeltas(
+    const DatasetId& key, const std::vector<std::string>& records) {
+  SAMPWH_RETURN_IF_ERROR(ValidateCheckpointKey(key));
+  if (records.empty()) return Status::OK();
+  const std::string batch = FrameWalBatch(records);
+  const std::shared_ptr<FaultInjector> injector = fault_injector();
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  uint64_t gen;
+  const auto cached = newest_generation_.find(key);
+  if (cached != newest_generation_.end()) {
+    gen = cached->second;
+  } else {
+    const std::vector<uint64_t> gens = CheckpointGenerations(key);
+    if (gens.empty()) {
+      return Status::FailedPrecondition(
+          "no snapshot generation to append WAL records to");
+    }
+    gen = gens.back();
+    newest_generation_[key] = gen;
+  }
+  const std::string path = WalPathFor(key, gen);
+  const FaultKind fault = injector != nullptr
+                              ? injector->Next(kFaultSiteWalAppend)
+                              : FaultKind::kNone;
+  switch (fault) {
+    case FaultKind::kTornWrite: {
+      // Torn group commit: a prefix of the batch reaches disk. Not retried
+      // — the tear stays for the CRC framing to drop on read.
+      const size_t keep = injector->TornPrefixLength(batch.size());
+      AppendBytesToFile(path, std::string_view(batch).substr(0, keep));
+      return Status::IOError("injected crash: torn WAL append to " + path);
+    }
+    case FaultKind::kIOError:
+    case FaultKind::kCrashBeforeRename:
+      return Status::IOError("injected WAL append fault");
+    default:
+      break;
+  }
+  SAMPWH_RETURN_IF_ERROR(AppendBytesToFile(path, batch));
+  NoteWalAppend(records.size());
+  return Status::OK();
+}
+
+Result<CheckpointChain> FileSampleStore::GetCheckpointChain(
+    const DatasetId& key) const {
+  SAMPWH_RETURN_IF_ERROR(ValidateCheckpointKey(key));
+  const std::shared_ptr<FaultInjector> injector = fault_injector();
+  const RetryPolicy policy = retry_policy();
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  std::vector<uint64_t> gens = CheckpointGenerations(key);
+  while (!gens.empty()) {
+    const uint64_t gen = gens.back();
+    const std::string path = CheckpointPathFor(key, gen);
+    gens.pop_back();
+    std::string bytes;
+    std::chrono::microseconds backoff = policy.initial_backoff;
+    Status status;
+    for (int attempt = 1;; ++attempt) {
+      const FaultKind fault = injector != nullptr
+                                  ? injector->Next(kFaultSiteCheckpointRead)
+                                  : FaultKind::kNone;
+      status = fault == FaultKind::kIOError
+                   ? Status::IOError("injected transient checkpoint read")
+                   : ReadFile(path, &bytes);
+      if (status.ok() && fault == FaultKind::kCorruptRead && !bytes.empty()) {
+        bytes[injector->CorruptByteIndex(bytes.size())] ^= 0x01;
+      }
+      if (status.ok() || !status.IsIOError()) break;
+      if (attempt >= policy.max_attempts) {
+        NoteRetryExhausted();
+        break;
+      }
+      NoteRetryAttempted();
+      SleepBackoff(backoff);
+      backoff *= 2;
+    }
+    if (status.IsIOError()) return status;
+    if (!status.ok()) continue;  // vanished between list and read
+    std::string_view payload;
+    if (!UnwrapSampleEnvelope(bytes, &payload).ok()) {
+      QuarantineCheckpointPath(path);
+      QuarantineCheckpointPath(WalPathFor(key, gen));
+      newest_generation_.erase(key);
+      continue;
+    }
+    CheckpointChain chain;
+    chain.generation = gen;
+    chain.snapshot = std::string(payload);
+    // Absent WAL = empty journal (a fresh generation); a read error is
+    // treated the same — the snapshot alone is still a valid resume point,
+    // deltas only refine it.
+    std::string wal_bytes;
+    if (ReadFile(WalPathFor(key, gen), &wal_bytes).ok()) {
+      CheckpointWalParse parse = ParseCheckpointWal(wal_bytes);
+      chain.deltas = std::move(parse.records);
+      chain.torn_tail = parse.torn_tail;
+    }
+    NoteCheckpointRestored();
+    return chain;
   }
   return Status::NotFound("no checkpoint for dataset");
 }
@@ -839,11 +1169,13 @@ Result<std::string> FileSampleStore::GetCheckpoint(
 Status FileSampleStore::DeleteCheckpoint(const DatasetId& dataset) {
   SAMPWH_RETURN_IF_ERROR(ValidateCheckpointKey(dataset));
   std::lock_guard<std::mutex> lock(ckpt_mu_);
+  newest_generation_.erase(dataset);
   const std::vector<uint64_t> gens = CheckpointGenerations(dataset);
   if (gens.empty()) return Status::NotFound("no checkpoint for dataset");
   for (const uint64_t gen : gens) {
     std::error_code remove_ec;
     std::filesystem::remove(CheckpointPathFor(dataset, gen), remove_ec);
+    std::filesystem::remove(WalPathFor(dataset, gen), remove_ec);
   }
   return Status::OK();
 }

@@ -38,6 +38,7 @@
 #include "src/core/sample.h"
 #include "src/testing/fault_injector.h"
 #include "src/util/thread_pool.h"
+#include "src/warehouse/checkpoint.h"
 #include "src/warehouse/ids.h"
 
 namespace sampwh {
@@ -57,6 +58,13 @@ struct RecoveryReport {
   /// Ingest-checkpoint generations that failed verification and were
   /// quarantined (file backend) or dropped (in-memory backend).
   std::vector<std::string> quarantined_checkpoints;
+  /// Checkpoint WALs whose tail failed CRC framing or deep record
+  /// verification and was truncated back to the last good record — the
+  /// expected artifact of a crash mid-append.
+  std::vector<std::string> truncated_wal_tails;
+  /// Checkpoint WALs with no surviving snapshot generation (quarantined or
+  /// dropped whole — their records cannot anchor to anything).
+  std::vector<std::string> orphaned_wals;
   /// Filled by Warehouse::RestoreWithRecovery: datasets that had stored
   /// checkpoints but no longer exist in the catalog (checkpoints deleted).
   std::vector<DatasetId> stale_checkpoints;
@@ -75,6 +83,12 @@ struct StoreStats {
   uint64_t recovered_temps = 0;
   uint64_t checkpoints_written = 0;
   uint64_t checkpoints_restored = 0;
+  /// Group-committed delta appends to checkpoint WALs, and the total
+  /// records those groups carried.
+  uint64_t wal_appends = 0;
+  uint64_t wal_records_appended = 0;
+  /// WAL tails truncated by Recover() after a torn or corrupt record.
+  uint64_t wal_tails_truncated = 0;
 };
 
 class SampleStore {
@@ -155,6 +169,31 @@ class SampleStore {
   /// generation, ascending.
   virtual Result<std::vector<DatasetId>> ListCheckpoints() const = 0;
 
+  // --- Checkpoint delta journal -------------------------------------------
+  //
+  // Each snapshot generation owns a write-ahead log of CRC-framed delta
+  // records ("<key>.<generation>.wal" in the file backend). The background
+  // checkpoint writer appends groups of records between snapshots; resume
+  // reads the newest verifiable snapshot plus its WAL back as one chain.
+  // Rotation: PutCheckpoint starts a fresh (empty) WAL for the generation
+  // it writes, and pruning an old generation removes its WAL with it.
+
+  /// Appends `records` (each one CheckpointDeltaRecord payload) to the WAL
+  /// of `key`'s newest snapshot generation, CRC-framed per record, in one
+  /// group-committed write. FailedPrecondition when no snapshot generation
+  /// exists. Consults kFaultSiteWalAppend; failures are NOT retried — a
+  /// failed append may have left a torn tail, so the caller must rotate to
+  /// a fresh snapshot instead of appending past the damage.
+  virtual Status AppendCheckpointDeltas(
+      const DatasetId& key, const std::vector<std::string>& records) = 0;
+
+  /// The newest verifiable snapshot for `key` plus its WAL records (CRC
+  /// framing checked; a torn tail is flagged and skipped). A corrupt newest
+  /// snapshot is quarantined together with its WAL and the previous
+  /// generation served. NotFound when no valid generation remains.
+  virtual Result<CheckpointChain> GetCheckpointChain(
+      const DatasetId& key) const = 0;
+
   /// Arms fault injection for this store (nullptr disarms). The injector
   /// is consulted at the kFaultSite* sites in fault_injector.h.
   void SetFaultInjector(std::shared_ptr<FaultInjector> injector);
@@ -179,6 +218,11 @@ class SampleStore {
   void NoteCheckpointRestored() const {
     stats_checkpoints_restored_.fetch_add(1);
   }
+  void NoteWalAppend(uint64_t records) const {
+    stats_wal_appends_.fetch_add(1);
+    stats_wal_records_appended_.fetch_add(records);
+  }
+  void NoteWalTailTruncated() const { stats_wal_tails_truncated_.fetch_add(1); }
 
  private:
   mutable std::mutex config_mu_;
@@ -191,6 +235,9 @@ class SampleStore {
   mutable std::atomic<uint64_t> stats_recovered_temps_{0};
   mutable std::atomic<uint64_t> stats_checkpoints_written_{0};
   mutable std::atomic<uint64_t> stats_checkpoints_restored_{0};
+  mutable std::atomic<uint64_t> stats_wal_appends_{0};
+  mutable std::atomic<uint64_t> stats_wal_records_appended_{0};
+  mutable std::atomic<uint64_t> stats_wal_tails_truncated_{0};
 };
 
 /// Map-backed store; thread-safe.
@@ -213,14 +260,26 @@ class InMemorySampleStore : public SampleStore {
   Result<std::string> GetCheckpoint(const DatasetId& dataset) const override;
   Status DeleteCheckpoint(const DatasetId& dataset) override;
   Result<std::vector<DatasetId>> ListCheckpoints() const override;
+  Status AppendCheckpointDeltas(
+      const DatasetId& key, const std::vector<std::string>& records) override;
+  Result<CheckpointChain> GetCheckpointChain(
+      const DatasetId& key) const override;
 
  private:
+  /// Drops the WAL owned by one generation (e.g. after its snapshot was
+  /// diagnosed corrupt). Caller holds mu_.
+  void DropWalLocked(const DatasetId& dataset, uint64_t generation) const;
+
   mutable std::mutex mu_;
   std::map<PartitionKey, std::string> samples_;  // enveloped serialized form
   // generation -> enveloped checkpoint bytes; mutable so a const Get can
   // drop a generation it diagnosed as corrupt (the in-memory analogue of
   // quarantining a file aside).
   mutable std::map<DatasetId, std::map<uint64_t, std::string>> checkpoints_;
+  // generation -> raw WAL bytes (the same CRC-per-record framing the file
+  // backend appends), so torn-append injection and tail parsing behave
+  // identically across backends.
+  mutable std::map<DatasetId, std::map<uint64_t, std::string>> wals_;
 };
 
 /// One file per sample under `directory` (created if missing), written with
@@ -257,6 +316,10 @@ class FileSampleStore : public SampleStore {
   Result<std::string> GetCheckpoint(const DatasetId& dataset) const override;
   Status DeleteCheckpoint(const DatasetId& dataset) override;
   Result<std::vector<DatasetId>> ListCheckpoints() const override;
+  Status AppendCheckpointDeltas(
+      const DatasetId& key, const std::vector<std::string>& records) override;
+  Result<CheckpointChain> GetCheckpointChain(
+      const DatasetId& key) const override;
 
   /// Test-only fault-injection hook, invoked inside Get while the key's
   /// lock stripe is held (after validation, before the file read). A hook
@@ -277,6 +340,7 @@ class FileSampleStore : public SampleStore {
   std::string PathFor(const PartitionKey& key) const;
   std::string CheckpointPathFor(const DatasetId& dataset,
                                 uint64_t generation) const;
+  std::string WalPathFor(const DatasetId& dataset, uint64_t generation) const;
   std::mutex& StripeFor(const PartitionKey& key) const;
   /// Write with injected-fault simulation and transient-fault retry;
   /// `site` selects the injection site (sample put vs checkpoint write).
@@ -297,6 +361,11 @@ class FileSampleStore : public SampleStore {
   // independent of the sample stripes so checkpoint traffic never blocks
   // sample reads.
   mutable std::mutex ckpt_mu_;
+  // Newest known generation per checkpoint key, so a WAL append costs one
+  // file append instead of a directory scan. Maintained under ckpt_mu_ by
+  // every generation mutation; an absent entry falls back to a scan, and
+  // any failure path invalidates (erases) rather than guesses.
+  mutable std::map<DatasetId, uint64_t> newest_generation_;
   std::string directory_;
 };
 

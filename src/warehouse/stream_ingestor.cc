@@ -84,9 +84,18 @@ Status StreamIngestor::CompletePendingClose() {
   // crash in the window between them is reconciled on resume instead of
   // replaying the partition's elements into a duplicate. A failure here
   // leaves pending_ set; the next append (or an explicit Checkpoint())
-  // retries the whole close.
+  // retries the whole close. This is the one cadenceless write that stays
+  // a synchronous barrier even in asynchronous mode — exactly-once replay
+  // depends on A being durable before the roll-in it describes.
   if (checkpoints_enabled_ && !pending_->checkpointed) {
-    SAMPWH_RETURN_IF_ERROR(WriteCheckpoint());
+    if (channel_ != nullptr) {
+      SAMPWH_RETURN_IF_ERROR(
+          channel_->WriteDurableClose(BuildCheckpointPayload()));
+      anchored_ = true;
+      ResetCadence();
+    } else {
+      SAMPWH_RETURN_IF_ERROR(WriteCheckpoint());
+    }
     pending_->checkpointed = true;
   }
   SAMPWH_ASSIGN_OR_RETURN(
@@ -98,11 +107,11 @@ Status StreamIngestor::CompletePendingClose() {
   // Checkpoint B clears the pending record. Best effort: if it is lost, a
   // resume from checkpoint A finds the rolled-in partition at or above
   // id_lower_bound and adopts it instead of rolling in twice.
-  if (checkpoints_enabled_) WriteCheckpoint();
+  if (checkpoints_enabled_) WriteCloseComplete();
   return Status::OK();
 }
 
-Status StreamIngestor::WriteCheckpoint() {
+std::string StreamIngestor::BuildCheckpointPayload() const {
   IngestCheckpoint ckpt;
   ckpt.next_sequence = next_sequence_;
   ckpt.partitions_started = partitions_started_;
@@ -121,11 +130,32 @@ Status StreamIngestor::WriteCheckpoint() {
     pending.id_lower_bound = pending_->id_lower_bound;
     ckpt.pending = std::move(pending);
   }
+  return ckpt.Serialize();
+}
+
+Status StreamIngestor::WriteCheckpoint() {
   SAMPWH_RETURN_IF_ERROR(warehouse_->PutIngestCheckpointKeyed(
-      dataset_, checkpoint_key_, ckpt.Serialize()));
+      dataset_, checkpoint_key_, BuildCheckpointPayload()));
+  anchored_ = true;
+  ResetCadence();
+  return Status::OK();
+}
+
+void StreamIngestor::WriteCloseComplete() {
+  if (channel_ != nullptr) {
+    // A state-complete close record (pending just cleared): rides the WAL
+    // as the newest resume point without rotating a snapshot generation.
+    channel_->PushClose(BuildCheckpointPayload());
+    anchored_ = true;
+    ResetCadence();
+  } else {
+    WriteCheckpoint();
+  }
+}
+
+void StreamIngestor::ResetCadence() {
   elements_since_checkpoint_ = 0;
   last_checkpoint_tick_ = progress_.last_timestamp;
-  return Status::OK();
 }
 
 void StreamIngestor::MaybeCheckpoint() {
@@ -138,13 +168,58 @@ void StreamIngestor::MaybeCheckpoint() {
           last_checkpoint_tick_ + policy_.every_t_ticks;
   if (!by_count && !by_time) return;
   // Cadence checkpoints are an optimization of resume granularity, not a
-  // correctness requirement — a failed write only means more replay.
-  WriteCheckpoint();
+  // correctness requirement — a failed write (or a full ring) only means
+  // more replay.
+  if (channel_ == nullptr) {
+    WriteCheckpoint();
+    return;
+  }
+  if (!anchored_ || snapshot_requested_ || channel_->TakeWantsSnapshot()) {
+    // Anchor or compaction point: a full snapshot rotates the generation
+    // and resets the delta chain.
+    if (channel_->OfferSnapshot(BuildCheckpointPayload())) {
+      anchored_ = true;
+      snapshot_requested_ = false;
+      ResetCadence();
+    } else {
+      snapshot_requested_ = true;  // ring full — retry next cadence point
+    }
+    return;
+  }
+  CheckpointDeltaRecord record;
+  record.next_sequence = next_sequence_;
+  record.partitions_started = partitions_started_;
+  record.created_unix_micros = NowUnixMicros();
+  record.rng = rng_.SaveState();
+  record.progress = progress_;
+  if (channel_->OfferDelta(record)) ResetCadence();
 }
 
 void StreamIngestor::EnableCheckpoints(const CheckpointPolicy& policy) {
   checkpoints_enabled_ = true;
   policy_ = policy;
+  if (policy.synchronous || channel_ != nullptr) return;
+  if (owned_writer_ == nullptr) {
+    CheckpointWriter::Options options;
+    options.group_commit_micros = policy.group_commit_micros;
+    options.snapshot_every_wal_bytes = policy.snapshot_every_wal_bytes;
+    options.snapshot_every_deltas = policy.snapshot_every_deltas;
+    owned_writer_ = std::make_unique<CheckpointWriter>(warehouse_, options);
+  }
+  channel_ = owned_writer_->AddChannel(dataset_, checkpoint_key_, anchored_);
+}
+
+void StreamIngestor::EnableCheckpoints(const CheckpointPolicy& policy,
+                                       CheckpointWriter* writer) {
+  if (policy.synchronous || writer == nullptr) {
+    EnableCheckpoints(policy);
+    return;
+  }
+  checkpoints_enabled_ = true;
+  policy_ = policy;
+  if (channel_ == nullptr) {
+    channel_ = writer->AddChannel(dataset_, checkpoint_key_, anchored_);
+  }
 }
 
 Status StreamIngestor::Checkpoint() {
@@ -152,7 +227,17 @@ Status StreamIngestor::Checkpoint() {
     // Finish the interrupted close first so the checkpoint reflects a
     // settled state (and records the roll-in as complete).
     SAMPWH_RETURN_IF_ERROR(CompletePendingClose());
-    if (checkpoints_enabled_) return Status::OK();  // B was just written
+    // In synchronous mode checkpoint B was just written inline; in
+    // asynchronous mode it is only queued, so fall through to the barrier.
+    if (checkpoints_enabled_ && channel_ == nullptr) return Status::OK();
+  }
+  if (channel_ != nullptr) {
+    SAMPWH_RETURN_IF_ERROR(
+        channel_->WriteDurableSnapshot(BuildCheckpointPayload()));
+    anchored_ = true;
+    snapshot_requested_ = false;
+    ResetCadence();
+    return Status::OK();
   }
   return WriteCheckpoint();
 }
@@ -232,15 +317,16 @@ Status StreamIngestor::Flush() {
 Result<std::unique_ptr<StreamIngestor>> StreamIngestor::Resume(
     Warehouse* warehouse, DatasetId dataset,
     std::unique_ptr<Partitioner> partitioner, const CheckpointPolicy& policy,
-    std::string checkpoint_key) {
+    std::string checkpoint_key, CheckpointWriter* shared_writer) {
   if (warehouse == nullptr) {
     return Status::InvalidArgument("null warehouse");
   }
   if (checkpoint_key.empty()) checkpoint_key = dataset;
-  SAMPWH_ASSIGN_OR_RETURN(std::string payload,
-                          warehouse->GetIngestCheckpoint(checkpoint_key));
+  SAMPWH_ASSIGN_OR_RETURN(
+      CheckpointChain chain,
+      warehouse->GetIngestCheckpointChain(checkpoint_key));
   SAMPWH_ASSIGN_OR_RETURN(IngestCheckpoint ckpt,
-                          IngestCheckpoint::Deserialize(payload));
+                          ResolveCheckpointChain(chain));
 
   auto ingestor = std::unique_ptr<StreamIngestor>(new StreamIngestor(
       warehouse, std::move(dataset), std::move(partitioner),
@@ -254,7 +340,10 @@ Result<std::unique_ptr<StreamIngestor>> StreamIngestor::Resume(
                             AnySampler::LoadState(ckpt.sampler_state));
     ingestor->sampler_.emplace(std::move(sampler));
   }
-  ingestor->EnableCheckpoints(policy);
+  // The chain we just resumed from has a verified snapshot generation, so
+  // delta records appended by the new incarnation extend a valid chain.
+  ingestor->anchored_ = true;
+  ingestor->EnableCheckpoints(policy, shared_writer);
 
   if (ckpt.pending.has_value()) {
     // The crash hit the close protocol between checkpoint A and checkpoint
@@ -279,7 +368,7 @@ Result<std::unique_ptr<StreamIngestor>> StreamIngestor::Resume(
       // checkpoint B so a second resume does not re-run this branch
       // against a catalog that moved on.
       ingestor->rolled_in_.push_back(adopted);
-      ingestor->WriteCheckpoint();  // best effort
+      ingestor->WriteCloseComplete();  // best effort
     } else {
       PendingClose pending;
       pending.sample = std::move(sample);

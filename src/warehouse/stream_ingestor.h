@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/core/any_sampler.h"
+#include "src/warehouse/checkpoint_writer.h"
 #include "src/warehouse/partitioner.h"
 #include "src/warehouse/warehouse.h"
 
@@ -32,12 +33,29 @@ namespace sampwh {
 /// optional (0 disables); a checkpoint is also always written around each
 /// partition close (the two-phase close protocol), and Checkpoint() forces
 /// one at any time.
+///
+/// By default checkpoints are ASYNCHRONOUS: the ingest thread snapshots its
+/// state into a lock-free ring and a background CheckpointWriter performs
+/// the store IO — cadence checkpoints become delta-journal appends that are
+/// group-committed off the hot path. Only two writes stay synchronous with
+/// ingest: checkpoint A of a partition close (the exactly-once barrier) and
+/// an explicit Checkpoint() call.
 struct CheckpointPolicy {
   /// Checkpoint after this many applied elements (0: off).
   uint64_t every_n_elements = 0;
   /// Checkpoint when the event-time clock advanced this many ticks since
   /// the last checkpoint (0: off).
   uint64_t every_t_ticks = 0;
+  /// Legacy mode: every cadence checkpoint is a full snapshot written
+  /// inline on the ingest thread.
+  bool synchronous = false;
+  /// Asynchronous mode: how long a queued delta may wait before the writer
+  /// group-commits it.
+  uint64_t group_commit_micros = 2000;
+  /// Asynchronous mode: rotate a fresh full snapshot once the delta journal
+  /// since the last one exceeds either bound.
+  uint64_t snapshot_every_wal_bytes = 1ull << 20;
+  uint64_t snapshot_every_deltas = 1024;
 };
 
 class StreamIngestor {
@@ -86,24 +104,36 @@ class StreamIngestor {
   Status Flush();
 
   /// Turns on the checkpoint protocol (cadence per `policy`; a zero policy
-  /// still checkpoints around partition closes and on Checkpoint()).
+  /// still checkpoints around partition closes and on Checkpoint()). Unless
+  /// policy.synchronous, the ingestor creates its own background
+  /// CheckpointWriter.
   void EnableCheckpoints(const CheckpointPolicy& policy);
 
-  /// Forces a checkpoint of the current state now.
+  /// Variant sharing an external CheckpointWriter (ParallelIngestor runs
+  /// one writer for all stripes). `writer` must outlive the ingestor.
+  void EnableCheckpoints(const CheckpointPolicy& policy,
+                         CheckpointWriter* writer);
+
+  /// Forces a durable checkpoint of the current state now (in asynchronous
+  /// mode this is a barrier through the background writer).
   Status Checkpoint();
 
-  /// Reopens ingestion from the newest valid checkpoint of `dataset`
-  /// (NotFound when none exists). Reconciles a close that was interrupted
-  /// mid-protocol: a pending partition whose roll-in provably completed is
-  /// adopted, one whose roll-in is absent is rolled in now. The returned
-  /// ingestor has checkpoints enabled with `policy`; feed it the source
-  /// stream from next_sequence() (or any earlier replay point) via the
-  /// Append*At entry points. `checkpoint_key` selects a non-default
-  /// checkpoint cursor (empty: the dataset name).
+  /// Reopens ingestion from the newest state-complete record of `dataset`'s
+  /// checkpoint chain — the newest verifiable snapshot generation with its
+  /// delta journal replayed onto it (NotFound when none exists). Reconciles
+  /// a close that was interrupted mid-protocol: a pending partition whose
+  /// roll-in provably completed is adopted, one whose roll-in is absent is
+  /// rolled in now. The returned ingestor has checkpoints enabled with
+  /// `policy`; feed it the source stream from next_sequence() (or any
+  /// earlier replay point) via the Append*At entry points. `checkpoint_key`
+  /// selects a non-default checkpoint cursor (empty: the dataset name);
+  /// `shared_writer` routes asynchronous checkpoints through an external
+  /// CheckpointWriter instead of an owned one.
   static Result<std::unique_ptr<StreamIngestor>> Resume(
       Warehouse* warehouse, DatasetId dataset,
       std::unique_ptr<Partitioner> partitioner,
-      const CheckpointPolicy& policy = {}, std::string checkpoint_key = {});
+      const CheckpointPolicy& policy = {}, std::string checkpoint_key = {},
+      CheckpointWriter* shared_writer = nullptr);
 
   /// The replay watermark: sequence number of the next element to apply.
   uint64_t next_sequence() const { return next_sequence_; }
@@ -138,13 +168,21 @@ class StreamIngestor {
   // policy can actually read it (before ShouldCloseAfter and when closing)
   // — so the per-element hot path pays no sampler query.
   void RefreshSampleSize();
-  /// Serializes the full ingestor state and persists it through the
-  /// warehouse's store; resets the cadence counters on success.
+  /// Serializes the full ingestor state (the IngestCheckpoint payload).
+  std::string BuildCheckpointPayload() const;
+  /// Synchronous full snapshot through the warehouse's store; resets the
+  /// cadence counters on success.
   Status WriteCheckpoint();
+  /// Queues checkpoint B of a close (or its resume-adoption equivalent):
+  /// best-effort — a loss is reconciled by the adoption rule.
+  void WriteCloseComplete();
   /// Cadence check after applied work; checkpoint failures here are
   /// swallowed (the stream stays correct, only resumption granularity
-  /// degrades — the next cadence point retries).
+  /// degrades — the next cadence point retries). In asynchronous mode this
+  /// only snapshots state into the writer's ring; a full ring skips the
+  /// cadence point (backpressure) and retries on the next chunk.
   void MaybeCheckpoint();
+  void ResetCadence();
   /// Smallest partition id that provably did not exist yet (allocator
   /// lower bound for the pending-close adoption rule).
   Result<PartitionId> NextIdLowerBound() const;
@@ -172,6 +210,17 @@ class StreamIngestor {
   CheckpointPolicy policy_;
   uint64_t elements_since_checkpoint_ = 0;
   uint64_t last_checkpoint_tick_ = 0;
+
+  /// Asynchronous mode: the background writer (owned unless shared via the
+  /// EnableCheckpoints overload) and this stream's lane into it.
+  std::unique_ptr<CheckpointWriter> owned_writer_;
+  CheckpointWriter::Channel* channel_ = nullptr;
+  /// A snapshot generation exists (or is queued) for checkpoint_key_, so
+  /// delta records have a chain to extend. Until anchored, every cadence
+  /// point sends a full snapshot.
+  bool anchored_ = false;
+  /// The writer asked for (or a full ring deferred) a compaction snapshot.
+  bool snapshot_requested_ = false;
 };
 
 }  // namespace sampwh

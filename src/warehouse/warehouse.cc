@@ -519,9 +519,26 @@ Status Warehouse::PutIngestCheckpointKeyed(const DatasetId& dataset,
   return store_->PutCheckpoint(key, payload);
 }
 
+Status Warehouse::AppendIngestCheckpointDeltasKeyed(
+    const DatasetId& dataset, const std::string& key,
+    const std::vector<std::string>& records) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (!catalog_.HasDataset(dataset)) {
+      return Status::NotFound("no dataset: " + dataset);
+    }
+  }
+  return store_->AppendCheckpointDeltas(key, records);
+}
+
 Result<std::string> Warehouse::GetIngestCheckpoint(
     const DatasetId& dataset) const {
   return store_->GetCheckpoint(dataset);
+}
+
+Result<CheckpointChain> Warehouse::GetIngestCheckpointChain(
+    const std::string& key) const {
+  return store_->GetCheckpointChain(key);
 }
 
 Status Warehouse::DeleteIngestCheckpoint(const DatasetId& dataset) {

@@ -188,9 +188,23 @@ class Warehouse {
                                   const std::string& key,
                                   std::string_view payload);
 
+  /// Appends delta-journal records to the WAL of `key`'s newest snapshot
+  /// generation (one group commit). Validates that `dataset` exists.
+  /// FailedPrecondition when no snapshot generation exists yet; append
+  /// failures must not be retried (see SampleStore::AppendCheckpointDeltas).
+  Status AppendIngestCheckpointDeltasKeyed(
+      const DatasetId& dataset, const std::string& key,
+      const std::vector<std::string>& records);
+
   /// The newest valid checkpoint payload for `dataset`; NotFound when none
   /// exists.
   Result<std::string> GetIngestCheckpoint(const DatasetId& dataset) const;
+
+  /// The newest verifiable snapshot generation for `key` plus its WAL
+  /// records; resolve with ResolveCheckpointChain(). NotFound when none
+  /// exists.
+  Result<CheckpointChain> GetIngestCheckpointChain(
+      const std::string& key) const;
 
   /// Drops every stored checkpoint generation for `dataset`.
   Status DeleteIngestCheckpoint(const DatasetId& dataset);

@@ -26,6 +26,7 @@
 #include "src/core/bernoulli_sampler.h"
 #include "src/stats/chi_square.h"
 #include "src/stats/uniformity.h"
+#include "src/util/serialization.h"
 
 namespace sampwh {
 namespace {
@@ -204,14 +205,66 @@ TEST(BatchAcceptTest, BothModesFollowTheBinomialCountLaw) {
 }
 
 TEST(BatchAcceptTest, RuntimeDefaultSwitch) {
-  ASSERT_EQ(DefaultBernAcceptMode(), BernAcceptMode::kGeometricSkip);
+  ASSERT_EQ(DefaultBernAcceptMode(), BernAcceptMode::kAuto);
   {
     ScopedAcceptMode scoped(BernAcceptMode::kBitmask);
     EXPECT_EQ(DefaultBernAcceptMode(), BernAcceptMode::kBitmask);
     BernoulliSampler sampler(0.5, Pcg64(1));
     EXPECT_EQ(sampler.accept_mode(), BernAcceptMode::kBitmask);
   }
-  EXPECT_EQ(DefaultBernAcceptMode(), BernAcceptMode::kGeometricSkip);
+  EXPECT_EQ(DefaultBernAcceptMode(), BernAcceptMode::kAuto);
+}
+
+TEST(BatchAcceptTest, AutoResolvesByRateAtConstruction) {
+  // Below the calibrated threshold acceptance is sparse: geometric skips
+  // amortize the RNG cost. At or above it the branch-free mask wins.
+  EXPECT_EQ(BernoulliSampler(0.01, Pcg64(1), BernAcceptMode::kAuto)
+                .accept_mode(),
+            BernAcceptMode::kGeometricSkip);
+  EXPECT_EQ(BernoulliSampler(0.19, Pcg64(1), BernAcceptMode::kAuto)
+                .accept_mode(),
+            BernAcceptMode::kGeometricSkip);
+  EXPECT_EQ(BernoulliSampler(kAutoBitmaskRateThreshold, Pcg64(1),
+                             BernAcceptMode::kAuto)
+                .accept_mode(),
+            BernAcceptMode::kBitmask);
+  EXPECT_EQ(
+      BernoulliSampler(0.5, Pcg64(1), BernAcceptMode::kAuto).accept_mode(),
+      BernAcceptMode::kBitmask);
+}
+
+void ExpectAutoBitIdenticalTo(double q, BernAcceptMode expected) {
+  std::vector<Value> values;
+  for (Value v = 0; v < 4096; ++v) values.push_back(v * 2654435761u);
+  BernoulliSampler auto_mode(q, Pcg64(77), BernAcceptMode::kAuto);
+  BernoulliSampler explicit_mode(q, Pcg64(77), expected);
+  ASSERT_EQ(auto_mode.accept_mode(), expected);
+  auto_mode.AddBatch(values);
+  explicit_mode.AddBatch(values);
+  const PartitionSample a = auto_mode.Finalize();
+  const PartitionSample b = explicit_mode.Finalize();
+  EXPECT_EQ(a.parent_size(), b.parent_size());
+  EXPECT_TRUE(a.histogram() == b.histogram()) << "q=" << q;
+}
+
+TEST(BatchAcceptTest, AutoIsBitIdenticalToExplicitMode) {
+  // kAuto resolves before the constructor's first draw, so the full RNG
+  // stream — and therefore the sample — matches the explicit mode exactly.
+  ExpectAutoBitIdenticalTo(0.05, BernAcceptMode::kGeometricSkip);
+  ExpectAutoBitIdenticalTo(0.35, BernAcceptMode::kBitmask);
+}
+
+TEST(BatchAcceptTest, AutoNeverSerializes) {
+  // Serialized state names the resolved concrete mode; restoring under a
+  // different ambient default must not change the stream.
+  BernoulliSampler sampler(0.5, Pcg64(9), BernAcceptMode::kAuto);
+  ASSERT_EQ(sampler.accept_mode(), BernAcceptMode::kBitmask);
+  BinaryWriter writer;
+  sampler.SaveState(&writer);
+  BinaryReader reader(writer.buffer());
+  Result<BernoulliSampler> restored = BernoulliSampler::LoadState(&reader, 2);
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
+  EXPECT_EQ(restored.value().accept_mode(), BernAcceptMode::kBitmask);
 }
 
 TEST(BatchAcceptTest, AcceptanceModeSurvivesStateRoundTrip) {

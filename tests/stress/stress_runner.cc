@@ -22,10 +22,14 @@
 //      catalog and store back into agreement, and leaves the surviving
 //      partitions queryable.
 //   7. Crash-resumable ingestion: for every sampler kind, a checkpointed
-//      StreamIngestor killed at a seeded arbitrary point (including with a
-//      torn mid-checkpoint write) and resumed against an at-least-once
-//      replay of the stream rolls in samples bit-identical to an
-//      uninterrupted run.
+//      StreamIngestor killed at a seeded arbitrary point and resumed
+//      against an at-least-once replay of the stream rolls in samples
+//      bit-identical to an uninterrupted run. Each round also rotates
+//      through the asynchronous-checkpointing failure modes — a torn
+//      mid-snapshot write, a torn WAL tail (delta append cut mid-record),
+//      and a lost WAL append (crash between the delta append and its
+//      becoming visible) — under an aggressive compaction cadence so
+//      snapshot rotation races the delta/close traffic.
 //   8. Parallel ingest determinism: a multi-shard ParallelIngestor fed by
 //      concurrent producer threads over tiny (high-contention) SPSC rings
 //      rolls in exactly the same sample bytes as a 1-shard serial run of
@@ -512,6 +516,9 @@ class StressRound {
     store_stats_.recovered_temps += s.recovered_temps;
     store_stats_.checkpoints_written += s.checkpoints_written;
     store_stats_.checkpoints_restored += s.checkpoints_restored;
+    store_stats_.wal_appends += s.wal_appends;
+    store_stats_.wal_records_appended += s.wal_records_appended;
+    store_stats_.wal_tails_truncated += s.wal_tails_truncated;
   }
 
   WarehouseOptions ResumeOptions(SamplerKind kind, uint64_t scenario_seed,
@@ -547,15 +554,41 @@ class StressRound {
     return out;
   }
 
-  /// One kill-at-an-arbitrary-point scenario: ingest with checkpoints until
-  /// a seeded kill point (or an injected torn checkpoint write), destroy
-  /// every in-memory object, restore + resume, replay the source stream
-  /// from sequence 0, and demand bit-identity with an uninterrupted run.
-  void RunCrashResumeScenario(SamplerKind kind, bool torn_checkpoint) {
+  /// Asynchronous-checkpointing failure mode injected into one
+  /// crash-resume scenario.
+  enum class CrashFault {
+    kNone,
+    /// A full-snapshot write tears mid-file (the classic torn checkpoint).
+    kTornCheckpoint,
+    /// A WAL delta append is cut mid-record: the tail must be truncated to
+    /// the last whole CRC-verified record on recovery.
+    kTornWalTail,
+    /// A WAL append vanishes entirely — the crash lands between the append
+    /// and the records becoming visible; the chain resolves to an earlier
+    /// (still valid) resume point.
+    kLostWalAppend,
+  };
+
+  static const char* CrashFaultName(CrashFault fault) {
+    switch (fault) {
+      case CrashFault::kNone: return "";
+      case CrashFault::kTornCheckpoint: return ",torn-ckpt";
+      case CrashFault::kTornWalTail: return ",torn-wal";
+      case CrashFault::kLostWalAppend: return ",lost-wal";
+    }
+    return "";
+  }
+
+  /// One kill-at-an-arbitrary-point scenario: ingest with asynchronous
+  /// checkpoints until a seeded kill point (earlier if an injected close-
+  /// barrier fault surfaces), destroy every in-memory object, restore +
+  /// resume, replay the source stream from sequence 0, and demand
+  /// bit-identity with an uninterrupted run.
+  void RunCrashResumeScenario(SamplerKind kind, CrashFault fault) {
     const uint64_t scenario_seed = rng_.NextUint64();
     const std::string label =
         std::string("crash-resume(") + std::string(SamplerKindToString(kind)) +
-        (torn_checkpoint ? ",torn-ckpt)" : ")");
+        CrashFaultName(fault) + ")";
     const std::string ds = "resume";
     const uint64_t total = 1200;
     std::vector<Value> values;
@@ -564,8 +597,12 @@ class StressRound {
       values.push_back(static_cast<Value>(scenario_seed % 4096 + v));
     }
     const uint64_t kill_point = rng_.NextUint64() % (total + 1);
-    const CheckpointPolicy policy{
-        .every_n_elements = 32 + rng_.NextUint64() % 224};
+    CheckpointPolicy policy{.every_n_elements = 32 + rng_.NextUint64() % 224};
+    // Aggressive writer cadences: frequent group commits and a tiny
+    // compaction bound force snapshot rotation to race the delta and close
+    // traffic within the scenario's short lifetime.
+    policy.group_commit_micros = 100 + rng_.NextUint64() % 400;
+    policy.snapshot_every_deltas = 1 + rng_.NextUint64() % 8;
 
     // Uninterrupted reference (in-memory store, same seed => same RNG).
     std::vector<std::string> want;
@@ -589,9 +626,11 @@ class StressRound {
     const WarehouseOptions options =
         ResumeOptions(kind, scenario_seed, manifest);
 
-    // Run 1: checkpointed ingest, killed at kill_point — or earlier if the
-    // torn checkpoint write fires inside the close protocol (checkpoint A
-    // failures surface as IOError; that IS the simulated crash instant).
+    // Run 1: checkpointed ingest, killed at kill_point — or earlier if an
+    // injected fault surfaces through the close-A durability barrier (the
+    // only checkpoint write an async Append still waits on; cadence-path
+    // failures are contained in the background writer, which heals by
+    // promoting the next close to a fresh snapshot).
     {
       auto store = FileSampleStore::Open(subdir);
       if (!store.ok()) {
@@ -599,9 +638,21 @@ class StressRound {
         return;
       }
       auto injector = std::make_shared<FaultInjector>(scenario_seed);
-      if (torn_checkpoint) {
-        injector->Arm(kFaultSiteCheckpointWrite, FaultKind::kTornWrite,
-                      /*count=*/1, /*skip=*/rng_.NextUint64() % 4);
+      switch (fault) {
+        case CrashFault::kNone:
+          break;
+        case CrashFault::kTornCheckpoint:
+          injector->Arm(kFaultSiteCheckpointWrite, FaultKind::kTornWrite,
+                        /*count=*/1, /*skip=*/rng_.NextUint64() % 4);
+          break;
+        case CrashFault::kTornWalTail:
+          injector->Arm(kFaultSiteWalAppend, FaultKind::kTornWrite,
+                        /*count=*/1, /*skip=*/rng_.NextUint64() % 4);
+          break;
+        case CrashFault::kLostWalAppend:
+          injector->Arm(kFaultSiteWalAppend, FaultKind::kCrashBeforeRename,
+                        /*count=*/1, /*skip=*/rng_.NextUint64() % 4);
+          break;
       }
       store.value()->SetFaultInjector(injector);
       Warehouse warehouse(options, std::move(store).value());
@@ -616,7 +667,7 @@ class StressRound {
         const uint64_t chunk = std::min<uint64_t>(kill_point - i, 17);
         const Status s = ingestor.AppendBatchAt(
             i, std::span<const Value>(values).subspan(i, chunk));
-        if (s.IsIOError()) break;  // torn checkpoint write: crash here
+        if (s.IsIOError()) break;  // close-A barrier fault: crash here
         if (!s.ok()) {
           violations_.Add(label + ": ingest: " + Describe(s));
           return;
@@ -777,10 +828,13 @@ class StressRound {
                                              SamplerKind::kHybridReservoir,
                                              SamplerKind::kStratifiedBernoulli};
     for (SamplerKind kind : kKinds) {
-      RunCrashResumeScenario(kind, /*torn_checkpoint=*/false);
+      RunCrashResumeScenario(kind, CrashFault::kNone);
     }
-    // Torn mid-checkpoint write, on a seed-rotated kind.
-    RunCrashResumeScenario(kKinds[seed_ % 3], /*torn_checkpoint=*/true);
+    // Each async-checkpointing failure mode, on seed-rotated kinds.
+    RunCrashResumeScenario(kKinds[seed_ % 3], CrashFault::kTornCheckpoint);
+    RunCrashResumeScenario(kKinds[(seed_ + 1) % 3], CrashFault::kTornWalTail);
+    RunCrashResumeScenario(kKinds[(seed_ + 2) % 3],
+                           CrashFault::kLostWalAppend);
   }
 
   const uint64_t seed_;
@@ -818,7 +872,10 @@ int RunHarness(const HarnessConfig& config) {
               << " quarantines=" << ss.quarantines
               << " recovered_temps=" << ss.recovered_temps
               << " ckpt_written=" << ss.checkpoints_written
-              << " ckpt_restored=" << ss.checkpoints_restored << "\n";
+              << " ckpt_restored=" << ss.checkpoints_restored
+              << " wal_appends=" << ss.wal_appends
+              << " wal_records=" << ss.wal_records_appended
+              << " wal_tails_truncated=" << ss.wal_tails_truncated << "\n";
     for (const std::string& v : violations) {
       std::cout << "  VIOLATION: " << v << "\n";
       ++failures;

@@ -12,6 +12,7 @@
 
 #include "src/core/hybrid_reservoir.h"
 #include "src/util/serialization.h"
+#include "src/warehouse/checkpoint.h"
 #include "src/warehouse/warehouse.h"
 
 namespace sampwh {
@@ -134,6 +135,46 @@ TEST_F(ToolTest, DumpReadsStoreWrittenEnvelopedFiles) {
   bytes[kSampleEnvelopeHeaderBytes] ^= 0x40;
   ASSERT_TRUE(WriteFileAtomic(path, bytes).ok());
   EXPECT_EQ(RunTool("dump " + path), 1);
+}
+
+TEST_F(ToolTest, CheckpointsPrintsChainStructure) {
+  const std::string store_dir = dir_ + "/ckpt_store";
+  {
+    auto store = FileSampleStore::Open(store_dir);
+    ASSERT_TRUE(store.ok());
+    IngestCheckpoint snapshot;
+    snapshot.next_sequence = 100;
+    ASSERT_TRUE(store.value()->PutCheckpoint("ds", snapshot.Serialize()).ok());
+    CheckpointDeltaRecord progress;
+    progress.kind = CheckpointDeltaKind::kProgress;
+    progress.next_sequence = 150;
+    IngestCheckpoint closed;
+    closed.next_sequence = 180;
+    CheckpointDeltaRecord close_record;
+    close_record.kind = CheckpointDeltaKind::kClosePending;
+    close_record.checkpoint_payload = closed.Serialize();
+    ASSERT_TRUE(store.value()
+                    ->AppendCheckpointDeltas(
+                        "ds", {progress.Serialize(), close_record.Serialize()})
+                    .ok());
+  }
+  const std::string out_path = dir_ + "/checkpoints.out";
+  const std::string command =
+      ToolPath() + " checkpoints " + store_dir + " > " + out_path + " 2>&1";
+  ASSERT_EQ(WEXITSTATUS(std::system(command.c_str())), 0);
+  std::string out;
+  ASSERT_TRUE(ReadFile(out_path, &out).ok());
+  // Summary line resolves the chain to the close-pending record's watermark.
+  EXPECT_NE(out.find("dataset ds: watermark 180"), std::string::npos) << out;
+  EXPECT_NE(out.find("snapshot verified, 2 delta record(s)"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("progress      watermark 150, crc ok, verified"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("close-pending watermark 180, crc ok, verified"),
+            std::string::npos)
+      << out;
 }
 
 TEST_F(ToolTest, InspectRestoredWarehouse) {

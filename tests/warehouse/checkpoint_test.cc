@@ -5,6 +5,8 @@
 // checkpoint and, fed an at-least-once replay of the source stream,
 // produces rolled-in samples bit-identical to an uninterrupted run.
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -147,8 +149,11 @@ TEST(IngestCheckpointTest, VerifyRejectsUndedecodableEmbeddedRecords) {
 class CheckpointStoreTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Per process AND per test: parallel ctest may run other processes'
+    // WAL/snapshot cases concurrently, and a shared directory would be
+    // remove_all'd mid-test.
     dir_ = (std::filesystem::temp_directory_path() /
-            ("sampwh_ckpt_" +
+            ("sampwh_ckpt_" + std::to_string(::getpid()) + "_" +
              std::string(::testing::UnitTest::GetInstance()
                              ->current_test_info()
                              ->name())))
@@ -275,6 +280,283 @@ TEST_F(CheckpointStoreTest, RecoverQuarantinesCorruptCheckpointFile) {
   ASSERT_EQ(report.value().quarantined_checkpoints.size(), 1u);
   EXPECT_TRUE(store->GetCheckpoint("events").status().IsNotFound());
   EXPECT_TRUE(std::filesystem::exists(path + ".quarantine"));
+  EXPECT_GE(store->GetStoreStats().quarantines, 1u);
+}
+
+// --- Delta records, WAL framing and chains --------------------------------
+
+CheckpointDeltaRecord ProgressDelta(uint64_t sequence) {
+  CheckpointDeltaRecord rec;
+  rec.kind = CheckpointDeltaKind::kProgress;
+  rec.next_sequence = sequence;
+  rec.partitions_started = 1;
+  rec.rng = Pcg64(sequence).SaveState();
+  rec.progress.elements = sequence % 97;
+  return rec;
+}
+
+std::string CloseDeltaPayload(uint64_t sequence) {
+  CheckpointDeltaRecord rec;
+  rec.kind = CheckpointDeltaKind::kClosePending;
+  rec.checkpoint_payload = MinimalCheckpointPayload(sequence);
+  return rec.Serialize();
+}
+
+TEST(CheckpointDeltaTest, RecordRoundTripAndDamageRejection) {
+  const CheckpointDeltaRecord progress = ProgressDelta(4242);
+  const std::string bytes = progress.Serialize();
+  auto round = CheckpointDeltaRecord::Deserialize(bytes);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round.value().kind, CheckpointDeltaKind::kProgress);
+  EXPECT_EQ(round.value().next_sequence, 4242u);
+  EXPECT_EQ(round.value().partitions_started, 1u);
+  EXPECT_EQ(round.value().rng.state_lo, progress.rng.state_lo);
+  EXPECT_EQ(round.value().progress.elements, progress.progress.elements);
+  EXPECT_TRUE(VerifyCheckpointDeltaPayload(bytes).ok());
+
+  const std::string close = CloseDeltaPayload(77);
+  auto close_round = CheckpointDeltaRecord::Deserialize(close);
+  ASSERT_TRUE(close_round.ok());
+  EXPECT_EQ(close_round.value().kind, CheckpointDeltaKind::kClosePending);
+  EXPECT_TRUE(VerifyCheckpointDeltaPayload(close).ok());
+
+  EXPECT_FALSE(CheckpointDeltaRecord::Deserialize("").ok());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(CheckpointDeltaRecord::Deserialize(bytes.substr(0, len)).ok())
+        << "accepted a record truncated to " << len << " bytes";
+  }
+  // A close record whose embedded checkpoint is garbage passes the shallow
+  // decode only; deep verification must reject it.
+  CheckpointDeltaRecord bad_close;
+  bad_close.kind = CheckpointDeltaKind::kClosePending;
+  bad_close.checkpoint_payload = "junk that is not a checkpoint";
+  EXPECT_FALSE(VerifyCheckpointDeltaPayload(bad_close.Serialize()).ok());
+}
+
+TEST(CheckpointDeltaTest, WalParseStopsAtTearOrBitRot) {
+  std::string wal;
+  const std::vector<std::string> payloads = {ProgressDelta(10).Serialize(),
+                                             CloseDeltaPayload(20),
+                                             ProgressDelta(30).Serialize()};
+  for (const std::string& p : payloads) AppendCheckpointWalFrame(&wal, p);
+
+  CheckpointWalParse whole = ParseCheckpointWal(wal);
+  EXPECT_EQ(whole.records, payloads);
+  EXPECT_EQ(whole.valid_bytes, wal.size());
+  EXPECT_FALSE(whole.torn_tail);
+
+  // A tear anywhere inside the last frame keeps the first two records.
+  CheckpointWalParse torn = ParseCheckpointWal(
+      std::string_view(wal).substr(0, wal.size() - 3));
+  EXPECT_EQ(torn.records.size(), 2u);
+  EXPECT_TRUE(torn.torn_tail);
+  EXPECT_EQ(torn.valid_bytes,
+            2 * kCheckpointWalFrameBytes + payloads[0].size() +
+                payloads[1].size());
+
+  // Bit rot in the middle record: CRC stops the scan at record one.
+  std::string rotted = wal;
+  rotted[kCheckpointWalFrameBytes + payloads[0].size() +
+         kCheckpointWalFrameBytes + 2] ^= 0x40;
+  CheckpointWalParse bit = ParseCheckpointWal(rotted);
+  EXPECT_EQ(bit.records.size(), 1u);
+  EXPECT_TRUE(bit.torn_tail);
+}
+
+TEST(CheckpointDeltaTest, ResolveChainPrefersNewestStateCompleteRecord) {
+  CheckpointChain chain;
+  chain.generation = 3;
+  chain.snapshot = MinimalCheckpointPayload(100);
+
+  auto snapshot_only = ResolveCheckpointChain(chain);
+  ASSERT_TRUE(snapshot_only.ok());
+  EXPECT_EQ(snapshot_only.value().next_sequence, 100u);
+
+  // Progress deltas are liveness only: they never advance the resume point
+  // (the sampler state at their watermark was never persisted).
+  chain.deltas.push_back(ProgressDelta(150).Serialize());
+  auto with_progress = ResolveCheckpointChain(chain);
+  ASSERT_TRUE(with_progress.ok());
+  EXPECT_EQ(with_progress.value().next_sequence, 100u);
+
+  // A close record is state-complete and overrides the snapshot.
+  chain.deltas.push_back(CloseDeltaPayload(180));
+  auto with_close = ResolveCheckpointChain(chain);
+  ASSERT_TRUE(with_close.ok());
+  EXPECT_EQ(with_close.value().next_sequence, 180u);
+
+  // A trailing progress record after the close still does not advance it.
+  chain.deltas.push_back(ProgressDelta(200).Serialize());
+  auto trailing = ResolveCheckpointChain(chain);
+  ASSERT_TRUE(trailing.ok());
+  EXPECT_EQ(trailing.value().next_sequence, 180u);
+}
+
+void ExerciseWalAppendAndChain(SampleStore& store) {
+  // No snapshot generation yet: nothing to own the WAL.
+  EXPECT_TRUE(store
+                  .AppendCheckpointDeltas("events",
+                                          {ProgressDelta(1).Serialize()})
+                  .IsFailedPrecondition());
+
+  const std::string snap = MinimalCheckpointPayload(100);
+  ASSERT_TRUE(store.PutCheckpoint("events", snap).ok());
+  const std::vector<std::string> batch = {ProgressDelta(150).Serialize(),
+                                          CloseDeltaPayload(180)};
+  ASSERT_TRUE(store.AppendCheckpointDeltas("events", batch).ok());
+
+  auto chain = store.GetCheckpointChain("events");
+  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  EXPECT_EQ(chain.value().snapshot, snap);
+  EXPECT_EQ(chain.value().deltas, batch);
+  EXPECT_FALSE(chain.value().torn_tail);
+  auto resolved = ResolveCheckpointChain(chain.value());
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved.value().next_sequence, 180u);
+
+  // Rotation: a new snapshot generation starts a fresh, empty WAL.
+  const std::string snap2 = MinimalCheckpointPayload(300);
+  ASSERT_TRUE(store.PutCheckpoint("events", snap2).ok());
+  auto rotated = store.GetCheckpointChain("events");
+  ASSERT_TRUE(rotated.ok());
+  EXPECT_GT(rotated.value().generation, chain.value().generation);
+  EXPECT_EQ(rotated.value().snapshot, snap2);
+  EXPECT_TRUE(rotated.value().deltas.empty());
+
+  const StoreStats stats = store.GetStoreStats();
+  EXPECT_EQ(stats.wal_appends, 1u);
+  EXPECT_EQ(stats.wal_records_appended, 2u);
+}
+
+TEST_F(CheckpointStoreTest, WalAppendAndChainOnFileBackend) {
+  auto store = OpenStore();
+  ExerciseWalAppendAndChain(*store);
+}
+
+TEST(CheckpointStoreInMemoryTest, WalAppendAndChainOnInMemoryBackend) {
+  InMemorySampleStore store;
+  ExerciseWalAppendAndChain(store);
+}
+
+void ExerciseTornWalAppendRecovery(SampleStore& store) {
+  ASSERT_TRUE(
+      store.PutCheckpoint("events", MinimalCheckpointPayload(100)).ok());
+  const std::vector<std::string> good = {ProgressDelta(150).Serialize()};
+  ASSERT_TRUE(store.AppendCheckpointDeltas("events", good).ok());
+
+  // A single-record batch torn mid-append always cuts inside the frame.
+  auto injector = std::make_shared<FaultInjector>(23);
+  injector->Arm(kFaultSiteWalAppend, FaultKind::kTornWrite);
+  store.SetFaultInjector(injector);
+  EXPECT_TRUE(store.AppendCheckpointDeltas("events", {CloseDeltaPayload(180)})
+                  .IsIOError());
+  store.SetFaultInjector(nullptr);
+
+  // Reads already skip the torn tail...
+  auto chain = store.GetCheckpointChain("events");
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain.value().deltas, good);
+  EXPECT_TRUE(chain.value().torn_tail);
+
+  // ...and Recover() truncates it to the last whole CRC-verified record.
+  auto report = store.Recover();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report.value().truncated_wal_tails.size(), 1u);
+  EXPECT_GE(store.GetStoreStats().wal_tails_truncated, 1u);
+  auto truncated = store.GetCheckpointChain("events");
+  ASSERT_TRUE(truncated.ok());
+  EXPECT_EQ(truncated.value().deltas, good);
+  EXPECT_FALSE(truncated.value().torn_tail);
+
+  // The truncated WAL is clean: appends extend it again.
+  ASSERT_TRUE(
+      store.AppendCheckpointDeltas("events", {CloseDeltaPayload(200)}).ok());
+  auto extended = store.GetCheckpointChain("events");
+  ASSERT_TRUE(extended.ok());
+  auto resolved = ResolveCheckpointChain(extended.value());
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved.value().next_sequence, 200u);
+}
+
+TEST_F(CheckpointStoreTest, TornWalAppendIsTruncatedOnRecover) {
+  auto store = OpenStore();
+  ExerciseTornWalAppendRecovery(*store);
+}
+
+TEST(CheckpointStoreInMemoryTest, TornWalAppendIsTruncatedOnRecover) {
+  InMemorySampleStore store;
+  ExerciseTornWalAppendRecovery(store);
+}
+
+TEST_F(CheckpointStoreTest, RecoverQuarantinesOrphanedWal) {
+  {
+    auto store = OpenStore();
+    ASSERT_TRUE(
+        store->PutCheckpoint("events", MinimalCheckpointPayload(7)).ok());
+    ASSERT_TRUE(store
+                    ->AppendCheckpointDeltas(
+                        "events", {ProgressDelta(9).Serialize()})
+                    .ok());
+  }
+  // A WAL whose generation has no snapshot: the crash artifact of a torn
+  // PutCheckpoint that already lost its .ckpt file.
+  const std::string orphan = dir_ + "/events.999.wal";
+  {
+    std::ofstream f(orphan, std::ios::binary);
+    std::string wal;
+    AppendCheckpointWalFrame(&wal, ProgressDelta(11).Serialize());
+    f.write(wal.data(), static_cast<std::streamsize>(wal.size()));
+  }
+
+  auto store = OpenStore();
+  auto report = store->Recover();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report.value().orphaned_wals.size(), 1u);
+  EXPECT_FALSE(std::filesystem::exists(orphan));
+  EXPECT_TRUE(std::filesystem::exists(orphan + ".quarantine"));
+
+  // The live generation's WAL survived untouched.
+  auto chain = store->GetCheckpointChain("events");
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain.value().deltas.size(), 1u);
+}
+
+TEST_F(CheckpointStoreTest, CorruptSnapshotQuarantinesItsWal) {
+  auto store = OpenStore();
+  const std::string old_snap = MinimalCheckpointPayload(100);
+  const std::string new_snap = MinimalCheckpointPayload(200);
+  ASSERT_TRUE(store->PutCheckpoint("events", old_snap).ok());
+  ASSERT_TRUE(store->PutCheckpoint("events", new_snap).ok());
+  ASSERT_TRUE(store
+                  ->AppendCheckpointDeltas("events",
+                                           {ProgressDelta(250).Serialize()})
+                  .ok());
+  // Bit-rot the newest snapshot; its WAL must fall with it — the deltas
+  // extend a state we can no longer read, not the older generation.
+  std::string newest_ckpt;
+  uint64_t newest_gen = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() != ".ckpt") continue;
+    const std::string stem = entry.path().stem().string();
+    const uint64_t gen =
+        std::stoull(stem.substr(stem.find_last_of('.') + 1));
+    if (gen > newest_gen) {
+      newest_gen = gen;
+      newest_ckpt = entry.path().string();
+    }
+  }
+  ASSERT_FALSE(newest_ckpt.empty());
+  {
+    std::fstream f(newest_ckpt,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(10);
+    f.put('\xff');
+  }
+
+  auto chain = store->GetCheckpointChain("events");
+  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  EXPECT_EQ(chain.value().snapshot, old_snap);
+  EXPECT_TRUE(chain.value().deltas.empty());
   EXPECT_GE(store->GetStoreStats().quarantines, 1u);
 }
 
