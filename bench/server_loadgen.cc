@@ -1,0 +1,361 @@
+// Warehouse-server load generator: measures the RPC query path end to end
+// against in-process shard deployments.
+//
+// For every node count in {1, 2, 4} the harness starts that many
+// WarehouseServer instances on ephemeral loopback ports, places a fixed
+// partition population through a ShardCoordinator, and first asserts the
+// distributed-exactness contract: the coordinator's merged sample — full
+// union and random subsets — is byte-for-byte identical to a single
+// embedded warehouse holding every partition under the same seed and
+// merge options. Then, for every client count in {1, 4, 16}, that many
+// closed-loop client threads (each with its own coordinator connection
+// set) issue random-subset queries for a fixed wall-time window, yielding
+// sustained qps and p50/p95/p99 latency per cell of the matrix.
+//
+// Results go to stdout as a table and to BENCH_server.json in the working
+// directory. --smoke (or SERVER_BENCH_SMOKE=1) runs a reduced matrix in a
+// couple of seconds for CI. The gate is correctness, not speed: exactness
+// must hold in every deployment and the servers must finish with zero
+// protocol errors; either failure exits 1.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/core/types.h"
+#include "src/server/coordinator.h"
+#include "src/server/server.h"
+#include "src/util/logging.h"
+#include "src/util/random.h"
+#include "src/util/serialization.h"
+#include "src/util/timer.h"
+#include "src/warehouse/warehouse.h"
+
+namespace sampwh::bench {
+namespace {
+
+constexpr uint64_t kSeed = 0x5157313136ULL;
+constexpr char kTenant[] = "bench";
+constexpr char kDataset[] = "load";
+
+struct BenchParams {
+  bool smoke = false;
+  std::vector<size_t> node_counts;
+  std::vector<unsigned> client_counts;
+  uint64_t partitions = 0;
+  uint64_t per_partition_values = 0;
+  uint64_t merge_bound_bytes = 0;
+  int exactness_subsets = 0;
+  double window_seconds = 0.0;
+};
+
+BenchParams MakeParams(bool smoke) {
+  BenchParams p;
+  p.smoke = smoke;
+  if (smoke) {
+    p.node_counts = {1, 2};
+    p.client_counts = {1, 4};
+    p.partitions = 12;
+    p.per_partition_values = 8;
+    p.exactness_subsets = 8;
+    p.window_seconds = 0.15;
+  } else {
+    p.node_counts = {1, 2, 4};
+    p.client_counts = {1, 4, 16};
+    p.partitions = 32;
+    p.per_partition_values = 16;
+    p.exactness_subsets = 25;
+    p.window_seconds = 1.0;
+  }
+  p.merge_bound_bytes = 16 * kSingletonFootprintBytes;
+  return p;
+}
+
+struct CellResult {
+  size_t nodes = 0;
+  unsigned clients = 0;
+  uint64_t requests = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// One shard deployment: N in-process servers plus the addresses client
+/// threads dial their own coordinators against.
+struct Deployment {
+  std::vector<std::unique_ptr<WarehouseServer>> servers;
+  std::vector<ShardNodeAddress> addresses;
+  std::vector<PartitionId> ids;
+};
+
+ServerOptions NodeOptions(const BenchParams& params) {
+  ServerOptions options;
+  options.port = 0;  // ephemeral; read back via port()
+  options.warehouse.seed = kSeed;
+  options.warehouse.merge_memo_bytes = 4u << 20;
+  options.warehouse.merge.footprint_bound_bytes = params.merge_bound_bytes;
+  return options;
+}
+
+CoordinatorOptions CoordOptions(const BenchParams& params) {
+  CoordinatorOptions options;
+  options.seed = kSeed;
+  options.merge.footprint_bound_bytes = params.merge_bound_bytes;
+  return options;
+}
+
+PartitionSample MakeSample(const BenchParams& params, uint64_t partition) {
+  CompactHistogram h;
+  for (uint64_t i = 0; i < params.per_partition_values; ++i) {
+    h.Insert(static_cast<Value>(partition * 1000 + i), 1);
+  }
+  return PartitionSample::MakeReservoir(
+      h, params.per_partition_values,
+      params.per_partition_values * kSingletonFootprintBytes);
+}
+
+std::string SampleBytes(const PartitionSample& sample) {
+  BinaryWriter writer;
+  sample.SerializeTo(&writer);
+  return writer.Release();
+}
+
+/// A random nonempty subset of `ids` (each id kept with probability 1/2).
+std::vector<PartitionId> RandomSubset(const std::vector<PartitionId>& ids,
+                                      Pcg64& rng) {
+  std::vector<PartitionId> subset;
+  for (const PartitionId id : ids) {
+    if (rng.Bernoulli(0.5)) subset.push_back(id);
+  }
+  if (subset.empty()) subset.push_back(ids[rng.UniformInt(ids.size())]);
+  return subset;
+}
+
+Deployment StartDeployment(const BenchParams& params, size_t num_nodes) {
+  Deployment d;
+  for (size_t i = 0; i < num_nodes; ++i) {
+    auto server = WarehouseServer::Start(NodeOptions(params));
+    SAMPWH_CHECK(server.ok());
+    d.addresses.push_back(
+        {server.value()->host(), server.value()->port()});
+    d.servers.push_back(std::move(server).value());
+  }
+  auto coordinator =
+      ShardCoordinator::Connect(d.addresses, CoordOptions(params));
+  SAMPWH_CHECK(coordinator.ok());
+  ShardCoordinator& coord = *coordinator.value();
+  SAMPWH_CHECK(coord.CreateTenant(kTenant, {}).ok());
+  SAMPWH_CHECK(coord.CreateDataset(kTenant, kDataset).ok());
+  for (uint64_t p = 0; p < params.partitions; ++p) {
+    auto id = coord.RollIn(kTenant, kDataset, MakeSample(params, p), p, p);
+    SAMPWH_CHECK(id.ok());
+    d.ids.push_back(id.value());
+  }
+  return d;
+}
+
+/// The contract the throughput numbers are only meaningful under: the
+/// distributed merge is bit-identical to a single node holding every
+/// partition — for the full union and for random subsets.
+bool CheckExactness(const BenchParams& params, const Deployment& d) {
+  auto coordinator =
+      ShardCoordinator::Connect(d.addresses, CoordOptions(params));
+  SAMPWH_CHECK(coordinator.ok());
+  ShardCoordinator& coord = *coordinator.value();
+
+  ServerOptions reference_options = NodeOptions(params);
+  Warehouse reference(reference_options.warehouse);
+  const DatasetId key = std::string(kTenant) + "." + kDataset;
+  SAMPWH_CHECK(reference.CreateDataset(key).ok());
+  for (uint64_t p = 0; p < params.partitions; ++p) {
+    SAMPWH_CHECK(
+        reference.RollInAt(key, d.ids[p], MakeSample(params, p), p, p).ok());
+  }
+
+  auto distributed = coord.Query(kTenant, kDataset);
+  auto local = reference.MergedSampleAll(key);
+  SAMPWH_CHECK(distributed.ok() && local.ok());
+  if (SampleBytes(distributed.value()) != SampleBytes(local.value())) {
+    std::fprintf(stderr, "exactness: full union diverged at %zu nodes\n",
+                 d.servers.size());
+    return false;
+  }
+
+  Pcg64 rng(kSeed, d.servers.size());
+  for (int s = 0; s < params.exactness_subsets; ++s) {
+    const std::vector<PartitionId> subset = RandomSubset(d.ids, rng);
+    auto remote = coord.Query(kTenant, kDataset, subset);
+    auto expected = reference.MergedSample(key, subset);
+    SAMPWH_CHECK(remote.ok() && expected.ok());
+    if (SampleBytes(remote.value()) != SampleBytes(expected.value())) {
+      std::fprintf(stderr, "exactness: subset %d diverged at %zu nodes\n", s,
+                   d.servers.size());
+      return false;
+    }
+  }
+  return true;
+}
+
+CellResult RunCell(const BenchParams& params, const Deployment& d,
+                   unsigned clients) {
+  // Each client thread dials its own connection set before the timed
+  // window opens; the closed loop issues random-subset queries until the
+  // stop flag flips.
+  std::atomic<unsigned> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto coordinator =
+          ShardCoordinator::Connect(d.addresses, CoordOptions(params));
+      SAMPWH_CHECK(coordinator.ok());
+      ShardCoordinator& coord = *coordinator.value();
+      Pcg64 rng(kSeed ^ 0x10adull, c + 1);
+      std::vector<double>& lat = latencies[c];
+      lat.reserve(4096);
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::vector<PartitionId> subset = RandomSubset(d.ids, rng);
+        WallTimer timer;
+        auto merged = coord.Query(kTenant, kDataset, subset);
+        SAMPWH_CHECK(merged.ok());
+        lat.push_back(timer.ElapsedSeconds());
+      }
+    });
+  }
+  while (ready.load() < clients) std::this_thread::yield();
+  WallTimer window;
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(params.window_seconds));
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+  const double elapsed = window.ElapsedSeconds();
+
+  std::vector<double> all;
+  for (const std::vector<double>& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  std::sort(all.begin(), all.end());
+  const auto percentile_ms = [&all](double q) {
+    if (all.empty()) return 0.0;
+    const size_t index = std::min(
+        all.size() - 1, static_cast<size_t>(q * static_cast<double>(
+                                                    all.size())));
+    return all[index] * 1e3;
+  };
+
+  CellResult cell;
+  cell.nodes = d.servers.size();
+  cell.clients = clients;
+  cell.requests = all.size();
+  cell.qps = static_cast<double>(all.size()) / elapsed;
+  cell.p50_ms = percentile_ms(0.50);
+  cell.p95_ms = percentile_ms(0.95);
+  cell.p99_ms = percentile_ms(0.99);
+  return cell;
+}
+
+bool WriteJson(const std::string& path, const BenchParams& params,
+               const std::vector<CellResult>& cells, bool exactness_passed,
+               uint64_t protocol_errors, bool gate_passed) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"config\": {\"smoke\": " << (params.smoke ? "true" : "false")
+      << ", \"partitions\": " << params.partitions
+      << ", \"per_partition_values\": " << params.per_partition_values
+      << ", \"window_seconds\": " << params.window_seconds
+      << ", \"store\": \"memory\", \"hardware_threads\": "
+      << HardwareThreads() << "},\n";
+  out << "  \"series\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    out << "    {\"nodes\": " << c.nodes << ", \"clients\": " << c.clients
+        << ", \"requests\": " << c.requests << ", \"qps\": " << c.qps
+        << ", \"p50_ms\": " << c.p50_ms << ", \"p95_ms\": " << c.p95_ms
+        << ", \"p99_ms\": " << c.p99_ms << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"gate\": {\"exactness_passed\": "
+      << (exactness_passed ? "true" : "false")
+      << ", \"protocol_errors\": " << protocol_errors
+      << ", \"passed\": " << (gate_passed ? "true" : "false") << "}\n";
+  out << "}\n";
+  return out.good();
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  if (const char* env = std::getenv("SERVER_BENCH_SMOKE");
+      env != nullptr && env[0] != '\0' && env[0] != '0') {
+    smoke = true;
+  }
+  const BenchParams params = MakeParams(smoke);
+
+  std::printf("Warehouse-server query load%s: %llu partitions, "
+              "random-subset unions\n",
+              smoke ? " (smoke)" : "",
+              static_cast<unsigned long long>(params.partitions));
+  std::printf("%-6s %-8s %10s %10s %10s %10s %10s\n", "nodes", "clients",
+              "requests", "qps", "p50_ms", "p95_ms", "p99_ms");
+
+  std::vector<CellResult> cells;
+  bool exactness_passed = true;
+  uint64_t protocol_errors = 0;
+  for (const size_t nodes : params.node_counts) {
+    Deployment d = StartDeployment(params, nodes);
+    exactness_passed = CheckExactness(params, d) && exactness_passed;
+    for (const unsigned clients : params.client_counts) {
+      cells.push_back(RunCell(params, d, clients));
+      const CellResult& c = cells.back();
+      std::printf("%-6zu %-8u %10llu %10.0f %10.3f %10.3f %10.3f\n", c.nodes,
+                  c.clients, static_cast<unsigned long long>(c.requests),
+                  c.qps, c.p50_ms, c.p95_ms, c.p99_ms);
+    }
+    for (const auto& server : d.servers) {
+      protocol_errors += server->stats().protocol_errors;
+    }
+  }
+
+  const bool gate_passed = exactness_passed && protocol_errors == 0;
+  if (!WriteJson("BENCH_server.json", params, cells, exactness_passed,
+                 protocol_errors, gate_passed)) {
+    std::fprintf(stderr, "failed to write BENCH_server.json\n");
+    return 1;
+  }
+  std::printf("Wrote BENCH_server.json\n");
+  if (!gate_passed) {
+    std::fprintf(stderr,
+                 "FAIL: exactness_passed=%d protocol_errors=%llu\n",
+                 exactness_passed ? 1 : 0,
+                 static_cast<unsigned long long>(protocol_errors));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sampwh::bench
+
+int main(int argc, char** argv) { return sampwh::bench::Main(argc, argv); }

@@ -43,8 +43,10 @@ run_config() {
 
 if [[ "${mode}" == "tsan" ]]; then
   # ThreadSanitizer pass over the concurrency-sensitive surface: the
-  # gtest binaries covering the store/cache/warehouse layers plus the
-  # stress smoke. gtest binaries exit nonzero on failure, and TSan with
+  # gtest binaries covering the store/cache/warehouse layers, the
+  # warehouse-server battery (thread-per-connection daemon + robustness
+  # corpus; needs sampwh_tool for the crash-resume case) and the stress
+  # smoke. gtest binaries exit nonzero on failure, and TSan with
   # halt_on_error aborts on the first race, so plain invocation gates.
   dir="build-check/tsan"
   echo "=== [tsan] configure ==="
@@ -55,9 +57,10 @@ if [[ "${mode}" == "tsan" ]]; then
   echo "=== [tsan] build ==="
   cmake --build "${dir}" -j "$(nproc)" --target \
     sampwh_util_test sampwh_warehouse_test sampwh_integration_test \
-    stress_runner
+    sampwh_server_test sampwh_tool stress_runner
   export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
-  for bin in sampwh_util_test sampwh_warehouse_test sampwh_integration_test; do
+  for bin in sampwh_util_test sampwh_warehouse_test sampwh_integration_test \
+             sampwh_server_test; do
     echo "=== [tsan] ${bin} ==="
     "${dir}/tests/${bin}"
   done
@@ -98,6 +101,13 @@ echo "=== [relwithdebinfo] query bench (smoke) ==="
 # onto the hot path fails here) or a cadence writing no snapshot at all.
 echo "=== [relwithdebinfo] ingest bench (smoke) ==="
 (cd build-check/relwithdebinfo/bench && ./bench_ingest_throughput --smoke)
+
+# Server smoke bench (~2 s): in-process shard deployments driven by
+# closed-loop RPC clients. Fails if the distributed merge stops being
+# bit-identical to the single-node reference or any server records a
+# protocol error under load.
+echo "=== [relwithdebinfo] server bench (smoke) ==="
+(cd build-check/relwithdebinfo/bench && ./bench_server_loadgen --smoke)
 
 # Fault-injection stress smoke (~2 s): seeded concurrent
 # ingest/query/roll-out rounds against an injected store, checking the

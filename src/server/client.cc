@@ -1,0 +1,331 @@
+#include "src/server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace sampwh {
+
+namespace {
+
+void PutScope(BinaryWriter* w, const std::string& tenant,
+              const std::string& dataset) {
+  w->PutString(tenant);
+  w->PutString(dataset);
+}
+
+void PutQuota(BinaryWriter* w, const TenantQuota& q) {
+  w->PutVarint64(q.max_bytes);
+  w->PutVarint64(q.max_partitions);
+  w->PutVarint64(q.max_datasets);
+}
+
+}  // namespace
+
+WarehouseClient::WarehouseClient(int fd, ClientOptions options)
+    : fd_(fd), options_(options) {}
+
+WarehouseClient::~WarehouseClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<WarehouseClient>> WarehouseClient::Connect(
+    const std::string& host, uint16_t port, ClientOptions options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("unparseable host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status st = Status::IOError(std::string("connect ") + host + ":" +
+                                      std::to_string(port) + ": " +
+                                      std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options.read_timeout_millis > 0) {
+    timeval tv{};
+    tv.tv_sec = options.read_timeout_millis / 1000;
+    tv.tv_usec = (options.read_timeout_millis % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  return std::unique_ptr<WarehouseClient>(new WarehouseClient(fd, options));
+}
+
+Result<std::string> WarehouseClient::Call(Verb verb, std::string_view body) {
+  if (!broken_.ok()) return broken_;
+  BinaryWriter req;
+  BeginRequest(&req, verb);
+  req.PutRaw(body.data(), body.size());
+  Status st = WriteFrame(fd_, req.Release());
+  if (!st.ok()) {
+    broken_ = st;
+    return st;
+  }
+  std::string payload;
+  st = ReadFrame(fd_, options_.max_frame_bytes, &payload);
+  if (!st.ok()) {
+    // Clean EOF here means the server closed on us mid-conversation.
+    broken_ = st.IsNotFound() ? Status::IOError("server closed connection")
+                              : st;
+    return broken_;
+  }
+  BinaryReader reader(payload);
+  SAMPWH_RETURN_IF_ERROR(ParseResponseHead(&reader));
+  std::string out(payload.substr(payload.size() - reader.remaining()));
+  return out;
+}
+
+Result<std::string> WarehouseClient::Ping() {
+  SAMPWH_ASSIGN_OR_RETURN(const std::string body, Call(Verb::kPing, {}));
+  BinaryReader reader(body);
+  std::string banner;
+  SAMPWH_RETURN_IF_ERROR(reader.GetString(&banner));
+  return banner;
+}
+
+Result<RemoteServerStats> WarehouseClient::ServerStats() {
+  SAMPWH_ASSIGN_OR_RETURN(const std::string body,
+                          Call(Verb::kServerStats, {}));
+  BinaryReader reader(body);
+  RemoteServerStats s;
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&s.connections_accepted));
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&s.connections_dropped));
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&s.requests_served));
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&s.error_responses));
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&s.protocol_errors));
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&s.num_datasets));
+  return s;
+}
+
+Status WarehouseClient::Shutdown() {
+  return Call(Verb::kShutdown, {}).status();
+}
+
+Status WarehouseClient::CreateTenant(const std::string& tenant,
+                                     const TenantQuota& quota) {
+  BinaryWriter body;
+  body.PutString(tenant);
+  PutQuota(&body, quota);
+  return Call(Verb::kCreateTenant, body.Release()).status();
+}
+
+Status WarehouseClient::SetTenantQuota(const std::string& tenant,
+                                       const TenantQuota& quota) {
+  BinaryWriter body;
+  body.PutString(tenant);
+  PutQuota(&body, quota);
+  return Call(Verb::kSetTenantQuota, body.Release()).status();
+}
+
+Result<TenantStats> WarehouseClient::GetTenantStats(
+    const std::string& tenant) {
+  BinaryWriter body;
+  body.PutString(tenant);
+  SAMPWH_ASSIGN_OR_RETURN(const std::string resp,
+                          Call(Verb::kTenantStats, body.Release()));
+  BinaryReader reader(resp);
+  TenantStats stats;
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&stats.quota.max_bytes));
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&stats.quota.max_partitions));
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&stats.quota.max_datasets));
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&stats.usage.bytes));
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&stats.usage.partitions));
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&stats.usage.datasets));
+  return stats;
+}
+
+Result<std::vector<std::string>> WarehouseClient::ListTenants() {
+  SAMPWH_ASSIGN_OR_RETURN(const std::string resp,
+                          Call(Verb::kListTenants, {}));
+  BinaryReader reader(resp);
+  uint64_t n = 0;
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&n));
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    SAMPWH_RETURN_IF_ERROR(reader.GetString(&name));
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+Status WarehouseClient::CreateDataset(const std::string& tenant,
+                                      const std::string& dataset) {
+  BinaryWriter body;
+  PutScope(&body, tenant, dataset);
+  return Call(Verb::kCreateDataset, body.Release()).status();
+}
+
+Status WarehouseClient::DropDataset(const std::string& tenant,
+                                    const std::string& dataset) {
+  BinaryWriter body;
+  PutScope(&body, tenant, dataset);
+  return Call(Verb::kDropDataset, body.Release()).status();
+}
+
+Result<std::vector<std::string>> WarehouseClient::ListDatasets(
+    const std::string& tenant) {
+  BinaryWriter body;
+  body.PutString(tenant);
+  SAMPWH_ASSIGN_OR_RETURN(const std::string resp,
+                          Call(Verb::kListDatasets, body.Release()));
+  BinaryReader reader(resp);
+  uint64_t n = 0;
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&n));
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    SAMPWH_RETURN_IF_ERROR(reader.GetString(&name));
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+Result<std::vector<PartitionInfo>> WarehouseClient::ListPartitions(
+    const std::string& tenant, const std::string& dataset) {
+  BinaryWriter body;
+  PutScope(&body, tenant, dataset);
+  SAMPWH_ASSIGN_OR_RETURN(const std::string resp,
+                          Call(Verb::kListPartitions, body.Release()));
+  BinaryReader reader(resp);
+  uint64_t n = 0;
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&n));
+  std::vector<PartitionInfo> parts;
+  parts.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    PartitionInfo info;
+    uint64_t phase = 0;
+    SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&info.id));
+    SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&info.parent_size));
+    SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&info.sample_size));
+    SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&phase));
+    SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&info.min_timestamp));
+    SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&info.max_timestamp));
+    info.phase = static_cast<SamplePhase>(phase);
+    parts.push_back(info);
+  }
+  return parts;
+}
+
+Result<PartitionId> WarehouseClient::RollIn(const std::string& tenant,
+                                            const std::string& dataset,
+                                            const PartitionSample& sample,
+                                            uint64_t min_timestamp,
+                                            uint64_t max_timestamp) {
+  BinaryWriter body;
+  PutScope(&body, tenant, dataset);
+  body.PutVarint64(min_timestamp);
+  body.PutVarint64(max_timestamp);
+  BinaryWriter blob;
+  sample.SerializeTo(&blob);
+  body.PutString(blob.Release());
+  SAMPWH_ASSIGN_OR_RETURN(const std::string resp,
+                          Call(Verb::kRollIn, body.Release()));
+  BinaryReader reader(resp);
+  uint64_t id = 0;
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&id));
+  return id;
+}
+
+Result<PartitionId> WarehouseClient::RollInAt(const std::string& tenant,
+                                              const std::string& dataset,
+                                              PartitionId id,
+                                              const PartitionSample& sample,
+                                              uint64_t min_timestamp,
+                                              uint64_t max_timestamp) {
+  BinaryWriter body;
+  PutScope(&body, tenant, dataset);
+  body.PutVarint64(id);
+  body.PutVarint64(min_timestamp);
+  body.PutVarint64(max_timestamp);
+  BinaryWriter blob;
+  sample.SerializeTo(&blob);
+  body.PutString(blob.Release());
+  SAMPWH_ASSIGN_OR_RETURN(const std::string resp,
+                          Call(Verb::kRollInAt, body.Release()));
+  BinaryReader reader(resp);
+  uint64_t placed = 0;
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&placed));
+  return placed;
+}
+
+Status WarehouseClient::RollOut(const std::string& tenant,
+                                const std::string& dataset, PartitionId id) {
+  BinaryWriter body;
+  PutScope(&body, tenant, dataset);
+  body.PutVarint64(id);
+  return Call(Verb::kRollOut, body.Release()).status();
+}
+
+Result<PartitionSample> WarehouseClient::Query(
+    const std::string& tenant, const std::string& dataset,
+    const std::vector<PartitionId>& ids) {
+  BinaryWriter body;
+  PutScope(&body, tenant, dataset);
+  body.PutVarint64(ids.size());
+  for (const PartitionId id : ids) body.PutVarint64(id);
+  SAMPWH_ASSIGN_OR_RETURN(const std::string resp,
+                          Call(Verb::kQuery, body.Release()));
+  BinaryReader reader(resp);
+  std::string blob;
+  SAMPWH_RETURN_IF_ERROR(reader.GetString(&blob));
+  BinaryReader sample_reader(blob);
+  return PartitionSample::DeserializeFrom(&sample_reader);
+}
+
+Result<IngestAck> WarehouseClient::IngestCall(Verb verb,
+                                              std::string_view body) {
+  SAMPWH_ASSIGN_OR_RETURN(const std::string resp, Call(verb, body));
+  BinaryReader reader(resp);
+  IngestAck ack;
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&ack.next_sequence));
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&ack.partitions_rolled_in));
+  return ack;
+}
+
+Result<IngestAck> WarehouseClient::IngestOpen(const std::string& tenant,
+                                              const std::string& dataset) {
+  BinaryWriter body;
+  PutScope(&body, tenant, dataset);
+  return IngestCall(Verb::kIngestOpen, body.Release());
+}
+
+Result<IngestAck> WarehouseClient::IngestAppend(
+    const std::string& tenant, const std::string& dataset, uint64_t sequence,
+    const std::vector<Value>& values, uint64_t timestamp) {
+  BinaryWriter body;
+  PutScope(&body, tenant, dataset);
+  body.PutVarint64(sequence);
+  body.PutVarint64(timestamp);
+  body.PutVarint64(values.size());
+  for (const Value v : values) body.PutVarintSigned64(v);
+  return IngestCall(Verb::kIngestAppend, body.Release());
+}
+
+Result<IngestAck> WarehouseClient::IngestFlush(const std::string& tenant,
+                                               const std::string& dataset) {
+  BinaryWriter body;
+  PutScope(&body, tenant, dataset);
+  return IngestCall(Verb::kIngestFlush, body.Release());
+}
+
+}  // namespace sampwh

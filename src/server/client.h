@@ -1,0 +1,137 @@
+// WarehouseClient: blocking client for the warehouse server's wire
+// protocol. One TCP connection, one outstanding request at a time (the
+// protocol is strict request/response); open several clients for
+// concurrency. Transport errors poison the connection — every later call
+// fails fast with the same IOError until the client is reconnected.
+
+#ifndef SAMPWH_SERVER_CLIENT_H_
+#define SAMPWH_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/sample.h"
+#include "src/server/tenant.h"
+#include "src/server/wire.h"
+#include "src/warehouse/catalog.h"
+
+namespace sampwh {
+
+struct ClientOptions {
+  uint32_t max_frame_bytes = kWireDefaultMaxFrameBytes;
+  /// Per-recv timeout while waiting for a response; 0 waits forever.
+  int read_timeout_millis = 30'000;
+};
+
+/// Watermark ack of the streaming-ingest verbs.
+struct IngestAck {
+  /// Replay watermark: sequence of the next element the server will apply.
+  uint64_t next_sequence = 0;
+  /// Partitions the session has rolled in so far.
+  uint64_t partitions_rolled_in = 0;
+};
+
+/// kTenantStats response.
+struct TenantStats {
+  TenantQuota quota;
+  TenantUsage usage;
+};
+
+/// kServerStats response.
+struct RemoteServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_dropped = 0;
+  uint64_t requests_served = 0;
+  uint64_t error_responses = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t num_datasets = 0;
+};
+
+class WarehouseClient {
+ public:
+  static Result<std::unique_ptr<WarehouseClient>> Connect(
+      const std::string& host, uint16_t port, ClientOptions options = {});
+
+  ~WarehouseClient();
+
+  WarehouseClient(const WarehouseClient&) = delete;
+  WarehouseClient& operator=(const WarehouseClient&) = delete;
+
+  /// The raw socket; robustness tests use it to inject hostile bytes.
+  int fd() const { return fd_; }
+
+  // --- Admin ---------------------------------------------------------------
+  Result<std::string> Ping();
+  Result<RemoteServerStats> ServerStats();
+  /// Asks the server to shut down (it still answers this request).
+  Status Shutdown();
+
+  Status CreateTenant(const std::string& tenant, const TenantQuota& quota);
+  Status SetTenantQuota(const std::string& tenant, const TenantQuota& quota);
+  Result<TenantStats> GetTenantStats(const std::string& tenant);
+  Result<std::vector<std::string>> ListTenants();
+
+  // --- Catalog -------------------------------------------------------------
+  Status CreateDataset(const std::string& tenant, const std::string& dataset);
+  Status DropDataset(const std::string& tenant, const std::string& dataset);
+  Result<std::vector<std::string>> ListDatasets(const std::string& tenant);
+  Result<std::vector<PartitionInfo>> ListPartitions(
+      const std::string& tenant, const std::string& dataset);
+
+  // --- Roll-in / roll-out / query ------------------------------------------
+  Result<PartitionId> RollIn(const std::string& tenant,
+                             const std::string& dataset,
+                             const PartitionSample& sample,
+                             uint64_t min_timestamp = 0,
+                             uint64_t max_timestamp = 0);
+  /// Roll-in under a caller-chosen partition id (the shard coordinator's
+  /// globally allocated ids).
+  Result<PartitionId> RollInAt(const std::string& tenant,
+                               const std::string& dataset, PartitionId id,
+                               const PartitionSample& sample,
+                               uint64_t min_timestamp = 0,
+                               uint64_t max_timestamp = 0);
+  Status RollOut(const std::string& tenant, const std::string& dataset,
+                 PartitionId id);
+
+  /// Merged sample over the named partitions (empty `ids` = all). The
+  /// result is bit-identical to the embedded warehouse's MergedSample.
+  Result<PartitionSample> Query(const std::string& tenant,
+                                const std::string& dataset,
+                                const std::vector<PartitionId>& ids = {});
+
+  // --- Streaming ingest ----------------------------------------------------
+  /// Opens (or resumes) the dataset's ingest session. The ack's
+  /// next_sequence is the replay point: feed the source stream from there
+  /// via IngestAppend — re-driving from any earlier point is safe
+  /// (duplicates are acknowledged and skipped server-side).
+  Result<IngestAck> IngestOpen(const std::string& tenant,
+                               const std::string& dataset);
+  Result<IngestAck> IngestAppend(const std::string& tenant,
+                                 const std::string& dataset, uint64_t sequence,
+                                 const std::vector<Value>& values,
+                                 uint64_t timestamp = 0);
+  /// Closes the open partition (if non-empty) and checkpoints the session.
+  Result<IngestAck> IngestFlush(const std::string& tenant,
+                                const std::string& dataset);
+
+ private:
+  explicit WarehouseClient(int fd, ClientOptions options);
+
+  /// Frames and sends one request, reads and parses the response. Returns
+  /// the response body bytes on an OK status, the server's structured
+  /// error otherwise.
+  Result<std::string> Call(Verb verb, std::string_view body);
+  Result<IngestAck> IngestCall(Verb verb, std::string_view body);
+
+  int fd_ = -1;
+  ClientOptions options_;
+  /// First transport error; fails every later call fast.
+  Status broken_ = Status::OK();
+};
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_SERVER_CLIENT_H_

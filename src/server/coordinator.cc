@@ -1,0 +1,165 @@
+#include "src/server/coordinator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/shard_router.h"
+#include "src/warehouse/merge_memo.h"
+
+namespace sampwh {
+
+ShardCoordinator::ShardCoordinator(CoordinatorOptions options)
+    : options_(std::move(options)) {
+  if (options_.cache_alias_tables) {
+    options_.merge.alias_cache = &alias_cache_;
+  }
+}
+
+Result<std::unique_ptr<ShardCoordinator>> ShardCoordinator::Connect(
+    const std::vector<ShardNodeAddress>& nodes, CoordinatorOptions options) {
+  if (nodes.empty()) {
+    return Status::InvalidArgument("coordinator needs at least one node");
+  }
+  std::unique_ptr<ShardCoordinator> coord(
+      new ShardCoordinator(std::move(options)));
+  for (const ShardNodeAddress& node : nodes) {
+    SAMPWH_ASSIGN_OR_RETURN(
+        std::unique_ptr<WarehouseClient> client,
+        WarehouseClient::Connect(node.host, node.port,
+                                 coord->options_.client));
+    coord->clients_.push_back(std::move(client));
+  }
+  return coord;
+}
+
+size_t ShardCoordinator::ShardOf(const std::string& tenant,
+                                 const std::string& dataset,
+                                 PartitionId id) const {
+  const ShardRouter router(tenant + "." + dataset, clients_.size());
+  return router.ShardFor(id);
+}
+
+Status ShardCoordinator::CreateTenant(const std::string& tenant,
+                                      const TenantQuota& quota) {
+  for (auto& client : clients_) {
+    SAMPWH_RETURN_IF_ERROR(client->CreateTenant(tenant, quota));
+  }
+  return Status::OK();
+}
+
+Status ShardCoordinator::CreateDataset(const std::string& tenant,
+                                       const std::string& dataset) {
+  for (auto& client : clients_) {
+    SAMPWH_RETURN_IF_ERROR(client->CreateDataset(tenant, dataset));
+  }
+  return Status::OK();
+}
+
+Status ShardCoordinator::DropDataset(const std::string& tenant,
+                                     const std::string& dataset) {
+  for (auto& client : clients_) {
+    SAMPWH_RETURN_IF_ERROR(client->DropDataset(tenant, dataset));
+  }
+  {
+    SAMPWH_ASSIGN_OR_RETURN(const DatasetId key,
+                            MakeTenantDatasetKey(tenant, dataset));
+    next_id_.erase(key);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<PartitionId>> ShardCoordinator::ListAllPartitions(
+    const std::string& tenant, const std::string& dataset) {
+  std::vector<PartitionId> ids;
+  for (auto& client : clients_) {
+    SAMPWH_ASSIGN_OR_RETURN(const std::vector<PartitionInfo> parts,
+                            client->ListPartitions(tenant, dataset));
+    for (const PartitionInfo& info : parts) ids.push_back(info.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Result<PartitionId> ShardCoordinator::RollIn(const std::string& tenant,
+                                             const std::string& dataset,
+                                             const PartitionSample& sample,
+                                             uint64_t min_timestamp,
+                                             uint64_t max_timestamp) {
+  SAMPWH_ASSIGN_OR_RETURN(const DatasetId key,
+                          MakeTenantDatasetKey(tenant, dataset));
+  auto it = next_id_.find(key);
+  if (it == next_id_.end()) {
+    // Seed the global allocator ahead of whatever the nodes restored.
+    SAMPWH_ASSIGN_OR_RETURN(const std::vector<PartitionId> existing,
+                            ListAllPartitions(tenant, dataset));
+    const PartitionId next = existing.empty() ? 0 : existing.back() + 1;
+    it = next_id_.emplace(key, next).first;
+  }
+  const PartitionId id = it->second;
+  const size_t shard = ShardOf(tenant, dataset, id);
+  SAMPWH_ASSIGN_OR_RETURN(
+      const PartitionId placed,
+      clients_[shard]->RollInAt(tenant, dataset, id, sample, min_timestamp,
+                                max_timestamp));
+  it->second = id + 1;
+  return placed;
+}
+
+Status ShardCoordinator::RollOut(const std::string& tenant,
+                                 const std::string& dataset, PartitionId id) {
+  return clients_[ShardOf(tenant, dataset, id)]->RollOut(tenant, dataset, id);
+}
+
+Result<PartitionSample> ShardCoordinator::Query(const std::string& tenant,
+                                                const std::string& dataset,
+                                                std::vector<PartitionId> ids) {
+  SAMPWH_ASSIGN_OR_RETURN(const DatasetId key,
+                          MakeTenantDatasetKey(tenant, dataset));
+  if (ids.empty()) {
+    SAMPWH_ASSIGN_OR_RETURN(ids, ListAllPartitions(tenant, dataset));
+  }
+  if (ids.empty()) {
+    return Status::InvalidArgument("no partitions to merge");
+  }
+  // Canonical node identity, exactly as the warehouse's memoized path
+  // sorts before building the tree.
+  std::sort(ids.begin(), ids.end());
+  std::vector<size_t> owners;
+  owners.reserve(ids.size());
+  for (const PartitionId id : ids) {
+    owners.push_back(ShardOf(tenant, dataset, id));
+  }
+  const uint64_t fingerprint = MergeOptionsFingerprint(options_.merge);
+  return MergeTree(tenant, dataset, key, ids, owners, fingerprint);
+}
+
+Result<PartitionSample> ShardCoordinator::MergeTree(
+    const std::string& tenant, const std::string& dataset,
+    const DatasetId& key, std::span<const PartitionId> ids,
+    std::span<const size_t> owners, uint64_t fingerprint) {
+  // Maximal push-down: a span wholly on one shard is one remote query —
+  // the node's memoized merge builds the identical subtree (same sorted id
+  // set, same floor(n/2) splits, same identity-derived node RNGs).
+  const bool single_owner =
+      std::all_of(owners.begin(), owners.end(),
+                  [&](size_t o) { return o == owners[0]; });
+  if (single_owner) {
+    return clients_[owners[0]]->Query(
+        tenant, dataset, std::vector<PartitionId>(ids.begin(), ids.end()));
+  }
+  const size_t half = ids.size() / 2;
+  SAMPWH_ASSIGN_OR_RETURN(
+      const PartitionSample left,
+      MergeTree(tenant, dataset, key, ids.subspan(0, half),
+                owners.subspan(0, half), fingerprint));
+  SAMPWH_ASSIGN_OR_RETURN(
+      const PartitionSample right,
+      MergeTree(tenant, dataset, key, ids.subspan(half),
+                owners.subspan(half), fingerprint));
+  // The same RNG stream this node would consume inside any warehouse with
+  // the same seed — the heart of the distributed-exactness contract.
+  Pcg64 rng = MergeMemo::NodeRng(options_.seed, key, ids, fingerprint);
+  return MergeSamples(left, right, options_.merge, rng);
+}
+
+}  // namespace sampwh

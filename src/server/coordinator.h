@@ -1,0 +1,124 @@
+// ShardCoordinator: spreads a tenant's datasets across N warehouse server
+// nodes and answers merged-sample queries over the union — bit-identical
+// to what a single warehouse node holding every partition would return.
+//
+// How exactness survives distribution: the warehouse's memoized merge
+// builds a balanced binary tree over the canonically sorted partition-id
+// set, splitting every node at floor(n/2), and derives each node's RNG
+// purely from the node's identity (MergeMemo::NodeRng — warehouse seed,
+// dataset key, id set, merge-options fingerprint). The split rule depends
+// only on leaf count, so the subtree over any contiguous id span IS the
+// tree a standalone query over exactly those ids would build. The
+// coordinator therefore walks the same tree shape: a subtree whose leaves
+// all live on one shard is pushed down as an explicit-id query (the node
+// computes it, bit-identically, through its own memoized path); a subtree
+// spanning shards recurses and joins the halves locally with the identical
+// NodeRng stream and merge options. Requirements for bit-identity, checked
+// nowhere but owned by deployment: every node runs the same warehouse
+// seed, the same MergeOptions (and alias-cache wiring), and nonzero
+// merge_memo_bytes.
+//
+// Partition placement: the coordinator allocates globally unique partition
+// ids per dataset (keeping its allocator ahead of whatever the nodes
+// restored) and routes each id through ShardRouter(dataset-key, N) — the
+// same stable hash-sharding the parallel ingest path uses — placing the
+// sample via the kRollInAt verb.
+
+#ifndef SAMPWH_SERVER_COORDINATOR_H_
+#define SAMPWH_SERVER_COORDINATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/merge.h"
+#include "src/server/client.h"
+
+namespace sampwh {
+
+struct ShardNodeAddress {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+struct CoordinatorOptions {
+  /// MUST equal every node's WarehouseOptions::seed.
+  uint64_t seed = 0x5157313136ULL;
+  /// MUST equal every node's WarehouseOptions::merge.
+  MergeOptions merge;
+  /// MUST equal every node's WarehouseOptions::cache_alias_tables (the
+  /// alias cache changes both the options fingerprint and how merge nodes
+  /// consume randomness).
+  bool cache_alias_tables = false;
+  ClientOptions client;
+};
+
+class ShardCoordinator {
+ public:
+  /// Connects one client to every node. At least one node required.
+  static Result<std::unique_ptr<ShardCoordinator>> Connect(
+      const std::vector<ShardNodeAddress>& nodes, CoordinatorOptions options);
+
+  size_t num_shards() const { return clients_.size(); }
+
+  /// The shard owning partition `id` of (tenant, dataset).
+  size_t ShardOf(const std::string& tenant, const std::string& dataset,
+                 PartitionId id) const;
+
+  /// Fan-out admin: applied on every node (a tenant/dataset exists
+  /// everywhere so any shard can receive its partitions).
+  Status CreateTenant(const std::string& tenant, const TenantQuota& quota);
+  Status CreateDataset(const std::string& tenant, const std::string& dataset);
+  Status DropDataset(const std::string& tenant, const std::string& dataset);
+
+  /// Rolls `sample` in under a freshly allocated global partition id on
+  /// the id's home shard; returns the id.
+  Result<PartitionId> RollIn(const std::string& tenant,
+                             const std::string& dataset,
+                             const PartitionSample& sample,
+                             uint64_t min_timestamp = 0,
+                             uint64_t max_timestamp = 0);
+
+  /// Rolls out `id` from its home shard.
+  Status RollOut(const std::string& tenant, const std::string& dataset,
+                 PartitionId id);
+
+  /// Every partition id of (tenant, dataset) across all shards, sorted.
+  Result<std::vector<PartitionId>> ListAllPartitions(
+      const std::string& tenant, const std::string& dataset);
+
+  /// Merged sample over `ids` (empty = all partitions on all shards),
+  /// bit-identical to a single node holding every partition.
+  Result<PartitionSample> Query(const std::string& tenant,
+                                const std::string& dataset,
+                                std::vector<PartitionId> ids = {});
+
+  /// Per-node client, for tests and the load generator.
+  WarehouseClient* client(size_t shard) { return clients_[shard].get(); }
+
+ private:
+  explicit ShardCoordinator(CoordinatorOptions options);
+
+  /// Computes the merge-tree node over the sorted id span: pushed down
+  /// whole when single-owner, otherwise joined locally from its halves on
+  /// the node-identity RNG stream.
+  Result<PartitionSample> MergeTree(const std::string& tenant,
+                                    const std::string& dataset,
+                                    const DatasetId& key,
+                                    std::span<const PartitionId> ids,
+                                    std::span<const size_t> owners,
+                                    uint64_t fingerprint);
+
+  CoordinatorOptions options_;
+  std::vector<std::unique_ptr<WarehouseClient>> clients_;
+  /// Coordinator-side global id allocator, per internal dataset key.
+  std::map<DatasetId, PartitionId> next_id_;
+  AliasCache alias_cache_;
+};
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_SERVER_COORDINATOR_H_

@@ -1,0 +1,213 @@
+// WarehouseServer: the network daemon in front of a Warehouse. Speaks the
+// CRC-framed binary protocol of server/wire.h over TCP (loopback or any
+// interface), one thread per connection, exposing ingest / roll-in / query
+// / admin verbs with per-tenant namespacing and quota enforcement
+// (server/tenant.h).
+//
+// Robustness contract: a malformed frame — oversized length, CRC mismatch,
+// bad magic, truncated stream, a peer that trickles bytes slower than the
+// read timeout — yields a structured error response where framing still
+// permits one, and then the connection is dropped. Unknown verbs and
+// malformed bodies answer a structured error and keep the connection. The
+// server never crashes on hostile input and counts every outcome
+// (ServerStatsSnapshot) so tests can assert the taxonomy.
+//
+// Streaming ingest: kIngestOpen creates (or resumes, after a restart, from
+// the persisted checkpoint chain) a StreamIngestor session per dataset and
+// acks with the replay watermark; kIngestAppend applies sequence-addressed
+// batches with exactly-once semantics over at-least-once delivery. A
+// durable checkpoint is forced before the open is acked, so a client that
+// re-drives its stream from the acked watermark after a server crash
+// produces samples bit-identical to an uninterrupted run.
+
+#ifndef SAMPWH_SERVER_SERVER_H_
+#define SAMPWH_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/server/tenant.h"
+#include "src/server/wire.h"
+#include "src/warehouse/stream_ingestor.h"
+#include "src/warehouse/warehouse.h"
+
+namespace sampwh {
+
+struct ServerOptions {
+  /// Interface to bind. Tests and single-host sharding use loopback.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port — read it back via port(). All
+  /// in-repo tests use 0 so parallel ctest never races on a fixed port.
+  uint16_t port = 0;
+  /// Per-frame payload bound; larger declared lengths are rejected before
+  /// any allocation.
+  uint32_t max_frame_bytes = kWireDefaultMaxFrameBytes;
+  /// Per-recv timeout. A peer that stays silent (or trickles a frame
+  /// slower than this, the slow-loris shape) is dropped. 0 disables.
+  int read_timeout_millis = 30'000;
+  /// Honor the kShutdown admin verb (the serve tool enables it so an
+  /// orchestrator can stop the daemon over the wire).
+  bool allow_remote_shutdown = true;
+
+  /// The embedded warehouse. merge_memo_bytes MUST stay nonzero for the
+  /// distributed-exactness contract: memoized merges derive every node's
+  /// RNG from node identity, which is what makes a pushed-down shard
+  /// subtree bit-identical to the same node computed anywhere else.
+  WarehouseOptions warehouse;
+
+  /// File-backed store directory; empty runs on an in-memory store. With a
+  /// directory, the manifest is kept at "<directory>/MANIFEST" and startup
+  /// restores the previous state through RestoreWithRecovery.
+  std::string store_directory;
+
+  /// Streaming-ingest sessions: elements per closed partition (count
+  /// partitioner) and the checkpoint cadence of each session.
+  uint64_t ingest_partition_elements = 64 * 1024;
+  CheckpointPolicy ingest_checkpoints{.every_n_elements = 8 * 1024};
+
+  /// Tenants pre-created at startup (name -> quota); the admin verbs can
+  /// add more at runtime.
+  std::map<std::string, TenantQuota> bootstrap_tenants;
+};
+
+/// Monotonic counters over the server's lifetime.
+struct ServerStatsSnapshot {
+  uint64_t connections_accepted = 0;
+  /// Connections torn down because of a framing violation, timeout or
+  /// mid-frame disconnect (orderly EOF between frames does not count).
+  uint64_t connections_dropped = 0;
+  uint64_t requests_served = 0;
+  /// Structured error responses sent (bad body, unknown verb, quota, ...).
+  uint64_t error_responses = 0;
+  /// Framing-level violations observed (oversized, bad CRC, bad magic,
+  /// mid-frame EOF, timeouts).
+  uint64_t protocol_errors = 0;
+};
+
+class WarehouseServer {
+ public:
+  /// Opens the store (restoring a prior manifest when present), binds and
+  /// starts serving. The returned server is running; Stop() (or
+  /// destruction) shuts it down and joins every thread.
+  static Result<std::unique_ptr<WarehouseServer>> Start(ServerOptions options);
+
+  ~WarehouseServer();
+
+  WarehouseServer(const WarehouseServer&) = delete;
+  WarehouseServer& operator=(const WarehouseServer&) = delete;
+
+  /// The bound port (the ephemeral one when options.port was 0).
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+
+  /// Graceful shutdown: stops accepting, unblocks and joins every
+  /// connection, checkpoints every ingest session (a restart resumes
+  /// them). Idempotent.
+  void Stop();
+
+  /// Asynchronous shutdown signal: stops accepting new connections and
+  /// marks the server stopping. Safe from a connection thread (the
+  /// kShutdown verb uses it); the owner still calls Stop() to join.
+  void RequestStop();
+
+  /// True once RequestStop()/Stop() was called (or a kShutdown verb was
+  /// honored). The serve tool polls this to know when to tear down.
+  bool stop_requested() const {
+    return stopping_.load(std::memory_order_acquire);
+  }
+
+  /// True once Stop() completed.
+  bool stopped() const { return stopped_.load(std::memory_order_acquire); }
+
+  ServerStatsSnapshot stats() const;
+
+  /// The embedded warehouse; test-only (bit-identity assertions).
+  Warehouse* warehouse_for_testing() { return warehouse_.get(); }
+  /// The tenant catalog; test-only.
+  TenantCatalog* tenants_for_testing() { return &tenants_; }
+
+ private:
+  struct IngestSession {
+    std::mutex mu;
+    std::unique_ptr<StreamIngestor> ingestor;
+    /// rolled_in() prefix already charged against the tenant's quota.
+    size_t charged = 0;
+  };
+
+  WarehouseServer(ServerOptions options, std::unique_ptr<Warehouse> warehouse);
+
+  Status Listen();
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Dispatches one request payload; returns the response payload. Sets
+  /// *shutdown when a kShutdown verb was honored.
+  std::string HandleRequest(std::string_view payload, bool* shutdown);
+
+  // Verb handlers append their body to `resp` on success.
+  Status HandlePing(BinaryReader& req, BinaryWriter& resp);
+  Status HandleServerStats(BinaryReader& req, BinaryWriter& resp);
+  Status HandleCreateTenant(BinaryReader& req);
+  Status HandleSetTenantQuota(BinaryReader& req);
+  Status HandleTenantStats(BinaryReader& req, BinaryWriter& resp);
+  Status HandleListTenants(BinaryWriter& resp);
+  Status HandleCreateDataset(BinaryReader& req);
+  Status HandleDropDataset(BinaryReader& req);
+  Status HandleListDatasets(BinaryReader& req, BinaryWriter& resp);
+  Status HandleListPartitions(BinaryReader& req, BinaryWriter& resp);
+  Status HandleRollIn(BinaryReader& req, BinaryWriter& resp, bool explicit_id);
+  Status HandleRollOut(BinaryReader& req);
+  Status HandleQuery(BinaryReader& req, BinaryWriter& resp);
+  Status HandleIngestOpen(BinaryReader& req, BinaryWriter& resp);
+  Status HandleIngestAppend(BinaryReader& req, BinaryWriter& resp);
+  Status HandleIngestFlush(BinaryReader& req, BinaryWriter& resp);
+
+  /// Reads "tenant, dataset" from a request body and resolves the internal
+  /// key, requiring the tenant to exist.
+  Status ReadScope(BinaryReader& req, std::string* tenant, DatasetId* key);
+  /// Charges quota for roll-ins the session performed since last
+  /// reconciliation (streaming closes happen inside StreamIngestor, outside
+  /// the verb handler). Looks up each new partition's stored footprint.
+  void ReconcileSessionCharges(const std::string& tenant, const DatasetId& key,
+                               IngestSession* session);
+  /// The session's pre-append quota gate: rejects further streamed elements
+  /// once the tenant's usage has reached a quota.
+  Status CheckStreamQuota(const std::string& tenant);
+
+  ServerOptions options_;
+  std::unique_ptr<Warehouse> warehouse_;
+  TenantCatalog tenants_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+  std::once_flag stop_once_;
+
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+  std::mutex conns_mu_;
+  std::list<Connection> conns_;
+
+  std::mutex sessions_mu_;
+  std::map<DatasetId, std::shared_ptr<IngestSession>> sessions_;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_dropped_{0};
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> error_responses_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+};
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_SERVER_SERVER_H_

@@ -1,0 +1,183 @@
+#include "src/server/tenant.h"
+
+#include <utility>
+
+namespace sampwh {
+
+namespace {
+
+bool TenantChar(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-';
+}
+
+}  // namespace
+
+Status ValidateTenantId(const std::string& tenant) {
+  if (tenant.empty()) return Status::InvalidArgument("empty tenant id");
+  if (tenant.size() > 64) {
+    return Status::InvalidArgument("tenant id over 64 bytes");
+  }
+  for (const char c : tenant) {
+    if (!TenantChar(c)) {
+      return Status::InvalidArgument("tenant id '" + tenant +
+                                     "' has characters outside [A-Za-z0-9_-]");
+    }
+  }
+  return Status::OK();
+}
+
+Result<DatasetId> MakeTenantDatasetKey(const std::string& tenant,
+                                       const std::string& dataset) {
+  SAMPWH_RETURN_IF_ERROR(ValidateTenantId(tenant));
+  SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(dataset));
+  DatasetId key = tenant + "." + dataset;
+  SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(key));
+  return key;
+}
+
+Status SplitTenantDatasetKey(const DatasetId& key, std::string* tenant,
+                             std::string* dataset) {
+  const size_t dot = key.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 == key.size()) {
+    return Status::InvalidArgument("not a tenant-namespaced key: " + key);
+  }
+  *tenant = key.substr(0, dot);
+  *dataset = key.substr(dot + 1);
+  return ValidateTenantId(*tenant);
+}
+
+Status TenantCatalog::CreateTenant(const std::string& tenant,
+                                   const TenantQuota& quota) {
+  SAMPWH_RETURN_IF_ERROR(ValidateTenantId(tenant));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tenants_.contains(tenant)) {
+    return Status::AlreadyExists("tenant exists: " + tenant);
+  }
+  tenants_[tenant].quota = quota;
+  return Status::OK();
+}
+
+Status TenantCatalog::SetQuota(const std::string& tenant,
+                               const TenantQuota& quota) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return Status::NotFound("no tenant: " + tenant);
+  it->second.quota = quota;
+  return Status::OK();
+}
+
+bool TenantCatalog::HasTenant(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.contains(tenant);
+}
+
+Result<TenantQuota> TenantCatalog::GetQuota(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return Status::NotFound("no tenant: " + tenant);
+  return it->second.quota;
+}
+
+Result<TenantUsage> TenantCatalog::GetUsage(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return Status::NotFound("no tenant: " + tenant);
+  return it->second.usage;
+}
+
+std::vector<std::string> TenantCatalog::ListTenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, _] : tenants_) names.push_back(name);
+  return names;
+}
+
+Status TenantCatalog::ChargeDataset(const std::string& tenant, bool force) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return Status::NotFound("no tenant: " + tenant);
+  TenantState& state = it->second;
+  if (!force && state.quota.max_datasets != 0 &&
+      state.usage.datasets + 1 > state.quota.max_datasets) {
+    return Status::ResourceExhausted(
+        "tenant " + tenant + " dataset quota (" +
+        std::to_string(state.quota.max_datasets) + ") exhausted");
+  }
+  ++state.usage.datasets;
+  return Status::OK();
+}
+
+void TenantCatalog::CreditDataset(const std::string& tenant,
+                                  const DatasetId& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  TenantState& state = it->second;
+  if (state.usage.datasets > 0) --state.usage.datasets;
+  // Credit every partition charge recorded under the dropped dataset.
+  for (auto p = state.partition_bytes.lower_bound({key, 0});
+       p != state.partition_bytes.end() && p->first.first == key;
+       p = state.partition_bytes.erase(p)) {
+    state.usage.bytes -= std::min(state.usage.bytes, p->second);
+    if (state.usage.partitions > 0) --state.usage.partitions;
+  }
+}
+
+Status TenantCatalog::ChargePartition(const std::string& tenant,
+                                      const DatasetId& key, PartitionId id,
+                                      uint64_t bytes, bool force) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return Status::NotFound("no tenant: " + tenant);
+  TenantState& state = it->second;
+  if (!force && state.quota.max_partitions != 0 &&
+      state.usage.partitions + 1 > state.quota.max_partitions) {
+    return Status::ResourceExhausted(
+        "tenant " + tenant + " partition quota (" +
+        std::to_string(state.quota.max_partitions) + ") exhausted");
+  }
+  if (!force && state.quota.max_bytes != 0 &&
+      state.usage.bytes + bytes > state.quota.max_bytes) {
+    return Status::ResourceExhausted(
+        "tenant " + tenant + " byte quota (" +
+        std::to_string(state.quota.max_bytes) + ") exhausted: " +
+        std::to_string(state.usage.bytes) + " used + " +
+        std::to_string(bytes) + " requested");
+  }
+  ++state.usage.partitions;
+  state.usage.bytes += bytes;
+  state.partition_bytes[{key, id}] = bytes;
+  return Status::OK();
+}
+
+void TenantCatalog::CreditPartition(const std::string& tenant,
+                                    const DatasetId& key, PartitionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  TenantState& state = it->second;
+  const auto charge = state.partition_bytes.find({key, id});
+  if (charge == state.partition_bytes.end()) return;
+  state.usage.bytes -= std::min(state.usage.bytes, charge->second);
+  if (state.usage.partitions > 0) --state.usage.partitions;
+  state.partition_bytes.erase(charge);
+}
+
+void TenantCatalog::RenamePartitionCharge(const std::string& tenant,
+                                          const DatasetId& key,
+                                          PartitionId provisional,
+                                          PartitionId real) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  TenantState& state = it->second;
+  const auto charge = state.partition_bytes.find({key, provisional});
+  if (charge == state.partition_bytes.end()) return;
+  const uint64_t bytes = charge->second;
+  state.partition_bytes.erase(charge);
+  state.partition_bytes[{key, real}] = bytes;
+}
+
+}  // namespace sampwh

@@ -1,0 +1,116 @@
+// Multi-tenant catalog layer of the warehouse server. Tenants are flat
+// namespaces: the server maps (tenant, dataset) onto the internal dataset
+// key "<tenant>.<dataset>" — tenant ids exclude '.', so the first '.' of a
+// key always separates unambiguously, two tenants' same-named datasets can
+// never collide in either store backend, and the key stays inside the
+// charset ValidateDatasetId allows for file-name stems.
+//
+// Quotas bound a tenant's stored sample bytes, partition count and dataset
+// count. Enforcement is charge-before-mutate: an ingest or roll-in that
+// would exceed a quota is rejected with ResourceExhausted before any store
+// or catalog state changes, so quota exhaustion never leaves a partial
+// roll-in behind. The catalog remembers each charged partition's bytes so
+// roll-out and dataset drops credit exactly what was charged.
+
+#ifndef SAMPWH_SERVER_TENANT_H_
+#define SAMPWH_SERVER_TENANT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/warehouse/ids.h"
+
+namespace sampwh {
+
+/// Limits for one tenant; 0 means unlimited along that dimension.
+struct TenantQuota {
+  uint64_t max_bytes = 0;
+  uint64_t max_partitions = 0;
+  uint64_t max_datasets = 0;
+};
+
+/// What the tenant currently holds (as charged through this catalog).
+struct TenantUsage {
+  uint64_t bytes = 0;
+  uint64_t partitions = 0;
+  uint64_t datasets = 0;
+};
+
+/// Tenant ids name file stems and wire fields: [A-Za-z0-9_-], non-empty,
+/// <= 64 bytes. '.' is excluded so the tenant prefix of an internal key
+/// parses unambiguously.
+Status ValidateTenantId(const std::string& tenant);
+
+/// "<tenant>.<dataset>" — the dataset id the warehouse actually stores.
+/// Fails if either part is invalid or the joined key exceeds the dataset-id
+/// length bound.
+Result<DatasetId> MakeTenantDatasetKey(const std::string& tenant,
+                                       const std::string& dataset);
+
+/// Splits an internal key back into (tenant, dataset) at the first '.'.
+Status SplitTenantDatasetKey(const DatasetId& key, std::string* tenant,
+                             std::string* dataset);
+
+/// Thread-safe quota/usage bookkeeping. The server is the only writer; all
+/// mutations go through Charge*/Credit* so usage and per-partition charge
+/// records stay consistent.
+class TenantCatalog {
+ public:
+  /// Registers a tenant. AlreadyExists when present.
+  Status CreateTenant(const std::string& tenant, const TenantQuota& quota);
+
+  /// Replaces a tenant's quota (usage is untouched; an over-quota tenant
+  /// simply cannot grow until usage drops).
+  Status SetQuota(const std::string& tenant, const TenantQuota& quota);
+
+  bool HasTenant(const std::string& tenant) const;
+  Result<TenantQuota> GetQuota(const std::string& tenant) const;
+  Result<TenantUsage> GetUsage(const std::string& tenant) const;
+  std::vector<std::string> ListTenants() const;
+
+  /// Charges one dataset creation. ResourceExhausted when the dataset quota
+  /// is full; NotFound for an unknown tenant. `force` charges past the
+  /// quota (startup reconciliation of pre-existing state, and streaming
+  /// partition closes that were gated before the elements were accepted —
+  /// usage must reflect ground truth even when it exceeds the quota).
+  Status ChargeDataset(const std::string& tenant, bool force = false);
+  /// Credits a dropped dataset and every partition charge recorded under
+  /// `key` (the internal dataset key).
+  void CreditDataset(const std::string& tenant, const DatasetId& key);
+
+  /// Charges one partition of `bytes` stored sample footprint against the
+  /// tenant, remembering the charge under (key, id) so the credit on
+  /// roll-out is exact. ResourceExhausted when either the byte or the
+  /// partition quota would be exceeded; nothing is charged then.
+  Status ChargePartition(const std::string& tenant, const DatasetId& key,
+                         PartitionId id, uint64_t bytes, bool force = false);
+  /// Credits the recorded charge for (key, id); no-op when none exists.
+  void CreditPartition(const std::string& tenant, const DatasetId& key,
+                       PartitionId id);
+
+  /// Moves a charge recorded under a provisional id to the real partition
+  /// id (the roll-in verb charges before the id is allocated, so quota
+  /// exhaustion rejects before any state changes).
+  void RenamePartitionCharge(const std::string& tenant, const DatasetId& key,
+                             PartitionId provisional, PartitionId real);
+
+ private:
+  struct TenantState {
+    TenantQuota quota;
+    TenantUsage usage;
+    /// Bytes charged per rolled-in partition, so credits are exact even if
+    /// the stored sample is later unreadable.
+    std::map<std::pair<DatasetId, PartitionId>, uint64_t> partition_bytes;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, TenantState> tenants_;
+};
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_SERVER_TENANT_H_

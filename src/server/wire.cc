@@ -1,0 +1,192 @@
+#include "src/server/wire.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sampwh {
+
+namespace {
+
+uint32_t ReadFixed32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;  // little-endian hosts only, matching util/serialization
+}
+
+}  // namespace
+
+bool IsKnownVerb(uint32_t verb) {
+  switch (static_cast<Verb>(verb)) {
+    case Verb::kPing:
+    case Verb::kServerStats:
+    case Verb::kShutdown:
+    case Verb::kCreateTenant:
+    case Verb::kSetTenantQuota:
+    case Verb::kTenantStats:
+    case Verb::kListTenants:
+    case Verb::kCreateDataset:
+    case Verb::kDropDataset:
+    case Verb::kListDatasets:
+    case Verb::kListPartitions:
+    case Verb::kRollIn:
+    case Verb::kRollInAt:
+    case Verb::kRollOut:
+    case Verb::kQuery:
+    case Verb::kIngestOpen:
+    case Verb::kIngestAppend:
+    case Verb::kIngestFlush:
+      return true;
+  }
+  return false;
+}
+
+std::string EncodeFrame(std::string_view payload) {
+  BinaryWriter writer;
+  writer.PutFixed32(static_cast<uint32_t>(payload.size()));
+  writer.PutFixed32(Crc32(payload));
+  writer.PutRaw(payload.data(), payload.size());
+  return writer.Release();
+}
+
+FrameDecodeResult DecodeFrame(std::string_view buffer,
+                              uint32_t max_frame_bytes,
+                              std::string_view* payload, size_t* frame_bytes) {
+  if (buffer.size() < kWireFrameHeaderBytes) {
+    return FrameDecodeResult::kNeedMoreData;
+  }
+  const uint32_t length = ReadFixed32(buffer.data());
+  const uint32_t crc = ReadFixed32(buffer.data() + 4);
+  if (length > max_frame_bytes) return FrameDecodeResult::kOversized;
+  if (buffer.size() < kWireFrameHeaderBytes + length) {
+    return FrameDecodeResult::kNeedMoreData;
+  }
+  const std::string_view body = buffer.substr(kWireFrameHeaderBytes, length);
+  if (Crc32(body) != crc) return FrameDecodeResult::kBadCrc;
+  *payload = body;
+  *frame_bytes = kWireFrameHeaderBytes + length;
+  return FrameDecodeResult::kOk;
+}
+
+void BeginRequest(BinaryWriter* writer, Verb verb) {
+  writer->PutFixed32(kWireRequestMagic);
+  writer->PutFixed32(static_cast<uint32_t>(verb));
+}
+
+Status ParseRequestHead(BinaryReader* reader, uint32_t* verb) {
+  uint32_t magic = 0;
+  SAMPWH_RETURN_IF_ERROR(reader->GetFixed32(&magic));
+  if (magic != kWireRequestMagic) {
+    return Status::InvalidArgument("bad request magic");
+  }
+  return reader->GetFixed32(verb);
+}
+
+void BeginResponse(BinaryWriter* writer, const Status& status) {
+  writer->PutFixed32(kWireResponseMagic);
+  writer->PutFixed32(static_cast<uint32_t>(status.code()));
+  writer->PutString(status.message());
+}
+
+Status StatusFromWire(uint32_t code, std::string message) {
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(message));
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(std::move(message));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(message));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(message));
+    case StatusCode::kCorruption:
+      return Status::Corruption(std::move(message));
+    case StatusCode::kIOError:
+      return Status::IOError(std::move(message));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(message));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(message));
+  }
+  return Status::Internal("unknown wire status code " + std::to_string(code) +
+                          ": " + message);
+}
+
+Status ParseResponseHead(BinaryReader* reader) {
+  uint32_t magic = 0;
+  SAMPWH_RETURN_IF_ERROR(reader->GetFixed32(&magic));
+  if (magic != kWireResponseMagic) {
+    return Status::Corruption("bad response magic");
+  }
+  uint32_t code = 0;
+  SAMPWH_RETURN_IF_ERROR(reader->GetFixed32(&code));
+  std::string message;
+  SAMPWH_RETURN_IF_ERROR(reader->GetString(&message));
+  return StatusFromWire(code, std::move(message));
+}
+
+Status WriteAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ReadExact(int fd, size_t n, std::string* out) {
+  out->resize(n);
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, out->data() + got, n - got, 0);
+    if (r == 0) {
+      return got == 0 ? Status::NotFound("connection closed")
+                      : Status::IOError("connection closed mid-frame");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status WriteFrame(int fd, std::string_view payload) {
+  return WriteAll(fd, EncodeFrame(payload));
+}
+
+Status ReadFrame(int fd, uint32_t max_frame_bytes, std::string* payload) {
+  std::string header;
+  SAMPWH_RETURN_IF_ERROR(ReadExact(fd, kWireFrameHeaderBytes, &header));
+  const uint32_t length = ReadFixed32(header.data());
+  const uint32_t crc = ReadFixed32(header.data() + 4);
+  if (length > max_frame_bytes) {
+    return Status::OutOfRange("frame of " + std::to_string(length) +
+                              " bytes exceeds the " +
+                              std::to_string(max_frame_bytes) + "-byte bound");
+  }
+  std::string body;
+  const Status read = ReadExact(fd, length, &body);
+  if (!read.ok()) {
+    // EOF exactly between header and body is still a mid-frame tear.
+    return read.IsNotFound() ? Status::IOError(read.message()) : read;
+  }
+  if (Crc32(body) != crc) {
+    return Status::Corruption("frame CRC mismatch");
+  }
+  *payload = std::move(body);
+  return Status::OK();
+}
+
+}  // namespace sampwh

@@ -1,0 +1,130 @@
+// Wire protocol of the warehouse server: length-prefixed, CRC-framed binary
+// frames over TCP, following the same framing convention as the checkpoint
+// delta WAL (util/serialization):
+//
+//   fixed32  payload length  (little-endian; bounded by max_frame_bytes)
+//   fixed32  CRC-32 of the payload
+//   payload
+//
+// Request payload:   fixed32 magic "SWRQ" | fixed32 verb    | body
+// Response payload:  fixed32 magic "SWRS" | fixed32 status  | string message
+//                    | body
+//
+// Bodies are encoded with the BinaryWriter primitives (varints, strings);
+// samples travel as their versioned serialized form. A frame whose length
+// field exceeds the negotiated bound, whose CRC mismatches, or whose magic
+// is wrong is a protocol error: the server answers a structured error frame
+// where it still can and drops the connection — it never crashes and never
+// interprets unverified bytes.
+
+#ifndef SAMPWH_SERVER_WIRE_H_
+#define SAMPWH_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/serialization.h"
+#include "src/util/status.h"
+
+namespace sampwh {
+
+inline constexpr uint32_t kWireRequestMagic = 0x51525753;   // "SWRQ"
+inline constexpr uint32_t kWireResponseMagic = 0x53525753;  // "SWRS"
+inline constexpr size_t kWireFrameHeaderBytes = 8;
+/// Default per-frame payload bound. Large enough for any sample under the
+/// warehouse's footprint discipline; small enough that a garbage length
+/// field can never drive an allocation of gigabytes.
+inline constexpr uint32_t kWireDefaultMaxFrameBytes = 16u << 20;
+
+/// The server's verbs. Values are wire format — append, never renumber.
+enum class Verb : uint32_t {
+  kPing = 1,
+  kServerStats = 2,
+  kShutdown = 3,
+
+  kCreateTenant = 10,
+  kSetTenantQuota = 11,
+  kTenantStats = 12,
+  kListTenants = 13,
+
+  kCreateDataset = 20,
+  kDropDataset = 21,
+  kListDatasets = 22,
+  kListPartitions = 23,
+  kRollIn = 24,
+  kRollInAt = 25,
+  kRollOut = 26,
+
+  kQuery = 30,
+
+  kIngestOpen = 40,
+  kIngestAppend = 41,
+  kIngestFlush = 42,
+};
+
+/// True when `verb` names a verb this build understands.
+bool IsKnownVerb(uint32_t verb);
+
+/// Frames `payload` for the wire: header (length + CRC) then payload bytes.
+std::string EncodeFrame(std::string_view payload);
+
+/// Outcome of pulling one frame out of a byte buffer.
+enum class FrameDecodeResult {
+  kOk,            ///< *payload points into `buffer`; *consumed advanced
+  kNeedMoreData,  ///< the buffer holds a prefix of a valid-looking frame
+  kOversized,     ///< declared length exceeds `max_frame_bytes`
+  kBadCrc,        ///< payload bytes fail the CRC check
+};
+
+/// Attempts to decode one frame from the front of `buffer`. On kOk,
+/// `*payload` views the payload inside `buffer` and `*frame_bytes` is the
+/// total frame size to consume. kOversized and kBadCrc are unrecoverable
+/// for the connection (framing is lost); the caller should drop it.
+FrameDecodeResult DecodeFrame(std::string_view buffer, uint32_t max_frame_bytes,
+                              std::string_view* payload, size_t* frame_bytes);
+
+/// Serializes a request payload head: magic + verb. The caller appends the
+/// body with the returned writer.
+void BeginRequest(BinaryWriter* writer, Verb verb);
+
+/// Parses a request payload: verifies the magic, extracts the verb (which
+/// may be unknown — the dispatcher answers a structured error) and points
+/// `*body` at the remaining bytes via the reader.
+Status ParseRequestHead(BinaryReader* reader, uint32_t* verb);
+
+/// Serializes a response payload: magic, status, message, then the caller
+/// appends the body.
+void BeginResponse(BinaryWriter* writer, const Status& status);
+
+/// Parses a response payload head into a Status (code + message). The
+/// remaining bytes in the reader are the body.
+Status ParseResponseHead(BinaryReader* reader);
+
+/// Maps a wire status code back to a Status with `message`. Unknown codes
+/// map to Internal (a newer server speaking to an older client).
+Status StatusFromWire(uint32_t code, std::string message);
+
+// --- Blocking socket IO helpers --------------------------------------------
+
+/// Writes all of `data` to `fd`, retrying on EINTR / short writes. IOError
+/// on a closed or failed socket (SIGPIPE suppressed via MSG_NOSIGNAL).
+Status WriteAll(int fd, std::string_view data);
+
+/// Reads exactly `n` bytes into `out` (resized). kOk, or IOError on
+/// EOF/reset/timeout. EOF cleanly between frames is reported as NotFound so
+/// callers can distinguish an orderly close from a mid-frame tear.
+Status ReadExact(int fd, size_t n, std::string* out);
+
+/// Writes one framed payload to `fd`.
+Status WriteFrame(int fd, std::string_view payload);
+
+/// Reads one frame from `fd` into `*payload` (header then body, CRC
+/// verified). NotFound on clean EOF before any header byte; IOError on
+/// mid-frame EOF or socket error; Corruption on CRC mismatch; OutOfRange
+/// on an oversized declared length (the declared bytes are not drained).
+Status ReadFrame(int fd, uint32_t max_frame_bytes, std::string* payload);
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_SERVER_WIRE_H_

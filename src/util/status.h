@@ -25,6 +25,9 @@ enum class StatusCode : int {
   kCorruption = 6,
   kIOError = 7,
   kInternal = 8,
+  /// A per-tenant quota (bytes, partitions, datasets) would be exceeded.
+  /// The operation was rejected before any state changed.
+  kResourceExhausted = 9,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK",
@@ -63,6 +66,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -80,6 +86,9 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -57,6 +57,13 @@ uint64_t MergeMemo::NodeStream(const DatasetId& dataset,
   return h;
 }
 
+Pcg64 MergeMemo::NodeRng(uint64_t warehouse_seed, const DatasetId& dataset,
+                         std::span<const PartitionId> ids,
+                         uint64_t options_fingerprint) {
+  return Pcg64(warehouse_seed ^ 0x4D454D4FULL,
+               NodeStream(dataset, ids, options_fingerprint));
+}
+
 std::shared_ptr<const PartitionSample> MergeMemo::Lookup(
     const DatasetId& dataset, std::span<const PartitionId> ids,
     uint64_t options_fingerprint, uint64_t epoch) {

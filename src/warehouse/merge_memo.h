@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/core/sample.h"
+#include "src/util/random.h"
 #include "src/util/sharded_cache.h"
 #include "src/warehouse/ids.h"
 
@@ -81,6 +82,16 @@ class MergeMemo {
   static uint64_t NodeStream(const DatasetId& dataset,
                              std::span<const PartitionId> ids,
                              uint64_t options_fingerprint);
+
+  /// The RNG a merge node over `ids` draws from in a warehouse seeded with
+  /// `warehouse_seed`. This is the whole distributed-exactness contract: any
+  /// process that computes the node — the single-node memoized merge tree, a
+  /// shard evaluating a pushed-down subtree, or a coordinator joining shard
+  /// results — derives the identical stream from the node's identity, so
+  /// the merged bits are independent of where the node was computed.
+  static Pcg64 NodeRng(uint64_t warehouse_seed, const DatasetId& dataset,
+                       std::span<const PartitionId> ids,
+                       uint64_t options_fingerprint);
 
  private:
   struct MemoNode {

@@ -180,6 +180,40 @@ Result<PartitionId> Warehouse::RollIn(const DatasetId& dataset,
   return id;
 }
 
+Result<PartitionId> Warehouse::RollInAt(const DatasetId& dataset,
+                                        PartitionId id,
+                                        const PartitionSample& sample,
+                                        uint64_t min_timestamp,
+                                        uint64_t max_timestamp) {
+  SAMPWH_RETURN_IF_ERROR(sample.Validate());
+  {
+    SAMPWH_ASSIGN_OR_RETURN(DatasetLock held, LockDataset(dataset));
+    PartitionInfo info;
+    info.id = id;
+    info.parent_size = sample.parent_size();
+    info.sample_size = sample.size();
+    info.phase = sample.phase();
+    info.min_timestamp = min_timestamp;
+    info.max_timestamp = max_timestamp;
+    // Register first: AddPartition rejects an occupied id before the store
+    // is touched, so a collision never clobbers an existing sample. It also
+    // keeps the allocator ahead of the explicit id, so locally allocated
+    // roll-ins never collide with coordinator-placed ones.
+    SAMPWH_RETURN_IF_ERROR(catalog_.AddPartition(dataset, info));
+    const Status put = store_->Put(PartitionKey{dataset, id}, sample);
+    if (!put.ok()) {
+      catalog_.RemovePartition(dataset, id);
+      return put;
+    }
+    if (sample_cache_ != nullptr) {
+      sample_cache_->Insert(dataset, sample_cache_->CurrentEpoch(dataset), id,
+                            std::make_shared<const PartitionSample>(sample));
+    }
+  }
+  AutoPersistManifest();
+  return id;
+}
+
 Status Warehouse::RollOut(const DatasetId& dataset, PartitionId partition) {
   Status delete_status;
   {
@@ -405,9 +439,10 @@ Result<PartitionSample> Warehouse::MergeMemoized(
                     merge_options, options_fingerprint, memo_epoch));
   // The node's randomness is a pure function of its identity — never of
   // query history — so a recomputation after eviction reproduces the node
-  // bit-identically.
-  Pcg64 rng(options_.seed ^ 0x4D454D4FULL,
-            MergeMemo::NodeStream(dataset, ids, options_fingerprint));
+  // bit-identically (and a shard or coordinator computing the same node
+  // remotely reproduces it too; see MergeMemo::NodeRng).
+  Pcg64 rng = MergeMemo::NodeRng(options_.seed, dataset, ids,
+                                 options_fingerprint);
   SAMPWH_ASSIGN_OR_RETURN(PartitionSample merged,
                           MergeSamples(left, right, merge_options, rng));
   merge_memo_->Insert(dataset, ids, options_fingerprint, memo_epoch, merged);

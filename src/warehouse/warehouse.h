@@ -121,6 +121,16 @@ class Warehouse {
                              uint64_t min_timestamp = 0,
                              uint64_t max_timestamp = 0);
 
+  /// Roll-in under an explicitly supplied partition id (AlreadyExists when
+  /// occupied). Remote producers — a shard coordinator placing partitions
+  /// across warehouse nodes under globally allocated ids — use this so the
+  /// same partition carries the same id on every node that ever merges it;
+  /// the catalog keeps its allocator ahead of explicit ids.
+  Result<PartitionId> RollInAt(const DatasetId& dataset, PartitionId id,
+                               const PartitionSample& sample,
+                               uint64_t min_timestamp = 0,
+                               uint64_t max_timestamp = 0);
+
   /// Removes the partition's sample and catalog entry.
   Status RollOut(const DatasetId& dataset, PartitionId partition);
 

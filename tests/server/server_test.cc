@@ -1,0 +1,259 @@
+// End-to-end coverage of the warehouse server: wire framing, admin and
+// catalog verbs, roll-in/query round trips whose results are bit-identical
+// to the embedded warehouse, exactly-once streaming ingest over the wire,
+// and the stats/shutdown plumbing.
+
+#include "src/server/server.h"
+
+#include <gtest/gtest.h>
+
+#include "src/server/client.h"
+#include "src/server/wire.h"
+#include "tests/server/server_test_util.h"
+
+namespace sampwh {
+namespace {
+
+TEST(WireTest, FrameRoundTrip) {
+  const std::string payload = "hello frame";
+  const std::string frame = EncodeFrame(payload);
+  ASSERT_EQ(frame.size(), kWireFrameHeaderBytes + payload.size());
+  std::string_view decoded;
+  size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(frame, kWireDefaultMaxFrameBytes, &decoded, &consumed),
+            FrameDecodeResult::kOk);
+  EXPECT_EQ(decoded, payload);
+  EXPECT_EQ(consumed, frame.size());
+}
+
+TEST(WireTest, PrefixNeedsMoreData) {
+  const std::string frame = EncodeFrame("abcdef");
+  std::string_view decoded;
+  size_t consumed = 0;
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    EXPECT_EQ(DecodeFrame(std::string_view(frame).substr(0, cut),
+                          kWireDefaultMaxFrameBytes, &decoded, &consumed),
+              FrameDecodeResult::kNeedMoreData)
+        << "cut=" << cut;
+  }
+}
+
+TEST(WireTest, OversizedAndCorruptFramesAreRejected) {
+  std::string frame = EncodeFrame("payload");
+  std::string_view decoded;
+  size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(frame, /*max_frame_bytes=*/3, &decoded, &consumed),
+            FrameDecodeResult::kOversized);
+  frame.back() ^= 0x5A;  // corrupt one payload byte
+  EXPECT_EQ(DecodeFrame(frame, kWireDefaultMaxFrameBytes, &decoded, &consumed),
+            FrameDecodeResult::kBadCrc);
+}
+
+TEST(WireTest, ResponseHeadCarriesTypedStatus) {
+  BinaryWriter writer;
+  BeginResponse(&writer, Status::ResourceExhausted("quota"));
+  const std::string payload = writer.Release();
+  BinaryReader reader(payload);
+  const Status status = ParseResponseHead(&reader);
+  EXPECT_TRUE(status.IsResourceExhausted());
+  EXPECT_EQ(status.message(), "quota");
+}
+
+TEST(ServerTest, BindsDistinctEphemeralPorts) {
+  auto a = MustStart(TestServerOptions());
+  auto b = MustStart(TestServerOptions());
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a->port(), 0);
+  EXPECT_NE(b->port(), 0);
+  EXPECT_NE(a->port(), b->port());
+}
+
+TEST(ServerTest, PingAndStats) {
+  auto server = MustStart(TestServerOptions());
+  ASSERT_NE(server, nullptr);
+  auto client = MustConnect(*server);
+  ASSERT_NE(client, nullptr);
+  auto banner = client->Ping();
+  ASSERT_TRUE(banner.ok()) << banner.status().ToString();
+  EXPECT_EQ(banner.value(), "sampwh.warehouse/1");
+  auto stats = client->ServerStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().connections_accepted, 1u);
+  EXPECT_GE(stats.value().requests_served, 2u);
+  EXPECT_EQ(stats.value().protocol_errors, 0u);
+}
+
+TEST(ServerTest, TenantAndDatasetLifecycle) {
+  auto server = MustStart(TestServerOptions());
+  ASSERT_NE(server, nullptr);
+  auto client = MustConnect(*server);
+  ASSERT_NE(client, nullptr);
+
+  ASSERT_TRUE(client->CreateTenant("acme", {}).ok());
+  EXPECT_TRUE(client->CreateTenant("acme", {}).IsAlreadyExists());
+  EXPECT_TRUE(client->CreateTenant("bad.name", {}).IsInvalidArgument());
+
+  ASSERT_TRUE(client->CreateDataset("acme", "sales").ok());
+  EXPECT_TRUE(client->CreateDataset("acme", "sales").IsAlreadyExists());
+  EXPECT_TRUE(client->CreateDataset("ghost", "sales").IsNotFound());
+
+  auto datasets = client->ListDatasets("acme");
+  ASSERT_TRUE(datasets.ok());
+  EXPECT_EQ(datasets.value(), std::vector<std::string>{"sales"});
+
+  // The wire name is tenant-scoped; the warehouse stores the joined key.
+  EXPECT_TRUE(server->warehouse_for_testing()->HasDataset("acme.sales"));
+
+  ASSERT_TRUE(client->DropDataset("acme", "sales").ok());
+  EXPECT_FALSE(server->warehouse_for_testing()->HasDataset("acme.sales"));
+  EXPECT_TRUE(client->DropDataset("acme", "sales").IsNotFound());
+}
+
+TEST(ServerTest, RollInQueryRollOutRoundTrip) {
+  auto server = MustStart(TestServerOptions());
+  ASSERT_NE(server, nullptr);
+  auto client = MustConnect(*server);
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->CreateTenant("acme", {}).ok());
+  ASSERT_TRUE(client->CreateDataset("acme", "sales").ok());
+
+  std::vector<PartitionId> ids;
+  for (int p = 0; p < 5; ++p) {
+    auto id = client->RollIn("acme", "sales", MakeReservoirSample(p * 10, 4),
+                             /*min_timestamp=*/p, /*max_timestamp=*/p);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(id.value());
+  }
+
+  auto parts = client->ListPartitions("acme", "sales");
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts.value().size(), 5u);
+  EXPECT_EQ(parts.value()[2].parent_size, 4u);
+  EXPECT_EQ(parts.value()[2].min_timestamp, 2u);
+
+  // The remote merged sample must be bit-identical to what the embedded
+  // warehouse computes — the wire adds transport, never randomness.
+  auto remote = client->Query("acme", "sales");
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  auto local = server->warehouse_for_testing()->MergedSampleAll("acme.sales");
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(SampleBytes(remote.value()), SampleBytes(local.value()));
+
+  // Subset query, same contract.
+  const std::vector<PartitionId> subset = {ids[0], ids[2], ids[4]};
+  auto remote_subset = client->Query("acme", "sales", subset);
+  ASSERT_TRUE(remote_subset.ok());
+  auto local_subset =
+      server->warehouse_for_testing()->MergedSample("acme.sales", subset);
+  ASSERT_TRUE(local_subset.ok());
+  EXPECT_EQ(SampleBytes(remote_subset.value()),
+            SampleBytes(local_subset.value()));
+
+  ASSERT_TRUE(client->RollOut("acme", "sales", ids[1]).ok());
+  EXPECT_TRUE(client->RollOut("acme", "sales", ids[1]).IsNotFound());
+  auto after = client->ListPartitions("acme", "sales");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().size(), 4u);
+}
+
+TEST(ServerTest, RollInAtPlacesExplicitIds) {
+  auto server = MustStart(TestServerOptions());
+  ASSERT_NE(server, nullptr);
+  auto client = MustConnect(*server);
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->CreateTenant("acme", {}).ok());
+  ASSERT_TRUE(client->CreateDataset("acme", "sales").ok());
+
+  auto placed =
+      client->RollInAt("acme", "sales", 7, MakeReservoirSample(0, 3));
+  ASSERT_TRUE(placed.ok());
+  EXPECT_EQ(placed.value(), 7u);
+  EXPECT_TRUE(
+      client->RollInAt("acme", "sales", 7, MakeReservoirSample(10, 3))
+          .status()
+          .IsAlreadyExists());
+  // The allocator stays ahead of explicit ids.
+  auto allocated = client->RollIn("acme", "sales", MakeReservoirSample(20, 3));
+  ASSERT_TRUE(allocated.ok());
+  EXPECT_EQ(allocated.value(), 8u);
+}
+
+TEST(ServerTest, StreamingIngestIsExactlyOnceOverTheWire) {
+  ServerOptions options = TestServerOptions();
+  options.ingest_partition_elements = 64;
+  auto server = MustStart(std::move(options));
+  ASSERT_NE(server, nullptr);
+  auto client = MustConnect(*server);
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->CreateTenant("acme", {}).ok());
+  ASSERT_TRUE(client->CreateDataset("acme", "events").ok());
+
+  auto open = client->IngestOpen("acme", "events");
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  EXPECT_EQ(open.value().next_sequence, 0u);
+
+  std::vector<Value> batch(50);
+  for (size_t i = 0; i < batch.size(); ++i) batch[i] = static_cast<Value>(i);
+  auto first = client->IngestAppend("acme", "events", 0, batch);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().next_sequence, 50u);
+
+  // At-least-once delivery: the duplicate is acknowledged and skipped.
+  auto duplicate = client->IngestAppend("acme", "events", 0, batch);
+  ASSERT_TRUE(duplicate.ok());
+  EXPECT_EQ(duplicate.value().next_sequence, 50u);
+
+  // A straddling batch applies only its unapplied suffix (crosses the
+  // 64-element partition boundary, so one partition rolls in).
+  auto straddle = client->IngestAppend("acme", "events", 25, batch);
+  ASSERT_TRUE(straddle.ok());
+  EXPECT_EQ(straddle.value().next_sequence, 75u);
+  EXPECT_EQ(straddle.value().partitions_rolled_in, 1u);
+
+  // A delivery gap is a typed error, nothing applied.
+  EXPECT_TRUE(client->IngestAppend("acme", "events", 100, batch)
+                  .status()
+                  .IsFailedPrecondition());
+
+  auto flushed = client->IngestFlush("acme", "events");
+  ASSERT_TRUE(flushed.ok());
+  EXPECT_EQ(flushed.value().next_sequence, 75u);
+  EXPECT_EQ(flushed.value().partitions_rolled_in, 2u);
+
+  auto parts = client->ListPartitions("acme", "events");
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts.value().size(), 2u);
+  EXPECT_EQ(parts.value()[0].parent_size, 64u);
+  EXPECT_EQ(parts.value()[1].parent_size, 11u);
+
+  EXPECT_TRUE(client->IngestAppend("acme", "ghost", 0, batch)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(ServerTest, ShutdownVerbStopsTheServer) {
+  auto server = MustStart(TestServerOptions());
+  ASSERT_NE(server, nullptr);
+  auto client = MustConnect(*server);
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->Shutdown().ok());
+  server->Stop();
+  EXPECT_TRUE(server->stopped());
+  EXPECT_FALSE(
+      WarehouseClient::Connect(server->host(), server->port()).ok());
+}
+
+TEST(ServerTest, ShutdownVerbCanBeDisabled) {
+  ServerOptions options = TestServerOptions();
+  options.allow_remote_shutdown = false;
+  auto server = MustStart(std::move(options));
+  ASSERT_NE(server, nullptr);
+  auto client = MustConnect(*server);
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(client->Shutdown().IsFailedPrecondition());
+  EXPECT_FALSE(server->stop_requested());
+}
+
+}  // namespace
+}  // namespace sampwh

@@ -1,0 +1,284 @@
+// Tenant catalog and multi-tenancy battery: id validation and key
+// splitting, charge/credit bookkeeping, and — over the wire — full
+// isolation of same-named datasets across tenants plus charge-before-mutate
+// quota enforcement (exhaustion is a clean typed error that leaves no
+// partial roll-in behind).
+
+#include "src/server/tenant.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/types.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+#include "tests/server/server_test_util.h"
+
+namespace sampwh {
+namespace {
+
+TEST(TenantIdTest, ValidatesCharsetLengthAndDot) {
+  EXPECT_TRUE(ValidateTenantId("acme").ok());
+  EXPECT_TRUE(ValidateTenantId("Tenant_01-x").ok());
+  EXPECT_TRUE(ValidateTenantId(std::string(64, 'a')).ok());
+
+  EXPECT_TRUE(ValidateTenantId("").IsInvalidArgument());
+  EXPECT_TRUE(ValidateTenantId(std::string(65, 'a')).IsInvalidArgument());
+  EXPECT_TRUE(ValidateTenantId("has.dot").IsInvalidArgument());
+  EXPECT_TRUE(ValidateTenantId("has/slash").IsInvalidArgument());
+  EXPECT_TRUE(ValidateTenantId("has space").IsInvalidArgument());
+}
+
+TEST(TenantIdTest, KeyJoinAndSplitRoundTrip) {
+  auto key = MakeTenantDatasetKey("acme", "sales");
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(key.value(), "acme.sales");
+
+  std::string tenant, dataset;
+  ASSERT_TRUE(SplitTenantDatasetKey(key.value(), &tenant, &dataset).ok());
+  EXPECT_EQ(tenant, "acme");
+  EXPECT_EQ(dataset, "sales");
+
+  // Dataset names may themselves contain dots; the first '.' is the tenant
+  // boundary because tenant ids exclude it.
+  auto dotted = MakeTenantDatasetKey("acme", "sales.eu.2026");
+  ASSERT_TRUE(dotted.ok());
+  ASSERT_TRUE(SplitTenantDatasetKey(dotted.value(), &tenant, &dataset).ok());
+  EXPECT_EQ(tenant, "acme");
+  EXPECT_EQ(dataset, "sales.eu.2026");
+
+  EXPECT_FALSE(MakeTenantDatasetKey("bad.tenant", "sales").ok());
+  EXPECT_FALSE(MakeTenantDatasetKey("acme", "").ok());
+  // The joined key must respect the dataset-id length bound (200 bytes).
+  EXPECT_FALSE(
+      MakeTenantDatasetKey(std::string(64, 'a'), std::string(150, 'd')).ok());
+}
+
+TEST(TenantCatalogTest, ChargeAndCreditBookkeeping) {
+  TenantCatalog catalog;
+  ASSERT_TRUE(catalog.CreateTenant("acme", {}).ok());
+  EXPECT_TRUE(catalog.CreateTenant("acme", {}).IsAlreadyExists());
+  EXPECT_TRUE(catalog.ChargeDataset("ghost").IsNotFound());
+
+  TenantQuota quota;
+  quota.max_bytes = 1000;
+  quota.max_partitions = 2;
+  quota.max_datasets = 1;
+  ASSERT_TRUE(catalog.SetQuota("acme", quota).ok());
+
+  ASSERT_TRUE(catalog.ChargeDataset("acme").ok());
+  EXPECT_TRUE(catalog.ChargeDataset("acme").IsResourceExhausted());
+
+  ASSERT_TRUE(catalog.ChargePartition("acme", "acme.sales", 1, 400).ok());
+  ASSERT_TRUE(catalog.ChargePartition("acme", "acme.sales", 2, 400).ok());
+  // Third partition trips the partition quota; a smaller byte charge would
+  // still fit, so the rejection must charge nothing.
+  EXPECT_TRUE(catalog.ChargePartition("acme", "acme.sales", 3, 100)
+                  .IsResourceExhausted());
+  auto usage = catalog.GetUsage("acme");
+  ASSERT_TRUE(usage.ok());
+  EXPECT_EQ(usage.value().bytes, 800u);
+  EXPECT_EQ(usage.value().partitions, 2u);
+  EXPECT_EQ(usage.value().datasets, 1u);
+
+  // Credit is exact: it returns the recorded charge, not the caller's
+  // current guess.
+  catalog.CreditPartition("acme", "acme.sales", 1);
+  usage = catalog.GetUsage("acme");
+  ASSERT_TRUE(usage.ok());
+  EXPECT_EQ(usage.value().bytes, 400u);
+  EXPECT_EQ(usage.value().partitions, 1u);
+  // Unknown charge: no-op, never underflow.
+  catalog.CreditPartition("acme", "acme.sales", 99);
+  EXPECT_EQ(catalog.GetUsage("acme").value().bytes, 400u);
+
+  // Byte quota: 400 used, a 700-byte partition would exceed 1000.
+  EXPECT_TRUE(catalog.ChargePartition("acme", "acme.sales", 4, 700)
+                  .IsResourceExhausted());
+  // ... but force pushes past it (startup reconciliation semantics).
+  ASSERT_TRUE(
+      catalog.ChargePartition("acme", "acme.sales", 4, 700, /*force=*/true)
+          .ok());
+  EXPECT_EQ(catalog.GetUsage("acme").value().bytes, 1100u);
+
+  // Dropping the dataset credits every partition charge under its key.
+  catalog.CreditDataset("acme", "acme.sales");
+  usage = catalog.GetUsage("acme");
+  ASSERT_TRUE(usage.ok());
+  EXPECT_EQ(usage.value().bytes, 0u);
+  EXPECT_EQ(usage.value().partitions, 0u);
+  EXPECT_EQ(usage.value().datasets, 0u);
+}
+
+TEST(TenantCatalogTest, RenameMovesProvisionalCharge) {
+  TenantCatalog catalog;
+  ASSERT_TRUE(catalog.CreateTenant("acme", {}).ok());
+  const PartitionId provisional = (1ull << 62) + 17;
+  ASSERT_TRUE(
+      catalog.ChargePartition("acme", "acme.sales", provisional, 256).ok());
+  catalog.RenamePartitionCharge("acme", "acme.sales", provisional, 5);
+  // The charge now credits under the real id, not the provisional one.
+  catalog.CreditPartition("acme", "acme.sales", provisional);
+  EXPECT_EQ(catalog.GetUsage("acme").value().bytes, 256u);
+  catalog.CreditPartition("acme", "acme.sales", 5);
+  EXPECT_EQ(catalog.GetUsage("acme").value().bytes, 0u);
+}
+
+TEST(TenantServerTest, SameNamedDatasetsAreFullyIsolated) {
+  auto server = MustStart(TestServerOptions());
+  ASSERT_NE(server, nullptr);
+  auto client = MustConnect(*server);
+  ASSERT_NE(client, nullptr);
+
+  ASSERT_TRUE(client->CreateTenant("acme", {}).ok());
+  ASSERT_TRUE(client->CreateTenant("beta", {}).ok());
+  ASSERT_TRUE(client->CreateDataset("acme", "sales").ok());
+  ASSERT_TRUE(client->CreateDataset("beta", "sales").ok());
+
+  // Disjoint value ranges so cross-talk would be visible in the samples.
+  ASSERT_TRUE(
+      client->RollIn("acme", "sales", MakeReservoirSample(0, 8)).ok());
+  ASSERT_TRUE(
+      client->RollIn("acme", "sales", MakeReservoirSample(100, 8)).ok());
+  ASSERT_TRUE(
+      client->RollIn("beta", "sales", MakeReservoirSample(1000, 8)).ok());
+
+  auto acme_parts = client->ListPartitions("acme", "sales");
+  auto beta_parts = client->ListPartitions("beta", "sales");
+  ASSERT_TRUE(acme_parts.ok());
+  ASSERT_TRUE(beta_parts.ok());
+  EXPECT_EQ(acme_parts.value().size(), 2u);
+  EXPECT_EQ(beta_parts.value().size(), 1u);
+  // Partition ids are allocated per internal key, so both tenants start
+  // from the same id without colliding.
+  EXPECT_EQ(acme_parts.value()[0].id, beta_parts.value()[0].id);
+
+  // Each tenant's query resolves against its own internal key only.
+  auto acme_query = client->Query("acme", "sales");
+  auto beta_query = client->Query("beta", "sales");
+  ASSERT_TRUE(acme_query.ok());
+  ASSERT_TRUE(beta_query.ok());
+  Warehouse* warehouse = server->warehouse_for_testing();
+  EXPECT_EQ(SampleBytes(acme_query.value()),
+            SampleBytes(warehouse->MergedSampleAll("acme.sales").value()));
+  EXPECT_EQ(SampleBytes(beta_query.value()),
+            SampleBytes(warehouse->MergedSampleAll("beta.sales").value()));
+  EXPECT_NE(SampleBytes(acme_query.value()), SampleBytes(beta_query.value()));
+
+  // Usage is tracked per tenant.
+  auto acme_stats = client->GetTenantStats("acme");
+  auto beta_stats = client->GetTenantStats("beta");
+  ASSERT_TRUE(acme_stats.ok());
+  ASSERT_TRUE(beta_stats.ok());
+  EXPECT_EQ(acme_stats.value().usage.partitions, 2u);
+  EXPECT_EQ(beta_stats.value().usage.partitions, 1u);
+  EXPECT_EQ(acme_stats.value().usage.bytes,
+            2 * beta_stats.value().usage.bytes);
+
+  // Dropping one tenant's "sales" leaves the other's untouched.
+  ASSERT_TRUE(client->DropDataset("acme", "sales").ok());
+  EXPECT_TRUE(client->ListPartitions("acme", "sales").status().IsNotFound());
+  auto beta_after = client->ListPartitions("beta", "sales");
+  ASSERT_TRUE(beta_after.ok());
+  EXPECT_EQ(beta_after.value().size(), 1u);
+  EXPECT_EQ(client->GetTenantStats("acme").value().usage.bytes, 0u);
+  EXPECT_EQ(client->GetTenantStats("beta").value().usage.partitions, 1u);
+}
+
+TEST(TenantServerTest, QuotaExhaustionLeavesNoPartialRollIn) {
+  auto server = MustStart(TestServerOptions());
+  ASSERT_NE(server, nullptr);
+  auto client = MustConnect(*server);
+  ASSERT_NE(client, nullptr);
+
+  const PartitionSample sample = MakeReservoirSample(0, 8);
+  TenantQuota quota;
+  quota.max_partitions = 2;
+  ASSERT_TRUE(client->CreateTenant("acme", quota).ok());
+  ASSERT_TRUE(client->CreateDataset("acme", "sales").ok());
+  ASSERT_TRUE(client->RollIn("acme", "sales", sample).ok());
+  ASSERT_TRUE(client->RollIn("acme", "sales", sample).ok());
+
+  const std::string before =
+      SampleBytes(client->Query("acme", "sales").value());
+  auto rejected = client->RollIn("acme", "sales", sample);
+  EXPECT_TRUE(rejected.status().IsResourceExhausted());
+
+  // No partial roll-in: partition list, merged sample, usage and the
+  // warehouse's own view are all exactly as before the rejected call.
+  EXPECT_EQ(client->ListPartitions("acme", "sales").value().size(), 2u);
+  EXPECT_EQ(SampleBytes(client->Query("acme", "sales").value()), before);
+  auto stats = client->GetTenantStats("acme");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().usage.partitions, 2u);
+  EXPECT_EQ(stats.value().usage.bytes, 2 * sample.footprint_bytes());
+  EXPECT_EQ(server->warehouse_for_testing()
+                ->ListPartitions("acme.sales")
+                .value()
+                .size(),
+            2u);
+
+  // Byte quotas reject the same way: room for one more partition but not
+  // for its bytes.
+  TenantQuota bytes_quota;
+  bytes_quota.max_bytes = 2 * sample.footprint_bytes();
+  ASSERT_TRUE(client->SetTenantQuota("acme", bytes_quota).ok());
+  EXPECT_TRUE(client->RollIn("acme", "sales", sample)
+                  .status()
+                  .IsResourceExhausted());
+  EXPECT_EQ(client->ListPartitions("acme", "sales").value().size(), 2u);
+
+  // Roll-out credits the exact charge, after which growth resumes.
+  const PartitionId first =
+      client->ListPartitions("acme", "sales").value()[0].id;
+  ASSERT_TRUE(client->RollOut("acme", "sales", first).ok());
+  EXPECT_EQ(client->GetTenantStats("acme").value().usage.bytes,
+            sample.footprint_bytes());
+  EXPECT_TRUE(client->RollIn("acme", "sales", sample).ok());
+}
+
+TEST(TenantServerTest, StreamingIngestStopsAtTheQuota) {
+  ServerOptions options = TestServerOptions();
+  options.ingest_partition_elements = 64;
+  auto server = MustStart(std::move(options));
+  ASSERT_NE(server, nullptr);
+  auto client = MustConnect(*server);
+  ASSERT_NE(client, nullptr);
+
+  TenantQuota quota;
+  quota.max_partitions = 1;
+  ASSERT_TRUE(client->CreateTenant("acme", quota).ok());
+  ASSERT_TRUE(client->CreateDataset("acme", "events").ok());
+  ASSERT_TRUE(client->IngestOpen("acme", "events").ok());
+
+  // The gate admits the batch while usage is under quota; partitions the
+  // accepted elements close are charged as ground truth even if they land
+  // past the limit (usage must never lie about stored bytes). The second
+  // partition fills at exactly 128 elements but closes lazily (on the next
+  // append or the flush), so one roll-in is visible here.
+  std::vector<Value> batch(128);
+  for (size_t i = 0; i < batch.size(); ++i) batch[i] = static_cast<Value>(i);
+  auto accepted = client->IngestAppend("acme", "events", 0, batch);
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+  EXPECT_EQ(accepted.value().partitions_rolled_in, 1u);
+
+  // Now over quota: the next batch is a clean typed rejection with no
+  // elements applied — the watermark proves nothing moved.
+  auto rejected = client->IngestAppend("acme", "events", 128, batch);
+  EXPECT_TRUE(rejected.status().IsResourceExhausted());
+  auto flushed = client->IngestFlush("acme", "events");
+  ASSERT_TRUE(flushed.ok());
+  EXPECT_EQ(flushed.value().next_sequence, 128u);
+  EXPECT_EQ(client->GetTenantStats("acme").value().usage.partitions, 2u);
+
+  // Raising the quota reopens the stream.
+  TenantQuota raised;
+  raised.max_partitions = 8;
+  ASSERT_TRUE(client->SetTenantQuota("acme", raised).ok());
+  EXPECT_TRUE(client->IngestAppend("acme", "events", 128, batch).ok());
+}
+
+}  // namespace
+}  // namespace sampwh

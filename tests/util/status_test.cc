@@ -24,12 +24,16 @@ TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
   EXPECT_TRUE(Status::Corruption("x").IsCorruption());
   EXPECT_TRUE(Status::IOError("x").IsIOError());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
   EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
 }
 
 TEST(StatusTest, ToStringIncludesCodeName) {
   EXPECT_EQ(Status::Corruption("bad bytes").ToString(),
             "Corruption: bad bytes");
+  // The quota-rejection code the warehouse server's tenant catalog returns.
+  EXPECT_EQ(Status::ResourceExhausted("quota full").ToString(),
+            "ResourceExhausted: quota full");
 }
 
 TEST(StatusTest, ErrorsAreNotOk) {
@@ -101,6 +105,8 @@ TEST(StatusMacrosTest, AssignOrReturnAssignsAndPropagates) {
 TEST(StatusCodeTest, AllCodesHaveNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
 }
 
 }  // namespace

@@ -79,6 +79,24 @@ TYPED_TEST(SampleStoreTest, PutReplacesExisting) {
   EXPECT_EQ(this->store_->Get({"ds", 0}).value().parent_size(), 555u);
 }
 
+TYPED_TEST(SampleStoreTest, TenantNamespacedKeysNeverCollide) {
+  // The warehouse server maps (tenant, dataset) onto "<tenant>.<dataset>";
+  // both backends must keep two tenants' same-named datasets fully
+  // separate — same partition id, same dataset stem, different prefix.
+  ASSERT_TRUE(this->store_->Put({"acme.sales", 0}, TestSample(111)).ok());
+  ASSERT_TRUE(this->store_->Put({"beta.sales", 0}, TestSample(222)).ok());
+  EXPECT_EQ(this->store_->Get({"acme.sales", 0}).value().parent_size(), 111u);
+  EXPECT_EQ(this->store_->Get({"beta.sales", 0}).value().parent_size(), 222u);
+  // The bare stem is a third, unrelated dataset.
+  EXPECT_TRUE(this->store_->Get({"sales", 0}).status().IsNotFound());
+
+  // Listing and deletion stay inside one tenant's key.
+  EXPECT_EQ(this->store_->List("acme.sales").value().size(), 1u);
+  ASSERT_TRUE(this->store_->Delete({"acme.sales", 0}).ok());
+  EXPECT_TRUE(this->store_->Get({"acme.sales", 0}).status().IsNotFound());
+  EXPECT_EQ(this->store_->Get({"beta.sales", 0}).value().parent_size(), 222u);
+}
+
 TYPED_TEST(SampleStoreTest, DeleteRemoves) {
   ASSERT_TRUE(this->store_->Put({"ds", 0}, TestSample()).ok());
   EXPECT_TRUE(this->store_->Delete({"ds", 0}).ok());

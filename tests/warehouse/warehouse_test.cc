@@ -90,6 +90,44 @@ TEST(WarehouseTest, RollInRollOut) {
   EXPECT_TRUE(wh.RollOut("ds", id.value()).IsNotFound());
 }
 
+TEST(WarehouseTest, RollInAtPlacesExplicitIdsAndGuardsCollisions) {
+  // The shard coordinator allocates partition ids globally and places them
+  // via RollInAt; the warehouse must honor the explicit id, reject an
+  // occupied one without clobbering the stored sample, and keep its own
+  // allocator ahead of coordinator-placed ids.
+  Warehouse wh(HrOptions());
+  ASSERT_TRUE(wh.CreateDataset("ds").ok());
+  CompactHistogram h;
+  for (Value v = 0; v < 10; ++v) h.Insert(v);
+  const PartitionSample s = PartitionSample::MakeExhaustive(h, 10, 512);
+
+  const auto placed = wh.RollInAt("ds", 42, s, 7, 9);
+  ASSERT_TRUE(placed.ok());
+  EXPECT_EQ(placed.value(), 42u);
+  const auto parts = wh.ListPartitions("ds");
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts.value().size(), 1u);
+  EXPECT_EQ(parts.value()[0].id, 42u);
+  EXPECT_EQ(parts.value()[0].min_timestamp, 7u);
+  EXPECT_EQ(parts.value()[0].max_timestamp, 9u);
+
+  // Occupied id: rejected before the store is touched.
+  CompactHistogram other;
+  other.Insert(99);
+  EXPECT_TRUE(wh.RollInAt("ds", 42,
+                          PartitionSample::MakeExhaustive(other, 1, 512))
+                  .status()
+                  .IsAlreadyExists());
+  EXPECT_EQ(wh.GetSample("ds", 42).value().parent_size(), 10u);
+
+  // The local allocator stays ahead of the explicit id.
+  const auto allocated = wh.RollIn("ds", s);
+  ASSERT_TRUE(allocated.ok());
+  EXPECT_EQ(allocated.value(), 43u);
+
+  EXPECT_TRUE(wh.RollInAt("ghost", 0, s).status().IsNotFound());
+}
+
 TEST(WarehouseTest, MergedSampleAllIsUniformSizeAndParent) {
   Warehouse wh(HrOptions());
   ASSERT_TRUE(wh.CreateDataset("ds").ok());

@@ -16,15 +16,35 @@
 //       the chain structure behind it — snapshot generation and verify
 //       status, every WAL delta record with its kind / watermark / CRC
 //       status, and whether a torn tail was skipped.
+//   sampwh_tool serve <store-dir> [--port N] [--port-file PATH]
+//                     [--tenant NAME[:bytes[:partitions[:datasets]]]] ...
+//                     [--seed S] [--partition-elements N] [--memo-bytes N]
+//       Run the warehouse server daemon over a file-backed store (restores
+//       the store's MANIFEST when present). Binds an ephemeral port when
+//       --port is omitted and, with --port-file, writes the bound port
+//       there so orchestrators never race on a fixed port. Stops on
+//       SIGINT/SIGTERM or the kShutdown wire verb.
+//   sampwh_tool ping <host> <port>
+//   sampwh_tool server-stats <host> <port>
+//   sampwh_tool remote-query <host> <port> <tenant> <dataset> <out-file>
+//       Client verbs against a running server; remote-query saves the
+//       merged sample of every partition to <out-file> (dump/estimate
+//       read it back).
 
+#include <csignal>
+
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/merge.h"
 #include "src/core/sample.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
 #include "src/stats/estimators.h"
 #include "src/stats/profile.h"
 #include "src/util/serialization.h"
@@ -261,6 +281,168 @@ int CmdCheckpoints(const std::string& dir) {
   return 0;
 }
 
+std::atomic<bool> g_signalled{false};
+
+void OnSignal(int) { g_signalled.store(true, std::memory_order_release); }
+
+/// "NAME[:bytes[:partitions[:datasets]]]" -> bootstrap tenant entry.
+Status ParseTenantSpec(const std::string& spec, std::string* name,
+                       TenantQuota* quota) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t colon = spec.find(':', start);
+    parts.push_back(spec.substr(start, colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  if (parts.empty() || parts.size() > 4) {
+    return Status::InvalidArgument("bad tenant spec: " + spec);
+  }
+  *name = parts[0];
+  uint64_t* fields[] = {&quota->max_bytes, &quota->max_partitions,
+                        &quota->max_datasets};
+  for (size_t i = 1; i < parts.size(); ++i) {
+    char* end = nullptr;
+    *fields[i - 1] = std::strtoull(parts[i].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("bad tenant quota in spec: " + spec);
+    }
+  }
+  return ValidateTenantId(*name);
+}
+
+int CmdServe(const std::vector<std::string>& args) {
+  ServerOptions options;
+  options.store_directory = args[0];
+  // The server needs the merge memo for the distributed-exactness
+  // contract; give it a sane default the flags can override.
+  options.warehouse.merge_memo_bytes = 8ull << 20;
+  std::string port_file;
+  for (size_t i = 1; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    auto next = [&]() -> const std::string* {
+      return i + 1 < args.size() ? &args[++i] : nullptr;
+    };
+    if (flag == "--port") {
+      const std::string* v = next();
+      if (v == nullptr) return Fail(Status::InvalidArgument("--port needs N"));
+      options.port = static_cast<uint16_t>(std::strtoul(v->c_str(), nullptr,
+                                                        10));
+    } else if (flag == "--port-file") {
+      const std::string* v = next();
+      if (v == nullptr) {
+        return Fail(Status::InvalidArgument("--port-file needs PATH"));
+      }
+      port_file = *v;
+    } else if (flag == "--seed") {
+      const std::string* v = next();
+      if (v == nullptr) return Fail(Status::InvalidArgument("--seed needs S"));
+      options.warehouse.seed = std::strtoull(v->c_str(), nullptr, 10);
+    } else if (flag == "--partition-elements") {
+      const std::string* v = next();
+      if (v == nullptr) {
+        return Fail(Status::InvalidArgument("--partition-elements needs N"));
+      }
+      options.ingest_partition_elements = std::strtoull(v->c_str(), nullptr,
+                                                        10);
+    } else if (flag == "--memo-bytes") {
+      const std::string* v = next();
+      if (v == nullptr) {
+        return Fail(Status::InvalidArgument("--memo-bytes needs N"));
+      }
+      options.warehouse.merge_memo_bytes = std::strtoull(v->c_str(), nullptr,
+                                                         10);
+    } else if (flag == "--tenant") {
+      const std::string* v = next();
+      if (v == nullptr) {
+        return Fail(Status::InvalidArgument("--tenant needs a spec"));
+      }
+      std::string name;
+      TenantQuota quota;
+      const Status parsed = ParseTenantSpec(*v, &name, &quota);
+      if (!parsed.ok()) return Fail(parsed);
+      options.bootstrap_tenants[name] = quota;
+    } else {
+      return Fail(Status::InvalidArgument("unknown serve flag: " + flag));
+    }
+  }
+
+  auto server = WarehouseServer::Start(std::move(options));
+  if (!server.ok()) return Fail(server.status());
+
+  if (!port_file.empty()) {
+    const Status written = WriteFileAtomic(
+        port_file, std::to_string(server.value()->port()) + "\n");
+    if (!written.ok()) return Fail(written);
+  }
+  std::printf("serving on %s:%u\n", server.value()->host().c_str(),
+              server.value()->port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_signalled.load(std::memory_order_acquire) &&
+         !server.value()->stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.value()->Stop();
+  std::printf("stopped\n");
+  return 0;
+}
+
+Result<std::unique_ptr<WarehouseClient>> ToolConnect(const std::string& host,
+                                                     const std::string& port) {
+  return WarehouseClient::Connect(
+      host, static_cast<uint16_t>(std::strtoul(port.c_str(), nullptr, 10)));
+}
+
+int CmdPing(const std::string& host, const std::string& port) {
+  auto client = ToolConnect(host, port);
+  if (!client.ok()) return Fail(client.status());
+  auto banner = client.value()->Ping();
+  if (!banner.ok()) return Fail(banner.status());
+  std::printf("%s\n", banner.value().c_str());
+  return 0;
+}
+
+int CmdServerStats(const std::string& host, const std::string& port) {
+  auto client = ToolConnect(host, port);
+  if (!client.ok()) return Fail(client.status());
+  auto stats = client.value()->ServerStats();
+  if (!stats.ok()) return Fail(stats.status());
+  const RemoteServerStats& s = stats.value();
+  std::printf("connections accepted: %llu\n",
+              static_cast<unsigned long long>(s.connections_accepted));
+  std::printf("connections dropped:  %llu\n",
+              static_cast<unsigned long long>(s.connections_dropped));
+  std::printf("requests served:      %llu\n",
+              static_cast<unsigned long long>(s.requests_served));
+  std::printf("error responses:      %llu\n",
+              static_cast<unsigned long long>(s.error_responses));
+  std::printf("protocol errors:      %llu\n",
+              static_cast<unsigned long long>(s.protocol_errors));
+  std::printf("datasets:             %llu\n",
+              static_cast<unsigned long long>(s.num_datasets));
+  return 0;
+}
+
+int CmdRemoteQuery(const std::vector<std::string>& args) {
+  auto client = ToolConnect(args[0], args[1]);
+  if (!client.ok()) return Fail(client.status());
+  auto sample = client.value()->Query(args[2], args[3]);
+  if (!sample.ok()) return Fail(sample.status());
+  const Status saved = SaveSample(args[4], sample.value());
+  if (!saved.ok()) return Fail(saved);
+  std::printf("query %s/%s -> %s (parent %llu, sample %llu, %s)\n",
+              args[2].c_str(), args[3].c_str(), args[4].c_str(),
+              static_cast<unsigned long long>(sample.value().parent_size()),
+              static_cast<unsigned long long>(sample.value().size()),
+              std::string(SamplePhaseToString(sample.value().phase()))
+                  .c_str());
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -270,7 +452,14 @@ int Usage() {
       "  sampwh_tool estimate <sample-file> mean|sum|distinct\n"
       "  sampwh_tool merge <out-file> <in-file> <in-file> [in-file...]\n"
       "  sampwh_tool inspect <store-dir> <manifest-file>\n"
-      "  sampwh_tool checkpoints <store-dir>\n");
+      "  sampwh_tool checkpoints <store-dir>\n"
+      "  sampwh_tool serve <store-dir> [--port N] [--port-file PATH]\n"
+      "              [--tenant NAME[:bytes[:partitions[:datasets]]]] ...\n"
+      "              [--seed S] [--partition-elements N] [--memo-bytes N]\n"
+      "  sampwh_tool ping <host> <port>\n"
+      "  sampwh_tool server-stats <host> <port>\n"
+      "  sampwh_tool remote-query <host> <port> <tenant> <dataset> "
+      "<out-file>\n");
   return 2;
 }
 
@@ -289,6 +478,14 @@ int Run(int argc, char** argv) {
   }
   if (command == "checkpoints" && args.size() == 1) {
     return CmdCheckpoints(args[0]);
+  }
+  if (command == "serve" && !args.empty()) return CmdServe(args);
+  if (command == "ping" && args.size() == 2) return CmdPing(args[0], args[1]);
+  if (command == "server-stats" && args.size() == 2) {
+    return CmdServerStats(args[0], args[1]);
+  }
+  if (command == "remote-query" && args.size() == 5) {
+    return CmdRemoteQuery(args);
   }
   return Usage();
 }
