@@ -89,6 +89,24 @@ struct CellResult {
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
+  /// Failure-path breakdown. On a healthy loopback deployment every
+  /// counter stays 0; anything in `unexpected_errors` fails the gate.
+  uint64_t retries_attempted = 0;
+  uint64_t breaker_open_total = 0;
+  uint64_t unavailable_errors = 0;
+  uint64_t deadline_errors = 0;
+  uint64_t unexpected_errors = 0;
+};
+
+/// The admission-control cell: a capped server refusing over-cap
+/// connections with structured kResourceExhausted. Shedding is EXPECTED
+/// here and must be visible in the counters; anything else fails the gate.
+struct OverloadResult {
+  uint32_t cap = 0;
+  uint64_t over_cap_attempts = 0;
+  uint64_t resource_exhausted = 0;
+  uint64_t connections_shed = 0;
+  uint64_t unexpected_errors = 0;
 };
 
 /// One shard deployment: N in-process servers plus the addresses client
@@ -216,6 +234,10 @@ CellResult RunCell(const BenchParams& params, const Deployment& d,
   std::atomic<bool> go{false};
   std::atomic<bool> stop{false};
   std::vector<std::vector<double>> latencies(clients);
+  std::vector<CoordinatorStats> coord_stats(clients);
+  std::atomic<uint64_t> unavailable{0};
+  std::atomic<uint64_t> deadline{0};
+  std::atomic<uint64_t> unexpected{0};
   std::vector<std::thread> threads;
   threads.reserve(clients);
   for (unsigned c = 0; c < clients; ++c) {
@@ -235,9 +257,19 @@ CellResult RunCell(const BenchParams& params, const Deployment& d,
         const std::vector<PartitionId> subset = RandomSubset(d.ids, rng);
         WallTimer timer;
         auto merged = coord.Query(kTenant, kDataset, subset);
-        SAMPWH_CHECK(merged.ok());
-        lat.push_back(timer.ElapsedSeconds());
+        if (merged.ok()) {
+          lat.push_back(timer.ElapsedSeconds());
+        } else if (merged.status().IsUnavailable()) {
+          unavailable.fetch_add(1, std::memory_order_relaxed);
+        } else if (merged.status().IsDeadlineExceeded()) {
+          deadline.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          unexpected.fetch_add(1, std::memory_order_relaxed);
+          std::fprintf(stderr, "unexpected query error: %s\n",
+                       merged.status().ToString().c_str());
+        }
       }
+      coord_stats[c] = coord.stats();
     });
   }
   while (ready.load() < clients) std::this_thread::yield();
@@ -270,12 +302,73 @@ CellResult RunCell(const BenchParams& params, const Deployment& d,
   cell.p50_ms = percentile_ms(0.50);
   cell.p95_ms = percentile_ms(0.95);
   cell.p99_ms = percentile_ms(0.99);
+  for (const CoordinatorStats& s : coord_stats) {
+    cell.retries_attempted += s.retries_attempted;
+    cell.breaker_open_total += s.breaker_open_total;
+  }
+  cell.unavailable_errors = unavailable.load();
+  cell.deadline_errors = deadline.load();
+  cell.unexpected_errors = unexpected.load();
   return cell;
 }
 
+/// Deterministic admission-control probe: fill a capped server with
+/// `cap` persistent querying clients, then attempt `extra` more. Every
+/// over-cap connection must be refused with a structured
+/// kResourceExhausted in bounded time — never a hang, never a raw FIN.
+OverloadResult RunOverloadCell(const BenchParams& params) {
+  OverloadResult r;
+  r.cap = 2;
+  ServerOptions options = NodeOptions(params);
+  options.max_connections = r.cap;
+  auto server = WarehouseServer::Start(options);
+  SAMPWH_CHECK(server.ok());
+  ClientOptions no_retry;
+  no_retry.max_retries = 0;
+  no_retry.breaker_failure_threshold = 0;
+
+  std::vector<std::unique_ptr<WarehouseClient>> held;
+  for (uint32_t i = 0; i < r.cap; ++i) {
+    auto client = WarehouseClient::Connect(server.value()->host(),
+                                           server.value()->port(), no_retry);
+    SAMPWH_CHECK(client.ok());
+    if (i == 0) {
+      SAMPWH_CHECK(client.value()->CreateTenant(kTenant, {}).ok());
+      SAMPWH_CHECK(client.value()->CreateDataset(kTenant, kDataset).ok());
+    }
+    SAMPWH_CHECK(client.value()->Ping().ok());
+    held.push_back(std::move(client).value());
+  }
+  for (int i = 0; i < 4; ++i) {
+    r.over_cap_attempts++;
+    auto client = WarehouseClient::Connect(server.value()->host(),
+                                           server.value()->port(), no_retry);
+    if (!client.ok()) {
+      r.unexpected_errors++;
+      continue;
+    }
+    const Status st = client.value()->Ping().status();
+    if (st.IsResourceExhausted()) {
+      r.resource_exhausted++;
+    } else {
+      r.unexpected_errors++;
+      std::fprintf(stderr, "overload: expected kResourceExhausted, got %s\n",
+                   st.ToString().c_str());
+    }
+  }
+  // In-cap clients must have been untouched by the shedding.
+  for (const auto& client : held) {
+    if (!client->Ping().ok()) r.unexpected_errors++;
+  }
+  r.connections_shed = server.value()->stats().connections_shed;
+  return r;
+}
+
 bool WriteJson(const std::string& path, const BenchParams& params,
-               const std::vector<CellResult>& cells, bool exactness_passed,
-               uint64_t protocol_errors, bool gate_passed) {
+               const std::vector<CellResult>& cells,
+               const OverloadResult& overload, bool exactness_passed,
+               uint64_t protocol_errors, uint64_t unexpected_errors,
+               bool gate_passed) {
   std::ofstream out(path);
   out << "{\n";
   out << "  \"config\": {\"smoke\": " << (params.smoke ? "true" : "false")
@@ -290,13 +383,27 @@ bool WriteJson(const std::string& path, const BenchParams& params,
     out << "    {\"nodes\": " << c.nodes << ", \"clients\": " << c.clients
         << ", \"requests\": " << c.requests << ", \"qps\": " << c.qps
         << ", \"p50_ms\": " << c.p50_ms << ", \"p95_ms\": " << c.p95_ms
-        << ", \"p99_ms\": " << c.p99_ms << "}"
+        << ", \"p99_ms\": " << c.p99_ms
+        << ", \"retries\": " << c.retries_attempted
+        << ", \"breaker_opens\": " << c.breaker_open_total
+        << ", \"unavailable\": " << c.unavailable_errors
+        << ", \"deadline_exceeded\": " << c.deadline_errors
+        << ", \"unexpected\": " << c.unexpected_errors << "}"
         << (i + 1 < cells.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
+  out << "  \"overload\": {\"cap\": " << overload.cap
+      << ", \"over_cap_attempts\": " << overload.over_cap_attempts
+      << ", \"resource_exhausted\": " << overload.resource_exhausted
+      << ", \"connections_shed\": " << overload.connections_shed
+      << ", \"unexpected\": " << overload.unexpected_errors << "},\n";
   out << "  \"gate\": {\"exactness_passed\": "
       << (exactness_passed ? "true" : "false")
       << ", \"protocol_errors\": " << protocol_errors
+      << ", \"unexpected_errors\": " << unexpected_errors
+      << ", \"overload_shed_visible\": "
+      << (overload.resource_exhausted == overload.over_cap_attempts ? "true"
+                                                                    : "false")
       << ", \"passed\": " << (gate_passed ? "true" : "false") << "}\n";
   out << "}\n";
   return out.good();
@@ -317,39 +424,68 @@ int Main(int argc, char** argv) {
               "random-subset unions\n",
               smoke ? " (smoke)" : "",
               static_cast<unsigned long long>(params.partitions));
-  std::printf("%-6s %-8s %10s %10s %10s %10s %10s\n", "nodes", "clients",
-              "requests", "qps", "p50_ms", "p95_ms", "p99_ms");
+  std::printf("%-6s %-8s %10s %10s %10s %10s %10s %8s %8s\n", "nodes",
+              "clients", "requests", "qps", "p50_ms", "p95_ms", "p99_ms",
+              "retries", "errors");
 
   std::vector<CellResult> cells;
   bool exactness_passed = true;
   uint64_t protocol_errors = 0;
+  uint64_t unexpected_errors = 0;
   for (const size_t nodes : params.node_counts) {
     Deployment d = StartDeployment(params, nodes);
     exactness_passed = CheckExactness(params, d) && exactness_passed;
     for (const unsigned clients : params.client_counts) {
       cells.push_back(RunCell(params, d, clients));
       const CellResult& c = cells.back();
-      std::printf("%-6zu %-8u %10llu %10.0f %10.3f %10.3f %10.3f\n", c.nodes,
-                  c.clients, static_cast<unsigned long long>(c.requests),
-                  c.qps, c.p50_ms, c.p95_ms, c.p99_ms);
+      std::printf(
+          "%-6zu %-8u %10llu %10.0f %10.3f %10.3f %10.3f %8llu %8llu\n",
+          c.nodes, c.clients, static_cast<unsigned long long>(c.requests),
+          c.qps, c.p50_ms, c.p95_ms, c.p99_ms,
+          static_cast<unsigned long long>(c.retries_attempted),
+          static_cast<unsigned long long>(c.unavailable_errors +
+                                          c.deadline_errors +
+                                          c.unexpected_errors));
+      unexpected_errors += c.unexpected_errors;
     }
     for (const auto& server : d.servers) {
       protocol_errors += server->stats().protocol_errors;
     }
   }
 
-  const bool gate_passed = exactness_passed && protocol_errors == 0;
-  if (!WriteJson("BENCH_server.json", params, cells, exactness_passed,
-                 protocol_errors, gate_passed)) {
+  const OverloadResult overload = RunOverloadCell(params);
+  std::printf("overload: cap=%u, %llu/%llu over-cap refusals structured "
+              "(connections_shed=%llu)\n",
+              overload.cap,
+              static_cast<unsigned long long>(overload.resource_exhausted),
+              static_cast<unsigned long long>(overload.over_cap_attempts),
+              static_cast<unsigned long long>(overload.connections_shed));
+  unexpected_errors += overload.unexpected_errors;
+
+  // The gate: exactness, clean protocols, zero UNEXPECTED errors. Load
+  // shedding under the overload cell is expected — but only in its
+  // structured kResourceExhausted form, and it must be visible in the
+  // counters.
+  const bool gate_passed =
+      exactness_passed && protocol_errors == 0 && unexpected_errors == 0 &&
+      overload.resource_exhausted == overload.over_cap_attempts &&
+      overload.connections_shed >= overload.over_cap_attempts;
+  if (!WriteJson("BENCH_server.json", params, cells, overload,
+                 exactness_passed, protocol_errors, unexpected_errors,
+                 gate_passed)) {
     std::fprintf(stderr, "failed to write BENCH_server.json\n");
     return 1;
   }
   std::printf("Wrote BENCH_server.json\n");
   if (!gate_passed) {
     std::fprintf(stderr,
-                 "FAIL: exactness_passed=%d protocol_errors=%llu\n",
+                 "FAIL: exactness_passed=%d protocol_errors=%llu "
+                 "unexpected_errors=%llu overload_refusals=%llu/%llu\n",
                  exactness_passed ? 1 : 0,
-                 static_cast<unsigned long long>(protocol_errors));
+                 static_cast<unsigned long long>(protocol_errors),
+                 static_cast<unsigned long long>(unexpected_errors),
+                 static_cast<unsigned long long>(overload.resource_exhausted),
+                 static_cast<unsigned long long>(overload.over_cap_attempts));
     return 1;
   }
   return 0;

@@ -9,7 +9,9 @@
 #                               # stress tests only (slow; run separately)
 #
 # STRESS_SOAK=1 scripts/check.sh additionally runs the long stress soak
-# (~30 s) in the optimized tree after the test suites.
+# (~30 s) in the optimized tree after the test suites. CHAOS_SOAK=1 runs
+# the long network-chaos schedule (~20 s) instead of the smoke rounds the
+# suite already covers.
 #
 # Build trees go to build-check/<config> so the default build/ tree is
 # left alone.
@@ -109,6 +111,16 @@ echo "=== [relwithdebinfo] ingest bench (smoke) ==="
 echo "=== [relwithdebinfo] server bench (smoke) ==="
 (cd build-check/relwithdebinfo/bench && ./bench_server_loadgen --smoke)
 
+# Network-chaos smoke (~5 s): the failure-domain battery standalone — a
+# 4-node sharded deployment behind seeded chaos proxies (partitions,
+# resets, black-holes, mid-frame truncations, delays), plus overload
+# shedding and drain. The ctest suite above already ran these; this
+# re-runs them with a targeted name so a serving-path robustness
+# regression fails loudly on its own line.
+echo "=== [relwithdebinfo] chaos smoke ==="
+build-check/relwithdebinfo/tests/sampwh_server_test \
+  --gtest_filter='ChaosTest.*:OverloadTest.*:ClientResilienceTest.*:CoordinatorFailureTest.*'
+
 # Fault-injection stress smoke (~2 s): seeded concurrent
 # ingest/query/roll-out rounds against an injected store, checking the
 # no-stale-cache / footprint / warm-identity / crash-recovery invariants.
@@ -119,6 +131,12 @@ build-check/relwithdebinfo/tests/stress_runner --smoke
 if [[ "${STRESS_SOAK:-0}" != "0" ]]; then
   echo "=== [relwithdebinfo] stress soak ==="
   build-check/relwithdebinfo/tests/stress_runner --soak
+fi
+
+if [[ "${CHAOS_SOAK:-0}" != "0" ]]; then
+  echo "=== [relwithdebinfo] chaos soak ==="
+  CHAOS_SOAK=1 build-check/relwithdebinfo/tests/sampwh_server_test \
+    --gtest_filter='ChaosTest.*'
 fi
 
 echo "All checks passed."

@@ -1,14 +1,18 @@
 #include "src/server/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 namespace sampwh {
@@ -27,17 +31,43 @@ void PutQuota(BinaryWriter* w, const TenantQuota& q) {
   w->PutVarint64(q.max_datasets);
 }
 
-}  // namespace
-
-WarehouseClient::WarehouseClient(int fd, ClientOptions options)
-    : fd_(fd), options_(options) {}
-
-WarehouseClient::~WarehouseClient() {
-  if (fd_ >= 0) ::close(fd_);
+/// Verbs the retry driver may transparently re-attempt after a transport
+/// failure. Reads and listings are naturally idempotent; the streaming
+/// ingest verbs are idempotent by construction (the server's sequence
+/// watermark acknowledges and skips re-driven batches). Roll-ins, admin
+/// mutations and shutdown are NOT here: a lost response leaves their
+/// outcome ambiguous, and a blind re-drive could duplicate a partition.
+bool IsIdempotent(Verb verb) {
+  switch (verb) {
+    case Verb::kPing:
+    case Verb::kServerStats:
+    case Verb::kTenantStats:
+    case Verb::kListTenants:
+    case Verb::kListDatasets:
+    case Verb::kListPartitions:
+    case Verb::kQuery:
+    case Verb::kIngestOpen:
+    case Verb::kIngestAppend:
+    case Verb::kIngestFlush:
+      return true;
+    case Verb::kShutdown:
+    case Verb::kCreateTenant:
+    case Verb::kSetTenantQuota:
+    case Verb::kCreateDataset:
+    case Verb::kDropDataset:
+    case Verb::kRollIn:
+    case Verb::kRollInAt:
+    case Verb::kRollOut:
+      return false;
+  }
+  return false;
 }
 
-Result<std::unique_ptr<WarehouseClient>> WarehouseClient::Connect(
-    const std::string& host, uint16_t port, ClientOptions options) {
+/// Opens a socket to host:port with the options' connect timeout applied
+/// (non-blocking connect + poll, then back to blocking), TCP_NODELAY and
+/// the recv timeout set.
+Result<int> OpenSocket(const std::string& host, uint16_t port,
+                       const ClientOptions& options) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
@@ -49,14 +79,49 @@ Result<std::unique_ptr<WarehouseClient>> WarehouseClient::Connect(
     ::close(fd);
     return Status::InvalidArgument("unparseable host: " + host);
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    const Status st = Status::IOError(std::string("connect ") + host + ":" +
-                                      std::to_string(port) + ": " +
-                                      std::strerror(errno));
+  const std::string peer = host + ":" + std::to_string(port);
+
+  if (options.connect_timeout_millis > 0) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    const int rc =
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (rc < 0 && errno != EINPROGRESS) {
+      const Status st = Status::IOError("connect " + peer + ": " +
+                                        std::strerror(errno));
+      ::close(fd);
+      return st;
+    }
+    if (rc < 0) {
+      pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      const int ready = ::poll(&pfd, 1, options.connect_timeout_millis);
+      if (ready <= 0) {
+        ::close(fd);
+        return Status::DeadlineExceeded(
+            "connect " + peer + ": timed out after " +
+            std::to_string(options.connect_timeout_millis) + " ms");
+      }
+      int soerr = 0;
+      socklen_t len = sizeof(soerr);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+      if (soerr != 0) {
+        ::close(fd);
+        return Status::IOError("connect " + peer + ": " +
+                               std::strerror(soerr));
+      }
+    }
+    ::fcntl(fd, F_SETFL, flags);  // back to blocking for request IO
+  } else if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr)) < 0) {
+    const Status st =
+        Status::IOError("connect " + peer + ": " + std::strerror(errno));
     ::close(fd);
     return st;
   }
+
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   if (options.read_timeout_millis > 0) {
@@ -65,13 +130,78 @@ Result<std::unique_ptr<WarehouseClient>> WarehouseClient::Connect(
     tv.tv_usec = (options.read_timeout_millis % 1000) * 1000;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
-  return std::unique_ptr<WarehouseClient>(new WarehouseClient(fd, options));
+  return fd;
 }
 
-Result<std::string> WarehouseClient::Call(Verb verb, std::string_view body) {
-  if (!broken_.ok()) return broken_;
+}  // namespace
+
+WarehouseClient::WarehouseClient(int fd, std::string host, uint16_t port,
+                                 ClientOptions options)
+    : fd_(fd),
+      host_(std::move(host)),
+      port_(port),
+      options_(options),
+      deadline_millis_(options.deadline_millis),
+      jitter_rng_(options.seed, /*stream=*/0x524a) {}
+
+WarehouseClient::~WarehouseClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<WarehouseClient>> WarehouseClient::Connect(
+    const std::string& host, uint16_t port, ClientOptions options) {
+  SAMPWH_ASSIGN_OR_RETURN(const int fd, OpenSocket(host, port, options));
+  return std::unique_ptr<WarehouseClient>(
+      new WarehouseClient(fd, host, port, options));
+}
+
+std::unique_ptr<WarehouseClient> WarehouseClient::Open(const std::string& host,
+                                                       uint16_t port,
+                                                       ClientOptions options) {
+  return std::unique_ptr<WarehouseClient>(
+      new WarehouseClient(-1, host, port, options));
+}
+
+Status WarehouseClient::Reconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  SAMPWH_ASSIGN_OR_RETURN(fd_, OpenSocket(host_, port_, options_));
+  broken_ = Status::OK();
+  stats_.reconnects++;
+  return Status::OK();
+}
+
+bool WarehouseClient::breaker_open() const {
+  return options_.breaker_failure_threshold > 0 &&
+         SteadyNow() < breaker_open_until_;
+}
+
+void WarehouseClient::NoteTransportFailure() {
+  stats_.transport_errors++;
+  if (options_.breaker_failure_threshold == 0) return;
+  if (++consecutive_failures_ >= options_.breaker_failure_threshold) {
+    breaker_open_until_ =
+        SteadyNow() +
+        std::chrono::milliseconds(options_.breaker_open_millis);
+    stats_.breaker_open_total++;
+    // A half-open probe that fails re-opens from a fresh streak.
+    consecutive_failures_ = 0;
+  }
+}
+
+void WarehouseClient::NoteTransportSuccess() {
+  consecutive_failures_ = 0;
+  breaker_open_until_ = SteadyTime::min();
+}
+
+Result<std::string> WarehouseClient::CallOnce(Verb verb,
+                                              std::string_view body) {
   BinaryWriter req;
-  BeginRequest(&req, verb);
+  RequestHeader header;
+  header.deadline_millis = deadline_millis_;
+  BeginRequest(&req, verb, header);
   req.PutRaw(body.data(), body.size());
   Status st = WriteFrame(fd_, req.Release());
   if (!st.ok()) {
@@ -90,6 +220,56 @@ Result<std::string> WarehouseClient::Call(Verb verb, std::string_view body) {
   SAMPWH_RETURN_IF_ERROR(ParseResponseHead(&reader));
   std::string out(payload.substr(payload.size() - reader.remaining()));
   return out;
+}
+
+Result<std::string> WarehouseClient::Call(Verb verb, std::string_view body) {
+  // Fail fast while the breaker is open: a known-down peer should cost a
+  // map probe, not a connect timeout. Once the open window lapses the next
+  // call is the half-open probe.
+  if (breaker_open()) {
+    return Status::Unavailable("circuit breaker open to " + host_ + ":" +
+                               std::to_string(port_));
+  }
+
+  const uint32_t attempts =
+      IsIdempotent(verb) ? options_.max_retries + 1 : 1;
+  uint64_t backoff = options_.backoff_initial_millis;
+  Status last = Status::OK();
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      stats_.retries_attempted++;
+      // Seeded jitter in [backoff/2, backoff]: staggers a thundering herd
+      // of retrying clients while staying reproducible from the seed.
+      const uint64_t low = backoff / 2;
+      const uint64_t sleep_ms = low + jitter_rng_.UniformInt(backoff - low + 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      backoff = std::min(backoff * 2, options_.backoff_max_millis);
+      if (breaker_open()) break;  // opened by the previous failed attempt
+    }
+    if (!broken_.ok() || fd_ < 0) {
+      last = Reconnect();
+      if (!last.ok()) {
+        broken_ = last;
+        NoteTransportFailure();
+        continue;
+      }
+    }
+    Result<std::string> result = CallOnce(verb, body);
+    if (broken_.ok()) {
+      // The exchange completed at the transport level; result may still be
+      // a structured server error, which is the caller's to interpret.
+      NoteTransportSuccess();
+      return result;
+    }
+    last = result.status();
+    NoteTransportFailure();
+  }
+  if (last.ok()) {
+    // Every attempt was consumed by the breaker gate.
+    return Status::Unavailable("circuit breaker open to " + host_ + ":" +
+                               std::to_string(port_));
+  }
+  return last;
 }
 
 Result<std::string> WarehouseClient::Ping() {
@@ -111,6 +291,11 @@ Result<RemoteServerStats> WarehouseClient::ServerStats() {
   SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&s.error_responses));
   SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&s.protocol_errors));
   SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&s.num_datasets));
+  // Fields appended after v1: absent when the server predates them.
+  if (!reader.AtEnd()) {
+    SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&s.connections_shed));
+    SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&s.deadlines_exceeded));
+  }
   return s;
 }
 

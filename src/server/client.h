@@ -1,8 +1,28 @@
 // WarehouseClient: blocking client for the warehouse server's wire
 // protocol. One TCP connection, one outstanding request at a time (the
 // protocol is strict request/response); open several clients for
-// concurrency. Transport errors poison the connection — every later call
-// fails fast with the same IOError until the client is reconnected.
+// concurrency.
+//
+// Failure handling. Connects are bounded by connect_timeout_millis (a
+// black-holed address fails in bounded time, never hangs). A transport
+// error poisons the connection; the next call transparently reconnects
+// and — for IDEMPOTENT verbs only — retries with exponential backoff and
+// seeded jitter. Queries, pings, stats and listings retry freely; the
+// streaming-ingest verbs retry because the server's sequence watermark
+// makes re-driven appends exactly-once; roll-ins and admin mutations are
+// NEVER retried (a duplicate would be ambiguous), their error surfaces to
+// the caller. After breaker_failure_threshold consecutive transport
+// failures a per-client circuit breaker opens: calls fail fast with
+// kUnavailable (no connect timeout burned) until breaker_open_millis
+// passes, then a half-open probe either closes it or re-opens it. The
+// shard coordinator keeps one client per node, so this breaker is exactly
+// a per-node breaker.
+//
+// Deadlines: deadline_millis (per-client default, overridable with
+// set_deadline_millis) is propagated to the server in the wire header; the
+// server aborts the request with kDeadlineExceeded once it passes, even
+// mid-merge. 0 sends no deadline (and keeps the v1 request head on the
+// wire).
 
 #ifndef SAMPWH_SERVER_CLIENT_H_
 #define SAMPWH_SERVER_CLIENT_H_
@@ -15,6 +35,8 @@
 #include "src/core/sample.h"
 #include "src/server/tenant.h"
 #include "src/server/wire.h"
+#include "src/util/deadline.h"
+#include "src/util/random.h"
 #include "src/warehouse/catalog.h"
 
 namespace sampwh {
@@ -23,6 +45,38 @@ struct ClientOptions {
   uint32_t max_frame_bytes = kWireDefaultMaxFrameBytes;
   /// Per-recv timeout while waiting for a response; 0 waits forever.
   int read_timeout_millis = 30'000;
+  /// Bound on connection establishment (non-blocking connect + poll). A
+  /// black-holed peer fails with kDeadlineExceeded after this long instead
+  /// of hanging for the kernel's minutes-long SYN retry budget. 0 falls
+  /// back to a blocking connect.
+  int connect_timeout_millis = 5'000;
+  /// Transparent re-attempts after a transport failure, idempotent verbs
+  /// only. 0 disables retries (every transport error surfaces).
+  uint32_t max_retries = 2;
+  /// Exponential backoff between retries, with seeded jitter in
+  /// [backoff/2, backoff].
+  uint64_t backoff_initial_millis = 10;
+  uint64_t backoff_max_millis = 500;
+  /// Seeds the retry jitter.
+  uint64_t seed = 0;
+  /// Circuit breaker: consecutive transport failures that open it, and how
+  /// long it stays open before a half-open probe. threshold 0 disables.
+  uint32_t breaker_failure_threshold = 3;
+  uint64_t breaker_open_millis = 1'000;
+  /// Default per-request deadline propagated in the wire header; 0 = none.
+  uint64_t deadline_millis = 0;
+};
+
+/// Monotonic counters over the client's lifetime.
+struct ClientStatsSnapshot {
+  /// Re-attempts after a transport failure (not first tries).
+  uint64_t retries_attempted = 0;
+  /// Successful reconnects after a poisoned connection.
+  uint64_t reconnects = 0;
+  /// Times the circuit breaker transitioned to open.
+  uint64_t breaker_open_total = 0;
+  /// Transport-level failures observed (connect, send, recv, framing).
+  uint64_t transport_errors = 0;
 };
 
 /// Watermark ack of the streaming-ingest verbs.
@@ -47,12 +101,23 @@ struct RemoteServerStats {
   uint64_t error_responses = 0;
   uint64_t protocol_errors = 0;
   uint64_t num_datasets = 0;
+  /// Appended after v1 of the body; 0 when the server predates them.
+  uint64_t connections_shed = 0;
+  uint64_t deadlines_exceeded = 0;
 };
 
 class WarehouseClient {
  public:
   static Result<std::unique_ptr<WarehouseClient>> Connect(
       const std::string& host, uint16_t port, ClientOptions options = {});
+
+  /// Creates a client WITHOUT connecting: the first call establishes the
+  /// connection (and fails like any transport error if the peer is down,
+  /// feeding the breaker). For supervisors — e.g. a shard coordinator
+  /// tolerating an unreachable node — that must outlive a peer's outage.
+  static std::unique_ptr<WarehouseClient> Open(const std::string& host,
+                                               uint16_t port,
+                                               ClientOptions options = {});
 
   ~WarehouseClient();
 
@@ -61,6 +126,16 @@ class WarehouseClient {
 
   /// The raw socket; robustness tests use it to inject hostile bytes.
   int fd() const { return fd_; }
+
+  /// Overrides the per-request deadline from ClientOptions for subsequent
+  /// calls; 0 clears it.
+  void set_deadline_millis(uint64_t millis) { deadline_millis_ = millis; }
+  uint64_t deadline_millis() const { return deadline_millis_; }
+
+  ClientStatsSnapshot stats() const { return stats_; }
+
+  /// True while the circuit breaker refuses calls (kUnavailable fail-fast).
+  bool breaker_open() const;
 
   // --- Admin ---------------------------------------------------------------
   Result<std::string> Ping();
@@ -118,18 +193,37 @@ class WarehouseClient {
                                 const std::string& dataset);
 
  private:
-  explicit WarehouseClient(int fd, ClientOptions options);
+  WarehouseClient(int fd, std::string host, uint16_t port,
+                  ClientOptions options);
 
-  /// Frames and sends one request, reads and parses the response. Returns
-  /// the response body bytes on an OK status, the server's structured
-  /// error otherwise.
+  /// Retry driver: breaker gate, then up to 1 + max_retries attempts of
+  /// CallOnce for idempotent verbs (reconnecting a poisoned connection
+  /// between attempts), exactly one attempt otherwise. Returns the
+  /// response body bytes on an OK status, the server's structured error
+  /// otherwise.
   Result<std::string> Call(Verb verb, std::string_view body);
+  /// One framed request/response exchange on the current connection.
+  Result<std::string> CallOnce(Verb verb, std::string_view body);
   Result<IngestAck> IngestCall(Verb verb, std::string_view body);
 
+  /// Replaces a poisoned connection with a fresh one.
+  Status Reconnect();
+  void NoteTransportFailure();
+  void NoteTransportSuccess();
+
   int fd_ = -1;
+  std::string host_;
+  uint16_t port_ = 0;
   ClientOptions options_;
-  /// First transport error; fails every later call fast.
+  uint64_t deadline_millis_ = 0;
+  Pcg64 jitter_rng_;
+  /// First transport error; fails every later call fast (until the retry
+  /// driver reconnects).
   Status broken_ = Status::OK();
+
+  uint32_t consecutive_failures_ = 0;
+  SteadyTime breaker_open_until_ = SteadyTime::min();
+  ClientStatsSnapshot stats_;
 };
 
 }  // namespace sampwh

@@ -1,12 +1,49 @@
 #include "src/server/coordinator.h"
 
 #include <algorithm>
+#include <set>
 #include <utility>
 
 #include "src/util/shard_router.h"
 #include "src/warehouse/merge_memo.h"
 
 namespace sampwh {
+
+namespace {
+
+/// Errors that mean "this node is unreachable" (as opposed to a structured
+/// answer the node computed): transport failures and the breaker's
+/// fail-fast refusal.
+bool IsNodeDown(const Status& st) {
+  return st.IsIOError() || st.IsUnavailable() || st.IsDeadlineExceeded();
+}
+
+/// Applies a per-query deadline to every node client for the duration of a
+/// query, restoring the previous deadlines after.
+class ScopedClientDeadlines {
+ public:
+  ScopedClientDeadlines(
+      std::vector<std::unique_ptr<WarehouseClient>>* clients, uint64_t millis)
+      : clients_(clients) {
+    if (millis == 0) return;
+    previous_.reserve(clients_->size());
+    for (auto& client : *clients_) {
+      previous_.push_back(client->deadline_millis());
+      client->set_deadline_millis(millis);
+    }
+  }
+  ~ScopedClientDeadlines() {
+    for (size_t i = 0; i < previous_.size(); ++i) {
+      (*clients_)[i]->set_deadline_millis(previous_[i]);
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<WarehouseClient>>* clients_;
+  std::vector<uint64_t> previous_;
+};
+
+}  // namespace
 
 ShardCoordinator::ShardCoordinator(CoordinatorOptions options)
     : options_(std::move(options)) {
@@ -23,6 +60,14 @@ Result<std::unique_ptr<ShardCoordinator>> ShardCoordinator::Connect(
   std::unique_ptr<ShardCoordinator> coord(
       new ShardCoordinator(std::move(options)));
   for (const ShardNodeAddress& node : nodes) {
+    if (coord->options_.tolerate_unreachable) {
+      // Lazy client: a node down right now connects on first use; until
+      // then its breaker fails calls fast and the degraded query path
+      // routes around it.
+      coord->clients_.push_back(WarehouseClient::Open(
+          node.host, node.port, coord->options_.client));
+      continue;
+    }
     SAMPWH_ASSIGN_OR_RETURN(
         std::unique_ptr<WarehouseClient> client,
         WarehouseClient::Connect(node.host, node.port,
@@ -70,11 +115,24 @@ Status ShardCoordinator::DropDataset(const std::string& tenant,
 
 Result<std::vector<PartitionId>> ShardCoordinator::ListAllPartitions(
     const std::string& tenant, const std::string& dataset) {
+  return ListPartitionsDegraded(tenant, dataset, /*missing_shards=*/nullptr);
+}
+
+Result<std::vector<PartitionId>> ShardCoordinator::ListPartitionsDegraded(
+    const std::string& tenant, const std::string& dataset,
+    std::vector<size_t>* missing_shards) {
   std::vector<PartitionId> ids;
-  for (auto& client : clients_) {
-    SAMPWH_ASSIGN_OR_RETURN(const std::vector<PartitionInfo> parts,
-                            client->ListPartitions(tenant, dataset));
-    for (const PartitionInfo& info : parts) ids.push_back(info.id);
+  for (size_t shard = 0; shard < clients_.size(); ++shard) {
+    const Result<std::vector<PartitionInfo>> parts =
+        clients_[shard]->ListPartitions(tenant, dataset);
+    if (!parts.ok()) {
+      if (missing_shards != nullptr && IsNodeDown(parts.status())) {
+        missing_shards->push_back(shard);
+        continue;
+      }
+      return parts.status();
+    }
+    for (const PartitionInfo& info : parts.value()) ids.push_back(info.id);
   }
   std::sort(ids.begin(), ids.end());
   return ids;
@@ -113,30 +171,117 @@ Status ShardCoordinator::RollOut(const std::string& tenant,
 Result<PartitionSample> ShardCoordinator::Query(const std::string& tenant,
                                                 const std::string& dataset,
                                                 std::vector<PartitionId> ids) {
+  SAMPWH_ASSIGN_OR_RETURN(
+      ShardQueryResult result,
+      QueryWithOptions(tenant, dataset, std::move(ids), QueryOptions{}));
+  return std::move(result.sample);
+}
+
+Result<ShardQueryResult> ShardCoordinator::QueryWithOptions(
+    const std::string& tenant, const std::string& dataset,
+    std::vector<PartitionId> ids, const QueryOptions& query_options) {
   SAMPWH_ASSIGN_OR_RETURN(const DatasetId key,
                           MakeTenantDatasetKey(tenant, dataset));
-  if (ids.empty()) {
-    SAMPWH_ASSIGN_OR_RETURN(ids, ListAllPartitions(tenant, dataset));
+  const ScopedClientDeadlines deadlines(&clients_,
+                                        query_options.deadline_millis);
+  const bool all_partitions = ids.empty();
+  ShardQueryResult result;
+  std::set<size_t> down;
+
+  if (all_partitions) {
+    std::vector<size_t> missing;
+    SAMPWH_ASSIGN_OR_RETURN(
+        ids, ListPartitionsDegraded(
+                 tenant, dataset,
+                 query_options.allow_partial ? &missing : nullptr));
+    down.insert(missing.begin(), missing.end());
   }
-  if (ids.empty()) {
+  if (ids.empty() && down.empty()) {
     return Status::InvalidArgument("no partitions to merge");
   }
   // Canonical node identity, exactly as the warehouse's memoized path
   // sorts before building the tree.
   std::sort(ids.begin(), ids.end());
-  std::vector<size_t> owners;
-  owners.reserve(ids.size());
-  for (const PartitionId id : ids) {
-    owners.push_back(ShardOf(tenant, dataset, id));
-  }
+  const std::vector<PartitionId> requested = ids;
   const uint64_t fingerprint = MergeOptionsFingerprint(options_.merge);
-  return MergeTree(tenant, dataset, key, ids, owners, fingerprint);
+
+  // Degraded restart loop: the merge tree's shape (splits, node RNGs) is a
+  // pure function of the id set, so losing a shard mid-merge cannot be
+  // patched into the partially-built tree — the query restarts over the
+  // surviving ids, which is exactly the tree a single node holding only
+  // those ids would build. Each round removes at least one shard, so the
+  // loop is bounded by the shard count.
+  while (true) {
+    std::vector<PartitionId> live_ids;
+    std::vector<size_t> owners;
+    live_ids.reserve(ids.size());
+    owners.reserve(ids.size());
+    for (const PartitionId id : ids) {
+      const size_t owner = ShardOf(tenant, dataset, id);
+      if (down.count(owner) != 0) continue;
+      live_ids.push_back(id);
+      owners.push_back(owner);
+    }
+    if (live_ids.empty()) {
+      return Status::Unavailable(
+          "no shard holding requested partitions is reachable (" +
+          std::to_string(down.size()) + " of " +
+          std::to_string(clients_.size()) + " shards down)");
+    }
+
+    size_t failed_shard = clients_.size();
+    Result<PartitionSample> merged =
+        MergeTree(tenant, dataset, key, live_ids, owners, fingerprint,
+                  &failed_shard);
+    if (merged.ok()) {
+      result.sample = std::move(merged).value();
+      result.partial = !down.empty();
+      result.missing_shards.assign(down.begin(), down.end());
+      if (result.partial && !all_partitions) {
+        for (const PartitionId id : requested) {
+          if (down.count(ShardOf(tenant, dataset, id)) != 0) {
+            result.missing_ids.push_back(id);
+          }
+        }
+      }
+      if (result.partial) partial_queries_served_++;
+      return result;
+    }
+    if (!query_options.allow_partial || !IsNodeDown(merged.status()) ||
+        failed_shard >= clients_.size()) {
+      return merged.status();
+    }
+    down.insert(failed_shard);
+  }
+}
+
+std::vector<bool> ShardCoordinator::CheckHealth() {
+  std::vector<bool> healthy;
+  healthy.reserve(clients_.size());
+  for (auto& client : clients_) {
+    healthy.push_back(client->Ping().ok());
+  }
+  return healthy;
+}
+
+CoordinatorStats ShardCoordinator::stats() const {
+  CoordinatorStats s;
+  s.partial_queries_served = partial_queries_served_;
+  for (const auto& client : clients_) {
+    const ClientStatsSnapshot c = client->stats();
+    s.retries_attempted += c.retries_attempted;
+    s.reconnects += c.reconnects;
+    s.breaker_open_total += c.breaker_open_total;
+    s.transport_errors += c.transport_errors;
+  }
+  return s;
 }
 
 Result<PartitionSample> ShardCoordinator::MergeTree(
     const std::string& tenant, const std::string& dataset,
     const DatasetId& key, std::span<const PartitionId> ids,
-    std::span<const size_t> owners, uint64_t fingerprint) {
+    std::span<const size_t> owners, uint64_t fingerprint,
+    size_t* failed_shard) {
   // Maximal push-down: a span wholly on one shard is one remote query —
   // the node's memoized merge builds the identical subtree (same sorted id
   // set, same floor(n/2) splits, same identity-derived node RNGs).
@@ -144,18 +289,22 @@ Result<PartitionSample> ShardCoordinator::MergeTree(
       std::all_of(owners.begin(), owners.end(),
                   [&](size_t o) { return o == owners[0]; });
   if (single_owner) {
-    return clients_[owners[0]]->Query(
+    Result<PartitionSample> remote = clients_[owners[0]]->Query(
         tenant, dataset, std::vector<PartitionId>(ids.begin(), ids.end()));
+    if (!remote.ok() && IsNodeDown(remote.status())) {
+      *failed_shard = owners[0];
+    }
+    return remote;
   }
   const size_t half = ids.size() / 2;
   SAMPWH_ASSIGN_OR_RETURN(
       const PartitionSample left,
       MergeTree(tenant, dataset, key, ids.subspan(0, half),
-                owners.subspan(0, half), fingerprint));
+                owners.subspan(0, half), fingerprint, failed_shard));
   SAMPWH_ASSIGN_OR_RETURN(
       const PartitionSample right,
       MergeTree(tenant, dataset, key, ids.subspan(half),
-                owners.subspan(half), fingerprint));
+                owners.subspan(half), fingerprint, failed_shard));
   // The same RNG stream this node would consume inside any warehouse with
   // the same seed — the heart of the distributed-exactness contract.
   Pcg64 rng = MergeMemo::NodeRng(options_.seed, key, ids, fingerprint);

@@ -54,6 +54,46 @@ struct CoordinatorOptions {
   /// consume randomness).
   bool cache_alias_tables = false;
   ClientOptions client;
+  /// Keep a coordinator whose nodes are (partly) unreachable at Connect
+  /// time: down nodes get a lazily-connecting client whose circuit breaker
+  /// fails their calls fast until the node comes back. Without it, Connect
+  /// fails unless every node answers a ping.
+  bool tolerate_unreachable = false;
+};
+
+/// Per-query knobs for the degraded-operation path.
+struct QueryOptions {
+  /// Permit answering from the surviving shards when some are unreachable.
+  /// The result is then explicitly flagged partial, with the missing
+  /// shards listed — and it is bit-identical to a single-node query over
+  /// exactly the surviving id set (the merge tree's shape and node RNGs
+  /// are pure functions of the id set).
+  bool allow_partial = false;
+  /// Deadline propagated to every remote call this query makes; 0 = none.
+  uint64_t deadline_millis = 0;
+};
+
+/// A possibly-degraded query answer. `partial` is false on the happy path
+/// (then missing_* are empty and `sample` equals the strict Query answer).
+struct ShardQueryResult {
+  PartitionSample sample;
+  bool partial = false;
+  /// Shards that did not contribute (unreachable through retries).
+  std::vector<size_t> missing_shards;
+  /// Requested partition ids excluded because their home shard is in
+  /// missing_shards. Empty for an all-partitions query when the down
+  /// shard's inventory is unknowable.
+  std::vector<PartitionId> missing_ids;
+};
+
+/// Coordinator-level counters; client-level counters are aggregated over
+/// the per-node clients at snapshot time.
+struct CoordinatorStats {
+  uint64_t partial_queries_served = 0;
+  uint64_t retries_attempted = 0;
+  uint64_t reconnects = 0;
+  uint64_t breaker_open_total = 0;
+  uint64_t transport_errors = 0;
 };
 
 class ShardCoordinator {
@@ -91,10 +131,28 @@ class ShardCoordinator {
       const std::string& tenant, const std::string& dataset);
 
   /// Merged sample over `ids` (empty = all partitions on all shards),
-  /// bit-identical to a single node holding every partition.
+  /// bit-identical to a single node holding every partition. Strict: any
+  /// unreachable shard fails the query.
   Result<PartitionSample> Query(const std::string& tenant,
                                 const std::string& dataset,
                                 std::vector<PartitionId> ids = {});
+
+  /// Query with degraded-operation knobs. With allow_partial, shards that
+  /// stay unreachable through the client's retries are dropped and the
+  /// merge restarts over the surviving id set (the tree's shape depends on
+  /// the id set, so a mid-merge loss cannot be patched in place); the
+  /// answer is flagged partial. Fails with kUnavailable when no shard
+  /// survives.
+  Result<ShardQueryResult> QueryWithOptions(const std::string& tenant,
+                                            const std::string& dataset,
+                                            std::vector<PartitionId> ids,
+                                            const QueryOptions& query_options);
+
+  /// Pings every node; healthy[i] is node i's reachability. Cheap for
+  /// nodes whose breaker is open (no connect timeout burned).
+  std::vector<bool> CheckHealth();
+
+  CoordinatorStats stats() const;
 
   /// Per-node client, for tests and the load generator.
   WarehouseClient* client(size_t shard) { return clients_[shard].get(); }
@@ -104,19 +162,29 @@ class ShardCoordinator {
 
   /// Computes the merge-tree node over the sorted id span: pushed down
   /// whole when single-owner, otherwise joined locally from its halves on
-  /// the node-identity RNG stream.
+  /// the node-identity RNG stream. On a remote transport failure,
+  /// `*failed_shard` names the shard that failed (for the degraded path's
+  /// restart logic).
   Result<PartitionSample> MergeTree(const std::string& tenant,
                                     const std::string& dataset,
                                     const DatasetId& key,
                                     std::span<const PartitionId> ids,
                                     std::span<const size_t> owners,
-                                    uint64_t fingerprint);
+                                    uint64_t fingerprint,
+                                    size_t* failed_shard);
+
+  /// ListAllPartitions that can skip unreachable shards, recording them in
+  /// `*missing_shards` (strict when null).
+  Result<std::vector<PartitionId>> ListPartitionsDegraded(
+      const std::string& tenant, const std::string& dataset,
+      std::vector<size_t>* missing_shards);
 
   CoordinatorOptions options_;
   std::vector<std::unique_ptr<WarehouseClient>> clients_;
   /// Coordinator-side global id allocator, per internal dataset key.
   std::map<DatasetId, PartitionId> next_id_;
   AliasCache alias_cache_;
+  uint64_t partial_queries_served_ = 0;
 };
 
 }  // namespace sampwh

@@ -3,14 +3,19 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <optional>
 #include <utility>
 #include <vector>
+
+#include "src/util/deadline.h"
 
 #include "src/warehouse/partitioner.h"
 #include "src/warehouse/sample_store.h"
@@ -133,12 +138,67 @@ Status WarehouseServer::Listen() {
   return Status::OK();
 }
 
+void WarehouseServer::ReapConnections() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  // Join finished connections so a long-lived server does not accumulate
+  // joinable threads.
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->done.load(std::memory_order_acquire)) {
+      it->thread.join();
+      ::close(it->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void WarehouseServer::ShedConnection(
+    int fd, const Status& reason,
+    std::vector<std::pair<int, SteadyTime>>* shed) {
+  connections_shed_.fetch_add(1, std::memory_order_relaxed);
+  BinaryWriter out;
+  BeginResponse(&out, reason);
+  (void)WriteFrame(fd, out.Release());
+  // FIN after the refusal so the peer sees an orderly end of stream; the
+  // close itself is deferred past a short grace window — an immediate
+  // close could turn into an RST that discards the buffered response on
+  // loopback before the peer reads it.
+  ::shutdown(fd, SHUT_WR);
+  shed->emplace_back(fd, DeadlineAfterMillis(250));
+}
+
 void WarehouseServer::AcceptLoop() {
+  std::vector<std::pair<int, SteadyTime>> shed;
   while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, 50);
+
+    // Housekeeping runs every tick, accept traffic or not: grace-expired
+    // shed fds close, finished connection threads join.
+    const SteadyTime now = SteadyNow();
+    for (auto it = shed.begin(); it != shed.end();) {
+      if (now >= it->second) {
+        ::close(it->first);
+        it = shed.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    ReapConnections();
+
+    if (stopping_.load(std::memory_order_acquire)) break;
+    if (ready <= 0 || !(pfd.revents & POLLIN)) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (stopping_.load(std::memory_order_acquire)) break;
-      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        continue;
+      }
       break;  // listener is gone; nothing to serve anymore
     }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -152,29 +212,37 @@ void WarehouseServer::AcceptLoop() {
       ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
     }
 
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    // Reap finished connections so a long-lived server does not accumulate
-    // joinable threads.
-    for (auto it = conns_.begin(); it != conns_.end();) {
-      if (it->done.load(std::memory_order_acquire)) {
-        it->thread.join();
-        ::close(it->fd);
-        it = conns_.erase(it);
-      } else {
-        ++it;
-      }
+    if (draining_.load(std::memory_order_acquire)) {
+      ShedConnection(fd, Status::Unavailable("server draining"), &shed);
+      continue;
     }
+    if (options_.max_connections > 0 &&
+        active_connections_.load(std::memory_order_acquire) >=
+            options_.max_connections) {
+      ShedConnection(
+          fd,
+          Status::ResourceExhausted(
+              "connection limit (" +
+              std::to_string(options_.max_connections) + ") reached"),
+          &shed);
+      continue;
+    }
+
+    std::lock_guard<std::mutex> lock(conns_mu_);
     conns_.emplace_back();
     Connection& conn = conns_.back();
     conn.fd = fd;
+    active_connections_.fetch_add(1, std::memory_order_acq_rel);
     conn.thread = std::thread([this, &conn] {
       ServeConnection(conn.fd);
       // Send the FIN now — the peer must observe the drop immediately, not
       // when the accept loop next reaps this slot (which closes the fd).
       ::shutdown(conn.fd, SHUT_RDWR);
+      active_connections_.fetch_sub(1, std::memory_order_acq_rel);
       conn.done.store(true, std::memory_order_release);
     });
   }
+  for (const auto& [fd, deadline] : shed) ::close(fd);
 }
 
 void WarehouseServer::ServeConnection(int fd) {
@@ -211,7 +279,17 @@ std::string WarehouseServer::HandleRequest(std::string_view payload,
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   BinaryReader req(payload);
   uint32_t verb = 0;
-  Status st = ParseRequestHead(&req, &verb);
+  RequestHeader header;
+  Status st = ParseRequestHead(&req, &verb, &header);
+  // The propagated deadline covers the whole request from here: handlers
+  // and the merge recursion below them poll CheckThreadDeadline(), so a
+  // request that cannot finish in time fails fast with a structured
+  // kDeadlineExceeded instead of burning a core on an answer nobody waits
+  // for.
+  std::optional<ScopedThreadDeadline> deadline;
+  if (st.ok() && header.deadline_millis > 0) {
+    deadline.emplace(DeadlineAfterMillis(header.deadline_millis));
+  }
   BinaryWriter body;
   if (!st.ok()) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -291,6 +369,9 @@ std::string WarehouseServer::HandleRequest(std::string_view payload,
     out.PutRaw(b.data(), b.size());
   } else {
     error_responses_.fetch_add(1, std::memory_order_relaxed);
+    if (st.IsDeadlineExceeded()) {
+      deadlines_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   return out.Release();
 }
@@ -311,6 +392,10 @@ Status WarehouseServer::HandleServerStats(BinaryReader& req,
   resp.PutVarint64(s.error_responses);
   resp.PutVarint64(s.protocol_errors);
   resp.PutVarint64(warehouse_->ListDatasets().size());
+  // Appended after v1 of the body — an old client simply does not read
+  // them, a new client treats them as absent against an old server.
+  resp.PutVarint64(s.connections_shed);
+  resp.PutVarint64(s.deadlines_exceeded);
   return Status::OK();
 }
 
@@ -495,6 +580,9 @@ Status WarehouseServer::HandleQuery(BinaryReader& req, BinaryWriter& resp) {
     SAMPWH_RETURN_IF_ERROR(req.GetVarint64(&id));
     ids.push_back(id);
   }
+  // Fail fast when the client's deadline already passed before the merge
+  // starts; the memoized merge recursion polls the same deadline per node.
+  SAMPWH_RETURN_IF_ERROR(CheckThreadDeadline());
   const Result<PartitionSample> merged =
       ids.empty() ? warehouse_->MergedSampleAll(key)
                   : warehouse_->MergedSample(key, ids);
@@ -655,7 +743,22 @@ ServerStatsSnapshot WarehouseServer::stats() const {
   s.requests_served = requests_served_.load(std::memory_order_relaxed);
   s.error_responses = error_responses_.load(std::memory_order_relaxed);
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.connections_shed = connections_shed_.load(std::memory_order_relaxed);
+  s.deadlines_exceeded = deadlines_exceeded_.load(std::memory_order_relaxed);
   return s;
+}
+
+void WarehouseServer::BeginDrain() {
+  draining_.store(true, std::memory_order_release);
+}
+
+bool WarehouseServer::WaitDrained(uint64_t deadline_millis) {
+  const SteadyTime deadline = DeadlineAfterMillis(deadline_millis);
+  while (active_connections_.load(std::memory_order_acquire) > 0) {
+    if (SteadyNow() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return true;
 }
 
 void WarehouseServer::RequestStop() {

@@ -31,8 +31,11 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "src/server/tenant.h"
+#include "src/util/deadline.h"
 #include "src/server/wire.h"
 #include "src/warehouse/stream_ingestor.h"
 #include "src/warehouse/warehouse.h"
@@ -54,6 +57,12 @@ struct ServerOptions {
   /// Honor the kShutdown admin verb (the serve tool enables it so an
   /// orchestrator can stop the daemon over the wire).
   bool allow_remote_shutdown = true;
+  /// Admission control: maximum simultaneously served connections. A
+  /// connection beyond the cap is answered a structured kResourceExhausted
+  /// frame and closed BEFORE a thread is spawned — overload sheds load
+  /// with an explicit, machine-readable refusal, never a silent FIN or a
+  /// hang. 0 disables the cap.
+  uint32_t max_connections = 0;
 
   /// The embedded warehouse. merge_memo_bytes MUST stay nonzero for the
   /// distributed-exactness contract: memoized merges derive every node's
@@ -88,6 +97,13 @@ struct ServerStatsSnapshot {
   /// Framing-level violations observed (oversized, bad CRC, bad magic,
   /// mid-frame EOF, timeouts).
   uint64_t protocol_errors = 0;
+  /// Connections refused with a structured error before service: over the
+  /// max_connections cap (kResourceExhausted) or during drain
+  /// (kUnavailable).
+  uint64_t connections_shed = 0;
+  /// Requests that failed because the client's propagated deadline passed
+  /// (checked before dispatch and inside long merges).
+  uint64_t deadlines_exceeded = 0;
 };
 
 class WarehouseServer {
@@ -125,6 +141,18 @@ class WarehouseServer {
   /// True once Stop() completed.
   bool stopped() const { return stopped_.load(std::memory_order_acquire); }
 
+  /// Enters drain mode: every NEW connection is answered a structured
+  /// kUnavailable("server draining") frame and closed, while in-flight
+  /// connections keep being served — a streaming ingest in progress
+  /// finishes exactly-once. Idempotent; the owner still calls Stop().
+  void BeginDrain();
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Blocks until every in-flight connection has finished or
+  /// `deadline_millis` passed (0 = no bound). True when the server drained
+  /// clean. Callers typically BeginDrain(), WaitDrained(bound), Stop().
+  bool WaitDrained(uint64_t deadline_millis);
+
   ServerStatsSnapshot stats() const;
 
   /// The embedded warehouse; test-only (bit-identity assertions).
@@ -144,6 +172,13 @@ class WarehouseServer {
 
   Status Listen();
   void AcceptLoop();
+  /// Joins and closes every finished connection slot.
+  void ReapConnections();
+  /// Refuses `fd` with a structured `reason` frame: response + FIN now, a
+  /// deferred close after a short grace so the peer reliably reads the
+  /// refusal before any RST could discard it. The fd joins `shed`.
+  void ShedConnection(int fd, const Status& reason,
+                      std::vector<std::pair<int, SteadyTime>>* shed);
   void ServeConnection(int fd);
   /// Dispatches one request payload; returns the response payload. Sets
   /// *shutdown when a kShutdown verb was honored.
@@ -188,6 +223,7 @@ class WarehouseServer {
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopped_{false};
+  std::atomic<bool> draining_{false};
   std::once_flag stop_once_;
 
   struct Connection {
@@ -201,11 +237,17 @@ class WarehouseServer {
   std::mutex sessions_mu_;
   std::map<DatasetId, std::shared_ptr<IngestSession>> sessions_;
 
+  /// Connections currently being served (spawned, not yet finished); the
+  /// admission cap and WaitDrained() read it.
+  std::atomic<uint32_t> active_connections_{0};
+
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_dropped_{0};
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> error_responses_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> connections_shed_{0};
+  std::atomic<uint64_t> deadlines_exceeded_{0};
 };
 
 }  // namespace sampwh

@@ -70,18 +70,42 @@ FrameDecodeResult DecodeFrame(std::string_view buffer,
   return FrameDecodeResult::kOk;
 }
 
-void BeginRequest(BinaryWriter* writer, Verb verb) {
-  writer->PutFixed32(kWireRequestMagic);
+void BeginRequest(BinaryWriter* writer, Verb verb,
+                  const RequestHeader& header) {
+  if (header.deadline_millis == 0 && header.flags == 0) {
+    // No header state: stay on the v1 head an old server understands.
+    writer->PutFixed32(kWireRequestMagic);
+    writer->PutFixed32(static_cast<uint32_t>(verb));
+    return;
+  }
+  writer->PutFixed32(kWireRequestMagicV2);
   writer->PutFixed32(static_cast<uint32_t>(verb));
+  BinaryWriter ext;
+  ext.PutVarint64(header.deadline_millis);
+  ext.PutVarint64(header.flags);
+  writer->PutString(ext.Release());
 }
 
-Status ParseRequestHead(BinaryReader* reader, uint32_t* verb) {
+Status ParseRequestHead(BinaryReader* reader, uint32_t* verb,
+                        RequestHeader* header) {
+  *header = RequestHeader{};
   uint32_t magic = 0;
   SAMPWH_RETURN_IF_ERROR(reader->GetFixed32(&magic));
-  if (magic != kWireRequestMagic) {
+  if (magic != kWireRequestMagic && magic != kWireRequestMagicV2) {
     return Status::InvalidArgument("bad request magic");
   }
-  return reader->GetFixed32(verb);
+  SAMPWH_RETURN_IF_ERROR(reader->GetFixed32(verb));
+  if (magic == kWireRequestMagicV2) {
+    std::string ext;
+    SAMPWH_RETURN_IF_ERROR(reader->GetString(&ext));
+    // Known prefix of the extension; a longer blob from a newer client is
+    // fine — unread trailing fields are exactly what "append, never
+    // renumber" buys.
+    BinaryReader ext_reader(ext);
+    SAMPWH_RETURN_IF_ERROR(ext_reader.GetVarint64(&header->deadline_millis));
+    SAMPWH_RETURN_IF_ERROR(ext_reader.GetVarint64(&header->flags));
+  }
+  return Status::OK();
 }
 
 void BeginResponse(BinaryWriter* writer, const Status& status) {
@@ -112,6 +136,10 @@ Status StatusFromWire(uint32_t code, std::string message) {
       return Status::Internal(std::move(message));
     case StatusCode::kResourceExhausted:
       return Status::ResourceExhausted(std::move(message));
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(message));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(message));
   }
   return Status::Internal("unknown wire status code " + std::to_string(code) +
                           ": " + message);

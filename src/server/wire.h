@@ -6,9 +6,19 @@
 //   fixed32  CRC-32 of the payload
 //   payload
 //
-// Request payload:   fixed32 magic "SWRQ" | fixed32 verb    | body
-// Response payload:  fixed32 magic "SWRS" | fixed32 status  | string message
-//                    | body
+// Request payload (v1):  fixed32 magic "SWRQ" | fixed32 verb | body
+// Request payload (v2):  fixed32 magic "SWR2" | fixed32 verb
+//                        | string header-extension | body
+// Response payload:      fixed32 magic "SWRS" | fixed32 status
+//                        | string message | body
+//
+// The v2 header extension is a length-delimited blob of varints —
+// currently [deadline_millis, flags] — so future fields append without
+// another magic: readers stop at the blob's end, writers may extend it.
+// Servers accept both versions (a v1 request simply has no deadline);
+// clients emit v1 unless a request carries header state, so a fleet of old
+// and new binaries interoperates in both directions for deadline-free
+// traffic.
 //
 // Bodies are encoded with the BinaryWriter primitives (varints, strings);
 // samples travel as their versioned serialized form. A frame whose length
@@ -29,8 +39,9 @@
 
 namespace sampwh {
 
-inline constexpr uint32_t kWireRequestMagic = 0x51525753;   // "SWRQ"
-inline constexpr uint32_t kWireResponseMagic = 0x53525753;  // "SWRS"
+inline constexpr uint32_t kWireRequestMagic = 0x51525753;    // "SWRQ"
+inline constexpr uint32_t kWireRequestMagicV2 = 0x32525753;  // "SWR2"
+inline constexpr uint32_t kWireResponseMagic = 0x53525753;   // "SWRS"
 inline constexpr size_t kWireFrameHeaderBytes = 8;
 /// Default per-frame payload bound. Large enough for any sample under the
 /// warehouse's footprint discipline; small enough that a garbage length
@@ -84,14 +95,27 @@ enum class FrameDecodeResult {
 FrameDecodeResult DecodeFrame(std::string_view buffer, uint32_t max_frame_bytes,
                               std::string_view* payload, size_t* frame_bytes);
 
-/// Serializes a request payload head: magic + verb. The caller appends the
-/// body with the returned writer.
-void BeginRequest(BinaryWriter* writer, Verb verb);
+/// Per-request metadata the v2 header extension carries.
+struct RequestHeader {
+  /// Milliseconds the client gives the whole request, measured from the
+  /// moment the server parses the head; 0 means no deadline.
+  uint64_t deadline_millis = 0;
+  /// Reserved bit flags; servers ignore bits they do not know.
+  uint64_t flags = 0;
+};
 
-/// Parses a request payload: verifies the magic, extracts the verb (which
-/// may be unknown — the dispatcher answers a structured error) and points
-/// `*body` at the remaining bytes via the reader.
-Status ParseRequestHead(BinaryReader* reader, uint32_t* verb);
+/// Serializes a request payload head: v1 (magic + verb) when `header` is
+/// all defaults, v2 (magic + verb + header extension) otherwise. The
+/// caller appends the body with the returned writer.
+void BeginRequest(BinaryWriter* writer, Verb verb,
+                  const RequestHeader& header = {});
+
+/// Parses a request payload head of either version: verifies the magic,
+/// extracts the verb (which may be unknown — the dispatcher answers a
+/// structured error) and fills `*header` (defaults for a v1 request). The
+/// remaining bytes in the reader are the body.
+Status ParseRequestHead(BinaryReader* reader, uint32_t* verb,
+                        RequestHeader* header);
 
 /// Serializes a response payload: magic, status, message, then the caller
 /// appends the body.

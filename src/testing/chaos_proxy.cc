@@ -1,0 +1,465 @@
+#include "src/testing/chaos_proxy.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace sampwh {
+
+namespace {
+
+constexpr int kPollMillis = 50;
+constexpr size_t kChunkBytes = 16 * 1024;
+
+// Local sibling of server/wire.h's WriteAll (the testing library must not
+// depend on the server library).
+bool SendAll(int fd, const char* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+void HardReset(int fd) {
+  if (fd < 0) return;
+  struct linger lin;
+  lin.l_onoff = 1;
+  lin.l_linger = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lin, sizeof(lin));
+  ::close(fd);
+}
+
+Result<int> ConnectLoopback(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad proxy upstream host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st =
+        Status::IOError(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+std::string_view NetFaultKindToString(NetFaultKind kind) {
+  switch (kind) {
+    case NetFaultKind::kNone:
+      return "none";
+    case NetFaultKind::kRefuse:
+      return "refuse";
+    case NetFaultKind::kReset:
+      return "reset";
+    case NetFaultKind::kBlackhole:
+      return "blackhole";
+    case NetFaultKind::kTruncate:
+      return "truncate";
+    case NetFaultKind::kDelay:
+      return "delay";
+  }
+  return "unknown";
+}
+
+ChaosProxy::ChaosProxy(Options options)
+    : options_(std::move(options)), rng_(options_.seed, /*stream=*/0x43505859) {}
+
+Result<std::unique_ptr<ChaosProxy>> ChaosProxy::Start(Options options) {
+  std::unique_ptr<ChaosProxy> proxy(new ChaosProxy(std::move(options)));
+  SAMPWH_RETURN_IF_ERROR(proxy->Listen());
+  proxy->accept_thread_ = std::thread([p = proxy.get()] { p->AcceptLoop(); });
+  return proxy;
+}
+
+ChaosProxy::~ChaosProxy() { Stop(); }
+
+Status ChaosProxy::Listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;  // ephemeral: the proxy is always a test fixture
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad proxy host: " + host_);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IOError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    return Status::IOError(std::string("listen: ") + std::strerror(errno));
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return Status::IOError(std::string("getsockname: ") +
+                           std::strerror(errno));
+  }
+  port_ = ntohs(bound.sin_port);
+  return Status::OK();
+}
+
+void ChaosProxy::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+
+    // Reap finished connections regardless of accept traffic so a long
+    // quiet spell still frees threads.
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        if ((*it)->pumps_live.load(std::memory_order_acquire) == 0) {
+          if ((*it)->c2s.joinable()) (*it)->c2s.join();
+          if ((*it)->s2c.joinable()) (*it)->s2c.join();
+          ::close((*it)->client_fd);
+          ::close((*it)->server_fd);
+          it = conns_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    if (ready <= 0 || !(pfd.revents & POLLIN)) continue;
+    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) continue;
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+
+    if (partitioned_.load(std::memory_order_acquire)) {
+      HardReset(client_fd);
+      continue;
+    }
+    const NetFaultKind fault = NextFault(kChaosSiteAccept);
+    if (fault == NetFaultKind::kRefuse) {
+      ::close(client_fd);
+      continue;
+    }
+    if (fault == NetFaultKind::kReset) {
+      HardReset(client_fd);
+      continue;
+    }
+
+    Result<int> server_fd = ConnectLoopback(options_.upstream_host,
+                                            options_.upstream_port);
+    if (!server_fd.ok()) {
+      // Upstream genuinely down: behave like it — reset the client.
+      HardReset(client_fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_unique<Conn>();
+    conn->client_fd = client_fd;
+    conn->server_fd = server_fd.value();
+    Conn* raw = conn.get();
+    conn->c2s = std::thread([this, raw] {
+      Pump(raw, raw->client_fd, raw->server_fd, kChaosSiteClientToServer);
+    });
+    conn->s2c = std::thread([this, raw] {
+      Pump(raw, raw->server_fd, raw->client_fd, kChaosSiteServerToClient);
+    });
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(std::move(conn));
+  }
+}
+
+// Marks the connection dead, arms RST-on-close (SO_LINGER 0) and wakes both
+// pump threads via shutdown(SHUT_RD). The fds themselves are closed only by
+// the last pump thread to exit, so no thread ever polls an fd number that
+// the kernel may have reused for a new connection.
+void ChaosProxy::AbortConn(Conn* conn) {
+  if (!conn->dead.exchange(true, std::memory_order_acq_rel)) {
+    struct linger lin;
+    lin.l_onoff = 1;
+    lin.l_linger = 0;
+    ::setsockopt(conn->client_fd, SOL_SOCKET, SO_LINGER, &lin, sizeof(lin));
+    ::setsockopt(conn->server_fd, SOL_SOCKET, SO_LINGER, &lin, sizeof(lin));
+  }
+  // SHUT_RD sends nothing on the wire but makes local recv() return EOF, so
+  // a pump blocked in poll() wakes immediately; the peers see the RST when
+  // the last pump closes the lingering sockets.
+  ::shutdown(conn->client_fd, SHUT_RD);
+  ::shutdown(conn->server_fd, SHUT_RD);
+}
+
+void ChaosProxy::Pump(Conn* conn, int src_fd, int dst_fd, const char* site) {
+  bool blackholed = false;
+  char buf[kChunkBytes];
+  while (!stopping_.load(std::memory_order_acquire) &&
+         !conn->dead.load(std::memory_order_acquire)) {
+    pollfd pfd;
+    pfd.fd = src_fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready <= 0) continue;
+    const ssize_t n = ::recv(src_fd, buf, sizeof(buf), 0);
+    if (conn->dead.load(std::memory_order_acquire)) break;
+    if (n == 0) {
+      // Clean EOF: pass the half-close through so orderly shutdowns look
+      // orderly on the far side.
+      ::shutdown(dst_fd, SHUT_WR);
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // reset or closed under us
+    }
+    if (blackholed) continue;  // swallow silently, connection stays up
+
+    switch (NextFault(site)) {
+      case NetFaultKind::kNone:
+      case NetFaultKind::kRefuse: {  // accept-only kind: pass through here
+        break;
+      }
+      case NetFaultKind::kReset: {
+        // Mid-stream kill: the peer sees ECONNRESET, possibly inside a
+        // frame.
+        AbortConn(conn);
+        break;
+      }
+      case NetFaultKind::kBlackhole:
+        blackholed = true;
+        continue;
+      case NetFaultKind::kTruncate: {
+        const size_t prefix = TruncatePrefix(static_cast<size_t>(n));
+        if (prefix > 0) {
+          (void)SendAll(dst_fd, buf, prefix);
+        }
+        AbortConn(conn);
+        break;
+      }
+      case NetFaultKind::kDelay: {
+        const auto until = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(options_.delay_millis);
+        while (std::chrono::steady_clock::now() < until &&
+               !stopping_.load(std::memory_order_acquire) &&
+               !conn->dead.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        break;
+      }
+    }
+    if (conn->dead.load(std::memory_order_acquire)) break;
+    if (!SendAll(dst_fd, buf, static_cast<size_t>(n))) break;
+  }
+  // Pumps never close fds: the reaper (accept loop) and Stop() do, after
+  // joining both pump threads, so no thread can race a close against a
+  // kernel fd-number reuse. On an aborted connection SO_LINGER 0 is armed
+  // and that deferred close emits the RSTs.
+  conn->pumps_live.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+NetFaultKind ChaosProxy::NextFault(const std::string& site) {
+  std::lock_guard<std::mutex> lock(sites_mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    sites_[site].hits++;  // track hits even when disarmed
+    return NetFaultKind::kNone;
+  }
+  SiteState& state = it->second;
+  state.hits++;
+  if (state.kind == NetFaultKind::kNone) return NetFaultKind::kNone;
+  if (state.probability > 0.0) {
+    if (rng_.Bernoulli(state.probability)) {
+      state.fired++;
+      return state.kind;
+    }
+    return NetFaultKind::kNone;
+  }
+  if (state.skip > 0) {
+    state.skip--;
+    return NetFaultKind::kNone;
+  }
+  if (state.count == 0) return NetFaultKind::kNone;
+  state.count--;
+  state.fired++;
+  return state.kind;
+}
+
+size_t ChaosProxy::TruncatePrefix(size_t total) {
+  std::lock_guard<std::mutex> lock(sites_mu_);
+  if (total <= 1) return 0;
+  return static_cast<size_t>(rng_.UniformInt(total));
+}
+
+void ChaosProxy::Arm(const std::string& site, NetFaultKind kind,
+                     uint64_t count, uint64_t skip) {
+  std::lock_guard<std::mutex> lock(sites_mu_);
+  SiteState& state = sites_[site];
+  state.kind = kind;
+  state.count = count;
+  state.skip = skip;
+  state.probability = 0.0;
+}
+
+void ChaosProxy::ArmRandom(const std::string& site, NetFaultKind kind,
+                           double probability) {
+  std::lock_guard<std::mutex> lock(sites_mu_);
+  SiteState& state = sites_[site];
+  state.kind = kind;
+  state.count = 0;
+  state.skip = 0;
+  state.probability = probability;
+}
+
+void ChaosProxy::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(sites_mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return;
+  it->second.kind = NetFaultKind::kNone;
+  it->second.count = 0;
+  it->second.skip = 0;
+  it->second.probability = 0.0;
+}
+
+void ChaosProxy::DisarmAll() {
+  std::lock_guard<std::mutex> lock(sites_mu_);
+  for (auto& [site, state] : sites_) {
+    state.kind = NetFaultKind::kNone;
+    state.count = 0;
+    state.skip = 0;
+    state.probability = 0.0;
+  }
+}
+
+void ChaosProxy::Partition() {
+  partitioned_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto& conn : conns_) AbortConn(conn.get());
+}
+
+void ChaosProxy::Heal() {
+  DisarmAll();
+  partitioned_.store(false, std::memory_order_release);
+}
+
+uint64_t ChaosProxy::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(sites_mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+uint64_t ChaosProxy::FiredCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(sites_mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fired;
+}
+
+void ChaosProxy::Stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::list<std::unique_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    AbortConn(conn.get());
+    if (conn->c2s.joinable()) conn->c2s.join();
+    if (conn->s2c.joinable()) conn->s2c.join();
+    ::close(conn->client_fd);
+    ::close(conn->server_fd);
+  }
+}
+
+Result<std::unique_ptr<BlackholePort>> BlackholePort::Open() {
+  std::unique_ptr<BlackholePort> hole(new BlackholePort());
+  hole->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (hole->listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  if (::inet_pton(AF_INET, hole->host_.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host: " + hole->host_);
+  }
+  if (::bind(hole->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::IOError(std::string("bind: ") + std::strerror(errno));
+  }
+  // Minimal backlog, never accepted from: once the queue fills, the kernel
+  // drops further SYNs and new connect() attempts hang in SYN retry.
+  if (::listen(hole->listen_fd_, 1) != 0) {
+    return Status::IOError(std::string("listen: ") + std::strerror(errno));
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(hole->listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &len) != 0) {
+    return Status::IOError(std::string("getsockname: ") +
+                           std::strerror(errno));
+  }
+  hole->port_ = ntohs(bound.sin_port);
+
+  // Fill the accept queue with non-blocking connects. listen(,1) admits a
+  // couple of established connections; the rest stay SYN_SENT client-side,
+  // which is fine — they cost nothing and guarantee the queue is full.
+  for (int i = 0; i < 8; i++) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) break;
+    const int fl = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+    sockaddr_in target;
+    std::memset(&target, 0, sizeof(target));
+    target.sin_family = AF_INET;
+    target.sin_port = htons(hole->port_);
+    ::inet_pton(AF_INET, hole->host_.c_str(), &target.sin_addr);
+    (void)::connect(fd, reinterpret_cast<sockaddr*>(&target), sizeof(target));
+    hole->filler_fds_.push_back(fd);
+  }
+  return hole;
+}
+
+BlackholePort::~BlackholePort() {
+  for (const int fd : filler_fds_) ::close(fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+}  // namespace sampwh

@@ -1,0 +1,213 @@
+// Seeded network fault injection for the warehouse serving path: an
+// in-process TCP chaos proxy that sits in front of any WarehouseServer (or
+// any TCP daemon) and misbehaves on command. The companion of
+// testing/fault_injector.h one failure domain up: where the store injector
+// tears writes and corrupts reads, the proxy drops, delays, black-holes,
+// truncates mid-frame and hard-resets connections — the faults a warehouse
+// client and shard coordinator must survive.
+//
+// Faults are armed at NAMED SITES, exactly like the storage injector:
+//
+//   "accept"  — each incoming connection (kRefuse / kReset fire here)
+//   "c2s"     — each client->server chunk pumped
+//   "s2c"     — each server->client chunk pumped
+//
+// with either a deterministic plan ("pass 3 chunks, then black-hole") or a
+// seeded probabilistic one ("reset ~2% of chunks"), so every failing
+// schedule is reproducible from the proxy seed. Partition()/Heal() model a
+// node vanishing wholesale: every live connection is hard-reset and new
+// ones are refused until healed.
+//
+// The proxy forwards byte streams verbatim when no fault fires, so a
+// client talking through a quiet proxy is bit-for-bit equivalent to
+// talking to the server directly.
+
+#ifndef SAMPWH_TESTING_CHAOS_PROXY_H_
+#define SAMPWH_TESTING_CHAOS_PROXY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace sampwh {
+
+/// What happens when a chaos site fires.
+enum class NetFaultKind : uint8_t {
+  kNone = 0,
+  /// Accept site: the incoming connection is closed before any byte moves
+  /// (connection refused, as a crashed or absent daemon would).
+  kRefuse = 1,
+  /// The connection is hard-reset (SO_LINGER 0): the peer sees ECONNRESET,
+  /// never a clean FIN.
+  kReset = 2,
+  /// The direction goes silent: bytes are swallowed from this chunk on,
+  /// but the connection stays open — the peer blocks until its own
+  /// timeout. Sticky for the connection's lifetime (a resumed stream after
+  /// a hole would be framing garbage anyway).
+  kBlackhole = 3,
+  /// A seeded prefix of the current chunk is forwarded, then the
+  /// connection is hard-reset — a tear in the middle of a wire frame.
+  kTruncate = 4,
+  /// The chunk is forwarded after the armed delay (per Options), modeling
+  /// congestion or a GC'd peer without breaking the stream.
+  kDelay = 5,
+};
+
+std::string_view NetFaultKindToString(NetFaultKind kind);
+
+inline constexpr char kChaosSiteAccept[] = "accept";
+inline constexpr char kChaosSiteClientToServer[] = "c2s";
+inline constexpr char kChaosSiteServerToClient[] = "s2c";
+
+/// One proxy guards one upstream address. Start several to wrap a sharded
+/// deployment node by node.
+class ChaosProxy {
+ public:
+  struct Options {
+    std::string upstream_host = "127.0.0.1";
+    uint16_t upstream_port = 0;
+    /// Seeds the probabilistic schedules and truncation prefix draws.
+    uint64_t seed = 0;
+    /// How long a kDelay fault stalls its chunk.
+    int delay_millis = 100;
+  };
+
+  /// Binds an ephemeral loopback port and starts proxying to the upstream.
+  static Result<std::unique_ptr<ChaosProxy>> Start(Options options);
+
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+
+  /// Deterministic arming: at `site`, pass the first `skip` hits through,
+  /// then fire `kind` on the next `count` hits, then return to kNone.
+  /// Re-arming a site replaces its previous plan.
+  void Arm(const std::string& site, NetFaultKind kind, uint64_t count = 1,
+           uint64_t skip = 0);
+
+  /// Probabilistic arming: every hit of `site` fires `kind` with
+  /// probability `probability`, drawn from the proxy's seeded RNG.
+  void ArmRandom(const std::string& site, NetFaultKind kind,
+                 double probability);
+
+  void Disarm(const std::string& site);
+  void DisarmAll();
+
+  /// Node-vanishes mode: hard-resets every live connection and refuses new
+  /// ones until Heal(). Idempotent.
+  void Partition();
+  /// Ends a Partition(); also clears armed schedules so the node comes
+  /// back clean.
+  void Heal();
+  bool partitioned() const {
+    return partitioned_.load(std::memory_order_acquire);
+  }
+
+  /// Observability for schedule assertions.
+  uint64_t HitCount(const std::string& site) const;
+  uint64_t FiredCount(const std::string& site) const;
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops proxying and joins every thread; live connections are reset.
+  /// Idempotent; the destructor calls it.
+  void Stop();
+
+ private:
+  struct SiteState {
+    NetFaultKind kind = NetFaultKind::kNone;
+    uint64_t skip = 0;
+    uint64_t count = 0;
+    double probability = 0.0;
+    uint64_t hits = 0;
+    uint64_t fired = 0;
+  };
+
+  struct Conn {
+    int client_fd = -1;
+    int server_fd = -1;
+    std::thread c2s;
+    std::thread s2c;
+    std::atomic<bool> dead{false};
+    std::atomic<int> pumps_live{2};
+  };
+
+  explicit ChaosProxy(Options options);
+
+  Status Listen();
+  void AcceptLoop();
+  /// Pumps one direction until EOF, fault or shutdown. `site` names the
+  /// direction's chaos site.
+  void Pump(Conn* conn, int src_fd, int dst_fd, const char* site);
+
+  /// Draws the fault for this hit of `site` (kNone when disarmed).
+  NetFaultKind NextFault(const std::string& site);
+  /// Seeded prefix length for a truncation of a `total`-byte chunk.
+  size_t TruncatePrefix(size_t total);
+
+  /// Marks `conn` dead, arms RST-on-close and wakes both pumps; the last
+  /// pump thread to exit closes the fds.
+  static void AbortConn(Conn* conn);
+
+  Options options_;
+  std::string host_ = "127.0.0.1";
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> partitioned_{false};
+
+  mutable std::mutex sites_mu_;
+  Pcg64 rng_;
+  std::unordered_map<std::string, SiteState> sites_;
+
+  std::mutex conns_mu_;
+  std::list<std::unique_ptr<Conn>> conns_;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+};
+
+/// A loopback port where connect() attempts hang: the listener's accept
+/// queue is pre-filled and never drained, so further SYNs are dropped and
+/// the caller sits in SYN-retry limbo — the deterministic equivalent of a
+/// black-holed address, without touching routing. Used to test connect
+/// timeouts.
+class BlackholePort {
+ public:
+  static Result<std::unique_ptr<BlackholePort>> Open();
+  ~BlackholePort();
+
+  BlackholePort(const BlackholePort&) = delete;
+  BlackholePort& operator=(const BlackholePort&) = delete;
+
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+
+ private:
+  BlackholePort() = default;
+
+  std::string host_ = "127.0.0.1";
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  /// The queue-filling sockets, kept open for the port's lifetime.
+  std::vector<int> filler_fds_;
+};
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_TESTING_CHAOS_PROXY_H_

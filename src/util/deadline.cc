@@ -1,0 +1,54 @@
+#include "src/util/deadline.h"
+
+namespace sampwh {
+
+namespace {
+
+struct ThreadDeadlineState {
+  SteadyTime deadline;
+  bool active = false;
+};
+
+thread_local ThreadDeadlineState t_deadline;
+
+}  // namespace
+
+SteadyTime DeadlineAfterMillis(uint64_t millis) {
+  if (millis == 0) return SteadyTime::max();
+  return SteadyNow() + std::chrono::milliseconds(millis);
+}
+
+uint64_t MillisUntil(SteadyTime deadline) {
+  if (deadline == SteadyTime::max()) return UINT64_MAX;
+  const auto left = deadline - SteadyNow();
+  if (left <= std::chrono::steady_clock::duration::zero()) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(left).count());
+}
+
+ScopedThreadDeadline::ScopedThreadDeadline(SteadyTime deadline)
+    : previous_(t_deadline.deadline), previous_active_(t_deadline.active) {
+  t_deadline.deadline = deadline;
+  t_deadline.active = true;
+}
+
+ScopedThreadDeadline::~ScopedThreadDeadline() {
+  t_deadline.deadline = previous_;
+  t_deadline.active = previous_active_;
+}
+
+Status CheckThreadDeadline() {
+  if (!t_deadline.active || t_deadline.deadline == SteadyTime::max()) {
+    return Status::OK();
+  }
+  if (SteadyNow() >= t_deadline.deadline) {
+    return Status::DeadlineExceeded("request deadline passed");
+  }
+  return Status::OK();
+}
+
+bool ThreadDeadlineActive() {
+  return t_deadline.active && t_deadline.deadline != SteadyTime::max();
+}
+
+}  // namespace sampwh

@@ -1,0 +1,63 @@
+// Cooperative per-thread deadlines. A request-handling thread installs a
+// steady-clock deadline for the scope of one request; deep library code
+// (the memoized merge tree, the prefetch path) polls CheckThreadDeadline()
+// between units of expensive work and aborts with DeadlineExceeded once
+// the deadline has passed. The probe never consumes randomness and never
+// mutates state, so a query that finishes inside its deadline is
+// bit-identical to the same query run with no deadline at all.
+//
+// The scope is thread-local: a thread-per-request server gets per-request
+// deadlines without threading a parameter through every merge layer, and
+// threads with no installed scope (background checkpoint writer, thread
+// pool workers) always pass the check. Scopes nest; the innermost wins.
+
+#ifndef SAMPWH_UTIL_DEADLINE_H_
+#define SAMPWH_UTIL_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "src/util/status.h"
+
+namespace sampwh {
+
+using SteadyTime = std::chrono::steady_clock::time_point;
+
+/// Now, on the monotonic clock deadlines live on.
+inline SteadyTime SteadyNow() { return std::chrono::steady_clock::now(); }
+
+/// The deadline `millis` milliseconds from now; millis == 0 means "no
+/// deadline" and maps to the infinite future.
+SteadyTime DeadlineAfterMillis(uint64_t millis);
+
+/// Milliseconds still left until `deadline`, clamped at 0. Saturates for
+/// the no-deadline sentinel.
+uint64_t MillisUntil(SteadyTime deadline);
+
+/// Installs `deadline` as this thread's deadline for the scope's lifetime,
+/// restoring the previous one (outer request, or none) on destruction.
+class ScopedThreadDeadline {
+ public:
+  explicit ScopedThreadDeadline(SteadyTime deadline);
+  ~ScopedThreadDeadline();
+
+  ScopedThreadDeadline(const ScopedThreadDeadline&) = delete;
+  ScopedThreadDeadline& operator=(const ScopedThreadDeadline&) = delete;
+
+ private:
+  SteadyTime previous_;
+  bool previous_active_;
+};
+
+/// kOk while this thread has no installed deadline or the installed one
+/// has not passed; DeadlineExceeded otherwise. Cheap enough to poll per
+/// merge node (one thread-local load plus, when active, one clock read).
+Status CheckThreadDeadline();
+
+/// True when a deadline is installed on this thread (regardless of whether
+/// it has passed). Handlers use it to skip deadline-only bookkeeping.
+bool ThreadDeadlineActive();
+
+}  // namespace sampwh
+
+#endif  // SAMPWH_UTIL_DEADLINE_H_

@@ -28,6 +28,13 @@ enum class StatusCode : int {
   /// A per-tenant quota (bytes, partitions, datasets) would be exceeded.
   /// The operation was rejected before any state changed.
   kResourceExhausted = 9,
+  /// The caller's deadline passed before the operation completed. Whatever
+  /// work had started was abandoned cooperatively; no partial state is
+  /// observable.
+  kDeadlineExceeded = 10,
+  /// The target is temporarily unreachable or refusing work (node down,
+  /// circuit breaker open, server draining). Retrying later may succeed.
+  kUnavailable = 11,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK",
@@ -69,6 +76,12 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -89,6 +102,10 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/util/deadline.h"
 #include "src/util/logging.h"
 
 namespace sampwh {
@@ -378,6 +379,9 @@ Result<std::vector<PartitionId>> Warehouse::IngestBatch(
 Result<std::vector<std::shared_ptr<const PartitionSample>>>
 Warehouse::FetchSamples(const DatasetId& dataset,
                         std::span<const PartitionId> ids) {
+  // Serving-path deadline probe before the (possibly disk-bound) leaf
+  // fetch; see the matching probe in MergeMemoized.
+  SAMPWH_RETURN_IF_ERROR(CheckThreadDeadline());
   std::vector<std::shared_ptr<const PartitionSample>> samples(ids.size());
   if (sample_cache_ == nullptr) {
     std::vector<PartitionKey> keys;
@@ -424,6 +428,11 @@ Result<PartitionSample> Warehouse::MergeMemoized(
     const MergeOptions& merge_options, uint64_t options_fingerprint,
     uint64_t memo_epoch) {
   if (ids.size() == 1) return *leaves[0];
+  // Cooperative cancellation for the serving path: a request whose
+  // propagated deadline passed aborts here, between nodes. The check reads
+  // a thread-local and consumes no randomness, so a merge that is NOT
+  // canceled is bit-identical with or without a deadline installed.
+  SAMPWH_RETURN_IF_ERROR(CheckThreadDeadline());
   if (auto cached =
           merge_memo_->Lookup(dataset, ids, options_fingerprint, memo_epoch)) {
     return *cached;

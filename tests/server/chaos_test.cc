@@ -1,0 +1,279 @@
+// Chaos battery for the distributed serving path: a 4-node sharded
+// deployment, every node behind a seeded ChaosProxy, driven through
+// seeded kill / partition / delay / reset / black-hole / mid-frame
+// truncation schedules. The invariants a round may NEVER break:
+//
+//   1. No hangs — client timeouts, retries and breakers bound every query
+//      regardless of the fault.
+//   2. No corrupt answers — every successful query is either exact, or
+//      explicitly flagged partial with the missing shards listed, and its
+//      bytes equal the single-node reference warehouse queried over
+//      exactly the surviving id set.
+//   3. Clean failures — an unsuccessful query fails with a bounded,
+//      structured kUnavailable / kDeadlineExceeded / IO error.
+//   4. Full recovery — after Heal(), once the breakers' open windows
+//      lapse, strict queries return full exact answers again.
+//
+// The ~4-round smoke tier runs in ctest; CHAOS_SOAK=1 runs the long
+// schedule (nightly CI), mirroring the STRESS_SOAK convention.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/types.h"
+#include "src/server/coordinator.h"
+#include "src/testing/chaos_proxy.h"
+#include "src/util/random.h"
+#include "src/warehouse/warehouse.h"
+#include "tests/server/server_test_util.h"
+
+namespace sampwh {
+namespace {
+
+constexpr uint64_t kSeed = 0x5157313136ULL;
+constexpr uint64_t kBound = 4 * kSingletonFootprintBytes;
+constexpr size_t kNodes = 4;
+constexpr uint64_t kPartitions = 16;
+
+int ChaosRounds() {
+  if (const char* soak = std::getenv("CHAOS_SOAK");
+      soak != nullptr && std::string_view(soak) != "0") {
+    return 24;
+  }
+  return 4;
+}
+
+ServerOptions ChaosNodeOptions() {
+  ServerOptions options = TestServerOptions(kSeed);
+  options.warehouse.merge.footprint_bound_bytes = kBound;
+  return options;
+}
+
+/// Short timeouts everywhere so a black-holed or partitioned node costs
+/// hundreds of milliseconds, not the kernel's default minutes.
+ClientOptions ChaosClientOptions() {
+  ClientOptions options;
+  options.connect_timeout_millis = 500;
+  options.read_timeout_millis = 800;
+  options.max_retries = 1;
+  options.backoff_initial_millis = 10;
+  options.backoff_max_millis = 40;
+  options.breaker_failure_threshold = 2;
+  options.breaker_open_millis = 250;
+  return options;
+}
+
+struct ChaosDeployment {
+  std::vector<std::unique_ptr<WarehouseServer>> servers;
+  std::vector<std::unique_ptr<ChaosProxy>> proxies;
+  std::unique_ptr<ShardCoordinator> coordinator;
+  std::unique_ptr<Warehouse> reference;
+  std::vector<PartitionId> ids;
+};
+
+ChaosDeployment MakeChaosDeployment(uint64_t proxy_seed) {
+  ChaosDeployment d;
+  std::vector<ShardNodeAddress> nodes;
+  for (size_t i = 0; i < kNodes; ++i) {
+    auto server = MustStart(ChaosNodeOptions());
+    if (server == nullptr) return {};
+    ChaosProxy::Options proxy_options;
+    proxy_options.upstream_host = server->host();
+    proxy_options.upstream_port = server->port();
+    proxy_options.seed = proxy_seed + i;
+    proxy_options.delay_millis = 50;
+    auto proxy = ChaosProxy::Start(proxy_options);
+    if (!proxy.ok()) {
+      ADD_FAILURE() << "proxy: " << proxy.status().ToString();
+      return {};
+    }
+    nodes.push_back({proxy.value()->host(), proxy.value()->port()});
+    d.servers.push_back(std::move(server));
+    d.proxies.push_back(std::move(proxy).value());
+  }
+  CoordinatorOptions options;
+  options.seed = kSeed;
+  options.merge.footprint_bound_bytes = kBound;
+  options.client = ChaosClientOptions();
+  options.tolerate_unreachable = true;
+  auto coordinator = ShardCoordinator::Connect(nodes, options);
+  if (!coordinator.ok()) {
+    ADD_FAILURE() << "coordinator: " << coordinator.status().ToString();
+    return {};
+  }
+  d.coordinator = std::move(coordinator).value();
+
+  d.reference = std::make_unique<Warehouse>(ChaosNodeOptions().warehouse);
+  EXPECT_TRUE(d.coordinator->CreateTenant("acme", {}).ok());
+  EXPECT_TRUE(d.coordinator->CreateDataset("acme", "sales").ok());
+  EXPECT_TRUE(d.reference->CreateDataset("acme.sales").ok());
+  for (uint64_t p = 0; p < kPartitions; ++p) {
+    const PartitionSample sample =
+        MakeReservoirSample(static_cast<Value>(p) * 50, 5);
+    auto id = d.coordinator->RollIn("acme", "sales", sample, p, p);
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    if (!id.ok()) return {};
+    EXPECT_TRUE(
+        d.reference->RollInAt("acme.sales", id.value(), sample, p, p).ok());
+    d.ids.push_back(id.value());
+  }
+  return d;
+}
+
+/// One degraded query under whatever faults are armed, held to the
+/// chaos invariants: bounded, and exact-or-verified-partial-or-clean-error.
+void RunGuardedQuery(ChaosDeployment& d, const std::string& trace) {
+  SCOPED_TRACE(trace);
+  QueryOptions query_options;
+  query_options.allow_partial = true;
+  query_options.deadline_millis = 5'000;
+  const auto start = std::chrono::steady_clock::now();
+  auto result =
+      d.coordinator->QueryWithOptions("acme", "sales", {}, query_options);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(30)) << "query hung";
+  if (!result.ok()) {
+    const Status& st = result.status();
+    EXPECT_TRUE(st.IsUnavailable() || st.IsDeadlineExceeded() ||
+                st.IsIOError())
+        << st.ToString();
+    return;
+  }
+  const ShardQueryResult& answer = result.value();
+  EXPECT_EQ(answer.partial, !answer.missing_shards.empty());
+  std::vector<PartitionId> surviving;
+  for (const PartitionId id : d.ids) {
+    const size_t owner = d.coordinator->ShardOf("acme", "sales", id);
+    if (std::find(answer.missing_shards.begin(), answer.missing_shards.end(),
+                  owner) == answer.missing_shards.end()) {
+      surviving.push_back(id);
+    }
+  }
+  ASSERT_FALSE(surviving.empty());
+  auto expect = d.reference->MergedSample("acme.sales", surviving);
+  ASSERT_TRUE(expect.ok()) << expect.status().ToString();
+  EXPECT_EQ(SampleBytes(answer.sample), SampleBytes(expect.value()))
+      << "answer does not match the reference over the surviving "
+      << surviving.size() << " ids";
+}
+
+TEST(ChaosTest, QuietProxyIsBitTransparent) {
+  auto server = MustStart(ChaosNodeOptions());
+  ASSERT_NE(server, nullptr);
+  ChaosProxy::Options proxy_options;
+  proxy_options.upstream_host = server->host();
+  proxy_options.upstream_port = server->port();
+  proxy_options.seed = 0xBEEF;
+  auto proxy = ChaosProxy::Start(proxy_options);
+  ASSERT_TRUE(proxy.ok()) << proxy.status().ToString();
+
+  auto direct = MustConnect(*server);
+  ASSERT_NE(direct, nullptr);
+  auto proxied = WarehouseClient::Connect(proxy.value()->host(),
+                                          proxy.value()->port(), {});
+  ASSERT_TRUE(proxied.ok()) << proxied.status().ToString();
+
+  ASSERT_TRUE(direct->CreateTenant("acme", {}).ok());
+  ASSERT_TRUE(direct->CreateDataset("acme", "sales").ok());
+  for (uint64_t p = 0; p < 6; ++p) {
+    ASSERT_TRUE(
+        direct
+            ->RollIn("acme", "sales",
+                     MakeReservoirSample(static_cast<Value>(p) * 10, 4))
+            .ok());
+  }
+  auto through_proxy = proxied.value()->Query("acme", "sales");
+  auto straight = direct->Query("acme", "sales");
+  ASSERT_TRUE(through_proxy.ok()) << through_proxy.status().ToString();
+  ASSERT_TRUE(straight.ok());
+  EXPECT_EQ(SampleBytes(through_proxy.value()),
+            SampleBytes(straight.value()));
+  EXPECT_GT(proxy.value()->HitCount(kChaosSiteClientToServer), 0u);
+  EXPECT_GT(proxy.value()->HitCount(kChaosSiteServerToClient), 0u);
+  EXPECT_EQ(proxy.value()->FiredCount(kChaosSiteClientToServer), 0u);
+}
+
+TEST(ChaosTest, SeededFaultScheduleNeverHangsOrCorrupts) {
+  ChaosDeployment d = MakeChaosDeployment(/*proxy_seed=*/0xC4A05100);
+  ASSERT_NE(d.coordinator, nullptr);
+
+  // Healthy baseline through quiet proxies.
+  auto baseline = d.coordinator->Query("acme", "sales");
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_EQ(SampleBytes(baseline.value()),
+            SampleBytes(d.reference->MergedSampleAll("acme.sales").value()));
+
+  Pcg64 plan(kSeed, /*stream=*/0x0C4A05);
+  const int rounds = ChaosRounds();
+  for (int round = 0; round < rounds; ++round) {
+    const size_t victim = plan.UniformInt(kNodes);
+    const uint64_t fault = plan.UniformInt(5);
+    ChaosProxy& proxy = *d.proxies[victim];
+    std::string label;
+    switch (fault) {
+      case 0:
+        label = "partition";
+        proxy.Partition();
+        break;
+      case 1:
+        label = "reset";
+        proxy.Arm(kChaosSiteServerToClient, NetFaultKind::kReset,
+                  /*count=*/2);
+        break;
+      case 2:
+        label = "blackhole";
+        proxy.Arm(kChaosSiteServerToClient, NetFaultKind::kBlackhole,
+                  /*count=*/1);
+        break;
+      case 3:
+        label = "truncate";
+        proxy.Arm(kChaosSiteClientToServer, NetFaultKind::kTruncate,
+                  /*count=*/2);
+        break;
+      default:
+        label = "delay";
+        proxy.ArmRandom(kChaosSiteClientToServer, NetFaultKind::kDelay, 0.5);
+        proxy.ArmRandom(kChaosSiteServerToClient, NetFaultKind::kDelay, 0.5);
+        break;
+    }
+    const std::string trace = "round " + std::to_string(round) + ": " +
+                              label + " on node " + std::to_string(victim);
+    for (int q = 0; q < 2; ++q) {
+      ASSERT_NO_FATAL_FAILURE(
+          RunGuardedQuery(d, trace + ", query " + std::to_string(q)));
+    }
+
+    // Fault window over: heal, let the breakers' open windows lapse, and
+    // require the full exact answer back.
+    proxy.Heal();
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    auto recovered = d.coordinator->Query("acme", "sales");
+    ASSERT_TRUE(recovered.ok())
+        << trace << " failed to recover: " << recovered.status().ToString();
+    EXPECT_EQ(
+        SampleBytes(recovered.value()),
+        SampleBytes(d.reference->MergedSampleAll("acme.sales").value()))
+        << trace;
+  }
+
+  // The servers themselves rode out every round: still serving, and no
+  // partition was lost or duplicated along the way.
+  for (size_t i = 0; i < kNodes; ++i) {
+    EXPECT_FALSE(d.servers[i]->stop_requested());
+  }
+  auto inventory = d.coordinator->ListAllPartitions("acme", "sales");
+  ASSERT_TRUE(inventory.ok()) << inventory.status().ToString();
+  EXPECT_EQ(inventory.value(), d.ids);
+}
+
+}  // namespace
+}  // namespace sampwh

@@ -1,0 +1,239 @@
+// Client-resilience battery: the WarehouseClient's failure-handling
+// machinery under injected network faults. Connect timeouts are bounded
+// against a black-holed port; transport failures transparently reconnect
+// and retry idempotent verbs (and ONLY idempotent verbs) through a chaos
+// proxy; the per-client circuit breaker opens after consecutive transport
+// failures, fails fast, and half-open-probes its way closed; and a
+// propagated deadline aborts an oversized merge server-side with
+// kDeadlineExceeded — after which the same query, re-run without a
+// deadline, is bit-identical to an uninterrupted reference (cancellation
+// probes consume no randomness).
+
+#include "src/server/client.h"
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/types.h"
+#include "src/testing/chaos_proxy.h"
+#include "src/warehouse/warehouse.h"
+#include "tests/server/server_test_util.h"
+
+namespace sampwh {
+namespace {
+
+constexpr uint64_t kSeed = 0x5157313136ULL;
+
+std::chrono::milliseconds TimeCall(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+}
+
+std::unique_ptr<ChaosProxy> MustProxy(const WarehouseServer& server,
+                                      uint64_t seed) {
+  ChaosProxy::Options options;
+  options.upstream_host = server.host();
+  options.upstream_port = server.port();
+  options.seed = seed;
+  auto proxy = ChaosProxy::Start(options);
+  if (!proxy.ok()) {
+    ADD_FAILURE() << "proxy start failed: " << proxy.status().ToString();
+    return nullptr;
+  }
+  return std::move(proxy).value();
+}
+
+TEST(ClientResilienceTest, ConnectTimeoutIsBoundedAgainstBlackholedPort) {
+  auto hole = BlackholePort::Open();
+  ASSERT_TRUE(hole.ok()) << hole.status().ToString();
+
+  ClientOptions options;
+  options.connect_timeout_millis = 300;
+  Status observed = Status::OK();
+  const auto elapsed = TimeCall([&] {
+    auto client = WarehouseClient::Connect(hole.value()->host(),
+                                           hole.value()->port(), options);
+    observed = client.status();
+  });
+  ASSERT_FALSE(observed.ok());
+  EXPECT_TRUE(observed.IsDeadlineExceeded()) << observed.ToString();
+  EXPECT_NE(observed.ToString().find("timed out"), std::string::npos)
+      << observed.ToString();
+  // The kernel's SYN-retry budget is minutes; the bound must hold with
+  // generous sanitizer slack.
+  EXPECT_LT(elapsed, std::chrono::seconds(30)) << elapsed.count() << "ms";
+}
+
+TEST(ClientResilienceTest, IdempotentVerbsRetryThroughConnectionResets) {
+  auto server = MustStart(TestServerOptions(kSeed));
+  ASSERT_NE(server, nullptr);
+  auto proxy = MustProxy(*server, /*seed=*/0xC405);
+  ASSERT_NE(proxy, nullptr);
+
+  ClientOptions options;
+  options.connect_timeout_millis = 2'000;
+  options.max_retries = 2;
+  options.backoff_initial_millis = 5;
+  options.backoff_max_millis = 20;
+  options.seed = 1;
+  options.breaker_failure_threshold = 0;  // isolate the retry driver
+  auto client =
+      WarehouseClient::Connect(proxy->host(), proxy->port(), options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // Quiet proxy: plain pass-through.
+  ASSERT_TRUE(client.value()->Ping().ok());
+
+  // Reset the next server->client chunk: the response dies mid-air, the
+  // retry driver reconnects and re-drives the ping to success.
+  proxy->Arm(kChaosSiteServerToClient, NetFaultKind::kReset, /*count=*/1);
+  auto pong = client.value()->Ping();
+  EXPECT_TRUE(pong.ok()) << pong.status().ToString();
+  const ClientStatsSnapshot stats = client.value()->stats();
+  EXPECT_GE(stats.retries_attempted, 1u);
+  EXPECT_GE(stats.reconnects, 1u);
+  EXPECT_GE(stats.transport_errors, 1u);
+  EXPECT_EQ(proxy->FiredCount(kChaosSiteServerToClient), 1u);
+}
+
+TEST(ClientResilienceTest, NonIdempotentVerbsNeverRetry) {
+  auto server = MustStart(TestServerOptions(kSeed));
+  ASSERT_NE(server, nullptr);
+  auto proxy = MustProxy(*server, /*seed=*/0xC406);
+  ASSERT_NE(proxy, nullptr);
+
+  ClientOptions options;
+  options.max_retries = 3;
+  options.backoff_initial_millis = 5;
+  options.backoff_max_millis = 20;
+  options.breaker_failure_threshold = 0;
+  auto client =
+      WarehouseClient::Connect(proxy->host(), proxy->port(), options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE(client.value()->CreateTenant("acme", {}).ok());
+  ASSERT_TRUE(client.value()->CreateDataset("acme", "sales").ok());
+  const uint64_t retries_before = client.value()->stats().retries_attempted;
+
+  // The server applies the roll-in, the proxy resets the ack. A retry
+  // would double-apply, so the transport error must surface instead.
+  proxy->Arm(kChaosSiteServerToClient, NetFaultKind::kReset, /*count=*/1);
+  auto id =
+      client.value()->RollIn("acme", "sales", MakeReservoirSample(0, 4));
+  ASSERT_FALSE(id.ok());
+  EXPECT_TRUE(id.status().IsIOError()) << id.status().ToString();
+  EXPECT_EQ(client.value()->stats().retries_attempted, retries_before);
+
+  // Exactly one roll-in landed server-side (applied, just unacknowledged).
+  auto direct = MustConnect(*server);
+  ASSERT_NE(direct, nullptr);
+  auto parts = direct->ListPartitions("acme", "sales");
+  ASSERT_TRUE(parts.ok()) << parts.status().ToString();
+  EXPECT_EQ(parts.value().size(), 1u);
+}
+
+TEST(ClientResilienceTest, BreakerOpensFailsFastAndRecloses) {
+  auto server = MustStart(TestServerOptions(kSeed));
+  ASSERT_NE(server, nullptr);
+  auto proxy = MustProxy(*server, /*seed=*/0xC407);
+  ASSERT_NE(proxy, nullptr);
+
+  ClientOptions options;
+  options.connect_timeout_millis = 1'000;
+  options.read_timeout_millis = 1'000;
+  options.max_retries = 0;
+  options.breaker_failure_threshold = 2;
+  options.breaker_open_millis = 300;
+  auto client =
+      WarehouseClient::Connect(proxy->host(), proxy->port(), options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE(client.value()->Ping().ok());
+  EXPECT_FALSE(client.value()->breaker_open());
+
+  // The node vanishes: two consecutive transport failures open the
+  // breaker, after which calls fail fast without touching the network.
+  proxy->Partition();
+  EXPECT_FALSE(client.value()->Ping().ok());
+  EXPECT_FALSE(client.value()->Ping().ok());
+  EXPECT_TRUE(client.value()->breaker_open());
+  Status fast = Status::OK();
+  const auto elapsed =
+      TimeCall([&] { fast = client.value()->Ping().status(); });
+  ASSERT_FALSE(fast.ok());
+  EXPECT_TRUE(fast.IsUnavailable()) << fast.ToString();
+  EXPECT_NE(fast.ToString().find("circuit breaker"), std::string::npos)
+      << fast.ToString();
+  EXPECT_LT(elapsed, std::chrono::milliseconds(options.connect_timeout_millis))
+      << elapsed.count() << "ms";
+  EXPECT_GE(client.value()->stats().breaker_open_total, 1u);
+
+  // The node heals; once the open window lapses the half-open probe
+  // reconnects and closes the breaker.
+  proxy->Heal();
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  auto probe = client.value()->Ping();
+  EXPECT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_FALSE(client.value()->breaker_open());
+}
+
+TEST(ClientResilienceTest, DeadlineAbortsServerSideThenReplaysBitIdentical) {
+  // A merge big enough that 1ms of budget deterministically runs out
+  // between the server's cooperative deadline probes: 384 partitions of
+  // 512 values each, under a merge bound that keeps subsampling (and so
+  // RNG consumption) active at every tree node.
+  constexpr uint64_t kParts = 384;
+  constexpr uint64_t kValues = 512;
+  ServerOptions server_options = TestServerOptions(kSeed);
+  server_options.warehouse.merge.footprint_bound_bytes =
+      16 * kSingletonFootprintBytes;
+  auto server = MustStart(server_options);
+  ASSERT_NE(server, nullptr);
+  auto client = MustConnect(*server);
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->CreateTenant("acme", {}).ok());
+  ASSERT_TRUE(client->CreateDataset("acme", "sales").ok());
+
+  Warehouse reference(server_options.warehouse);
+  ASSERT_TRUE(reference.CreateDataset("acme.sales").ok());
+  for (uint64_t p = 0; p < kParts; ++p) {
+    const PartitionSample sample =
+        MakeReservoirSample(static_cast<Value>(p * kValues), kValues);
+    auto id = client->RollIn("acme", "sales", sample);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ASSERT_TRUE(reference.RollInAt("acme.sales", id.value(), sample).ok());
+  }
+
+  client->set_deadline_millis(1);
+  auto denied = client->Query("acme", "sales");
+  ASSERT_FALSE(denied.ok());
+  EXPECT_TRUE(denied.status().IsDeadlineExceeded())
+      << denied.status().ToString();
+
+  // A structured kDeadlineExceeded is a served response, not a transport
+  // failure: the connection stays usable and the server counted it.
+  client->set_deadline_millis(0);
+  auto stats = client->ServerStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats.value().deadlines_exceeded, 1u);
+  EXPECT_EQ(client->stats().reconnects, 0u);
+
+  // The canceled merge consumed no randomness and poisoned no memo state:
+  // without the deadline the identical query answers bit-identically to an
+  // uninterrupted reference warehouse.
+  auto full = client->Query("acme", "sales");
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  auto expect = reference.MergedSampleAll("acme.sales");
+  ASSERT_TRUE(expect.ok());
+  EXPECT_EQ(SampleBytes(full.value()), SampleBytes(expect.value()));
+}
+
+}  // namespace
+}  // namespace sampwh

@@ -1,0 +1,271 @@
+// Coordinator error-path battery: a sharded deployment losing nodes at
+// startup, mid-query and across restarts. The degraded-operation contract
+// under test: with allow_partial, the coordinator answers from the
+// surviving shards, flags the result partial with the missing shards (and
+// missing ids, for explicit-id queries) — and the partial answer is
+// BIT-IDENTICAL to a single-node reference warehouse queried over exactly
+// the surviving id set. After the dead node restarts on its old port from
+// its durable store, strict queries return full exact answers again.
+
+#include "src/server/coordinator.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/types.h"
+#include "src/warehouse/warehouse.h"
+#include "tests/server/server_test_util.h"
+
+namespace sampwh {
+namespace {
+
+constexpr uint64_t kSeed = 0x5157313136ULL;
+constexpr uint64_t kBound = 4 * kSingletonFootprintBytes;
+constexpr uint64_t kPartitions = 12;
+
+std::string TempDir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "sampwh_coordfail_" + tag +
+                          "_" + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+ServerOptions NodeOptions(const std::string& store_dir) {
+  ServerOptions options = TestServerOptions(kSeed);
+  options.warehouse.merge.footprint_bound_bytes = kBound;
+  options.store_directory = store_dir;
+  return options;
+}
+
+/// Client knobs that keep failure detection fast: one retry, short
+/// timeouts, a 2-failure breaker with a short open window.
+ClientOptions FastFailClientOptions() {
+  ClientOptions options;
+  options.connect_timeout_millis = 1'000;
+  options.read_timeout_millis = 2'000;
+  options.max_retries = 1;
+  options.backoff_initial_millis = 5;
+  options.backoff_max_millis = 20;
+  options.breaker_failure_threshold = 2;
+  options.breaker_open_millis = 250;
+  return options;
+}
+
+CoordinatorOptions TolerantCoordinatorOptions() {
+  CoordinatorOptions options;
+  options.seed = kSeed;
+  options.merge.footprint_bound_bytes = kBound;
+  options.client = FastFailClientOptions();
+  options.tolerate_unreachable = true;
+  return options;
+}
+
+struct Fixture {
+  std::vector<std::string> dirs;
+  std::vector<ShardNodeAddress> nodes;
+  std::vector<std::unique_ptr<WarehouseServer>> servers;
+  std::unique_ptr<ShardCoordinator> coordinator;
+  std::unique_ptr<Warehouse> reference;
+  std::vector<PartitionId> ids;
+};
+
+/// Two file-backed nodes, a strict coordinator, `kPartitions` partitions
+/// rolled in through it and mirrored into a single-node reference
+/// warehouse under the same seed and merge options.
+Fixture MakeFixture(const std::string& tag) {
+  Fixture f;
+  for (size_t i = 0; i < 2; ++i) {
+    f.dirs.push_back(TempDir(tag + std::to_string(i)));
+    auto server = MustStart(NodeOptions(f.dirs.back()));
+    if (server == nullptr) return {};
+    f.nodes.push_back({server->host(), server->port()});
+    f.servers.push_back(std::move(server));
+  }
+  CoordinatorOptions options = TolerantCoordinatorOptions();
+  options.tolerate_unreachable = false;
+  auto coordinator = ShardCoordinator::Connect(f.nodes, options);
+  if (!coordinator.ok()) {
+    ADD_FAILURE() << "coordinator: " << coordinator.status().ToString();
+    return {};
+  }
+  f.coordinator = std::move(coordinator).value();
+
+  f.reference = std::make_unique<Warehouse>(NodeOptions("").warehouse);
+  EXPECT_TRUE(f.coordinator->CreateTenant("acme", {}).ok());
+  EXPECT_TRUE(f.coordinator->CreateDataset("acme", "sales").ok());
+  EXPECT_TRUE(f.reference->CreateDataset("acme.sales").ok());
+  for (uint64_t p = 0; p < kPartitions; ++p) {
+    const PartitionSample sample =
+        MakeReservoirSample(static_cast<Value>(p) * 100, 6);
+    auto id = f.coordinator->RollIn("acme", "sales", sample, p, p);
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    if (!id.ok()) return {};
+    EXPECT_TRUE(
+        f.reference->RollInAt("acme.sales", id.value(), sample, p, p).ok());
+    f.ids.push_back(id.value());
+  }
+  return f;
+}
+
+/// The requested ids whose home shard is NOT in `missing`.
+std::vector<PartitionId> Surviving(const ShardCoordinator& coord,
+                                   const std::vector<PartitionId>& ids,
+                                   const std::vector<size_t>& missing) {
+  std::vector<PartitionId> out;
+  for (const PartitionId id : ids) {
+    if (std::find(missing.begin(), missing.end(),
+                  coord.ShardOf("acme", "sales", id)) == missing.end()) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+TEST(CoordinatorFailureTest, NodeUnreachableAtStartup) {
+  Fixture f = MakeFixture("boot");
+  ASSERT_NE(f.coordinator, nullptr);
+  f.coordinator.reset();
+  f.servers[1]->Stop();
+
+  // Strict connect requires every node.
+  auto strict =
+      ShardCoordinator::Connect(f.nodes, [] {
+        CoordinatorOptions o = TolerantCoordinatorOptions();
+        o.tolerate_unreachable = false;
+        return o;
+      }());
+  ASSERT_FALSE(strict.ok());
+  EXPECT_TRUE(strict.status().IsIOError()) << strict.status().ToString();
+
+  // A tolerant coordinator starts anyway and serves degraded queries.
+  auto tolerant =
+      ShardCoordinator::Connect(f.nodes, TolerantCoordinatorOptions());
+  ASSERT_TRUE(tolerant.ok()) << tolerant.status().ToString();
+  ShardCoordinator& coord = *tolerant.value();
+
+  // Strict query: the dead shard fails it.
+  auto full = coord.Query("acme", "sales");
+  ASSERT_FALSE(full.ok());
+  EXPECT_TRUE(full.status().IsIOError() || full.status().IsUnavailable() ||
+              full.status().IsDeadlineExceeded())
+      << full.status().ToString();
+
+  // Degraded all-partitions query: partial, missing shard 1, bit-identical
+  // to the reference over the surviving ids.
+  QueryOptions degraded;
+  degraded.allow_partial = true;
+  auto partial =
+      coord.QueryWithOptions("acme", "sales", /*ids=*/{}, degraded);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  EXPECT_TRUE(partial.value().partial);
+  EXPECT_EQ(partial.value().missing_shards, std::vector<size_t>{1});
+  EXPECT_TRUE(partial.value().missing_ids.empty());  // inventory unknowable
+  const std::vector<PartitionId> surviving =
+      Surviving(coord, f.ids, partial.value().missing_shards);
+  ASSERT_FALSE(surviving.empty());
+  ASSERT_LT(surviving.size(), f.ids.size());
+  auto expect = f.reference->MergedSample("acme.sales", surviving);
+  ASSERT_TRUE(expect.ok());
+  EXPECT_EQ(SampleBytes(partial.value().sample),
+            SampleBytes(expect.value()));
+
+  // Explicit-id degraded query: the excluded ids are named.
+  auto named = coord.QueryWithOptions("acme", "sales", f.ids, degraded);
+  ASSERT_TRUE(named.ok()) << named.status().ToString();
+  EXPECT_TRUE(named.value().partial);
+  std::vector<PartitionId> dead_ids;
+  for (const PartitionId id : f.ids) {
+    if (coord.ShardOf("acme", "sales", id) == 1) dead_ids.push_back(id);
+  }
+  EXPECT_EQ(named.value().missing_ids, dead_ids);
+  EXPECT_EQ(SampleBytes(named.value().sample), SampleBytes(expect.value()));
+
+  EXPECT_GE(coord.stats().partial_queries_served, 2u);
+  const std::vector<bool> health = coord.CheckHealth();
+  ASSERT_EQ(health.size(), 2u);
+  EXPECT_TRUE(health[0]);
+  EXPECT_FALSE(health[1]);
+}
+
+TEST(CoordinatorFailureTest, NodeDyingMidMergeThenRestartRecovery) {
+  Fixture f = MakeFixture("midq");
+  ASSERT_NE(f.coordinator, nullptr);
+  ShardCoordinator& coord = *f.coordinator;
+
+  // Healthy baseline: strict full answer matches the reference.
+  auto before = coord.Query("acme", "sales");
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  EXPECT_EQ(SampleBytes(before.value()),
+            SampleBytes(f.reference->MergedSampleAll("acme.sales").value()));
+
+  // Node 1 dies with the coordinator's connections warm. An explicit-id
+  // query goes straight to the merge, which discovers the death mid-tree
+  // and — under allow_partial — restarts over the survivors.
+  const uint16_t dead_port = f.servers[1]->port();
+  f.servers[1]->Stop();
+
+  QueryOptions degraded;
+  degraded.allow_partial = true;
+  degraded.deadline_millis = 10'000;
+  auto partial = coord.QueryWithOptions("acme", "sales", f.ids, degraded);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  EXPECT_TRUE(partial.value().partial);
+  EXPECT_EQ(partial.value().missing_shards, std::vector<size_t>{1});
+  const std::vector<PartitionId> surviving =
+      Surviving(coord, f.ids, partial.value().missing_shards);
+  auto expect = f.reference->MergedSample("acme.sales", surviving);
+  ASSERT_TRUE(expect.ok());
+  EXPECT_EQ(SampleBytes(partial.value().sample),
+            SampleBytes(expect.value()));
+  EXPECT_GE(coord.stats().partial_queries_served, 1u);
+  EXPECT_GE(coord.stats().transport_errors, 1u);
+
+  // The node restarts on its old port from its durable store (the server
+  // listener binds with SO_REUSEADDR, so the rebind is immediate). Tenants
+  // are provisioning state, not store state: the restarted node gets its
+  // tenant back the way the serve tool would, via bootstrap.
+  ServerOptions revived = NodeOptions(f.dirs[1]);
+  revived.port = dead_port;
+  revived.bootstrap_tenants["acme"] = TenantQuota{};
+  f.servers[1] = MustStart(revived);
+  ASSERT_NE(f.servers[1], nullptr);
+
+  // Past the breaker's open window, the next strict query reconnects and
+  // the full exact answer is back.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  auto healed = coord.Query("acme", "sales");
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ(SampleBytes(healed.value()),
+            SampleBytes(f.reference->MergedSampleAll("acme.sales").value()));
+  const std::vector<bool> health = coord.CheckHealth();
+  EXPECT_TRUE(health[0]);
+  EXPECT_TRUE(health[1]);
+}
+
+TEST(CoordinatorFailureTest, AllShardsDownIsCleanUnavailable) {
+  Fixture f = MakeFixture("alldown");
+  ASSERT_NE(f.coordinator, nullptr);
+  ShardCoordinator& coord = *f.coordinator;
+  f.servers[0]->Stop();
+  f.servers[1]->Stop();
+
+  QueryOptions degraded;
+  degraded.allow_partial = true;
+  auto none = coord.QueryWithOptions("acme", "sales", f.ids, degraded);
+  ASSERT_FALSE(none.ok());
+  EXPECT_TRUE(none.status().IsUnavailable() || none.status().IsIOError())
+      << none.status().ToString();
+}
+
+}  // namespace
+}  // namespace sampwh

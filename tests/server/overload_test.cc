@@ -1,0 +1,185 @@
+// Admission-control and drain battery. Overload sheds load explicitly: a
+// connection beyond max_connections is answered a structured
+// kResourceExhausted frame — never a silent FIN, never a hang — before any
+// thread is spawned, and a draining server answers kUnavailable the same
+// way. Shed and drained requests never reach a verb handler, so no tenant
+// quota charge can leak from them. Drain itself keeps serving in-flight
+// connections: a streaming ingest session finishes exactly-once (duplicate
+// re-drives acknowledged and skipped) while new connections are refused.
+
+#include "src/server/server.h"
+
+#include <chrono>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/types.h"
+#include "src/server/client.h"
+#include "tests/server/server_test_util.h"
+
+namespace sampwh {
+namespace {
+
+ClientOptions NoRetryOptions() {
+  ClientOptions options;
+  options.max_retries = 0;
+  options.breaker_failure_threshold = 0;
+  return options;
+}
+
+TEST(OverloadTest, OverCapConnectionsGetStructuredResourceExhausted) {
+  ServerOptions options = TestServerOptions();
+  options.max_connections = 2;
+  options.bootstrap_tenants["acme"] = TenantQuota{};
+  auto server = MustStart(options);
+  ASSERT_NE(server, nullptr);
+
+  // Two connections fill the cap and stay in flight.
+  auto c1 = MustConnect(*server, NoRetryOptions());
+  auto c2 = MustConnect(*server, NoRetryOptions());
+  ASSERT_NE(c1, nullptr);
+  ASSERT_NE(c2, nullptr);
+  ASSERT_TRUE(c1->Ping().ok());
+  ASSERT_TRUE(c2->Ping().ok());
+  ASSERT_TRUE(c1->CreateDataset("acme", "sales").ok());
+
+  // The third is accepted at the TCP layer but refused on the wire, in
+  // bounded time, with the machine-readable reason.
+  auto c3 = WarehouseClient::Connect(server->host(), server->port(),
+                                     NoRetryOptions());
+  ASSERT_TRUE(c3.ok()) << c3.status().ToString();
+  const auto start = std::chrono::steady_clock::now();
+  auto refused = c3.value()->RollIn("acme", "sales",
+                                    MakeReservoirSample(0, 4));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsResourceExhausted())
+      << refused.status().ToString();
+  EXPECT_NE(refused.status().ToString().find("connection limit"),
+            std::string::npos)
+      << refused.status().ToString();
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+  EXPECT_GE(server->stats().connections_shed, 1u);
+
+  // The shed roll-in never reached a handler: nothing was stored, nothing
+  // was charged against the tenant.
+  auto parts = c1->ListPartitions("acme", "sales");
+  ASSERT_TRUE(parts.ok());
+  EXPECT_TRUE(parts.value().empty());
+  auto tenant = c1->GetTenantStats("acme");
+  ASSERT_TRUE(tenant.ok()) << tenant.status().ToString();
+  EXPECT_EQ(tenant.value().usage.partitions, 0u);
+  EXPECT_EQ(tenant.value().usage.bytes, 0u);
+
+  // In-cap connections are unaffected by the shed.
+  EXPECT_TRUE(c1->Ping().ok());
+  EXPECT_TRUE(c2->Ping().ok());
+}
+
+TEST(OverloadTest, DrainRefusesNewConnectionsAndFinishesIngestExactlyOnce) {
+  ServerOptions options = TestServerOptions();  // 256 elements/partition
+  options.bootstrap_tenants["acme"] = TenantQuota{};
+  auto server = MustStart(options);
+  ASSERT_NE(server, nullptr);
+
+  auto ingest = MustConnect(*server, NoRetryOptions());
+  ASSERT_NE(ingest, nullptr);
+  ASSERT_TRUE(ingest->CreateDataset("acme", "logs").ok());
+  auto opened = ingest->IngestOpen("acme", "logs");
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  ASSERT_EQ(opened.value().next_sequence, 0u);
+
+  std::vector<Value> batch(128);
+  std::iota(batch.begin(), batch.end(), Value{0});
+  auto ack = ingest->IngestAppend("acme", "logs", /*sequence=*/0, batch);
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack.value().next_sequence, 128u);
+
+  server->BeginDrain();
+  EXPECT_TRUE(server->draining());
+
+  // A new connection is refused with a structured kUnavailable.
+  auto late = WarehouseClient::Connect(server->host(), server->port(),
+                                       NoRetryOptions());
+  ASSERT_TRUE(late.ok()) << late.status().ToString();
+  auto refused = late.value()->Ping();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsUnavailable())
+      << refused.status().ToString();
+  EXPECT_NE(refused.status().ToString().find("draining"), std::string::npos)
+      << refused.status().ToString();
+
+  // The in-flight session keeps streaming through the drain.
+  ack = ingest->IngestAppend("acme", "logs", /*sequence=*/128, batch);
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack.value().next_sequence, 256u);
+
+  // An at-least-once re-drive of the same batch is acknowledged and
+  // skipped — the watermark does not move, nothing is double-applied.
+  auto dup = ingest->IngestAppend("acme", "logs", /*sequence=*/128, batch);
+  ASSERT_TRUE(dup.ok()) << dup.status().ToString();
+  EXPECT_EQ(dup.value().next_sequence, 256u);
+
+  std::vector<Value> tail(256);
+  std::iota(tail.begin(), tail.end(), Value{1'000});
+  ack = ingest->IngestAppend("acme", "logs", /*sequence=*/256, tail);
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack.value().next_sequence, 512u);
+  auto flushed = ingest->IngestFlush("acme", "logs");
+  ASSERT_TRUE(flushed.ok()) << flushed.status().ToString();
+  EXPECT_EQ(flushed.value().partitions_rolled_in, 2u);
+
+  // Quota was charged for exactly the two closed partitions (the duplicate
+  // re-drive charged nothing), observed over the still-served connection.
+  auto tenant = ingest->GetTenantStats("acme");
+  ASSERT_TRUE(tenant.ok()) << tenant.status().ToString();
+  EXPECT_EQ(tenant.value().usage.partitions, 2u);
+
+  // Drained only once the in-flight connection ends.
+  EXPECT_FALSE(server->WaitDrained(/*deadline_millis=*/50));
+  ingest.reset();
+  EXPECT_TRUE(server->WaitDrained(/*deadline_millis=*/5'000));
+  EXPECT_GE(server->stats().connections_shed, 1u);
+
+  // Exactly-once, end to end: 512 parent elements in 2 partitions.
+  auto merged = server->warehouse_for_testing()->MergedSampleAll("acme.logs");
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged.value().parent_size(), 512u);
+}
+
+TEST(OverloadTest, V1AndV2RequestHeadsCoexistOnOneServer) {
+  auto server = MustStart(TestServerOptions());
+  ASSERT_NE(server, nullptr);
+  auto v1 = MustConnect(*server);  // deadline 0 keeps the v1 head
+  ClientOptions with_deadline;
+  with_deadline.deadline_millis = 60'000;
+  auto v2 = MustConnect(*server, with_deadline);  // v2 head + extension
+  ASSERT_NE(v1, nullptr);
+  ASSERT_NE(v2, nullptr);
+
+  ASSERT_TRUE(v1->CreateTenant("acme", {}).ok());
+  ASSERT_TRUE(v1->CreateDataset("acme", "sales").ok());
+  for (uint64_t p = 0; p < 5; ++p) {
+    ASSERT_TRUE(
+        v1->RollIn("acme", "sales",
+                   MakeReservoirSample(static_cast<Value>(p * 10), 4))
+            .ok());
+  }
+  // Interleaved old- and new-style requests are served alike, and answers
+  // do not depend on which head carried the query.
+  auto old_style = v1->Query("acme", "sales");
+  auto new_style = v2->Query("acme", "sales");
+  ASSERT_TRUE(old_style.ok()) << old_style.status().ToString();
+  ASSERT_TRUE(new_style.ok()) << new_style.status().ToString();
+  EXPECT_EQ(SampleBytes(old_style.value()), SampleBytes(new_style.value()));
+  EXPECT_TRUE(v1->Ping().ok());
+  EXPECT_TRUE(v2->Ping().ok());
+}
+
+}  // namespace
+}  // namespace sampwh

@@ -290,7 +290,8 @@ TEST(WireFuzzTest, ResponseParserNeverCrashesOnRandomPayloads) {
     (void)ParseResponseHead(&reader);
     BinaryReader request_reader(payload);
     uint32_t verb = 0;
-    (void)ParseRequestHead(&request_reader, &verb);
+    RequestHeader header;
+    (void)ParseRequestHead(&request_reader, &verb, &header);
   }
 }
 

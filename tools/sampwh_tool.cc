@@ -319,6 +319,7 @@ int CmdServe(const std::vector<std::string>& args) {
   // contract; give it a sane default the flags can override.
   options.warehouse.merge_memo_bytes = 8ull << 20;
   std::string port_file;
+  uint64_t drain_millis = 5'000;
   for (size_t i = 1; i < args.size(); ++i) {
     const std::string& flag = args[i];
     auto next = [&]() -> const std::string* {
@@ -363,6 +364,19 @@ int CmdServe(const std::vector<std::string>& args) {
       const Status parsed = ParseTenantSpec(*v, &name, &quota);
       if (!parsed.ok()) return Fail(parsed);
       options.bootstrap_tenants[name] = quota;
+    } else if (flag == "--max-connections") {
+      const std::string* v = next();
+      if (v == nullptr) {
+        return Fail(Status::InvalidArgument("--max-connections needs N"));
+      }
+      options.max_connections =
+          static_cast<uint32_t>(std::strtoul(v->c_str(), nullptr, 10));
+    } else if (flag == "--drain-millis") {
+      const std::string* v = next();
+      if (v == nullptr) {
+        return Fail(Status::InvalidArgument("--drain-millis needs N"));
+      }
+      drain_millis = std::strtoull(v->c_str(), nullptr, 10);
     } else {
       return Fail(Status::InvalidArgument("unknown serve flag: " + flag));
     }
@@ -385,6 +399,26 @@ int CmdServe(const std::vector<std::string>& args) {
   while (!g_signalled.load(std::memory_order_acquire) &&
          !server.value()->stop_requested()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  // Graceful teardown on the first signal: refuse new connections with a
+  // structured kUnavailable while in-flight work (streaming ingests above
+  // all) completes, bounded by --drain-millis; a second signal, or the
+  // bound, forces the stop. Stop() itself still checkpoints every ingest
+  // session durably.
+  if (g_signalled.load(std::memory_order_acquire) && drain_millis > 0 &&
+      !server.value()->stop_requested()) {
+    std::printf("draining (up to %llu ms)...\n",
+                static_cast<unsigned long long>(drain_millis));
+    std::fflush(stdout);
+    g_signalled.store(false, std::memory_order_release);
+    server.value()->BeginDrain();
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(drain_millis);
+    while (std::chrono::steady_clock::now() < deadline &&
+           !g_signalled.load(std::memory_order_acquire)) {
+      if (server.value()->WaitDrained(/*deadline_millis=*/50)) break;
+    }
   }
   server.value()->Stop();
   std::printf("stopped\n");
@@ -424,6 +458,10 @@ int CmdServerStats(const std::string& host, const std::string& port) {
               static_cast<unsigned long long>(s.protocol_errors));
   std::printf("datasets:             %llu\n",
               static_cast<unsigned long long>(s.num_datasets));
+  std::printf("connections shed:     %llu\n",
+              static_cast<unsigned long long>(s.connections_shed));
+  std::printf("deadlines exceeded:   %llu\n",
+              static_cast<unsigned long long>(s.deadlines_exceeded));
   return 0;
 }
 
@@ -456,6 +494,7 @@ int Usage() {
       "  sampwh_tool serve <store-dir> [--port N] [--port-file PATH]\n"
       "              [--tenant NAME[:bytes[:partitions[:datasets]]]] ...\n"
       "              [--seed S] [--partition-elements N] [--memo-bytes N]\n"
+      "              [--max-connections N] [--drain-millis N]\n"
       "  sampwh_tool ping <host> <port>\n"
       "  sampwh_tool server-stats <host> <port>\n"
       "  sampwh_tool remote-query <host> <port> <tenant> <dataset> "
