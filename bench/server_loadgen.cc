@@ -12,11 +12,21 @@
 // set) issue random-subset queries for a fixed wall-time window, yielding
 // sustained qps and p50/p95/p99 latency per cell of the matrix.
 //
+// A replication cell then runs the same population through a three-node
+// deployment at replication factor R in {1, 2, 3}: write amplification is
+// read off the servers' own replica-write counters, and for R > 1 one
+// node is stopped mid-run — every subsequent strict query must stay
+// byte-identical to the reference (served via replica failover, never
+// flagged partial), with the failover latency reported alongside the
+// healthy baseline.
+//
 // Results go to stdout as a table and to BENCH_server.json in the working
 // directory. --smoke (or SERVER_BENCH_SMOKE=1) runs a reduced matrix in a
-// couple of seconds for CI. The gate is correctness, not speed: exactness
-// must hold in every deployment and the servers must finish with zero
-// protocol errors; either failure exits 1.
+// couple of seconds for CI; --replication R pins the replication cell to
+// a single factor. The gate is correctness, not speed: exactness
+// must hold in every deployment (including through the replication cell's
+// node kill) and the servers must finish with zero protocol errors;
+// either failure exits 1.
 
 #include <algorithm>
 #include <atomic>
@@ -57,6 +67,8 @@ struct BenchParams {
   uint64_t merge_bound_bytes = 0;
   int exactness_subsets = 0;
   double window_seconds = 0.0;
+  std::vector<uint32_t> replication_factors;
+  int replication_queries = 0;
 };
 
 BenchParams MakeParams(bool smoke) {
@@ -69,6 +81,8 @@ BenchParams MakeParams(bool smoke) {
     p.per_partition_values = 8;
     p.exactness_subsets = 8;
     p.window_seconds = 0.15;
+    p.replication_factors = {1, 2};
+    p.replication_queries = 6;
   } else {
     p.node_counts = {1, 2, 4};
     p.client_counts = {1, 4, 16};
@@ -76,6 +90,8 @@ BenchParams MakeParams(bool smoke) {
     p.per_partition_values = 16;
     p.exactness_subsets = 25;
     p.window_seconds = 1.0;
+    p.replication_factors = {1, 2, 3};
+    p.replication_queries = 16;
   }
   p.merge_bound_bytes = 16 * kSingletonFootprintBytes;
   return p;
@@ -106,6 +122,27 @@ struct OverloadResult {
   uint64_t over_cap_attempts = 0;
   uint64_t resource_exhausted = 0;
   uint64_t connections_shed = 0;
+  uint64_t unexpected_errors = 0;
+};
+
+/// The replication cell: a three-node deployment at replication factor R.
+/// `write_amplification` is physical partition stores per logical roll-in,
+/// read off the servers' own replica-write counters. For R > 1 one node
+/// is stopped mid-run; `exact` records whether every post-kill strict
+/// query stayed byte-identical to the single-node reference (served via
+/// replica failover — `failover_reads` counts the re-driven spans).
+struct ReplicationResult {
+  uint32_t replication_factor = 0;
+  size_t nodes = 0;
+  uint64_t logical_writes = 0;
+  uint64_t replica_writes = 0;
+  double write_amplification = 1.0;
+  double healthy_p50_ms = 0.0;
+  double failover_p50_ms = 0.0;
+  double failover_p95_ms = 0.0;
+  uint64_t failover_queries = 0;
+  uint64_t failover_reads = 0;
+  bool exact = true;
   uint64_t unexpected_errors = 0;
 };
 
@@ -312,6 +349,131 @@ CellResult RunCell(const BenchParams& params, const Deployment& d,
   return cell;
 }
 
+/// Fail-fast connections for the replication cell: the stopped node must
+/// cost two quick refused connects (then a 250ms breaker window), not the
+/// default retry budget, so the failover latencies measure the re-drive
+/// rather than the backoff schedule.
+CoordinatorOptions ReplicationCoordOptions(const BenchParams& params,
+                                           uint32_t replication_factor) {
+  CoordinatorOptions options = CoordOptions(params);
+  options.replication_factor = replication_factor;
+  options.tolerate_unreachable = true;
+  options.client.connect_timeout_millis = 1'000;
+  options.client.read_timeout_millis = 2'000;
+  options.client.max_retries = 1;
+  options.client.backoff_initial_millis = 5;
+  options.client.backoff_max_millis = 20;
+  options.client.breaker_failure_threshold = 2;
+  options.client.breaker_open_millis = 250;
+  return options;
+}
+
+ReplicationResult RunReplicationCell(const BenchParams& params,
+                                     uint32_t replication_factor) {
+  constexpr size_t kReplNodes = 3;
+  ReplicationResult cell;
+  cell.replication_factor = replication_factor;
+  cell.nodes = kReplNodes;
+
+  std::vector<std::unique_ptr<WarehouseServer>> servers;
+  std::vector<ShardNodeAddress> addresses;
+  for (size_t i = 0; i < kReplNodes; ++i) {
+    auto server = WarehouseServer::Start(NodeOptions(params));
+    SAMPWH_CHECK(server.ok());
+    addresses.push_back({server.value()->host(), server.value()->port()});
+    servers.push_back(std::move(server).value());
+  }
+  auto coordinator = ShardCoordinator::Connect(
+      addresses, ReplicationCoordOptions(params, replication_factor));
+  SAMPWH_CHECK(coordinator.ok());
+  ShardCoordinator& coord = *coordinator.value();
+  SAMPWH_CHECK(coord.CreateTenant(kTenant, {}).ok());
+  SAMPWH_CHECK(coord.CreateDataset(kTenant, kDataset).ok());
+
+  ServerOptions reference_options = NodeOptions(params);
+  Warehouse reference(reference_options.warehouse);
+  const DatasetId key = std::string(kTenant) + "." + kDataset;
+  SAMPWH_CHECK(reference.CreateDataset(key).ok());
+
+  std::vector<PartitionId> ids;
+  for (uint64_t p = 0; p < params.partitions; ++p) {
+    const PartitionSample sample = MakeSample(params, p);
+    auto id = coord.RollIn(kTenant, kDataset, sample, p, p);
+    SAMPWH_CHECK(id.ok());
+    SAMPWH_CHECK(reference.RollInAt(key, id.value(), sample, p, p).ok());
+    ids.push_back(id.value());
+  }
+  cell.logical_writes = params.partitions;
+  for (const auto& server : servers) {
+    cell.replica_writes += server->stats().replica_writes;
+  }
+  cell.write_amplification =
+      static_cast<double>(cell.logical_writes + cell.replica_writes) /
+      static_cast<double>(cell.logical_writes);
+
+  const auto percentile_ms = [](std::vector<double> lat, double q) {
+    if (lat.empty()) return 0.0;
+    std::sort(lat.begin(), lat.end());
+    const size_t index = std::min(
+        lat.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(lat.size())));
+    return lat[index] * 1e3;
+  };
+  const auto check_exact = [&](const std::vector<PartitionId>& subset,
+                               const PartitionSample& merged) {
+    auto expected = reference.MergedSample(key, subset);
+    SAMPWH_CHECK(expected.ok());
+    if (SampleBytes(merged) != SampleBytes(expected.value())) {
+      cell.exact = false;
+      std::fprintf(stderr, "replication r=%u: query diverged from reference\n",
+                   replication_factor);
+    }
+  };
+
+  Pcg64 rng(kSeed ^ 0xf417ull, replication_factor);
+  std::vector<double> healthy;
+  for (int q = 0; q < params.replication_queries; ++q) {
+    const std::vector<PartitionId> subset = RandomSubset(ids, rng);
+    WallTimer timer;
+    auto merged = coord.Query(kTenant, kDataset, subset);
+    if (!merged.ok()) {
+      cell.unexpected_errors++;
+      continue;
+    }
+    healthy.push_back(timer.ElapsedSeconds());
+    check_exact(subset, merged.value());
+  }
+  cell.healthy_p50_ms = percentile_ms(healthy, 0.50);
+
+  if (replication_factor > 1) {
+    // Kill one node; every strict query must keep answering exactly via
+    // the survivors. Every fourth query is the full union, which provably
+    // touches the stopped node's spans.
+    servers[1]->Stop();
+    std::vector<double> failover;
+    for (int q = 0; q < params.replication_queries; ++q) {
+      const std::vector<PartitionId> subset =
+          (q % 4 == 0) ? ids : RandomSubset(ids, rng);
+      WallTimer timer;
+      auto merged = coord.Query(kTenant, kDataset, subset);
+      if (!merged.ok()) {
+        cell.exact = false;
+        cell.unexpected_errors++;
+        std::fprintf(stderr, "replication r=%u: post-kill query failed: %s\n",
+                     replication_factor, merged.status().ToString().c_str());
+        continue;
+      }
+      failover.push_back(timer.ElapsedSeconds());
+      check_exact(subset, merged.value());
+    }
+    cell.failover_queries = failover.size();
+    cell.failover_p50_ms = percentile_ms(failover, 0.50);
+    cell.failover_p95_ms = percentile_ms(failover, 0.95);
+    cell.failover_reads = coord.stats().failover_reads;
+  }
+  return cell;
+}
+
 /// Deterministic admission-control probe: fill a capped server with
 /// `cap` persistent querying clients, then attempt `extra` more. Every
 /// over-cap connection must be refused with a structured
@@ -366,7 +528,9 @@ OverloadResult RunOverloadCell(const BenchParams& params) {
 
 bool WriteJson(const std::string& path, const BenchParams& params,
                const std::vector<CellResult>& cells,
-               const OverloadResult& overload, bool exactness_passed,
+               const OverloadResult& overload,
+               const std::vector<ReplicationResult>& replication,
+               bool exactness_passed, bool replication_exact,
                uint64_t protocol_errors, uint64_t unexpected_errors,
                bool gate_passed) {
   std::ofstream out(path);
@@ -397,8 +561,27 @@ bool WriteJson(const std::string& path, const BenchParams& params,
       << ", \"resource_exhausted\": " << overload.resource_exhausted
       << ", \"connections_shed\": " << overload.connections_shed
       << ", \"unexpected\": " << overload.unexpected_errors << "},\n";
+  out << "  \"replication\": [\n";
+  for (size_t i = 0; i < replication.size(); ++i) {
+    const ReplicationResult& r = replication[i];
+    out << "    {\"replication_factor\": " << r.replication_factor
+        << ", \"nodes\": " << r.nodes
+        << ", \"logical_writes\": " << r.logical_writes
+        << ", \"replica_writes\": " << r.replica_writes
+        << ", \"write_amplification\": " << r.write_amplification
+        << ", \"healthy_p50_ms\": " << r.healthy_p50_ms
+        << ", \"failover_p50_ms\": " << r.failover_p50_ms
+        << ", \"failover_p95_ms\": " << r.failover_p95_ms
+        << ", \"failover_queries\": " << r.failover_queries
+        << ", \"failover_reads\": " << r.failover_reads
+        << ", \"exact\": " << (r.exact ? "true" : "false")
+        << ", \"unexpected\": " << r.unexpected_errors << "}"
+        << (i + 1 < replication.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
   out << "  \"gate\": {\"exactness_passed\": "
       << (exactness_passed ? "true" : "false")
+      << ", \"replication_exact\": " << (replication_exact ? "true" : "false")
       << ", \"protocol_errors\": " << protocol_errors
       << ", \"unexpected_errors\": " << unexpected_errors
       << ", \"overload_shed_visible\": "
@@ -411,14 +594,25 @@ bool WriteJson(const std::string& path, const BenchParams& params,
 
 int Main(int argc, char** argv) {
   bool smoke = false;
+  uint32_t replication_override = 0;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--replication") == 0 && i + 1 < argc) {
+      replication_override =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    }
   }
   if (const char* env = std::getenv("SERVER_BENCH_SMOKE");
       env != nullptr && env[0] != '\0' && env[0] != '0') {
     smoke = true;
   }
-  const BenchParams params = MakeParams(smoke);
+  BenchParams params = MakeParams(smoke);
+  // --replication R pins the replication cell to a single factor (handy
+  // for eyeballing one failover configuration without the full sweep).
+  if (replication_override > 0) {
+    params.replication_factors = {replication_override};
+  }
 
   std::printf("Warehouse-server query load%s: %llu partitions, "
               "random-subset unions\n",
@@ -462,26 +656,51 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long long>(overload.connections_shed));
   unexpected_errors += overload.unexpected_errors;
 
-  // The gate: exactness, clean protocols, zero UNEXPECTED errors. Load
-  // shedding under the overload cell is expected — but only in its
-  // structured kResourceExhausted form, and it must be visible in the
-  // counters.
+  // The replication cells: write amplification at R in {1, 2, 3} on three
+  // nodes, and for R > 1 strict-query exactness straight through a node
+  // kill (served via replica failover — failover_reads must be nonzero).
+  std::vector<ReplicationResult> repl_cells;
+  bool replication_exact = true;
+  std::printf("replication: 3 nodes, one node stopped mid-run for R > 1\n");
+  std::printf("%-6s %-6s %12s %12s %14s %14s %10s %6s\n", "R", "ampl",
+              "healthy_p50", "failover_p50", "failover_p95", "failover_rds",
+              "queries", "exact");
+  for (const uint32_t r : params.replication_factors) {
+    repl_cells.push_back(RunReplicationCell(params, r));
+    const ReplicationResult& c = repl_cells.back();
+    std::printf("%-6u %-6.2f %12.3f %12.3f %14.3f %14llu %10llu %6s\n",
+                c.replication_factor, c.write_amplification, c.healthy_p50_ms,
+                c.failover_p50_ms, c.failover_p95_ms,
+                static_cast<unsigned long long>(c.failover_reads),
+                static_cast<unsigned long long>(c.failover_queries),
+                c.exact ? "yes" : "NO");
+    unexpected_errors += c.unexpected_errors;
+    replication_exact = replication_exact && c.exact &&
+                        (c.replication_factor <= 1 || c.failover_reads > 0);
+  }
+
+  // The gate: exactness (including through the replication kill), clean
+  // protocols, zero UNEXPECTED errors. Load shedding under the overload
+  // cell is expected — but only in its structured kResourceExhausted form,
+  // and it must be visible in the counters.
   const bool gate_passed =
-      exactness_passed && protocol_errors == 0 && unexpected_errors == 0 &&
+      exactness_passed && replication_exact && protocol_errors == 0 &&
+      unexpected_errors == 0 &&
       overload.resource_exhausted == overload.over_cap_attempts &&
       overload.connections_shed >= overload.over_cap_attempts;
-  if (!WriteJson("BENCH_server.json", params, cells, overload,
-                 exactness_passed, protocol_errors, unexpected_errors,
-                 gate_passed)) {
+  if (!WriteJson("BENCH_server.json", params, cells, overload, repl_cells,
+                 exactness_passed, replication_exact, protocol_errors,
+                 unexpected_errors, gate_passed)) {
     std::fprintf(stderr, "failed to write BENCH_server.json\n");
     return 1;
   }
   std::printf("Wrote BENCH_server.json\n");
   if (!gate_passed) {
     std::fprintf(stderr,
-                 "FAIL: exactness_passed=%d protocol_errors=%llu "
+                 "FAIL: exactness_passed=%d replication_exact=%d "
+                 "protocol_errors=%llu "
                  "unexpected_errors=%llu overload_refusals=%llu/%llu\n",
-                 exactness_passed ? 1 : 0,
+                 exactness_passed ? 1 : 0, replication_exact ? 1 : 0,
                  static_cast<unsigned long long>(protocol_errors),
                  static_cast<unsigned long long>(unexpected_errors),
                  static_cast<unsigned long long>(overload.resource_exhausted),

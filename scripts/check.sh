@@ -11,7 +11,9 @@
 # STRESS_SOAK=1 scripts/check.sh additionally runs the long stress soak
 # (~30 s) in the optimized tree after the test suites. CHAOS_SOAK=1 runs
 # the long network-chaos schedule (~20 s) instead of the smoke rounds the
-# suite already covers.
+# suite already covers. REPL_SOAK=1 runs the long replication-chaos
+# schedule (24 seeded single-node kill/partition rounds at R=2, every
+# strict answer required exact).
 #
 # Build trees go to build-check/<config> so the default build/ tree is
 # left alone.
@@ -114,12 +116,13 @@ echo "=== [relwithdebinfo] server bench (smoke) ==="
 # Network-chaos smoke (~5 s): the failure-domain battery standalone — a
 # 4-node sharded deployment behind seeded chaos proxies (partitions,
 # resets, black-holes, mid-frame truncations, delays), plus overload
-# shedding and drain. The ctest suite above already ran these; this
-# re-runs them with a targeted name so a serving-path robustness
+# shedding, drain and the replication battery (write quorums, exact
+# replica failover, scrub heal). The ctest suite above already ran these;
+# this re-runs them with a targeted name so a serving-path robustness
 # regression fails loudly on its own line.
 echo "=== [relwithdebinfo] chaos smoke ==="
 build-check/relwithdebinfo/tests/sampwh_server_test \
-  --gtest_filter='ChaosTest.*:OverloadTest.*:ClientResilienceTest.*:CoordinatorFailureTest.*'
+  --gtest_filter='ChaosTest.*:OverloadTest.*:ClientResilienceTest.*:CoordinatorFailureTest.*:ReplicationTest.*'
 
 # Fault-injection stress smoke (~2 s): seeded concurrent
 # ingest/query/roll-out rounds against an injected store, checking the
@@ -137,6 +140,12 @@ if [[ "${CHAOS_SOAK:-0}" != "0" ]]; then
   echo "=== [relwithdebinfo] chaos soak ==="
   CHAOS_SOAK=1 build-check/relwithdebinfo/tests/sampwh_server_test \
     --gtest_filter='ChaosTest.*'
+fi
+
+if [[ "${REPL_SOAK:-0}" != "0" ]]; then
+  echo "=== [relwithdebinfo] replication soak ==="
+  REPL_SOAK=1 build-check/relwithdebinfo/tests/sampwh_server_test \
+    --gtest_filter='ReplicationTest.*'
 fi
 
 echo "All checks passed."

@@ -46,9 +46,14 @@ bool IsIdempotent(Verb verb) {
     case Verb::kListDatasets:
     case Verb::kListPartitions:
     case Verb::kQuery:
+    case Verb::kPartitionDigests:
     case Verb::kIngestOpen:
     case Verb::kIngestAppend:
     case Verb::kIngestFlush:
+    // Replica placement is digest-idempotent by design: an existing copy
+    // with matching content acks as a no-op, so a re-driven write after a
+    // lost response converges instead of duplicating.
+    case Verb::kReplicaRollIn:
       return true;
     case Verb::kShutdown:
     case Verb::kCreateTenant:
@@ -201,6 +206,7 @@ Result<std::string> WarehouseClient::CallOnce(Verb verb,
   BinaryWriter req;
   RequestHeader header;
   header.deadline_millis = deadline_millis_;
+  header.flags = request_flags_;
   BeginRequest(&req, verb, header);
   req.PutRaw(body.data(), body.size());
   Status st = WriteFrame(fd_, req.Release());
@@ -295,6 +301,14 @@ Result<RemoteServerStats> WarehouseClient::ServerStats() {
   if (!reader.AtEnd()) {
     SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&s.connections_shed));
     SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&s.deadlines_exceeded));
+  }
+  // Replication counters, appended after v2.
+  if (!reader.AtEnd()) {
+    SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&s.replica_writes));
+    SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&s.failover_reads));
+    SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&s.scrub_rounds));
+    SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&s.partitions_healed));
+    SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&s.digest_mismatches));
   }
   return s;
 }
@@ -451,6 +465,49 @@ Result<PartitionId> WarehouseClient::RollInAt(const std::string& tenant,
   uint64_t placed = 0;
   SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&placed));
   return placed;
+}
+
+Result<PartitionId> WarehouseClient::ReplicaRollIn(
+    const std::string& tenant, const std::string& dataset, PartitionId id,
+    const PartitionSample& sample, uint64_t min_timestamp,
+    uint64_t max_timestamp, bool heal) {
+  BinaryWriter body;
+  PutScope(&body, tenant, dataset);
+  body.PutVarint64(id);
+  body.PutVarint64(min_timestamp);
+  body.PutVarint64(max_timestamp);
+  body.PutVarint64(heal ? kReplicaRollInFlagHeal : 0);
+  BinaryWriter blob;
+  sample.SerializeTo(&blob);
+  body.PutString(blob.Release());
+  SAMPWH_ASSIGN_OR_RETURN(const std::string resp,
+                          Call(Verb::kReplicaRollIn, body.Release()));
+  BinaryReader reader(resp);
+  uint64_t placed = 0;
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&placed));
+  return placed;
+}
+
+Result<std::vector<PartitionDigest>> WarehouseClient::PartitionDigests(
+    const std::string& tenant, const std::string& dataset) {
+  BinaryWriter body;
+  PutScope(&body, tenant, dataset);
+  SAMPWH_ASSIGN_OR_RETURN(const std::string resp,
+                          Call(Verb::kPartitionDigests, body.Release()));
+  BinaryReader reader(resp);
+  uint64_t n = 0;
+  SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&n));
+  std::vector<PartitionDigest> digests;
+  digests.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    PartitionDigest d;
+    SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&d.id));
+    SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&d.digest));
+    SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&d.min_timestamp));
+    SAMPWH_RETURN_IF_ERROR(reader.GetVarint64(&d.max_timestamp));
+    digests.push_back(d);
+  }
+  return digests;
 }
 
 Status WarehouseClient::RollOut(const std::string& tenant,

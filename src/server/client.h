@@ -104,6 +104,25 @@ struct RemoteServerStats {
   /// Appended after v1 of the body; 0 when the server predates them.
   uint64_t connections_shed = 0;
   uint64_t deadlines_exceeded = 0;
+  /// Replication counters, appended after v2; 0 when the server predates
+  /// them.
+  uint64_t replica_writes = 0;
+  uint64_t failover_reads = 0;
+  uint64_t scrub_rounds = 0;
+  uint64_t partitions_healed = 0;
+  uint64_t digest_mismatches = 0;
+};
+
+/// One readable partition copy in a kPartitionDigests listing.
+struct PartitionDigest {
+  PartitionId id = 0;
+  /// Content digest of the stored sample payload:
+  /// (CRC-32 of the serialized bytes << 32) | byte length. Two replicas
+  /// holding bit-identical copies always agree; a corrupt or missing copy
+  /// is omitted from the listing entirely.
+  uint64_t digest = 0;
+  uint64_t min_timestamp = 0;
+  uint64_t max_timestamp = 0;
 };
 
 class WarehouseClient {
@@ -131,6 +150,12 @@ class WarehouseClient {
   /// calls; 0 clears it.
   void set_deadline_millis(uint64_t millis) { deadline_millis_ = millis; }
   uint64_t deadline_millis() const { return deadline_millis_; }
+
+  /// Header flag bits (kRequestFlag*) stamped on subsequent requests. The
+  /// coordinator sets kRequestFlagFailoverRead around a query it re-drives
+  /// onto a replica; 0 clears. Nonzero flags force the v2 request head.
+  void set_request_flags(uint64_t flags) { request_flags_ = flags; }
+  uint64_t request_flags() const { return request_flags_; }
 
   ClientStatsSnapshot stats() const { return stats_; }
 
@@ -170,6 +195,26 @@ class WarehouseClient {
                                uint64_t max_timestamp = 0);
   Status RollOut(const std::string& tenant, const std::string& dataset,
                  PartitionId id);
+
+  // --- Replication ---------------------------------------------------------
+  /// Places a replica copy of `sample` under `id`, bypassing quota
+  /// admission (the primary already admitted the write; replicas charge
+  /// unconditionally so usage mirrors stored footprint). Idempotent: a
+  /// copy with the same content digest acks without rewriting; a divergent
+  /// copy is replaced in place. `heal` marks an anti-entropy repair so the
+  /// server counts it under partitions_healed.
+  Result<PartitionId> ReplicaRollIn(const std::string& tenant,
+                                    const std::string& dataset, PartitionId id,
+                                    const PartitionSample& sample,
+                                    uint64_t min_timestamp = 0,
+                                    uint64_t max_timestamp = 0,
+                                    bool heal = false);
+
+  /// Content digests of every READABLE partition copy of the dataset on
+  /// this node (corrupt copies are quarantined by the scan and omitted).
+  /// The anti-entropy scrubber compares these across replicas.
+  Result<std::vector<PartitionDigest>> PartitionDigests(
+      const std::string& tenant, const std::string& dataset);
 
   /// Merged sample over the named partitions (empty `ids` = all). The
   /// result is bit-identical to the embedded warehouse's MergedSample.
@@ -216,6 +261,7 @@ class WarehouseClient {
   uint16_t port_ = 0;
   ClientOptions options_;
   uint64_t deadline_millis_ = 0;
+  uint64_t request_flags_ = 0;
   Pcg64 jitter_rng_;
   /// First transport error; fails every later call fast (until the retry
   /// driver reconnects).

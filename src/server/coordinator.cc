@@ -84,6 +84,23 @@ size_t ShardCoordinator::ShardOf(const std::string& tenant,
   return router.ShardFor(id);
 }
 
+size_t ShardCoordinator::replication_factor() const {
+  const size_t r = options_.replication_factor == 0
+                       ? 1
+                       : static_cast<size_t>(options_.replication_factor);
+  return std::min(r, clients_.size());
+}
+
+std::vector<size_t> ShardCoordinator::OwnersOf(size_t primary) const {
+  const size_t r = replication_factor();
+  std::vector<size_t> owners;
+  owners.reserve(r);
+  for (size_t k = 0; k < r; ++k) {
+    owners.push_back((primary + k) % clients_.size());
+  }
+  return owners;
+}
+
 Status ShardCoordinator::CreateTenant(const std::string& tenant,
                                       const TenantQuota& quota) {
   for (auto& client : clients_) {
@@ -122,19 +139,48 @@ Result<std::vector<PartitionId>> ShardCoordinator::ListPartitionsDegraded(
     const std::string& tenant, const std::string& dataset,
     std::vector<size_t>* missing_shards) {
   std::vector<PartitionId> ids;
+  std::vector<size_t> unreachable;
+  Status down_failure = Status::OK();
   for (size_t shard = 0; shard < clients_.size(); ++shard) {
     const Result<std::vector<PartitionInfo>> parts =
         clients_[shard]->ListPartitions(tenant, dataset);
     if (!parts.ok()) {
-      if (missing_shards != nullptr && IsNodeDown(parts.status())) {
-        missing_shards->push_back(shard);
+      if (IsNodeDown(parts.status())) {
+        unreachable.push_back(shard);
+        if (down_failure.ok()) down_failure = parts.status();
         continue;
       }
       return parts.status();
     }
     for (const PartitionInfo& info : parts.value()) ids.push_back(info.id);
   }
+  // The union over the reachable nodes is the COMPLETE inventory as long
+  // as every owner set keeps a reachable member — replication covers node
+  // loss at listing time exactly as it does mid-merge. Only when a full
+  // owner set is unreachable can ids be invisible: strict listing then
+  // fails, degraded listing reports the missing nodes and carries on.
+  for (size_t primary = 0; primary < clients_.size(); ++primary) {
+    bool all_down = true;
+    for (const size_t owner : OwnersOf(primary)) {
+      if (std::find(unreachable.begin(), unreachable.end(), owner) ==
+          unreachable.end()) {
+        all_down = false;
+        break;
+      }
+    }
+    if (all_down) {
+      if (missing_shards == nullptr) return down_failure;
+      break;
+    }
+  }
+  if (missing_shards != nullptr) {
+    missing_shards->insert(missing_shards->end(), unreachable.begin(),
+                           unreachable.end());
+  }
   std::sort(ids.begin(), ids.end());
+  // With replication every id is listed by each reachable owner; the union
+  // must collapse to one entry per id.
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
   return ids;
 }
 
@@ -154,18 +200,63 @@ Result<PartitionId> ShardCoordinator::RollIn(const std::string& tenant,
     it = next_id_.emplace(key, next).first;
   }
   const PartitionId id = it->second;
-  const size_t shard = ShardOf(tenant, dataset, id);
+  // The id is consumed even when the write fails: ids are not required to
+  // be dense, and retrying a DIFFERENT id keeps a down primary from
+  // wedging every later write behind the one id it owns.
+  it->second = id + 1;
+  const std::vector<size_t> owners = OwnersOf(ShardOf(tenant, dataset, id));
+  // The primary is the single quota-admission point: its RollInAt enforces
+  // the tenant's quotas, and a refusal fails the whole write before any
+  // replica copy exists (charge-once semantics).
   SAMPWH_ASSIGN_OR_RETURN(
       const PartitionId placed,
-      clients_[shard]->RollInAt(tenant, dataset, id, sample, min_timestamp,
-                                max_timestamp));
-  it->second = id + 1;
+      clients_[owners[0]]->RollInAt(tenant, dataset, id, sample,
+                                    min_timestamp, max_timestamp));
+  size_t acks = 1;
+  Status replica_failure = Status::OK();
+  for (size_t k = 1; k < owners.size(); ++k) {
+    const Status st = clients_[owners[k]]
+                          ->ReplicaRollIn(tenant, dataset, id, sample,
+                                          min_timestamp, max_timestamp)
+                          .status();
+    if (st.ok()) {
+      ++acks;
+    } else if (replica_failure.ok()) {
+      replica_failure = st;
+    }
+  }
+  const size_t quorum =
+      options_.write_quorum == 0
+          ? owners.size()
+          : std::min<size_t>(options_.write_quorum, owners.size());
+  if (acks < quorum) {
+    // Best-effort rollback of the copies that did land, so a re-driven
+    // write can reuse the id. A copy that survives a failed rollback is
+    // harmless: the retry's ReplicaRollIn is digest-idempotent, and an
+    // abandoned id is completed-or-removed by the next scrub round.
+    for (const size_t owner : owners) {
+      (void)clients_[owner]->RollOut(tenant, dataset, id);
+    }
+    return Status::Unavailable(
+        "write quorum not met: " + std::to_string(acks) + " of " +
+        std::to_string(quorum) + " owner acks (" +
+        replica_failure.ToString() + ")");
+  }
   return placed;
 }
 
 Status ShardCoordinator::RollOut(const std::string& tenant,
                                  const std::string& dataset, PartitionId id) {
-  return clients_[ShardOf(tenant, dataset, id)]->RollOut(tenant, dataset, id);
+  // Every owner drops its copy. NotFound is fine (a replica that never got
+  // the copy, or a quarantined file already moved aside).
+  Status first_failure = Status::OK();
+  for (const size_t owner : OwnersOf(ShardOf(tenant, dataset, id))) {
+    const Status st = clients_[owner]->RollOut(tenant, dataset, id);
+    if (!st.ok() && !st.IsNotFound() && first_failure.ok()) {
+      first_failure = st;
+    }
+  }
+  return first_failure;
 }
 
 Result<PartitionSample> ShardCoordinator::Query(const std::string& tenant,
@@ -205,54 +296,192 @@ Result<ShardQueryResult> ShardCoordinator::QueryWithOptions(
   const std::vector<PartitionId> requested = ids;
   const uint64_t fingerprint = MergeOptionsFingerprint(options_.merge);
 
+  // An id is servable while ANY of its owners is reachable — replication
+  // factor R tolerates R-1 losses without dropping a single id.
+  const auto all_owners_down = [&](size_t primary) {
+    for (const size_t owner : OwnersOf(primary)) {
+      if (down.count(owner) == 0) return false;
+    }
+    return true;
+  };
+
   // Degraded restart loop: the merge tree's shape (splits, node RNGs) is a
-  // pure function of the id set, so losing a shard mid-merge cannot be
+  // pure function of the id set, so DROPPING ids mid-merge cannot be
   // patched into the partially-built tree — the query restarts over the
   // surviving ids, which is exactly the tree a single node holding only
-  // those ids would build. Each round removes at least one shard, so the
-  // loop is bounded by the shard count.
+  // those ids would build. Mere node loss does NOT restart: a span whose
+  // owner dies mid-merge is re-driven on the next owner inside MergeTree
+  // and the bytes are identical. The loop only turns when a span's entire
+  // owner set is gone; each turn removes at least one primary's ids, so it
+  // is bounded by the node count.
   while (true) {
     std::vector<PartitionId> live_ids;
-    std::vector<size_t> owners;
+    std::vector<size_t> primaries;
+    std::vector<PartitionId> dropped_ids;
     live_ids.reserve(ids.size());
-    owners.reserve(ids.size());
+    primaries.reserve(ids.size());
     for (const PartitionId id : ids) {
-      const size_t owner = ShardOf(tenant, dataset, id);
-      if (down.count(owner) != 0) continue;
+      const size_t primary = ShardOf(tenant, dataset, id);
+      if (all_owners_down(primary)) {
+        dropped_ids.push_back(id);
+        continue;
+      }
       live_ids.push_back(id);
-      owners.push_back(owner);
+      primaries.push_back(primary);
     }
     if (live_ids.empty()) {
       return Status::Unavailable(
-          "no shard holding requested partitions is reachable (" +
+          "no node holding requested partitions is reachable (" +
           std::to_string(down.size()) + " of " +
-          std::to_string(clients_.size()) + " shards down)");
+          std::to_string(clients_.size()) + " nodes down)");
     }
 
-    size_t failed_shard = clients_.size();
+    size_t failed_primary = clients_.size();
     Result<PartitionSample> merged =
-        MergeTree(tenant, dataset, key, live_ids, owners, fingerprint,
-                  &failed_shard);
+        MergeTree(tenant, dataset, key, live_ids, primaries, fingerprint,
+                  &down, &failed_primary);
     if (merged.ok()) {
       result.sample = std::move(merged).value();
-      result.partial = !down.empty();
-      result.missing_shards.assign(down.begin(), down.end());
-      if (result.partial && !all_partitions) {
-        for (const PartitionId id : requested) {
-          if (down.count(ShardOf(tenant, dataset, id)) != 0) {
-            result.missing_ids.push_back(id);
-          }
+      // Partial means ids are actually absent from the answer: dropped
+      // because their whole owner set is down, or (all-partitions only)
+      // potentially invisible because a full owner set was already
+      // unreachable at listing time. Surviving a node loss via a replica
+      // is NOT partial — the answer is the complete, exact one.
+      bool inventory_unknowable = false;
+      if (all_partitions) {
+        for (size_t p = 0; p < clients_.size(); ++p) {
+          if (all_owners_down(p)) inventory_unknowable = true;
         }
       }
-      if (result.partial) partial_queries_served_++;
+      result.partial = !dropped_ids.empty() || inventory_unknowable;
+      if (result.partial) {
+        result.missing_shards.assign(down.begin(), down.end());
+        if (!all_partitions) result.missing_ids = std::move(dropped_ids);
+        partial_queries_served_++;
+      }
       return result;
     }
     if (!query_options.allow_partial || !IsNodeDown(merged.status()) ||
-        failed_shard >= clients_.size()) {
+        failed_primary >= clients_.size()) {
       return merged.status();
     }
-    down.insert(failed_shard);
+    // The span under failed_primary exhausted every owner; mark the whole
+    // owner set down so the next round drops exactly those ids.
+    for (const size_t owner : OwnersOf(failed_primary)) down.insert(owner);
   }
+}
+
+Result<ScrubReport> ShardCoordinator::ScrubDataset(const std::string& tenant,
+                                                   const std::string& dataset) {
+  ScrubReport report;
+  // Phase 1: every reachable node lists the content digest of each
+  // readable copy it holds. A corrupt copy is quarantined by the scan
+  // itself (the store's CRC envelope fails) and simply absent from the
+  // listing — from here on, "corrupt" and "missing" are one case.
+  std::vector<std::map<PartitionId, PartitionDigest>> listings(
+      clients_.size());
+  std::vector<bool> reachable(clients_.size(), false);
+  size_t reachable_count = 0;
+  for (size_t node = 0; node < clients_.size(); ++node) {
+    Result<std::vector<PartitionDigest>> digests =
+        clients_[node]->PartitionDigests(tenant, dataset);
+    if (!digests.ok()) {
+      if (IsNodeDown(digests.status())) continue;  // skip this round
+      return digests.status();
+    }
+    reachable[node] = true;
+    ++reachable_count;
+    for (const PartitionDigest& d : digests.value()) {
+      listings[node][d.id] = d;
+    }
+  }
+  if (reachable_count == 0) {
+    return Status::Unavailable("no node reachable for scrub");
+  }
+
+  // Phase 2: per partition, elect the authoritative digest and repair
+  // every reachable owner that disagrees or lacks a copy.
+  std::set<PartitionId> all_ids;
+  for (const auto& listing : listings) {
+    for (const auto& [id, _] : listing) all_ids.insert(id);
+  }
+  for (const PartitionId id : all_ids) {
+    ++report.partitions_scanned;
+    const std::vector<size_t> owners = OwnersOf(ShardOf(tenant, dataset, id));
+
+    // Majority digest among readable copies wins; a tie resolves to the
+    // copy on the lowest-index owner (deterministic, and in the common
+    // two-replica split it sides with the primary's bytes).
+    std::map<uint64_t, size_t> votes;
+    uint64_t authoritative = 0;
+    size_t best_votes = 0;
+    size_t source_owner = clients_.size();
+    for (const size_t owner : owners) {
+      if (!reachable[owner]) continue;
+      const auto it = listings[owner].find(id);
+      if (it == listings[owner].end()) continue;
+      const size_t n = ++votes[it->second.digest];
+      if (n > best_votes) {
+        best_votes = n;
+        authoritative = it->second.digest;
+      }
+    }
+    if (best_votes == 0) {
+      // Listed somewhere, but no reachable OWNER holds a readable copy —
+      // nothing to heal from.
+      report.unhealable += 1;
+      continue;
+    }
+    for (const size_t owner : owners) {
+      if (!reachable[owner]) continue;
+      const auto it = listings[owner].find(id);
+      if (it != listings[owner].end() && it->second.digest == authoritative &&
+          source_owner == clients_.size()) {
+        source_owner = owner;
+      }
+    }
+
+    // Tally the damage on reachable owners.
+    std::vector<size_t> broken;
+    for (const size_t owner : owners) {
+      if (!reachable[owner]) continue;
+      const auto it = listings[owner].find(id);
+      if (it == listings[owner].end()) {
+        report.replicas_missing += 1;
+        broken.push_back(owner);
+      } else if (it->second.digest != authoritative) {
+        report.digest_mismatches += 1;
+        broken.push_back(owner);
+      }
+    }
+    if (broken.empty()) continue;
+
+    // Fetch the healthy bytes once: a single-id query is leaf
+    // pass-through, bit-identical to the stored sample.
+    const PartitionDigest& source = listings[source_owner].at(id);
+    Result<PartitionSample> healthy =
+        clients_[source_owner]->Query(tenant, dataset, {id});
+    if (!healthy.ok()) {
+      report.unhealable += broken.size();
+      continue;
+    }
+    for (const size_t owner : broken) {
+      const Status healed =
+          clients_[owner]
+              ->ReplicaRollIn(tenant, dataset, id, healthy.value(),
+                              source.min_timestamp, source.max_timestamp,
+                              /*heal=*/true)
+              .status();
+      if (healed.ok()) {
+        report.healed += 1;
+        partitions_healed_++;
+      } else {
+        report.unhealable += 1;
+      }
+    }
+  }
+  scrub_rounds_++;
+  return report;
 }
 
 std::vector<bool> ShardCoordinator::CheckHealth() {
@@ -267,6 +496,9 @@ std::vector<bool> ShardCoordinator::CheckHealth() {
 CoordinatorStats ShardCoordinator::stats() const {
   CoordinatorStats s;
   s.partial_queries_served = partial_queries_served_;
+  s.failover_reads = failover_reads_;
+  s.scrub_rounds = scrub_rounds_;
+  s.partitions_healed = partitions_healed_;
   for (const auto& client : clients_) {
     const ClientStatsSnapshot c = client->stats();
     s.retries_attempted += c.retries_attempted;
@@ -277,22 +509,73 @@ CoordinatorStats ShardCoordinator::stats() const {
   return s;
 }
 
+Result<PartitionSample> ShardCoordinator::QuerySpanWithFailover(
+    const std::string& tenant, const std::string& dataset, size_t primary,
+    std::span<const PartitionId> ids, std::set<size_t>* down) {
+  // Every owner of the span holds the same partitions, and the merge
+  // subtree a node builds depends only on the sorted id set — so the bytes
+  // are identical no matter which owner serves it. Try owners in order;
+  // the primary serves healthy traffic, replicas absorb its failures.
+  const std::vector<PartitionId> span(ids.begin(), ids.end());
+  Status down_failure = Status::OK();
+  Status structured_failure = Status::OK();
+  for (const size_t owner : OwnersOf(primary)) {
+    if (down->count(owner) != 0) continue;
+    WarehouseClient* client = clients_[owner].get();
+    if (client->breaker_open()) {
+      // Known-down peer: skip to the next owner without burning a call,
+      // exactly like the breaker's fail-fast contract.
+      down->insert(owner);
+      if (down_failure.ok()) {
+        down_failure = Status::Unavailable("circuit breaker open to node " +
+                                           std::to_string(owner));
+      }
+      continue;
+    }
+    const bool failover = owner != primary;
+    if (failover) {
+      client->set_request_flags(kRequestFlagFailoverRead);
+      failover_reads_++;
+    }
+    Result<PartitionSample> remote = client->Query(tenant, dataset, span);
+    if (failover) client->set_request_flags(0);
+    if (remote.ok()) return remote;
+    if (IsNodeDown(remote.status())) {
+      down->insert(owner);
+      if (down_failure.ok()) down_failure = remote.status();
+    } else {
+      // A structured answer (e.g. NotFound from a replica that never got a
+      // copy): the node is up but cannot serve this span — try the next
+      // owner, and surface this error only if none can.
+      structured_failure = remote.status();
+    }
+  }
+  // Prefer reporting unreachability: it is what the degraded restart logic
+  // keys on, and a structured error from one stale replica should not mask
+  // the fact that the span's owners are gone.
+  if (!down_failure.ok()) return down_failure;
+  if (!structured_failure.ok()) return structured_failure;
+  return Status::Unavailable("no reachable owner for span (primary " +
+                             std::to_string(primary) + ")");
+}
+
 Result<PartitionSample> ShardCoordinator::MergeTree(
     const std::string& tenant, const std::string& dataset,
     const DatasetId& key, std::span<const PartitionId> ids,
-    std::span<const size_t> owners, uint64_t fingerprint,
-    size_t* failed_shard) {
-  // Maximal push-down: a span wholly on one shard is one remote query —
-  // the node's memoized merge builds the identical subtree (same sorted id
-  // set, same floor(n/2) splits, same identity-derived node RNGs).
-  const bool single_owner =
-      std::all_of(owners.begin(), owners.end(),
-                  [&](size_t o) { return o == owners[0]; });
-  if (single_owner) {
-    Result<PartitionSample> remote = clients_[owners[0]]->Query(
-        tenant, dataset, std::vector<PartitionId>(ids.begin(), ids.end()));
+    std::span<const size_t> primaries, uint64_t fingerprint,
+    std::set<size_t>* down, size_t* failed_primary) {
+  // Maximal push-down: a span wholly under one primary (hence one owner
+  // set) is one remote query — the serving node's memoized merge builds
+  // the identical subtree (same sorted id set, same floor(n/2) splits,
+  // same identity-derived node RNGs).
+  const bool single_primary =
+      std::all_of(primaries.begin(), primaries.end(),
+                  [&](size_t p) { return p == primaries[0]; });
+  if (single_primary) {
+    Result<PartitionSample> remote =
+        QuerySpanWithFailover(tenant, dataset, primaries[0], ids, down);
     if (!remote.ok() && IsNodeDown(remote.status())) {
-      *failed_shard = owners[0];
+      *failed_primary = primaries[0];
     }
     return remote;
   }
@@ -300,11 +583,12 @@ Result<PartitionSample> ShardCoordinator::MergeTree(
   SAMPWH_ASSIGN_OR_RETURN(
       const PartitionSample left,
       MergeTree(tenant, dataset, key, ids.subspan(0, half),
-                owners.subspan(0, half), fingerprint, failed_shard));
+                primaries.subspan(0, half), fingerprint, down,
+                failed_primary));
   SAMPWH_ASSIGN_OR_RETURN(
       const PartitionSample right,
       MergeTree(tenant, dataset, key, ids.subspan(half),
-                owners.subspan(half), fingerprint, failed_shard));
+                primaries.subspan(half), fingerprint, down, failed_primary));
   // The same RNG stream this node would consume inside any warehouse with
   // the same seed — the heart of the distributed-exactness contract.
   Pcg64 rng = MergeMemo::NodeRng(options_.seed, key, ids, fingerprint);

@@ -23,6 +23,29 @@
 // restored) and routes each id through ShardRouter(dataset-key, N) — the
 // same stable hash-sharding the parallel ingest path uses — placing the
 // sample via the kRollInAt verb.
+//
+// Replication (replication_factor R > 1): each id's owner set is the
+// contiguous run {primary, primary+1, ..., primary+R-1} (mod N) — a pure
+// function of the primary, so every id in a pushed-down subtree (grouped
+// by primary) shares one owner set and the whole subtree fails over
+// wholesale. Writes land on the primary via kRollInAt (the single
+// quota-admission point) and on each replica via kReplicaRollIn (charged
+// unconditionally — charge-once semantics: admission happened at the
+// primary; forced replica charges keep every node's recorded usage equal
+// to its stored footprint). A write needs `write_quorum` owner acks to
+// succeed. Reads fail over inside the merge walk: a subtree whose serving
+// owner is down or breaker-open is re-driven on the next owner in order
+// (flagged kRequestFlagFailoverRead) and the answer stays bit-identical —
+// the merge tree's shape and node RNGs depend on the id set, never on
+// which node serves a span. With at most R-1 nodes down every query is
+// exact; only the loss of a full owner set degrades to partial (under
+// allow_partial) or fails. ScrubDataset is the anti-entropy pass: it
+// collects per-owner content digests (kPartitionDigests — corrupt copies
+// are quarantined server-side and read as missing), elects the majority
+// digest per partition (ties to the lowest-index readable owner),
+// re-replicates missing or divergent copies from a healthy owner via
+// heal-flagged kReplicaRollIn, and so also heals quarantined partitions
+// from their surviving replicas instead of dropping them.
 
 #ifndef SAMPWH_SERVER_COORDINATOR_H_
 #define SAMPWH_SERVER_COORDINATOR_H_
@@ -30,6 +53,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <span>
 #include <string>
 #include <vector>
@@ -59,6 +83,14 @@ struct CoordinatorOptions {
   /// fails their calls fast until the node comes back. Without it, Connect
   /// fails unless every node answers a ping.
   bool tolerate_unreachable = false;
+  /// Copies of every partition. 1 disables replication (the pre-existing
+  /// single-copy behavior); the effective factor is min(R, node count).
+  uint32_t replication_factor = 1;
+  /// Owner acks a RollIn needs before it reports success; 0 requires every
+  /// owner. The primary's quota-gated ack is always required (it is the
+  /// admission point) and counts toward the quorum; replicas that miss the
+  /// quorum window are repaired by the next ScrubDataset round.
+  uint32_t write_quorum = 0;
 };
 
 /// Per-query knobs for the degraded-operation path.
@@ -94,6 +126,29 @@ struct CoordinatorStats {
   uint64_t reconnects = 0;
   uint64_t breaker_open_total = 0;
   uint64_t transport_errors = 0;
+  /// Subtree queries re-driven onto a replica after an owner failed.
+  uint64_t failover_reads = 0;
+  /// ScrubDataset passes completed.
+  uint64_t scrub_rounds = 0;
+  /// Replica copies re-created or repaired by ScrubDataset.
+  uint64_t partitions_healed = 0;
+};
+
+/// Outcome of one ScrubDataset anti-entropy pass.
+struct ScrubReport {
+  /// Distinct partition ids examined (union over every reachable owner).
+  uint64_t partitions_scanned = 0;
+  /// Owner slots that should hold a copy but had none readable (includes
+  /// copies the digest scan quarantined as corrupt).
+  uint64_t replicas_missing = 0;
+  /// Readable copies whose content digest disagreed with the elected
+  /// authoritative digest.
+  uint64_t digest_mismatches = 0;
+  /// Copies successfully re-replicated from a healthy owner.
+  uint64_t healed = 0;
+  /// Broken copies that could not be repaired (no healthy readable source
+  /// among reachable owners, or the heal write itself failed).
+  uint64_t unhealable = 0;
 };
 
 class ShardCoordinator {
@@ -108,21 +163,32 @@ class ShardCoordinator {
   size_t ShardOf(const std::string& tenant, const std::string& dataset,
                  PartitionId id) const;
 
+  /// Effective replication factor: min(options.replication_factor, N).
+  size_t replication_factor() const;
+
+  /// The nodes holding copies of every id whose primary is `primary`: the
+  /// contiguous run {primary, ..., primary + R - 1} (mod N), primary
+  /// first. A pure function of the primary, so a pushed-down subtree
+  /// (grouped by primary) fails over wholesale.
+  std::vector<size_t> OwnersOf(size_t primary) const;
+
   /// Fan-out admin: applied on every node (a tenant/dataset exists
   /// everywhere so any shard can receive its partitions).
   Status CreateTenant(const std::string& tenant, const TenantQuota& quota);
   Status CreateDataset(const std::string& tenant, const std::string& dataset);
   Status DropDataset(const std::string& tenant, const std::string& dataset);
 
-  /// Rolls `sample` in under a freshly allocated global partition id on
-  /// the id's home shard; returns the id.
+  /// Rolls `sample` in under a freshly allocated global partition id: a
+  /// quota-gated write on the id's primary, then a forced-charge replica
+  /// copy on each further owner, succeeding once write_quorum owners
+  /// acked. Returns the id.
   Result<PartitionId> RollIn(const std::string& tenant,
                              const std::string& dataset,
                              const PartitionSample& sample,
                              uint64_t min_timestamp = 0,
                              uint64_t max_timestamp = 0);
 
-  /// Rolls out `id` from its home shard.
+  /// Rolls out `id` from every owner.
   Status RollOut(const std::string& tenant, const std::string& dataset,
                  PartitionId id);
 
@@ -148,6 +214,17 @@ class ShardCoordinator {
                                             std::vector<PartitionId> ids,
                                             const QueryOptions& query_options);
 
+  /// One anti-entropy pass over (tenant, dataset): collects per-owner
+  /// content digests, elects the authoritative digest per partition
+  /// (majority; ties to the lowest-index readable owner), and
+  /// re-replicates missing or divergent copies from a healthy owner via
+  /// heal-flagged replica writes. Unreachable nodes are skipped (their
+  /// copies are neither counted missing nor healable this round). Also the
+  /// repair path for quarantined partitions: the corrupt copy reads as
+  /// missing and is rebuilt from a surviving replica.
+  Result<ScrubReport> ScrubDataset(const std::string& tenant,
+                                   const std::string& dataset);
+
   /// Pings every node; healthy[i] is node i's reachability. Cheap for
   /// nodes whose breaker is open (no connect timeout burned).
   std::vector<bool> CheckHealth();
@@ -161,17 +238,28 @@ class ShardCoordinator {
   explicit ShardCoordinator(CoordinatorOptions options);
 
   /// Computes the merge-tree node over the sorted id span: pushed down
-  /// whole when single-owner, otherwise joined locally from its halves on
-  /// the node-identity RNG stream. On a remote transport failure,
-  /// `*failed_shard` names the shard that failed (for the degraded path's
-  /// restart logic).
+  /// whole when single-primary, otherwise joined locally from its halves
+  /// on the node-identity RNG stream. A pushed-down span is tried on each
+  /// of its owners in order (skipping nodes already in `*down` or with an
+  /// open breaker; re-drives are flagged failover reads) — the answer is
+  /// identical from any owner, so replication-factor R survives R-1 node
+  /// losses without degrading. Owners that fail as unreachable are added
+  /// to `*down`; when a span exhausts every owner, `*failed_primary` names
+  /// its primary so the degraded restart can drop those ids.
   Result<PartitionSample> MergeTree(const std::string& tenant,
                                     const std::string& dataset,
                                     const DatasetId& key,
                                     std::span<const PartitionId> ids,
-                                    std::span<const size_t> owners,
+                                    std::span<const size_t> primaries,
                                     uint64_t fingerprint,
-                                    size_t* failed_shard);
+                                    std::set<size_t>* down,
+                                    size_t* failed_primary);
+
+  /// One pushed-down span query with owner-order failover; the
+  /// single-primary arm of MergeTree.
+  Result<PartitionSample> QuerySpanWithFailover(
+      const std::string& tenant, const std::string& dataset, size_t primary,
+      std::span<const PartitionId> ids, std::set<size_t>* down);
 
   /// ListAllPartitions that can skip unreachable shards, recording them in
   /// `*missing_shards` (strict when null).
@@ -185,6 +273,9 @@ class ShardCoordinator {
   std::map<DatasetId, PartitionId> next_id_;
   AliasCache alias_cache_;
   uint64_t partial_queries_served_ = 0;
+  uint64_t failover_reads_ = 0;
+  uint64_t scrub_rounds_ = 0;
+  uint64_t partitions_healed_ = 0;
 };
 
 }  // namespace sampwh

@@ -199,6 +199,15 @@ void WarehouseServer::AcceptLoop() {
           errno == EWOULDBLOCK) {
         continue;
       }
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Resource exhaustion (fd table or kernel memory) is transient:
+        // in-flight connections will finish and free their fds. Back off
+        // briefly — giving the reap pass above a chance to close finished
+        // slots — and keep serving instead of abandoning the listener.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
       break;  // listener is gone; nothing to serve anymore
     }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -290,6 +299,11 @@ std::string WarehouseServer::HandleRequest(std::string_view payload,
   if (st.ok() && header.deadline_millis > 0) {
     deadline.emplace(DeadlineAfterMillis(header.deadline_millis));
   }
+  if (st.ok() && (header.flags & kRequestFlagFailoverRead) != 0) {
+    // A coordinator re-drove this request onto us after another owner of
+    // the same ids failed; count it so failover traffic shows in stats.
+    failover_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
   BinaryWriter body;
   if (!st.ok()) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -344,8 +358,14 @@ std::string WarehouseServer::HandleRequest(std::string_view payload,
       case Verb::kRollOut:
         st = HandleRollOut(req);
         break;
+      case Verb::kReplicaRollIn:
+        st = HandleReplicaRollIn(req, body);
+        break;
       case Verb::kQuery:
         st = HandleQuery(req, body);
+        break;
+      case Verb::kPartitionDigests:
+        st = HandlePartitionDigests(req, body);
         break;
       case Verb::kIngestOpen:
         st = HandleIngestOpen(req, body);
@@ -396,6 +416,13 @@ Status WarehouseServer::HandleServerStats(BinaryReader& req,
   // them, a new client treats them as absent against an old server.
   resp.PutVarint64(s.connections_shed);
   resp.PutVarint64(s.deadlines_exceeded);
+  // Replication counters, appended after the PR 8 fields under the same
+  // append-only discipline.
+  resp.PutVarint64(s.replica_writes);
+  resp.PutVarint64(s.failover_reads);
+  resp.PutVarint64(s.scrub_rounds);
+  resp.PutVarint64(s.partitions_healed);
+  resp.PutVarint64(s.digest_mismatches);
   return Status::OK();
 }
 
@@ -553,6 +580,72 @@ Status WarehouseServer::HandleRollIn(BinaryReader& req, BinaryWriter& resp,
   return Status::OK();
 }
 
+Status WarehouseServer::HandleReplicaRollIn(BinaryReader& req,
+                                            BinaryWriter& resp) {
+  std::string tenant;
+  DatasetId key;
+  SAMPWH_RETURN_IF_ERROR(ReadScope(req, &tenant, &key));
+  uint64_t id = 0, min_ts = 0, max_ts = 0, rflags = 0;
+  SAMPWH_RETURN_IF_ERROR(req.GetVarint64(&id));
+  SAMPWH_RETURN_IF_ERROR(req.GetVarint64(&min_ts));
+  SAMPWH_RETURN_IF_ERROR(req.GetVarint64(&max_ts));
+  SAMPWH_RETURN_IF_ERROR(req.GetVarint64(&rflags));
+  std::string blob;
+  SAMPWH_RETURN_IF_ERROR(req.GetString(&blob));
+  BinaryReader sample_reader(blob);
+  SAMPWH_ASSIGN_OR_RETURN(const PartitionSample sample,
+                          PartitionSample::DeserializeFrom(&sample_reader));
+  const bool heal = (rflags & kReplicaRollInFlagHeal) != 0;
+  // The wire blob IS the serialized payload the store envelopes, so its
+  // folded CRC matches SampleStore::ContentDigest of a stored copy.
+  const uint64_t incoming =
+      (static_cast<uint64_t>(Crc32(blob)) << 32) |
+      (static_cast<uint64_t>(blob.size()) & 0xffffffffull);
+
+  // Idempotent apply: an identical existing copy acks as success, so the
+  // client retries replica writes freely after a transport error.
+  const Result<uint64_t> existing = warehouse_->PartitionContentDigest(key, id);
+  if (existing.ok() && existing.value() == incoming) {
+    replica_writes_.fetch_add(1, std::memory_order_relaxed);
+    resp.PutVarint64(id);
+    return Status::OK();
+  }
+  if (existing.ok()) {
+    // A live copy with different content under the same id: divergence,
+    // repaired in place with the incoming bytes.
+    digest_mismatches_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Charge-once semantics: quota ADMISSION was decided once, at the
+  // primary. The replica records usage as ground truth (forced, replace-
+  // aware), so each node's usage equals its stored footprint and roll-out
+  // credits stay exact — zero quota drift across heals and retries.
+  SAMPWH_RETURN_IF_ERROR(tenants_.ChargePartition(
+      tenant, key, id, sample.footprint_bytes(), /*force=*/true));
+  Result<PartitionId> rolled =
+      warehouse_->RollInAt(key, id, sample, min_ts, max_ts);
+  if (!rolled.ok() && rolled.status().IsAlreadyExists()) {
+    // The id is occupied by a divergent or unreadable copy: roll it out —
+    // the catalog entry clears even when the damaged file was already
+    // quarantined aside and the store answers NotFound — then place the
+    // healthy bytes.
+    const Status out = warehouse_->RollOut(key, id);
+    if (!out.ok() && !out.IsNotFound()) {
+      tenants_.CreditPartition(tenant, key, id);
+      return out;
+    }
+    rolled = warehouse_->RollInAt(key, id, sample, min_ts, max_ts);
+  }
+  if (!rolled.ok()) {
+    tenants_.CreditPartition(tenant, key, id);
+    return rolled.status();
+  }
+  replica_writes_.fetch_add(1, std::memory_order_relaxed);
+  if (heal) partitions_healed_.fetch_add(1, std::memory_order_relaxed);
+  resp.PutVarint64(id);
+  return Status::OK();
+}
+
 Status WarehouseServer::HandleRollOut(BinaryReader& req) {
   std::string tenant;
   DatasetId key;
@@ -590,6 +683,42 @@ Status WarehouseServer::HandleQuery(BinaryReader& req, BinaryWriter& resp) {
   BinaryWriter sample_writer;
   merged.value().SerializeTo(&sample_writer);
   resp.PutString(sample_writer.Release());
+  return Status::OK();
+}
+
+Status WarehouseServer::HandlePartitionDigests(BinaryReader& req,
+                                               BinaryWriter& resp) {
+  std::string tenant;
+  DatasetId key;
+  SAMPWH_RETURN_IF_ERROR(ReadScope(req, &tenant, &key));
+  SAMPWH_ASSIGN_OR_RETURN(const std::vector<PartitionInfo> parts,
+                          warehouse_->ListPartitions(key));
+  scrub_rounds_.fetch_add(1, std::memory_order_relaxed);
+  // Only READABLE copies are listed: a partition whose stored bytes fail
+  // envelope verification is quarantined by the store on this very read
+  // and omitted, so the scrubber sees it as a missing replica to
+  // re-replicate rather than a healthy digest to trust.
+  BinaryWriter entries;
+  uint64_t listed = 0;
+  for (const PartitionInfo& info : parts) {
+    SAMPWH_RETURN_IF_ERROR(CheckThreadDeadline());
+    const Result<uint64_t> digest =
+        warehouse_->PartitionContentDigest(key, info.id);
+    if (!digest.ok()) {
+      if (digest.status().IsCorruption() || digest.status().IsNotFound()) {
+        continue;
+      }
+      return digest.status();
+    }
+    entries.PutVarint64(info.id);
+    entries.PutVarint64(digest.value());
+    entries.PutVarint64(info.min_timestamp);
+    entries.PutVarint64(info.max_timestamp);
+    ++listed;
+  }
+  resp.PutVarint64(listed);
+  const std::string e = entries.Release();
+  resp.PutRaw(e.data(), e.size());
   return Status::OK();
 }
 
@@ -745,6 +874,11 @@ ServerStatsSnapshot WarehouseServer::stats() const {
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   s.connections_shed = connections_shed_.load(std::memory_order_relaxed);
   s.deadlines_exceeded = deadlines_exceeded_.load(std::memory_order_relaxed);
+  s.replica_writes = replica_writes_.load(std::memory_order_relaxed);
+  s.failover_reads = failover_reads_.load(std::memory_order_relaxed);
+  s.scrub_rounds = scrub_rounds_.load(std::memory_order_relaxed);
+  s.partitions_healed = partitions_healed_.load(std::memory_order_relaxed);
+  s.digest_mismatches = digest_mismatches_.load(std::memory_order_relaxed);
   return s;
 }
 

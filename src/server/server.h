@@ -104,6 +104,20 @@ struct ServerStatsSnapshot {
   /// Requests that failed because the client's propagated deadline passed
   /// (checked before dispatch and inside long merges).
   uint64_t deadlines_exceeded = 0;
+  /// kReplicaRollIn requests applied (including idempotent no-ops) — the
+  /// write amplification a replication factor R > 1 produces.
+  uint64_t replica_writes = 0;
+  /// Requests carrying kRequestFlagFailoverRead: queries a coordinator
+  /// re-drove onto this node after another owner failed.
+  uint64_t failover_reads = 0;
+  /// kPartitionDigests scans served (one per dataset per anti-entropy
+  /// round).
+  uint64_t scrub_rounds = 0;
+  /// Partitions replaced or re-created by a heal-flagged kReplicaRollIn.
+  uint64_t partitions_healed = 0;
+  /// Replica writes that found an existing copy whose content digest
+  /// disagreed with the incoming bytes (divergence repaired in place).
+  uint64_t digest_mismatches = 0;
 };
 
 class WarehouseServer {
@@ -196,8 +210,10 @@ class WarehouseServer {
   Status HandleListDatasets(BinaryReader& req, BinaryWriter& resp);
   Status HandleListPartitions(BinaryReader& req, BinaryWriter& resp);
   Status HandleRollIn(BinaryReader& req, BinaryWriter& resp, bool explicit_id);
+  Status HandleReplicaRollIn(BinaryReader& req, BinaryWriter& resp);
   Status HandleRollOut(BinaryReader& req);
   Status HandleQuery(BinaryReader& req, BinaryWriter& resp);
+  Status HandlePartitionDigests(BinaryReader& req, BinaryWriter& resp);
   Status HandleIngestOpen(BinaryReader& req, BinaryWriter& resp);
   Status HandleIngestAppend(BinaryReader& req, BinaryWriter& resp);
   Status HandleIngestFlush(BinaryReader& req, BinaryWriter& resp);
@@ -248,6 +264,11 @@ class WarehouseServer {
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> connections_shed_{0};
   std::atomic<uint64_t> deadlines_exceeded_{0};
+  std::atomic<uint64_t> replica_writes_{0};
+  std::atomic<uint64_t> failover_reads_{0};
+  std::atomic<uint64_t> scrub_rounds_{0};
+  std::atomic<uint64_t> partitions_healed_{0};
+  std::atomic<uint64_t> digest_mismatches_{0};
 };
 
 }  // namespace sampwh

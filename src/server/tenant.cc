@@ -132,22 +132,30 @@ Status TenantCatalog::ChargePartition(const std::string& tenant,
   const auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return Status::NotFound("no tenant: " + tenant);
   TenantState& state = it->second;
-  if (!force && state.quota.max_partitions != 0 &&
+  // Re-charging a live (key, id) — a replica heal replacing divergent
+  // bytes — swaps the recorded footprint instead of double-counting the
+  // slot, so usage always equals the sum of recorded charges.
+  const auto existing = state.partition_bytes.find({key, id});
+  const bool replacing = existing != state.partition_bytes.end();
+  const uint64_t replaced_bytes = replacing ? existing->second : 0;
+  if (!force && !replacing && state.quota.max_partitions != 0 &&
       state.usage.partitions + 1 > state.quota.max_partitions) {
     return Status::ResourceExhausted(
         "tenant " + tenant + " partition quota (" +
         std::to_string(state.quota.max_partitions) + ") exhausted");
   }
+  const uint64_t bytes_after =
+      state.usage.bytes - std::min(state.usage.bytes, replaced_bytes) + bytes;
   if (!force && state.quota.max_bytes != 0 &&
-      state.usage.bytes + bytes > state.quota.max_bytes) {
+      bytes_after > state.quota.max_bytes) {
     return Status::ResourceExhausted(
         "tenant " + tenant + " byte quota (" +
         std::to_string(state.quota.max_bytes) + ") exhausted: " +
         std::to_string(state.usage.bytes) + " used + " +
         std::to_string(bytes) + " requested");
   }
-  ++state.usage.partitions;
-  state.usage.bytes += bytes;
+  if (!replacing) ++state.usage.partitions;
+  state.usage.bytes = bytes_after;
   state.partition_bytes[{key, id}] = bytes;
   return Status::OK();
 }

@@ -34,7 +34,9 @@ bool IsKnownVerb(uint32_t verb) {
     case Verb::kRollIn:
     case Verb::kRollInAt:
     case Verb::kRollOut:
+    case Verb::kReplicaRollIn:
     case Verb::kQuery:
+    case Verb::kPartitionDigests:
     case Verb::kIngestOpen:
     case Verb::kIngestAppend:
     case Verb::kIngestFlush:

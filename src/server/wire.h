@@ -66,8 +66,10 @@ enum class Verb : uint32_t {
   kRollIn = 24,
   kRollInAt = 25,
   kRollOut = 26,
+  kReplicaRollIn = 27,
 
   kQuery = 30,
+  kPartitionDigests = 31,
 
   kIngestOpen = 40,
   kIngestAppend = 41,
@@ -94,6 +96,21 @@ enum class FrameDecodeResult {
 /// for the connection (framing is lost); the caller should drop it.
 FrameDecodeResult DecodeFrame(std::string_view buffer, uint32_t max_frame_bytes,
                               std::string_view* payload, size_t* frame_bytes);
+
+/// Request-header flag bits (RequestHeader::flags). Wire format — append,
+/// never renumber.
+///
+/// Set by a coordinator on a query it re-drove onto a replica after the
+/// primary failed; the serving node counts it so failover traffic is
+/// visible in server stats.
+inline constexpr uint64_t kRequestFlagFailoverRead = 1ull << 0;
+
+/// kReplicaRollIn body flag bits. Wire format — append, never renumber.
+///
+/// The write is an anti-entropy HEAL (re-replicating a missing or
+/// divergent copy) rather than first placement; the serving node counts it
+/// under partitions_healed.
+inline constexpr uint64_t kReplicaRollInFlagHeal = 1ull << 0;
 
 /// Per-request metadata the v2 header extension carries.
 struct RequestHeader {

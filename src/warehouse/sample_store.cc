@@ -44,6 +44,23 @@ Status VerifySampleBytes(const std::string& bytes) {
   return sample.Validate();
 }
 
+// Content digest of stored sample bytes: CRC32 of the serialized payload
+// (envelope stripped, CRC verified) folded with the payload length. The
+// same sample serializes to the same bytes on every node, so equal digests
+// across replicas mean equal stored content.
+Result<uint64_t> DigestStoredSample(const std::string& bytes) {
+  std::string_view payload(bytes);
+  if (HasSampleEnvelope(bytes)) {
+    SAMPWH_RETURN_IF_ERROR(UnwrapSampleEnvelope(bytes, &payload));
+  } else {
+    // Bare v1 payload carries no CRC of its own: prove it decodes before
+    // trusting its bytes as content.
+    SAMPWH_RETURN_IF_ERROR(DeserializeSample(bytes).status());
+  }
+  return (static_cast<uint64_t>(Crc32(payload)) << 32) |
+         (static_cast<uint64_t>(payload.size()) & 0xffffffffull);
+}
+
 bool HasSuffix(const std::string& name, std::string_view suffix) {
   return name.size() > suffix.size() &&
          name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
@@ -325,6 +342,20 @@ Result<PartitionSample> InMemorySampleStore::Get(
     break;
   }
   return DeserializeSample(bytes);
+}
+
+Result<uint64_t> InMemorySampleStore::ContentDigest(
+    const PartitionKey& key) const {
+  std::string bytes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = samples_.find(key);
+    if (it == samples_.end()) {
+      return Status::NotFound("no sample for partition");
+    }
+    bytes = it->second;
+  }
+  return DigestStoredSample(bytes);
 }
 
 Status InMemorySampleStore::Delete(const PartitionKey& key) {
@@ -787,6 +818,23 @@ Result<PartitionSample> FileSampleStore::Get(const PartitionKey& key) const {
     return decoded.status();
   }
   return decoded;
+}
+
+Result<uint64_t> FileSampleStore::ContentDigest(const PartitionKey& key) const {
+  SAMPWH_RETURN_IF_ERROR(ValidateDatasetId(key.dataset));
+  const std::string path = PathFor(key);
+  std::string bytes;
+  {
+    std::lock_guard<std::mutex> lock(StripeFor(key));
+    SAMPWH_RETURN_IF_ERROR(ReadFile(path, &bytes));
+  }
+  Result<uint64_t> digest = DigestStoredSample(bytes);
+  if (!digest.ok() && digest.status().IsCorruption()) {
+    // Same policy as Get: damaged bytes are preserved aside, never
+    // re-served, and the key reads as missing so repair can re-replicate.
+    QuarantineFile(key, path);
+  }
+  return digest;
 }
 
 Status FileSampleStore::Delete(const PartitionKey& key) {

@@ -120,6 +120,16 @@ class SampleStore {
   virtual Result<std::vector<PartitionSample>> GetMany(
       const std::vector<PartitionKey>& keys, ThreadPool* pool = nullptr) const;
 
+  /// Digest of the stored sample's logical content for `key`: a CRC32 of
+  /// the serialized payload (envelope stripped) folded with its length.
+  /// Replicas holding the same sample agree on this value regardless of
+  /// backend, so cross-node anti-entropy comparison never ships sample
+  /// bytes. NotFound if absent; Corruption if the stored bytes fail
+  /// envelope verification (the file backend quarantines the damaged file
+  /// exactly as Get would, so a corrupt replica reads as missing on the
+  /// next scan).
+  virtual Result<uint64_t> ContentDigest(const PartitionKey& key) const = 0;
+
   /// Removes the sample for `key`; NotFound if absent.
   virtual Status Delete(const PartitionKey& key) = 0;
 
@@ -245,6 +255,7 @@ class InMemorySampleStore : public SampleStore {
  public:
   Status Put(const PartitionKey& key, const PartitionSample& sample) override;
   Result<PartitionSample> Get(const PartitionKey& key) const override;
+  Result<uint64_t> ContentDigest(const PartitionKey& key) const override;
   Status Delete(const PartitionKey& key) override;
   Result<std::vector<PartitionId>> List(
       const DatasetId& dataset) const override;
@@ -296,6 +307,7 @@ class FileSampleStore : public SampleStore {
 
   Status Put(const PartitionKey& key, const PartitionSample& sample) override;
   Result<PartitionSample> Get(const PartitionKey& key) const override;
+  Result<uint64_t> ContentDigest(const PartitionKey& key) const override;
   Status Delete(const PartitionKey& key) override;
   Result<std::vector<PartitionId>> List(
       const DatasetId& dataset) const override;

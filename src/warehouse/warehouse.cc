@@ -298,6 +298,15 @@ Result<PartitionSample> Warehouse::GetSample(const DatasetId& dataset,
   return *shared;
 }
 
+Result<uint64_t> Warehouse::PartitionContentDigest(
+    const DatasetId& dataset, PartitionId partition) const {
+  {
+    SAMPWH_ASSIGN_OR_RETURN(DatasetLock held, LockDataset(dataset));
+    SAMPWH_RETURN_IF_ERROR(catalog_.GetPartition(dataset, partition).status());
+  }
+  return store_->ContentDigest(PartitionKey{dataset, partition});
+}
+
 Result<std::vector<PartitionId>> Warehouse::IngestBatch(
     const DatasetId& dataset, const std::vector<Value>& values,
     size_t num_partitions, ThreadPool* pool) {

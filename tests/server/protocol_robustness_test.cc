@@ -90,6 +90,26 @@ std::string RequestPayload(uint32_t verb, std::string_view body = {}) {
   return writer.Release();
 }
 
+/// A v2 ("SWR2") request payload with a caller-supplied raw header
+/// extension blob — well-formed or hostile.
+std::string V2RequestPayload(uint32_t verb, std::string_view ext,
+                             std::string_view body = {}) {
+  BinaryWriter writer;
+  writer.PutFixed32(kWireRequestMagicV2);
+  writer.PutFixed32(verb);
+  writer.PutString(ext);
+  if (!body.empty()) writer.PutRaw(body.data(), body.size());
+  return writer.Release();
+}
+
+/// A well-formed v2 extension: [deadline_millis, flags] varints.
+std::string V2Extension(uint64_t deadline_millis, uint64_t flags = 0) {
+  BinaryWriter ext;
+  ext.PutVarint64(deadline_millis);
+  ext.PutVarint64(flags);
+  return ext.Release();
+}
+
 /// The server must answer a clean ping on a fresh connection — the "still
 /// alive and framing-correct" probe after every attack.
 void ExpectServerHealthy(const WarehouseServer& server) {
@@ -206,7 +226,9 @@ TEST_F(ProtocolRobustnessTest, MalformedVerbBodiesAnswerStructuredErrors) {
       static_cast<uint32_t>(Verb::kRollIn),
       static_cast<uint32_t>(Verb::kRollInAt),
       static_cast<uint32_t>(Verb::kRollOut),
+      static_cast<uint32_t>(Verb::kReplicaRollIn),
       static_cast<uint32_t>(Verb::kQuery),
+      static_cast<uint32_t>(Verb::kPartitionDigests),
       static_cast<uint32_t>(Verb::kIngestOpen),
       static_cast<uint32_t>(Verb::kIngestAppend),
       static_cast<uint32_t>(Verb::kIngestFlush),
@@ -264,6 +286,113 @@ TEST_F(ProtocolRobustnessTest, SlowLorisPeersAreShedByTheReadTimeout) {
   EXPECT_TRUE(peer.Dropped());
   ExpectServerHealthy(*server_);
   EXPECT_GE(server_->stats().connections_dropped, 1u);
+}
+
+TEST_F(ProtocolRobustnessTest, V2HeadWithDeadlineDecodesCleanly) {
+  RawPeer peer(*server_);
+  ASSERT_TRUE(peer.connected());
+  peer.Send(EncodeFrame(V2RequestPayload(static_cast<uint32_t>(Verb::kPing),
+                                         V2Extension(/*deadline=*/5'000))));
+  const std::string response = peer.ReadResponse();
+  ASSERT_FALSE(response.empty());
+  BinaryReader reader(response);
+  EXPECT_TRUE(ParseResponseHead(&reader).ok());
+}
+
+TEST_F(ProtocolRobustnessTest, V2TruncatedExtensionAnswersStructuredError) {
+  RawPeer peer(*server_);
+  ASSERT_TRUE(peer.connected());
+  // Declared extension length far past the payload's end: the length-
+  // delimited blob cannot be read, so the head itself is malformed.
+  BinaryWriter payload;
+  payload.PutFixed32(kWireRequestMagicV2);
+  payload.PutFixed32(static_cast<uint32_t>(Verb::kPing));
+  payload.PutVarint64(200);  // promises 200 ext bytes ...
+  payload.PutRaw("abc", 3);  // ... delivers 3
+  peer.Send(EncodeFrame(payload.Release()));
+  const std::string response = peer.ReadResponse();
+  ASSERT_FALSE(response.empty());
+  BinaryReader reader(response);
+  EXPECT_FALSE(ParseResponseHead(&reader).ok());
+  // The head never parsed, but the FRAME was sound — connection kept.
+  peer.Send(EncodeFrame(RequestPayload(static_cast<uint32_t>(Verb::kPing))));
+  const std::string pong = peer.ReadResponse();
+  ASSERT_FALSE(pong.empty());
+  BinaryReader pong_reader(pong);
+  EXPECT_TRUE(ParseResponseHead(&pong_reader).ok());
+  ExpectServerHealthy(*server_);
+}
+
+TEST_F(ProtocolRobustnessTest, V2CorruptedDeadlineFieldsNeverCrash) {
+  // Seeded fuzz of the extension blob itself: truncated varints, overlong
+  // varints, short blobs missing the flags field, garbage. Every shape
+  // must yield a structured answer (OK for decodable exts, error
+  // otherwise) on a kept connection.
+  Pcg64 rng(kFuzzSeed ^ 6);
+  RawPeer peer(*server_);
+  ASSERT_TRUE(peer.connected());
+  for (int round = 0; round < 48; ++round) {
+    std::string ext(rng.NextUint64() % 24, '\0');
+    for (char& c : ext) c = static_cast<char>(rng.NextUint64());
+    if (round % 4 == 0 && !ext.empty()) {
+      // Bias toward the nastiest shape: a varint whose continuation bits
+      // run off the blob's end.
+      ext.back() = static_cast<char>(0x80 | (ext.back() & 0x7F));
+    }
+    peer.Send(EncodeFrame(
+        V2RequestPayload(static_cast<uint32_t>(Verb::kPing), ext)));
+    const std::string response = peer.ReadResponse();
+    ASSERT_FALSE(response.empty())
+        << "round " << round << " lost the connection on a hostile ext";
+  }
+  ExpectServerHealthy(*server_);
+}
+
+TEST_F(ProtocolRobustnessTest, InterleavedV1AndV2FramesOnOneConnection) {
+  // A fleet of old and new clients behind one proxy socket looks exactly
+  // like this: v1 and v2 heads alternating on a single connection, some
+  // hostile. Each frame must be answered on its own terms and the
+  // connection survive the lot.
+  RawPeer peer(*server_);
+  ASSERT_TRUE(peer.connected());
+  Pcg64 rng(kFuzzSeed ^ 7);
+  for (int round = 0; round < 24; ++round) {
+    std::string payload;
+    bool expect_ok = true;
+    switch (round % 4) {
+      case 0:  // plain v1
+        payload = RequestPayload(static_cast<uint32_t>(Verb::kPing));
+        break;
+      case 1:  // well-formed v2 with a deadline and a failover flag
+        payload = V2RequestPayload(
+            static_cast<uint32_t>(Verb::kPing),
+            V2Extension(1 + rng.NextUint64() % 10'000,
+                        kRequestFlagFailoverRead));
+        break;
+      case 2: {  // v2 with a longer-than-known ext: appended fields ignored
+        BinaryWriter ext;
+        ext.PutVarint64(2'000);
+        ext.PutVarint64(0);
+        ext.PutVarint64(rng.NextUint64());  // a field this build predates
+        payload =
+            V2RequestPayload(static_cast<uint32_t>(Verb::kPing),
+                             ext.Release());
+        break;
+      }
+      default:  // v2 missing the flags varint: malformed head
+        payload = V2RequestPayload(static_cast<uint32_t>(Verb::kPing),
+                                   std::string(1, '\x07'));
+        expect_ok = false;
+        break;
+    }
+    peer.Send(EncodeFrame(payload));
+    const std::string response = peer.ReadResponse();
+    ASSERT_FALSE(response.empty()) << "round " << round;
+    BinaryReader reader(response);
+    EXPECT_EQ(ParseResponseHead(&reader).ok(), expect_ok)
+        << "round " << round;
+  }
+  ExpectServerHealthy(*server_);
 }
 
 TEST(WireFuzzTest, DecodeFrameNeverCrashesOnRandomBuffers) {

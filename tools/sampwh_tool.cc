@@ -462,6 +462,16 @@ int CmdServerStats(const std::string& host, const std::string& port) {
               static_cast<unsigned long long>(s.connections_shed));
   std::printf("deadlines exceeded:   %llu\n",
               static_cast<unsigned long long>(s.deadlines_exceeded));
+  std::printf("replica writes:       %llu\n",
+              static_cast<unsigned long long>(s.replica_writes));
+  std::printf("failover reads:       %llu\n",
+              static_cast<unsigned long long>(s.failover_reads));
+  std::printf("scrub rounds:         %llu\n",
+              static_cast<unsigned long long>(s.scrub_rounds));
+  std::printf("partitions healed:    %llu\n",
+              static_cast<unsigned long long>(s.partitions_healed));
+  std::printf("digest mismatches:    %llu\n",
+              static_cast<unsigned long long>(s.digest_mismatches));
   return 0;
 }
 
